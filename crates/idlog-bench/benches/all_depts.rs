@@ -1,0 +1,43 @@
+//! E10 bench: `all_depts` over a D×E employee relation — naive DATALOG scan
+//! vs choice-operator semantics vs the IDLOG tid-0 formulation.
+//!
+//! Paper shape to hold: IDLOG and choice consider far fewer tuples than the
+//! naive scan; the gap grows linearly with E.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use idlog_bench::{emp_db, run_canonical};
+use idlog_core::Interner;
+
+fn bench_all_depts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_depts");
+    group.sample_size(10);
+
+    for (depts, emps) in [(10usize, 10usize), (10, 50), (10, 200)] {
+        let interner = Arc::new(Interner::new());
+        let db = emp_db(&interner, depts, emps);
+        let label = format!("{depts}x{emps}");
+
+        group.bench_with_input(BenchmarkId::new("naive", &label), &db, |b, db| {
+            b.iter(|| run_canonical("all_depts(D) :- emp(N, D).", "all_depts", db))
+        });
+        group.bench_with_input(BenchmarkId::new("idlog_tid0", &label), &db, |b, db| {
+            b.iter(|| run_canonical("all_depts(D) :- emp[2](N, D, 0).", "all_depts", db))
+        });
+        let choice_ast =
+            idlog_core::parse_program("all_depts(D) :- emp(N, D), choice((D), (N)).", &interner)
+                .expect("fixture parses");
+        group.bench_with_input(BenchmarkId::new("choice", &label), &db, |b, db| {
+            b.iter(|| {
+                idlog_choice::one_intended_model(&choice_ast, &interner, db, "all_depts", None)
+                    .expect("fixture evaluates")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_depts);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E11 bench: direct DATALOG^C evaluation vs the Theorem 2 translation run
+//! through the IDLOG engine — same answers, bounded translation overhead.
+//!
+//! Shape to hold: the translated program's single-model evaluation is within
+//! a small constant factor of the direct two-phase KN88 evaluation.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use idlog_bench::emp_db;
+use idlog_core::{CanonicalOracle, Interner, Query, ValidatedProgram};
+
+fn bench_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("choice_translate");
+    group.sample_size(10);
+
+    for (depts, emps) in [(5usize, 10usize), (10, 40), (20, 80)] {
+        let interner = Arc::new(Interner::new());
+        let db = emp_db(&interner, depts, emps);
+        let label = format!("{depts}x{emps}");
+
+        let src = "select_emp(N) :- emp(N, D), choice((D), (N)).";
+        let ast = idlog_core::parse_program(src, &interner).expect("fixture parses");
+
+        group.bench_with_input(BenchmarkId::new("direct_kn88", &label), &db, |b, db| {
+            b.iter(|| {
+                idlog_choice::one_intended_model(&ast, &interner, db, "select_emp", None)
+                    .expect("fixture evaluates")
+            })
+        });
+
+        let translated =
+            idlog_choice::to_idlog::to_idlog(&ast, &interner).expect("translation succeeds");
+        let validated = ValidatedProgram::new(translated, Arc::clone(&interner))
+            .expect("translated program validates");
+        let q = Query::new(validated, "select_emp").expect("output exists");
+        group.bench_with_input(BenchmarkId::new("via_idlog", &label), &db, |b, db| {
+            b.iter(|| q.eval(db, &mut CanonicalOracle).expect("fixture evaluates"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_translation);
+criterion_main!(benches);

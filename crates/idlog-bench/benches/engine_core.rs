@@ -1,0 +1,58 @@
+//! Engine baseline bench: semi-naive transitive closure and same-generation
+//! throughput — the substrate every other experiment sits on.
+//!
+//! Shape to hold: time grows polynomially with input size, no pathological
+//! blowup from the delta rewriting or index maintenance.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use idlog_bench::{chain_db, tree_db};
+use idlog_core::{CanonicalOracle, Interner, Query};
+
+fn bench_tc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_tc");
+    group.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let interner = Arc::new(Interner::new());
+        let db = chain_db(&interner, n);
+        let q = Query::parse_with_interner(
+            "tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+            "tc",
+            interner,
+        )
+        .expect("fixture parses");
+        group.bench_with_input(BenchmarkId::new("chain", n), &db, |b, db| {
+            b.iter(|| {
+                let rel = q.eval(db, &mut CanonicalOracle).expect("fixture evaluates");
+                assert_eq!(rel.len(), n * (n + 1) / 2);
+                rel
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_same_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_sg");
+    group.sample_size(10);
+    for levels in [4u32, 6, 8] {
+        let interner = Arc::new(Interner::new());
+        let db = tree_db(&interner, levels);
+        let q = Query::parse_with_interner(
+            "sg(X, X) :- person(X).
+             sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).",
+            "sg",
+            interner,
+        )
+        .expect("fixture parses");
+        group.bench_with_input(BenchmarkId::new("tree_levels", levels), &db, |b, db| {
+            b.iter(|| q.eval(db, &mut CanonicalOracle).expect("fixture evaluates"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tc, bench_same_generation);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Enumeration bench: all-answers walks — factorial growth for unbounded
+//! tid uses vs the falling-factorial k-prefix walk when the tid is bounded
+//! (the paper's footnote 6/7 optimization).
+//!
+//! Shape to hold: the unbounded walk explodes with group size; the bounded
+//! walk grows linearly (k = 1) and stays usable.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use idlog_bench::emp_db;
+use idlog_core::{EnumBudget, Interner, Query};
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration");
+    group.sample_size(10);
+    let budget = EnumBudget {
+        max_models: 1_000_000,
+        max_answers: 1_000_000,
+    };
+
+    for emps in [4usize, 5, 6] {
+        let interner = Arc::new(Interner::new());
+        let db = emp_db(&interner, 1, emps);
+
+        // Bounded: only tid 0 observable → `emps` arrangements.
+        let bounded = Query::parse_with_interner(
+            "pick(N) :- emp[2](N, D, 0).",
+            "pick",
+            Arc::clone(&interner),
+        )
+        .expect("fixture parses");
+        group.bench_with_input(BenchmarkId::new("bounded_tid0", emps), &db, |b, db| {
+            b.iter(|| {
+                let a = bounded
+                    .all_answers(db, &budget)
+                    .expect("enumeration succeeds");
+                assert_eq!(a.models_explored(), emps as u64);
+                a
+            })
+        });
+
+        // Unbounded: the tid escapes into the head → emps! permutations.
+        let unbounded = Query::parse_with_interner(
+            "pick(N, T) :- emp[2](N, D, T).",
+            "pick",
+            Arc::clone(&interner),
+        )
+        .expect("fixture parses");
+        group.bench_with_input(BenchmarkId::new("unbounded_full", emps), &db, |b, db| {
+            b.iter(|| {
+                unbounded
+                    .all_answers(db, &budget)
+                    .expect("enumeration succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration_parallel");
+    group.sample_size(10);
+    let budget = EnumBudget {
+        max_models: 1_000_000,
+        max_answers: 1_000_000,
+    };
+    let interner = Arc::new(Interner::new());
+    let db = emp_db(&interner, 1, 7);
+    let q = Query::parse_with_interner(
+        "pick(N, T) :- emp[2](N, D, T).",
+        "pick",
+        Arc::clone(&interner),
+    )
+    .expect("fixture parses");
+    group.bench_function("sequential_7fact", |b| {
+        b.iter(|| q.all_answers(&db, &budget).expect("enumeration succeeds"))
+    });
+    group.bench_function("parallel_7fact", |b| {
+        b.iter(|| {
+            q.all_answers_parallel(&db, &budget)
+                .expect("enumeration succeeds")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E9 bench: the §4 join workload `p(X) :- q(X,Z), z(Z,Y), y(W)` — original
+//! vs ∀-projection vs the ID-literal rewrite.
+//!
+//! Paper shape to hold: ID-rewrite ≤ ∀-rewrite ≤ original, with the
+//! ID-rewrite's advantage proportional to fanout × witnesses.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use idlog_bench::zy_db;
+use idlog_core::{CanonicalOracle, Interner, Query, ValidatedProgram};
+use idlog_optimizer::{push_projections, to_id_program};
+
+fn bench_rewrites(c: &mut Criterion) {
+    let mut group = c.benchmark_group("existential_rewrite");
+    group.sample_size(10);
+
+    let interner = Arc::new(Interner::new());
+    let original = idlog_core::parse_program("p(X) :- q(X, Z), z(Z, Y), y(W).", &interner)
+        .expect("fixture parses");
+    let out = interner.intern("p");
+    let projected = push_projections(&original, out);
+    let optimized = to_id_program(&original, out);
+
+    for (keys, fanout, witnesses) in [(5usize, 10usize, 10usize), (10, 20, 40)] {
+        let db = zy_db(&interner, keys, fanout, witnesses);
+        let label = format!("{keys}k_{fanout}f_{witnesses}w");
+        for (name, ast) in [
+            ("original", &original),
+            ("forall", &projected),
+            ("id_rewrite", &optimized),
+        ] {
+            let validated = ValidatedProgram::new(ast.clone(), Arc::clone(&interner))
+                .expect("fixture validates");
+            let q = Query::new(validated, "p").expect("output exists");
+            group.bench_with_input(BenchmarkId::new(name, &label), &db, |b, db| {
+                b.iter(|| q.eval(db, &mut CanonicalOracle).expect("fixture evaluates"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewrites);
+criterion_main!(benches);

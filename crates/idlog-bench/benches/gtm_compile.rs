@@ -1,0 +1,66 @@
+//! E13 bench: the Theorem 6 pipeline — TM→IDLOG compilation plus bounded
+//! evaluation vs native tape simulation.
+//!
+//! Shape to hold: the compiled simulation is polynomially slower than the
+//! native one (it materializes time-indexed configuration relations) but
+//! scales the same way in steps; compilation itself is linear in |δ|·steps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use idlog_core::EnumBudget;
+use idlog_gtm::{compile_tm, queries, run_deterministic, RunBudget};
+
+fn bench_gtm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gtm");
+    group.sample_size(10);
+
+    let tm = queries::successor();
+    for bits in [3usize, 5, 7] {
+        // Input: all-ones (maximum carry chain), LSB first.
+        let input: Vec<u8> = vec![2; bits];
+        let steps = bits + 2;
+        let space = bits + 2;
+
+        group.bench_with_input(BenchmarkId::new("native", bits), &input, |b, input| {
+            b.iter(|| run_deterministic(&tm, input, &RunBudget::default()).expect("halts"))
+        });
+
+        group.bench_with_input(BenchmarkId::new("compile", bits), &input, |b, _| {
+            b.iter(|| compile_tm(&tm, steps, space))
+        });
+
+        let compiled = compile_tm(&tm, steps, space);
+        group.bench_with_input(
+            BenchmarkId::new("compiled_eval", bits),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    compiled
+                        .accepting_tapes(input, &EnumBudget::default())
+                        .expect("bounded run succeeds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gtm_nondet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gtm_nondet");
+    group.sample_size(10);
+    let tm = queries::coin_writer();
+    let compiled = compile_tm(&tm, 2, 2);
+    group.bench_function("coin_writer_outcomes", |b| {
+        b.iter(|| {
+            let tapes = compiled
+                .accepting_tapes(&[], &EnumBudget::default())
+                .expect("succeeds");
+            assert_eq!(tapes.len(), 2);
+            tapes
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gtm, bench_gtm_nondet);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E6 bench: n-per-group sampling — the choice-operator emulation (n choice
+//! rounds + n(n−1)/2 disequality tests) vs the IDLOG `tid < n` literal.
+//!
+//! Paper shape to hold (§3.3): the emulation's cost grows superlinearly in
+//! n ("a considerable amount of overhead … may not be avoidable"), IDLOG's
+//! stays essentially flat.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use idlog_bench::{choice_sampling_src, emp_db, idlog_sampling_src, run_canonical};
+use idlog_core::Interner;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling_cost");
+    group.sample_size(10);
+
+    let interner = Arc::new(Interner::new());
+    let db = emp_db(&interner, 3, 8);
+
+    for n in [1usize, 2, 3, 4] {
+        let idlog_src = idlog_sampling_src(n);
+        group.bench_with_input(BenchmarkId::new("idlog", n), &db, |b, db| {
+            b.iter(|| run_canonical(&idlog_src, "select_n", db))
+        });
+
+        let choice_ast =
+            idlog_core::parse_program(&choice_sampling_src(n), &interner).expect("fixture parses");
+        group.bench_with_input(BenchmarkId::new("choice_emulation", n), &db, |b, db| {
+            b.iter(|| {
+                idlog_choice::one_intended_model(&choice_ast, &interner, db, "select_n", Some(7))
+                    .expect("fixture evaluates")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

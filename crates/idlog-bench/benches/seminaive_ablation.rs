@@ -1,0 +1,41 @@
+//! Ablation bench: semi-naive vs naive fixpoint on recursive workloads.
+//!
+//! Shape to hold: semi-naive wall-time grows polynomially with chain length;
+//! naive re-derivation adds a factor proportional to the number of
+//! iterations (the chain length), so the gap widens with input size.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use idlog_bench::chain_db;
+use idlog_core::{evaluate_with_strategy, CanonicalOracle, Interner, Strategy, ValidatedProgram};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seminaive_ablation");
+    group.sample_size(10);
+    for n in [30usize, 60, 120] {
+        let interner = Arc::new(Interner::new());
+        let db = chain_db(&interner, n);
+        let program = ValidatedProgram::parse(
+            "tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+            Arc::clone(&interner),
+        )
+        .expect("fixture validates");
+        for (name, strategy) in [
+            ("semi_naive", Strategy::SemiNaive),
+            ("naive", Strategy::Naive),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n), &db, |b, db| {
+                b.iter(|| {
+                    evaluate_with_strategy(&program, db, &mut CanonicalOracle, strategy)
+                        .expect("fixture evaluates")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,687 @@
+//! The experiment report generator: runs E1–E16 from `DESIGN.md` and prints
+//! a paper-claim vs. measured table. `EXPERIMENTS.md` is this binary's
+//! output, annotated.
+//!
+//! Run all: `cargo run -p idlog-bench --bin experiments --release`
+//! Run one: `cargo run -p idlog-bench --bin experiments --release -- e5`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use idlog_bench::{choice_sampling_src, emp_db, idlog_sampling_src, run_canonical, zy_db};
+use idlog_core::{EnumBudget, Interner, Query, ValidatedProgram};
+use idlog_storage::{count_id_functions, Database};
+
+struct Report {
+    filter: Option<String>,
+}
+
+impl Report {
+    fn wants(&self, id: &str) -> bool {
+        self.filter
+            .as_deref()
+            .is_none_or(|f| f.eq_ignore_ascii_case(id))
+    }
+
+    fn section(&self, id: &str, paper: &str) {
+        println!("\n=== {} ===", id.to_uppercase());
+        println!("  paper claim: {paper}");
+    }
+
+    fn row(&self, label: &str, value: impl std::fmt::Display) {
+        println!("  {label:<52} {value}");
+    }
+
+    fn verdict(&self, ok: bool, note: &str) {
+        println!(
+            "  -> {} {note}",
+            if ok { "REPRODUCED:" } else { "MISMATCH:" }
+        );
+        assert!(ok, "experiment failed: {note}");
+    }
+}
+
+fn db_from(interner: &Arc<Interner>, facts: &[(&str, &[&str])]) -> Database {
+    let mut db = Database::with_interner(Arc::clone(interner));
+    for (pred, cols) in facts {
+        db.insert_syms(pred, cols).unwrap();
+    }
+    db
+}
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    let r = Report { filter };
+    let t0 = Instant::now();
+
+    if r.wants("e1") {
+        e1(&r);
+    }
+    if r.wants("e2") {
+        e2(&r);
+    }
+    if r.wants("e3") {
+        e3(&r);
+    }
+    if r.wants("e4") {
+        e4(&r);
+    }
+    if r.wants("e5") {
+        e5(&r);
+    }
+    if r.wants("e6") {
+        e6(&r);
+    }
+    if r.wants("e7") {
+        e7(&r);
+    }
+    if r.wants("e8") {
+        e8(&r);
+    }
+    if r.wants("e9") {
+        e9(&r);
+    }
+    if r.wants("e10") {
+        e10(&r);
+    }
+    if r.wants("e11") {
+        e11(&r);
+    }
+    if r.wants("e12") {
+        e12(&r);
+    }
+    if r.wants("e13") {
+        e13(&r);
+    }
+    if r.wants("e14") {
+        e14(&r);
+    }
+    if r.wants("e15") {
+        e15(&r);
+    }
+    if r.wants("e16") {
+        e16(&r);
+    }
+
+    println!("\nall selected experiments completed in {:?}", t0.elapsed());
+}
+
+/// E1 (Example 1): ID-relations of r on {1}.
+fn e1(r: &Report) {
+    r.section(
+        "e1",
+        "r = {(a,c),(a,d),(b,c)} has exactly 2 ID-relations on {1}",
+    );
+    let interner = Arc::new(Interner::new());
+    let db = db_from(
+        &interner,
+        &[("r", &["a", "c"]), ("r", &["a", "d"]), ("r", &["b", "c"])],
+    );
+    let rel = db.relation("r").unwrap();
+    let n = count_id_functions(rel, &[0], &interner);
+    r.row("ID-functions counted", n);
+    // General law: ∏ |group|!.
+    let big = emp_db(&interner, 3, 4);
+    let n_big = count_id_functions(big.relation("emp").unwrap(), &[1], &interner);
+    r.row("3 groups of 4 (expect 24^3 = 13824)", n_big);
+    r.verdict(
+        n == 2 && n_big == 13824,
+        "counts equal products of factorials",
+    );
+}
+
+/// E2 (Example 2): man/woman answer sets.
+fn e2(r: &Report) {
+    r.section("e2", "man(r) = woman(r) = { {}, {a}, {b}, {a,b} }");
+    let src = "
+        sex_guess(X, male) :- person(X).
+        sex_guess(X, female) :- person(X).
+        man(X) :- sex_guess[1](X, male, 1).
+        woman(X) :- sex_guess[1](X, female, 1).
+    ";
+    let q = Query::parse(src, "man").unwrap();
+    let db = db_from(q.interner(), &[("person", &["a"]), ("person", &["b"])]);
+    let man = q.all_answers(&db, &EnumBudget::default()).unwrap();
+    let woman = Query::parse_with_interner(src, "woman", Arc::clone(q.interner()))
+        .unwrap()
+        .all_answers(&db, &EnumBudget::default())
+        .unwrap();
+    r.row("distinct man answers (expect 4)", man.len());
+    r.row("distinct woman answers (expect 4)", woman.len());
+    r.row("perfect models explored", man.models_explored());
+    r.verdict(
+        man.len() == 4 && woman.same_answers(&man, q.interner()),
+        "all four subsets, symmetric between man and woman",
+    );
+}
+
+/// E3 (Example 3): DL non-deterministic vs deterministic inflationary.
+fn e3(r: &Report) {
+    r.section(
+        "e3",
+        "DL: man(r) has 4 outcomes non-deterministically, {(a),(b)} deterministically",
+    );
+    use idlog_dl::{all_outcomes, deterministic_inflationary, Dialect, DlBudget, DlProgram};
+    let prog = DlProgram::parse(
+        "man(X) :- person(X), not woman(X).
+         woman(X) :- person(X), not man(X).",
+        Dialect::Dl,
+    )
+    .unwrap();
+    let db = db_from(prog.interner(), &[("person", &["a"]), ("person", &["b"])]);
+    let nd = all_outcomes(&prog, &db, "man", &DlBudget::default()).unwrap();
+    let det = deterministic_inflationary(&prog, &db, "man").unwrap();
+    r.row("non-deterministic outcomes (expect 4)", nd.len());
+    r.row("deterministic inflationary |man| (expect 2)", det.len());
+    r.verdict(
+        nd.len() == 4 && det.len() == 2,
+        "matches the paper's Example 3 table",
+    );
+}
+
+/// E4 (Example 4): one-per-dept sampling, choice ≡ IDLOG.
+fn e4(r: &Report) {
+    r.section(
+        "e4",
+        "choice((Dept),(Name)) ≡ emp[2](Name, Dept, 0) (q-equivalent)",
+    );
+    let interner = Arc::new(Interner::new());
+    let db = emp_db(&interner, 3, 3);
+    let budget = EnumBudget::default();
+    let choice_ast =
+        idlog_core::parse_program("select_emp(N) :- emp(N, D), choice((D), (N)).", &interner)
+            .unwrap();
+    let a =
+        idlog_choice::intended_models(&choice_ast, &interner, &db, "select_emp", &budget).unwrap();
+    let q = Query::parse_with_interner(
+        "select_emp(N) :- emp[2](N, D, 0).",
+        "select_emp",
+        Arc::clone(&interner),
+    )
+    .unwrap();
+    let b = q.all_answers(&db, &budget).unwrap();
+    r.row("choice answers (expect 3^3 = 27)", a.len());
+    r.row("idlog answers", b.len());
+    r.verdict(
+        a.same_answers(&b, &interner) && a.len() == 27,
+        "identical answer sets",
+    );
+}
+
+/// E5 (Example 5): the naive choice 2-sampling is wrong, IDLOG is right.
+fn e5(r: &Report) {
+    r.section(
+        "e5",
+        "naive choice 2-sampling has deficient models; emp[2](N,D,T), T<2 never does",
+    );
+    let interner = Arc::new(Interner::new());
+    let db = emp_db(&interner, 2, 3);
+    let budget = EnumBudget::default();
+    let naive = idlog_core::parse_program(&choice_sampling_src(2), &interner).unwrap();
+    let a = idlog_choice::intended_models(&naive, &interner, &db, "select_n", &budget).unwrap();
+    let deficient = a.iter().filter(|rel| rel.len() < 4).count();
+    let q = Query::parse_with_interner(&idlog_sampling_src(2), "select_n", Arc::clone(&interner))
+        .unwrap();
+    let b = q.all_answers(&db, &budget).unwrap();
+    let exact = b.iter().all(|rel| rel.len() == 4);
+    r.row(
+        "choice answers / deficient",
+        format!("{} / {deficient}", a.len()),
+    );
+    r.row("idlog answers (expect C(3,2)^2 = 9), all exact", b.len());
+    r.verdict(
+        deficient > 0 && exact && b.len() == 9,
+        "choice emulation provably deficient, IDLOG exact",
+    );
+}
+
+/// E6 (§3.3 cost claim): emulation cost grows ~n², IDLOG stays one literal.
+fn e6(r: &Report) {
+    r.section(
+        "e6",
+        "choice-emulated n-sampling needs n choices + n(n-1)/2 disequalities; \
+         IDLOG one literal — instantiations & time vs n",
+    );
+    let interner = Arc::new(Interner::new());
+    let db = emp_db(&interner, 3, 6);
+    println!(
+        "  {:>2} {:>14} {:>14} {:>12} {:>12}",
+        "n", "choice_inst", "idlog_inst", "choice_ms", "idlog_ms"
+    );
+    let mut ok = true;
+    let mut prev_choice = 0u64;
+    for n in 1..=4usize {
+        let t0 = Instant::now();
+        let choice_ast = idlog_core::parse_program(&choice_sampling_src(n), &interner).unwrap();
+        let (_, stats) =
+            idlog_choice::one_intended_model(&choice_ast, &interner, &db, "select_n", Some(7))
+                .unwrap();
+        let choice_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t1 = Instant::now();
+        let (_, idlog_stats) = run_canonical(&idlog_sampling_src(n), "select_n", &db);
+        let idlog_ms = t1.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "  {n:>2} {:>14} {:>14} {choice_ms:>12.2} {idlog_ms:>12.2}",
+            stats.instantiations, idlog_stats.instantiations
+        );
+        ok &= idlog_stats.instantiations == (3 * n) as u64;
+        ok &= stats.instantiations >= prev_choice;
+        prev_choice = stats.instantiations;
+    }
+    r.verdict(
+        ok,
+        "IDLOG instantiations = n per group; emulation grows superlinearly",
+    );
+}
+
+/// E7 (Examples 6 & 8): the rewrites match the paper's printed programs.
+fn e7(r: &Report) {
+    r.section(
+        "e7",
+        "adornment + ID rewrites reproduce the paper's transformed programs",
+    );
+    use idlog_optimizer::{push_projections, to_id_program};
+    let interner = Arc::new(Interner::new());
+    let original = idlog_core::parse_program(
+        "q(X) :- a(X, Y).
+         a(X, Y) :- p(X, Z), a(Z, Y).
+         a(X, Y) :- p(X, Y).",
+        &interner,
+    )
+    .unwrap();
+    let out = interner.intern("q");
+    let projected = push_projections(&original, out)
+        .display(&interner)
+        .to_string();
+    let idp = to_id_program(&original, out).display(&interner).to_string();
+    r.row("∀-rewrite", projected.replace('\n', " "));
+    r.row("ID-rewrite", idp.replace('\n', " "));
+    r.verdict(
+        projected == "q(X) :- a(X).\na(X) :- p(X, Z), a(Z).\na(X) :- p(X, Y).\n"
+            && idp == "q(X) :- a(X).\na(X) :- p(X, Z), a(Z).\na(X) :- p[1](X, Y, 0).\n",
+        "both match Example 6 / Example 8 verbatim",
+    );
+}
+
+/// E8 (Example 7): ∀- and ∃-existential are incomparable.
+fn e8(r: &Report) {
+    r.section(
+        "e8",
+        "Example 7: Y is ∀- but not ∃-existential w.r.t. q1, and ∃- but not ∀- w.r.t. q2",
+    );
+    use idlog_optimizer::{q_equivalent_on, random_databases};
+    let interner = Arc::new(Interner::new());
+    let p = idlog_core::parse_program(
+        "q1 :- x(c).  q2 :- x(a).  x(Y) :- p(Y).  p(b) :- y(X).  p(c) :- y(X).",
+        &interner,
+    )
+    .unwrap();
+    let p2 = idlog_core::parse_program(
+        "q1 :- x(c).  q2 :- x(a).  x(Y) :- p[](Y, 0).  p(b) :- y(X).  p(c) :- y(X).",
+        &interner,
+    )
+    .unwrap();
+    let p1 = idlog_core::parse_program(
+        "q1 :- x(c).  q2 :- x(a).  x(Y) :- pprime(Y).  pprime(Yp) :- dom(Yp), p(Y).
+         p(b) :- y(X).  p(c) :- y(X).",
+        &interner,
+    )
+    .unwrap();
+    let mut dbs = random_databases(&interner, &[("y", 1)], &["d1", "d2"], 12, 11);
+    for db in &mut dbs {
+        for d in ["a", "b", "c", "d1", "d2"] {
+            db.insert_syms("dom", &[d]).unwrap();
+        }
+    }
+    let budget = EnumBudget::default();
+    let forall_q1 = q_equivalent_on(&p, &p1, &interner, &dbs, "q1", &budget)
+        .unwrap()
+        .equivalent;
+    let forall_q2 = q_equivalent_on(&p, &p1, &interner, &dbs, "q2", &budget)
+        .unwrap()
+        .equivalent;
+    let exists_q1 = q_equivalent_on(&p, &p2, &interner, &dbs, "q1", &budget)
+        .unwrap()
+        .equivalent;
+    let exists_q2 = q_equivalent_on(&p, &p2, &interner, &dbs, "q2", &budget)
+        .unwrap()
+        .equivalent;
+    r.row(
+        "∀-existential w.r.t. q1 / q2 (expect yes / no)",
+        format!("{forall_q1} / {forall_q2}"),
+    );
+    r.row(
+        "∃-existential w.r.t. q1 / q2 (expect no / yes)",
+        format!("{exists_q1} / {exists_q2}"),
+    );
+    r.verdict(
+        forall_q1 && !forall_q2 && !exists_q1 && exists_q2,
+        "the two notions are incomparable, exactly as Example 7 states",
+    );
+}
+
+/// E9 (§4 opening): the ID-rewrite greatly reduces intermediate tuples.
+fn e9(r: &Report) {
+    r.section(
+        "e9",
+        "p(X) :- q(X,Z), z(Z,Y), y(W): ID-rewrite reduces instantiations by fanout×witnesses",
+    );
+    use idlog_optimizer::to_id_program;
+    let interner = Arc::new(Interner::new());
+    let original = idlog_core::parse_program("p(X) :- q(X, Z), z(Z, Y), y(W).", &interner).unwrap();
+    let optimized = to_id_program(&original, interner.intern("p"));
+    println!(
+        "  {:>6} {:>7} {:>9} {:>16} {:>14} {:>8}",
+        "keys", "fanout", "witness", "original_inst", "idlog_inst", "ratio"
+    );
+    let mut ok = true;
+    for (keys, fanout, witnesses) in [(5, 10, 10), (10, 20, 40), (20, 40, 80)] {
+        let db = zy_db(&interner, keys, fanout, witnesses);
+        let (_, s1) = run_and_stats(&original, &interner, &db, "p");
+        let (_, s2) = run_and_stats(&optimized, &interner, &db, "p");
+        let ratio = s1.instantiations as f64 / s2.instantiations as f64;
+        println!(
+            "  {keys:>6} {fanout:>7} {witnesses:>9} {:>16} {:>14} {ratio:>8.0}",
+            s1.instantiations, s2.instantiations
+        );
+        ok &= s1.instantiations == (keys * fanout * witnesses) as u64
+            && s2.instantiations == keys as u64;
+    }
+    r.verdict(ok, "ratio = fanout × witnesses at every scale");
+}
+
+/// E10 (§1/§4 all_depts): three formulations, same answers, IDLOG cheapest.
+fn e10(r: &Report) {
+    r.section(
+        "e10",
+        "all_depts: naive scans D·E tuples, IDLOG tid-0 scans D",
+    );
+    let interner = Arc::new(Interner::new());
+    println!(
+        "  {:>4} {:>4} {:>13} {:>12} {:>12}",
+        "D", "E", "naive_inst", "idlog_inst", "choice_inst"
+    );
+    let mut ok = true;
+    for (d, e) in [(5, 10), (10, 50), (20, 100)] {
+        let db = emp_db(&interner, d, e);
+        let (_, naive) = run_canonical("all_depts(D) :- emp(N, D).", "all_depts", &db);
+        let (_, idlog) = run_canonical("all_depts(D) :- emp[2](N, D, 0).", "all_depts", &db);
+        let choice_ast =
+            idlog_core::parse_program("all_depts(D) :- emp(N, D), choice((D), (N)).", &interner)
+                .unwrap();
+        let (_, choice) =
+            idlog_choice::one_intended_model(&choice_ast, &interner, &db, "all_depts", None)
+                .unwrap();
+        println!(
+            "  {d:>4} {e:>4} {:>13} {:>12} {:>12}",
+            naive.instantiations, idlog.instantiations, choice.instantiations
+        );
+        ok &= naive.instantiations == (d * e) as u64 && idlog.instantiations == d as u64;
+    }
+    r.verdict(ok, "IDLOG considers exactly one tuple per department");
+}
+
+/// E11 (Theorem 2): translation equivalence over a program family.
+fn e11(r: &Report) {
+    r.section(
+        "e11",
+        "every C1/C2 DATALOG^C program ≡ its four-stratum IDLOG translation",
+    );
+    let interner = Arc::new(Interner::new());
+    let db = emp_db(&interner, 2, 3);
+    let budget = EnumBudget::default();
+    let programs = [
+        "s(N) :- emp(N, D), choice((D), (N)).",
+        "s(D) :- emp(N, D), choice((N), (D)).",
+        "s(N, D) :- emp(N, D), choice((), (N, D)).",
+        "picked(N) :- emp(N, D), choice((D), (N)).\ns(D) :- picked(N), emp(N, D).",
+        "s(N, M) :- emp(N, D), emp(M, D), N != M, choice((D), (N, M)).",
+    ];
+    let mut ok = true;
+    for (k, src) in programs.iter().enumerate() {
+        let ast = idlog_core::parse_program(src, &interner).unwrap();
+        let direct = idlog_choice::intended_models(&ast, &interner, &db, "s", &budget).unwrap();
+        let translated = idlog_choice::to_idlog::to_idlog(&ast, &interner).unwrap();
+        let v = ValidatedProgram::new(translated, Arc::clone(&interner)).unwrap();
+        let via = Query::new(v, "s")
+            .unwrap()
+            .all_answers(&db, &budget)
+            .unwrap();
+        let same = direct.same_answers(&via, &interner);
+        r.row(
+            &format!("program #{k} ({} answers)", direct.len()),
+            if same { "equivalent" } else { "DIFFERENT" },
+        );
+        ok &= same;
+    }
+    r.verdict(ok, "all translations q-equivalent");
+}
+
+/// E12 (Theorem 4): adornment-identified args are ∃-existential.
+fn e12(r: &Report) {
+    r.section(
+        "e12",
+        "every adornment-identified ∀-existential arg is ∃-existential",
+    );
+    use idlog_optimizer::{q_equivalent_on, random_databases, to_id_program};
+    let interner = Arc::new(Interner::new());
+    let family = [
+        ("q(X) :- e(X, Y).", vec![("e", 2)]),
+        (
+            "p(X) :- q(X, Z), z(Z, Y), y(W).",
+            vec![("q", 2), ("z", 2), ("y", 1)],
+        ),
+        (
+            "q(X) :- a(X, Y).\na(X, Y) :- p(X, Z), a(Z, Y).\na(X, Y) :- p(X, Y).",
+            vec![("p", 2)],
+        ),
+        ("out(X) :- l(X, Y), rr(X, Z).", vec![("l", 2), ("rr", 2)]),
+    ];
+    let budget = EnumBudget::default();
+    let mut ok = true;
+    for (k, (src, schema)) in family.iter().enumerate() {
+        let ast = idlog_core::parse_program(src, &interner).unwrap();
+        let output = ast.clauses[0].head[0].atom.pred.base();
+        let output_name = interner.resolve(output);
+        let rewritten = to_id_program(&ast, output);
+        let dbs = random_databases(&interner, schema, &["a", "b", "c"], 6, 100 + k as u64);
+        let rep =
+            q_equivalent_on(&ast, &rewritten, &interner, &dbs, &output_name, &budget).unwrap();
+        r.row(
+            &format!("family #{k} on {} random dbs", rep.databases_checked),
+            if rep.equivalent {
+                "equivalent"
+            } else {
+                "DIFFERENT"
+            },
+        );
+        ok &= rep.equivalent;
+    }
+    r.verdict(
+        ok,
+        "ID-rewrites preserved every query (Theorem 4 empirically)",
+    );
+}
+
+/// E13 (Theorems 5/6): TM→IDLOG compilation agrees with native simulation.
+fn e13(r: &Report) {
+    r.section(
+        "e13",
+        "compiled (N)TMs have the same outcome sets as native simulation",
+    );
+    use idlog_gtm::{compile_tm, explore, queries, Outcome, RunBudget};
+    let budget = EnumBudget::default();
+    let mut ok = true;
+
+    // Deterministic: successor over several inputs.
+    let tm = queries::successor();
+    let compiled = compile_tm(&tm, 8, 8);
+    for input in [vec![1u8], vec![2], vec![2, 2], vec![1, 2, 2]] {
+        let tapes = compiled.accepting_tapes(&input, &budget).unwrap();
+        ok &= tapes.len() == 1;
+    }
+    r.row(
+        "successor machine (4 inputs)",
+        if ok { "agrees" } else { "DIFFERS" },
+    );
+
+    // Non-deterministic: two branch points → 4 outcomes.
+    let tm = idlog_gtm::TmBuilder::new(3, 3, 0, 2)
+        .on(0, 0, 1, idlog_gtm::Move::Right, 1)
+        .on(0, 0, 2, idlog_gtm::Move::Right, 1)
+        .on(1, 0, 1, idlog_gtm::Move::Stay, 2)
+        .on(1, 0, 2, idlog_gtm::Move::Stay, 2)
+        .build()
+        .unwrap();
+    let native = explore(&tm, &[], &RunBudget::default())
+        .unwrap()
+        .iter()
+        .filter(|o| matches!(o, Outcome::Accepted(_)))
+        .count();
+    let compiled = compile_tm(&tm, 3, 3);
+    let tapes = compiled.accepting_tapes(&[], &budget).unwrap();
+    r.row(
+        "NTM outcomes native / compiled (expect 4 / 4)",
+        format!("{native} / {}", tapes.len()),
+    );
+    ok &= native == 4 && tapes.len() == 4;
+    r.verdict(ok, "bounded Theorem 6 construction reproduces outcome sets");
+}
+
+/// E14 (§2.2): the binding-pattern safety discipline.
+fn e14(r: &Report) {
+    r.section(
+        "e14",
+        "plus(N, L, M) rejected, plus(L, M, N) accepted (paper's p1/p2)",
+    );
+    let bad = ValidatedProgram::parse(
+        "q(a, 1). p1(X, N) :- q(X, N), plus(N, L, M).",
+        Arc::new(Interner::new()),
+    );
+    let good = ValidatedProgram::parse(
+        "q(a, 1). p2(X, N) :- q(X, N), plus(L, M, N).",
+        Arc::new(Interner::new()),
+    );
+    r.row(
+        "p1 (pattern bnn)",
+        if bad.is_err() { "rejected" } else { "ACCEPTED" },
+    );
+    r.row(
+        "p2 (pattern nnb)",
+        if good.is_ok() { "accepted" } else { "REJECTED" },
+    );
+    r.verdict(
+        bad.is_err() && good.is_ok(),
+        "matches the paper's safety example",
+    );
+}
+
+/// E15 (footnotes 6/7, extension): the tid-bound analysis shrinks the
+/// enumeration walk from factorial to falling-factorial without changing
+/// the answer set.
+fn e15(r: &Report) {
+    r.section(
+        "e15",
+        "`T < n` bounds observable tids: enumeration walks k-prefix arrangements \
+         (n·(n-1)·…) instead of full permutations (m!)",
+    );
+    let interner = Arc::new(Interner::new());
+    println!(
+        "  {:>6} {:>18} {:>18} {:>10}",
+        "group", "bounded_models", "full_models", "answers"
+    );
+    let mut ok = true;
+    for emps in [4usize, 5, 6, 7] {
+        let db = emp_db(&interner, 1, emps);
+        let budget = EnumBudget {
+            max_models: 10_000_000,
+            max_answers: 1_000_000,
+        };
+
+        // Bounded: `pick(N) :- emp[2](N, D, T), T < 2` — only tids < 2 observable.
+        let bounded = Query::parse_with_interner(
+            "pick(N) :- emp[2](N, D, T), T < 2.",
+            "pick",
+            Arc::clone(&interner),
+        )
+        .unwrap();
+        let a = bounded.all_answers(&db, &budget).unwrap();
+
+        // Full walk: semantically identical query with the tid exposed
+        // through a helper, defeating the bound analysis.
+        let full = Query::parse_with_interner(
+            "expose(N, T) :- emp[2](N, D, T).\npick(N) :- expose(N, T), T < 2.",
+            "pick",
+            Arc::clone(&interner),
+        )
+        .unwrap();
+        let b = full.all_answers(&db, &budget).unwrap();
+
+        println!(
+            "  {emps:>6} {:>18} {:>18} {:>10}",
+            a.models_explored(),
+            b.models_explored(),
+            a.len()
+        );
+        let falling: u64 = (emps as u64) * (emps as u64 - 1);
+        let factorial: u64 = (1..=emps as u64).product();
+        ok &= a.models_explored() == falling
+            && b.models_explored() == factorial
+            && a.same_answers(&b, &interner)
+            && a.complete()
+            && b.complete();
+    }
+    r.verdict(ok, "identical answer sets; walk shrinks from m! to m(m-1)");
+}
+
+/// E16 (intro claim via \[She90b\]): tids add deterministic expressive power
+/// — counting. Cardinality parity through an empty-grouping ID-relation is
+/// the same in every perfect model.
+fn e16(r: &Report) {
+    r.section(
+        "e16",
+        "cardinality parity via tids: one answer across all n! tid assignments, \
+         correct for every n (inexpressible in DATALOG(¬))",
+    );
+    let src = "
+        numbered(X, T) :- person[](X, T).
+        has(T) :- numbered(X, T).
+        even_upto(0) :- has(0).
+        odd_upto(T2) :- even_upto(T), succ(T, T2), has(T2).
+        even_upto(T2) :- odd_upto(T), succ(T, T2), has(T2).
+        top(T) :- has(T), succ(T, T2), not has(T2).
+        even_card :- top(T), odd_upto(T).
+        some :- person(X).
+        empty :- not some.
+        even_card :- empty.
+    ";
+    let q = Query::parse(src, "even_card").unwrap();
+    let mut ok = true;
+    print!("  parity(n) for n=0..5:");
+    for n in 0..6usize {
+        let mut db = Database::with_interner(Arc::clone(q.interner()));
+        for k in 0..n {
+            db.insert_syms("person", &[&format!("p{k}")]).unwrap();
+        }
+        let answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+        let deterministic = answers.len() == 1;
+        let is_even = !answers.iter().next().unwrap().is_empty();
+        print!(" {}", if is_even { "even" } else { "odd" });
+        ok &= deterministic && (is_even == (n % 2 == 0));
+    }
+    println!();
+    r.verdict(ok, "single correct answer at every size despite n! models");
+}
+
+fn run_and_stats(
+    ast: &idlog_core::Program,
+    interner: &Arc<Interner>,
+    db: &Database,
+    output: &str,
+) -> (idlog_core::Relation, idlog_core::EvalStats) {
+    let v = ValidatedProgram::new(ast.clone(), Arc::clone(interner)).unwrap();
+    let q = Query::new(v, output).unwrap();
+    q.eval_with_stats(db, &mut idlog_core::CanonicalOracle)
+        .unwrap()
+}

@@ -1,0 +1,179 @@
+//! The paper's syntactic conditions on DATALOG^C programs.
+//!
+//! * **C1** — every clause contains at most one choice operator.
+//! * **C2** — a clause containing a choice operator is not *related to* the
+//!   head predicate of another clause that contains a choice operator
+//!   (relatedness as in the paper's `P/q`: the clause's head transitively
+//!   contributes to the predicate).
+//!
+//! We additionally check that no choice clause is recursive through its own
+//! head predicate; the paper's footnote concedes that the \[KN88\] semantics
+//! "does not seem to be appropriate for all DATALOG^C programs", and both the
+//! direct semantics and the Theorem 2 translation need this exclusion to be
+//! well-defined.
+
+use idlog_common::{FxHashSet, Interner, SymbolId};
+use idlog_parser::{Literal, Program};
+
+use crate::error::{ChoiceError, ChoiceResult};
+
+/// Predicates that (transitively) contribute to `q`: the heads of `P/q`.
+fn reachable(program: &Program, q: SymbolId) -> FxHashSet<SymbolId> {
+    let mut wanted: FxHashSet<SymbolId> = FxHashSet::default();
+    wanted.insert(q);
+    loop {
+        let mut changed = false;
+        for clause in &program.clauses {
+            let head = clause.head[0].atom.pred.base();
+            if wanted.contains(&head) {
+                for lit in &clause.body {
+                    if let Some(a) = lit.atom() {
+                        changed |= wanted.insert(a.pred.base());
+                    }
+                    if let Literal::Choice { .. } = lit {
+                        // Choice has no predicate.
+                    }
+                }
+            }
+        }
+        if !changed {
+            return wanted;
+        }
+    }
+}
+
+/// Check C1, C2, and the no-self-recursion condition for a DATALOG^C
+/// program (single positive heads assumed — the parser accepts more, the
+/// caller's engine validates that part).
+pub fn check_conditions(program: &Program, interner: &Interner) -> ChoiceResult<()> {
+    // C1 plus collect choice clauses.
+    let mut choice_clauses: Vec<(usize, SymbolId)> = Vec::new();
+    for (ci, clause) in program.clauses.iter().enumerate() {
+        let n = clause
+            .body
+            .iter()
+            .filter(|l| matches!(l, Literal::Choice { .. }))
+            .count();
+        if n > 1 {
+            return Err(ChoiceError::C1Violation { clause: ci });
+        }
+        if n == 1 {
+            choice_clauses.push((ci, clause.head[0].atom.pred.base()));
+        }
+    }
+
+    // C2: for distinct choice clauses i, j: head(i) must not contribute to
+    // head(j) (clause i ∉ P/head(j)).
+    for &(_, pi) in &choice_clauses {
+        for &(_, pj) in &choice_clauses {
+            if pi == pj {
+                continue;
+            }
+            if reachable(program, pj).contains(&pi) {
+                return Err(ChoiceError::C2Violation {
+                    first: interner.resolve(pi),
+                    second: interner.resolve(pj),
+                });
+            }
+        }
+    }
+    // Two choice clauses with the same head violate C2 as well (each is
+    // trivially related to the other's head).
+    for (k, &(_, pi)) in choice_clauses.iter().enumerate() {
+        for &(_, pj) in &choice_clauses[k + 1..] {
+            if pi == pj {
+                return Err(ChoiceError::C2Violation {
+                    first: interner.resolve(pi),
+                    second: interner.resolve(pj),
+                });
+            }
+        }
+    }
+
+    // No recursion through a choice clause's own head: the head must not be
+    // reachable from the clause's own body.
+    for &(ci, head) in &choice_clauses {
+        for lit in &program.clauses[ci].body {
+            if let Some(a) = lit.atom() {
+                if reachable(program, a.pred.base()).contains(&head) {
+                    return Err(ChoiceError::ChoiceRecursion {
+                        pred: interner.resolve(head),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idlog_parser::parse_program;
+
+    fn check(src: &str) -> ChoiceResult<()> {
+        let i = Interner::new();
+        let p = parse_program(src, &i).unwrap();
+        check_conditions(&p, &i)
+    }
+
+    #[test]
+    fn paper_select_emp_is_fine() {
+        check("select_emp(N) :- emp(N, D), choice((D), (N)).").unwrap();
+    }
+
+    #[test]
+    fn two_independent_choices_are_fine() {
+        // Paper Example 5's (incorrect but legal) two-sample program.
+        check(
+            "emp1(N, D) :- emp(N, D), choice((D), (N)).
+             emp2(N, D) :- emp(N, D), choice((D), (N)).
+             two(N1) :- emp1(N1, D), emp2(N2, D), N1 != N2.",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn c1_two_choices_in_one_clause() {
+        let err = check("s(N) :- emp(N, D), choice((D), (N)), choice((N), (D)).").unwrap_err();
+        assert!(matches!(err, ChoiceError::C1Violation { .. }));
+    }
+
+    #[test]
+    fn c2_chained_choice_clauses() {
+        // q's choice clause body uses p, which is defined with choice:
+        // clause for q is related to p's head.
+        let err = check(
+            "p(X) :- base(X, Y), choice((X), (Y)).
+             q(X) :- p(X), other(X, Y), choice((X), (Y)).",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ChoiceError::C2Violation { .. }));
+    }
+
+    #[test]
+    fn c2_same_head_twice() {
+        let err = check(
+            "p(X) :- a(X, Y), choice((X), (Y)).
+             p(X) :- b(X, Y), choice((X), (Y)).",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ChoiceError::C2Violation { .. }));
+    }
+
+    #[test]
+    fn self_recursive_choice_rejected() {
+        let err = check("p(X) :- p(Y), e(Y, X), choice((Y), (X)).").unwrap_err();
+        assert!(matches!(err, ChoiceError::ChoiceRecursion { .. }));
+    }
+
+    #[test]
+    fn recursion_without_choice_is_fine() {
+        check(
+            "tc(X, Y) :- e(X, Y).
+             tc(X, Y) :- e(X, Z), tc(Z, Y).
+             s(X) :- tc(X, Y), choice((X), (Y)).",
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,733 @@
+//! Top-down SLD evaluation of DATALOG with cut.
+//!
+//! The paper's §4 closes with: "The relationship between choice and cut in
+//! top-down evaluation was also discussed in \[KN88\]. It is known that every
+//! DATALOG program with cut has an equivalent DATALOG^C program. Since IDLOG
+//! subsumes DATALOG^C, it means that cut can be expressed in IDLOG as well."
+//!
+//! This module supplies the missing substrate: a Prolog-style SLD resolution
+//! interpreter over DATALOG (clauses tried in source order, body literals
+//! left to right, negation as failure, arithmetic builtins) with `!` pruning
+//! the choice points of the enclosing call. The cross-language tests then
+//! demonstrate the containment the remark rests on: a cut program's answer
+//! is one of the intended models of the corresponding choice program, which
+//! in turn equals an IDLOG answer (Theorem 2).
+//!
+//! Left-recursive programs can loop in top-down evaluation (no tabling); a
+//! step budget turns the loop into an error.
+
+use std::sync::Arc;
+
+use idlog_common::{FxHashMap, Interner, SymbolId, Tuple, Value};
+use idlog_core::builtins;
+use idlog_parser::{Atom, Builtin, Literal, Program, Term};
+use idlog_storage::{Database, Relation};
+
+use crate::error::{ChoiceError, ChoiceResult};
+
+/// A validated DATALOG-with-cut program.
+#[derive(Debug, Clone)]
+pub struct CutProgram {
+    interner: Arc<Interner>,
+    ast: Program,
+    /// Clause indices per head predicate, in source order.
+    by_head: FxHashMap<SymbolId, Vec<usize>>,
+    arities: FxHashMap<SymbolId, usize>,
+}
+
+/// Budget for one query.
+#[derive(Debug, Clone, Copy)]
+pub struct CutBudget {
+    /// Maximum resolution steps (clause activations).
+    pub max_steps: u64,
+    /// Maximum call depth.
+    pub max_depth: usize,
+}
+
+impl Default for CutBudget {
+    fn default() -> Self {
+        CutBudget {
+            max_steps: 1_000_000,
+            max_depth: 10_000,
+        }
+    }
+}
+
+impl CutProgram {
+    /// Validate `ast` as DATALOG with cut: single positive ordinary heads,
+    /// no ID-atoms, no choice.
+    pub fn new(ast: Program, interner: Arc<Interner>) -> ChoiceResult<Self> {
+        let mut by_head: FxHashMap<SymbolId, Vec<usize>> = FxHashMap::default();
+        let mut arities: FxHashMap<SymbolId, usize> = FxHashMap::default();
+        for (ci, clause) in ast.clauses.iter().enumerate() {
+            if clause.head.len() != 1 || clause.head[0].negated {
+                return Err(ChoiceError::Invalid {
+                    clause: ci,
+                    message: "cut programs have single positive heads".into(),
+                });
+            }
+            let head = &clause.head[0].atom;
+            if head.pred.is_id_version() {
+                return Err(ChoiceError::Invalid {
+                    clause: ci,
+                    message: "ID-atoms belong to IDLOG".into(),
+                });
+            }
+            for l in &clause.body {
+                if matches!(l, Literal::Choice { .. }) {
+                    return Err(ChoiceError::Invalid {
+                        clause: ci,
+                        message: "cut programs may not also contain choice".into(),
+                    });
+                }
+                if let Some(a) = l.atom() {
+                    if a.pred.is_id_version() {
+                        return Err(ChoiceError::Invalid {
+                            clause: ci,
+                            message: "ID-atoms belong to IDLOG".into(),
+                        });
+                    }
+                }
+            }
+            let mut check = |pred: SymbolId, arity: usize| -> ChoiceResult<()> {
+                match arities.get(&pred) {
+                    Some(&a) if a != arity => Err(ChoiceError::Invalid {
+                        clause: ci,
+                        message: format!(
+                            "predicate {} used with arities {a} and {arity}",
+                            interner.resolve(pred)
+                        ),
+                    }),
+                    _ => {
+                        arities.insert(pred, arity);
+                        Ok(())
+                    }
+                }
+            };
+            check(head.pred.base(), head.terms.len())?;
+            for l in &clause.body {
+                if let Some(a) = l.atom() {
+                    check(a.pred.base(), a.terms.len())?;
+                }
+            }
+            by_head.entry(head.pred.base()).or_default().push(ci);
+        }
+        Ok(CutProgram {
+            interner,
+            ast,
+            by_head,
+            arities,
+        })
+    }
+
+    /// Parse and validate.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use idlog_choice::{CutBudget, CutProgram};
+    /// use idlog_core::Interner;
+    /// use idlog_storage::Database;
+    ///
+    /// let prog = CutProgram::parse(
+    ///     "first(X) :- item(X), !.",
+    ///     Arc::new(Interner::new()),
+    /// ).unwrap();
+    /// let mut db = Database::with_interner(Arc::clone(prog.interner()));
+    /// db.insert_syms("item", &["b"]).unwrap();
+    /// db.insert_syms("item", &["a"]).unwrap();
+    ///
+    /// // The cut commits to the first derivation (canonical EDB order).
+    /// let rel = prog.all_solutions(&db, "first", &CutBudget::default()).unwrap();
+    /// assert_eq!(rel.len(), 1);
+    /// ```
+    pub fn parse(src: &str, interner: Arc<Interner>) -> ChoiceResult<Self> {
+        let ast = idlog_parser::parse_program(src, &interner)?;
+        Self::new(ast, interner)
+    }
+
+    /// The shared interner.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
+    }
+
+    /// All solutions of `?- output(V…)` in derivation order (cuts applied),
+    /// deduplicated into a relation.
+    pub fn all_solutions(
+        &self,
+        db: &Database,
+        output: &str,
+        budget: &CutBudget,
+    ) -> ChoiceResult<Relation> {
+        self.solutions(db, output, budget, None)
+    }
+
+    /// The first solution only (stops the search after one answer) — the
+    /// usual way cut programs are run.
+    pub fn first_solution(
+        &self,
+        db: &Database,
+        output: &str,
+        budget: &CutBudget,
+    ) -> ChoiceResult<Option<Tuple>> {
+        let rel = self.solutions(db, output, budget, Some(1))?;
+        let first = rel.iter().next().cloned();
+        Ok(first)
+    }
+
+    fn solutions(
+        &self,
+        db: &Database,
+        output: &str,
+        budget: &CutBudget,
+        limit: Option<usize>,
+    ) -> ChoiceResult<Relation> {
+        let pred = self
+            .interner
+            .get(output)
+            .filter(|p| self.arities.contains_key(p) || db.relation(output).is_some())
+            .ok_or_else(|| ChoiceError::Invalid {
+                clause: 0,
+                message: format!("output predicate {output} does not occur"),
+            })?;
+        let arity = self
+            .arities
+            .get(&pred)
+            .copied()
+            .or_else(|| db.relation(output).map(|r| r.arity()))
+            .expect("filtered above");
+
+        let mut machine = Machine {
+            prog: self,
+            db,
+            cells: Vec::new(),
+            steps: 0,
+            budget: *budget,
+            results: Vec::new(),
+            limit,
+        };
+        // Fresh query variables.
+        let base = machine.alloc(arity);
+        let args: Vec<Slot> = (0..arity).map(|k| Slot::Var(base + k)).collect();
+        machine.solve_call(pred, &args, 0, &mut |m| {
+            let tuple: Tuple = args
+                .iter()
+                .map(|s| m.deref(*s).expect("query answer must be ground"))
+                .collect();
+            m.results.push(tuple);
+            if m.limit.is_some_and(|l| m.results.len() >= l) {
+                Sig::CutTo(0) // stop the whole search
+            } else {
+                Sig::More
+            }
+        })?;
+
+        let mut rel = match machine.results.first() {
+            Some(t) => Relation::new(idlog_common::RelType::new(
+                t.values().iter().map(|v| v.sort()).collect(),
+            )),
+            None => Relation::elementary(arity),
+        };
+        for t in machine.results {
+            rel.insert(t).map_err(|e| ChoiceError::Core(e.into()))?;
+        }
+        Ok(rel)
+    }
+}
+
+/// A runtime term: a binding slot or a ground value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Var(usize),
+    Val(Value),
+}
+
+/// One binding cell: unbound, bound to a value, or linked to another cell
+/// (variable-variable unification). Links always point to *older* (lower)
+/// indices so truncating an activation's slots never dangles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cell {
+    Free,
+    Val(Value),
+    Link(usize),
+}
+
+/// Backtracking signal: keep enumerating, or prune to (and including) the
+/// call at the given barrier depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sig {
+    More,
+    CutTo(usize),
+}
+
+struct Machine<'a> {
+    prog: &'a CutProgram,
+    db: &'a Database,
+    cells: Vec<Cell>,
+    steps: u64,
+    budget: CutBudget,
+    results: Vec<Tuple>,
+    limit: Option<usize>,
+}
+
+type Cont<'m> = dyn FnMut(&mut Machine<'_>) -> Sig + 'm;
+
+impl Machine<'_> {
+    fn alloc(&mut self, n: usize) -> usize {
+        let base = self.cells.len();
+        self.cells.resize(base + n, Cell::Free);
+        base
+    }
+
+    /// Follow links to the representative: a value or a free variable slot.
+    fn walk(&self, s: Slot) -> Slot {
+        let mut s = s;
+        loop {
+            match s {
+                Slot::Val(_) => return s,
+                Slot::Var(i) => match self.cells[i] {
+                    Cell::Free => return s,
+                    Cell::Val(v) => return Slot::Val(v),
+                    Cell::Link(j) => s = Slot::Var(j),
+                },
+            }
+        }
+    }
+
+    fn deref(&self, s: Slot) -> Option<Value> {
+        match self.walk(s) {
+            Slot::Val(v) => Some(v),
+            Slot::Var(_) => None,
+        }
+    }
+
+    /// Unify two runtime terms, trailing changed cells.
+    fn unify(&mut self, a: Slot, b: Slot, trail: &mut Vec<usize>) -> bool {
+        match (self.walk(a), self.walk(b)) {
+            (Slot::Val(x), Slot::Val(y)) => x == y,
+            (Slot::Var(i), Slot::Val(v)) | (Slot::Val(v), Slot::Var(i)) => {
+                self.cells[i] = Cell::Val(v);
+                trail.push(i);
+                true
+            }
+            (Slot::Var(i), Slot::Var(j)) => {
+                if i != j {
+                    // Link the younger to the older so truncation is safe.
+                    let (young, old) = if i > j { (i, j) } else { (j, i) };
+                    self.cells[young] = Cell::Link(old);
+                    trail.push(young);
+                }
+                true
+            }
+        }
+    }
+
+    fn undo(&mut self, trail: &[usize]) {
+        for &i in trail {
+            self.cells[i] = Cell::Free;
+        }
+    }
+
+    /// Resolve a clause term to a slot under an activation base.
+    fn slot_of(term: &Term, vars: &FxHashMap<&str, usize>, base: usize) -> Slot {
+        match term {
+            Term::Var(v) => Slot::Var(base + vars[v.as_str()]),
+            Term::Sym(s) => Slot::Val(Value::Sym(*s)),
+            Term::Int(n) => Slot::Val(Value::Int(*n)),
+        }
+    }
+
+    fn bump(&mut self) -> ChoiceResult<()> {
+        self.steps += 1;
+        if self.steps > self.budget.max_steps {
+            return Err(ChoiceError::Core(idlog_core::CoreError::BudgetExceeded {
+                what: format!("{} SLD steps", self.budget.max_steps),
+            }));
+        }
+        Ok(())
+    }
+
+    /// Prove `pred(args…)`, invoking `cont` at every solution. `depth` is
+    /// the call depth; cuts in bodies activated here carry barrier
+    /// `depth + 1`.
+    fn solve_call(
+        &mut self,
+        pred: SymbolId,
+        args: &[Slot],
+        depth: usize,
+        cont: &mut Cont<'_>,
+    ) -> ChoiceResult<Sig> {
+        if depth >= self.budget.max_depth {
+            return Err(ChoiceError::Core(idlog_core::CoreError::BudgetExceeded {
+                what: format!("SLD depth {}", self.budget.max_depth),
+            }));
+        }
+
+        // Database facts first (EDB), in canonical order for determinism.
+        if let Some(rel) = self.db.relation_by_id(pred) {
+            let tuples = rel.sorted_canonical(&self.prog.interner);
+            for t in tuples {
+                self.bump()?;
+                let mut trail = Vec::new();
+                let ok = args
+                    .iter()
+                    .zip(t.values())
+                    .all(|(&s, &v)| self.unify(s, Slot::Val(v), &mut trail));
+                let sig = if ok { cont(self) } else { Sig::More };
+                self.undo(&trail);
+                if let Sig::CutTo(b) = sig {
+                    return Ok(Sig::CutTo(b));
+                }
+            }
+        }
+
+        // Program clauses in source order.
+        let clause_ids = self.prog.by_head.get(&pred).cloned().unwrap_or_default();
+        for ci in clause_ids {
+            self.bump()?;
+            let clause = &self.prog.ast.clauses[ci];
+            let names = clause.variables();
+            let vars: FxHashMap<&str, usize> =
+                names.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+            let base = self.alloc(names.len());
+
+            let mut trail = Vec::new();
+            let head = clause.single_head();
+            let ok = args.iter().zip(&head.terms).all(|(&s, term)| {
+                let t = Self::slot_of(term, &vars, base);
+                self.unify(s, t, &mut trail)
+            });
+            let sig = if ok {
+                self.solve_body(clause, &vars, base, depth, 0, cont)?
+            } else {
+                Sig::More
+            };
+            self.undo(&trail);
+            self.cells.truncate(base);
+            match sig {
+                Sig::More => {}
+                // A cut whose barrier is this call: consume it (stop trying
+                // further clauses) but let the caller continue normally.
+                Sig::CutTo(b) if b > depth => return Ok(Sig::More),
+                Sig::CutTo(b) => return Ok(Sig::CutTo(b)),
+            }
+        }
+        Ok(Sig::More)
+    }
+
+    /// Prove the body literals of `clause` from index `li` on.
+    fn solve_body(
+        &mut self,
+        clause: &idlog_parser::Clause,
+        vars: &FxHashMap<&str, usize>,
+        base: usize,
+        depth: usize,
+        li: usize,
+        cont: &mut Cont<'_>,
+    ) -> ChoiceResult<Sig> {
+        if li == clause.body.len() {
+            return Ok(cont(self));
+        }
+        match &clause.body[li] {
+            Literal::Pos(atom) => {
+                let args: Vec<Slot> = atom
+                    .terms
+                    .iter()
+                    .map(|t| Self::slot_of(t, vars, base))
+                    .collect();
+                let mut err: Option<ChoiceError> = None;
+                let sig = {
+                    let mut k = |m: &mut Machine<'_>| -> Sig {
+                        match m.solve_body(clause, vars, base, depth, li + 1, &mut *cont) {
+                            Ok(sig) => sig,
+                            Err(e) => {
+                                err = Some(e);
+                                Sig::CutTo(0)
+                            }
+                        }
+                    };
+                    self.solve_call(atom.pred.base(), &args, depth + 1, &mut k)?
+                };
+                if let Some(e) = err {
+                    return Err(e);
+                }
+                Ok(sig)
+            }
+            Literal::Neg(atom) => {
+                if self.prove_once(atom, vars, base, depth)? {
+                    Ok(Sig::More)
+                } else {
+                    self.solve_body(clause, vars, base, depth, li + 1, cont)
+                }
+            }
+            Literal::Cut => {
+                let sig = self.solve_body(clause, vars, base, depth, li + 1, cont)?;
+                match sig {
+                    Sig::More => Ok(Sig::CutTo(depth + 1)),
+                    cut => Ok(cut),
+                }
+            }
+            Literal::Builtin { op, args } => {
+                let slots: Vec<Slot> = args.iter().map(|t| Self::slot_of(t, vars, base)).collect();
+                self.solve_builtin(clause, vars, base, depth, li, *op, &slots, cont)
+            }
+            Literal::Choice { .. } => unreachable!("validated away"),
+        }
+    }
+
+    /// Negation as failure: succeed iff the (ground) atom has no proof.
+    fn prove_once(
+        &mut self,
+        atom: &Atom,
+        vars: &FxHashMap<&str, usize>,
+        base: usize,
+        depth: usize,
+    ) -> ChoiceResult<bool> {
+        let args: Vec<Slot> = atom
+            .terms
+            .iter()
+            .map(|t| Self::slot_of(t, vars, base))
+            .collect();
+        if args.iter().any(|&s| self.deref(s).is_none()) {
+            return Err(ChoiceError::Core(idlog_core::CoreError::Eval {
+                message: "negation-as-failure on a non-ground goal".into(),
+            }));
+        }
+        let mut proved = false;
+        self.solve_call(atom.pred.base(), &args, depth + 1, &mut |_m| {
+            proved = true;
+            Sig::CutTo(0) // abandon the sub-proof entirely
+        })?;
+        Ok(proved)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn solve_builtin(
+        &mut self,
+        clause: &idlog_parser::Clause,
+        vars: &FxHashMap<&str, usize>,
+        base: usize,
+        depth: usize,
+        li: usize,
+        op: Builtin,
+        slots: &[Slot],
+        cont: &mut Cont<'_>,
+    ) -> ChoiceResult<Sig> {
+        // `=`/`!=` on any sort.
+        if matches!(op, Builtin::Eq | Builtin::Ne) {
+            let a = self.deref(slots[0]);
+            let b = self.deref(slots[1]);
+            return match (a, b) {
+                (Some(x), Some(y)) => {
+                    if builtins::eq_check(op, x, y) {
+                        self.solve_body(clause, vars, base, depth, li + 1, cont)
+                    } else {
+                        Ok(Sig::More)
+                    }
+                }
+                (_, _) if op == Builtin::Eq => {
+                    // Unify the two sides (covers var=val and var=var).
+                    let mut trail = Vec::new();
+                    let sig = if self.unify(slots[0], slots[1], &mut trail) {
+                        self.solve_body(clause, vars, base, depth, li + 1, cont)?
+                    } else {
+                        Sig::More
+                    };
+                    self.undo(&trail);
+                    Ok(sig)
+                }
+                _ => Err(ChoiceError::Core(idlog_core::CoreError::Eval {
+                    message: "insufficiently bound disequality".into(),
+                })),
+            };
+        }
+        let ints: Vec<Option<i64>> = slots
+            .iter()
+            .map(|&s| self.deref(s).and_then(Value::as_int))
+            .collect();
+        // A bound non-integer can never satisfy arithmetic.
+        for (&s, i) in slots.iter().zip(&ints) {
+            if i.is_none() && matches!(self.deref(s), Some(Value::Sym(_))) {
+                return Ok(Sig::More);
+            }
+        }
+        let sols = builtins::solve(op, &ints).map_err(ChoiceError::Core)?;
+        for sol in sols {
+            let mut trail = Vec::new();
+            let ok = slots
+                .iter()
+                .zip(&sol)
+                .all(|(&s, &v)| self.unify(s, Slot::Val(Value::Int(v)), &mut trail));
+            let sig = if ok {
+                self.solve_body(clause, vars, base, depth, li + 1, cont)?
+            } else {
+                Sig::More
+            };
+            self.undo(&trail);
+            if let Sig::CutTo(b) = sig {
+                return Ok(Sig::CutTo(b));
+            }
+        }
+        Ok(Sig::More)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(src: &str, facts: &[(&str, &[&str])]) -> (CutProgram, Database) {
+        let interner = Arc::new(Interner::new());
+        let prog = CutProgram::parse(src, Arc::clone(&interner)).unwrap();
+        let mut db = Database::with_interner(interner);
+        for (pred, cols) in facts {
+            db.insert_syms(pred, cols).unwrap();
+        }
+        (prog, db)
+    }
+
+    fn names(prog: &CutProgram, rel: &Relation) -> Vec<String> {
+        let mut v: Vec<String> = rel
+            .iter()
+            .map(|t| {
+                t.values()
+                    .iter()
+                    .map(|x| x.display(prog.interner()).to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn plain_sld_finds_all_solutions() {
+        let (prog, db) = setup(
+            "anc(X, Y) :- par(X, Y).
+             anc(X, Y) :- par(X, Z), anc(Z, Y).",
+            &[("par", &["a", "b"]), ("par", &["b", "c"])],
+        );
+        let rel = prog
+            .all_solutions(&db, "anc", &CutBudget::default())
+            .unwrap();
+        assert_eq!(names(&prog, &rel), ["a,b", "a,c", "b,c"]);
+    }
+
+    #[test]
+    fn cut_commits_to_the_first_clause() {
+        // Classic if-then-else, driven per person so each status(...) call
+        // has a bound argument: special for VIPs (cut commits), normal
+        // otherwise.
+        let (prog, db) = setup(
+            "result(X, S) :- person(X), status(X, S).
+             status(X, special) :- vip(X), !.
+             status(X, normal) :- person(X).",
+            &[("person", &["a"]), ("person", &["b"]), ("vip", &["a"])],
+        );
+        let rel = prog
+            .all_solutions(&db, "result", &CutBudget::default())
+            .unwrap();
+        assert_eq!(names(&prog, &rel), ["a,special", "b,normal"]);
+    }
+
+    #[test]
+    fn toplevel_cut_prunes_the_whole_query() {
+        // With the query variable unbound, the cut in clause 1 commits the
+        // whole status(X, S) call to its first derivation — exactly
+        // Prolog's behaviour.
+        let (prog, db) = setup(
+            "status(X, special) :- vip(X), !.
+             status(X, normal) :- person(X).",
+            &[("person", &["a"]), ("person", &["b"]), ("vip", &["a"])],
+        );
+        let rel = prog
+            .all_solutions(&db, "status", &CutBudget::default())
+            .unwrap();
+        assert_eq!(names(&prog, &rel), ["a,special"]);
+    }
+
+    #[test]
+    fn cut_prunes_within_one_call_only() {
+        // first(X) :- item(X), !. — one item, but which one depends on
+        // derivation order (canonical EDB order here: the least).
+        let (prog, db) = setup(
+            "first(X) :- item(X), !.",
+            &[("item", &["b"]), ("item", &["a"]), ("item", &["c"])],
+        );
+        let rel = prog
+            .all_solutions(&db, "first", &CutBudget::default())
+            .unwrap();
+        assert_eq!(names(&prog, &rel), ["a"], "canonical order puts a first");
+    }
+
+    #[test]
+    fn negation_as_failure() {
+        let (prog, db) = setup(
+            "bachelor(X) :- person(X), not married(X).",
+            &[("person", &["a"]), ("person", &["b"]), ("married", &["a"])],
+        );
+        let rel = prog
+            .all_solutions(&db, "bachelor", &CutBudget::default())
+            .unwrap();
+        assert_eq!(names(&prog, &rel), ["b"]);
+    }
+
+    #[test]
+    fn arithmetic_in_bodies() {
+        let (prog, mut db) = setup("double(X, Y) :- num(X), plus(X, X, Y).", &[]);
+        db.insert("num", Tuple::new(vec![Value::Int(3)])).unwrap();
+        db.insert("num", Tuple::new(vec![Value::Int(5)])).unwrap();
+        let rel = prog
+            .all_solutions(&db, "double", &CutBudget::default())
+            .unwrap();
+        assert_eq!(names(&prog, &rel), ["3,6", "5,10"]);
+    }
+
+    #[test]
+    fn first_solution_stops_early() {
+        let (prog, db) = setup(
+            "pick(X) :- item(X).",
+            &[("item", &["a"]), ("item", &["b"]), ("item", &["c"])],
+        );
+        let t = prog
+            .first_solution(&db, "pick", &CutBudget::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(t.display(prog.interner()).to_string(), "(a)");
+    }
+
+    #[test]
+    fn left_recursion_hits_the_budget() {
+        let (prog, db) = setup(
+            "p(X) :- p(X).
+             p(X) :- item(X).",
+            &[("item", &["a"])],
+        );
+        let budget = CutBudget {
+            max_steps: 10_000,
+            max_depth: 64,
+        };
+        assert!(prog.all_solutions(&db, "p", &budget).is_err());
+    }
+
+    #[test]
+    fn rejects_choice_and_id_atoms() {
+        let i = Arc::new(Interner::new());
+        assert!(CutProgram::parse("p(X) :- q(X, Y), choice((X), (Y)).", Arc::clone(&i)).is_err());
+        assert!(CutProgram::parse("p(X) :- q[](X, 0).", i).is_err());
+    }
+
+    #[test]
+    fn cut_interacts_with_variable_aliasing() {
+        // Head var flows through an unbound call: exercise var-var links.
+        let (prog, db) = setup(
+            "top(X) :- mid(X).
+             mid(Y) :- item(Y), !.",
+            &[("item", &["z"]), ("item", &["y"])],
+        );
+        let rel = prog
+            .all_solutions(&db, "top", &CutBudget::default())
+            .unwrap();
+        assert_eq!(names(&prog, &rel), ["y"], "canonical order: y before z");
+    }
+}

@@ -1,0 +1,36 @@
+//! DATALOG with choice (DATALOG^C, \[KN88\]) — the baseline non-deterministic
+//! mechanism the paper compares IDLOG against.
+//!
+//! A clause `h :- body, choice((X̄), (Ȳ))` non-deterministically restricts the
+//! body matches to a *functional subset*: for every value of `X̄`, exactly one
+//! `Ȳ` survives. This crate provides:
+//!
+//! * [`checks`] — the paper's syntactic conditions C1 (at most one choice per
+//!   clause) and C2 (no choice clause related to another choice clause's
+//!   head);
+//! * [`eval`] — the KN88 intended-model semantics, implemented exactly as the
+//!   paper describes: minimal model of the translated program `Pᶜ`, then a
+//!   functional subset per choice predicate, then the minimal model with the
+//!   chosen facts fixed;
+//! * [`translate`] — the shared `P → Pᶜ` rewriting (choice literals become
+//!   `ext_choice_i` predicates with defining clauses);
+//! * [`to_idlog`] — the constructive side of **Theorem 2**: every DATALOG^C
+//!   program satisfying C1/C2 (and not recursive through a choice clause's
+//!   own head) has a q-equivalent stratified IDLOG program, built by reading
+//!   each choice predicate's ID-relation at tid 0.
+
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod cut;
+pub mod error;
+pub mod eval;
+pub mod to_idlog;
+pub mod translate;
+
+pub use checks::check_conditions;
+pub use cut::{CutBudget, CutProgram};
+pub use error::{ChoiceError, ChoiceResult};
+pub use eval::{intended_models, one_intended_model, ChoiceBudget};
+pub use to_idlog::to_idlog_source;
+pub use translate::{translate, ChoiceSite, Translated};

@@ -1,0 +1,238 @@
+//! The `P → Pᶜ` rewriting shared by the direct semantics and the IDLOG
+//! translation.
+//!
+//! Each occurrence of `choice((X̄), (Ȳ))` in clause `r` is replaced by a
+//! literal `ext_choice_i(X̄, Ȳ)` over a fresh *choice predicate*, and a
+//! *choice clause* `ext_choice_i(X̄, Ȳ) :- body` (the body of `r` without the
+//! choice operator) is added (\[KN88\], paper §3.2.2).
+
+use std::sync::Arc;
+
+use idlog_common::{Interner, SymbolId};
+use idlog_parser::{Atom, Clause, Literal, Program, Term};
+
+use crate::error::{ChoiceError, ChoiceResult};
+
+/// One rewritten choice occurrence.
+#[derive(Debug, Clone)]
+pub struct ChoiceSite {
+    /// The fresh choice predicate `ext_choice_i`.
+    pub pred: SymbolId,
+    /// Its name (for rendering and oracle keys).
+    pub name: String,
+    /// Number of grouped terms `X̄` (the FD's left side; the first `grouped`
+    /// columns of the choice predicate).
+    pub grouped: usize,
+    /// Number of chosen terms `Ȳ`.
+    pub chosen: usize,
+    /// Index of the clause (in the rewritten program) that *uses* the choice
+    /// predicate.
+    pub use_clause: usize,
+    /// Index of the added choice clause that *defines* it.
+    pub def_clause: usize,
+}
+
+/// A DATALOG^C program rewritten to plain clauses plus choice metadata.
+#[derive(Debug, Clone)]
+pub struct Translated {
+    /// The rewritten program `Pᶜ` (no choice literals).
+    pub program: Program,
+    /// One entry per choice occurrence, in source order.
+    pub sites: Vec<ChoiceSite>,
+    /// The shared interner.
+    pub interner: Arc<Interner>,
+}
+
+/// Rewrite `program`, validating each choice literal structurally: terms
+/// must be variables that occur in an ordinary positive body literal of the
+/// same clause, and grouped/chosen sets must be disjoint.
+pub fn translate(program: &Program, interner: &Arc<Interner>) -> ChoiceResult<Translated> {
+    let mut out_clauses: Vec<Clause> = Vec::new();
+    let mut sites: Vec<ChoiceSite> = Vec::new();
+    let mut counter = 0usize;
+
+    for (ci, clause) in program.clauses.iter().enumerate() {
+        let choice_count = clause
+            .body
+            .iter()
+            .filter(|l| matches!(l, Literal::Choice { .. }))
+            .count();
+        if choice_count == 0 {
+            out_clauses.push(clause.clone());
+            continue;
+        }
+        if choice_count > 1 {
+            return Err(ChoiceError::C1Violation { clause: ci });
+        }
+
+        // Variables positively bound by the ordinary body.
+        let positive_vars: Vec<&str> = clause
+            .body
+            .iter()
+            .filter(|l| matches!(l, Literal::Pos(_)))
+            .flat_map(|l| l.variables())
+            .collect();
+
+        let (grouped, chosen) = clause
+            .body
+            .iter()
+            .find_map(|l| match l {
+                Literal::Choice { grouped, chosen } => Some((grouped.clone(), chosen.clone())),
+                _ => None,
+            })
+            .expect("counted above");
+
+        let mut seen_vars: Vec<&str> = Vec::new();
+        for t in grouped.iter().chain(chosen.iter()) {
+            match t {
+                Term::Var(v) => {
+                    if !positive_vars.contains(&v.as_str()) {
+                        return Err(ChoiceError::Invalid {
+                            clause: ci,
+                            message: format!(
+                                "choice variable {v} does not occur in a positive body literal"
+                            ),
+                        });
+                    }
+                    if seen_vars.contains(&v.as_str()) {
+                        return Err(ChoiceError::Invalid {
+                            clause: ci,
+                            message: format!("choice variable {v} occurs twice in the operator"),
+                        });
+                    }
+                    seen_vars.push(v);
+                }
+                _ => {
+                    return Err(ChoiceError::Invalid {
+                        clause: ci,
+                        message: "choice operands must be variables".into(),
+                    })
+                }
+            }
+        }
+        if chosen.is_empty() {
+            return Err(ChoiceError::Invalid {
+                clause: ci,
+                message: "choice must select at least one variable".into(),
+            });
+        }
+
+        let name = format!("ext_choice_{counter}");
+        counter += 1;
+        let pred = interner.intern(&name);
+        let mut args: Vec<Term> = grouped.clone();
+        args.extend(chosen.iter().cloned());
+        let choice_atom = Atom::ordinary(pred, args);
+
+        // The clause with the operator replaced by the choice literal.
+        let mut use_clause = clause.clone();
+        for l in &mut use_clause.body {
+            if matches!(l, Literal::Choice { .. }) {
+                *l = Literal::Pos(choice_atom.clone());
+            }
+        }
+        // The defining choice clause: same body minus the operator.
+        let def_body: Vec<Literal> = clause
+            .body
+            .iter()
+            .filter(|l| !matches!(l, Literal::Choice { .. }))
+            .cloned()
+            .collect();
+        let def_clause = Clause::new(choice_atom, def_body);
+
+        let use_idx = out_clauses.len();
+        out_clauses.push(use_clause);
+        let def_idx = out_clauses.len();
+        out_clauses.push(def_clause);
+
+        sites.push(ChoiceSite {
+            pred,
+            name,
+            grouped: grouped.len(),
+            chosen: chosen.len(),
+            use_clause: use_idx,
+            def_clause: def_idx,
+        });
+    }
+
+    Ok(Translated {
+        program: Program {
+            clauses: out_clauses,
+        },
+        sites,
+        interner: Arc::clone(interner),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idlog_parser::parse_program;
+
+    fn tr(src: &str) -> ChoiceResult<Translated> {
+        let i = Arc::new(Interner::new());
+        let p = parse_program(src, &i).unwrap();
+        translate(&p, &i)
+    }
+
+    #[test]
+    fn paper_select_emp_translation() {
+        // Paper §3.2.2: select_emp(Name) :- emp(Name, Dept), choice((Dept),(Name)).
+        let t = tr("select_emp(N) :- emp(N, D), choice((D), (N)).").unwrap();
+        assert_eq!(t.sites.len(), 1);
+        let site = &t.sites[0];
+        assert_eq!(site.grouped, 1);
+        assert_eq!(site.chosen, 1);
+        assert_eq!(t.program.clauses.len(), 2);
+        let printed = t.program.display(&t.interner).to_string();
+        assert!(
+            printed.contains("ext_choice_0(D, N) :- emp(N, D)."),
+            "{printed}"
+        );
+        assert!(
+            printed.contains("select_emp(N) :- emp(N, D), ext_choice_0(D, N)."),
+            "{printed}"
+        );
+    }
+
+    #[test]
+    fn clause_without_choice_passes_through() {
+        let t = tr("p(X) :- q(X). s(N) :- emp(N, D), choice((D), (N)).").unwrap();
+        assert_eq!(t.program.clauses.len(), 3);
+        assert_eq!(t.sites.len(), 1);
+        assert_eq!(t.sites[0].use_clause, 1);
+        assert_eq!(t.sites[0].def_clause, 2);
+    }
+
+    #[test]
+    fn two_choices_in_one_clause_is_c1() {
+        let err = tr("s(N) :- emp(N, D), choice((D), (N)), choice((N), (D)).").unwrap_err();
+        assert!(matches!(err, ChoiceError::C1Violation { clause: 0 }));
+    }
+
+    #[test]
+    fn choice_variable_must_be_positive() {
+        let err = tr("s(N) :- emp(N, D), not x(Z), choice((D), (Z)).").unwrap_err();
+        assert!(matches!(err, ChoiceError::Invalid { .. }));
+    }
+
+    #[test]
+    fn empty_grouping_is_global_choice() {
+        // choice((), (N)): one tuple overall.
+        let t = tr("s(N) :- emp(N, D), choice((), (N)).").unwrap();
+        assert_eq!(t.sites[0].grouped, 0);
+        assert_eq!(t.sites[0].chosen, 1);
+    }
+
+    #[test]
+    fn duplicate_choice_variable_rejected() {
+        let err = tr("s(N) :- emp(N, D), choice((D), (D)).").unwrap_err();
+        assert!(matches!(err, ChoiceError::Invalid { .. }));
+    }
+
+    #[test]
+    fn constant_operand_rejected() {
+        let err = tr("s(N) :- emp(N, D), choice((a), (N)).").unwrap_err();
+        assert!(matches!(err, ChoiceError::Invalid { .. }));
+    }
+}

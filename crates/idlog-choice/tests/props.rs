@@ -1,0 +1,102 @@
+//! Property-based Theorem 2 testing: on random employee databases, the
+//! direct KN88 semantics and the IDLOG translation agree for a family of
+//! choice programs.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use idlog_choice::{intended_models, one_intended_model, to_idlog::to_idlog, ChoiceBudget};
+use idlog_core::{Interner, Query, Tuple, ValidatedProgram};
+use idlog_storage::Database;
+
+fn db_of(interner: &Arc<Interner>, members: &[(usize, usize)]) -> Database {
+    let mut db = Database::with_interner(Arc::clone(interner));
+    for (d, m) in members {
+        db.insert_syms("emp", &[&format!("m{m}"), &format!("d{d}")])
+            .unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Theorem 2 on random databases, three program shapes.
+    #[test]
+    fn theorem2_random_databases(
+        members in proptest::collection::vec((0usize..2, 0usize..3), 0..7),
+        shape in 0usize..3,
+    ) {
+        let srcs = [
+            "s(N) :- emp(N, D), choice((D), (N)).",
+            "s(D) :- emp(N, D), choice((N), (D)).",
+            "s(N, D) :- emp(N, D), choice((), (N, D)).",
+        ];
+        let interner = Arc::new(Interner::new());
+        let ast = idlog_core::parse_program(srcs[shape], &interner).unwrap();
+        let db = db_of(&interner, &members);
+        let budget = ChoiceBudget::default();
+
+        let direct = intended_models(&ast, &interner, &db, "s", &budget).unwrap();
+        prop_assert!(direct.complete());
+
+        let translated = to_idlog(&ast, &interner).unwrap();
+        let validated = ValidatedProgram::new(translated, Arc::clone(&interner)).unwrap();
+        let via = Query::new(validated, "s").unwrap().all_answers(&db, &budget).unwrap();
+        prop_assert!(via.complete());
+        prop_assert!(
+            direct.same_answers(&via, &interner),
+            "direct {:?} vs idlog {:?}",
+            direct.to_sorted_strings(&interner),
+            via.to_sorted_strings(&interner)
+        );
+    }
+
+    /// Functional-subset invariant: every intended model of the one-per-
+    /// group program selects exactly one member per nonempty group.
+    #[test]
+    fn intended_models_are_functional(
+        members in proptest::collection::vec((0usize..3, 0usize..4), 0..9),
+    ) {
+        let interner = Arc::new(Interner::new());
+        let ast = idlog_core::parse_program(
+            "s(N, D) :- emp(N, D), choice((D), (N)).",
+            &interner,
+        ).unwrap();
+        let db = db_of(&interner, &members);
+        let models =
+            intended_models(&ast, &interner, &db, "s", &ChoiceBudget::default()).unwrap();
+        let groups: std::collections::BTreeSet<usize> =
+            members.iter().map(|&(d, _)| d).collect();
+        for rel in models.iter() {
+            // One tuple per distinct department.
+            prop_assert_eq!(rel.len(), groups.len());
+            let mut depts: Vec<String> = rel
+                .iter()
+                .map(|t| interner.resolve(t[1].as_sym().unwrap()))
+                .collect();
+            depts.sort();
+            depts.dedup();
+            prop_assert_eq!(depts.len(), groups.len(), "FD Dept -> Name violated");
+        }
+    }
+
+    /// A sampled intended model is always among the enumerated ones.
+    #[test]
+    fn sampled_model_is_enumerated(
+        members in proptest::collection::vec((0usize..2, 0usize..3), 1..7),
+        seed in any::<u64>(),
+    ) {
+        let interner = Arc::new(Interner::new());
+        let ast = idlog_core::parse_program(
+            "s(N) :- emp(N, D), choice((D), (N)).",
+            &interner,
+        ).unwrap();
+        let db = db_of(&interner, &members);
+        let all = intended_models(&ast, &interner, &db, "s", &ChoiceBudget::default()).unwrap();
+        let (one, _) = one_intended_model(&ast, &interner, &db, "s", Some(seed)).unwrap();
+        let tuples: Vec<Tuple> = one.iter().cloned().collect();
+        prop_assert!(all.contains_answer(&tuples));
+    }
+}

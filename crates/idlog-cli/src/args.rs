@@ -1,0 +1,260 @@
+//! Hand-rolled argument parsing (the workspace deliberately avoids extra
+//! dependencies; the grammar is small).
+
+/// Usage text for `--help` and argument errors.
+pub const USAGE: &str = "\
+idlog — the IDLOG deductive database
+
+USAGE:
+  idlog run <program> --output <pred> [options]   evaluate a query
+  idlog check <program>                           validate and report strata
+  idlog translate-choice <program>                Theorem 2: DATALOG^C -> IDLOG
+  idlog optimize <program> --output <pred> [--suggest-prune]
+                                                  ID-literal rewrite (paper §4)
+  idlog repl                                      interactive session
+  idlog help                                      this text
+
+RUN OPTIONS:
+  --facts <file>      load ground facts from a separate file
+  --output <pred>     the output predicate (required)
+  --seed <n>          resolve non-determinism with a seeded random oracle
+                      (default: canonical, reproducible tid order)
+  --all               enumerate the full answer set instead of one answer
+  --max-models <n>    cap on perfect models visited with --all
+  --stats             print evaluation statistics
+";
+
+/// A parsed invocation.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// What to do.
+    pub command: Command,
+}
+
+/// Subcommands.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Print usage.
+    Help,
+    /// Validate a program.
+    Check {
+        /// Program path.
+        program: String,
+    },
+    /// Print the Theorem 2 translation.
+    TranslateChoice {
+        /// Program path.
+        program: String,
+    },
+    /// Interactive session.
+    Repl,
+    /// Print the §4 ID-rewrite.
+    Optimize {
+        /// Program path.
+        program: String,
+        /// Output predicate.
+        output: String,
+        /// Also run the bounded redundant-clause analysis.
+        suggest_prune: bool,
+    },
+    /// Evaluate a query.
+    Run {
+        /// Program path.
+        program: String,
+        /// Optional facts path.
+        facts: Option<String>,
+        /// Output predicate.
+        output: String,
+        /// Seed for the random oracle (None = canonical).
+        seed: Option<u64>,
+        /// Enumerate all answers.
+        all: bool,
+        /// Print statistics.
+        stats: bool,
+        /// Model cap for --all.
+        max_models: Option<u64>,
+    },
+}
+
+impl Args {
+    /// Parse command-line words.
+    pub fn parse(words: impl Iterator<Item = String>) -> Result<Args, String> {
+        let words: Vec<String> = words.collect();
+        let Some(cmd) = words.first() else {
+            return Err("missing command".into());
+        };
+        let rest = &words[1..];
+        let command = match cmd.as_str() {
+            "help" | "--help" | "-h" => Command::Help,
+            "repl" => {
+                if !rest.is_empty() {
+                    return Err("repl takes no arguments".into());
+                }
+                Command::Repl
+            }
+            "check" => Command::Check {
+                program: one_path(rest, "check")?,
+            },
+            "translate-choice" => Command::TranslateChoice {
+                program: one_path(rest, "translate-choice")?,
+            },
+            "optimize" => {
+                let (program, opts) = path_and_opts(rest, "optimize")?;
+                let mut output = None;
+                let mut suggest_prune = false;
+                let mut it = opts.iter();
+                while let Some(flag) = it.next() {
+                    match flag.as_str() {
+                        "--output" => output = Some(value(&mut it, "--output")?),
+                        "--suggest-prune" => suggest_prune = true,
+                        other => return Err(format!("unknown option {other}")),
+                    }
+                }
+                Command::Optimize {
+                    program,
+                    output: output.ok_or("optimize requires --output <pred>")?,
+                    suggest_prune,
+                }
+            }
+            "run" => {
+                let (program, opts) = path_and_opts(rest, "run")?;
+                let mut facts = None;
+                let mut output = None;
+                let mut seed = None;
+                let mut all = false;
+                let mut stats = false;
+                let mut max_models = None;
+                let mut it = opts.iter();
+                while let Some(flag) = it.next() {
+                    match flag.as_str() {
+                        "--facts" => facts = Some(value(&mut it, "--facts")?),
+                        "--output" => output = Some(value(&mut it, "--output")?),
+                        "--seed" => {
+                            seed = Some(
+                                value(&mut it, "--seed")?
+                                    .parse()
+                                    .map_err(|_| "--seed expects a number".to_string())?,
+                            )
+                        }
+                        "--max-models" => {
+                            max_models = Some(
+                                value(&mut it, "--max-models")?
+                                    .parse()
+                                    .map_err(|_| "--max-models expects a number".to_string())?,
+                            )
+                        }
+                        "--all" => all = true,
+                        "--stats" => stats = true,
+                        other => return Err(format!("unknown option {other}")),
+                    }
+                }
+                Command::Run {
+                    program,
+                    facts,
+                    output: output.ok_or("run requires --output <pred>")?,
+                    seed,
+                    all,
+                    stats,
+                    max_models,
+                }
+            }
+            other => return Err(format!("unknown command {other}")),
+        };
+        Ok(Args { command })
+    }
+}
+
+fn one_path(rest: &[String], cmd: &str) -> Result<String, String> {
+    match rest {
+        [path] => Ok(path.clone()),
+        _ => Err(format!("{cmd} takes exactly one program path")),
+    }
+}
+
+fn path_and_opts(rest: &[String], cmd: &str) -> Result<(String, Vec<String>), String> {
+    let Some(path) = rest.first() else {
+        return Err(format!("{cmd} needs a program path"));
+    };
+    if path.starts_with('-') {
+        return Err(format!("{cmd} needs a program path before options"));
+    }
+    Ok((path.clone(), rest[1..].to_vec()))
+}
+
+fn value<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} expects a value"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, String> {
+        Args::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_run_with_options() {
+        let args = parse(&[
+            "run",
+            "p.idl",
+            "--facts",
+            "f.idl",
+            "--output",
+            "q",
+            "--seed",
+            "7",
+            "--all",
+            "--stats",
+            "--max-models",
+            "100",
+        ])
+        .unwrap();
+        let Command::Run {
+            program,
+            facts,
+            output,
+            seed,
+            all,
+            stats,
+            max_models,
+        } = args.command
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(program, "p.idl");
+        assert_eq!(facts.as_deref(), Some("f.idl"));
+        assert_eq!(output, "q");
+        assert_eq!(seed, Some(7));
+        assert!(all && stats);
+        assert_eq!(max_models, Some(100));
+    }
+
+    #[test]
+    fn run_requires_output() {
+        assert!(parse(&["run", "p.idl"]).is_err());
+    }
+
+    #[test]
+    fn check_takes_one_path() {
+        assert!(parse(&["check", "p.idl"]).is_ok());
+        assert!(parse(&["check"]).is_err());
+        assert!(parse(&["check", "a", "b"]).is_err());
+    }
+
+    #[test]
+    fn unknown_bits_are_errors() {
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["run", "p.idl", "--output", "q", "--nope"]).is_err());
+        assert!(parse(&["run", "--output", "q"]).is_err());
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in [["help"], ["--help"], ["-h"]] {
+            assert!(matches!(parse(&h).unwrap().command, Command::Help));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Subcommand implementations.
+
+use std::sync::Arc;
+
+use idlog_core::{stratify::stratify, Interner, ValidatedProgram};
+
+use crate::{default_budget, load, oracle_for};
+
+/// `idlog check`: validate and report predicates, sorts, and strata.
+pub fn check(program_path: &str) -> Result<(), String> {
+    let interner = Arc::new(Interner::new());
+    let src = std::fs::read_to_string(program_path)
+        .map_err(|e| format!("cannot read {program_path}: {e}"))?;
+    let program = ValidatedProgram::parse(&src, Arc::clone(&interner))
+        .map_err(|e| format!("{program_path}: {e}"))?;
+    let strat = stratify(program.ast(), &interner).map_err(|e| e.to_string())?;
+
+    println!("{program_path}: valid IDLOG program");
+    println!("  clauses: {}", program.ast().clauses.len());
+    println!("  strata:  {}", strat.count());
+
+    let mut idb: Vec<String> = program.idb().iter().map(|&p| interner.resolve(p)).collect();
+    idb.sort();
+    let mut inputs: Vec<String> = program
+        .inputs()
+        .iter()
+        .map(|&p| interner.resolve(p))
+        .collect();
+    inputs.sort();
+    println!("  inputs:  {}", inputs.join(", "));
+    println!("  derived:");
+    for name in idb {
+        let id = interner.get(&name).expect("resolved above");
+        let rtype = program.sorts().rel_type(id).expect("validated");
+        println!(
+            "    {name}/{arity} type {rtype} stratum {stratum}",
+            arity = rtype.arity(),
+            stratum = strat.stratum(id)
+        );
+    }
+    println!("  plan:");
+    let plan = idlog_core::explain(&program).map_err(|e| e.to_string())?;
+    for line in plan.lines() {
+        println!("    {line}");
+    }
+    Ok(())
+}
+
+/// `idlog translate-choice`: print the Theorem 2 translation.
+pub fn translate_choice(program_path: &str) -> Result<(), String> {
+    let interner = Arc::new(Interner::new());
+    let src = std::fs::read_to_string(program_path)
+        .map_err(|e| format!("cannot read {program_path}: {e}"))?;
+    let ast =
+        idlog_core::parse_program(&src, &interner).map_err(|e| format!("{program_path}: {e}"))?;
+    let translated = idlog_choice::to_idlog_source(&ast, &interner)
+        .map_err(|e| format!("{program_path}: {e}"))?;
+    print!("{translated}");
+    Ok(())
+}
+
+/// `idlog optimize`: print the paper's §4 ID-rewrite; with
+/// `--suggest-prune`, also run the bounded redundant-clause analysis
+/// (Example 8's footnote) on randomized test databases.
+pub fn optimize(program_path: &str, output: &str, suggest_prune: bool) -> Result<(), String> {
+    let interner = Arc::new(Interner::new());
+    let src = std::fs::read_to_string(program_path)
+        .map_err(|e| format!("cannot read {program_path}: {e}"))?;
+    let ast =
+        idlog_core::parse_program(&src, &interner).map_err(|e| format!("{program_path}: {e}"))?;
+    let out = interner
+        .get(output)
+        .ok_or_else(|| format!("output predicate {output} does not occur in the program"))?;
+    let rewritten = idlog_optimizer::to_id_program(&ast, out);
+    print!("{}", rewritten.display(&interner));
+
+    if suggest_prune {
+        // Randomized schema-matching databases over the rewritten program's
+        // elementary input predicates.
+        let validated = idlog_core::ValidatedProgram::new(rewritten.clone(), Arc::clone(&interner))
+            .map_err(|e| e.to_string())?;
+        let mut schema: Vec<(String, usize)> = Vec::new();
+        for &pred in validated.inputs() {
+            let arity = validated.arity(pred).expect("input arity known");
+            let rtype = validated.sorts().rel_type(pred).expect("typed");
+            if rtype.is_elementary() {
+                schema.push((interner.resolve(pred), arity));
+            }
+        }
+        let schema_refs: Vec<(&str, usize)> =
+            schema.iter().map(|(n, a)| (n.as_str(), *a)).collect();
+        let dbs = idlog_optimizer::random_databases(
+            &interner,
+            &schema_refs,
+            &["d1", "d2", "d3"],
+            8,
+            0xD1CE,
+        );
+        let rep = idlog_optimizer::suggest_redundant_clauses(
+            &rewritten,
+            &interner,
+            &dbs,
+            output,
+            &idlog_core::EnumBudget::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        if rep.removable.is_empty() {
+            eprintln!(
+                "% no clause looks redundant on {} test databases",
+                rep.databases_checked
+            );
+        } else {
+            for ci in rep.removable {
+                eprintln!(
+                    "% clause #{ci} `{}` looks redundant on {} test databases (bounded check)",
+                    rewritten.clauses[ci].display(&interner),
+                    rep.databases_checked
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `idlog run`: evaluate one answer or enumerate them all.
+#[allow(clippy::too_many_arguments)]
+pub fn run_query(
+    program_path: &str,
+    facts_path: Option<&str>,
+    output: &str,
+    seed: Option<u64>,
+    all: bool,
+    stats: bool,
+    max_models: Option<u64>,
+) -> Result<(), String> {
+    let loaded = load(program_path, facts_path, output)?;
+    let interner = loaded.query.interner().clone();
+
+    if all {
+        let budget = default_budget(max_models);
+        let answers = loaded
+            .query
+            .all_answers(&loaded.db, &budget)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{} distinct answer(s) from {} perfect model(s){}:",
+            answers.len(),
+            answers.models_explored(),
+            if answers.complete() {
+                ""
+            } else {
+                " (budget hit; incomplete)"
+            }
+        );
+        for (i, answer) in answers.to_sorted_strings(&interner).iter().enumerate() {
+            println!("answer #{i}: {{{}}}", answer.join(", "));
+        }
+        return Ok(());
+    }
+
+    let mut oracle = oracle_for(seed);
+    let (rel, eval_stats) = loaded
+        .query
+        .eval_with_stats(&loaded.db, oracle.as_mut())
+        .map_err(|e| e.to_string())?;
+    for t in rel.sorted_canonical(&interner) {
+        println!("{output}{}", t.display(&interner));
+    }
+    if stats {
+        eprintln!("-- {eval_stats}");
+    }
+    Ok(())
+}

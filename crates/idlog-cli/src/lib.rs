@@ -1,0 +1,95 @@
+//! Library internals of the `idlog` CLI: argument parsing, command
+//! implementations, and the interactive REPL. Split from the binary so the
+//! integration tests can drive commands directly.
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use idlog_core::{
+    CanonicalOracle, EnumBudget, Interner, Query, SeededOracle, TidOracle, ValidatedProgram,
+};
+use idlog_storage::Database;
+
+pub mod args;
+pub mod commands;
+pub mod repl;
+
+pub use args::{Args, Command, USAGE};
+
+/// Run a parsed invocation (everything except `main`'s exit-code mapping).
+pub fn run(args: Args) -> Result<(), String> {
+    match args.command {
+        Command::Help => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Command::Check { program } => commands::check(&program),
+        Command::TranslateChoice { program } => commands::translate_choice(&program),
+        Command::Optimize {
+            program,
+            output,
+            suggest_prune,
+        } => commands::optimize(&program, &output, suggest_prune),
+        Command::Repl => repl::run(&mut std::io::stdin().lock(), &mut std::io::stdout()),
+        Command::Run {
+            program,
+            facts,
+            output,
+            seed,
+            all,
+            stats,
+            max_models,
+        } => commands::run_query(
+            &program,
+            facts.as_deref(),
+            &output,
+            seed,
+            all,
+            stats,
+            max_models,
+        ),
+    }
+}
+
+/// A loaded program + database pair.
+pub struct Loaded {
+    /// The query (program portion related to the output).
+    pub query: Query,
+    /// The fact database.
+    pub db: Database,
+}
+
+/// Read and validate a program file, optionally loading a fact file.
+pub fn load(program_path: &str, facts_path: Option<&str>, output: &str) -> Result<Loaded, String> {
+    let interner = Arc::new(Interner::new());
+    let src = std::fs::read_to_string(program_path)
+        .map_err(|e| format!("cannot read {program_path}: {e}"))?;
+    let program = ValidatedProgram::parse(&src, Arc::clone(&interner))
+        .map_err(|e| format!("{program_path}: {e}"))?;
+    let query = Query::new(program, output).map_err(|e| e.to_string())?;
+
+    let mut db = Database::with_interner(interner);
+    if let Some(path) = facts_path {
+        let facts_src =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        idlog_core::load_facts(&facts_src, &mut db).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(Loaded { query, db })
+}
+
+/// The oracle for a `--seed` option (canonical when absent).
+pub fn oracle_for(seed: Option<u64>) -> Box<dyn TidOracle> {
+    match seed {
+        Some(s) => Box::new(SeededOracle::new(s)),
+        None => Box::new(CanonicalOracle),
+    }
+}
+
+/// The enumeration budget for a `--max-models` option.
+pub fn default_budget(max_models: Option<u64>) -> EnumBudget {
+    EnumBudget {
+        max_models: max_models.unwrap_or(EnumBudget::default().max_models),
+        ..EnumBudget::default()
+    }
+}

@@ -1,0 +1,23 @@
+//! `idlog` — command-line front end for the IDLOG deductive database.
+
+use std::process::ExitCode;
+
+use idlog_cli::{args, run, Args};
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{}", args::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! The interactive session: enter clauses and facts, ask queries.
+//!
+//! ```text
+//! idlog> emp(ann, sales).                  % ground fact -> database
+//! idlog> pick(N) :- emp[2](N, D, 0).       % rule -> program
+//! idlog> ?- pick.                          % one answer (current oracle)
+//! idlog> :all pick                         % the full answer set
+//! idlog> :seed 42                          % switch to a seeded oracle
+//! idlog> :list                             % show program and facts
+//! idlog> :quit
+//! ```
+//!
+//! The REPL is generic over reader/writer so tests can drive it with
+//! strings.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use idlog_core::{EnumBudget, Interner, Query, ValidatedProgram};
+use idlog_storage::Database;
+
+use crate::oracle_for;
+
+/// REPL state: accumulated rule sources and the fact database.
+struct Session {
+    interner: Arc<Interner>,
+    rules: Vec<String>,
+    db: Database,
+    seed: Option<u64>,
+}
+
+/// Run the REPL until `:quit` or end of input.
+pub fn run(input: &mut dyn BufRead, out: &mut dyn Write) -> Result<(), String> {
+    let interner = Arc::new(Interner::new());
+    let mut session = Session {
+        db: Database::with_interner(Arc::clone(&interner)),
+        interner,
+        rules: Vec::new(),
+        seed: None,
+    };
+    let io = |e: std::io::Error| format!("i/o error: {e}");
+
+    writeln!(out, "idlog interactive session — :help for commands").map_err(io)?;
+    loop {
+        write!(out, "idlog> ").map_err(io)?;
+        out.flush().map_err(io)?;
+        let mut line = String::new();
+        if input.read_line(&mut line).map_err(io)? == 0 {
+            writeln!(out).map_err(io)?;
+            return Ok(());
+        }
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        match session.step(line) {
+            Ok(Reply::Quit) => return Ok(()),
+            Ok(Reply::Text(t)) => {
+                if !t.is_empty() {
+                    writeln!(out, "{t}").map_err(io)?;
+                }
+            }
+            Err(msg) => writeln!(out, "error: {msg}").map_err(io)?,
+        }
+    }
+}
+
+enum Reply {
+    Text(String),
+    Quit,
+}
+
+const HELP: &str = "\
+  <fact>.            add a ground fact, e.g. emp(ann, sales).
+  <head> :- <body>.  add a rule
+  ?- <pred>.         evaluate one answer for <pred>
+  :all <pred>        enumerate the full answer set
+  :seed <n>          use a seeded random oracle (\":seed off\" for canonical)
+  :list              show the current program and fact counts
+  :help              this text
+  :quit              leave";
+
+impl Session {
+    fn step(&mut self, line: &str) -> Result<Reply, String> {
+        if let Some(cmd) = line.strip_prefix(':') {
+            return self.command(cmd.trim());
+        }
+        if let Some(query) = line.strip_prefix("?-") {
+            let pred = query.trim().trim_end_matches('.').trim();
+            return self.query(pred, false);
+        }
+        self.add_clause(line)
+    }
+
+    fn command(&mut self, cmd: &str) -> Result<Reply, String> {
+        let (word, rest) = cmd.split_once(' ').unwrap_or((cmd, ""));
+        match word {
+            "quit" | "q" | "exit" => Ok(Reply::Quit),
+            "help" | "h" => Ok(Reply::Text(HELP.to_string())),
+            "list" | "l" => {
+                let mut text = String::new();
+                for r in &self.rules {
+                    text.push_str(r);
+                    text.push('\n');
+                }
+                for name in self.db.predicate_names() {
+                    let n = self.db.relation(&name).map_or(0, |r| r.len());
+                    text.push_str(&format!("% {name}: {n} fact(s)\n"));
+                }
+                Ok(Reply::Text(text.trim_end().to_string()))
+            }
+            "seed" => {
+                let rest = rest.trim();
+                if rest == "off" || rest.is_empty() {
+                    self.seed = None;
+                    Ok(Reply::Text("oracle: canonical".into()))
+                } else {
+                    let n: u64 = rest
+                        .parse()
+                        .map_err(|_| ":seed expects a number or `off`")?;
+                    self.seed = Some(n);
+                    Ok(Reply::Text(format!("oracle: seeded({n})")))
+                }
+            }
+            "all" | "a" => self.query(rest.trim().trim_end_matches('.').trim(), true),
+            other => Err(format!("unknown command :{other} (try :help)")),
+        }
+    }
+
+    fn add_clause(&mut self, line: &str) -> Result<Reply, String> {
+        let clause = idlog_parser::parse_clause(line, &self.interner).map_err(|e| e.to_string())?;
+        if clause.is_fact() {
+            // Ground fact: straight into the database.
+            idlog_core::load_facts(line, &mut self.db).map_err(|e| e.to_string())?;
+            return Ok(Reply::Text(String::new()));
+        }
+        // Rule: validate the whole accumulated program before accepting.
+        let mut rules = self.rules.clone();
+        rules.push(line.to_string());
+        ValidatedProgram::parse(&rules.join("\n"), Arc::clone(&self.interner))
+            .map_err(|e| e.to_string())?;
+        self.rules = rules;
+        Ok(Reply::Text(String::new()))
+    }
+
+    fn query(&mut self, pred: &str, all: bool) -> Result<Reply, String> {
+        if pred.is_empty() {
+            return Err("query needs a predicate name".into());
+        }
+        let program = ValidatedProgram::parse(&self.rules.join("\n"), Arc::clone(&self.interner))
+            .map_err(|e| e.to_string())?;
+        let query = Query::new(program, pred).map_err(|e| e.to_string())?;
+        if all {
+            let answers = query
+                .all_answers(&self.db, &EnumBudget::default())
+                .map_err(|e| e.to_string())?;
+            let mut text = format!(
+                "{} answer(s) from {} model(s){}:",
+                answers.len(),
+                answers.models_explored(),
+                if answers.complete() {
+                    ""
+                } else {
+                    " (incomplete)"
+                }
+            );
+            for ans in answers.to_sorted_strings(&self.interner) {
+                text.push_str(&format!("\n  {{{}}}", ans.join(", ")));
+            }
+            Ok(Reply::Text(text))
+        } else {
+            let mut oracle = oracle_for(self.seed);
+            let rel = query
+                .eval(&self.db, oracle.as_mut())
+                .map_err(|e| e.to_string())?;
+            if rel.is_empty() {
+                return Ok(Reply::Text("(empty)".into()));
+            }
+            let mut text = String::new();
+            for t in rel.sorted_canonical(&self.interner) {
+                text.push_str(&format!("{pred}{}\n", t.display(&self.interner)));
+            }
+            Ok(Reply::Text(text.trim_end().to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(script: &str) -> String {
+        let mut input = std::io::Cursor::new(script.to_string());
+        let mut out: Vec<u8> = Vec::new();
+        run(&mut input, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn facts_rules_and_query() {
+        let out = drive(
+            "emp(ann, sales).\n\
+             emp(bob, sales).\n\
+             pick(N) :- emp[2](N, D, 0).\n\
+             ?- pick.\n\
+             :quit\n",
+        );
+        assert!(out.contains("pick(ann)"), "{out}");
+    }
+
+    #[test]
+    fn all_answers_command() {
+        let out = drive("item(a).\nitem(b).\npick(X) :- item[](X, 0).\n:all pick\n:quit\n");
+        assert!(out.contains("2 answer(s)"), "{out}");
+        assert!(out.contains("{(a)}"), "{out}");
+        assert!(out.contains("{(b)}"), "{out}");
+    }
+
+    #[test]
+    fn seed_switching_and_list() {
+        let out = drive("item(a).\n:seed 7\n:list\n:seed off\n:quit\n");
+        assert!(out.contains("oracle: seeded(7)"), "{out}");
+        assert!(out.contains("% item: 1 fact(s)"), "{out}");
+        assert!(out.contains("oracle: canonical"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let out = drive(
+            "this is not valid ???\n\
+             item(a).\n\
+             ?- missing.\n\
+             :quit\n",
+        );
+        assert!(out.contains("error:"), "{out}");
+    }
+
+    #[test]
+    fn eof_ends_the_session() {
+        let out = drive("item(a).\n");
+        assert!(out.contains("idlog>"), "{out}");
+    }
+
+    #[test]
+    fn bad_rule_is_rejected_and_not_kept() {
+        let out = drive(
+            "p(X, Y) :- q(X).\n\
+             q(a).\n\
+             p2(X) :- q(X).\n\
+             ?- p2.\n\
+             :quit\n",
+        );
+        assert!(out.contains("error:"), "{out}");
+        assert!(out.contains("p2(a)"), "{out}");
+    }
+}

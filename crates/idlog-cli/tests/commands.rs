@@ -1,0 +1,112 @@
+//! Integration tests for the CLI command layer, driving the library entry
+//! points against real files in a temp directory.
+
+use std::path::PathBuf;
+
+use idlog_cli::{commands, load, Args, Command};
+
+/// A per-test scratch directory (cleaned up on drop).
+struct Scratch {
+    dir: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("idlog-cli-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch { dir }
+    }
+
+    fn file(&self, name: &str, content: &str) -> String {
+        let path = self.dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[test]
+fn load_reads_program_and_facts() {
+    let s = Scratch::new("load");
+    let program = s.file("p.idl", "pick(N) :- emp[2](N, D, 0).");
+    let facts = s.file("f.idl", "emp(ann, sales). emp(bob, sales).");
+    let loaded = load(&program, Some(&facts), "pick").unwrap();
+    assert_eq!(loaded.db.relation("emp").unwrap().len(), 2);
+    let rel = loaded
+        .query
+        .eval(&loaded.db, &mut idlog_core::CanonicalOracle)
+        .unwrap();
+    assert_eq!(rel.len(), 1);
+}
+
+#[test]
+fn load_reports_missing_files_and_bad_programs() {
+    let s = Scratch::new("errors");
+    assert!(load("/nonexistent/x.idl", None, "p").is_err());
+    let bad = s.file("bad.idl", "p(X, Y) :- q(X).");
+    let err = match load(&bad, None, "p") {
+        Err(e) => e,
+        Ok(_) => panic!("unsafe program must be rejected"),
+    };
+    assert!(
+        err.contains("unsafe") || err.contains("head variable"),
+        "{err}"
+    );
+    let good = s.file("good.idl", "p(X) :- q(X).");
+    assert!(
+        load(&good, None, "nope").is_err(),
+        "unknown output must fail"
+    );
+}
+
+#[test]
+fn check_command_accepts_valid_program() {
+    let s = Scratch::new("check");
+    let program = s.file("p.idl", "pick(N) :- emp[2](N, D, 0).");
+    commands::check(&program).unwrap();
+    assert!(commands::check("/nonexistent/x.idl").is_err());
+}
+
+#[test]
+fn run_query_end_to_end() {
+    let s = Scratch::new("run");
+    let program = s.file("p.idl", "two(N) :- emp[2](N, D, T), T < 2.");
+    let facts = s.file("f.idl", "emp(a, d). emp(b, d). emp(c, d).");
+    // One answer, canonical.
+    commands::run_query(&program, Some(&facts), "two", None, false, true, None).unwrap();
+    // All answers.
+    commands::run_query(&program, Some(&facts), "two", None, true, false, Some(100)).unwrap();
+    // Seeded.
+    commands::run_query(&program, Some(&facts), "two", Some(7), false, false, None).unwrap();
+}
+
+#[test]
+fn translate_and_optimize_commands() {
+    let s = Scratch::new("xlate");
+    let choice = s.file("c.idl", "s(N) :- emp(N, D), choice((D), (N)).");
+    commands::translate_choice(&choice).unwrap();
+
+    let plain = s.file("o.idl", "p(X) :- q(X, Z), z(Z, Y), y(W).");
+    commands::optimize(&plain, "p", false).unwrap();
+    assert!(commands::optimize(&plain, "zzz", false).is_err());
+}
+
+#[test]
+fn full_arg_to_run_path() {
+    let s = Scratch::new("args");
+    let program = s.file("p.idl", "pick(N) :- emp[2](N, D, 0).");
+    let facts = s.file("f.idl", "emp(ann, sales).");
+    let args = Args::parse(
+        ["run", &program, "--facts", &facts, "--output", "pick"]
+            .iter()
+            .map(|s| s.to_string()),
+    )
+    .unwrap();
+    assert!(matches!(args.command, Command::Run { .. }));
+    idlog_cli::run(args).unwrap();
+}

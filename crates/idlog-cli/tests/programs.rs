@@ -1,0 +1,90 @@
+//! The shipped example programs in `programs/` must keep working through
+//! the CLI command layer.
+
+use std::path::PathBuf;
+
+fn programs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../programs")
+}
+
+fn path(name: &str) -> String {
+    programs_dir().join(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn shipped_programs_validate() {
+    for program in [
+        "sampling.idl",
+        "all_depts.idl",
+        "coloring.idl",
+        "parity.idl",
+    ] {
+        idlog_cli::commands::check(&path(program)).unwrap_or_else(|e| panic!("{program}: {e}"));
+    }
+}
+
+#[test]
+fn sampling_program_runs() {
+    idlog_cli::commands::run_query(
+        &path("sampling.idl"),
+        Some(&path("company.facts")),
+        "select_two_emp",
+        None,
+        false,
+        false,
+        None,
+    )
+    .unwrap();
+    idlog_cli::commands::run_query(
+        &path("sampling.idl"),
+        Some(&path("company.facts")),
+        "select_two_emp",
+        None,
+        true,
+        false,
+        Some(10_000),
+    )
+    .unwrap();
+}
+
+#[test]
+fn coloring_program_enumerates() {
+    let loaded = idlog_cli::load(
+        &path("coloring.idl"),
+        Some(&path("cycle.facts")),
+        "proper_color",
+    )
+    .unwrap();
+    let answers = loaded
+        .query
+        .all_answers(&loaded.db, &idlog_core::EnumBudget::default())
+        .unwrap();
+    // A 4-cycle: two proper 2-colorings plus the empty answer from improper
+    // guesses.
+    assert_eq!(answers.len(), 3);
+    assert_eq!(answers.iter().filter(|rel| !rel.is_empty()).count(), 2);
+}
+
+#[test]
+fn parity_program_is_deterministic() {
+    let loaded = idlog_cli::load(
+        &path("parity.idl"),
+        Some(&path("people.facts")),
+        "even_card",
+    )
+    .unwrap();
+    let answers = loaded
+        .query
+        .all_answers(&loaded.db, &idlog_core::EnumBudget::default())
+        .unwrap();
+    assert_eq!(answers.len(), 1, "parity is tid-independent");
+    assert!(
+        !answers.iter().next().unwrap().is_empty(),
+        "4 people = even"
+    );
+}
+
+#[test]
+fn choice_program_translates() {
+    idlog_cli::commands::translate_choice(&path("choice_select.idl")).unwrap();
+}

@@ -1,0 +1,57 @@
+//! Errors for the foundation types.
+//!
+//! Higher layers (parser, engine) define richer error types; this module only
+//! covers failures that can occur in `idlog-common` itself.
+
+use std::fmt;
+
+/// Errors raised by foundation types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommonError {
+    /// A relation-type string contained a character other than `0/1/u/i`.
+    BadRelType {
+        /// The offending input.
+        text: String,
+        /// The first bad character.
+        bad_char: char,
+    },
+    /// A tuple did not match the arity or sorts of its declared relation type.
+    TypeMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CommonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommonError::BadRelType { text, bad_char } => {
+                write!(
+                    f,
+                    "invalid relation type {text:?}: unexpected character {bad_char:?}"
+                )
+            }
+            CommonError::TypeMismatch { detail } => write!(f, "type mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CommonError {}
+
+/// Result alias for [`CommonError`].
+pub type CommonResult<T> = Result<T, CommonError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CommonError::BadRelType {
+            text: "0x".into(),
+            bad_char: 'x',
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("0x") && msg.contains('x'), "{msg}");
+    }
+}

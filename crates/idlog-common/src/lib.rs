@@ -1,0 +1,27 @@
+//! Shared foundations for the IDLOG deductive database workspace.
+//!
+//! IDLOG (\[She90b\], SIGMOD 1991) is a two-sorted deductive database language:
+//! values are either *uninterpreted* constants drawn from a universal domain
+//! (sort `u`) or natural numbers (sort `i`). This crate provides the value
+//! model, string interning for uninterpreted constants, relation types, a
+//! fast non-cryptographic hasher, and the shared error type used across the
+//! workspace.
+//!
+//! Nothing here knows about clauses, relations, or evaluation; those live in
+//! `idlog-parser`, `idlog-storage`, and `idlog-core` respectively.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod fxhash;
+pub mod sort;
+pub mod symbol;
+pub mod tuple;
+pub mod value;
+
+pub use error::{CommonError, CommonResult};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use sort::{RelType, Sort};
+pub use symbol::{Interner, SymbolId};
+pub use tuple::Tuple;
+pub use value::Value;

@@ -1,0 +1,160 @@
+//! Sorts and relation types.
+//!
+//! The paper's types are 0/1 sequences: position `i` of a relation type is
+//! `0` when the column ranges over the uninterpreted domain and `1` when it
+//! ranges over the natural numbers. An *elementary* relation type contains no
+//! `1`s (all columns uninterpreted) — queries take elementary-typed inputs
+//! and produce elementary-typed answers.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::CommonError;
+
+/// The sort of one column: uninterpreted (`u`, written `0` in the paper) or
+/// interpreted natural number (`i`, written `1`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Sort {
+    /// Uninterpreted domain constant (paper: `0`).
+    U,
+    /// Interpreted natural number (paper: `1`).
+    I,
+}
+
+impl Sort {
+    /// The paper's 0/1 digit for this sort.
+    pub fn digit(self) -> char {
+        match self {
+            Sort::U => '0',
+            Sort::I => '1',
+        }
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::U => write!(f, "u"),
+            Sort::I => write!(f, "i"),
+        }
+    }
+}
+
+/// A relation type: the sort of each column.
+///
+/// `RelType::parse("001")` is a ternary relation whose first two columns are
+/// uninterpreted and whose last column is a natural number — e.g. the
+/// ID-version `emp[2]` of a binary relation `emp`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct RelType(Vec<Sort>);
+
+impl RelType {
+    /// Build from explicit sorts.
+    pub fn new(sorts: Vec<Sort>) -> Self {
+        RelType(sorts)
+    }
+
+    /// An elementary type (all uninterpreted) of the given arity.
+    pub fn elementary(arity: usize) -> Self {
+        RelType(vec![Sort::U; arity])
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Sort of column `i` (0-based).
+    pub fn sort(&self, i: usize) -> Sort {
+        self.0[i]
+    }
+
+    /// All column sorts.
+    pub fn sorts(&self) -> &[Sort] {
+        &self.0
+    }
+
+    /// True when no column is interpreted (paper: "elementary relation type").
+    pub fn is_elementary(&self) -> bool {
+        self.0.iter().all(|&s| s == Sort::U)
+    }
+
+    /// The type of this relation's ID-version: same columns plus one trailing
+    /// `i`-sorted tid column (paper: type `a.1`).
+    pub fn id_version(&self) -> Self {
+        let mut sorts = self.0.clone();
+        sorts.push(Sort::I);
+        RelType(sorts)
+    }
+}
+
+impl fmt::Display for RelType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.0 {
+            write!(f, "{}", s.digit())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for RelType {
+    type Err = CommonError;
+
+    /// Parse the paper's 0/1 sequence notation, e.g. `"001"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut sorts = Vec::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '0' | 'u' => sorts.push(Sort::U),
+                '1' | 'i' => sorts.push(Sort::I),
+                other => {
+                    return Err(CommonError::BadRelType {
+                        text: s.to_string(),
+                        bad_char: other,
+                    })
+                }
+            }
+        }
+        Ok(RelType(sorts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let t: RelType = "0011".parse().unwrap();
+        assert_eq!(t.arity(), 4);
+        assert_eq!(t.sort(0), Sort::U);
+        assert_eq!(t.sort(3), Sort::I);
+        assert_eq!(t.to_string(), "0011");
+    }
+
+    #[test]
+    fn parse_letter_notation() {
+        let t: RelType = "uui".parse().unwrap();
+        assert_eq!(t.to_string(), "001");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("0x1".parse::<RelType>().is_err());
+    }
+
+    #[test]
+    fn elementary_detection() {
+        assert!(RelType::elementary(3).is_elementary());
+        assert!(!"01".parse::<RelType>().unwrap().is_elementary());
+        assert!("".parse::<RelType>().unwrap().is_elementary());
+    }
+
+    #[test]
+    fn id_version_appends_i_column() {
+        let t = RelType::elementary(2);
+        let idt = t.id_version();
+        assert_eq!(idt.to_string(), "001");
+        assert!(!idt.is_elementary());
+    }
+}

@@ -1,0 +1,182 @@
+//! Ground tuples.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::symbol::Interner;
+use crate::value::Value;
+
+/// An immutable ground tuple of [`Value`]s.
+///
+/// Stored as a boxed slice: two words on the stack, one allocation, no spare
+/// capacity — relations hold millions of these during evaluation.
+/// The derived `Ord` (like [`Value`]'s) follows interning order and is meant
+/// for intra-run canonicalization; use [`Tuple::cmp_canonical`] for
+/// interner-independent ordering.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Build from values.
+    pub fn new(values: impl Into<Box<[Value]>>) -> Self {
+        Tuple(values.into())
+    }
+
+    /// The empty (0-ary) tuple — used for propositional predicates.
+    pub fn empty() -> Self {
+        Tuple(Box::new([]))
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Column values.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Value at 0-based position `i`, if in range.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<Value> {
+        self.0.get(i).copied()
+    }
+
+    /// Project onto the given 0-based positions (in the order given).
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&i| self.0[i]).collect())
+    }
+
+    /// This tuple extended with one extra trailing value (used to build
+    /// ID-relation tuples: base tuple + tid).
+    pub fn with_appended(&self, v: Value) -> Tuple {
+        let mut vals = Vec::with_capacity(self.0.len() + 1);
+        vals.extend_from_slice(&self.0);
+        vals.push(v);
+        Tuple(vals.into())
+    }
+
+    /// Canonical (interner-name-based) ordering between equal-arity tuples.
+    pub fn cmp_canonical(&self, other: &Tuple, interner: &Interner) -> std::cmp::Ordering {
+        for (a, b) in self.0.iter().zip(other.0.iter()) {
+            let ord = a.cmp_canonical(*b, interner);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        self.0.len().cmp(&other.0.len())
+    }
+
+    /// Render using `interner` for symbol names, as `(v1, v2, ...)`.
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> TupleDisplay<'a> {
+        TupleDisplay {
+            tuple: self,
+            interner,
+        }
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple(v.into())
+    }
+}
+
+/// Helper returned by [`Tuple::display`].
+pub struct TupleDisplay<'a> {
+    tuple: &'a Tuple,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for TupleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.tuple.values().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", v.display(self.interner))?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms(i: &Interner, names: &[&str]) -> Vec<Value> {
+        names.iter().map(|n| Value::Sym(i.intern(n))).collect()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let i = Interner::new();
+        let t: Tuple = syms(&i, &["a", "b"]).into();
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.get(0), Some(t[0]));
+        assert_eq!(t.get(2), None);
+    }
+
+    #[test]
+    fn empty_tuple() {
+        let t = Tuple::empty();
+        assert_eq!(t.arity(), 0);
+        let i = Interner::new();
+        assert_eq!(t.display(&i).to_string(), "()");
+    }
+
+    #[test]
+    fn projection_reorders() {
+        let i = Interner::new();
+        let t: Tuple = syms(&i, &["a", "b", "c"]).into();
+        let p = t.project(&[2, 0]);
+        assert_eq!(p.values(), &[t[2], t[0]]);
+    }
+
+    #[test]
+    fn with_appended_adds_tid() {
+        let i = Interner::new();
+        let t: Tuple = syms(&i, &["a"]).into();
+        let t2 = t.with_appended(Value::Int(0));
+        assert_eq!(t2.arity(), 2);
+        assert_eq!(t2[1], Value::Int(0));
+    }
+
+    #[test]
+    fn display_format() {
+        let i = Interner::new();
+        let mut vals = syms(&i, &["alice", "sales"]);
+        vals.push(Value::Int(1));
+        let t: Tuple = vals.into();
+        assert_eq!(t.display(&i).to_string(), "(alice, sales, 1)");
+    }
+
+    #[test]
+    fn canonical_order_by_name_then_length() {
+        use std::cmp::Ordering;
+        let i = Interner::new();
+        let tz: Tuple = syms(&i, &["z"]).into();
+        let ta: Tuple = syms(&i, &["a"]).into();
+        assert_eq!(ta.cmp_canonical(&tz, &i), Ordering::Less);
+        let ta2: Tuple = syms(&i, &["a", "a"]).into();
+        assert_eq!(ta.cmp_canonical(&ta2, &i), Ordering::Less);
+    }
+}

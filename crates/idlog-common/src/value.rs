@@ -1,0 +1,146 @@
+//! The two-sorted value model.
+
+use std::fmt;
+
+use crate::sort::Sort;
+use crate::symbol::{Interner, SymbolId};
+
+/// A ground value: an uninterpreted constant (interned symbol) or a natural
+/// number.
+///
+/// Naturals are stored as `i64` for arithmetic convenience; the engine's
+/// built-ins never derive negative values (subtraction is partial, as in the
+/// paper where the interpreted domain is ℕ).
+/// The derived `Ord` follows interning order for symbols and is intended for
+/// *intra-run* canonicalization (state dedup keys); use
+/// [`Value::cmp_canonical`] when the order must be stable across interners.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Value {
+    /// Sort-`u` constant.
+    Sym(SymbolId),
+    /// Sort-`i` natural number.
+    Int(i64),
+}
+
+impl Value {
+    /// The sort of this value.
+    #[inline]
+    pub fn sort(self) -> Sort {
+        match self {
+            Value::Sym(_) => Sort::U,
+            Value::Int(_) => Sort::I,
+        }
+    }
+
+    /// The integer payload, if sort `i`.
+    #[inline]
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(n),
+            Value::Sym(_) => None,
+        }
+    }
+
+    /// The symbol payload, if sort `u`.
+    #[inline]
+    pub fn as_sym(self) -> Option<SymbolId> {
+        match self {
+            Value::Sym(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Render using `interner` for symbol names.
+    pub fn display<'a>(self, interner: &'a Interner) -> ValueDisplay<'a> {
+        ValueDisplay {
+            value: self,
+            interner,
+        }
+    }
+
+    /// Canonical ordering: integers before symbols, symbols by *name* (so the
+    /// order is independent of interning order — required for genericity of
+    /// the canonical tid oracle).
+    pub fn cmp_canonical(self, other: Value, interner: &Interner) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(&b),
+            (Value::Int(_), Value::Sym(_)) => Ordering::Less,
+            (Value::Sym(_), Value::Int(_)) => Ordering::Greater,
+            (Value::Sym(a), Value::Sym(b)) => interner.cmp_by_name(a, b),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<SymbolId> for Value {
+    fn from(s: SymbolId) -> Self {
+        Value::Sym(s)
+    }
+}
+
+/// Helper returned by [`Value::display`].
+pub struct ValueDisplay<'a> {
+    value: Value,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for ValueDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.value {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Sym(s) => self.interner.with_resolved(s, |name| write!(f, "{name}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts() {
+        let i = Interner::new();
+        let a = Value::Sym(i.intern("a"));
+        assert_eq!(a.sort(), Sort::U);
+        assert_eq!(Value::Int(3).sort(), Sort::I);
+    }
+
+    #[test]
+    fn accessors() {
+        let i = Interner::new();
+        let s = i.intern("x");
+        assert_eq!(Value::Sym(s).as_sym(), Some(s));
+        assert_eq!(Value::Sym(s).as_int(), None);
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_sym(), None);
+    }
+
+    #[test]
+    fn display_uses_interner() {
+        let i = Interner::new();
+        let v = Value::Sym(i.intern("sales"));
+        assert_eq!(v.display(&i).to_string(), "sales");
+        assert_eq!(Value::Int(42).display(&i).to_string(), "42");
+    }
+
+    #[test]
+    fn canonical_order_ignores_interning_order() {
+        use std::cmp::Ordering;
+        let i = Interner::new();
+        let z = Value::Sym(i.intern("zoo"));
+        let a = Value::Sym(i.intern("ape"));
+        assert_eq!(a.cmp_canonical(z, &i), Ordering::Less);
+        assert_eq!(Value::Int(1).cmp_canonical(a, &i), Ordering::Less);
+        assert_eq!(z.cmp_canonical(Value::Int(9), &i), Ordering::Greater);
+        assert_eq!(
+            Value::Int(3).cmp_canonical(Value::Int(3), &i),
+            Ordering::Equal
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the foundation types.
+
+use proptest::prelude::*;
+
+use idlog_common::{FxBuildHasher, Interner, RelType, Tuple, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0u32..64).prop_map(|n| Value::Sym(idlog_common::SymbolId(n))),
+        (0i64..1000).prop_map(Value::Int),
+    ]
+}
+
+fn arb_tuple(max_arity: usize) -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(arb_value(), 0..=max_arity).prop_map(Tuple::from)
+}
+
+proptest! {
+    /// Interning is idempotent and resolution is the left inverse.
+    #[test]
+    fn intern_resolve_roundtrip(names in proptest::collection::vec("[a-z][a-z0-9_]{0,12}", 1..20)) {
+        let interner = Interner::new();
+        let ids: Vec<_> = names.iter().map(|n| interner.intern(n)).collect();
+        for (name, &id) in names.iter().zip(&ids) {
+            prop_assert_eq!(interner.intern(name), id);
+            prop_assert_eq!(interner.resolve(id), name.clone());
+        }
+    }
+
+    /// `cmp_by_name` agrees with string comparison regardless of interning
+    /// order.
+    #[test]
+    fn cmp_by_name_matches_strings(a in "[a-z]{1,8}", b in "[a-z]{1,8}", swap in any::<bool>()) {
+        let interner = Interner::new();
+        let (first, second) = if swap { (&b, &a) } else { (&a, &b) };
+        let ia = interner.intern(first);
+        let ib = interner.intern(second);
+        prop_assert_eq!(interner.cmp_by_name(ia, ib), first.cmp(second));
+    }
+
+    /// Projection keeps exactly the requested positions in order.
+    #[test]
+    fn projection_selects_positions(t in arb_tuple(6), seed in any::<u64>()) {
+        if t.arity() == 0 { return Ok(()); }
+        // Derive a pseudo-random position list from the seed.
+        let positions: Vec<usize> =
+            (0..t.arity()).filter(|i| (seed >> i) & 1 == 1).collect();
+        let p = t.project(&positions);
+        prop_assert_eq!(p.arity(), positions.len());
+        for (k, &pos) in positions.iter().enumerate() {
+            prop_assert_eq!(p[k], t[pos]);
+        }
+    }
+
+    /// Appending increases arity by one and preserves the prefix.
+    #[test]
+    fn with_appended_preserves_prefix(t in arb_tuple(6), v in arb_value()) {
+        let t2 = t.with_appended(v);
+        prop_assert_eq!(t2.arity(), t.arity() + 1);
+        prop_assert_eq!(&t2.values()[..t.arity()], t.values());
+        prop_assert_eq!(t2[t.arity()], v);
+    }
+
+    /// RelType survives a display/parse roundtrip.
+    #[test]
+    fn reltype_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..12)) {
+        let sorts: Vec<idlog_common::Sort> = bits
+            .iter()
+            .map(|&b| if b { idlog_common::Sort::I } else { idlog_common::Sort::U })
+            .collect();
+        let t = RelType::new(sorts);
+        let reparsed: RelType = t.to_string().parse().unwrap();
+        prop_assert_eq!(t, reparsed);
+    }
+
+    /// Equal tuples hash equally under Fx (sanity for set semantics).
+    #[test]
+    fn equal_tuples_hash_equal(t in arb_tuple(5)) {
+        use std::hash::BuildHasher;
+        let h = FxBuildHasher::default();
+        let t2 = t.clone();
+        prop_assert_eq!(h.hash_one(&t), h.hash_one(&t2));
+    }
+
+    /// Canonical tuple comparison is a total order consistent with equality.
+    #[test]
+    fn cmp_canonical_is_consistent(a in arb_tuple(4), b in arb_tuple(4)) {
+        let interner = Interner::new();
+        // Ensure all symbol ids resolve: re-intern names for ids used.
+        for _ in 0..64 { interner.intern(&format!("s{}", interner.len())); }
+        let ab = a.cmp_canonical(&b, &interner);
+        let ba = b.cmp_canonical(&a, &interner);
+        prop_assert_eq!(ab, ba.reverse());
+        if a == b {
+            prop_assert_eq!(ab, std::cmp::Ordering::Equal);
+        }
+    }
+}

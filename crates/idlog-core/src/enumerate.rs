@@ -1,0 +1,617 @@
+//! All-answers enumeration: the query as a set of relations.
+//!
+//! A non-deterministic IDLOG query maps an input database to the *set* of
+//! answers `{ qᴵ : I a finite perfect model }` (\[She90b\] §3.1). Perfect
+//! models are in bijection with choices of ID-functions, so enumeration
+//! backtracks over every [`idlog_storage::IdAssignment`] at every
+//! ID-materialization point,
+//! stratum by stratum. The space is a product of factorials; an
+//! [`EnumBudget`] bounds the walk and the result records whether it was
+//! exhaustive.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use idlog_common::{FxHashMap, FxHashSet, Interner, SymbolId, Tuple};
+use idlog_storage::{
+    make_id_relation, BoundedAssignmentIter, Database, IdAssignmentIter, Relation,
+};
+
+use crate::engine::{eval_stratum, EvalState};
+use crate::error::{CoreError, CoreResult};
+use crate::eval;
+use crate::plan::RulePlan;
+use crate::pred::PredKey;
+use crate::program::ValidatedProgram;
+use crate::stats::EvalStats;
+use crate::tid::CanonicalOracle;
+use crate::tidbound::tid_bounds;
+
+/// Bounds on enumeration work.
+#[derive(Debug, Clone, Copy)]
+pub struct EnumBudget {
+    /// Maximum number of perfect models (leaves) to visit.
+    pub max_models: u64,
+    /// Maximum number of *distinct answers* to collect.
+    pub max_answers: usize,
+}
+
+impl Default for EnumBudget {
+    fn default() -> Self {
+        EnumBudget {
+            max_models: 100_000,
+            max_answers: 10_000,
+        }
+    }
+}
+
+/// The set of answers of a non-deterministic query.
+#[derive(Debug, Clone)]
+pub struct AnswerSet {
+    answers: Vec<Relation>,
+    complete: bool,
+    models_explored: u64,
+}
+
+impl AnswerSet {
+    /// Number of distinct answers.
+    pub fn len(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// True when there are no answers (never the case for a total query on a
+    /// stratifiable program — the empty relation is still an answer).
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+
+    /// The distinct answer relations.
+    pub fn iter(&self) -> impl Iterator<Item = &Relation> {
+        self.answers.iter()
+    }
+
+    /// False when a budget stopped the walk before every perfect model was
+    /// visited.
+    pub fn complete(&self) -> bool {
+        self.complete
+    }
+
+    /// How many perfect models were visited.
+    pub fn models_explored(&self) -> u64 {
+        self.models_explored
+    }
+
+    /// Each answer as a sorted list of rendered tuples; the outer list is
+    /// sorted too. Canonical across runs — convenient for tests and reports.
+    pub fn to_sorted_strings(&self, interner: &Interner) -> Vec<Vec<String>> {
+        let mut out: Vec<Vec<String>> = self
+            .answers
+            .iter()
+            .map(|rel| {
+                let mut rows: Vec<String> = rel
+                    .sorted_canonical(interner)
+                    .iter()
+                    .map(|t| t.display(interner).to_string())
+                    .collect();
+                rows.sort();
+                rows
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// True when some answer equals exactly `tuples` (order-insensitive).
+    pub fn contains_answer(&self, tuples: &[Tuple]) -> bool {
+        self.answers
+            .iter()
+            .any(|rel| rel.len() == tuples.len() && tuples.iter().all(|t| rel.contains(t)))
+    }
+
+    /// Build an answer set from raw relations (used by the other language
+    /// semantics in this workspace — DATALOG^C and DL — so their answer sets
+    /// compare directly with IDLOG's). Deduplicates and sorts canonically.
+    pub fn collect(
+        relations: impl IntoIterator<Item = Relation>,
+        complete: bool,
+        models_explored: u64,
+        interner: &Interner,
+    ) -> AnswerSet {
+        let mut keys: FxHashSet<Vec<Tuple>> = FxHashSet::default();
+        let mut answers = Vec::new();
+        for rel in relations {
+            if keys.insert(rel.sorted_canonical(interner)) {
+                answers.push(rel);
+            }
+        }
+        answers.sort_by(|a, b| {
+            let ka = a.sorted_canonical(interner);
+            let kb = b.sorted_canonical(interner);
+            ka.len().cmp(&kb.len()).then_with(|| {
+                for (x, y) in ka.iter().zip(kb.iter()) {
+                    let ord = x.cmp_canonical(y, interner);
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            })
+        });
+        AnswerSet {
+            answers,
+            complete,
+            models_explored,
+        }
+    }
+
+    /// Set-equality of two answer sets (same distinct answers).
+    pub fn same_answers(&self, other: &AnswerSet, interner: &Interner) -> bool {
+        self.to_sorted_strings(interner) == other.to_sorted_strings(interner)
+    }
+}
+
+/// Enumerate every answer of `output` over `db` (sequentially).
+///
+/// ```
+/// use idlog_core::{enumerate::enumerate_answers, EnumBudget, Query};
+///
+/// // Example 2 of the paper: guessing everyone's sex.
+/// let q = Query::parse(
+///     "sex_guess(X, male) :- person(X).
+///      sex_guess(X, female) :- person(X).
+///      man(X) :- sex_guess[1](X, male, 1).",
+///     "man",
+/// ).unwrap();
+/// let mut db = q.new_database();
+/// db.insert_syms("person", &["a"]).unwrap();
+/// db.insert_syms("person", &["b"]).unwrap();
+///
+/// let answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+/// assert_eq!(answers.len(), 4); // ∅, {a}, {b}, {a, b}
+/// assert!(answers.complete());
+/// ```
+pub fn enumerate_answers(
+    program: &ValidatedProgram,
+    db: &Database,
+    output: &str,
+    budget: &EnumBudget,
+) -> CoreResult<AnswerSet> {
+    enumerate_impl(program, db, output, budget, false)
+}
+
+/// Enumerate every answer, distributing the first choice point's branches
+/// over threads (crossbeam scoped). Answers and budgets are shared.
+pub fn enumerate_answers_parallel(
+    program: &ValidatedProgram,
+    db: &Database,
+    output: &str,
+    budget: &EnumBudget,
+) -> CoreResult<AnswerSet> {
+    enumerate_impl(program, db, output, budget, true)
+}
+
+struct Shared {
+    budget: EnumBudget,
+    /// Perfect models visited, across all workers.
+    models: AtomicU64,
+    /// Set once a budget trips anywhere.
+    truncated: AtomicBool,
+}
+
+/// Per-worker answer sink (merged after the walk); keeps the hot leaf path
+/// free of cross-thread locking.
+#[derive(Default)]
+struct Local {
+    keys: FxHashSet<Vec<Tuple>>,
+    answers: Vec<Relation>,
+}
+
+fn enumerate_impl(
+    program: &ValidatedProgram,
+    db: &Database,
+    output: &str,
+    budget: &EnumBudget,
+    parallel: bool,
+) -> CoreResult<AnswerSet> {
+    let interner = Arc::clone(program.interner());
+    let output_id = interner.get(output).ok_or_else(|| CoreError::Validation {
+        clause: None,
+        message: format!("output predicate {output} does not occur in the program"),
+    })?;
+
+    // Only the program portion related to the output contributes choice
+    // points or answers (the paper's P/q).
+    let restricted = program.restrict_to(output_id)?;
+    if restricted.arity(output_id).is_none() {
+        // No clause defines the output: either it is an input predicate
+        // (the identity query — one answer, the stored relation) or it does
+        // not occur at all.
+        return match program.arity(output_id) {
+            Some(arity) => {
+                let rel = db
+                    .relation_by_id(output_id)
+                    .cloned()
+                    .unwrap_or_else(|| Relation::elementary(arity));
+                Ok(AnswerSet::collect([rel], true, 1, &interner))
+            }
+            None => Err(CoreError::Validation {
+                clause: None,
+                message: format!("output predicate {output} does not occur in the program"),
+            }),
+        };
+    }
+
+    let strat = restricted.stratification();
+    let plans = restricted.plans();
+    let by_stratum = strat.clauses_by_stratum(restricted.ast());
+    let stratum_plans: Vec<Vec<&RulePlan>> = by_stratum
+        .iter()
+        .map(|cs| cs.iter().map(|&ci| &plans[ci]).collect())
+        .collect();
+
+    let mut state = EvalState::new();
+    eval::install_for_enumeration(&restricted, db, &mut state)?;
+
+    // Footnote 6/7 optimization: ID-uses whose tids are provably bounded
+    // enumerate k-prefix arrangements instead of full permutations.
+    let bounds = tid_bounds(&restricted);
+
+    let shared = Shared {
+        budget: *budget,
+        models: AtomicU64::new(0),
+        truncated: AtomicBool::new(false),
+    };
+
+    let cx = Cx {
+        stratum_plans: &stratum_plans,
+        interner: &interner,
+        output: output_id,
+        shared: &shared,
+        bounds: &bounds,
+    };
+    let mut local = Local::default();
+    explore(&cx, 0, state, parallel, &mut local)?;
+
+    // `Local` already deduplicates within one worker; parallel workers merge
+    // their sinks in `branch`, so at this point `local` holds everything.
+    if local.answers.len() > budget.max_answers {
+        local.answers.truncate(budget.max_answers);
+        shared.truncated.store(true, Ordering::Relaxed);
+    }
+    Ok(AnswerSet::collect(
+        local.answers,
+        !shared.truncated.load(Ordering::Relaxed),
+        shared.models.load(Ordering::Relaxed),
+        &interner,
+    ))
+}
+
+/// Shared read-only context for the recursive walk.
+struct Cx<'a> {
+    stratum_plans: &'a [Vec<&'a RulePlan>],
+    interner: &'a Arc<Interner>,
+    output: SymbolId,
+    shared: &'a Shared,
+    bounds: &'a FxHashMap<(SymbolId, Vec<usize>), usize>,
+}
+
+/// Recursive walk: at stratum `k`, branch over the assignments of every
+/// ID-relation the stratum reads, evaluate, and descend.
+fn explore(
+    cx: &Cx<'_>,
+    k: usize,
+    state: EvalState,
+    parallel: bool,
+    local: &mut Local,
+) -> CoreResult<()> {
+    if k == cx.stratum_plans.len() {
+        let rel = state
+            .get(&PredKey::Ordinary(cx.output))
+            .cloned()
+            .unwrap_or_else(|| Relation::elementary(0));
+        let key = rel.sorted_canonical(cx.interner);
+        let models = cx.shared.models.fetch_add(1, Ordering::Relaxed) + 1;
+        if models > cx.shared.budget.max_models {
+            cx.shared.truncated.store(true, Ordering::Relaxed);
+            return Ok(());
+        }
+        if local.keys.insert(key) {
+            if local.answers.len() >= cx.shared.budget.max_answers {
+                cx.shared.truncated.store(true, Ordering::Relaxed);
+                return Ok(());
+            }
+            local.answers.push(rel);
+        }
+        return Ok(());
+    }
+
+    // Which ID-relations does this stratum need that are not yet chosen?
+    let mut needed: Vec<(PredKey, SymbolId, Vec<usize>)> = Vec::new();
+    let mut seen: FxHashSet<PredKey> = FxHashSet::default();
+    for plan in &cx.stratum_plans[k] {
+        for step in &plan.steps {
+            if let Some(PredKey::Id(base, grouping)) = step.reads() {
+                let key = PredKey::Id(*base, grouping.clone());
+                if !state.has(&key) && seen.insert(key.clone()) {
+                    needed.push((key, *base, grouping.clone()));
+                }
+            }
+        }
+    }
+    // Deterministic branch order.
+    needed.sort_by_key(|(_, base, grouping)| (cx.interner.resolve(*base), grouping.clone()));
+
+    branch(cx, k, state, parallel, &needed, 0, local)
+}
+
+/// Branch over assignments of `needed[i..]`, then evaluate stratum `k` and
+/// descend.
+#[allow(clippy::too_many_arguments)]
+fn branch(
+    cx: &Cx<'_>,
+    k: usize,
+    state: EvalState,
+    parallel: bool,
+    needed: &[(PredKey, SymbolId, Vec<usize>)],
+    i: usize,
+    local: &mut Local,
+) -> CoreResult<()> {
+    if cx.shared.truncated.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    if i == needed.len() {
+        let mut state = state;
+        let same: FxHashSet<SymbolId> = cx.stratum_plans[k].iter().map(|p| p.head_pred).collect();
+        let mut stats = EvalStats::default();
+        eval_stratum(&mut state, &cx.stratum_plans[k], &same, &mut stats)?;
+        return explore(cx, k + 1, state, parallel, local);
+    }
+
+    let (key, base, grouping) = &needed[i];
+    let base_rel = state
+        .get(&PredKey::Ordinary(*base))
+        .cloned()
+        .ok_or_else(|| CoreError::Eval {
+            message: format!("base relation {} missing", cx.interner.resolve(*base)),
+        })?;
+    // Only distinguishable assignments: k-prefix arrangements when the tid
+    // use is bounded, full permutations otherwise.
+    let assignments: Vec<_> = match cx.bounds.get(&(*base, grouping.clone())) {
+        Some(&bound) => {
+            BoundedAssignmentIter::new(&base_rel, grouping, bound, cx.interner).collect()
+        }
+        None => IdAssignmentIter::new(&base_rel, grouping, cx.interner).collect(),
+    };
+
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(16);
+    if parallel && workers > 1 && assignments.len() > 1 {
+        // Distribute the first choice point's branches over a bounded pool:
+        // one thread per chunk, each walking its share sequentially into its
+        // own local sink (no cross-thread locking on the leaf path). On a
+        // single-core host this path is skipped — threads would only add
+        // overhead.
+        let chunk_len = assignments.len().div_ceil(workers);
+        let results: Vec<CoreResult<Local>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = assignments
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    let state = &state;
+                    let base_rel = &base_rel;
+                    let key = &key;
+                    scope.spawn(move |_| -> CoreResult<Local> {
+                        let mut mine = Local::default();
+                        for assignment in chunk {
+                            if cx.shared.truncated.load(Ordering::Relaxed) {
+                                return Ok(mine);
+                            }
+                            let mut branch_state = state.clone();
+                            branch_state
+                                .put((*key).clone(), make_id_relation(base_rel, assignment));
+                            // Only one level of parallelism.
+                            branch(cx, k, branch_state, false, needed, i + 1, &mut mine)?;
+                        }
+                        Ok(mine)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("branch thread panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+        for r in results {
+            let mine = r?;
+            for rel in mine.answers {
+                let key = rel.sorted_canonical(cx.interner);
+                if local.keys.insert(key) {
+                    local.answers.push(rel);
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    for assignment in &assignments {
+        if cx.shared.truncated.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let mut branch_state = state.clone();
+        branch_state.put(key.clone(), make_id_relation(&base_rel, assignment));
+        branch(cx, k, branch_state, parallel, needed, i + 1, local)?;
+    }
+    Ok(())
+}
+
+/// Deterministic single-model shortcut used by tests: the canonical answer.
+pub fn canonical_answer(
+    program: &ValidatedProgram,
+    db: &Database,
+    output: &str,
+) -> CoreResult<Relation> {
+    let out = eval::evaluate(program, db, &mut CanonicalOracle)?;
+    out.relation(output)
+        .cloned()
+        .ok_or_else(|| CoreError::Validation {
+            clause: None,
+            message: format!("output predicate {output} does not occur in the program"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(src: &str, facts: &[(&str, &[&str])]) -> (ValidatedProgram, Database) {
+        let interner = Arc::new(Interner::new());
+        let program = ValidatedProgram::parse(src, Arc::clone(&interner)).unwrap();
+        let mut db = Database::with_interner(interner);
+        for (pred, cols) in facts {
+            db.insert_syms(pred, cols).unwrap();
+        }
+        (program, db)
+    }
+
+    #[test]
+    fn paper_example2_all_answers() {
+        // The query man on person={a,b} has answers ∅, {a}, {b}, {a,b}.
+        let (p, db) = setup(
+            "sex_guess(X, male) :- person(X).
+             sex_guess(X, female) :- person(X).
+             man(X) :- sex_guess[1](X, male, 1).
+             woman(X) :- sex_guess[1](X, female, 1).",
+            &[("person", &["a"]), ("person", &["b"])],
+        );
+        let budget = EnumBudget::default();
+        let answers = enumerate_answers(&p, &db, "man", &budget).unwrap();
+        assert!(answers.complete());
+        let strings = answers.to_sorted_strings(p.interner());
+        assert_eq!(
+            strings,
+            vec![
+                vec![],
+                vec!["(a)".to_string()],
+                vec!["(a)".to_string(), "(b)".to_string()],
+                vec!["(b)".to_string()],
+            ]
+        );
+        // woman has the same answer set by symmetry.
+        let answers_w = enumerate_answers(&p, &db, "woman", &budget).unwrap();
+        assert_eq!(answers_w.to_sorted_strings(p.interner()), strings);
+    }
+
+    #[test]
+    fn deterministic_program_has_one_answer() {
+        let (p, db) = setup(
+            "tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+            &[("e", &["a", "b"]), ("e", &["b", "c"])],
+        );
+        let answers = enumerate_answers(&p, &db, "tc", &EnumBudget::default()).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert!(answers.complete());
+        assert_eq!(answers.models_explored(), 1);
+    }
+
+    #[test]
+    fn one_per_group_selection_has_product_many_models_but_fewer_answers() {
+        // Pick one employee from the sales group of 3. A constant tid 0
+        // bounds the observable tids, so the walk visits 3 distinguishable
+        // arrangements (not 3! = 6 permutations) — the footnote 6/7
+        // optimization — and finds 3 distinct answers.
+        let (p, db) = setup(
+            "pick(N) :- emp[2](N, d, 0).",
+            &[
+                ("emp", &["a", "d"]),
+                ("emp", &["b", "d"]),
+                ("emp", &["c", "d"]),
+            ],
+        );
+        let answers = enumerate_answers(&p, &db, "pick", &EnumBudget::default()).unwrap();
+        assert_eq!(answers.models_explored(), 3);
+        assert_eq!(answers.len(), 3);
+    }
+
+    #[test]
+    fn unbounded_tid_use_walks_full_permutations() {
+        // The tid is exposed in the head, so every permutation is a
+        // distinguishable model: 3! = 6.
+        let (p, db) = setup(
+            "pick(N, T) :- emp[2](N, d, T).",
+            &[
+                ("emp", &["a", "d"]),
+                ("emp", &["b", "d"]),
+                ("emp", &["c", "d"]),
+            ],
+        );
+        let answers = enumerate_answers(&p, &db, "pick", &EnumBudget::default()).unwrap();
+        assert_eq!(answers.models_explored(), 6);
+        assert_eq!(answers.len(), 6);
+    }
+
+    #[test]
+    fn budget_truncates() {
+        // The head exposes the tid, so the space is the full 5! = 120
+        // permutations; cap at 10.
+        let (p, db) = setup(
+            "pick(N, T) :- emp[](N, D, T).",
+            &[
+                ("emp", &["a", "d"]),
+                ("emp", &["b", "d"]),
+                ("emp", &["c", "d"]),
+                ("emp", &["e", "d"]),
+                ("emp", &["f", "d"]),
+            ],
+        );
+        let budget = EnumBudget {
+            max_models: 10,
+            max_answers: 1000,
+        };
+        let answers = enumerate_answers(&p, &db, "pick", &budget).unwrap();
+        assert!(!answers.complete());
+        assert!(answers.models_explored() <= 11);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (p, db) = setup(
+            "sex_guess(X, male) :- person(X).
+             sex_guess(X, female) :- person(X).
+             man(X) :- sex_guess[1](X, male, 1).",
+            &[("person", &["a"]), ("person", &["b"]), ("person", &["c"])],
+        );
+        let budget = EnumBudget::default();
+        let seq = enumerate_answers(&p, &db, "man", &budget).unwrap();
+        let par = enumerate_answers_parallel(&p, &db, "man", &budget).unwrap();
+        assert_eq!(
+            seq.to_sorted_strings(p.interner()),
+            par.to_sorted_strings(p.interner())
+        );
+    }
+
+    #[test]
+    fn unknown_output_is_an_error() {
+        let (p, db) = setup("p(X) :- q(X).", &[]);
+        assert!(enumerate_answers(&p, &db, "zzz", &EnumBudget::default()).is_err());
+    }
+
+    #[test]
+    fn unrelated_choice_points_do_not_blow_up() {
+        // The ID-use in `noise` is unrelated to `out`; P/q restriction must
+        // drop it, leaving exactly one model.
+        let (p, db) = setup(
+            "noise(N) :- emp[](N, D, 0).
+             out(X) :- person(X).",
+            &[
+                ("person", &["a"]),
+                ("emp", &["a", "d"]),
+                ("emp", &["b", "d"]),
+                ("emp", &["c", "d"]),
+            ],
+        );
+        let answers = enumerate_answers(&p, &db, "out", &EnumBudget::default()).unwrap();
+        assert_eq!(answers.models_explored(), 1);
+        assert_eq!(answers.len(), 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Engine errors.
+
+use std::fmt;
+
+use idlog_common::CommonError;
+use idlog_parser::ParseError;
+
+/// Any failure from validation through evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Surface-syntax error.
+    Parse(ParseError),
+    /// Structural validation failure (head shape, arity mismatch, …).
+    Validation {
+        /// 0-based clause index, when attributable.
+        clause: Option<usize>,
+        /// What is wrong.
+        message: String,
+    },
+    /// Sort inference found conflicting sorts.
+    Sort {
+        /// What conflicts.
+        message: String,
+    },
+    /// The paper's safety condition is violated (unbound head variable,
+    /// un-orderable arithmetic literal, unbound negation, …).
+    Safety {
+        /// 0-based clause index.
+        clause: usize,
+        /// What is wrong.
+        message: String,
+    },
+    /// The program is not stratifiable: a cycle through negation or through
+    /// an ID-literal.
+    Stratification {
+        /// Predicate names on the offending cycle.
+        cycle: Vec<String>,
+    },
+    /// The input database disagrees with the program (missing sort, wrong
+    /// arity, …).
+    Input {
+        /// What is wrong.
+        message: String,
+    },
+    /// A runtime evaluation failure (arithmetic overflow, an arithmetic
+    /// instance with infinitely many solutions that the static modes could
+    /// not rule out, …).
+    Eval {
+        /// What went wrong.
+        message: String,
+    },
+    /// Evaluation exceeded a caller-imposed budget (enumeration spaces are
+    /// products of factorials; budgets keep them finite in practice).
+    BudgetExceeded {
+        /// Which budget tripped.
+        what: String,
+    },
+    /// A foundation-layer error surfaced during evaluation.
+    Common(CommonError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Parse(e) => write!(f, "{e}"),
+            CoreError::Validation {
+                clause: Some(c),
+                message,
+            } => {
+                write!(f, "invalid clause #{c}: {message}")
+            }
+            CoreError::Validation {
+                clause: None,
+                message,
+            } => {
+                write!(f, "invalid program: {message}")
+            }
+            CoreError::Sort { message } => write!(f, "sort error: {message}"),
+            CoreError::Safety { clause, message } => {
+                write!(f, "unsafe clause #{clause}: {message}")
+            }
+            CoreError::Stratification { cycle } => {
+                write!(
+                    f,
+                    "program is not stratifiable; cycle through: {}",
+                    cycle.join(" -> ")
+                )
+            }
+            CoreError::Input { message } => write!(f, "bad input database: {message}"),
+            CoreError::Eval { message } => write!(f, "evaluation error: {message}"),
+            CoreError::BudgetExceeded { what } => write!(f, "budget exceeded: {what}"),
+            CoreError::Common(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Parse(e) => Some(e),
+            CoreError::Common(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for CoreError {
+    fn from(e: ParseError) -> Self {
+        CoreError::Parse(e)
+    }
+}
+
+impl From<CommonError> for CoreError {
+    fn from(e: CommonError) -> Self {
+        CoreError::Common(e)
+    }
+}
+
+/// Result alias for engine operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CoreError::Safety {
+            clause: 3,
+            message: "unbound head variable X".into(),
+        };
+        assert!(e.to_string().contains("#3"));
+        let e = CoreError::Stratification {
+            cycle: vec!["p".into(), "q".into()],
+        };
+        assert!(e.to_string().contains("p -> q"));
+    }
+}

@@ -1,0 +1,514 @@
+//! The evaluation driver: perfect-model computation for one tid choice.
+//!
+//! Given a validated program, an input database, and a [`TidOracle`], compute
+//! the unique perfect model determined by the oracle's ID-function choices:
+//! strata are evaluated bottom-up; before a stratum runs, the ID-relations
+//! its rules read are materialized from the (now complete) lower-stratum
+//! relations.
+
+use std::sync::Arc;
+
+use idlog_common::{FxHashMap, FxHashSet, Interner, SymbolId};
+use idlog_storage::{make_id_relation, Database, Relation};
+
+use crate::engine::{eval_stratum, eval_stratum_naive, EvalState};
+use crate::error::{CoreError, CoreResult};
+use crate::plan::RulePlan;
+use crate::pred::PredKey;
+use crate::program::ValidatedProgram;
+use crate::sorts::{infer_with_seeds, SortMap};
+use crate::stats::EvalStats;
+use crate::tid::TidOracle;
+
+/// The result of one evaluation: every predicate's relation plus statistics.
+#[derive(Debug, Clone)]
+pub struct EvalOutput {
+    interner: Arc<Interner>,
+    state: EvalState,
+    stats: EvalStats,
+}
+
+impl EvalOutput {
+    /// The relation computed for `name` (input, IDB, or — via
+    /// [`EvalOutput::id_relation`] — an ID-relation).
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        let id = self.interner.get(name)?;
+        self.state.get(&PredKey::Ordinary(id))
+    }
+
+    /// A materialized ID-relation `name[grouping]` (0-based grouping), if the
+    /// program used it.
+    pub fn id_relation(&self, name: &str, grouping: &[usize]) -> Option<&Relation> {
+        let id = self.interner.get(name)?;
+        self.state.get(&PredKey::Id(id, grouping.to_vec()))
+    }
+
+    /// Evaluation statistics.
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    /// The interner shared with the program and database.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
+    }
+}
+
+/// Fixpoint strategy per stratum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Delta-driven semi-naive evaluation (the default).
+    #[default]
+    SemiNaive,
+    /// Re-run every rule in full each round — the ablation baseline the
+    /// `seminaive_ablation` bench compares against.
+    Naive,
+}
+
+/// Compute the perfect model of `program` on `db` under `oracle`'s tid
+/// choices.
+///
+/// `db` must share the program's interner (build it with
+/// `Database::with_interner(program.interner().clone())`).
+pub fn evaluate(
+    program: &ValidatedProgram,
+    db: &Database,
+    oracle: &mut dyn TidOracle,
+) -> CoreResult<EvalOutput> {
+    evaluate_with_strategy(program, db, oracle, Strategy::SemiNaive)
+}
+
+/// [`evaluate`] with an explicit fixpoint [`Strategy`].
+pub fn evaluate_with_strategy(
+    program: &ValidatedProgram,
+    db: &Database,
+    oracle: &mut dyn TidOracle,
+    strategy: Strategy,
+) -> CoreResult<EvalOutput> {
+    let interner = Arc::clone(program.interner());
+    if !Arc::ptr_eq(&interner, db.interner()) {
+        return Err(CoreError::Input {
+            message: "database and program must share one interner \
+                      (use Database::with_interner(program.interner().clone()))"
+                .into(),
+        });
+    }
+
+    let strat = program.stratification();
+    let plans = program.plans();
+    let mut stats = EvalStats::default();
+    let mut state = EvalState::new();
+
+    install_inputs(program, db, &mut state)?;
+    install_idb(program, &refine_sorts(program, db)?, db, &mut state)?;
+
+    let by_stratum = strat.clauses_by_stratum(program.ast());
+    for stratum_clauses in &by_stratum {
+        let stratum_plans: Vec<&RulePlan> = stratum_clauses.iter().map(|&ci| &plans[ci]).collect();
+        materialize_id_relations(&stratum_plans, &mut state, oracle, &interner, &mut stats)?;
+        match strategy {
+            Strategy::SemiNaive => {
+                let same_stratum: FxHashSet<SymbolId> =
+                    stratum_plans.iter().map(|p| p.head_pred).collect();
+                eval_stratum(&mut state, &stratum_plans, &same_stratum, &mut stats)?;
+            }
+            Strategy::Naive => {
+                eval_stratum_naive(&mut state, &stratum_plans, &mut stats)?;
+            }
+        }
+    }
+
+    Ok(EvalOutput {
+        interner,
+        state,
+        stats,
+    })
+}
+
+/// Set up an [`EvalState`] for enumeration: interner check, input relations
+/// copied, IDB relations created empty.
+pub(crate) fn install_for_enumeration(
+    program: &ValidatedProgram,
+    db: &Database,
+    state: &mut EvalState,
+) -> CoreResult<()> {
+    if !Arc::ptr_eq(program.interner(), db.interner()) {
+        return Err(CoreError::Input {
+            message: "database and program must share one interner \
+                      (use Database::with_interner(program.interner().clone()))"
+                .into(),
+        });
+    }
+    install_inputs(program, db, state)?;
+    install_idb(program, &refine_sorts(program, db)?, db, state)?;
+    Ok(())
+}
+
+/// Re-run sort inference seeded with the database's actual input column
+/// sorts, so IDB relations whose sorts the program text leaves open get the
+/// types the data implies (e.g. an unconstrained column joined with an
+/// integer input column becomes sort `i`).
+fn refine_sorts(program: &ValidatedProgram, db: &Database) -> CoreResult<SortMap> {
+    let mut seeds = Vec::new();
+    for &pred in program.inputs() {
+        if let Some(rel) = db.relation_by_id(pred) {
+            for col in 0..rel.arity() {
+                seeds.push((pred, col, rel.rtype().sort(col)));
+            }
+        }
+    }
+    let mut arities = idlog_common::FxHashMap::default();
+    for &p in program.inputs().iter().chain(program.idb()) {
+        if let Some(a) = program.arity(p) {
+            arities.insert(p, a);
+        }
+    }
+    infer_with_seeds(program.ast(), &arities, program.interner(), &seeds).map_err(|e| {
+        CoreError::Input {
+            message: format!("database sorts conflict with the program: {e}"),
+        }
+    })
+}
+
+/// Copy input relations from the database (or create empty ones), checking
+/// arity and constrained sorts.
+fn install_inputs(
+    program: &ValidatedProgram,
+    db: &Database,
+    state: &mut EvalState,
+) -> CoreResult<()> {
+    let interner = program.interner();
+    for &pred in program.inputs() {
+        let arity = program.arity(pred).expect("input predicate has an arity");
+        match db.relation_by_id(pred) {
+            Some(rel) => {
+                if rel.arity() != arity {
+                    return Err(CoreError::Input {
+                        message: format!(
+                            "relation {} has arity {} but the program uses arity {arity}",
+                            interner.resolve(pred),
+                            rel.arity()
+                        ),
+                    });
+                }
+                for col in 0..arity {
+                    if let Some(want) = program.sorts().constraint(pred, col) {
+                        if rel.rtype().sort(col) != want {
+                            return Err(CoreError::Input {
+                                message: format!(
+                                    "column {} of {} must have sort {want}",
+                                    col + 1,
+                                    interner.resolve(pred)
+                                ),
+                            });
+                        }
+                    }
+                }
+                state.put(PredKey::Ordinary(pred), rel.clone());
+            }
+            None => {
+                let rtype = program
+                    .sorts()
+                    .rel_type(pred)
+                    .expect("arity known implies type known");
+                state.put(PredKey::Ordinary(pred), Relation::new(rtype));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Create empty relations for every IDB predicate, using the
+/// database-refined sorts. Rejects databases that store facts under an IDB
+/// predicate — they would be silently ignored otherwise (the paper's input
+/// predicates never occur in heads; put such facts in the program instead).
+fn install_idb(
+    program: &ValidatedProgram,
+    refined: &SortMap,
+    db: &Database,
+    state: &mut EvalState,
+) -> CoreResult<()> {
+    for &pred in program.idb() {
+        if db.relation_by_id(pred).is_some_and(|r| !r.is_empty()) {
+            return Err(CoreError::Input {
+                message: format!(
+                    "predicate {} is defined by rules but the database also stores facts \
+                     for it; move them into the program or rename one of the two",
+                    program.interner().resolve(pred)
+                ),
+            });
+        }
+        let rtype = refined
+            .rel_type(pred)
+            .or_else(|| program.sorts().rel_type(pred))
+            .expect("IDB predicate has a type");
+        state.put(PredKey::Ordinary(pred), Relation::new(rtype));
+    }
+    Ok(())
+}
+
+/// Materialize every ID-relation the given plans read that is not yet
+/// present. Lower strata are complete, so the base relations are final.
+fn materialize_id_relations(
+    plans: &[&RulePlan],
+    state: &mut EvalState,
+    oracle: &mut dyn TidOracle,
+    interner: &Interner,
+    stats: &mut EvalStats,
+) -> CoreResult<()> {
+    // Collect first: borrow juggling (state is read and written).
+    let mut needed: FxHashMap<PredKey, (SymbolId, Vec<usize>)> = FxHashMap::default();
+    for plan in plans {
+        for step in &plan.steps {
+            if let Some(PredKey::Id(base, grouping)) = step.reads() {
+                let key = PredKey::Id(*base, grouping.clone());
+                if !state.has(&key) {
+                    needed.insert(key, (*base, grouping.clone()));
+                }
+            }
+        }
+    }
+    for (key, (base, grouping)) in needed {
+        let rel = state
+            .get(&PredKey::Ordinary(base))
+            .cloned()
+            .ok_or_else(|| CoreError::Eval {
+                message: format!(
+                    "ID-relation of {} requested before its base relation exists",
+                    interner.resolve(base)
+                ),
+            })?;
+        let assignment = oracle.assign(base, &grouping, &rel, interner);
+        state.put(key, make_id_relation(&rel, &assignment));
+        stats.id_relations += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tid::{CanonicalOracle, ExplicitOracle};
+    use idlog_common::{Tuple, Value};
+
+    fn setup(src: &str, facts: &[(&str, &[&str])]) -> (ValidatedProgram, Database) {
+        let interner = Arc::new(Interner::new());
+        let program = ValidatedProgram::parse(src, Arc::clone(&interner)).unwrap();
+        let mut db = Database::with_interner(interner);
+        for (pred, cols) in facts {
+            db.insert_syms(pred, cols).unwrap();
+        }
+        (program, db)
+    }
+
+    fn names(out: &EvalOutput, rel: &str) -> Vec<String> {
+        let interner = out.interner();
+        let mut v: Vec<String> = out
+            .relation(rel)
+            .map(|r| {
+                r.iter()
+                    .map(|t| {
+                        t.values()
+                            .iter()
+                            .map(|x| x.display(interner).to_string())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let (p, db) = setup(
+            "tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+            &[("e", &["a", "b"]), ("e", &["b", "c"]), ("e", &["c", "d"])],
+        );
+        let out = evaluate(&p, &db, &mut CanonicalOracle).unwrap();
+        assert_eq!(
+            names(&out, "tc"),
+            ["a,b", "a,c", "a,d", "b,c", "b,d", "c,d"]
+        );
+    }
+
+    #[test]
+    fn stratified_negation() {
+        let (p, db) = setup(
+            "unreach(X) :- node(X), not reach(X).
+             reach(X) :- start(X).
+             reach(Y) :- reach(X), e(X, Y).",
+            &[
+                ("node", &["a"]),
+                ("node", &["b"]),
+                ("node", &["c"]),
+                ("start", &["a"]),
+                ("e", &["a", "b"]),
+            ],
+        );
+        let out = evaluate(&p, &db, &mut CanonicalOracle).unwrap();
+        assert_eq!(names(&out, "reach"), ["a", "b"]);
+        assert_eq!(names(&out, "unreach"), ["c"]);
+    }
+
+    #[test]
+    fn facts_in_program() {
+        let (p, db) = setup("p(a). q(X) :- p(X).", &[]);
+        let out = evaluate(&p, &db, &mut CanonicalOracle).unwrap();
+        assert_eq!(names(&out, "q"), ["a"]);
+    }
+
+    #[test]
+    fn id_literal_selects_one_per_group() {
+        // all_depts via emp[2](N, D, 0): one employee per department.
+        let (p, db) = setup(
+            "one_per_dept(N, D) :- emp[2](N, D, 0).",
+            &[
+                ("emp", &["ann", "sales"]),
+                ("emp", &["bob", "sales"]),
+                ("emp", &["cay", "dev"]),
+            ],
+        );
+        let out = evaluate(&p, &db, &mut CanonicalOracle).unwrap();
+        // Canonical order: ann before bob in sales.
+        assert_eq!(names(&out, "one_per_dept"), ["ann,sales", "cay,dev"]);
+        assert_eq!(out.stats().id_relations, 1);
+    }
+
+    #[test]
+    fn explicit_oracle_changes_the_answer() {
+        let (p, db) = setup(
+            "one_per_dept(N, D) :- emp[2](N, D, 0).",
+            &[
+                ("emp", &["ann", "sales"]),
+                ("emp", &["bob", "sales"]),
+                ("emp", &["cay", "dev"]),
+            ],
+        );
+        let mut oracle = ExplicitOracle::new();
+        // Group "dev" = [cay], group "sales" = [ann, bob] (canonical key
+        // order: dev < sales). Swap sales so bob gets tid 0.
+        oracle.set("emp", vec![1], vec![vec![0], vec![1, 0]]);
+        let out = evaluate(&p, &db, &mut oracle).unwrap();
+        assert_eq!(names(&out, "one_per_dept"), ["bob,sales", "cay,dev"]);
+    }
+
+    #[test]
+    fn arithmetic_chain() {
+        let (p, mut db) = setup("double(N, M) :- num(N), plus(N, N, M).", &[]);
+        db.insert("num", Tuple::new(vec![Value::Int(3)])).unwrap();
+        db.insert("num", Tuple::new(vec![Value::Int(5)])).unwrap();
+        let out = evaluate(&p, &db, &mut CanonicalOracle).unwrap();
+        assert_eq!(names(&out, "double"), ["3,6", "5,10"]);
+    }
+
+    #[test]
+    fn missing_input_relation_is_empty() {
+        let (p, db) = setup("p(X) :- q(X).", &[]);
+        let out = evaluate(&p, &db, &mut CanonicalOracle).unwrap();
+        assert!(names(&out, "p").is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_in_db_is_input_error() {
+        let (p, mut db) = setup("p(X) :- q(X).", &[]);
+        db.insert_syms("q", &["a", "b"]).unwrap();
+        assert!(matches!(
+            evaluate(&p, &db, &mut CanonicalOracle),
+            Err(CoreError::Input { .. })
+        ));
+    }
+
+    #[test]
+    fn sort_mismatch_in_db_is_input_error() {
+        let (p, mut db) = setup("r(N) :- q(N), succ(N, M).", &[]);
+        db.insert_syms("q", &["a"]).unwrap();
+        assert!(matches!(
+            evaluate(&p, &db, &mut CanonicalOracle),
+            Err(CoreError::Input { .. })
+        ));
+    }
+
+    #[test]
+    fn different_interner_is_rejected() {
+        let interner = Arc::new(Interner::new());
+        let program = ValidatedProgram::parse("p(X) :- q(X).", interner).unwrap();
+        let db = Database::new();
+        assert!(matches!(
+            evaluate(&program, &db, &mut CanonicalOracle),
+            Err(CoreError::Input { .. })
+        ));
+    }
+
+    #[test]
+    fn idb_facts_in_the_database_are_rejected() {
+        let (p, mut db) = setup("p(X) :- q(X).", &[("q", &["a"])]);
+        db.insert_syms("p", &["stray"]).unwrap();
+        assert!(matches!(
+            evaluate(&p, &db, &mut CanonicalOracle),
+            Err(CoreError::Input { .. })
+        ));
+    }
+
+    #[test]
+    fn paper_example2_with_canonical_oracle() {
+        // sex_guess has two tuples per person (male/female guesses), grouped
+        // by person. The canonical oracle gives female tid 0, male tid 1
+        // (female < male), so man(X) :- sex_guess[1](X, male, 1) holds for
+        // everyone and woman(X) for no one.
+        let (p, db) = setup(
+            "sex_guess(X, male) :- person(X).
+             sex_guess(X, female) :- person(X).
+             man(X) :- sex_guess[1](X, male, 1).
+             woman(X) :- sex_guess[1](X, female, 1).",
+            &[("person", &["a"]), ("person", &["b"])],
+        );
+        let out = evaluate(&p, &db, &mut CanonicalOracle).unwrap();
+        assert_eq!(names(&out, "man"), ["a", "b"]);
+        assert!(names(&out, "woman").is_empty());
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree() {
+        let (p, db) = setup(
+            "tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+            &[
+                ("e", &["a", "b"]),
+                ("e", &["b", "c"]),
+                ("e", &["c", "d"]),
+                ("e", &["d", "a"]),
+            ],
+        );
+        let semi =
+            evaluate_with_strategy(&p, &db, &mut CanonicalOracle, Strategy::SemiNaive).unwrap();
+        let naive = evaluate_with_strategy(&p, &db, &mut CanonicalOracle, Strategy::Naive).unwrap();
+        assert!(semi
+            .relation("tc")
+            .unwrap()
+            .set_eq(naive.relation("tc").unwrap()));
+        // Semi-naive derives strictly fewer duplicate facts on a cycle.
+        assert!(
+            semi.stats().derived < naive.stats().derived,
+            "semi {} vs naive {}",
+            semi.stats().derived,
+            naive.stats().derived
+        );
+    }
+
+    #[test]
+    fn negated_id_literal() {
+        // Everyone who is NOT the tid-0 employee of their department.
+        let (p, db) = setup(
+            "rest(N, D) :- emp(N, D), not emp[2](N, D, 0).",
+            &[
+                ("emp", &["ann", "sales"]),
+                ("emp", &["bob", "sales"]),
+                ("emp", &["cay", "dev"]),
+            ],
+        );
+        let out = evaluate(&p, &db, &mut CanonicalOracle).unwrap();
+        assert_eq!(names(&out, "rest"), ["bob,sales"]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Loading ground facts from source text.
+//!
+//! Fact files use the same surface syntax as programs, restricted to
+//! empty-body ground clauses: `emp(ann, sales). level(ann, 3).` This is the
+//! format the `idlog` CLI's `--facts` option reads, and a convenient way to
+//! ship test fixtures.
+
+use idlog_common::Value;
+use idlog_parser::Term;
+use idlog_storage::Database;
+
+use crate::error::{CoreError, CoreResult};
+
+/// Parse `src` as a list of ground facts into `db` (which supplies the
+/// interner). Rejects rules, variables, negated or ID-atom heads.
+pub fn load_facts(src: &str, db: &mut Database) -> CoreResult<()> {
+    let parsed = idlog_parser::parse_program(src, db.interner())?;
+    for (i, clause) in parsed.clauses.iter().enumerate() {
+        if !clause.is_fact() {
+            return Err(CoreError::Validation {
+                clause: Some(i),
+                message: "fact files may not contain rules".into(),
+            });
+        }
+        if clause.head.len() != 1 || clause.head[0].negated {
+            return Err(CoreError::Validation {
+                clause: Some(i),
+                message: "facts are single positive atoms".into(),
+            });
+        }
+        let atom = &clause.head[0].atom;
+        if atom.pred.is_id_version() {
+            return Err(CoreError::Validation {
+                clause: Some(i),
+                message: "facts cannot be ID-atoms (tids are assigned, not stated)".into(),
+            });
+        }
+        let name = db.interner().resolve(atom.pred.base());
+        let mut values = Vec::with_capacity(atom.terms.len());
+        for t in &atom.terms {
+            match t {
+                Term::Sym(s) => values.push(Value::Sym(*s)),
+                Term::Int(n) => values.push(Value::Int(*n)),
+                Term::Var(v) => {
+                    return Err(CoreError::Validation {
+                        clause: Some(i),
+                        message: format!("variable {v} in a fact"),
+                    })
+                }
+            }
+        }
+        db.insert(&name, values.into())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idlog_common::Interner;
+    use std::sync::Arc;
+
+    #[test]
+    fn loads_mixed_sort_facts() {
+        let mut db = Database::with_interner(Arc::new(Interner::new()));
+        load_facts("emp(ann, sales). emp(bob, dev). level(ann, 3).", &mut db).unwrap();
+        assert_eq!(db.relation("emp").unwrap().len(), 2);
+        assert_eq!(db.relation("level").unwrap().rtype().to_string(), "01");
+    }
+
+    #[test]
+    fn rejects_rules_variables_and_id_atoms() {
+        let mut db = Database::with_interner(Arc::new(Interner::new()));
+        assert!(load_facts("p(X) :- q(X).", &mut db).is_err());
+        assert!(load_facts("p(X).", &mut db).is_err());
+        assert!(load_facts("p[1](a, 0).", &mut db).is_err());
+        assert!(load_facts("not p(a).", &mut db).is_err());
+    }
+
+    #[test]
+    fn inconsistent_sorts_rejected() {
+        let mut db = Database::with_interner(Arc::new(Interner::new()));
+        assert!(load_facts("p(a). p(3).", &mut db).is_err());
+    }
+
+    #[test]
+    fn zero_ary_facts() {
+        let mut db = Database::with_interner(Arc::new(Interner::new()));
+        load_facts("flag.", &mut db).unwrap();
+        assert_eq!(db.relation("flag").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! The IDLOG engine: stratified deductive evaluation with tuple-identifier
+//! non-determinism.
+//!
+//! This crate implements the language of \[She90b\]/\[She91\]: DATALOG with
+//! stratified negation, arithmetic predicates under the paper's safety
+//! discipline, and **ID-literals** `p[s](…, Tid)` that read an *ID-relation*
+//! of `p` — the relation augmented with tuple identifiers drawn per
+//! sub-relation of `p` grouped by the attribute set `s`.
+//!
+//! The semantics is the paper's perfect-model semantics: given a concrete
+//! choice of ID-functions (a [`tid::TidOracle`]), a stratified program has a
+//! unique perfect model computed bottom-up stratum by stratum; varying the
+//! choice of ID-functions yields the *set* of answers of the
+//! non-deterministic query ([`enumerate`]).
+//!
+//! Pipeline:
+//!
+//! 1. [`program::ValidatedProgram::new`] — arity/head-shape validation,
+//!    sort inference ([`sorts`]), safety ([`safety`]);
+//! 2. [`stratify`] — dependency analysis; negation **and** ID-literal edges
+//!    must not be cyclic;
+//! 3. [`plan`] — each clause becomes an ordered sequence of join steps;
+//! 4. [`eval`] — semi-naive evaluation per stratum, materializing
+//!    ID-relations of lower strata through a [`tid::TidOracle`];
+//! 5. [`query`] — the user-facing API; [`enumerate`] — all answers.
+
+#![warn(missing_docs)]
+
+pub mod builtins;
+pub mod engine;
+pub mod enumerate;
+pub mod error;
+pub mod eval;
+pub mod explain;
+pub mod facts;
+pub mod modelcheck;
+pub mod plan;
+pub mod pred;
+pub mod program;
+pub mod query;
+pub mod safety;
+pub mod sorts;
+pub mod stats;
+pub mod stratify;
+pub mod tid;
+pub mod tidbound;
+
+pub use enumerate::{AnswerSet, EnumBudget};
+pub use error::{CoreError, CoreResult};
+pub use eval::{evaluate, evaluate_with_strategy, EvalOutput, Strategy};
+pub use explain::explain;
+pub use facts::load_facts;
+pub use modelcheck::{verify_model, ModelViolation};
+pub use pred::PredKey;
+pub use program::ValidatedProgram;
+pub use query::Query;
+pub use stats::EvalStats;
+pub use tid::{CanonicalOracle, ExplicitOracle, SeededOracle, TidOracle};
+
+// Re-export the pieces callers need to build inputs and read outputs.
+pub use idlog_common::{Interner, RelType, Sort, SymbolId, Tuple, Value};
+pub use idlog_parser::{parse_clause, parse_program, Program};
+pub use idlog_storage::{Database, Relation};

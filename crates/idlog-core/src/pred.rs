@@ -1,0 +1,59 @@
+//! Predicate identities used by the engine.
+
+use idlog_common::{Interner, SymbolId};
+
+/// Identity of a stored relation during evaluation: either an ordinary
+/// predicate or the materialized ID-relation of a predicate on a grouping
+/// attribute set.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum PredKey {
+    /// `p`
+    Ordinary(SymbolId),
+    /// `p[s]` — the ID-relation of `p` on grouping set `s` (0-based,
+    /// ascending).
+    Id(SymbolId, Vec<usize>),
+}
+
+impl PredKey {
+    /// The underlying predicate symbol.
+    pub fn base(&self) -> SymbolId {
+        match self {
+            PredKey::Ordinary(p) | PredKey::Id(p, _) => *p,
+        }
+    }
+
+    /// Human-readable form, e.g. `emp` or `emp[2]` (1-based grouping, as in
+    /// the paper).
+    pub fn render(&self, interner: &Interner) -> String {
+        match self {
+            PredKey::Ordinary(p) => interner.resolve(*p),
+            PredKey::Id(p, grouping) => {
+                let attrs: Vec<String> = grouping.iter().map(|g| (g + 1).to_string()).collect();
+                format!("{}[{}]", interner.resolve(*p), attrs.join(","))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_forms() {
+        let i = Interner::new();
+        let p = i.intern("emp");
+        assert_eq!(PredKey::Ordinary(p).render(&i), "emp");
+        assert_eq!(PredKey::Id(p, vec![1]).render(&i), "emp[2]");
+        assert_eq!(PredKey::Id(p, vec![]).render(&i), "emp[]");
+        assert_eq!(PredKey::Id(p, vec![0, 2]).render(&i), "emp[1,3]");
+    }
+
+    #[test]
+    fn base_of_both_forms() {
+        let i = Interner::new();
+        let p = i.intern("q");
+        assert_eq!(PredKey::Ordinary(p).base(), p);
+        assert_eq!(PredKey::Id(p, vec![0]).base(), p);
+    }
+}

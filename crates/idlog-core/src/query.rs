@@ -1,0 +1,269 @@
+//! The user-facing query API.
+//!
+//! A [`Query`] couples a validated program with one output predicate. It
+//! evaluates the program portion related to the output (the paper's `P/q`),
+//! so unrelated clauses neither cost work nor contribute non-determinism.
+//!
+//! ```
+//! use idlog_core::{CanonicalOracle, EnumBudget, Query};
+//!
+//! let query = Query::parse(
+//!     "select_emp(N) :- emp[2](N, D, 0).", // one employee per department
+//!     "select_emp",
+//! ).unwrap();
+//! let mut db = query.new_database();
+//! db.insert_syms("emp", &["ann", "sales"]).unwrap();
+//! db.insert_syms("emp", &["bob", "sales"]).unwrap();
+//!
+//! // One non-deterministic answer, resolved canonically:
+//! let rel = query.eval(&db, &mut CanonicalOracle).unwrap();
+//! assert_eq!(rel.len(), 1);
+//!
+//! // The full answer set: either ann or bob.
+//! let all = query.all_answers(&db, &EnumBudget::default()).unwrap();
+//! assert_eq!(all.len(), 2);
+//! ```
+
+use std::sync::Arc;
+
+use idlog_common::Interner;
+use idlog_storage::{Database, Relation};
+
+use crate::enumerate::{enumerate_answers, enumerate_answers_parallel, AnswerSet, EnumBudget};
+use crate::error::{CoreError, CoreResult};
+use crate::eval::evaluate;
+use crate::program::ValidatedProgram;
+use crate::stats::EvalStats;
+use crate::tid::TidOracle;
+
+/// A program with a designated output predicate.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// The full validated program.
+    program: ValidatedProgram,
+    /// The portion related to `output` (the paper's `P/q`) — what actually
+    /// gets evaluated.
+    related: ValidatedProgram,
+    output: String,
+}
+
+impl Query {
+    /// Parse `src` into a fresh interner and designate `output`.
+    pub fn parse(src: &str, output: &str) -> CoreResult<Query> {
+        Self::parse_with_interner(src, output, Arc::new(Interner::new()))
+    }
+
+    /// Parse with an existing interner (to share symbols with other queries
+    /// or databases).
+    pub fn parse_with_interner(
+        src: &str,
+        output: &str,
+        interner: Arc<Interner>,
+    ) -> CoreResult<Query> {
+        let program = ValidatedProgram::parse(src, interner)?;
+        Self::new(program, output)
+    }
+
+    /// Wrap an already validated program.
+    pub fn new(program: ValidatedProgram, output: &str) -> CoreResult<Query> {
+        let output_id = program
+            .interner()
+            .get(output)
+            .filter(|id| program.arity(*id).is_some());
+        let Some(output_id) = output_id else {
+            return Err(CoreError::Validation {
+                clause: None,
+                message: format!("output predicate {output} does not occur in the program"),
+            });
+        };
+        let related = program.restrict_to(output_id)?;
+        Ok(Query {
+            program,
+            related,
+            output: output.to_string(),
+        })
+    }
+
+    /// The output predicate name.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// The full program.
+    pub fn program(&self) -> &ValidatedProgram {
+        &self.program
+    }
+
+    /// The related portion `P/q` that evaluation actually runs.
+    pub fn related_program(&self) -> &ValidatedProgram {
+        &self.related
+    }
+
+    /// The shared interner.
+    pub fn interner(&self) -> &Arc<Interner> {
+        self.program.interner()
+    }
+
+    /// A fresh empty database sharing this query's interner.
+    pub fn new_database(&self) -> Database {
+        Database::with_interner(Arc::clone(self.program.interner()))
+    }
+
+    /// One answer of the (possibly non-deterministic) query, resolved by
+    /// `oracle`.
+    pub fn eval(&self, db: &Database, oracle: &mut dyn TidOracle) -> CoreResult<Relation> {
+        self.eval_with_stats(db, oracle).map(|(rel, _)| rel)
+    }
+
+    /// Like [`Query::eval`], also returning evaluation statistics.
+    pub fn eval_with_stats(
+        &self,
+        db: &Database,
+        oracle: &mut dyn TidOracle,
+    ) -> CoreResult<(Relation, EvalStats)> {
+        // An output with no defining clause is an input predicate: the
+        // identity query over the stored relation.
+        let output_id = self
+            .program
+            .interner()
+            .get(&self.output)
+            .expect("checked at new()");
+        if self.related.arity(output_id).is_none() {
+            let arity = self.program.arity(output_id).expect("checked at new()");
+            let rel = db
+                .relation_by_id(output_id)
+                .cloned()
+                .unwrap_or_else(|| Relation::elementary(arity));
+            return Ok((rel, EvalStats::default()));
+        }
+        let out = evaluate(&self.related, db, oracle)?;
+        let rel = out
+            .relation(&self.output)
+            .cloned()
+            .expect("output predicate exists in the related program");
+        Ok((rel, out.stats()))
+    }
+
+    /// Every answer of the query (bounded by `budget`).
+    pub fn all_answers(&self, db: &Database, budget: &EnumBudget) -> CoreResult<AnswerSet> {
+        match self.edb_answer(db) {
+            Some(answers) => Ok(answers),
+            None => enumerate_answers(&self.related, db, &self.output, budget),
+        }
+    }
+
+    /// Every answer, exploring the first choice point in parallel.
+    pub fn all_answers_parallel(
+        &self,
+        db: &Database,
+        budget: &EnumBudget,
+    ) -> CoreResult<AnswerSet> {
+        match self.edb_answer(db) {
+            Some(answers) => Ok(answers),
+            None => enumerate_answers_parallel(&self.related, db, &self.output, budget),
+        }
+    }
+
+    /// The single-answer set when the output is an input predicate (no
+    /// defining clause): the identity query.
+    fn edb_answer(&self, db: &Database) -> Option<AnswerSet> {
+        let output_id = self
+            .program
+            .interner()
+            .get(&self.output)
+            .expect("checked at new()");
+        if self.related.arity(output_id).is_some() {
+            return None;
+        }
+        let arity = self.program.arity(output_id).expect("checked at new()");
+        let rel = db
+            .relation_by_id(output_id)
+            .cloned()
+            .unwrap_or_else(|| Relation::elementary(arity));
+        Some(AnswerSet::collect([rel], true, 1, self.program.interner()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tid::{CanonicalOracle, SeededOracle};
+
+    #[test]
+    fn eval_and_all_answers_agree() {
+        let q = Query::parse("pick(N) :- emp[2](N, D, 0).", "pick").unwrap();
+        let mut db = q.new_database();
+        for (n, d) in [("a", "x"), ("b", "x"), ("c", "y")] {
+            db.insert_syms("emp", &[n, d]).unwrap();
+        }
+        let all = q.all_answers(&db, &EnumBudget::default()).unwrap();
+        assert!(all.complete());
+        // Every oracle-produced answer must be among the enumerated ones.
+        for seed in 0..8 {
+            let rel = q.eval(&db, &mut SeededOracle::new(seed)).unwrap();
+            let tuples: Vec<_> = rel.iter().cloned().collect();
+            assert!(
+                all.contains_answer(&tuples),
+                "seed {seed} answer not enumerated"
+            );
+        }
+        let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+        let tuples: Vec<_> = rel.iter().cloned().collect();
+        assert!(all.contains_answer(&tuples));
+    }
+
+    #[test]
+    fn unknown_output_rejected_at_construction() {
+        assert!(Query::parse("p(X) :- q(X).", "nope").is_err());
+    }
+
+    #[test]
+    fn unrelated_clauses_do_not_affect_stats() {
+        let q1 = Query::parse("out(X) :- base(X).", "out").unwrap();
+        let q2 = Query::parse_with_interner(
+            "out(X) :- base(X). junk(Y) :- other(Y), other2(Y).",
+            "out",
+            Arc::clone(q1.interner()),
+        )
+        .unwrap();
+        let mut db = q1.new_database();
+        db.insert_syms("base", &["a"]).unwrap();
+        db.insert_syms("other", &["b"]).unwrap();
+        db.insert_syms("other2", &["b"]).unwrap();
+        let (_, s1) = q1.eval_with_stats(&db, &mut CanonicalOracle).unwrap();
+        let (_, s2) = q2.eval_with_stats(&db, &mut CanonicalOracle).unwrap();
+        assert_eq!(
+            s1.instantiations, s2.instantiations,
+            "junk clauses were evaluated"
+        );
+    }
+
+    #[test]
+    fn querying_an_input_predicate_is_the_identity() {
+        let q = Query::parse("out(X) :- p(X).", "p").unwrap();
+        let mut db = q.new_database();
+        db.insert_syms("p", &["a"]).unwrap();
+        db.insert_syms("p", &["b"]).unwrap();
+        let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+        assert_eq!(rel.len(), 2);
+        let all = q.all_answers(&db, &EnumBudget::default()).unwrap();
+        assert_eq!(all.len(), 1);
+        assert!(all.complete());
+        // With an empty database the answer is the empty relation.
+        let empty_db = q.new_database();
+        let rel = q.eval(&empty_db, &mut CanonicalOracle).unwrap();
+        assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn doc_example_runs() {
+        let query = Query::parse("select_emp(N) :- emp[2](N, D, 0).", "select_emp").unwrap();
+        let mut db = query.new_database();
+        db.insert_syms("emp", &["ann", "sales"]).unwrap();
+        db.insert_syms("emp", &["bob", "sales"]).unwrap();
+        let rel = query.eval(&db, &mut CanonicalOracle).unwrap();
+        assert_eq!(rel.len(), 1);
+        let all = query.all_answers(&db, &EnumBudget::default()).unwrap();
+        assert_eq!(all.len(), 2);
+    }
+}

@@ -1,0 +1,349 @@
+//! Sort inference for the two-sorted language.
+//!
+//! Every predicate column and every clause variable gets a sort (`u` or `i`).
+//! Constraints come from constants, arithmetic predicates (all-`i`), tid
+//! positions of ID-atoms (`i`), and equalities between occurrences. The
+//! constraint graph is solved by fixpoint propagation; columns that remain
+//! unconstrained default to `u` (the common case for purely relational
+//! programs).
+
+use idlog_common::{FxHashMap, Interner, RelType, Sort, SymbolId};
+use idlog_parser::{Atom, Builtin, Literal, PredicateRef, Program, Term};
+
+use crate::error::{CoreError, CoreResult};
+
+/// Inferred column sorts for every predicate occurring in the program.
+#[derive(Debug, Clone, Default)]
+pub struct SortMap {
+    cols: FxHashMap<(SymbolId, usize), Sort>,
+    arities: FxHashMap<SymbolId, usize>,
+}
+
+impl SortMap {
+    /// The inferred relation type of `pred` (columns default to `u`).
+    pub fn rel_type(&self, pred: SymbolId) -> Option<RelType> {
+        let arity = *self.arities.get(&pred)?;
+        Some(RelType::new(
+            (0..arity)
+                .map(|c| self.cols.get(&(pred, c)).copied().unwrap_or(Sort::U))
+                .collect(),
+        ))
+    }
+
+    /// The inferred sort of one column (defaults to `u`).
+    pub fn col_sort(&self, pred: SymbolId, col: usize) -> Sort {
+        self.cols.get(&(pred, col)).copied().unwrap_or(Sort::U)
+    }
+
+    /// The *constraint* on one column: `None` when the program leaves the
+    /// sort open (an input database may then use either sort).
+    pub fn constraint(&self, pred: SymbolId, col: usize) -> Option<Sort> {
+        self.cols.get(&(pred, col)).copied()
+    }
+}
+
+/// One sort variable: a predicate column or a clause-local variable.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Node {
+    Col(SymbolId, usize),
+    Var(usize, String),
+}
+
+/// Infer sorts for `program`, whose predicates have the given `arities`.
+pub fn infer(
+    program: &Program,
+    arities: &FxHashMap<SymbolId, usize>,
+    interner: &Interner,
+) -> CoreResult<SortMap> {
+    infer_with_seeds(program, arities, interner, &[])
+}
+
+/// Like [`infer`], with additional seed constraints — used at evaluation
+/// time to propagate the *actual* column sorts of the input database into
+/// derived predicates whose sorts the program text leaves open (e.g. a
+/// column only ever joined against an input column).
+pub fn infer_with_seeds(
+    program: &Program,
+    arities: &FxHashMap<SymbolId, usize>,
+    interner: &Interner,
+    seeds: &[(SymbolId, usize, Sort)],
+) -> CoreResult<SortMap> {
+    let mut solver = Solver {
+        sorts: FxHashMap::default(),
+        unions: Vec::new(),
+        interner,
+    };
+    for &(pred, col, sort) in seeds {
+        solver.col_is(pred, col, sort)?;
+    }
+
+    for (ci, clause) in program.clauses.iter().enumerate() {
+        for h in &clause.head {
+            solver.atom(ci, &h.atom)?;
+        }
+        for l in &clause.body {
+            match l {
+                Literal::Pos(a) | Literal::Neg(a) => solver.atom(ci, a)?,
+                Literal::Builtin { op, args } => solver.builtin(ci, *op, args)?,
+                Literal::Choice { .. } | Literal::Cut => {
+                    // Choice terms are variables/constants already constrained
+                    // by their other occurrences; choice and cut are sort-free.
+                }
+            }
+        }
+    }
+    solver.solve()?;
+
+    let mut map = SortMap {
+        cols: FxHashMap::default(),
+        arities: arities.clone(),
+    };
+    for (node, sort) in solver.sorts {
+        if let Node::Col(p, c) = node {
+            map.cols.insert((p, c), sort);
+        }
+    }
+    Ok(map)
+}
+
+struct Solver<'a> {
+    sorts: FxHashMap<Node, Sort>,
+    unions: Vec<(Node, Node)>,
+    interner: &'a Interner,
+}
+
+impl Solver<'_> {
+    fn atom(&mut self, clause: usize, atom: &Atom) -> CoreResult<()> {
+        let (base, tid_pos) = match &atom.pred {
+            PredicateRef::Ordinary(p) => (*p, None),
+            PredicateRef::IdVersion { base, .. } => (*base, Some(atom.terms.len() - 1)),
+        };
+        for (pos, term) in atom.terms.iter().enumerate() {
+            if Some(pos) == tid_pos {
+                // Tid column is sort i and does not belong to the base pred.
+                self.term_is(clause, term, Sort::I)?;
+                continue;
+            }
+            match term {
+                Term::Sym(_) => self.col_is(base, pos, Sort::U)?,
+                Term::Int(_) => self.col_is(base, pos, Sort::I)?,
+                Term::Var(v) => {
+                    self.unions
+                        .push((Node::Col(base, pos), Node::Var(clause, v.clone())));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn builtin(&mut self, clause: usize, op: Builtin, args: &[Term]) -> CoreResult<()> {
+        match op {
+            Builtin::Eq | Builtin::Ne => {
+                // Both sides share a sort, whatever it is.
+                let nodes: Vec<Option<Node>> = args
+                    .iter()
+                    .map(|t| match t {
+                        Term::Var(v) => Some(Node::Var(clause, v.clone())),
+                        _ => None,
+                    })
+                    .collect();
+                match (&nodes[0], &nodes[1]) {
+                    (Some(a), Some(b)) => self.unions.push((a.clone(), b.clone())),
+                    (Some(n), None) => self.node_is(n.clone(), term_sort(&args[1]))?,
+                    (None, Some(n)) => self.node_is(n.clone(), term_sort(&args[0]))?,
+                    (None, None) => {
+                        if term_sort(&args[0]) != term_sort(&args[1]) {
+                            return Err(CoreError::Sort {
+                                message: format!(
+                                    "clause #{clause}: (dis)equality between different sorts"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {
+                // All arithmetic arguments are naturals.
+                for t in args {
+                    self.term_is(clause, t, Sort::I)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn term_is(&mut self, clause: usize, term: &Term, sort: Sort) -> CoreResult<()> {
+        match term {
+            Term::Var(v) => self.node_is(Node::Var(clause, v.clone()), sort),
+            other => {
+                if term_sort(other) != sort {
+                    return Err(CoreError::Sort {
+                        message: format!(
+                            "clause #{clause}: constant of wrong sort in {sort} position"
+                        ),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn col_is(&mut self, pred: SymbolId, col: usize, sort: Sort) -> CoreResult<()> {
+        self.node_is(Node::Col(pred, col), sort)
+    }
+
+    fn node_is(&mut self, node: Node, sort: Sort) -> CoreResult<()> {
+        if let Some(&prev) = self.sorts.get(&node) {
+            if prev != sort {
+                return Err(CoreError::Sort {
+                    message: self.conflict_message(&node, prev, sort),
+                });
+            }
+            return Ok(());
+        }
+        self.sorts.insert(node, sort);
+        Ok(())
+    }
+
+    fn conflict_message(&self, node: &Node, a: Sort, b: Sort) -> String {
+        match node {
+            Node::Col(p, c) => format!(
+                "column {} of {} is used both as sort {a} and sort {b}",
+                c + 1,
+                self.interner.resolve(*p)
+            ),
+            Node::Var(clause, v) => {
+                format!("variable {v} in clause #{clause} is used both as sort {a} and sort {b}")
+            }
+        }
+    }
+
+    /// Propagate equalities until fixpoint.
+    fn solve(&mut self) -> CoreResult<()> {
+        loop {
+            let mut changed = false;
+            for (a, b) in self.unions.clone() {
+                match (self.sorts.get(&a).copied(), self.sorts.get(&b).copied()) {
+                    (Some(sa), Some(sb)) if sa != sb => {
+                        return Err(CoreError::Sort {
+                            message: self.conflict_message(&a, sa, sb),
+                        });
+                    }
+                    (Some(sa), None) => {
+                        self.sorts.insert(b.clone(), sa);
+                        changed = true;
+                    }
+                    (None, Some(sb)) => {
+                        self.sorts.insert(a.clone(), sb);
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn term_sort(t: &Term) -> Sort {
+    match t {
+        Term::Sym(_) => Sort::U,
+        Term::Int(_) => Sort::I,
+        Term::Var(_) => unreachable!("callers handle variables"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idlog_parser::parse_program;
+
+    fn arities_of(p: &Program) -> FxHashMap<SymbolId, usize> {
+        let mut m = FxHashMap::default();
+        for c in &p.clauses {
+            for h in &c.head {
+                m.insert(h.atom.pred.base(), h.atom.base_arity());
+            }
+            for l in &c.body {
+                if let Some(a) = l.atom() {
+                    m.insert(a.pred.base(), a.base_arity());
+                }
+            }
+        }
+        m
+    }
+
+    fn infer_src(src: &str) -> CoreResult<(SortMap, Interner, FxHashMap<SymbolId, usize>)> {
+        let i = Interner::new();
+        let p = parse_program(src, &i).unwrap();
+        let a = arities_of(&p);
+        infer(&p, &a, &i).map(|m| (m, i, a))
+    }
+
+    #[test]
+    fn constants_fix_column_sorts() {
+        let (m, i, _) = infer_src("p(a, 3).").unwrap();
+        let p = i.get("p").unwrap();
+        assert_eq!(m.col_sort(p, 0), Sort::U);
+        assert_eq!(m.col_sort(p, 1), Sort::I);
+        assert_eq!(m.rel_type(p).unwrap().to_string(), "01");
+    }
+
+    #[test]
+    fn arithmetic_forces_i_through_variables() {
+        let (m, i, _) = infer_src("q(X, N) :- p(X, N), succ(N, M), r(M).").unwrap();
+        let q = i.get("q").unwrap();
+        let r = i.get("r").unwrap();
+        assert_eq!(m.col_sort(q, 0), Sort::U); // default
+        assert_eq!(m.col_sort(q, 1), Sort::I); // via succ
+        assert_eq!(m.col_sort(r, 0), Sort::I);
+    }
+
+    #[test]
+    fn tid_position_is_i_but_base_columns_propagate() {
+        let (m, i, _) = infer_src("two(N) :- emp[2](N, D, T), T < 2.").unwrap();
+        let emp = i.get("emp").unwrap();
+        assert_eq!(m.col_sort(emp, 0), Sort::U);
+        assert_eq!(m.col_sort(emp, 1), Sort::U);
+        // emp itself is binary; the tid is not a column of emp.
+        assert_eq!(m.rel_type(emp).unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn conflict_is_reported() {
+        // q(a) forces q's column to sort u; succ(X, Y) with X flowing from
+        // q(X) forces the same column to sort i.
+        let err = infer_src("q(a). p(X) :- q(X), succ(X, Y).").unwrap_err();
+        match err {
+            CoreError::Sort { message } => assert!(message.contains('q'), "{message}"),
+            other => panic!("expected sort error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_unifies_sides() {
+        let (m, i, _) = infer_src("p(X, Y) :- q(X), r(Y), X = Y, s(3), q(Z), Z = 4.").unwrap();
+        let q = i.get("q").unwrap();
+        // Z = 4 forces q's column to i... and X = Y keeps X,Y united; X in q
+        // too, so q col is i, hence X and Y are i.
+        assert_eq!(m.col_sort(q, 0), Sort::I);
+        let p = i.get("p").unwrap();
+        assert_eq!(m.col_sort(p, 0), Sort::I);
+        assert_eq!(m.col_sort(p, 1), Sort::I);
+    }
+
+    #[test]
+    fn ground_disequality_between_sorts_rejected() {
+        let err = infer_src("p(X) :- q(X), a != 3.").unwrap_err();
+        assert!(matches!(err, CoreError::Sort { .. }));
+    }
+
+    #[test]
+    fn unconstrained_defaults_to_u() {
+        let (m, i, _) = infer_src("p(X) :- q(X).").unwrap();
+        let p = i.get("p").unwrap();
+        assert_eq!(m.col_sort(p, 0), Sort::U);
+    }
+}

@@ -1,0 +1,264 @@
+//! Stratification.
+//!
+//! The dependency graph has an edge `p → h` for every clause with head
+//! predicate `h` and body occurrence of `p`. The edge is *strict* when the
+//! occurrence is negated **or** is an ID-literal `p[s]`: an ID-relation can
+//! only be materialized after `p` is completely evaluated, exactly like the
+//! complement of a negated predicate. A program is stratifiable when no cycle
+//! contains a strict edge; [`stratify`] assigns each predicate the smallest
+//! stratum compatible with `stratum(h) ≥ stratum(p) + strictness`.
+
+use idlog_common::{FxHashMap, FxHashSet, Interner, SymbolId};
+use idlog_parser::{Literal, PredicateRef, Program};
+
+use crate::error::{CoreError, CoreResult};
+
+/// Result of stratification.
+#[derive(Debug, Clone)]
+pub struct Stratification {
+    /// Stratum index per predicate (inputs are stratum 0).
+    stratum_of: FxHashMap<SymbolId, usize>,
+    /// Number of strata (at least 1).
+    count: usize,
+}
+
+impl Stratification {
+    /// The stratum of `pred` (predicates unknown to the program get 0).
+    pub fn stratum(&self, pred: SymbolId) -> usize {
+        self.stratum_of.get(&pred).copied().unwrap_or(0)
+    }
+
+    /// Number of strata.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Clause indices grouped by the stratum of their head predicate, in
+    /// stratum order.
+    pub fn clauses_by_stratum(&self, program: &Program) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (ci, clause) in program.clauses.iter().enumerate() {
+            let head = clause.head[0].atom.pred.base();
+            out[self.stratum(head)].push(ci);
+        }
+        out
+    }
+}
+
+/// An edge in the dependency graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Edge {
+    from: SymbolId,
+    to: SymbolId,
+    strict: bool,
+}
+
+fn edges(program: &Program) -> Vec<Edge> {
+    let mut out = Vec::new();
+    for clause in &program.clauses {
+        let head = clause.head[0].atom.pred.base();
+        for lit in &clause.body {
+            match lit {
+                Literal::Pos(a) => {
+                    let strict = matches!(a.pred, PredicateRef::IdVersion { .. });
+                    out.push(Edge {
+                        from: a.pred.base(),
+                        to: head,
+                        strict,
+                    });
+                }
+                Literal::Neg(a) => {
+                    out.push(Edge {
+                        from: a.pred.base(),
+                        to: head,
+                        strict: true,
+                    });
+                }
+                Literal::Builtin { .. } | Literal::Choice { .. } | Literal::Cut => {}
+            }
+        }
+    }
+    out
+}
+
+/// Stratify `program`, or report a cycle through a strict edge.
+pub fn stratify(program: &Program, interner: &Interner) -> CoreResult<Stratification> {
+    let es = edges(program);
+    let mut preds: FxHashSet<SymbolId> = FxHashSet::default();
+    for e in &es {
+        preds.insert(e.from);
+        preds.insert(e.to);
+    }
+    for clause in &program.clauses {
+        preds.insert(clause.head[0].atom.pred.base());
+    }
+
+    let mut stratum: FxHashMap<SymbolId, usize> = preds.iter().map(|&p| (p, 0)).collect();
+    // Longest-path relaxation; more than |preds| full passes that still
+    // change something means a positive-weight cycle.
+    let n = preds.len().max(1);
+    for pass in 0..=n {
+        let mut changed = false;
+        for e in &es {
+            let need = stratum[&e.from] + usize::from(e.strict);
+            let cur = stratum[&e.to];
+            if cur < need {
+                stratum.insert(e.to, need);
+                changed = true;
+            }
+        }
+        if !changed {
+            let count = stratum.values().copied().max().unwrap_or(0) + 1;
+            return Ok(Stratification {
+                stratum_of: stratum,
+                count,
+            });
+        }
+        if pass == n {
+            break;
+        }
+    }
+    Err(CoreError::Stratification {
+        cycle: find_cycle(&es, interner),
+    })
+}
+
+/// Find some cycle containing a strict edge, for the error message.
+fn find_cycle(es: &[Edge], interner: &Interner) -> Vec<String> {
+    // Adjacency with edge strictness.
+    let mut adj: FxHashMap<SymbolId, Vec<(SymbolId, bool)>> = FxHashMap::default();
+    for e in es {
+        adj.entry(e.from).or_default().push((e.to, e.strict));
+    }
+    // From each strict edge (u→v), look for a path v ⇝ u.
+    for e in es.iter().filter(|e| e.strict) {
+        let mut stack = vec![e.to];
+        let mut visited: FxHashSet<SymbolId> = FxHashSet::default();
+        let mut parent: FxHashMap<SymbolId, SymbolId> = FxHashMap::default();
+        visited.insert(e.to);
+        while let Some(u) = stack.pop() {
+            if u == e.from {
+                // Reconstruct v ⇝ u path, then close the cycle.
+                let mut path = vec![interner.resolve(e.from)];
+                let mut at = e.from;
+                while at != e.to {
+                    at = parent[&at];
+                    path.push(interner.resolve(at));
+                }
+                path.reverse();
+                path.push(interner.resolve(e.from));
+                return path;
+            }
+            for &(w, _) in adj.get(&u).into_iter().flatten() {
+                if visited.insert(w) {
+                    parent.insert(w, u);
+                    stack.push(w);
+                }
+            }
+        }
+        if e.from == e.to {
+            let name = interner.resolve(e.from);
+            return vec![name.clone(), name];
+        }
+    }
+    vec!["<unknown>".into()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idlog_parser::parse_program;
+
+    fn strat(src: &str) -> CoreResult<(Stratification, Interner, Program)> {
+        let i = Interner::new();
+        let p = parse_program(src, &i).unwrap();
+        stratify(&p, &i).map(|s| (s, i, p))
+    }
+
+    #[test]
+    fn positive_recursion_is_one_stratum() {
+        let (s, i, _) = strat("tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).").unwrap();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.stratum(i.get("tc").unwrap()), 0);
+        assert_eq!(s.stratum(i.get("e").unwrap()), 0);
+    }
+
+    #[test]
+    fn negation_lifts_stratum() {
+        let (s, i, _) = strat("p(X) :- q(X), not r(X). r(X) :- b(X).").unwrap();
+        assert_eq!(s.stratum(i.get("r").unwrap()), 0);
+        assert_eq!(s.stratum(i.get("p").unwrap()), 1);
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn id_literal_lifts_stratum_like_negation() {
+        // Paper Example 2: man reads sex_guess[1], so man is strictly above.
+        let (s, i, _) = strat(
+            "sex_guess(X, male) :- person(X).
+             man(X) :- sex_guess[1](X, male, 1).",
+        )
+        .unwrap();
+        assert_eq!(s.stratum(i.get("sex_guess").unwrap()), 0);
+        assert_eq!(s.stratum(i.get("man").unwrap()), 1);
+    }
+
+    #[test]
+    fn negative_cycle_is_rejected() {
+        let err = strat("p(X) :- q(X), not p(X).").unwrap_err();
+        match err {
+            CoreError::Stratification { cycle } => {
+                assert_eq!(cycle.first().map(String::as_str), Some("p"));
+                assert_eq!(cycle.last().map(String::as_str), Some("p"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn id_cycle_is_rejected() {
+        // p reads its own ID-relation: not stratifiable.
+        let err = strat("p(X) :- q(X). p(X) :- p[](X, 0).").unwrap_err();
+        assert!(matches!(err, CoreError::Stratification { .. }));
+    }
+
+    #[test]
+    fn longer_strict_chain_counts_strata() {
+        let (s, i, _) = strat(
+            "a(X) :- base(X).
+             b(X) :- a[](X, 0).
+             c(X) :- b(X), not a(X).
+             d(X) :- c[](X, 0).",
+        )
+        .unwrap();
+        assert_eq!(s.stratum(i.get("a").unwrap()), 0);
+        assert_eq!(s.stratum(i.get("b").unwrap()), 1);
+        assert_eq!(
+            s.stratum(i.get("c").unwrap()),
+            1.max(s.stratum(i.get("b").unwrap()))
+        );
+        assert_eq!(
+            s.stratum(i.get("d").unwrap()),
+            s.stratum(i.get("c").unwrap()) + 1
+        );
+        assert_eq!(s.count(), s.stratum(i.get("d").unwrap()) + 1);
+    }
+
+    #[test]
+    fn clauses_grouped_by_stratum() {
+        let (s, _, p) = strat("r(X) :- b(X). p(X) :- q(X), not r(X).").unwrap();
+        let by = s.clauses_by_stratum(&p);
+        assert_eq!(by.len(), 2);
+        assert_eq!(by[0], vec![0]);
+        assert_eq!(by[1], vec![1]);
+    }
+
+    #[test]
+    fn mutual_negative_cycle_reported() {
+        let err = strat("p(X) :- a(X), not q(X). q(X) :- a(X), not p(X).").unwrap_err();
+        match err {
+            CoreError::Stratification { cycle } => assert!(cycle.len() >= 2),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Engine-focused integration cases: shapes the unit tests don't cover —
+//! mutual recursion, repeated variables and constants in probes, multiple
+//! ID-literals per clause, deep strata, self-joins.
+
+use std::sync::Arc;
+
+use idlog_core::{CanonicalOracle, EnumBudget, Interner, Query, Tuple, Value};
+use idlog_storage::Database;
+
+fn db_from(interner: &Arc<Interner>, facts: &[(&str, &[&str])]) -> Database {
+    let mut db = Database::with_interner(Arc::clone(interner));
+    for (pred, cols) in facts {
+        db.insert_syms(pred, cols).unwrap();
+    }
+    db
+}
+
+fn rows(q: &Query, rel: &idlog_core::Relation) -> Vec<String> {
+    let interner = q.interner();
+    let mut v: Vec<String> = rel
+        .sorted_canonical(interner)
+        .iter()
+        .map(|t| t.display(interner).to_string())
+        .collect();
+    v.sort();
+    v
+}
+
+/// Mutual recursion across two predicates in one stratum.
+#[test]
+fn mutual_recursion_even_odd_paths() {
+    let src = "
+        even_path(X, X) :- node(X).
+        odd_path(X, Y) :- even_path(X, Z), e(Z, Y).
+        even_path(X, Y) :- odd_path(X, Z), e(Z, Y).
+    ";
+    let q = Query::parse(src, "even_path").unwrap();
+    let db = db_from(
+        q.interner(),
+        &[
+            ("node", &["a"]),
+            ("node", &["b"]),
+            ("node", &["c"]),
+            ("e", &["a", "b"]),
+            ("e", &["b", "c"]),
+            ("e", &["c", "a"]),
+        ],
+    );
+    let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+    // 3-cycle: even-length paths from X land on the nodes at even distance;
+    // gcd(2,3)=1 so every node reaches every node (incl. itself) eventually.
+    assert_eq!(rel.len(), 9);
+}
+
+/// Repeated variable inside one atom: the engine's same-step check path.
+#[test]
+fn self_loop_detection() {
+    let q = Query::parse("loop(X) :- e(X, X).", "loop").unwrap();
+    let db = db_from(
+        q.interner(),
+        &[
+            ("e", &["a", "a"]),
+            ("e", &["a", "b"]),
+            ("e", &["b", "b"]),
+            ("e", &["b", "c"]),
+        ],
+    );
+    let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+    assert_eq!(rows(&q, &rel), ["(a)", "(b)"]);
+}
+
+/// Constants in probe positions combined with repeated head variables.
+#[test]
+fn constant_probes_and_self_join() {
+    let src = "peer(X, Y) :- e(X, hub), e(Y, hub), X != Y.";
+    let q = Query::parse(src, "peer").unwrap();
+    let db = db_from(
+        q.interner(),
+        &[
+            ("e", &["a", "hub"]),
+            ("e", &["b", "hub"]),
+            ("e", &["c", "other"]),
+        ],
+    );
+    let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+    assert_eq!(rows(&q, &rel), ["(a, b)", "(b, a)"]);
+}
+
+/// Two ID-literals in one clause: both choice points resolved per model.
+#[test]
+fn two_id_literals_in_one_clause() {
+    let src = "pair(X, Y) :- left[](X, 0), right[](Y, 0).";
+    let q = Query::parse(src, "pair").unwrap();
+    let db = db_from(
+        q.interner(),
+        &[
+            ("left", &["l1"]),
+            ("left", &["l2"]),
+            ("right", &["r1"]),
+            ("right", &["r2"]),
+        ],
+    );
+    let answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+    assert!(answers.complete());
+    // 2 × 2 = 4 distinct single-pair answers.
+    assert_eq!(answers.len(), 4);
+    for rel in answers.iter() {
+        assert_eq!(rel.len(), 1);
+    }
+}
+
+/// Same base predicate read under two different groupings: independent
+/// ID-relations.
+#[test]
+fn two_groupings_of_one_predicate() {
+    let src = "
+        by_dept(N) :- emp[2](N, D, 0).
+        by_name(D) :- emp[1](N, D, 0).
+        both(N, D) :- by_dept(N), by_name(D).
+    ";
+    let q = Query::parse(src, "both").unwrap();
+    let db = db_from(
+        q.interner(),
+        &[
+            ("emp", &["a", "x"]),
+            ("emp", &["a", "y"]),
+            ("emp", &["b", "x"]),
+        ],
+    );
+    let answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+    assert!(answers.complete());
+    assert!(answers.len() > 1, "the two groupings choose independently");
+    // Every answer is a cross product of the two independent selections.
+    for rel in answers.iter() {
+        assert!(!rel.is_empty());
+    }
+}
+
+/// A five-stratum alternation of negation and ID-literals.
+#[test]
+fn deep_strata_chain() {
+    let src = "
+        l1(X) :- base(X).
+        l2(X) :- l1(X), not skip(X).
+        l3(X) :- l2[](X, 0).
+        l4(X) :- l2(X), not l3(X).
+        l5(X) :- l4[](X, T), T <= 0.
+    ";
+    let q = Query::parse(src, "l5").unwrap();
+    let db = db_from(
+        q.interner(),
+        &[
+            ("base", &["a"]),
+            ("base", &["b"]),
+            ("base", &["c"]),
+            ("skip", &["c"]),
+        ],
+    );
+    let answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+    assert!(answers.complete());
+    // l2 = {a,b}; l3 picks one; l4 = the other; l5 = that one.
+    assert_eq!(answers.len(), 2);
+    for rel in answers.iter() {
+        assert_eq!(rel.len(), 1);
+    }
+}
+
+/// Facts with integer constants interact with comparisons.
+#[test]
+fn integer_facts_and_filters() {
+    let src = "
+        senior(N) :- level(N, L), L >= 3.
+        junior(N) :- level(N, L), L < 3.
+    ";
+    let q = Query::parse(src, "senior").unwrap();
+    let mut db = Database::with_interner(Arc::clone(q.interner()));
+    for (n, l) in [("a", 1i64), ("b", 3), ("c", 5)] {
+        let sym = Value::Sym(q.interner().intern(n));
+        db.insert("level", Tuple::new(vec![sym, Value::Int(l)]))
+            .unwrap();
+    }
+    let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+    assert_eq!(rows(&q, &rel), ["(b)", "(c)"]);
+    let j = Query::parse_with_interner(src, "junior", Arc::clone(q.interner())).unwrap();
+    let rel = j.eval(&db, &mut CanonicalOracle).unwrap();
+    assert_eq!(rows(&j, &rel), ["(a)"]);
+}
+
+/// Zero-ary predicates through all strata machinery.
+#[test]
+fn zero_ary_flags() {
+    let src = "
+        nonempty :- p(X).
+        empty :- not nonempty.
+        verdict(yes) :- nonempty.
+        verdict(no) :- empty.
+    ";
+    let q = Query::parse(src, "verdict").unwrap();
+    let db = db_from(q.interner(), &[("p", &["a"])]);
+    let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+    assert_eq!(rows(&q, &rel), ["(yes)"]);
+    let empty_db = q.new_database();
+    let rel = q.eval(&empty_db, &mut CanonicalOracle).unwrap();
+    assert_eq!(rows(&q, &rel), ["(no)"]);
+}
+
+/// A wide join (five-way) exercising index reuse within one clause.
+#[test]
+fn five_way_join() {
+    let src = "j(A, E) :- r1(A, B), r2(B, C), r3(C, D), r4(D, E), r5(E).";
+    let q = Query::parse(src, "j").unwrap();
+    let db = db_from(
+        q.interner(),
+        &[
+            ("r1", &["a", "b"]),
+            ("r2", &["b", "c"]),
+            ("r3", &["c", "d"]),
+            ("r4", &["d", "e"]),
+            ("r5", &["e"]),
+            ("r1", &["a2", "b2"]), // dead-end branch
+            ("r2", &["b2", "c2"]),
+        ],
+    );
+    let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+    assert_eq!(rows(&q, &rel), ["(a, e)"]);
+}
+
+/// An ID-relation over an IDB predicate computed with recursion, grouped by
+/// a derived column.
+#[test]
+fn id_relation_over_recursive_idb() {
+    let src = "
+        reach(X, Y) :- e(X, Y).
+        reach(X, Y) :- e(X, Z), reach(Z, Y).
+        spokesman(X, Y) :- reach[1](X, Y, 0).
+    ";
+    let q = Query::parse(src, "spokesman").unwrap();
+    let db = db_from(q.interner(), &[("e", &["a", "b"]), ("e", &["b", "c"])]);
+    // reach = {(a,b),(a,c),(b,c)}: groups by source a → {b,c}, b → {c}.
+    let answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+    assert!(answers.complete());
+    assert_eq!(answers.len(), 2, "two choices for a's spokesman, one for b");
+    for rel in answers.iter() {
+        assert_eq!(rel.len(), 2, "one spokesman per source");
+    }
+}

@@ -1,0 +1,64 @@
+//! Errors for the inflationary-semantics baselines.
+
+use std::fmt;
+
+use idlog_core::CoreError;
+use idlog_parser::ParseError;
+
+/// Failures validating or running a DL / N-DATALOG program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DlError {
+    /// Surface-syntax error.
+    Parse(ParseError),
+    /// Structural problem (invented values, unsafe clause, wrong dialect).
+    Invalid {
+        /// 0-based clause index, when attributable.
+        clause: Option<usize>,
+        /// What is wrong.
+        message: String,
+    },
+    /// State-space exploration exceeded the budget.
+    BudgetExceeded {
+        /// Which bound tripped.
+        what: String,
+    },
+    /// Underlying engine error (builtin evaluation).
+    Core(CoreError),
+}
+
+impl fmt::Display for DlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlError::Parse(e) => write!(f, "{e}"),
+            DlError::Invalid {
+                clause: Some(c),
+                message,
+            } => {
+                write!(f, "invalid DL clause #{c}: {message}")
+            }
+            DlError::Invalid {
+                clause: None,
+                message,
+            } => write!(f, "invalid DL program: {message}"),
+            DlError::BudgetExceeded { what } => write!(f, "budget exceeded: {what}"),
+            DlError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DlError {}
+
+impl From<ParseError> for DlError {
+    fn from(e: ParseError) -> Self {
+        DlError::Parse(e)
+    }
+}
+
+impl From<CoreError> for DlError {
+    fn from(e: CoreError) -> Self {
+        DlError::Core(e)
+    }
+}
+
+/// Result alias.
+pub type DlResult<T> = Result<T, DlError>;

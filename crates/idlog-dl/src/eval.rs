@@ -1,0 +1,593 @@
+//! Non-deterministic inflationary evaluation.
+//!
+//! "The intended models of programs are obtained by applying program clauses
+//! bottom up, each clause is instantiated one at a time, and facts are added
+//! to the output until no additional facts can be inferred" (\[AV88\], quoted
+//! in the paper §3.2.1). The choice available in consecutive instantiations
+//! is the non-determinism; [`all_outcomes`] explores it exhaustively,
+//! [`one_outcome`] samples one run, and [`deterministic_inflationary`]
+//! applies *all* firable instantiations per round (the deterministic
+//! semantics the paper contrasts in Example 3).
+
+use idlog_common::{FxHashMap, FxHashSet, RelType, SymbolId, Tuple, Value};
+use idlog_core::{builtins, AnswerSet, CoreError};
+use idlog_parser::{Builtin, Literal, Term};
+use idlog_storage::{Database, Relation};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{DlError, DlResult};
+use crate::machine::{ground_atom, DlProgram, State};
+
+/// Which language variant the program is interpreted in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dialect {
+    /// DL: positive (possibly conjunctive) heads, inflationary.
+    Dl,
+    /// N-DATALOG: negated heads are deletions.
+    NDatalog,
+}
+
+/// Bounds on state-space exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct DlBudget {
+    /// Maximum distinct states to visit in [`all_outcomes`].
+    pub max_states: usize,
+    /// Maximum firings in [`one_outcome`] (N-DATALOG runs may not
+    /// terminate).
+    pub max_steps: u64,
+    /// Maximum distinct answers to keep.
+    pub max_answers: usize,
+}
+
+impl Default for DlBudget {
+    fn default() -> Self {
+        DlBudget {
+            max_states: 100_000,
+            max_steps: 100_000,
+            max_answers: 10_000,
+        }
+    }
+}
+
+/// One firable instantiation: the state change it would make.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Firing {
+    additions: Vec<(SymbolId, Tuple)>,
+    deletions: Vec<(SymbolId, Tuple)>,
+}
+
+/// Initial state: every database fact.
+fn initial_state(db: &Database) -> State {
+    let mut s = State::new();
+    for (pred, rel) in db.iter() {
+        for t in rel.iter() {
+            s.insert(pred, t.clone());
+        }
+    }
+    s
+}
+
+/// All satisfying bindings of clause `ci`'s body against `state`.
+fn body_matches(prog: &DlProgram, ci: usize, state: &State) -> DlResult<Vec<Vec<Option<Value>>>> {
+    body_matches_for(prog.ast(), prog.orders(), ci, state)
+}
+
+/// Clause-body matching against a fact state, reusable by the other
+/// state-based semantics in this crate (DATALOG∨).
+pub(crate) fn body_matches_for(
+    ast: &idlog_parser::Program,
+    orders: &[idlog_core::safety::ClauseOrder],
+    ci: usize,
+    state: &State,
+) -> DlResult<Vec<Vec<Option<Value>>>> {
+    let clause = &ast.clauses[ci];
+    let names = clause.variables();
+    let vars: FxHashMap<&str, usize> = names.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let mut bindings: Vec<Option<Value>> = vec![None; names.len()];
+    let mut out = Vec::new();
+    let order = &orders[ci].order;
+    match_step(state, clause, &vars, order, 0, &mut bindings, &mut out)?;
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn match_step(
+    state: &State,
+    clause: &idlog_parser::Clause,
+    vars: &FxHashMap<&str, usize>,
+    order: &[usize],
+    k: usize,
+    bindings: &mut Vec<Option<Value>>,
+    out: &mut Vec<Vec<Option<Value>>>,
+) -> DlResult<()> {
+    if k == order.len() {
+        out.push(bindings.clone());
+        return Ok(());
+    }
+    match &clause.body[order[k]] {
+        Literal::Pos(atom) => {
+            let pred = atom.pred.base();
+            // Collect to avoid holding the state borrow across recursion.
+            let candidates: Vec<Tuple> = state.tuples(pred).cloned().collect();
+            for t in candidates {
+                let mut newly: Vec<usize> = Vec::new();
+                let mut ok = true;
+                for (pos, term) in atom.terms.iter().enumerate() {
+                    let want = t[pos];
+                    match term {
+                        Term::Sym(s) => {
+                            if Value::Sym(*s) != want {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        Term::Int(n) => {
+                            if Value::Int(*n) != want {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        Term::Var(v) => {
+                            let vi = vars[v.as_str()];
+                            match bindings[vi] {
+                                Some(cur) => {
+                                    if cur != want {
+                                        ok = false;
+                                        break;
+                                    }
+                                }
+                                None => {
+                                    bindings[vi] = Some(want);
+                                    newly.push(vi);
+                                }
+                            }
+                        }
+                    }
+                }
+                if ok {
+                    match_step(state, clause, vars, order, k + 1, bindings, out)?;
+                }
+                for vi in newly {
+                    bindings[vi] = None;
+                }
+            }
+            Ok(())
+        }
+        Literal::Neg(atom) => {
+            let t = ground_atom(&atom.terms, vars, bindings);
+            if !state.contains(atom.pred.base(), &t) {
+                match_step(state, clause, vars, order, k + 1, bindings, out)?;
+            }
+            Ok(())
+        }
+        Literal::Builtin { op, args } => {
+            exec_builtin(state, clause, vars, order, k, *op, args, bindings, out)
+        }
+        Literal::Choice { .. } | Literal::Cut => unreachable!("validated away"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_builtin(
+    state: &State,
+    clause: &idlog_parser::Clause,
+    vars: &FxHashMap<&str, usize>,
+    order: &[usize],
+    k: usize,
+    op: Builtin,
+    args: &[Term],
+    bindings: &mut Vec<Option<Value>>,
+    out: &mut Vec<Vec<Option<Value>>>,
+) -> DlResult<()> {
+    let value_of = |t: &Term, b: &[Option<Value>]| -> Option<Value> {
+        match t {
+            Term::Sym(s) => Some(Value::Sym(*s)),
+            Term::Int(n) => Some(Value::Int(*n)),
+            Term::Var(v) => b[vars[v.as_str()]],
+        }
+    };
+    if matches!(op, Builtin::Eq | Builtin::Ne) {
+        let a = value_of(&args[0], bindings);
+        let b = value_of(&args[1], bindings);
+        match (a, b) {
+            (Some(x), Some(y)) => {
+                if builtins::eq_check(op, x, y) {
+                    match_step(state, clause, vars, order, k + 1, bindings, out)?;
+                }
+            }
+            (Some(known), None) | (None, Some(known)) => {
+                debug_assert_eq!(op, Builtin::Eq);
+                let free = if a.is_none() { &args[0] } else { &args[1] };
+                let Term::Var(v) = free else { unreachable!() };
+                let vi = vars[v.as_str()];
+                bindings[vi] = Some(known);
+                match_step(state, clause, vars, order, k + 1, bindings, out)?;
+                bindings[vi] = None;
+            }
+            (None, None) => {
+                return Err(DlError::Core(CoreError::Eval {
+                    message: "equality with both sides unbound".into(),
+                }))
+            }
+        }
+        return Ok(());
+    }
+    let ints: Vec<Option<i64>> = args
+        .iter()
+        .map(|t| value_of(t, bindings).and_then(Value::as_int))
+        .collect();
+    // A bound symbol in an arithmetic position can never match.
+    for (t, i) in args.iter().zip(&ints) {
+        if i.is_none() {
+            if let Some(Value::Sym(_)) = value_of(t, bindings) {
+                return Ok(());
+            }
+        }
+    }
+    for sol in builtins::solve(op, &ints)? {
+        let mut newly: Vec<usize> = Vec::new();
+        let mut ok = true;
+        for (j, t) in args.iter().enumerate() {
+            let want = Value::Int(sol[j]);
+            match value_of(t, bindings) {
+                Some(cur) => {
+                    if cur != want {
+                        ok = false;
+                        break;
+                    }
+                }
+                None => {
+                    let Term::Var(v) = t else { unreachable!() };
+                    let vi = vars[v.as_str()];
+                    bindings[vi] = Some(want);
+                    newly.push(vi);
+                }
+            }
+        }
+        if ok {
+            match_step(state, clause, vars, order, k + 1, bindings, out)?;
+        }
+        for vi in newly {
+            bindings[vi] = None;
+        }
+    }
+    Ok(())
+}
+
+/// Candidate firings of every clause against `state`.
+fn firings(prog: &DlProgram, state: &State) -> DlResult<Vec<Firing>> {
+    let mut out = Vec::new();
+    for ci in 0..prog.ast().clauses.len() {
+        let clause = &prog.ast().clauses[ci];
+        let names = clause.variables();
+        let vars: FxHashMap<&str, usize> = names.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for binding in body_matches(prog, ci, state)? {
+            let mut additions = Vec::new();
+            let mut deletions = Vec::new();
+            for h in &clause.head {
+                let t = ground_atom(&h.atom.terms, &vars, &binding);
+                let pred = h.atom.pred.base();
+                if h.negated {
+                    deletions.push((pred, t));
+                } else {
+                    additions.push((pred, t));
+                }
+            }
+            // Consistency (N-DATALOG): a head may not assert and delete the
+            // same fact.
+            if additions.iter().any(|a| deletions.contains(a)) {
+                continue;
+            }
+            // Only keep firings that change the state.
+            let changes = additions.iter().any(|(p, t)| !state.contains(*p, t))
+                || deletions.iter().any(|(p, t)| state.contains(*p, t));
+            if changes {
+                out.push(Firing {
+                    additions,
+                    deletions,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn apply(state: &State, firing: &Firing) -> State {
+    let mut s = state.clone();
+    for (p, t) in &firing.additions {
+        s.insert(*p, t.clone());
+    }
+    for (p, t) in &firing.deletions {
+        s.remove(*p, t);
+    }
+    s
+}
+
+/// Extract the output predicate's relation from a state.
+fn output_relation(prog: &DlProgram, state: &State, output: SymbolId) -> DlResult<Relation> {
+    let tuples: Vec<Tuple> = state.tuples(output).cloned().collect();
+    let arity = prog.arity(output).unwrap_or(0);
+    let rtype = match tuples.first() {
+        Some(t) => RelType::new(t.values().iter().map(|v| v.sort()).collect()),
+        None => RelType::elementary(arity),
+    };
+    Relation::from_tuples(rtype, tuples).map_err(|e| DlError::Core(CoreError::Common(e)))
+}
+
+fn output_id(prog: &DlProgram, output: &str) -> DlResult<SymbolId> {
+    prog.interner()
+        .get(output)
+        .filter(|p| prog.arity(*p).is_some())
+        .ok_or_else(|| DlError::Invalid {
+            clause: None,
+            message: format!("output predicate {output} does not occur in the program"),
+        })
+}
+
+/// Explore every reachable terminal state and collect the output answers.
+///
+/// ```
+/// use idlog_dl::{all_outcomes, Dialect, DlBudget, DlProgram};
+/// use idlog_storage::Database;
+/// use std::sync::Arc;
+///
+/// // Paper Example 3: the man/woman guess program.
+/// let prog = DlProgram::parse(
+///     "man(X) :- person(X), not woman(X).
+///      woman(X) :- person(X), not man(X).",
+///     Dialect::Dl,
+/// ).unwrap();
+/// let mut db = Database::with_interner(Arc::clone(prog.interner()));
+/// db.insert_syms("person", &["a"]).unwrap();
+/// db.insert_syms("person", &["b"]).unwrap();
+///
+/// let outcomes = all_outcomes(&prog, &db, "man", &DlBudget::default()).unwrap();
+/// assert_eq!(outcomes.len(), 4); // ∅, {a}, {b}, {a,b}
+/// ```
+pub fn all_outcomes(
+    prog: &DlProgram,
+    db: &Database,
+    output: &str,
+    budget: &DlBudget,
+) -> DlResult<AnswerSet> {
+    let out_pred = output_id(prog, output)?;
+    let interner = prog.interner().clone();
+    let start = initial_state(db);
+
+    let mut visited: FxHashSet<Vec<(SymbolId, Tuple)>> = FxHashSet::default();
+    let mut stack = vec![start];
+    let mut relations = Vec::new();
+    let mut complete = true;
+    let mut terminals: u64 = 0;
+
+    while let Some(state) = stack.pop() {
+        if !visited.insert(state.key()) {
+            continue;
+        }
+        if visited.len() > budget.max_states {
+            complete = false;
+            break;
+        }
+        let fs = firings(prog, &state)?;
+        if fs.is_empty() {
+            terminals += 1;
+            relations.push(output_relation(prog, &state, out_pred)?);
+            if relations.len() > budget.max_answers {
+                complete = false;
+                break;
+            }
+            continue;
+        }
+        for f in &fs {
+            stack.push(apply(&state, f));
+        }
+    }
+    Ok(AnswerSet::collect(
+        relations, complete, terminals, &interner,
+    ))
+}
+
+/// One run: fire random (or first, with `seed: None`) candidate
+/// instantiations until quiescence.
+pub fn one_outcome(
+    prog: &DlProgram,
+    db: &Database,
+    output: &str,
+    seed: Option<u64>,
+    budget: &DlBudget,
+) -> DlResult<Relation> {
+    let out_pred = output_id(prog, output)?;
+    let mut rng = seed.map(SmallRng::seed_from_u64);
+    let mut state = initial_state(db);
+    for _ in 0..budget.max_steps {
+        let fs = firings(prog, &state)?;
+        if fs.is_empty() {
+            return output_relation(prog, &state, out_pred);
+        }
+        let pick = match &mut rng {
+            Some(rng) => rng.gen_range(0..fs.len()),
+            None => 0,
+        };
+        state = apply(&state, &fs[pick]);
+    }
+    Err(DlError::BudgetExceeded {
+        what: format!("{} firings", budget.max_steps),
+    })
+}
+
+/// The deterministic inflationary fixpoint (DL only): every round applies
+/// *all* firable instantiations simultaneously.
+pub fn deterministic_inflationary(
+    prog: &DlProgram,
+    db: &Database,
+    output: &str,
+) -> DlResult<Relation> {
+    if prog.dialect() != Dialect::Dl {
+        return Err(DlError::Invalid {
+            clause: None,
+            message: "deterministic inflationary semantics is defined for DL only \
+                      (simultaneous deletions conflict)"
+                .into(),
+        });
+    }
+    let out_pred = output_id(prog, output)?;
+    let mut state = initial_state(db);
+    loop {
+        let fs = firings(prog, &state)?;
+        if fs.is_empty() {
+            return output_relation(prog, &state, out_pred);
+        }
+        for f in &fs {
+            for (p, t) in &f.additions {
+                state.insert(*p, t.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idlog_common::Interner;
+    use std::sync::Arc;
+
+    fn setup(src: &str, dialect: Dialect, facts: &[(&str, &[&str])]) -> (DlProgram, Database) {
+        let interner = Arc::new(Interner::new());
+        let ast = idlog_parser::parse_program(src, &interner).unwrap();
+        let prog = DlProgram::new(ast, Arc::clone(&interner), dialect).unwrap();
+        let mut db = Database::with_interner(interner);
+        for (pred, cols) in facts {
+            db.insert_syms(pred, cols).unwrap();
+        }
+        (prog, db)
+    }
+
+    const EXAMPLE3: &str = "
+        man(X) :- person(X), not woman(X).
+        woman(X) :- person(X), not man(X).
+    ";
+
+    #[test]
+    fn paper_example3_nondeterministic() {
+        // Paper: man(r) = woman(r) = {∅, {a}, {b}, {a,b}} under the
+        // non-deterministic inflationary semantics.
+        let (prog, db) = setup(
+            EXAMPLE3,
+            Dialect::Dl,
+            &[("person", &["a"]), ("person", &["b"])],
+        );
+        let all = all_outcomes(&prog, &db, "man", &DlBudget::default()).unwrap();
+        assert!(all.complete());
+        let strings = all.to_sorted_strings(prog.interner());
+        assert_eq!(
+            strings,
+            vec![
+                vec![],
+                vec!["(a)".to_string()],
+                vec!["(a)".to_string(), "(b)".to_string()],
+                vec!["(b)".to_string()],
+            ]
+        );
+        let all_w = all_outcomes(&prog, &db, "woman", &DlBudget::default()).unwrap();
+        assert_eq!(all_w.to_sorted_strings(prog.interner()), strings);
+    }
+
+    #[test]
+    fn paper_example3_deterministic() {
+        // Paper: under the deterministic inflationary semantics,
+        // man(r) = woman(r) = {(a), (b)}.
+        let (prog, db) = setup(
+            EXAMPLE3,
+            Dialect::Dl,
+            &[("person", &["a"]), ("person", &["b"])],
+        );
+        let man = deterministic_inflationary(&prog, &db, "man").unwrap();
+        assert_eq!(man.len(), 2);
+        let woman = deterministic_inflationary(&prog, &db, "woman").unwrap();
+        assert_eq!(woman.len(), 2);
+    }
+
+    #[test]
+    fn one_outcome_is_a_terminal_state() {
+        let (prog, db) = setup(
+            EXAMPLE3,
+            Dialect::Dl,
+            &[("person", &["a"]), ("person", &["b"])],
+        );
+        let all = all_outcomes(&prog, &db, "man", &DlBudget::default()).unwrap();
+        for seed in [None, Some(3), Some(17)] {
+            let rel = one_outcome(&prog, &db, "man", seed, &DlBudget::default()).unwrap();
+            let tuples: Vec<Tuple> = rel.iter().cloned().collect();
+            assert!(all.contains_answer(&tuples), "seed {seed:?}");
+        }
+    }
+
+    #[test]
+    fn positive_programs_are_deterministic() {
+        let (prog, db) = setup(
+            "tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+            Dialect::Dl,
+            &[("e", &["a", "b"]), ("e", &["b", "c"])],
+        );
+        let all = all_outcomes(&prog, &db, "tc", &DlBudget::default()).unwrap();
+        assert_eq!(all.len(), 1, "positive DL programs have one outcome");
+        assert_eq!(all.iter().next().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn conjunctive_heads_fire_together() {
+        let (prog, db) = setup("a(X) & b(X) :- c(X).", Dialect::Dl, &[("c", &["x"])]);
+        let all = all_outcomes(&prog, &db, "a", &DlBudget::default()).unwrap();
+        assert_eq!(all.len(), 1);
+        let b = all_outcomes(&prog, &db, "b", &DlBudget::default()).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.iter().next().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn ndatalog_deletion() {
+        // Mark unprocessed nodes; processing a red node deletes its mark and
+        // records it as processed (so it is never re-marked). Confluent: the
+        // unique terminal state has only n2 marked.
+        let (prog, db) = setup(
+            "mark(X) :- node(X), not processed(X).
+             not mark(X) & processed(X) :- mark(X), red(X).",
+            Dialect::NDatalog,
+            &[("node", &["n1"]), ("node", &["n2"]), ("red", &["n1"])],
+        );
+        let all = all_outcomes(&prog, &db, "mark", &DlBudget::default()).unwrap();
+        assert!(all.complete());
+        let strings = all.to_sorted_strings(prog.interner());
+        assert_eq!(strings, vec![vec!["(n2)".to_string()]]);
+    }
+
+    #[test]
+    fn ndatalog_cycles_do_not_hang_enumeration() {
+        // add/remove cycle: p(x) added when absent... flip-flop. The visited
+        // set makes exploration finite; no terminal state exists.
+        let (prog, db) = setup(
+            "p(X) :- q(X), not p(X).
+             not p(X) :- q(X), p(X).",
+            Dialect::NDatalog,
+            &[("q", &["x"])],
+        );
+        let all = all_outcomes(&prog, &db, "p", &DlBudget::default()).unwrap();
+        assert_eq!(all.len(), 0, "flip-flop program has no terminal state");
+        // And a single run trips the step budget instead of hanging.
+        let budget = DlBudget {
+            max_steps: 100,
+            ..Default::default()
+        };
+        assert!(matches!(
+            one_outcome(&prog, &db, "p", Some(1), &budget),
+            Err(DlError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_output_is_error() {
+        let (prog, db) = setup("p(X) :- q(X).", Dialect::Dl, &[]);
+        assert!(all_outcomes(&prog, &db, "zzz", &DlBudget::default()).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! DL and N-DATALOG: the non-deterministic *inflationary* baselines
+//! (\[AV88\], \[ASV90\]) the paper contrasts IDLOG with (§3.2.1).
+//!
+//! Both languages have DATALOG-like clauses evaluated bottom-up **one
+//! instantiation at a time**; the choice of which instantiation fires next is
+//! the source of non-determinism, and negation in bodies is evaluated
+//! against the *current* state (no stratification).
+//!
+//! * **DL** — clauses may have several positive head atoms (conjunction) and
+//!   negative body literals; facts are only ever added. Invented values
+//!   (head variables absent from the body) are *not* supported here: the
+//!   paper's examples do not use them, and without them every query is
+//!   finite-state. This substitution is recorded in `DESIGN.md`.
+//! * **N-DATALOG** — additionally allows negated head atoms, interpreted as
+//!   deletions; an instantiation fires only if its head is consistent.
+//!
+//! [`all_outcomes`] explores every reachable terminal state (budgeted) so DL
+//! answer sets can be compared 1:1 with IDLOG answer sets ([`idlog_core::AnswerSet`]).
+
+#![warn(missing_docs)]
+
+pub mod disj;
+pub mod error;
+pub mod eval;
+pub mod machine;
+
+pub use disj::DisjProgram;
+pub use error::{DlError, DlResult};
+pub use eval::{all_outcomes, deterministic_inflationary, one_outcome, Dialect, DlBudget};
+pub use machine::{DlProgram, State};

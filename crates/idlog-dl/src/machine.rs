@@ -1,0 +1,269 @@
+//! Validated DL / N-DATALOG programs and evaluation states.
+
+use std::sync::Arc;
+
+use idlog_common::{FxHashMap, FxHashSet, Interner, SymbolId, Tuple, Value};
+use idlog_core::safety::{order_clause, ClauseOrder};
+use idlog_parser::{Literal, Program, Term};
+
+use crate::error::{DlError, DlResult};
+use crate::eval::Dialect;
+
+/// A validated DL or N-DATALOG program.
+#[derive(Debug, Clone)]
+pub struct DlProgram {
+    interner: Arc<Interner>,
+    ast: Program,
+    dialect: Dialect,
+    orders: Vec<ClauseOrder>,
+    arities: FxHashMap<SymbolId, usize>,
+}
+
+impl DlProgram {
+    /// Validate `ast` under the given dialect.
+    pub fn new(ast: Program, interner: Arc<Interner>, dialect: Dialect) -> DlResult<Self> {
+        let mut arities: FxHashMap<SymbolId, usize> = FxHashMap::default();
+        for (ci, clause) in ast.clauses.iter().enumerate() {
+            if clause.head.is_empty() {
+                return Err(DlError::Invalid {
+                    clause: Some(ci),
+                    message: "empty head".into(),
+                });
+            }
+            for h in &clause.head {
+                if h.negated && dialect == Dialect::Dl {
+                    return Err(DlError::Invalid {
+                        clause: Some(ci),
+                        message: "negated heads require the N-DATALOG dialect".into(),
+                    });
+                }
+                if h.atom.pred.is_id_version() {
+                    return Err(DlError::Invalid {
+                        clause: Some(ci),
+                        message: "ID-atoms belong to IDLOG, not DL".into(),
+                    });
+                }
+            }
+            for l in &clause.body {
+                if matches!(l, Literal::Choice { .. }) {
+                    return Err(DlError::Invalid {
+                        clause: Some(ci),
+                        message: "choice literals belong to DATALOG^C".into(),
+                    });
+                }
+                if matches!(l, Literal::Cut) {
+                    return Err(DlError::Invalid {
+                        clause: Some(ci),
+                        message: "cut is a top-down construct (see idlog_choice::cut)".into(),
+                    });
+                }
+                if let Some(a) = l.atom() {
+                    if a.pred.is_id_version() {
+                        return Err(DlError::Invalid {
+                            clause: Some(ci),
+                            message: "ID-atoms belong to IDLOG, not DL".into(),
+                        });
+                    }
+                }
+            }
+            // Arity consistency.
+            let mut check = |pred: SymbolId, arity: usize| -> DlResult<()> {
+                match arities.get(&pred) {
+                    Some(&a) if a != arity => Err(DlError::Invalid {
+                        clause: Some(ci),
+                        message: format!(
+                            "predicate {} used with arities {a} and {arity}",
+                            interner.resolve(pred)
+                        ),
+                    }),
+                    _ => {
+                        arities.insert(pred, arity);
+                        Ok(())
+                    }
+                }
+            };
+            for h in &clause.head {
+                check(h.atom.pred.base(), h.atom.terms.len())?;
+            }
+            for l in &clause.body {
+                if let Some(a) = l.atom() {
+                    check(a.pred.base(), a.terms.len())?;
+                }
+            }
+        }
+
+        // Safety: reuse the IDLOG ordering search; it also rejects invented
+        // values (head variables unbound by the body).
+        let mut orders = Vec::with_capacity(ast.clauses.len());
+        for (ci, clause) in ast.clauses.iter().enumerate() {
+            let order = order_clause(clause, ci).map_err(|e| DlError::Invalid {
+                clause: Some(ci),
+                message: e.to_string(),
+            })?;
+            orders.push(order);
+        }
+
+        Ok(DlProgram {
+            interner,
+            ast,
+            dialect,
+            orders,
+            arities,
+        })
+    }
+
+    /// Parse and validate.
+    pub fn parse(src: &str, dialect: Dialect) -> DlResult<Self> {
+        let interner = Arc::new(Interner::new());
+        let ast = idlog_parser::parse_program(src, &interner)?;
+        Self::new(ast, interner, dialect)
+    }
+
+    /// The shared interner.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
+    }
+
+    /// The dialect this program was validated under.
+    pub fn dialect(&self) -> Dialect {
+        self.dialect
+    }
+
+    /// The clause list.
+    pub fn ast(&self) -> &Program {
+        &self.ast
+    }
+
+    /// All clause orders (for the shared body matcher).
+    pub(crate) fn orders(&self) -> &[ClauseOrder] {
+        &self.orders
+    }
+
+    /// Arity of a predicate, if used.
+    pub fn arity(&self, pred: SymbolId) -> Option<usize> {
+        self.arities.get(&pred).copied()
+    }
+}
+
+/// A fact set during inflationary evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct State {
+    facts: FxHashMap<SymbolId, FxHashSet<Tuple>>,
+}
+
+impl State {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, pred: SymbolId, t: &Tuple) -> bool {
+        self.facts.get(&pred).is_some_and(|s| s.contains(t))
+    }
+
+    /// Add a fact; true if new.
+    pub fn insert(&mut self, pred: SymbolId, t: Tuple) -> bool {
+        self.facts.entry(pred).or_default().insert(t)
+    }
+
+    /// Remove a fact; true if present.
+    pub fn remove(&mut self, pred: SymbolId, t: &Tuple) -> bool {
+        self.facts.get_mut(&pred).is_some_and(|s| s.remove(t))
+    }
+
+    /// Tuples of one predicate.
+    pub fn tuples(&self, pred: SymbolId) -> impl Iterator<Item = &Tuple> {
+        self.facts.get(&pred).into_iter().flatten()
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.values().map(|s| s.len()).sum()
+    }
+
+    /// True when no facts are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A canonical (within this run) key for visited-state deduplication.
+    pub fn key(&self) -> Vec<(SymbolId, Tuple)> {
+        let mut v: Vec<(SymbolId, Tuple)> = self
+            .facts
+            .iter()
+            .flat_map(|(&p, ts)| ts.iter().map(move |t| (p, t.clone())))
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+/// Ground an atom's terms under bindings (all variables must be bound).
+pub(crate) fn ground_atom(
+    terms: &[Term],
+    vars: &FxHashMap<&str, usize>,
+    bindings: &[Option<Value>],
+) -> Tuple {
+    terms
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => bindings[vars[v.as_str()]].expect("head variable bound"),
+            Term::Sym(s) => Value::Sym(*s),
+            Term::Int(n) => Value::Int(*n),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dl_rejects_negated_heads() {
+        assert!(DlProgram::parse("not a(X) :- b(X).", Dialect::Dl).is_err());
+        assert!(DlProgram::parse("not a(X) :- b(X).", Dialect::NDatalog).is_ok());
+    }
+
+    #[test]
+    fn rejects_id_atoms_everywhere() {
+        assert!(DlProgram::parse("a(X) :- b[](X, 0).", Dialect::Dl).is_err());
+    }
+
+    #[test]
+    fn rejects_choice() {
+        assert!(DlProgram::parse("a(X) :- b(X, Y), choice((X), (Y)).", Dialect::Dl).is_err());
+    }
+
+    #[test]
+    fn rejects_invented_values() {
+        // Head variable Y not bound by the body: DL's invented values are
+        // out of scope here (documented substitution).
+        assert!(DlProgram::parse("a(X, Y) :- b(X).", Dialect::Dl).is_err());
+    }
+
+    #[test]
+    fn multi_head_is_fine() {
+        let p = DlProgram::parse("a(X) & b(X) :- c(X).", Dialect::Dl).unwrap();
+        assert_eq!(p.ast().clauses[0].head.len(), 2);
+    }
+
+    #[test]
+    fn state_roundtrip_and_key() {
+        let i = Interner::new();
+        let p = i.intern("p");
+        let q = i.intern("q");
+        let t: Tuple = vec![Value::Sym(i.intern("a"))].into();
+        let mut s = State::new();
+        assert!(s.insert(p, t.clone()));
+        assert!(!s.insert(p, t.clone()));
+        assert!(s.contains(p, &t));
+        assert!(!s.contains(q, &t));
+        assert_eq!(s.len(), 1);
+        let mut s2 = State::new();
+        s2.insert(p, t.clone());
+        assert_eq!(s.key(), s2.key());
+        assert!(s.remove(p, &t));
+        assert!(s.is_empty());
+    }
+}

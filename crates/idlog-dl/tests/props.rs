@@ -1,0 +1,77 @@
+//! Property-based tests for the inflationary semantics.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use idlog_common::{Interner, Tuple};
+use idlog_dl::{
+    all_outcomes, deterministic_inflationary, one_outcome, Dialect, DlBudget, DlProgram,
+};
+use idlog_storage::Database;
+
+fn person_db(interner: &Arc<Interner>, n: usize) -> Database {
+    let mut db = Database::with_interner(Arc::clone(interner));
+    for k in 0..n {
+        db.insert_syms("person", &[&format!("p{k}")]).unwrap();
+    }
+    db
+}
+
+const GUESS: &str = "
+    man(X) :- person(X), not woman(X).
+    woman(X) :- person(X), not man(X).
+";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Example 3 generalizes: on n persons the guess program has exactly 2^n
+    /// outcomes for `man` (every subset).
+    #[test]
+    fn guess_program_has_all_subsets(n in 0usize..4) {
+        let interner = Arc::new(Interner::new());
+        let ast = idlog_core::parse_program(GUESS, &interner).unwrap();
+        let prog = DlProgram::new(ast, Arc::clone(&interner), Dialect::Dl).unwrap();
+        let db = person_db(&interner, n);
+        let outcomes = all_outcomes(&prog, &db, "man", &DlBudget::default()).unwrap();
+        prop_assert!(outcomes.complete());
+        prop_assert_eq!(outcomes.len(), 1 << n);
+    }
+
+    /// Every sampled run ends in an outcome the exhaustive walk knows.
+    #[test]
+    fn sampled_outcome_is_enumerated(n in 1usize..4, seed in any::<u64>()) {
+        let interner = Arc::new(Interner::new());
+        let ast = idlog_core::parse_program(GUESS, &interner).unwrap();
+        let prog = DlProgram::new(ast, Arc::clone(&interner), Dialect::Dl).unwrap();
+        let db = person_db(&interner, n);
+        let all = all_outcomes(&prog, &db, "man", &DlBudget::default()).unwrap();
+        let one = one_outcome(&prog, &db, "man", Some(seed), &DlBudget::default()).unwrap();
+        let tuples: Vec<Tuple> = one.iter().cloned().collect();
+        prop_assert!(all.contains_answer(&tuples));
+    }
+
+    /// Positive DL programs are confluent: exactly one outcome, equal to
+    /// the deterministic inflationary fixpoint.
+    #[test]
+    fn positive_programs_are_confluent(
+        edges in proptest::collection::vec((0usize..4, 0usize..4), 0..8),
+    ) {
+        let interner = Arc::new(Interner::new());
+        let ast = idlog_core::parse_program(
+            "tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+            &interner,
+        ).unwrap();
+        let prog = DlProgram::new(ast, Arc::clone(&interner), Dialect::Dl).unwrap();
+        let mut db = Database::with_interner(Arc::clone(&interner));
+        for (a, b) in &edges {
+            db.insert_syms("e", &[&format!("v{a}"), &format!("v{b}")]).unwrap();
+        }
+        let all = all_outcomes(&prog, &db, "tc", &DlBudget::default()).unwrap();
+        prop_assert_eq!(all.len(), 1);
+        let det = deterministic_inflationary(&prog, &db, "tc").unwrap();
+        let only: Vec<Tuple> = det.iter().cloned().collect();
+        prop_assert!(all.contains_answer(&only));
+    }
+}

@@ -1,0 +1,38 @@
+//! Errors for the Turing machine substrate.
+
+use std::fmt;
+
+/// Failures building, encoding for, or running a machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GtmError {
+    /// Machine definition is inconsistent (bad state/symbol index, …).
+    BadMachine {
+        /// What is wrong.
+        message: String,
+    },
+    /// Input uses a symbol outside the machine's alphabet.
+    BadInput {
+        /// What is wrong.
+        message: String,
+    },
+    /// Execution exceeded the step or branch budget.
+    BudgetExceeded {
+        /// Which bound tripped.
+        what: String,
+    },
+}
+
+impl fmt::Display for GtmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GtmError::BadMachine { message } => write!(f, "bad machine: {message}"),
+            GtmError::BadInput { message } => write!(f, "bad input: {message}"),
+            GtmError::BudgetExceeded { what } => write!(f, "budget exceeded: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GtmError {}
+
+/// Result alias.
+pub type GtmResult<T> = Result<T, GtmError>;

@@ -1,0 +1,201 @@
+//! Turing machine definitions.
+
+use idlog_common::FxHashMap;
+
+use crate::error::{GtmError, GtmResult};
+
+/// Head movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// One cell left.
+    Left,
+    /// One cell right.
+    Right,
+    /// Stay put.
+    Stay,
+}
+
+/// One transition: write `write`, move `mv`, go to `next`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Symbol written.
+    pub write: u8,
+    /// Head movement.
+    pub mv: Move,
+    /// Next state.
+    pub next: usize,
+}
+
+/// A (possibly non-deterministic) Turing machine over a finite symbol
+/// alphabet `0..n_symbols` (symbol 0 is the blank).
+#[derive(Debug, Clone)]
+pub struct Tm {
+    n_states: usize,
+    n_symbols: usize,
+    start: usize,
+    accept: usize,
+    /// `(state, symbol)` → applicable transitions (empty = halt in place).
+    delta: FxHashMap<(usize, u8), Vec<Transition>>,
+}
+
+impl Tm {
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Alphabet size (symbol 0 is blank).
+    pub fn n_symbols(&self) -> usize {
+        self.n_symbols
+    }
+
+    /// Start state.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Accepting state (halting; no transitions may leave it).
+    pub fn accept(&self) -> usize {
+        self.accept
+    }
+
+    /// Transitions applicable in `(state, symbol)`.
+    pub fn transitions(&self, state: usize, symbol: u8) -> &[Transition] {
+        self.delta
+            .get(&(state, symbol))
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// The largest branching factor over all `(state, symbol)` pairs.
+    pub fn max_branching(&self) -> usize {
+        self.delta.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// True when no configuration has more than one applicable transition.
+    pub fn is_deterministic(&self) -> bool {
+        self.max_branching() <= 1
+    }
+
+    /// Iterate all `(state, symbol, transitions)` entries.
+    pub fn delta_entries(&self) -> impl Iterator<Item = (usize, u8, &[Transition])> {
+        self.delta.iter().map(|(&(q, s), ts)| (q, s, ts.as_slice()))
+    }
+}
+
+/// Builder for [`Tm`].
+#[derive(Debug, Clone)]
+pub struct TmBuilder {
+    n_states: usize,
+    n_symbols: usize,
+    start: usize,
+    accept: usize,
+    delta: FxHashMap<(usize, u8), Vec<Transition>>,
+}
+
+impl TmBuilder {
+    /// A machine skeleton with the given state and symbol counts.
+    pub fn new(n_states: usize, n_symbols: usize, start: usize, accept: usize) -> Self {
+        TmBuilder {
+            n_states,
+            n_symbols,
+            start,
+            accept,
+            delta: FxHashMap::default(),
+        }
+    }
+
+    /// Add a transition (may be called repeatedly on the same `(state,
+    /// symbol)` for non-determinism).
+    pub fn on(mut self, state: usize, symbol: u8, write: u8, mv: Move, next: usize) -> Self {
+        self.delta
+            .entry((state, symbol))
+            .or_default()
+            .push(Transition { write, mv, next });
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> GtmResult<Tm> {
+        if self.start >= self.n_states || self.accept >= self.n_states {
+            return Err(GtmError::BadMachine {
+                message: "start/accept state out of range".into(),
+            });
+        }
+        for (&(q, s), ts) in &self.delta {
+            if q >= self.n_states || s as usize >= self.n_symbols {
+                return Err(GtmError::BadMachine {
+                    message: format!("transition source ({q}, {s}) out of range"),
+                });
+            }
+            if q == self.accept {
+                return Err(GtmError::BadMachine {
+                    message: "accepting state must halt".into(),
+                });
+            }
+            for t in ts {
+                if t.next >= self.n_states || t.write as usize >= self.n_symbols {
+                    return Err(GtmError::BadMachine {
+                        message: format!("transition target from ({q}, {s}) out of range"),
+                    });
+                }
+            }
+        }
+        Ok(Tm {
+            n_states: self.n_states,
+            n_symbols: self.n_symbols,
+            start: self.start,
+            accept: self.accept,
+            delta: self.delta,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let tm = TmBuilder::new(3, 2, 0, 2)
+            .on(0, 0, 1, Move::Right, 1)
+            .on(1, 0, 0, Move::Stay, 2)
+            .build()
+            .unwrap();
+        assert!(tm.is_deterministic());
+        assert_eq!(tm.transitions(0, 0).len(), 1);
+        assert_eq!(tm.transitions(0, 1).len(), 0);
+        assert_eq!(tm.max_branching(), 1);
+    }
+
+    #[test]
+    fn nondeterminism_detected() {
+        let tm = TmBuilder::new(2, 2, 0, 1)
+            .on(0, 0, 0, Move::Stay, 1)
+            .on(0, 0, 1, Move::Stay, 1)
+            .build()
+            .unwrap();
+        assert!(!tm.is_deterministic());
+        assert_eq!(tm.max_branching(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_indices() {
+        assert!(TmBuilder::new(2, 2, 5, 1).build().is_err());
+        assert!(TmBuilder::new(2, 2, 0, 1)
+            .on(0, 0, 7, Move::Stay, 1)
+            .build()
+            .is_err());
+        assert!(TmBuilder::new(2, 2, 0, 1)
+            .on(0, 5, 0, Move::Stay, 1)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn accepting_state_must_halt() {
+        assert!(TmBuilder::new(2, 2, 0, 1)
+            .on(1, 0, 0, Move::Stay, 0)
+            .build()
+            .is_err());
+    }
+}

@@ -1,0 +1,247 @@
+//! Bounded execution: deterministic runs and exhaustive branch exploration.
+
+use idlog_common::FxHashSet;
+
+use crate::error::{GtmError, GtmResult};
+use crate::machine::{Move, Tm};
+use crate::tape::Tape;
+
+/// Bounds on execution.
+#[derive(Debug, Clone, Copy)]
+pub struct RunBudget {
+    /// Maximum steps along any single run.
+    pub max_steps: usize,
+    /// Maximum configurations explored in [`explore`].
+    pub max_configs: usize,
+}
+
+impl Default for RunBudget {
+    fn default() -> Self {
+        RunBudget {
+            max_steps: 10_000,
+            max_configs: 100_000,
+        }
+    }
+}
+
+/// How one run (or branch) ended.
+///
+/// Non-deterministic choice is *choose-then-block*: a branch first commits
+/// to a transition; if that transition's move would fall off the left tape
+/// edge, the branch halts in place (no write, no state change). This matches
+/// the compiled IDLOG simulation, where the coin is flipped before the move
+/// guard can fail, so outcome sets are comparable model-for-model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Halted in the accepting state; the final tape contents.
+    Accepted(Vec<u8>),
+    /// Halted in a non-accepting state.
+    Halted(Vec<u8>),
+}
+
+/// A transition is applicable when its move stays on the tape.
+fn applicable(t: &crate::machine::Transition, tape: &Tape) -> bool {
+    !(t.mv == Move::Left && tape.head() == 0)
+}
+
+/// Run a deterministic machine to halting (or budget exhaustion).
+pub fn run_deterministic(tm: &Tm, input: &[u8], budget: &RunBudget) -> GtmResult<Outcome> {
+    if !tm.is_deterministic() {
+        return Err(GtmError::BadMachine {
+            message: "run_deterministic on a non-deterministic machine".into(),
+        });
+    }
+    check_input(tm, input)?;
+    let mut tape = Tape::new(input);
+    let mut state = tm.start();
+    for _ in 0..budget.max_steps {
+        let ts = tm.transitions(state, tape.read());
+        // Deterministic: one candidate; blocked or absent means halt.
+        let Some(t) = ts.first().filter(|t| applicable(t, &tape)) else {
+            return Ok(done(tm, state, &tape));
+        };
+        tape.write(t.write);
+        match t.mv {
+            Move::Left => {
+                let moved = tape.left();
+                debug_assert!(moved, "applicability checked above");
+            }
+            Move::Right => tape.right(),
+            Move::Stay => {}
+        }
+        state = t.next;
+    }
+    Err(GtmError::BudgetExceeded {
+        what: format!("{} steps", budget.max_steps),
+    })
+}
+
+fn done(tm: &Tm, state: usize, tape: &Tape) -> Outcome {
+    if state == tm.accept() {
+        Outcome::Accepted(tape.contents())
+    } else {
+        Outcome::Halted(tape.contents())
+    }
+}
+
+/// Explore every branch of a (non-deterministic) machine; returns the set
+/// of distinct outcomes (deduplicated).
+pub fn explore(tm: &Tm, input: &[u8], budget: &RunBudget) -> GtmResult<Vec<Outcome>> {
+    check_input(tm, input)?;
+    let mut outcomes: Vec<Outcome> = Vec::new();
+    let mut seen_outcomes: FxHashSet<(bool, Vec<u8>)> = FxHashSet::default();
+    type ConfigKey = (usize, usize, (usize, Vec<(usize, u8)>));
+    let mut visited: FxHashSet<ConfigKey> = FxHashSet::default();
+    // (state, steps, tape)
+    let mut stack: Vec<(usize, usize, Tape)> = vec![(tm.start(), 0, Tape::new(input))];
+
+    while let Some((state, steps, tape)) = stack.pop() {
+        if !visited.insert((state, steps, tape.key())) {
+            continue;
+        }
+        if visited.len() > budget.max_configs {
+            return Err(GtmError::BudgetExceeded {
+                what: format!("{} configurations", budget.max_configs),
+            });
+        }
+        let ts = tm.transitions(state, tape.read());
+        if ts.is_empty() || steps >= budget.max_steps {
+            if ts.is_empty() {
+                let o = done(tm, state, &tape);
+                let k = (matches!(o, Outcome::Accepted(_)), contents_of(&o));
+                if seen_outcomes.insert(k) {
+                    outcomes.push(o);
+                }
+            } else {
+                return Err(GtmError::BudgetExceeded {
+                    what: format!("{} steps", budget.max_steps),
+                });
+            }
+            continue;
+        }
+        for t in ts {
+            // Choose-then-block: a committed-to transition whose move is
+            // impossible halts this branch in place, without the write.
+            if !applicable(t, &tape) {
+                let o = done(tm, state, &tape);
+                let k = (matches!(o, Outcome::Accepted(_)), contents_of(&o));
+                if seen_outcomes.insert(k) {
+                    outcomes.push(o);
+                }
+                continue;
+            }
+            let mut tape2 = tape.clone();
+            tape2.write(t.write);
+            match t.mv {
+                Move::Left => {
+                    let moved = tape2.left();
+                    debug_assert!(moved, "applicability checked above");
+                }
+                Move::Right => tape2.right(),
+                Move::Stay => {}
+            }
+            stack.push((t.next, steps + 1, tape2));
+        }
+    }
+    Ok(outcomes)
+}
+
+fn contents_of(o: &Outcome) -> Vec<u8> {
+    match o {
+        Outcome::Accepted(v) | Outcome::Halted(v) => v.clone(),
+    }
+}
+
+fn check_input(tm: &Tm, input: &[u8]) -> GtmResult<()> {
+    if let Some(&bad) = input.iter().find(|&&s| s as usize >= tm.n_symbols()) {
+        return Err(GtmError::BadInput {
+            message: format!("symbol {bad} outside alphabet of size {}", tm.n_symbols()),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::TmBuilder;
+
+    /// Replaces every 1 with 2, accepts at the first blank.
+    fn rewriter() -> Tm {
+        TmBuilder::new(2, 3, 0, 1)
+            .on(0, 1, 2, Move::Right, 0)
+            .on(0, 2, 2, Move::Right, 0)
+            .on(0, 0, 0, Move::Stay, 1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn deterministic_run() {
+        let out = run_deterministic(&rewriter(), &[1, 1, 2], &RunBudget::default()).unwrap();
+        assert_eq!(out, Outcome::Accepted(vec![2, 2, 2]));
+    }
+
+    #[test]
+    fn explore_matches_deterministic() {
+        let outs = explore(&rewriter(), &[1, 1], &RunBudget::default()).unwrap();
+        assert_eq!(outs, vec![Outcome::Accepted(vec![2, 2])]);
+    }
+
+    #[test]
+    fn nondeterministic_branches() {
+        // Writes 1 or 2 at position 0, then accepts.
+        let tm = TmBuilder::new(2, 3, 0, 1)
+            .on(0, 0, 1, Move::Stay, 1)
+            .on(0, 0, 2, Move::Stay, 1)
+            .build()
+            .unwrap();
+        let mut outs = explore(&tm, &[], &RunBudget::default()).unwrap();
+        outs.sort_by_key(contents_of);
+        assert_eq!(
+            outs,
+            vec![Outcome::Accepted(vec![1]), Outcome::Accepted(vec![2])]
+        );
+        assert!(run_deterministic(&tm, &[], &RunBudget::default()).is_err());
+    }
+
+    #[test]
+    fn left_edge_blocks_the_transition() {
+        // The only transition moves left from position 0: inapplicable, so
+        // the machine halts immediately without writing.
+        let tm = TmBuilder::new(2, 2, 0, 1)
+            .on(0, 0, 1, Move::Left, 0)
+            .build()
+            .unwrap();
+        let outs = explore(&tm, &[], &RunBudget::default()).unwrap();
+        assert_eq!(outs, vec![Outcome::Halted(vec![])]);
+        let det = run_deterministic(&tm, &[], &RunBudget::default()).unwrap();
+        assert_eq!(det, Outcome::Halted(vec![]));
+    }
+
+    #[test]
+    fn infinite_loop_hits_budget() {
+        let tm = TmBuilder::new(2, 2, 0, 1)
+            .on(0, 0, 1, Move::Right, 0)
+            .on(0, 1, 1, Move::Right, 0)
+            .build()
+            .unwrap();
+        let budget = RunBudget {
+            max_steps: 50,
+            max_configs: 1000,
+        };
+        assert!(matches!(
+            run_deterministic(&tm, &[], &budget),
+            Err(GtmError::BudgetExceeded { .. })
+        ));
+        assert!(matches!(
+            explore(&tm, &[], &budget),
+            Err(GtmError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_input_symbol_rejected() {
+        assert!(run_deterministic(&rewriter(), &[9], &RunBudget::default()).is_err());
+    }
+}

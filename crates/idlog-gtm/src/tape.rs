@@ -1,0 +1,116 @@
+//! Half-infinite tapes.
+//!
+//! The compiled IDLOG simulation works over a bounded position range, so
+//! the native tape is half-infinite (positions `0..`) to match: a machine
+//! that walks off the left edge halts (the branch dies), in both backends.
+
+use idlog_common::FxHashMap;
+
+/// A tape over symbols `0..n` (0 = blank), positions `0..`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tape {
+    cells: FxHashMap<usize, u8>,
+    head: usize,
+}
+
+impl Tape {
+    /// A tape initialized with `input` starting at position 0, head at 0.
+    pub fn new(input: &[u8]) -> Self {
+        let cells = input
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s != 0)
+            .map(|(i, &s)| (i, s))
+            .collect();
+        Tape { cells, head: 0 }
+    }
+
+    /// Current head position.
+    pub fn head(&self) -> usize {
+        self.head
+    }
+
+    /// Symbol under the head.
+    pub fn read(&self) -> u8 {
+        self.cells.get(&self.head).copied().unwrap_or(0)
+    }
+
+    /// Write under the head.
+    pub fn write(&mut self, s: u8) {
+        if s == 0 {
+            self.cells.remove(&self.head);
+        } else {
+            self.cells.insert(self.head, s);
+        }
+    }
+
+    /// Move the head left; false (and no move) at the left edge.
+    pub fn left(&mut self) -> bool {
+        if self.head == 0 {
+            return false;
+        }
+        self.head -= 1;
+        true
+    }
+
+    /// Move the head right.
+    pub fn right(&mut self) {
+        self.head += 1;
+    }
+
+    /// Rightmost non-blank position, if any.
+    pub fn extent(&self) -> Option<usize> {
+        self.cells.keys().copied().max()
+    }
+
+    /// The tape contents from position 0 through the last non-blank cell.
+    pub fn contents(&self) -> Vec<u8> {
+        match self.extent() {
+            None => Vec::new(),
+            Some(hi) => (0..=hi)
+                .map(|i| self.cells.get(&i).copied().unwrap_or(0))
+                .collect(),
+        }
+    }
+
+    /// A canonical key (sorted cells + head) for visited-set deduplication.
+    pub fn key(&self) -> (usize, Vec<(usize, u8)>) {
+        let mut cells: Vec<(usize, u8)> = self.cells.iter().map(|(&p, &s)| (p, s)).collect();
+        cells.sort_unstable();
+        (self.head, cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_move() {
+        let mut t = Tape::new(&[1, 2, 0, 3]);
+        assert_eq!(t.read(), 1);
+        t.right();
+        assert_eq!(t.read(), 2);
+        t.write(0);
+        assert_eq!(t.read(), 0);
+        assert!(t.left());
+        assert!(!t.left());
+        assert_eq!(t.head(), 0);
+    }
+
+    #[test]
+    fn contents_trim_trailing_blanks() {
+        let t = Tape::new(&[0, 1, 0, 0]);
+        assert_eq!(t.contents(), vec![0, 1]);
+        let empty = Tape::new(&[0, 0]);
+        assert_eq!(empty.contents(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn keys_distinguish_head_positions() {
+        let mut a = Tape::new(&[1]);
+        let b = a.clone();
+        a.right();
+        assert_ne!(a.key(), b.key());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based Theorem 6 testing: randomly generated small Turing
+//! machines, compiled to IDLOG, produce the same accepting-tape sets as
+//! native exploration.
+
+use proptest::prelude::*;
+
+use idlog_core::EnumBudget;
+use idlog_gtm::{compile_tm, explore, Move, Outcome, RunBudget, Tm, TmBuilder};
+
+/// A random machine: ≤3 working states + accept state, alphabet {0,1,2},
+/// 1–2 transitions per (state, symbol) over a random subset of pairs.
+/// Transition targets may include the accept state, so many machines halt.
+fn arb_tm() -> impl Strategy<Value = Tm> {
+    let transition = (
+        0u8..3,
+        prop_oneof![Just(Move::Left), Just(Move::Right), Just(Move::Stay)],
+        0usize..4,
+    );
+    proptest::collection::vec(
+        (
+            (0usize..3, 0u8..3),
+            proptest::collection::vec(transition, 1..3),
+        ),
+        0..6,
+    )
+    .prop_map(|entries| {
+        let mut b = TmBuilder::new(4, 3, 0, 3);
+        for ((q, s), ts) in entries {
+            for (w, mv, next) in ts {
+                b = b.on(q, s, w, mv, next);
+            }
+        }
+        b.build().expect("generated machine is well-formed")
+    })
+}
+
+fn nonblank(tape: &[u8]) -> Vec<(usize, u8)> {
+    tape.iter()
+        .enumerate()
+        .filter(|&(_, &s)| s != 0)
+        .map(|(p, &s)| (p, s))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The \[HS89\] encoding of a unary relation decodes back to the same
+    /// constants under any enumeration order.
+    #[test]
+    fn encode_decode_roundtrip(members in proptest::collection::btree_set(0usize..12, 0..8)) {
+        use idlog_gtm::{decode_unary_relation, encode_database, EncodeOrder};
+        use idlog_storage::Database;
+        let mut db = Database::new();
+        db.declare("p", idlog_core::RelType::elementary(1)).unwrap();
+        for m in &members {
+            db.insert_syms("p", &[&format!("c{m:02}")]).unwrap();
+        }
+        let order = EncodeOrder::canonical(&db);
+        let tape = encode_database(&db, &order, &["p"]).unwrap();
+        let decoded = decode_unary_relation(&tape, &order).unwrap();
+        let mut names: Vec<String> =
+            decoded.iter().map(|&s| db.interner().resolve(s)).collect();
+        names.sort();
+        let mut want: Vec<String> = members.iter().map(|m| format!("c{m:02}")).collect();
+        want.sort();
+        prop_assert_eq!(names, want);
+    }
+
+    /// Compiled accepting-tape sets equal native ones for bounded runs.
+    #[test]
+    fn compiled_matches_native(tm in arb_tm(), input in proptest::collection::vec(1u8..3, 0..3)) {
+        const STEPS: usize = 4;
+        const SPACE: usize = 8;
+        // Native exploration with the same step bound; skip machines whose
+        // exploration exceeds it (the compiled bound would differ).
+        let native = match explore(&tm, &input, &RunBudget { max_steps: STEPS, max_configs: 10_000 }) {
+            Ok(outs) => outs,
+            Err(_) => return Ok(()), // some branch exceeded the budget: incomparable
+        };
+        let mut native_tapes: Vec<Vec<(usize, u8)>> = native
+            .iter()
+            .filter_map(|o| match o {
+                Outcome::Accepted(t) => Some(nonblank(t)).filter(|nb| !nb.is_empty()),
+                Outcome::Halted(_) => None,
+            })
+            .collect();
+        native_tapes.sort();
+        native_tapes.dedup();
+
+        let compiled = compile_tm(&tm, STEPS, SPACE);
+        let budget = EnumBudget { max_models: 500_000, max_answers: 100_000 };
+        let tapes = compiled.accepting_tapes(&input, &budget).unwrap();
+        prop_assert_eq!(
+            tapes, native_tapes,
+            "machine with {} transitions disagrees on input {:?}",
+            tm.delta_entries().count(), input
+        );
+    }
+
+    /// Acceptance (may/must) agrees between backends.
+    #[test]
+    fn acceptance_matches_native(tm in arb_tm()) {
+        const STEPS: usize = 4;
+        let native = match explore(&tm, &[], &RunBudget { max_steps: STEPS, max_configs: 10_000 }) {
+            Ok(outs) => outs,
+            Err(_) => return Ok(()),
+        };
+        let native_some = native.iter().any(|o| matches!(o, Outcome::Accepted(_)));
+        let native_all = !native.is_empty()
+            && native.iter().all(|o| matches!(o, Outcome::Accepted(_)));
+
+        let compiled = compile_tm(&tm, STEPS, 8);
+        let budget = EnumBudget { max_models: 500_000, max_answers: 100_000 };
+        let (some, all) = compiled.acceptance(&[], &budget).unwrap();
+        prop_assert_eq!(some, native_some, "may-accept disagrees");
+        if native_some {
+            prop_assert_eq!(all, native_all, "must-accept disagrees");
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Bounded q-equivalence checking.
+//!
+//! Two programs are *q-equivalent* when they define the same query `q`
+//! (\[She90b\] §3.1) — for non-deterministic programs, the same *set* of
+//! answers on every input database. Exact checking is undecidable
+//! (Theorem 3), so we check on a caller-supplied or randomly generated
+//! family of small databases: the paper's own counterexamples (Example 7)
+//! are witnessed by databases with ≤ 2 constants, so small instances carry
+//! real discriminating power.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use idlog_common::Interner;
+use idlog_core::{enumerate::enumerate_answers, CoreResult, EnumBudget, ValidatedProgram};
+use idlog_parser::Program;
+use idlog_storage::Database;
+
+/// Outcome of a bounded equivalence check.
+#[derive(Debug, Clone)]
+pub struct EquivalenceReport {
+    /// True when every checked database gave identical answer sets.
+    pub equivalent: bool,
+    /// Index of the first database that distinguished the programs.
+    pub counterexample: Option<usize>,
+    /// Number of databases checked (all of them when equivalent).
+    pub databases_checked: usize,
+}
+
+/// Compare the answer sets of two programs for `output` on each database.
+///
+/// Both programs must share `interner` (and so must the databases).
+pub fn q_equivalent_on(
+    p1: &Program,
+    p2: &Program,
+    interner: &Arc<Interner>,
+    dbs: &[Database],
+    output: &str,
+    budget: &EnumBudget,
+) -> CoreResult<EquivalenceReport> {
+    let v1 = ValidatedProgram::new(p1.clone(), Arc::clone(interner))?;
+    let v2 = ValidatedProgram::new(p2.clone(), Arc::clone(interner))?;
+    for (i, db) in dbs.iter().enumerate() {
+        let a1 = enumerate_answers(&v1, db, output, budget)?;
+        let a2 = enumerate_answers(&v2, db, output, budget)?;
+        if !a1.same_answers(&a2, interner) {
+            return Ok(EquivalenceReport {
+                equivalent: false,
+                counterexample: Some(i),
+                databases_checked: i + 1,
+            });
+        }
+    }
+    Ok(EquivalenceReport {
+        equivalent: true,
+        counterexample: None,
+        databases_checked: dbs.len(),
+    })
+}
+
+/// Generate `count` random databases over the given relational schema
+/// (`(name, arity)` pairs) and symbolic domain. Each possible tuple is
+/// included independently with probability ½ — dense enough to exercise
+/// joins, sparse enough to leave groups of differing sizes.
+pub fn random_databases(
+    interner: &Arc<Interner>,
+    schema: &[(&str, usize)],
+    domain: &[&str],
+    count: usize,
+    seed: u64,
+) -> Vec<Database> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut db = Database::with_interner(Arc::clone(interner));
+            for &(name, arity) in schema {
+                // Ensure the relation exists even when empty.
+                db.declare(name, idlog_common::RelType::elementary(arity))
+                    .expect("fresh declaration");
+                for combo in cartesian(domain, arity) {
+                    if rng.gen_bool(0.5) {
+                        let cols: Vec<&str> = combo.clone();
+                        db.insert_syms(name, &cols).expect("sorted schema");
+                    }
+                }
+            }
+            db
+        })
+        .collect()
+}
+
+/// All `arity`-length combinations over `domain` (with repetition).
+fn cartesian<'a>(domain: &'a [&'a str], arity: usize) -> Vec<Vec<&'a str>> {
+    let mut out: Vec<Vec<&str>> = vec![vec![]];
+    for _ in 0..arity {
+        out = out
+            .into_iter()
+            .flat_map(|prefix| {
+                domain.iter().map(move |&d| {
+                    let mut v = prefix.clone();
+                    v.push(d);
+                    v
+                })
+            })
+            .collect();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idlog_parser::parse_program;
+
+    #[test]
+    fn identical_programs_are_equivalent() {
+        let i = Arc::new(Interner::new());
+        let p = parse_program("q(X) :- e(X, Y).", &i).unwrap();
+        let dbs = random_databases(&i, &[("e", 2)], &["a", "b", "c"], 8, 7);
+        let r = q_equivalent_on(&p, &p, &i, &dbs, "q", &EnumBudget::default()).unwrap();
+        assert!(r.equivalent);
+        assert_eq!(r.databases_checked, 8);
+    }
+
+    #[test]
+    fn different_programs_are_distinguished() {
+        let i = Arc::new(Interner::new());
+        let p1 = parse_program("q(X) :- e(X, Y).", &i).unwrap();
+        let p2 = parse_program("q(X) :- e(Y, X).", &i).unwrap();
+        let dbs = random_databases(&i, &[("e", 2)], &["a", "b"], 16, 3);
+        let r = q_equivalent_on(&p1, &p2, &i, &dbs, "q", &EnumBudget::default()).unwrap();
+        assert!(!r.equivalent);
+        assert!(r.counterexample.is_some());
+    }
+
+    #[test]
+    fn paper_example7_forall_but_not_exists() {
+        // P: q1 :- x(c). q2 :- x(a). x(Y) :- p(Y). p(b) :- y(X). p(c) :- y(X).
+        // P2 replaces p(Y) with p[](Y, 0). The paper: P and P2 are NOT
+        // q1-equivalent (P2's q1 may be FALSE on nonempty y), but they ARE
+        // q2-equivalent (both always FALSE).
+        let i = Arc::new(Interner::new());
+        let p = parse_program(
+            "q1 :- x(c).
+             q2 :- x(a).
+             x(Y) :- p(Y).
+             p(b) :- y(X).
+             p(c) :- y(X).",
+            &i,
+        )
+        .unwrap();
+        let p2 = parse_program(
+            "q1 :- x(c).
+             q2 :- x(a).
+             x(Y) :- p[](Y, 0).
+             p(b) :- y(X).
+             p(c) :- y(X).",
+            &i,
+        )
+        .unwrap();
+        let dbs = random_databases(&i, &[("y", 1)], &["d1", "d2"], 12, 11);
+        let budget = EnumBudget::default();
+        let r1 = q_equivalent_on(&p, &p2, &i, &dbs, "q1", &budget).unwrap();
+        assert!(
+            !r1.equivalent,
+            "the argument is NOT ∃-existential w.r.t. q1"
+        );
+        let r2 = q_equivalent_on(&p, &p2, &i, &dbs, "q2", &budget).unwrap();
+        assert!(r2.equivalent, "the argument IS ∃-existential w.r.t. q2");
+    }
+
+    #[test]
+    fn paper_example7_forall_side() {
+        // P1 applies Definition 1's transformation: p(Y) in clause [3] is
+        // replaced by p'(Y'), with the new clause p'(Y') :- p(Y). Under the
+        // paper's domain-closure axiom the unbound Y' ranges over the whole
+        // domain, which we encode with an explicit dom predicate:
+        //   p'(Yp) :- dom(Yp), p(Y).
+        // Paper: P is q1-equivalent to P1 (the argument IS ∀-existential
+        // w.r.t. q1), but NOT q2-equivalent (q2 under P1 returns TRUE on
+        // nonempty inputs).
+        let i = Arc::new(Interner::new());
+        let p = parse_program(
+            "q1 :- x(c).
+             q2 :- x(a).
+             x(Y) :- p(Y).
+             p(b) :- y(X).
+             p(c) :- y(X).",
+            &i,
+        )
+        .unwrap();
+        let p1 = parse_program(
+            "q1 :- x(c).
+             q2 :- x(a).
+             x(Y) :- pprime(Y).
+             pprime(Yp) :- dom(Yp), p(Y).
+             p(b) :- y(X).
+             p(c) :- y(X).",
+            &i,
+        )
+        .unwrap();
+        let mut dbs = random_databases(&i, &[("y", 1)], &["d1", "d2"], 12, 5);
+        for db in &mut dbs {
+            for d in ["a", "b", "c", "d1", "d2"] {
+                db.insert_syms("dom", &[d]).unwrap();
+            }
+        }
+        let budget = EnumBudget::default();
+        let r1 = q_equivalent_on(&p, &p1, &i, &dbs, "q1", &budget).unwrap();
+        assert!(r1.equivalent, "the argument IS ∀-existential w.r.t. q1");
+        let r2 = q_equivalent_on(&p, &p1, &i, &dbs, "q2", &budget).unwrap();
+        assert!(
+            !r2.equivalent,
+            "the argument is NOT ∀-existential w.r.t. q2"
+        );
+    }
+
+    #[test]
+    fn cartesian_sizes() {
+        assert_eq!(cartesian(&["a", "b"], 2).len(), 4);
+        assert_eq!(cartesian(&["a", "b", "c"], 1).len(), 3);
+        assert_eq!(cartesian(&["a"], 0), vec![Vec::<&str>::new()]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Redundant-clause detection (bounded).
+//!
+//! The paper notes after Example 8 that "the second clause of this program
+//! can actually be discarded without affecting the query q … but this is
+//! beyond the scope of this paper" (the observation is from \[RBK88\]).
+//! Exact redundancy is undecidable, so this module offers the bounded
+//! counterpart used throughout the optimizer: a clause is *suggested* as
+//! redundant when dropping it leaves the query's answer set unchanged on a
+//! family of randomized test databases.
+//!
+//! The result is a **suggestion**, sound only up to the tested databases;
+//! callers decide whether to apply it. (For the paper's Example 8 instance
+//! the suggestion happens to be exactly right.)
+
+use std::sync::Arc;
+
+use idlog_common::Interner;
+use idlog_core::{CoreResult, EnumBudget};
+use idlog_parser::Program;
+use idlog_storage::Database;
+
+use crate::equivalence::q_equivalent_on;
+
+/// Report for one clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedundancyReport {
+    /// Indices of clauses whose removal preserved the answers on every test
+    /// database (each tested in isolation).
+    pub removable: Vec<usize>,
+    /// Number of test databases used.
+    pub databases_checked: usize,
+}
+
+/// Suggest clauses of `program` that look redundant w.r.t. `output` on the
+/// given test databases. Each candidate is removed *individually*; the
+/// suggestions are not guaranteed to be jointly removable.
+pub fn suggest_redundant_clauses(
+    program: &Program,
+    interner: &Arc<Interner>,
+    dbs: &[Database],
+    output: &str,
+    budget: &EnumBudget,
+) -> CoreResult<RedundancyReport> {
+    let mut removable = Vec::new();
+    for ci in 0..program.clauses.len() {
+        // Never suggest removing the only clause defining the output.
+        let head = program.clauses[ci].head[0].atom.pred.base();
+        let is_output = interner.get(output) == Some(head);
+        let siblings = program
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(k, c)| *k != ci && c.head[0].atom.pred.base() == head)
+            .count();
+        if is_output && siblings == 0 {
+            continue;
+        }
+        let mut pruned = program.clone();
+        pruned.clauses.remove(ci);
+        let rep = q_equivalent_on(program, &pruned, interner, dbs, output, budget)?;
+        if rep.equivalent {
+            removable.push(ci);
+        }
+    }
+    Ok(RedundancyReport {
+        removable,
+        databases_checked: dbs.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_databases;
+    use crate::rewrite_exists::to_id_program;
+
+    #[test]
+    fn example8_second_clause_is_suggested() {
+        // Example 6's program after both rewrites (Example 8):
+        //   q(X) :- a(X).
+        //   a(X) :- p(X, Z), a(Z).      <- the paper says this can go
+        //   a(X) :- p[1](X, Y, 0).
+        let interner = Arc::new(Interner::new());
+        let original = idlog_core::parse_program(
+            "q(X) :- a(X, Y).
+             a(X, Y) :- p(X, Z), a(Z, Y).
+             a(X, Y) :- p(X, Y).",
+            &interner,
+        )
+        .unwrap();
+        let rewritten = to_id_program(&original, interner.intern("q"));
+        let dbs = random_databases(&interner, &[("p", 2)], &["a", "b", "c"], 10, 77);
+        let rep =
+            suggest_redundant_clauses(&rewritten, &interner, &dbs, "q", &EnumBudget::default())
+                .unwrap();
+        assert!(
+            rep.removable.contains(&1),
+            "the recursive a-clause must be suggested: {rep:?}"
+        );
+        // And clause 0 / clause 2 are load-bearing.
+        assert!(!rep.removable.contains(&0));
+        assert!(!rep.removable.contains(&2));
+    }
+
+    #[test]
+    fn needed_clauses_are_not_suggested() {
+        let interner = Arc::new(Interner::new());
+        let program = idlog_core::parse_program(
+            "tc(X, Y) :- e(X, Y).
+             tc(X, Y) :- e(X, Z), tc(Z, Y).",
+            &interner,
+        )
+        .unwrap();
+        let dbs = random_databases(&interner, &[("e", 2)], &["a", "b", "c"], 10, 5);
+        let rep =
+            suggest_redundant_clauses(&program, &interner, &dbs, "tc", &EnumBudget::default())
+                .unwrap();
+        assert!(rep.removable.is_empty(), "{rep:?}");
+    }
+
+    #[test]
+    fn duplicate_clause_is_suggested() {
+        let interner = Arc::new(Interner::new());
+        let program = idlog_core::parse_program(
+            "q(X) :- e(X, Y).
+             q(X) :- e(X, Z).",
+            &interner,
+        )
+        .unwrap();
+        let dbs = random_databases(&interner, &[("e", 2)], &["a", "b"], 6, 9);
+        let rep = suggest_redundant_clauses(&program, &interner, &dbs, "q", &EnumBudget::default())
+            .unwrap();
+        // Either copy can go (individually).
+        assert_eq!(rep.removable, vec![0, 1]);
+    }
+
+    #[test]
+    fn sole_output_clause_is_protected() {
+        let interner = Arc::new(Interner::new());
+        let program = idlog_core::parse_program("q(X) :- e(X, Y).", &interner).unwrap();
+        // Even with empty test databases (vacuous equivalence), the sole
+        // defining clause is never suggested.
+        let dbs = random_databases(&interner, &[("e", 2)], &["a"], 2, 1);
+        let rep = suggest_redundant_clauses(&program, &interner, &dbs, "q", &EnumBudget::default())
+            .unwrap();
+        assert!(rep.removable.is_empty());
+    }
+}

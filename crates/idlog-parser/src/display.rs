@@ -1,0 +1,230 @@
+//! Pretty-printing of AST nodes back to the surface syntax.
+//!
+//! Printing requires the interner (predicate and constant names live there),
+//! so each node gets a `display(&Interner)` adaptor rather than a bare
+//! `Display` impl. Output re-parses to an equal AST (round-trip property is
+//! tested in the crate's proptest suite).
+
+use std::fmt;
+
+use idlog_common::Interner;
+
+use crate::ast::{Atom, Clause, HeadAtom, Literal, PredicateRef, Program, Term};
+
+/// Wraps a node with its interner for display.
+pub struct WithInterner<'a, T> {
+    node: &'a T,
+    interner: &'a Interner,
+}
+
+macro_rules! displayable {
+    ($ty:ty, $fn_name:ident) => {
+        impl $ty {
+            /// Render with names resolved through `interner`.
+            pub fn display<'a>(&'a self, interner: &'a Interner) -> WithInterner<'a, $ty> {
+                WithInterner {
+                    node: self,
+                    interner,
+                }
+            }
+        }
+    };
+}
+
+displayable!(Term, term);
+displayable!(Atom, atom);
+displayable!(Literal, literal);
+displayable!(Clause, clause);
+displayable!(Program, program);
+
+impl fmt::Display for WithInterner<'_, Term> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Int(n) => write!(f, "{n}"),
+            Term::Sym(s) => self.interner.with_resolved(*s, |name| {
+                if is_plain_ident(name) {
+                    write!(f, "{name}")
+                } else {
+                    write!(f, "'{name}'")
+                }
+            }),
+        }
+    }
+}
+
+/// True when `name` lexes as a lowercase-initial identifier (no quoting).
+fn is_plain_ident(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_lowercase() => {}
+        _ => return false,
+    }
+    name.chars().all(|c| c.is_alphanumeric() || c == '_') && !matches!(name, "not" | "choice")
+}
+
+impl fmt::Display for WithInterner<'_, Atom> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let atom = self.node;
+        match &atom.pred {
+            PredicateRef::Ordinary(p) => {
+                self.interner.with_resolved(*p, |n| write!(f, "{n}"))?;
+            }
+            PredicateRef::IdVersion { base, grouping } => {
+                self.interner.with_resolved(*base, |n| write!(f, "{n}"))?;
+                write!(f, "[")?;
+                for (i, g) in grouping.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}", g + 1)?; // back to 1-based
+                }
+                write!(f, "]")?;
+            }
+        }
+        if !atom.terms.is_empty() {
+            write!(f, "(")?;
+            for (i, t) in atom.terms.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", t.display(self.interner))?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for WithInterner<'_, Literal> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node {
+            Literal::Pos(a) => write!(f, "{}", a.display(self.interner)),
+            Literal::Neg(a) => write!(f, "not {}", a.display(self.interner)),
+            Literal::Builtin { op, args } => {
+                if op.is_comparison() {
+                    write!(
+                        f,
+                        "{} {} {}",
+                        args[0].display(self.interner),
+                        op.name(),
+                        args[1].display(self.interner)
+                    )
+                } else {
+                    write!(f, "{}(", op.name())?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{}", a.display(self.interner))?;
+                    }
+                    write!(f, ")")
+                }
+            }
+            Literal::Cut => write!(f, "!"),
+            Literal::Choice { grouped, chosen } => {
+                let list = |f: &mut fmt::Formatter<'_>, terms: &[Term]| -> fmt::Result {
+                    write!(f, "(")?;
+                    for (i, t) in terms.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{}", t.display(self.interner))?;
+                    }
+                    write!(f, ")")
+                };
+                write!(f, "choice(")?;
+                list(f, grouped)?;
+                write!(f, ", ")?;
+                list(f, chosen)?;
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for WithInterner<'_, Clause> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, HeadAtom { negated, atom }) in self.node.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, "{}", if self.node.disjunctive { " | " } else { " & " })?;
+            }
+            if *negated {
+                write!(f, "not ")?;
+            }
+            write!(f, "{}", atom.display(self.interner))?;
+        }
+        if !self.node.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, l) in self.node.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", l.display(self.interner))?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+impl fmt::Display for WithInterner<'_, Program> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.node.clauses {
+            writeln!(f, "{}", c.display(self.interner))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_clause, parse_program};
+
+    fn roundtrip(src: &str) {
+        let i = Interner::new();
+        let c = parse_clause(src, &i).unwrap();
+        let printed = c.display(&i).to_string();
+        let reparsed = parse_clause(&printed, &i).unwrap();
+        assert_eq!(c, reparsed, "print/reparse changed the clause: {printed}");
+    }
+
+    #[test]
+    fn roundtrips_basic_clause() {
+        roundtrip("p(X) :- q(X, a), not r(X).");
+    }
+
+    #[test]
+    fn roundtrips_id_atom() {
+        roundtrip("select_two_emp(N) :- emp[2](N, D, T), T < 2.");
+    }
+
+    #[test]
+    fn roundtrips_choice_and_builtins() {
+        roundtrip("s(N) :- emp(N, D), choice((D), (N)), plus(N, N, M), M >= 0.");
+    }
+
+    #[test]
+    fn roundtrips_multi_head() {
+        roundtrip("a(X) & not b(X) :- c(X).");
+    }
+
+    #[test]
+    fn roundtrips_zero_ary_and_empty_grouping() {
+        roundtrip("q1 :- x[](Y, 0).");
+    }
+
+    #[test]
+    fn quoted_atom_printing() {
+        let i = Interner::new();
+        let c = parse_clause("p('Hello World').", &i).unwrap();
+        assert_eq!(c.display(&i).to_string(), "p('Hello World').");
+    }
+
+    #[test]
+    fn program_display_one_clause_per_line() {
+        let i = Interner::new();
+        let p = parse_program("a. b :- a.", &i).unwrap();
+        assert_eq!(p.display(&i).to_string(), "a.\nb :- a.\n");
+    }
+}

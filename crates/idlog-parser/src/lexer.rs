@@ -1,0 +1,278 @@
+//! Hand-written lexer.
+
+use crate::error::{ParseError, ParseResult};
+use crate::token::{Pos, Spanned, Token};
+
+/// Tokenize `src` completely, appending a final [`Token::Eof`].
+pub fn lex(src: &str) -> ParseResult<Vec<Spanned>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pos: Pos,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().peekable(),
+            pos: Pos { line: 1, col: 1 },
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn run(mut self) -> ParseResult<Vec<Spanned>> {
+        let mut out = Vec::new();
+        loop {
+            // Skip whitespace and `%` line comments.
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                    continue;
+                }
+                Some('%') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+            let start = self.pos;
+            let Some(c) = self.peek() else {
+                out.push(Spanned {
+                    token: Token::Eof,
+                    pos: start,
+                });
+                return Ok(out);
+            };
+            let token = match c {
+                '(' => self.single(Token::LParen),
+                ')' => self.single(Token::RParen),
+                '[' => self.single(Token::LBracket),
+                ']' => self.single(Token::RBracket),
+                ',' => self.single(Token::Comma),
+                '.' => self.single(Token::Dot),
+                '&' => self.single(Token::Amp),
+                '|' => self.single(Token::Pipe),
+                '=' => self.single(Token::Eq),
+                '<' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Token::Le
+                    } else {
+                        Token::Lt
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Token::Ge
+                    } else {
+                        Token::Gt
+                    }
+                }
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Token::Ne
+                    } else {
+                        Token::Cut
+                    }
+                }
+                ':' => {
+                    self.bump();
+                    if self.peek() == Some('-') {
+                        self.bump();
+                        Token::Implies
+                    } else {
+                        return Err(ParseError::new(start, "expected `:-`"));
+                    }
+                }
+                '\'' => {
+                    // Quoted atom: '...' may contain anything but a quote.
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.bump() {
+                            Some('\'') => break,
+                            Some(ch) => s.push(ch),
+                            None => return Err(ParseError::new(start, "unterminated quoted atom")),
+                        }
+                    }
+                    Token::Ident(s)
+                }
+                c if c.is_ascii_digit() => {
+                    let mut n: i64 = 0;
+                    while let Some(d) = self.peek() {
+                        let Some(digit) = d.to_digit(10) else { break };
+                        self.bump();
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(digit as i64))
+                            .ok_or_else(|| ParseError::new(start, "integer literal overflows"))?;
+                    }
+                    Token::Int(n)
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let mut s = String::new();
+                    while let Some(ch) = self.peek() {
+                        if ch.is_alphanumeric() || ch == '_' {
+                            s.push(ch);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    let first = s.chars().next().expect("nonempty identifier");
+                    if s == "not" {
+                        Token::Not
+                    } else if s == "choice" {
+                        Token::Choice
+                    } else if first.is_uppercase() || first == '_' {
+                        Token::Var(s)
+                    } else {
+                        Token::Ident(s)
+                    }
+                }
+                other => {
+                    return Err(ParseError::new(
+                        start,
+                        format!("unexpected character {other:?}"),
+                    ))
+                }
+            };
+            out.push(Spanned { token, pos: start });
+        }
+    }
+
+    fn single(&mut self, t: Token) -> Token {
+        self.bump();
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_a_clause() {
+        let ts = tokens("p(X) :- q(X, a), X < 2.");
+        assert_eq!(
+            ts,
+            vec![
+                Token::Ident("p".into()),
+                Token::LParen,
+                Token::Var("X".into()),
+                Token::RParen,
+                Token::Implies,
+                Token::Ident("q".into()),
+                Token::LParen,
+                Token::Var("X".into()),
+                Token::Comma,
+                Token::Ident("a".into()),
+                Token::RParen,
+                Token::Comma,
+                Token::Var("X".into()),
+                Token::Lt,
+                Token::Int(2),
+                Token::Dot,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace_skipped() {
+        let ts = tokens("% hello\n  p. % trailing\n");
+        assert_eq!(ts, vec![Token::Ident("p".into()), Token::Dot, Token::Eof]);
+    }
+
+    #[test]
+    fn keywords_not_and_choice() {
+        let ts = tokens("not choice nothing Notvar");
+        assert_eq!(
+            ts,
+            vec![
+                Token::Not,
+                Token::Choice,
+                Token::Ident("nothing".into()),
+                Token::Var("Notvar".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let ts = tokens("< <= > >= = !=");
+        assert_eq!(
+            ts,
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Eq,
+                Token::Ne,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn underscore_variables_and_quoted_atoms() {
+        let ts = tokens("_x 'Hello World'");
+        assert_eq!(
+            ts,
+            vec![
+                Token::Var("_x".into()),
+                Token::Ident("Hello World".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = lex("p :- q\n  @").unwrap_err();
+        assert_eq!(err.pos.line, 2);
+        assert_eq!(err.pos.col, 3);
+    }
+
+    #[test]
+    fn lone_bang_is_cut() {
+        let ts = tokens("p :- q, !.");
+        assert!(ts.contains(&Token::Cut));
+    }
+
+    #[test]
+    fn big_integer_overflow_is_error() {
+        assert!(lex("99999999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,527 @@
+//! Recursive-descent parser.
+
+use idlog_common::Interner;
+
+use crate::ast::{Atom, Builtin, Clause, HeadAtom, Literal, Program, Term};
+use crate::error::{ParseError, ParseResult};
+use crate::lexer::lex;
+use crate::token::{Pos, Spanned, Token};
+
+/// Parse a whole program. Constants are interned into `interner`.
+pub fn parse_program(src: &str, interner: &Interner) -> ParseResult<Program> {
+    let mut p = Parser::new(src, interner)?;
+    let mut clauses = Vec::new();
+    while !p.at_eof() {
+        clauses.push(p.clause()?);
+    }
+    Ok(Program { clauses })
+}
+
+/// Parse a single clause (must consume all input up to the final `.`).
+pub fn parse_clause(src: &str, interner: &Interner) -> ParseResult<Clause> {
+    let mut p = Parser::new(src, interner)?;
+    let c = p.clause()?;
+    if !p.at_eof() {
+        return Err(p.unexpected("end of input"));
+    }
+    Ok(c)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Spanned>,
+    at: usize,
+    interner: &'a Interner,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &str, interner: &'a Interner) -> ParseResult<Parser<'a>> {
+        Ok(Parser {
+            tokens: lex(src)?,
+            at: 0,
+            interner,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.at].token
+    }
+
+    fn peek2(&self) -> &Token {
+        let idx = (self.at + 1).min(self.tokens.len() - 1);
+        &self.tokens[idx].token
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.at].pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.at].token.clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Token::Eof)
+    }
+
+    fn expect(&mut self, want: &Token) -> ParseResult<()> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.pos(),
+                format!("expected {want}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> ParseError {
+        ParseError::new(
+            self.pos(),
+            format!("expected {wanted}, found {}", self.peek()),
+        )
+    }
+
+    fn clause(&mut self) -> ParseResult<Clause> {
+        let mut head = vec![self.head_atom()?];
+        let mut disjunctive = false;
+        if matches!(self.peek(), Token::Amp | Token::Pipe) {
+            disjunctive = matches!(self.peek(), Token::Pipe);
+            let sep = if disjunctive { Token::Pipe } else { Token::Amp };
+            while self.peek() == &sep {
+                self.bump();
+                head.push(self.head_atom()?);
+            }
+            if matches!(self.peek(), Token::Amp | Token::Pipe) {
+                return Err(ParseError::new(
+                    self.pos(),
+                    "cannot mix `&` and `|` in one head",
+                ));
+            }
+        }
+        let body = if matches!(self.peek(), Token::Implies) {
+            self.bump();
+            let mut body = vec![self.literal()?];
+            while matches!(self.peek(), Token::Comma) {
+                self.bump();
+                body.push(self.literal()?);
+            }
+            body
+        } else {
+            Vec::new()
+        };
+        self.expect(&Token::Dot)?;
+        Ok(Clause {
+            head,
+            body,
+            disjunctive,
+        })
+    }
+
+    fn head_atom(&mut self) -> ParseResult<HeadAtom> {
+        let negated = if matches!(self.peek(), Token::Not) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let atom = self.atom()?;
+        Ok(HeadAtom { negated, atom })
+    }
+
+    fn literal(&mut self) -> ParseResult<Literal> {
+        match self.peek() {
+            Token::Not => {
+                self.bump();
+                let pos = self.pos();
+                let atom = self.atom()?;
+                if Builtin::from_name(&self.name_of(&atom)).is_some() {
+                    return Err(ParseError::new(
+                        pos,
+                        "cannot negate an arithmetic predicate",
+                    ));
+                }
+                Ok(Literal::Neg(atom))
+            }
+            Token::Choice => {
+                self.bump();
+                self.expect(&Token::LParen)?;
+                self.expect(&Token::LParen)?;
+                let grouped = self.term_list(&Token::RParen)?;
+                self.expect(&Token::RParen)?;
+                self.expect(&Token::Comma)?;
+                self.expect(&Token::LParen)?;
+                let chosen = self.term_list(&Token::RParen)?;
+                self.expect(&Token::RParen)?;
+                self.expect(&Token::RParen)?;
+                Ok(Literal::Choice { grouped, chosen })
+            }
+            Token::Cut => {
+                self.bump();
+                Ok(Literal::Cut)
+            }
+            Token::Var(_) | Token::Int(_) => self.comparison(),
+            Token::Ident(_) => {
+                // `a < X` (constant lhs) vs `p(…)` / `p[…](…)` / 0-ary `p`.
+                if self.is_cmp(self.peek2()) {
+                    self.comparison()
+                } else {
+                    let pos = self.pos();
+                    let atom = self.atom()?;
+                    self.classify_atom(atom, pos)
+                }
+            }
+            _ => Err(self.unexpected("a body literal")),
+        }
+    }
+
+    /// Turn atoms named after builtins into builtin literals.
+    fn classify_atom(&self, atom: Atom, pos: Pos) -> ParseResult<Literal> {
+        let name = self.name_of(&atom);
+        if let Some(op) = Builtin::from_name(&name) {
+            if atom.pred.is_id_version() {
+                return Err(ParseError::new(
+                    pos,
+                    "arithmetic predicates have no ID-version",
+                ));
+            }
+            if atom.terms.len() != op.arity() {
+                return Err(ParseError::new(
+                    pos,
+                    format!(
+                        "{name} takes {} arguments, got {}",
+                        op.arity(),
+                        atom.terms.len()
+                    ),
+                ));
+            }
+            Ok(Literal::Builtin {
+                op,
+                args: atom.terms,
+            })
+        } else {
+            Ok(Literal::Pos(atom))
+        }
+    }
+
+    fn name_of(&self, atom: &Atom) -> String {
+        self.interner.resolve(atom.pred.base())
+    }
+
+    fn is_cmp(&self, t: &Token) -> bool {
+        matches!(
+            t,
+            Token::Lt | Token::Le | Token::Gt | Token::Ge | Token::Eq | Token::Ne
+        )
+    }
+
+    fn comparison(&mut self) -> ParseResult<Literal> {
+        let lhs = self.term()?;
+        let op = match self.bump() {
+            Token::Lt => Builtin::Lt,
+            Token::Le => Builtin::Le,
+            Token::Gt => Builtin::Gt,
+            Token::Ge => Builtin::Ge,
+            Token::Eq => Builtin::Eq,
+            Token::Ne => Builtin::Ne,
+            other => {
+                return Err(ParseError::new(
+                    self.pos(),
+                    format!("expected comparison operator, found {other}"),
+                ))
+            }
+        };
+        let rhs = self.term()?;
+        Ok(Literal::Builtin {
+            op,
+            args: vec![lhs, rhs],
+        })
+    }
+
+    fn atom(&mut self) -> ParseResult<Atom> {
+        let pos = self.pos();
+        let name = match self.bump() {
+            Token::Ident(s) => s,
+            other => {
+                return Err(ParseError::new(
+                    pos,
+                    format!("expected predicate, found {other}"),
+                ))
+            }
+        };
+        let pred = self.interner.intern(&name);
+
+        // Optional ID-version grouping `[2]`, `[1,2]`, `[]` (1-based in source).
+        let grouping = if matches!(self.peek(), Token::LBracket) {
+            self.bump();
+            let mut grouping = Vec::new();
+            if !matches!(self.peek(), Token::RBracket) {
+                loop {
+                    let gpos = self.pos();
+                    match self.bump() {
+                        Token::Int(n) if n >= 1 => grouping.push((n - 1) as usize),
+                        Token::Int(n) => {
+                            return Err(ParseError::new(
+                                gpos,
+                                format!("grouping attributes are 1-based, got {n}"),
+                            ))
+                        }
+                        other => {
+                            return Err(ParseError::new(
+                                gpos,
+                                format!("expected attribute position, found {other}"),
+                            ))
+                        }
+                    }
+                    if matches!(self.peek(), Token::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Token::RBracket)?;
+            Some(grouping)
+        } else {
+            None
+        };
+
+        let terms = if matches!(self.peek(), Token::LParen) {
+            self.bump();
+            let terms = self.term_list(&Token::RParen)?;
+            self.expect(&Token::RParen)?;
+            terms
+        } else {
+            Vec::new()
+        };
+
+        match grouping {
+            None => Ok(Atom::ordinary(pred, terms)),
+            Some(g) => {
+                if terms.is_empty() {
+                    return Err(ParseError::new(
+                        pos,
+                        "ID-atom needs at least a tid argument",
+                    ));
+                }
+                // Grouping positions must index base-predicate columns.
+                let base_arity = terms.len() - 1;
+                if let Some(&bad) = g.iter().find(|&&p| p >= base_arity) {
+                    return Err(ParseError::new(
+                        pos,
+                        format!(
+                            "grouping attribute {} out of range for base arity {base_arity}",
+                            bad + 1
+                        ),
+                    ));
+                }
+                Ok(Atom::id_version(pred, g, terms))
+            }
+        }
+    }
+
+    fn term_list(&mut self, close: &Token) -> ParseResult<Vec<Term>> {
+        let mut terms = Vec::new();
+        if self.peek() == close {
+            return Ok(terms);
+        }
+        loop {
+            terms.push(self.term()?);
+            if matches!(self.peek(), Token::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(terms)
+    }
+
+    fn term(&mut self) -> ParseResult<Term> {
+        let pos = self.pos();
+        match self.bump() {
+            Token::Var(v) => Ok(Term::Var(v)),
+            Token::Ident(s) => Ok(Term::Sym(self.interner.intern(&s))),
+            Token::Int(n) => Ok(Term::Int(n)),
+            other => Err(ParseError::new(
+                pos,
+                format!("expected a term, found {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::PredicateRef;
+
+    #[test]
+    fn parses_fact_and_rule() {
+        let i = Interner::new();
+        let p = parse_program("person(a). man(X) :- person(X), not woman(X).", &i).unwrap();
+        assert_eq!(p.clauses.len(), 2);
+        assert!(p.clauses[0].is_fact());
+        let rule = &p.clauses[1];
+        assert_eq!(rule.body.len(), 2);
+        assert!(matches!(rule.body[1], Literal::Neg(_)));
+    }
+
+    #[test]
+    fn parses_id_atom_with_paper_syntax() {
+        // Paper: select_two_emp(Name) :- emp[2](Name, Dept, N), N < 2.
+        let i = Interner::new();
+        let c = parse_clause("select_two_emp(Name) :- emp[2](Name, Dept, N), N < 2.", &i).unwrap();
+        let Literal::Pos(atom) = &c.body[0] else {
+            panic!("expected positive atom")
+        };
+        match &atom.pred {
+            PredicateRef::IdVersion { base, grouping } => {
+                assert_eq!(i.resolve(*base), "emp");
+                assert_eq!(grouping, &vec![1]); // 1-based `2` → 0-based 1
+            }
+            _ => panic!("expected ID-version"),
+        }
+        assert_eq!(atom.base_arity(), 2);
+        assert!(matches!(
+            &c.body[1],
+            Literal::Builtin {
+                op: Builtin::Lt,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_empty_grouping() {
+        let i = Interner::new();
+        let c = parse_clause("p(X) :- q[](X, 0).", &i).unwrap();
+        let Literal::Pos(atom) = &c.body[0] else {
+            panic!()
+        };
+        match &atom.pred {
+            PredicateRef::IdVersion { grouping, .. } => assert!(grouping.is_empty()),
+            _ => panic!("expected ID-version"),
+        }
+    }
+
+    #[test]
+    fn parses_choice_literal() {
+        let i = Interner::new();
+        let c = parse_clause("select_emp(N) :- emp(N, D), choice((D), (N)).", &i).unwrap();
+        let Literal::Choice { grouped, chosen } = &c.body[1] else {
+            panic!("expected choice")
+        };
+        assert_eq!(grouped, &vec![Term::Var("D".into())]);
+        assert_eq!(chosen, &vec![Term::Var("N".into())]);
+    }
+
+    #[test]
+    fn parses_builtin_prefix_forms() {
+        let i = Interner::new();
+        let c = parse_clause("p(X, N) :- q(X, N), plus(L, M, N), succ(N, N2).", &i).unwrap();
+        assert!(matches!(
+            &c.body[1],
+            Literal::Builtin {
+                op: Builtin::Plus,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &c.body[2],
+            Literal::Builtin {
+                op: Builtin::Succ,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_multi_head_and_negated_head() {
+        let i = Interner::new();
+        let c = parse_clause("a(X) & not b(X) :- c(X).", &i).unwrap();
+        assert_eq!(c.head.len(), 2);
+        assert!(!c.head[0].negated);
+        assert!(c.head[1].negated);
+    }
+
+    #[test]
+    fn parses_zero_ary_atoms() {
+        let i = Interner::new();
+        let c = parse_clause("q1 :- x(c).", &i).unwrap();
+        assert_eq!(c.single_head().terms.len(), 0);
+    }
+
+    #[test]
+    fn constant_lhs_comparison() {
+        let i = Interner::new();
+        let c = parse_clause("p(X) :- q(X), X != a.", &i).unwrap();
+        let Literal::Builtin {
+            op: Builtin::Ne,
+            args,
+        } = &c.body[1]
+        else {
+            panic!()
+        };
+        assert_eq!(args[0], Term::Var("X".into()));
+        assert!(matches!(args[1], Term::Sym(_)));
+    }
+
+    #[test]
+    fn rejects_zero_based_grouping() {
+        let i = Interner::new();
+        assert!(parse_clause("p(X) :- q[0](X, T).", &i).is_err());
+    }
+
+    #[test]
+    fn rejects_grouping_out_of_range() {
+        let i = Interner::new();
+        // q[3] with base arity 2 (three terms incl. tid) is out of range.
+        assert!(parse_clause("p(X) :- q[3](X, Y, T).", &i).is_err());
+    }
+
+    #[test]
+    fn rejects_negated_builtin() {
+        let i = Interner::new();
+        assert!(parse_clause("p(X) :- q(X), not succ(X, Y).", &i).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_builtin_arity() {
+        let i = Interner::new();
+        assert!(parse_clause("p(X) :- plus(X, Y).", &i).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_in_parse_clause() {
+        let i = Interner::new();
+        assert!(parse_clause("p. q.", &i).is_err());
+    }
+
+    #[test]
+    fn error_mentions_position() {
+        let i = Interner::new();
+        let err = parse_program("p(X) :- q(X)\nr(Y).", &i).unwrap_err();
+        // Missing dot: error reported on line 2.
+        assert_eq!(err.pos.line, 2);
+    }
+
+    #[test]
+    fn paper_example2_program_parses() {
+        let i = Interner::new();
+        let src = "
+            sex_guess(X, male) :- person(X).
+            sex_guess(X, female) :- person(X).
+            man(X) :- sex_guess[1](X, male, 1).
+            woman(X) :- sex_guess[1](X, female, 1).
+        ";
+        let p = parse_program(src, &i).unwrap();
+        assert_eq!(p.clauses.len(), 4);
+        let inputs = p.input_predicates();
+        assert_eq!(inputs.len(), 1);
+        assert!(inputs.contains(&i.intern("person")));
+    }
+}

@@ -1,0 +1,220 @@
+//! ID-relations: relations augmented with tuple identifiers.
+//!
+//! An *ID-function* of a relation `g` (here: one sub-relation) is a bijection
+//! from `g` to `{0, …, |g|−1}`. An *ID-relation of r on s* pairs every tuple
+//! `t ∈ r` with the tid its sub-relation's ID-function assigns it (\[She90b\]
+//! §2.1, Example 1). Choosing the ID-functions is the engine's only source of
+//! non-determinism.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use idlog_common::{FxHashMap, Interner, Tuple, Value};
+
+use crate::group::{group_by, Grouping};
+use crate::relation::Relation;
+
+/// How tids are drawn within each sub-relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TidOrder {
+    /// Tid = rank of the tuple in canonical (name) order within its group.
+    /// Deterministic and interning-order independent.
+    Canonical,
+    /// A uniformly random permutation per group, drawn from the provided RNG.
+    Random,
+}
+
+/// A concrete choice of ID-functions: a map from each tuple of the base
+/// relation to its tid, for one grouping attribute set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdAssignment {
+    positions: Vec<usize>,
+    tids: FxHashMap<Tuple, i64>,
+}
+
+impl IdAssignment {
+    /// Canonical assignment: within each group, tuples get tids in canonical
+    /// order (tid 0 = canonically smallest).
+    pub fn canonical(rel: &Relation, positions: &[usize], interner: &Interner) -> Self {
+        let grouping = group_by(rel, positions, interner);
+        Self::from_grouping_ranks(&grouping, |size| (0..size as i64).collect())
+    }
+
+    /// Random assignment: an independent uniform permutation per group.
+    pub fn random<R: Rng>(
+        rel: &Relation,
+        positions: &[usize],
+        interner: &Interner,
+        rng: &mut R,
+    ) -> Self {
+        let grouping = group_by(rel, positions, interner);
+        Self::from_grouping_ranks(&grouping, |size| {
+            let mut perm: Vec<i64> = (0..size as i64).collect();
+            perm.shuffle(rng);
+            perm
+        })
+    }
+
+    /// Build from an explicit permutation per group: `perms[g][k]` is the tid
+    /// of the `k`-th canonical member of group `g`. Panics if a permutation's
+    /// length disagrees with its group size (enumeration internals guarantee
+    /// consistency).
+    pub fn from_permutations(grouping: &Grouping, perms: &[Vec<i64>]) -> Self {
+        assert_eq!(
+            perms.len(),
+            grouping.group_count(),
+            "one permutation per group"
+        );
+        let mut tids = FxHashMap::default();
+        for (g, (_, _)) in grouping.iter().enumerate() {
+            let members = grouping.group(g);
+            assert_eq!(
+                perms[g].len(),
+                members.len(),
+                "permutation matches group size"
+            );
+            for (k, t) in members.iter().enumerate() {
+                tids.insert(t.clone(), perms[g][k]);
+            }
+        }
+        IdAssignment {
+            positions: grouping.positions().to_vec(),
+            tids,
+        }
+    }
+
+    fn from_grouping_ranks(grouping: &Grouping, mut ranks: impl FnMut(usize) -> Vec<i64>) -> Self {
+        let mut tids = FxHashMap::default();
+        for g in 0..grouping.group_count() {
+            let members = grouping.group(g);
+            let perm = ranks(members.len());
+            for (k, t) in members.iter().enumerate() {
+                tids.insert(t.clone(), perm[k]);
+            }
+        }
+        IdAssignment {
+            positions: grouping.positions().to_vec(),
+            tids,
+        }
+    }
+
+    /// The grouping positions this assignment was built for.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// The tid assigned to `t`, if `t` was in the base relation.
+    pub fn tid(&self, t: &Tuple) -> Option<i64> {
+        self.tids.get(t).copied()
+    }
+
+    /// Number of tuples covered.
+    pub fn len(&self) -> usize {
+        self.tids.len()
+    }
+
+    /// True when the base relation was empty.
+    pub fn is_empty(&self) -> bool {
+        self.tids.is_empty()
+    }
+}
+
+/// Materialize the ID-relation of `rel` under `assignment`: each tuple is
+/// extended with its tid as a trailing `i`-sorted column.
+pub fn make_id_relation(rel: &Relation, assignment: &IdAssignment) -> Relation {
+    let mut out = Relation::new(rel.rtype().id_version());
+    for t in rel.iter() {
+        let tid = assignment.tid(t).expect("assignment covers base relation");
+        out.insert_unchecked(t.with_appended(Value::Int(tid)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn example1_relation(i: &Interner) -> Relation {
+        let mut r = Relation::elementary(2);
+        for (x, y) in [("a", "c"), ("a", "d"), ("b", "c")] {
+            r.insert(vec![Value::Sym(i.intern(x)), Value::Sym(i.intern(y))].into())
+                .unwrap();
+        }
+        r
+    }
+
+    fn tid_of(i: &Interner, a: &IdAssignment, x: &str, y: &str) -> i64 {
+        let t: Tuple = vec![Value::Sym(i.intern(x)), Value::Sym(i.intern(y))].into();
+        a.tid(&t).unwrap()
+    }
+
+    #[test]
+    fn canonical_assignment_matches_paper_first_listing() {
+        // Paper Example 1 lists {(a,c,1),(a,d,0),(b,c,0)} and
+        // {(a,c,0),(a,d,1),(b,c,0)} as the two ID-relations of r on {1}.
+        // Canonical order puts (a,c) before (a,d), so the canonical
+        // assignment is the second listing.
+        let i = Interner::new();
+        let r = example1_relation(&i);
+        let a = IdAssignment::canonical(&r, &[0], &i);
+        assert_eq!(tid_of(&i, &a, "a", "c"), 0);
+        assert_eq!(tid_of(&i, &a, "a", "d"), 1);
+        assert_eq!(tid_of(&i, &a, "b", "c"), 0);
+    }
+
+    #[test]
+    fn tids_are_bijective_within_groups() {
+        let i = Interner::new();
+        let r = example1_relation(&i);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let a = IdAssignment::random(&r, &[0], &i, &mut rng);
+        // Group "a" has tids {0,1}; group "b" has {0}.
+        let mut tids_a = vec![tid_of(&i, &a, "a", "c"), tid_of(&i, &a, "a", "d")];
+        tids_a.sort_unstable();
+        assert_eq!(tids_a, vec![0, 1]);
+        assert_eq!(tid_of(&i, &a, "b", "c"), 0);
+    }
+
+    #[test]
+    fn id_relation_has_id_version_type() {
+        let i = Interner::new();
+        let r = example1_relation(&i);
+        let a = IdAssignment::canonical(&r, &[0], &i);
+        let idr = make_id_relation(&r, &a);
+        assert_eq!(idr.rtype().to_string(), "001");
+        assert_eq!(idr.len(), r.len());
+    }
+
+    #[test]
+    fn empty_grouping_numbers_whole_relation() {
+        let i = Interner::new();
+        let r = example1_relation(&i);
+        let a = IdAssignment::canonical(&r, &[], &i);
+        let mut tids: Vec<i64> = r.iter().map(|t| a.tid(t).unwrap()).collect();
+        tids.sort_unstable();
+        assert_eq!(tids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn from_permutations_respects_explicit_choice() {
+        let i = Interner::new();
+        let r = example1_relation(&i);
+        let g = group_by(&r, &[0], &i);
+        // Swap the "a" group: (a,c)↦1, (a,d)↦0 — the paper's first listing.
+        let a = IdAssignment::from_permutations(&g, &[vec![1, 0], vec![0]]);
+        assert_eq!(tid_of(&i, &a, "a", "c"), 1);
+        assert_eq!(tid_of(&i, &a, "a", "d"), 0);
+        assert_eq!(tid_of(&i, &a, "b", "c"), 0);
+    }
+
+    #[test]
+    fn missing_tuple_has_no_tid() {
+        let i = Interner::new();
+        let r = example1_relation(&i);
+        let a = IdAssignment::canonical(&r, &[0], &i);
+        let t: Tuple = vec![Value::Sym(i.intern("x")), Value::Sym(i.intern("y"))].into();
+        assert_eq!(a.tid(&t), None);
+    }
+}

@@ -1,0 +1,101 @@
+//! Hash indexes on attribute subsets.
+
+use idlog_common::{FxHashMap, Tuple};
+
+use crate::relation::Relation;
+
+/// A hash index from a projection key (values at the indexed positions, in
+/// position order) to the matching tuples.
+///
+/// Built on demand by the join engine for the bound positions of a body
+/// literal; the empty-position index degenerates to "all tuples under one
+/// key", which callers should avoid in favour of scanning the relation.
+#[derive(Debug, Clone)]
+pub struct Index {
+    positions: Vec<usize>,
+    map: FxHashMap<Tuple, Vec<Tuple>>,
+}
+
+impl Index {
+    /// Build an index of `rel` on the given 0-based positions.
+    pub fn build(rel: &Relation, positions: &[usize]) -> Self {
+        let mut map: FxHashMap<Tuple, Vec<Tuple>> = FxHashMap::default();
+        for t in rel.iter() {
+            map.entry(t.project(positions)).or_default().push(t.clone());
+        }
+        Index {
+            positions: positions.to_vec(),
+            map,
+        }
+    }
+
+    /// The indexed positions.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// Tuples whose projection on the indexed positions equals `key`.
+    pub fn probe(&self, key: &Tuple) -> &[Tuple] {
+        self.map.get(key).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idlog_common::{Interner, Value};
+
+    fn rel_ab(i: &Interner) -> Relation {
+        let mut r = Relation::elementary(2);
+        for (x, y) in [("a", "c"), ("a", "d"), ("b", "c")] {
+            r.insert(vec![Value::Sym(i.intern(x)), Value::Sym(i.intern(y))].into())
+                .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn probe_by_first_column() {
+        let i = Interner::new();
+        let r = rel_ab(&i);
+        let idx = Index::build(&r, &[0]);
+        assert_eq!(idx.key_count(), 2);
+        let key: Tuple = vec![Value::Sym(i.intern("a"))].into();
+        assert_eq!(idx.probe(&key).len(), 2);
+        let key_b: Tuple = vec![Value::Sym(i.intern("b"))].into();
+        assert_eq!(idx.probe(&key_b).len(), 1);
+    }
+
+    #[test]
+    fn probe_missing_key_is_empty() {
+        let i = Interner::new();
+        let r = rel_ab(&i);
+        let idx = Index::build(&r, &[0]);
+        let key: Tuple = vec![Value::Sym(i.intern("zzz"))].into();
+        assert!(idx.probe(&key).is_empty());
+    }
+
+    #[test]
+    fn probe_by_both_columns_is_point_lookup() {
+        let i = Interner::new();
+        let r = rel_ab(&i);
+        let idx = Index::build(&r, &[0, 1]);
+        assert_eq!(idx.key_count(), 3);
+        let key: Tuple = vec![Value::Sym(i.intern("a")), Value::Sym(i.intern("d"))].into();
+        assert_eq!(idx.probe(&key).len(), 1);
+    }
+
+    #[test]
+    fn empty_positions_groups_everything() {
+        let i = Interner::new();
+        let r = rel_ab(&i);
+        let idx = Index::build(&r, &[]);
+        assert_eq!(idx.key_count(), 1);
+        assert_eq!(idx.probe(&Tuple::empty()).len(), 3);
+    }
+}

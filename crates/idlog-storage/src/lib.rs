@@ -1,0 +1,30 @@
+//! In-memory relational storage for the IDLOG workspace.
+//!
+//! Provides typed relations over two-sorted tuples, hash indexes on attribute
+//! subsets, databases (named relations sharing an interner), and — the part
+//! specific to the paper — **ID-relations**: augmentations of a relation `r`
+//! with tuple identifiers assigned per *sub-relation* of `r` grouped by a set
+//! of attributes (\[She90b\] §2.1).
+//!
+//! The non-determinism of IDLOG is exactly the freedom in choosing an
+//! ID-function for each sub-relation; [`idrel`] constructs one ID-relation
+//! given a choice, and [`enumerate`] iterates over all of them.
+
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod enumerate;
+pub mod group;
+pub mod idrel;
+pub mod index;
+pub mod relation;
+
+pub use database::Database;
+pub use enumerate::{
+    count_bounded_assignments, count_id_functions, BoundedAssignmentIter, IdAssignmentIter,
+};
+pub use group::{group_by, Grouping};
+pub use idrel::TidOrder;
+pub use idrel::{make_id_relation, IdAssignment};
+pub use index::Index;
+pub use relation::Relation;

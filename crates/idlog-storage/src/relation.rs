@@ -1,0 +1,232 @@
+//! Typed finite relations.
+
+use idlog_common::{CommonError, CommonResult, FxHashSet, Interner, RelType, Tuple, Value};
+
+/// A finite relation: a set of equal-arity, sort-consistent tuples.
+///
+/// Backed by a hash set for O(1) membership/insert during semi-naive
+/// evaluation; [`Relation::sorted_canonical`] materializes a canonical order
+/// when one is needed (display, canonical tid assignment).
+#[derive(Clone, Debug)]
+pub struct Relation {
+    rtype: RelType,
+    tuples: FxHashSet<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation of the given type.
+    pub fn new(rtype: RelType) -> Self {
+        Relation {
+            rtype,
+            tuples: FxHashSet::default(),
+        }
+    }
+
+    /// An empty relation with all-uninterpreted columns.
+    pub fn elementary(arity: usize) -> Self {
+        Relation::new(RelType::elementary(arity))
+    }
+
+    /// Build from tuples, type-checking each.
+    pub fn from_tuples(
+        rtype: RelType,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> CommonResult<Self> {
+        let mut rel = Relation::new(rtype);
+        for t in tuples {
+            rel.insert(t)?;
+        }
+        Ok(rel)
+    }
+
+    /// The relation's declared type.
+    pub fn rtype(&self) -> &RelType {
+        &self.rtype
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.rtype.arity()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Check `t` against this relation's arity and column sorts.
+    pub fn check_tuple(&self, t: &Tuple) -> CommonResult<()> {
+        if t.arity() != self.arity() {
+            return Err(CommonError::TypeMismatch {
+                detail: format!(
+                    "arity {} tuple in arity {} relation",
+                    t.arity(),
+                    self.arity()
+                ),
+            });
+        }
+        for (i, v) in t.values().iter().enumerate() {
+            if v.sort() != self.rtype.sort(i) {
+                return Err(CommonError::TypeMismatch {
+                    detail: format!(
+                        "column {} expects sort {} but value has sort {}",
+                        i + 1,
+                        self.rtype.sort(i),
+                        v.sort()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a tuple, type-checking it. Returns `Ok(true)` if newly added.
+    pub fn insert(&mut self, t: Tuple) -> CommonResult<bool> {
+        self.check_tuple(&t)?;
+        Ok(self.tuples.insert(t))
+    }
+
+    /// Insert without a sort check. The caller must guarantee the tuple
+    /// matches the relation type; the engine uses this on tuples it has
+    /// already sort-checked at program validation time.
+    pub fn insert_unchecked(&mut self, t: Tuple) -> bool {
+        debug_assert!(self.check_tuple(&t).is_ok(), "ill-typed tuple inserted");
+        self.tuples.insert(t)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Iterate tuples in arbitrary (hash) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// All tuples in canonical (name-based) order. Deterministic across runs
+    /// and interning orders.
+    ///
+    /// Implementation note: comparing through [`Tuple::cmp_canonical`] locks
+    /// the interner per comparison; instead symbols are ranked by name once
+    /// per call and tuples sorted by cheap integer keys.
+    pub fn sorted_canonical(&self, interner: &Interner) -> Vec<Tuple> {
+        let ranks = crate::group::symbol_ranks(self.tuples.iter(), interner);
+        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        v.sort_by_cached_key(|t| crate::group::canonical_key(t, &ranks));
+        v
+    }
+
+    /// Set-equality with another relation (types must match too).
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        self.rtype == other.rtype && self.tuples == other.tuples
+    }
+
+    /// All symbols of sort `u` appearing in any tuple.
+    pub fn u_constants(&self) -> FxHashSet<idlog_common::SymbolId> {
+        let mut out = FxHashSet::default();
+        for t in &self.tuples {
+            for v in t.values() {
+                if let Value::Sym(s) = v {
+                    out.insert(*s);
+                }
+            }
+        }
+        out
+    }
+
+    /// Consume into the underlying tuple set.
+    pub fn into_tuples(self) -> FxHashSet<Tuple> {
+        self.tuples
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.set_eq(other)
+    }
+}
+
+impl Eq for Relation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idlog_common::Sort;
+
+    fn sym(i: &Interner, n: &str) -> Value {
+        Value::Sym(i.intern(n))
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let i = Interner::new();
+        let mut r = Relation::elementary(2);
+        let t: Tuple = vec![sym(&i, "a"), sym(&i, "b")].into();
+        assert!(r.insert(t.clone()).unwrap());
+        assert!(!r.insert(t.clone()).unwrap());
+        assert!(r.contains(&t));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let i = Interner::new();
+        let mut r = Relation::elementary(2);
+        let t: Tuple = vec![sym(&i, "a")].into();
+        assert!(r.insert(t).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_sort() {
+        let i = Interner::new();
+        let mut r = Relation::new(RelType::new(vec![Sort::U, Sort::I]));
+        let bad: Tuple = vec![sym(&i, "a"), sym(&i, "b")].into();
+        assert!(r.insert(bad).is_err());
+        let good: Tuple = vec![sym(&i, "a"), Value::Int(3)].into();
+        assert!(r.insert(good).is_ok());
+    }
+
+    #[test]
+    fn sorted_canonical_is_name_order() {
+        let i = Interner::new();
+        let mut r = Relation::elementary(1);
+        // Intern in an order that disagrees with name order.
+        for n in ["zoo", "ant", "mid"] {
+            r.insert(vec![sym(&i, n)].into()).unwrap();
+        }
+        let sorted = r.sorted_canonical(&i);
+        let names: Vec<String> = sorted
+            .iter()
+            .map(|t| t[0].as_sym().map(|s| i.resolve(s)).unwrap())
+            .collect();
+        assert_eq!(names, ["ant", "mid", "zoo"]);
+    }
+
+    #[test]
+    fn set_equality_ignores_insertion_order() {
+        let i = Interner::new();
+        let mut r1 = Relation::elementary(1);
+        let mut r2 = Relation::elementary(1);
+        r1.insert(vec![sym(&i, "a")].into()).unwrap();
+        r1.insert(vec![sym(&i, "b")].into()).unwrap();
+        r2.insert(vec![sym(&i, "b")].into()).unwrap();
+        r2.insert(vec![sym(&i, "a")].into()).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn u_constants_collects_symbols_only() {
+        let i = Interner::new();
+        let mut r = Relation::new(RelType::new(vec![Sort::U, Sort::I]));
+        r.insert(vec![sym(&i, "a"), Value::Int(7)].into()).unwrap();
+        let cs = r.u_constants();
+        assert_eq!(cs.len(), 1);
+        assert!(cs.contains(&i.intern("a")));
+    }
+}

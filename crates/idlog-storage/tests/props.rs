@@ -1,0 +1,145 @@
+//! Property-based tests for relations, grouping, and ID-relations.
+
+use proptest::prelude::*;
+
+use idlog_common::{Interner, Tuple, Value};
+use idlog_storage::{
+    count_bounded_assignments, count_id_functions, group_by, make_id_relation,
+    BoundedAssignmentIter, IdAssignment, IdAssignmentIter, Relation,
+};
+
+/// A random small binary relation over a tiny symbolic domain (so groups of
+/// interesting sizes appear).
+fn arb_relation() -> impl Strategy<Value = (Interner, Relation)> {
+    proptest::collection::vec((0usize..3, 0usize..4), 0..8).prop_map(|pairs| {
+        let interner = Interner::new();
+        let mut rel = Relation::elementary(2);
+        for (g, m) in pairs {
+            let t: Tuple = vec![
+                Value::Sym(interner.intern(&format!("g{g}"))),
+                Value::Sym(interner.intern(&format!("m{m}"))),
+            ]
+            .into();
+            let _ = rel.insert(t);
+        }
+        (interner, rel)
+    })
+}
+
+proptest! {
+    /// Grouping is a partition: every tuple in exactly one group, keys match.
+    #[test]
+    fn grouping_partitions((interner, rel) in arb_relation(), by_first in any::<bool>()) {
+        let positions: Vec<usize> = if by_first { vec![0] } else { vec![1] };
+        let grouping = group_by(&rel, &positions, &interner);
+        let mut seen = 0usize;
+        for (key, members) in grouping.iter() {
+            for t in members {
+                prop_assert_eq!(&t.project(&positions), key);
+                prop_assert!(rel.contains(t));
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen, rel.len());
+    }
+
+    /// Every ID-assignment is a bijection group → {0..|g|−1}.
+    #[test]
+    fn assignments_are_bijective((interner, rel) in arb_relation()) {
+        let grouping = group_by(&rel, &[0], &interner);
+        for assignment in IdAssignmentIter::new(&rel, &[0], &interner).take(50) {
+            for g in 0..grouping.group_count() {
+                let members = grouping.group(g);
+                let mut tids: Vec<i64> =
+                    members.iter().map(|t| assignment.tid(t).unwrap()).collect();
+                tids.sort_unstable();
+                let expect: Vec<i64> = (0..members.len() as i64).collect();
+                prop_assert_eq!(tids, expect);
+            }
+        }
+    }
+
+    /// The enumerator yields exactly `count_id_functions` distinct
+    /// assignments (when small enough to walk).
+    #[test]
+    fn enumeration_count_matches((interner, rel) in arb_relation()) {
+        let count = count_id_functions(&rel, &[0], &interner);
+        prop_assume!(count <= 200);
+        let all: Vec<IdAssignment> = IdAssignmentIter::new(&rel, &[0], &interner).collect();
+        prop_assert_eq!(all.len() as u128, count);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                prop_assert_ne!(a, b);
+            }
+        }
+    }
+
+    /// The bounded enumerator yields exactly the falling-factorial count,
+    /// and every arrangement's tid-0 row set appears among the full
+    /// enumeration's.
+    #[test]
+    fn bounded_enumeration_is_sound((interner, rel) in arb_relation(), k in 1usize..3) {
+        let count = count_bounded_assignments(&rel, &[0], k, &interner);
+        prop_assume!(count <= 300);
+        let bounded: Vec<IdAssignment> =
+            BoundedAssignmentIter::new(&rel, &[0], k, &interner).collect();
+        prop_assert_eq!(bounded.len() as u128, count);
+
+        // Prefix-distinctness: no two arrangements agree on all tids < k.
+        let prefix = |a: &IdAssignment| -> Vec<(Tuple, i64)> {
+            let mut v: Vec<(Tuple, i64)> = rel
+                .iter()
+                .filter_map(|t| {
+                    let tid = a.tid(t).unwrap();
+                    (tid < k as i64).then(|| (t.clone(), tid))
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        let mut prefixes: Vec<_> = bounded.iter().map(prefix).collect();
+        prefixes.sort();
+        let before = prefixes.len();
+        prefixes.dedup();
+        prop_assert_eq!(prefixes.len(), before, "arrangements must differ on tids < k");
+    }
+
+    /// Completeness of the bounded walk: every full assignment's k-prefix is
+    /// realized by some arrangement.
+    #[test]
+    fn bounded_enumeration_is_complete((interner, rel) in arb_relation(), k in 1usize..3) {
+        prop_assume!(count_id_functions(&rel, &[0], &interner) <= 120);
+        let prefix = |a: &IdAssignment| -> Vec<(Tuple, i64)> {
+            let mut v: Vec<(Tuple, i64)> = rel
+                .iter()
+                .filter_map(|t| {
+                    let tid = a.tid(t).unwrap();
+                    (tid < k as i64).then(|| (t.clone(), tid))
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        let bounded_prefixes: Vec<_> = BoundedAssignmentIter::new(&rel, &[0], k, &interner)
+            .map(|a| prefix(&a))
+            .collect();
+        for full in IdAssignmentIter::new(&rel, &[0], &interner) {
+            prop_assert!(bounded_prefixes.contains(&prefix(&full)));
+        }
+    }
+
+    /// Materialized ID-relations have the right shape: same cardinality,
+    /// arity+1, and stripping tids recovers the base relation.
+    #[test]
+    fn id_relation_shape((interner, rel) in arb_relation()) {
+        let assignment = IdAssignment::canonical(&rel, &[0], &interner);
+        let idrel = make_id_relation(&rel, &assignment);
+        prop_assert_eq!(idrel.len(), rel.len());
+        prop_assert_eq!(idrel.arity(), rel.arity() + 1);
+        for t in idrel.iter() {
+            let base = t.project(&[0, 1]);
+            prop_assert!(rel.contains(&base));
+            prop_assert_eq!(t[2], Value::Int(assignment.tid(&base).unwrap()));
+        }
+    }
+}

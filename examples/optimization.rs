@@ -1,0 +1,73 @@
+//! Optimizing DATALOG programs with ID-literals (paper §4): run the
+//! adornment analysis, apply both rewrites, and measure the reduction in
+//! intermediate work.
+//!
+//! Run with: `cargo run -p idlog-suite --example optimization`
+
+use std::sync::Arc;
+
+use idlog_core::{CanonicalOracle, Interner, Query, ValidatedProgram};
+use idlog_optimizer::{push_projections, to_id_program};
+use idlog_storage::Database;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let interner = Arc::new(Interner::new());
+
+    // The paper's §4 opening example.
+    let src = "p(X) :- q(X, Z), z(Z, Y), y(W).";
+    let original = idlog_core::parse_program(src, &interner)?;
+    let output = interner.intern("p");
+
+    println!("original program:\n  {src}\n");
+
+    let projected = push_projections(&original, output);
+    println!("after ∀-existential projection pushing:");
+    print!("{}", indent(&projected.display(&interner).to_string()));
+
+    let optimized = to_id_program(&original, output);
+    println!("\nafter the ∃-existential ID-literal rewrite (steps 1–3):");
+    print!("{}", indent(&optimized.display(&interner).to_string()));
+
+    // Workload: 50 q-keys, each z-key fanning out to 100 Y values, 200
+    // y-witnesses.
+    let mut db = Database::with_interner(Arc::clone(&interner));
+    for k in 0..50 {
+        db.insert_syms("q", &[&format!("x{k}"), &format!("zk{k}")])?;
+        for f in 0..100 {
+            db.insert_syms("z", &[&format!("zk{k}"), &format!("y{f}")])?;
+        }
+    }
+    for w in 0..200 {
+        db.insert_syms("y", &[&format!("w{w}")])?;
+    }
+
+    let run = |ast: &idlog_core::Program, label: &str| -> Result<(), Box<dyn std::error::Error>> {
+        let validated = ValidatedProgram::new(ast.clone(), Arc::clone(&interner))?;
+        let q = Query::new(validated, "p")?;
+        let t0 = std::time::Instant::now();
+        let (rel, stats) = q.eval_with_stats(&db, &mut CanonicalOracle)?;
+        println!(
+            "  {label:<12} answers={:<4} instantiations={:<9} probes={:<9} time={:?}",
+            rel.len(),
+            stats.instantiations,
+            stats.probes,
+            t0.elapsed()
+        );
+        Ok(())
+    };
+
+    println!("\nevaluation on 50 keys × 100 fanout × 200 witnesses:");
+    run(&original, "original")?;
+    run(&projected, "∀-rewrite")?;
+    run(&optimized, "ID-rewrite")?;
+
+    println!(
+        "\nThe ID-rewrite fires once per q-key (50 instantiations) instead of \
+         once per (key, fanout, witness) combination (1,000,000)."
+    );
+    Ok(())
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("  {l}\n")).collect()
+}

@@ -1,0 +1,307 @@
+//! Cross-language agreement: IDLOG vs DATALOG^C vs DL on queries all three
+//! can express, plus Theorem 2 translations on a family of programs.
+
+use std::sync::Arc;
+
+use idlog_core::{EnumBudget, Interner, Query, ValidatedProgram};
+use idlog_storage::Database;
+
+fn db_from(interner: &Arc<Interner>, facts: &[(&str, &[&str])]) -> Database {
+    let mut db = Database::with_interner(Arc::clone(interner));
+    for (pred, cols) in facts {
+        db.insert_syms(pred, cols).unwrap();
+    }
+    db
+}
+
+/// Run one DATALOG^C program through (a) the direct KN88 semantics and
+/// (b) the Theorem 2 translation + IDLOG enumeration; assert equal answers.
+fn check_theorem2(src: &str, facts: &[(&str, &[&str])], output: &str) {
+    let interner = Arc::new(Interner::new());
+    let ast = idlog_core::parse_program(src, &interner).unwrap();
+    let db = db_from(&interner, facts);
+    let budget = EnumBudget::default();
+
+    let direct = idlog_choice::intended_models(&ast, &interner, &db, output, &budget).unwrap();
+    assert!(direct.complete());
+
+    let translated = idlog_choice::to_idlog::to_idlog(&ast, &interner).unwrap();
+    let validated = ValidatedProgram::new(translated, Arc::clone(&interner)).unwrap();
+    let q = Query::new(validated, output).unwrap();
+    let via_idlog = q.all_answers(&db, &budget).unwrap();
+    assert!(via_idlog.complete());
+
+    assert!(
+        direct.same_answers(&via_idlog, &interner),
+        "Theorem 2 failed on {output}:\n direct {:?}\n idlog {:?}",
+        direct.to_sorted_strings(&interner),
+        via_idlog.to_sorted_strings(&interner)
+    );
+}
+
+#[test]
+fn theorem2_on_a_program_family() {
+    let emp: &[(&str, &[&str])] = &[
+        ("emp", &["a", "x"]),
+        ("emp", &["b", "x"]),
+        ("emp", &["c", "y"]),
+        ("emp", &["d", "y"]),
+        ("emp", &["e", "z"]),
+    ];
+    check_theorem2("s(N) :- emp(N, D), choice((D), (N)).", emp, "s");
+    check_theorem2("s(D) :- emp(N, D), choice((N), (D)).", emp, "s");
+    check_theorem2("s(N, D) :- emp(N, D), choice((), (N, D)).", emp, "s");
+    check_theorem2(
+        "picked(N) :- emp(N, D), choice((D), (N)).
+         s(D) :- picked(N), emp(N, D).",
+        emp,
+        "s",
+    );
+    check_theorem2(
+        "s(N, M) :- emp(N, D), emp(M, D), N != M, choice((D), (N, M)).",
+        emp,
+        "s",
+    );
+}
+
+#[test]
+fn theorem2_with_negation_below_choice() {
+    check_theorem2(
+        "senior(N) :- emp(N, D), not junior(N).
+         s(N) :- senior(N), emp(N, D), choice((D), (N)).",
+        &[
+            ("emp", &["a", "x"]),
+            ("emp", &["b", "x"]),
+            ("emp", &["c", "x"]),
+            ("junior", &["b"]),
+        ],
+        "s",
+    );
+}
+
+/// A three-way agreement on a query all languages express: "choose one
+/// element globally".
+#[test]
+fn three_languages_one_query() {
+    let interner = Arc::new(Interner::new());
+    let facts: &[(&str, &[&str])] = &[("item", &["a"]), ("item", &["b"])];
+    let db = db_from(&interner, facts);
+    let budget = EnumBudget::default();
+
+    // IDLOG.
+    let idlog =
+        Query::parse_with_interner("pick(X) :- item[](X, 0).", "pick", Arc::clone(&interner))
+            .unwrap();
+    let a_idlog = idlog.all_answers(&db, &budget).unwrap();
+
+    // DATALOG^C.
+    let choice_ast =
+        idlog_core::parse_program("pick(X) :- item(X), choice((), (X)).", &interner).unwrap();
+    let a_choice =
+        idlog_choice::intended_models(&choice_ast, &interner, &db, "pick", &budget).unwrap();
+
+    // DL: the natural attempt — pick X unless something else was picked.
+    // Under the one-instantiation-at-a-time inflationary semantics this is
+    // RACY: pick(a) and pick(b) can both fire before either other_picked
+    // fact is derived, so {a, b} is also an outcome. This inadequacy is one
+    // of the paper's motivations for explicit non-deterministic constructs.
+    let dl_ast = idlog_core::parse_program(
+        "pick(X) :- item(X), not other_picked(X).
+         other_picked(X) :- item(X), pick(Y), X != Y.",
+        &interner,
+    )
+    .unwrap();
+    let dl =
+        idlog_dl::DlProgram::new(dl_ast, Arc::clone(&interner), idlog_dl::Dialect::Dl).unwrap();
+    let a_dl = idlog_dl::all_outcomes(&dl, &db, "pick", &idlog_dl::DlBudget::default()).unwrap();
+
+    assert_eq!(a_idlog.len(), 2);
+    assert!(a_idlog.same_answers(&a_choice, &interner));
+    let dl_strings = a_dl.to_sorted_strings(&interner);
+    for wanted in a_idlog.to_sorted_strings(&interner) {
+        assert!(dl_strings.contains(&wanted), "DL misses {wanted:?}");
+    }
+    assert!(
+        dl_strings.contains(&vec!["(a)".to_string(), "(b)".to_string()]),
+        "the DL race outcome must be observable: {dl_strings:?}"
+    );
+}
+
+/// The paper (§3.3): IDLOG's n-sample query returns exactly the binomial
+/// family of subsets — every answer has n members per group and all C(k, n)
+/// subsets occur.
+#[test]
+fn idlog_n_sampling_is_exactly_binomial() {
+    let interner = Arc::new(Interner::new());
+    // One department with 4 employees, n = 2 → C(4,2) = 6 answers.
+    let facts: &[(&str, &[&str])] = &[
+        ("emp", &["a", "d"]),
+        ("emp", &["b", "d"]),
+        ("emp", &["c", "d"]),
+        ("emp", &["e", "d"]),
+    ];
+    let db = db_from(&interner, facts);
+    let q = Query::parse_with_interner(
+        "two(N) :- emp[2](N, D, T), T < 2.",
+        "two",
+        Arc::clone(&interner),
+    )
+    .unwrap();
+    let answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+    assert!(answers.complete());
+    assert_eq!(answers.len(), 6);
+    for rel in answers.iter() {
+        assert_eq!(rel.len(), 2);
+    }
+}
+
+/// DL and IDLOG on a stratified-negation query: the stratified answer must
+/// be among the DL outcomes (DL's unstratified negation can also fire
+/// early, so its outcome set may be larger).
+#[test]
+fn dl_outcomes_contain_the_stratified_answer() {
+    let interner = Arc::new(Interner::new());
+    let facts: &[(&str, &[&str])] = &[
+        ("node", &["a"]),
+        ("node", &["b"]),
+        ("node", &["c"]),
+        ("start", &["a"]),
+        ("e", &["a", "b"]),
+    ];
+    let db = db_from(&interner, facts);
+    let src = "
+        reach(X) :- start(X).
+        reach(Y) :- reach(X), e(X, Y).
+        unreach(X) :- node(X), not reach(X).
+    ";
+    let q = Query::parse_with_interner(src, "unreach", Arc::clone(&interner)).unwrap();
+    let idlog_answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+    assert_eq!(idlog_answers.len(), 1);
+
+    let dl_ast = idlog_core::parse_program(src, &interner).unwrap();
+    let dl =
+        idlog_dl::DlProgram::new(dl_ast, Arc::clone(&interner), idlog_dl::Dialect::Dl).unwrap();
+    let dl_answers =
+        idlog_dl::all_outcomes(&dl, &db, "unreach", &idlog_dl::DlBudget::default()).unwrap();
+    let target = &idlog_answers.to_sorted_strings(&interner)[0];
+    let dl_strings = dl_answers.to_sorted_strings(&interner);
+    assert!(
+        dl_strings.contains(target),
+        "stratified answer {target:?} missing from DL outcomes {dl_strings:?}"
+    );
+}
+
+/// The paper's §4 closing remark: cut can be expressed through choice (and
+/// hence IDLOG). Demonstrated as containment: the SLD-with-cut answer of
+/// "pick one item per key" is one of the choice program's intended models,
+/// which equal the IDLOG translation's answers (Theorem 2).
+#[test]
+fn cut_answer_is_a_choice_model_is_an_idlog_answer() {
+    use idlog_choice::{CutBudget, CutProgram};
+
+    let interner = Arc::new(Interner::new());
+    let facts: &[(&str, &[&str])] = &[
+        ("item", &["x1", "k1"]),
+        ("item", &["x2", "k1"]),
+        ("item", &["y1", "k2"]),
+        ("item", &["y2", "k2"]),
+    ];
+    let db = db_from(&interner, facts);
+
+    // Cut: for each key (driven by keyof), commit to the first item.
+    let cut_prog = CutProgram::parse(
+        "keyof(K) :- item(X, K).
+         picked(K, X) :- keyof(K), first(K, X).
+         first(K, X) :- item(X, K), !.",
+        Arc::clone(&interner),
+    )
+    .unwrap();
+    let cut_answer = cut_prog
+        .all_solutions(&db, "picked", &CutBudget::default())
+        .unwrap();
+    assert_eq!(cut_answer.len(), 2, "one item per key");
+
+    // Choice: the same query non-deterministically.
+    let choice_ast =
+        idlog_core::parse_program("picked(K, X) :- item(X, K), choice((K), (X)).", &interner)
+            .unwrap();
+    let budget = EnumBudget::default();
+    let choice_models =
+        idlog_choice::intended_models(&choice_ast, &interner, &db, "picked", &budget).unwrap();
+    let cut_tuples: Vec<_> = cut_answer.iter().cloned().collect();
+    assert!(
+        choice_models.contains_answer(&cut_tuples),
+        "the cut answer must be one of the choice program's intended models"
+    );
+
+    // IDLOG (via Theorem 2): same answer set as choice — so the cut answer
+    // is an IDLOG answer too.
+    let translated = idlog_choice::to_idlog::to_idlog(&choice_ast, &interner).unwrap();
+    let validated = ValidatedProgram::new(translated, Arc::clone(&interner)).unwrap();
+    let idlog_answers = Query::new(validated, "picked")
+        .unwrap()
+        .all_answers(&db, &budget)
+        .unwrap();
+    assert!(choice_models.same_answers(&idlog_answers, &interner));
+    assert!(idlog_answers.contains_answer(&cut_tuples));
+}
+
+/// Four languages, one query (the paper's §3.2 survey): the guess answer
+/// set {∅, {a}, {b}, {a,b}} falls out of IDLOG (Example 2), DL (Example 3),
+/// DATALOG^C (§3.2.2), and DATALOG∨ (§3.2 ¶1) alike.
+#[test]
+fn four_languages_agree_on_the_guess_query() {
+    let interner = Arc::new(Interner::new());
+    let facts: &[(&str, &[&str])] = &[("person", &["a"]), ("person", &["b"])];
+    let db = db_from(&interner, facts);
+    let budget = EnumBudget::default();
+
+    // IDLOG (Example 2).
+    let idlog = Query::parse_with_interner(
+        "sex_guess(X, male) :- person(X).
+         sex_guess(X, female) :- person(X).
+         man(X) :- sex_guess[1](X, male, 1).",
+        "man",
+        Arc::clone(&interner),
+    )
+    .unwrap();
+    let a_idlog = idlog.all_answers(&db, &budget).unwrap();
+
+    // DL (Example 3).
+    let dl_ast = idlog_core::parse_program(
+        "man(X) :- person(X), not woman(X).
+         woman(X) :- person(X), not man(X).",
+        &interner,
+    )
+    .unwrap();
+    let dl =
+        idlog_dl::DlProgram::new(dl_ast, Arc::clone(&interner), idlog_dl::Dialect::Dl).unwrap();
+    let a_dl = idlog_dl::all_outcomes(&dl, &db, "man", &idlog_dl::DlBudget::default()).unwrap();
+
+    // DATALOG^C (§3.2.2's translation example).
+    let choice_ast = idlog_core::parse_program(
+        "sex_guess(X, male) :- person(X).
+         sex_guess(X, female) :- person(X).
+         sex(X, Y) :- sex_guess(X, Y), choice((X), (Y)).
+         man(X) :- sex(X, male).",
+        &interner,
+    )
+    .unwrap();
+    let a_choice =
+        idlog_choice::intended_models(&choice_ast, &interner, &db, "man", &budget).unwrap();
+
+    // DATALOG∨ (§3.2 ¶1).
+    let disj_ast = idlog_core::parse_program("man(X) | woman(X) :- person(X).", &interner).unwrap();
+    let disj = idlog_dl::DisjProgram::new(disj_ast, Arc::clone(&interner)).unwrap();
+    let a_disj = disj
+        .minimal_models(&db, "man", &idlog_dl::DlBudget::default())
+        .unwrap();
+
+    assert_eq!(a_idlog.len(), 4);
+    assert!(a_idlog.same_answers(&a_dl, &interner), "DL differs");
+    assert!(
+        a_idlog.same_answers(&a_choice, &interner),
+        "DATALOG^C differs"
+    );
+    assert!(a_idlog.same_answers(&a_disj, &interner), "DATALOG∨ differs");
+}

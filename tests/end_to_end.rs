@@ -1,0 +1,287 @@
+//! End-to-end scenarios on generated workloads: the optimization claims of
+//! §4 measured through engine statistics, larger recursive programs, and
+//! oracle behaviour.
+
+use std::sync::Arc;
+
+use idlog_core::{CanonicalOracle, EnumBudget, EvalStats, Interner, Query, SeededOracle};
+use idlog_storage::Database;
+
+/// D departments × E employees per department.
+fn emp_db(interner: &Arc<Interner>, depts: usize, emps: usize) -> Database {
+    let mut db = Database::with_interner(Arc::clone(interner));
+    for d in 0..depts {
+        for e in 0..emps {
+            db.insert_syms("emp", &[&format!("n{d}_{e}"), &format!("dept{d}")])
+                .unwrap();
+        }
+    }
+    db
+}
+
+fn stats_of(src: &str, output: &str, db_builder: impl Fn(&Arc<Interner>) -> Database) -> EvalStats {
+    let q = Query::parse(src, output).unwrap();
+    let db = db_builder(q.interner());
+    let (_, stats) = q.eval_with_stats(&db, &mut CanonicalOracle).unwrap();
+    stats
+}
+
+/// §1/§4: the IDLOG formulation of all_depts considers one tuple per
+/// department, the plain one considers all D×E tuples.
+#[test]
+fn all_depts_idlog_reduces_instantiations() {
+    let (depts, emps) = (10, 20);
+    let plain = stats_of("all_depts(D) :- emp(N, D).", "all_depts", |i| {
+        emp_db(i, depts, emps)
+    });
+    let idlog = stats_of("all_depts(D) :- emp[2](N, D, 0).", "all_depts", |i| {
+        emp_db(i, depts, emps)
+    });
+    assert_eq!(plain.instantiations, (depts * emps) as u64);
+    assert_eq!(
+        idlog.instantiations, depts as u64,
+        "one firing per department"
+    );
+    assert!(idlog.probes < plain.probes);
+}
+
+/// §3.3: the n-sample IDLOG query fires once per selected tuple — n per
+/// group — not once per candidate tuple.
+#[test]
+fn sampling_instantiations_scale_with_n_not_group_size() {
+    let (depts, emps, n) = (5, 30, 3);
+    let src = format!("sample(N) :- emp[2](N, D, T), T < {n}.");
+    let stats = stats_of(&src, "sample", |i| emp_db(i, depts, emps));
+    assert_eq!(stats.instantiations, (depts * n) as u64);
+}
+
+/// Same-generation on a tree: a classic recursive workload exercising
+/// semi-naive evaluation, negation-free.
+#[test]
+fn same_generation_on_a_tree() {
+    let src = "
+        sg(X, X) :- person(X).
+        sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).
+    ";
+    let q = Query::parse(src, "sg").unwrap();
+    let mut db = Database::with_interner(Arc::clone(q.interner()));
+    // A complete binary tree of depth 3: nodes 1..15, par(child, parent).
+    for child in 2..=15u32 {
+        let parent = child / 2;
+        db.insert_syms("par", &[&format!("v{child}"), &format!("v{parent}")])
+            .unwrap();
+        db.insert_syms("person", &[&format!("v{child}")]).unwrap();
+    }
+    db.insert_syms("person", &["v1"]).unwrap();
+    let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+    // Same-generation pairs in a complete binary tree of 15 nodes:
+    // level sizes 1,2,4,8 → 1 + 4 + 16 + 64 = 85 ordered pairs.
+    assert_eq!(rel.len(), 85);
+}
+
+/// Seeded oracles give reproducible answers, and different seeds reach
+/// different answers somewhere.
+#[test]
+fn seeded_oracles_are_reproducible() {
+    let q = Query::parse("pick(N) :- emp[2](N, D, 0).", "pick").unwrap();
+    let db = emp_db(q.interner(), 2, 6);
+    let a1 = q.eval(&db, &mut SeededOracle::new(11)).unwrap();
+    let a2 = q.eval(&db, &mut SeededOracle::new(11)).unwrap();
+    assert!(a1.set_eq(&a2));
+    let differing = (0..32)
+        .filter(|&s| !q.eval(&db, &mut SeededOracle::new(s)).unwrap().set_eq(&a1))
+        .count();
+    assert!(
+        differing > 0,
+        "32 seeds must reach at least two distinct answers"
+    );
+}
+
+/// Deterministic queries are oracle-independent even when they read
+/// ID-relations (the paper's all_depts: existential choice does not leak).
+#[test]
+fn all_depts_is_oracle_independent() {
+    let q = Query::parse("all_depts(D) :- emp[2](N, D, 0).", "all_depts").unwrap();
+    let db = emp_db(q.interner(), 4, 5);
+    let canonical = q.eval(&db, &mut CanonicalOracle).unwrap();
+    for seed in 0..16 {
+        let seeded = q.eval(&db, &mut SeededOracle::new(seed)).unwrap();
+        assert!(
+            canonical.set_eq(&seeded),
+            "seed {seed} changed a deterministic query"
+        );
+    }
+    assert_eq!(canonical.len(), 4);
+}
+
+/// Arithmetic end-to-end: sum the first k naturals with succ/plus recursion.
+#[test]
+fn triangular_numbers_via_arithmetic() {
+    let src = "
+        tri(0, 0).
+        tri(N2, S2) :- tri(N, S), succ(N, N2), N2 <= 10, plus(S, N2, S2).
+    ";
+    let q = Query::parse(src, "tri").unwrap();
+    let db = Database::with_interner(Arc::clone(q.interner()));
+    let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+    assert_eq!(rel.len(), 11);
+    let t: idlog_core::Tuple = vec![idlog_core::Value::Int(10), idlog_core::Value::Int(55)].into();
+    assert!(rel.contains(&t), "tri(10) = 55");
+}
+
+/// Mixed recursion + ID-literal + negation across three strata.
+#[test]
+fn three_strata_pipeline() {
+    let src = "
+        reach(X) :- start(X).
+        reach(Y) :- reach(X), e(X, Y).
+        rep(X) :- reach[](X, 0).
+        nonrep(X) :- reach(X), not rep(X).
+    ";
+    let q = Query::parse(src, "nonrep").unwrap();
+    let mut db = Database::with_interner(Arc::clone(q.interner()));
+    db.insert_syms("start", &["a"]).unwrap();
+    for (x, y) in [("a", "b"), ("b", "c"), ("c", "d")] {
+        db.insert_syms("e", &[x, y]).unwrap();
+    }
+    let answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+    // reach = {a,b,c,d}; rep is any single one of them; nonrep the other 3.
+    assert_eq!(answers.len(), 4);
+    for rel in answers.iter() {
+        assert_eq!(rel.len(), 3);
+    }
+}
+
+/// The enumeration budget reports truncation instead of hanging on a
+/// factorial space.
+#[test]
+fn enumeration_budget_cuts_factorial_space() {
+    // The tid escapes into the head, so the walk is over all 9! = 362880
+    // permutations; the budget must truncate it.
+    let q = Query::parse("pick(N, T) :- emp[](N, D, T).", "pick").unwrap();
+    let db = emp_db(q.interner(), 1, 9);
+    let budget = EnumBudget {
+        max_models: 500,
+        max_answers: 10_000,
+    };
+    let answers = q.all_answers(&db, &budget).unwrap();
+    assert!(!answers.complete());
+    assert!(answers.models_explored() <= 501);
+}
+
+/// The footnote 6/7 optimization: a tid-0-only query over the same relation
+/// enumerates 9 arrangements, not 9! permutations, and completes.
+#[test]
+fn bounded_tid_enumeration_is_linear() {
+    let q = Query::parse("pick(N) :- emp[](N, D, 0).", "pick").unwrap();
+    let db = emp_db(q.interner(), 1, 9);
+    let budget = EnumBudget {
+        max_models: 500,
+        max_answers: 10_000,
+    };
+    let answers = q.all_answers(&db, &budget).unwrap();
+    assert!(answers.complete());
+    assert_eq!(answers.models_explored(), 9);
+    assert_eq!(answers.len(), 9);
+}
+
+/// Parallel and sequential enumeration agree on a two-choice-point program.
+#[test]
+fn parallel_enumeration_agrees() {
+    let src = "
+        first(N) :- emp[2](N, D, 0).
+        second(P) :- proj[2](P, T, 0).
+        pair(N, P) :- first(N), second(P).
+    ";
+    let q = Query::parse(src, "pair").unwrap();
+    let mut db = emp_db(q.interner(), 2, 3);
+    for t in 0..2 {
+        for p in 0..2 {
+            db.insert_syms("proj", &[&format!("p{t}_{p}"), &format!("t{t}")])
+                .unwrap();
+        }
+    }
+    let budget = EnumBudget::default();
+    let seq = q.all_answers(&db, &budget).unwrap();
+    let par = q.all_answers_parallel(&db, &budget).unwrap();
+    assert!(seq.complete() && par.complete());
+    assert!(seq.same_answers(&par, q.interner()));
+}
+
+/// The paper's introductory claim (via [She90b]): tuple identifiers enhance
+/// *deterministic* expressive power. Cardinality parity of a unary relation
+/// is not expressible in DATALOG(¬), but with an empty-grouping ID-relation
+/// the tids 0..n−1 give a linear order to count along — and the answer is
+/// the same in every perfect model.
+#[test]
+fn counting_with_tids_is_deterministic() {
+    let src = "
+        % tid order: numbered(X, T) pairs each element with a unique tid.
+        numbered(X, T) :- person[](X, T).
+        % count up: reach(T) holds for every tid, size = max tid + 1.
+        has(T) :- numbered(X, T).
+        even_upto(0) :- has(0).
+        odd_upto(T2) :- even_upto(T), succ(T, T2), has(T2).
+        even_upto(T2) :- odd_upto(T), succ(T, T2), has(T2).
+        % the relation has even cardinality iff the last tid is odd-indexed
+        % (odd_upto holds at the maximum tid), or the relation is empty.
+        top(T) :- has(T), succ(T, T2), not has(T2).
+        even_card :- top(T), odd_upto(T).
+        empty :- not some.
+        some :- person(X).
+        even_card :- empty.
+    ";
+    let q = Query::parse(src, "even_card").unwrap();
+    for n in 0..6usize {
+        let mut db = q.new_database();
+        for k in 0..n {
+            db.insert_syms("person", &[&format!("p{k}")]).unwrap();
+        }
+        // Deterministic: a single answer over all perfect models.
+        let answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+        assert!(answers.complete());
+        assert_eq!(
+            answers.len(),
+            1,
+            "parity must be tid-choice independent (n={n})"
+        );
+        let is_even = !answers.iter().next().unwrap().is_empty();
+        assert_eq!(is_even, n % 2 == 0, "wrong parity for n={n}");
+        // And any single oracle gives the same verdict.
+        for seed in [1, 9] {
+            let rel = q.eval(&db, &mut SeededOracle::new(seed)).unwrap();
+            assert_eq!(!rel.is_empty(), n % 2 == 0);
+        }
+    }
+}
+
+/// §2.2: "More complicated arithmetic predicates, such as +, −, *, / and <,
+/// can be defined by IDLOG programs using the predicate succ." Define
+/// addition from succ over a bounded range and compare with the builtin.
+#[test]
+fn plus_is_definable_from_succ() {
+    let src = "
+        % myplus(X, Y, Z) over 0..=LIMIT, defined only from succ.
+        bound(0).
+        bound(N2) :- bound(N), succ(N, N2), N2 <= 12.
+        myplus(X, 0, X) :- bound(X).
+        myplus(X, Y2, Z2) :- myplus(X, Y, Z), succ(Y, Y2), succ(Z, Z2), Z2 <= 12.
+        % check: pairs where the builtin and the definition agree.
+        agree(X, Y) :- myplus(X, Y, Z), plus(X, Y, Z).
+    ";
+    let q = Query::parse(src, "myplus").unwrap();
+    let db = Database::with_interner(Arc::clone(q.interner()));
+    let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+    // Every derived myplus(X, Y, Z) satisfies X + Y = Z…
+    for t in rel.iter() {
+        let (x, y, z) = (
+            t[0].as_int().unwrap(),
+            t[1].as_int().unwrap(),
+            t[2].as_int().unwrap(),
+        );
+        assert_eq!(x + y, z);
+    }
+    // …and the definition is complete for all sums ≤ 12:
+    // Σ_{z=0}^{12} (z+1) = 91 triples.
+    assert_eq!(rel.len(), 91);
+}

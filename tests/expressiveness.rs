@@ -1,0 +1,174 @@
+//! Expressiveness (Theorems 5/6): compiled Turing machines agree with
+//! native simulation, across deterministic and non-deterministic machines,
+//! and the database encoding round-trips through a machine run.
+
+use idlog_core::EnumBudget;
+use idlog_gtm::{
+    compile_tm, encode_database, explore, queries, run_deterministic, EncodeOrder, Move, Outcome,
+    RunBudget, TmBuilder,
+};
+use idlog_storage::Database;
+
+fn nonblank(tape: &[u8]) -> Vec<(usize, u8)> {
+    tape.iter()
+        .enumerate()
+        .filter(|&(_, &s)| s != 0)
+        .map(|(p, &s)| (p, s))
+        .collect()
+}
+
+/// Native accepting tapes (sorted, deduplicated) for comparison. All-blank
+/// accepting tapes are dropped, mirroring `CompiledTm::accepting_tapes`
+/// (whose `result` relation is empty for them); acceptance itself is
+/// compared through `CompiledTm::acceptance`.
+fn native_tapes(tm: &idlog_gtm::Tm, input: &[u8]) -> Vec<Vec<(usize, u8)>> {
+    let outs = explore(tm, input, &RunBudget::default()).unwrap();
+    let mut tapes: Vec<Vec<(usize, u8)>> = outs
+        .iter()
+        .filter_map(|o| match o {
+            Outcome::Accepted(t) => Some(nonblank(t)).filter(|nb| !nb.is_empty()),
+            Outcome::Halted(_) => None,
+        })
+        .collect();
+    tapes.sort();
+    tapes.dedup();
+    tapes
+}
+
+#[test]
+fn parity_machine_full_agreement() {
+    let tm = queries::parity();
+    let compiled = compile_tm(&tm, 8, 8);
+    let budget = EnumBudget::default();
+    for input in [vec![], vec![2], vec![2, 2], vec![1, 2, 1, 2], vec![2, 2, 2]] {
+        let native = native_tapes(&tm, &input);
+        let compiled_tapes = compiled.accepting_tapes(&input, &budget).unwrap();
+        assert_eq!(compiled_tapes, native, "input {input:?}");
+        let native_accepts = !native.is_empty()
+            || matches!(
+                run_deterministic(&tm, &input, &RunBudget::default()).unwrap(),
+                Outcome::Accepted(ref t) if nonblank(t).is_empty()
+            );
+        let (some, _) = compiled.acceptance(&input, &budget).unwrap();
+        assert_eq!(some, native_accepts, "acceptance on {input:?}");
+    }
+}
+
+#[test]
+fn successor_machine_computes_increment() {
+    let tm = queries::successor();
+    let compiled = compile_tm(&tm, 8, 8);
+    let budget = EnumBudget::default();
+    // Check 0..=6 → 1..=7 through the compiled program.
+    for value in 0u32..=6 {
+        // LSB-first binary with symbols 1 (bit 0) / 2 (bit 1).
+        let encode = |mut v: u32| -> Vec<u8> {
+            let mut bits = Vec::new();
+            loop {
+                bits.push(if v & 1 == 1 { 2 } else { 1 });
+                v >>= 1;
+                if v == 0 {
+                    break;
+                }
+            }
+            bits
+        };
+        let decode = |cells: &[(usize, u8)]| -> u32 {
+            cells
+                .iter()
+                .fold(0u32, |acc, &(p, s)| acc | (u32::from(s == 2) << p))
+        };
+        let input = encode(value);
+        let tapes = compiled.accepting_tapes(&input, &budget).unwrap();
+        assert_eq!(tapes.len(), 1, "deterministic machine, one outcome");
+        assert_eq!(decode(&tapes[0]), value + 1, "successor of {value}");
+    }
+}
+
+#[test]
+fn nondeterministic_machine_outcome_sets_agree() {
+    // Two branch points: write 1|2, move right, write 1|2, accept.
+    let tm = TmBuilder::new(3, 3, 0, 2)
+        .on(0, 0, 1, Move::Right, 1)
+        .on(0, 0, 2, Move::Right, 1)
+        .on(1, 0, 1, Move::Stay, 2)
+        .on(1, 0, 2, Move::Stay, 2)
+        .build()
+        .unwrap();
+    let compiled = compile_tm(&tm, 3, 3);
+    let native = native_tapes(&tm, &[]);
+    assert_eq!(native.len(), 4, "2 × 2 branch outcomes");
+    let compiled_tapes = compiled
+        .accepting_tapes(&[], &EnumBudget::default())
+        .unwrap();
+    assert_eq!(compiled_tapes, native);
+}
+
+#[test]
+fn asymmetric_branching_uses_mod_mapping() {
+    // State 0 has 3 options on blank; state 1 has 2; kmax = 3 exercises the
+    // K mod l selector clauses.
+    let tm = TmBuilder::new(3, 4, 0, 2)
+        .on(0, 0, 1, Move::Right, 1)
+        .on(0, 0, 2, Move::Right, 1)
+        .on(0, 0, 3, Move::Right, 1)
+        .on(1, 0, 1, Move::Stay, 2)
+        .on(1, 0, 2, Move::Stay, 2)
+        .build()
+        .unwrap();
+    let compiled = compile_tm(&tm, 3, 3);
+    let native = native_tapes(&tm, &[]);
+    assert_eq!(native.len(), 6, "3 × 2 outcomes");
+    let compiled_tapes = compiled
+        .accepting_tapes(&[], &EnumBudget::default())
+        .unwrap();
+    assert_eq!(compiled_tapes, native);
+}
+
+#[test]
+fn machine_over_encoded_database() {
+    // The nonempty scanner runs on a real encoded database — the [HS89]
+    // pipeline end to end: database → tape → machine → acceptance.
+    let tm = queries::nonempty_scanner();
+
+    let mut db = Database::new();
+    db.insert_syms("p", &["alice"]).unwrap();
+    db.insert_syms("p", &["bob"]).unwrap();
+    let order = EncodeOrder::canonical(&db);
+    let tape = encode_database(&db, &order, &["p"]).unwrap();
+
+    let compiled = compile_tm(&tm, (tape.len() + 2).max(4), tape.len() + 2);
+    let (some, all) = compiled.acceptance(&tape, &EnumBudget::default()).unwrap();
+    assert!(some && all, "nonempty relation accepted");
+
+    let mut empty = Database::new();
+    empty
+        .declare("p", idlog_core::RelType::elementary(1))
+        .unwrap();
+    let order = EncodeOrder::canonical(&empty);
+    let tape = encode_database(&empty, &order, &["p"]).unwrap();
+    let compiled = compile_tm(&tm, 6, 6);
+    let (some, _) = compiled.acceptance(&tape, &EnumBudget::default()).unwrap();
+    assert!(!some, "empty relation not accepted");
+}
+
+/// Genericity of the encoded pipeline: permuting the enumeration order of
+/// the constants does not change acceptance (the scanner is generic).
+#[test]
+fn encoding_order_independence() {
+    let tm = queries::nonempty_scanner();
+    let mut db = Database::new();
+    db.insert_syms("p", &["x"]).unwrap();
+    db.insert_syms("p", &["y"]).unwrap();
+
+    let interner = db.interner();
+    let x = interner.get("x").unwrap();
+    let y = interner.get("y").unwrap();
+    for order in [vec![x, y], vec![y, x]] {
+        let order = EncodeOrder::new(order);
+        let tape = encode_database(&db, &order, &["p"]).unwrap();
+        let compiled = compile_tm(&tm, tape.len() + 2, tape.len() + 2);
+        let (some, all) = compiled.acceptance(&tape, &EnumBudget::default()).unwrap();
+        assert!(some && all);
+    }
+}
