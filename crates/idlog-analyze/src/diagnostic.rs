@@ -1,0 +1,121 @@
+//! The diagnostic data model.
+//!
+//! A [`Diagnostic`] ties a stable code (`E…`/`W…`/`H…`), a severity, a
+//! source [`Span`], a one-line message, and any number of secondary
+//! [`Note`]s together. The driver in [`crate::analyzer`] *collects* them —
+//! it never stops at the first problem — so a program with three
+//! independent errors reports all three.
+
+use idlog_parser::Span;
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// A hint: the program is fine, but an optimization or cleanup applies.
+    Hint,
+    /// A warning: suspicious but not invalid; `--deny-warnings` rejects it.
+    Warning,
+    /// An error: the program is not a valid program of its dialect.
+    Error,
+}
+
+impl Severity {
+    /// The renderer's label for this severity.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Hint => "hint",
+        }
+    }
+}
+
+/// A secondary annotation attached to a diagnostic. With a span it renders
+/// as its own source excerpt; without one it renders as `= note: …`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Note {
+    /// Where the note points, if anywhere.
+    pub span: Option<Span>,
+    /// The note text.
+    pub message: String,
+}
+
+/// One diagnostic: code, severity, primary span, message, notes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `E009` (documented in LANGUAGE.md).
+    pub code: &'static str,
+    /// Error, warning, or hint.
+    pub severity: Severity,
+    /// The primary source location (may be the unknown span).
+    pub span: Span,
+    /// One-line description of the problem.
+    pub message: String,
+    /// Secondary annotations.
+    pub notes: Vec<Note>,
+}
+
+impl Diagnostic {
+    /// Build an error diagnostic.
+    pub fn error(code: &'static str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Build a warning diagnostic.
+    pub fn warning(code: &'static str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, span, message)
+        }
+    }
+
+    /// Build a hint diagnostic.
+    pub fn hint(code: &'static str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Hint,
+            ..Diagnostic::error(code, span, message)
+        }
+    }
+
+    /// Attach a spanned note (builder style).
+    pub fn with_note_at(mut self, span: Span, message: impl Into<String>) -> Self {
+        self.notes.push(Note {
+            span: Some(span),
+            message: message.into(),
+        });
+        self
+    }
+
+    /// Attach a spanless note (builder style).
+    pub fn with_note(mut self, message: impl Into<String>) -> Self {
+        self.notes.push(Note {
+            span: None,
+            message: message.into(),
+        });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_set_severity_and_notes() {
+        let d = Diagnostic::warning("W003", Span::default(), "singleton")
+            .with_note("prefix with `_`")
+            .with_note_at(Span::default(), "used here");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.notes.len(), 2);
+        assert!(d.notes[0].span.is_none());
+        assert!(d.notes[1].span.is_some());
+        assert_eq!(Severity::Error.label(), "error");
+        assert!(Severity::Hint < Severity::Warning && Severity::Warning < Severity::Error);
+    }
+}

@@ -1,0 +1,214 @@
+//! `idlog-analyze` — span-carrying diagnostics and lints for IDLOG programs.
+//!
+//! The engine crates (`idlog-core`, `idlog-choice`) validate fail-fast:
+//! the first problem aborts evaluation, which is right for execution but
+//! wrong for authoring. This crate re-runs the same checks through their
+//! structured collect-all entry points — [`idlog_core::safety::analyze_clause`],
+//! [`idlog_core::sorts::infer_collect`], [`idlog_core::stratify::stratify_check`],
+//! [`idlog_choice::collect_violations`] — and anchors every finding to the
+//! source text via the parser's [`idlog_parser::SpanMap`] side-table, so a
+//! program with three independent mistakes reports all three, each with a
+//! rustc-style caret excerpt.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use idlog_analyze::{analyze, Options, Severity};
+//!
+//! let interner = Arc::new(idlog_common::Interner::new());
+//! let analysis = analyze("p(X, Y) :- q(X).", &interner, &Options::default());
+//! assert_eq!(analysis.error_count(), 1); // E010: Y unbound
+//! assert_eq!(analysis.diagnostics[0].code, "E010");
+//! assert_eq!(analysis.diagnostics[0].severity, Severity::Error);
+//! ```
+//!
+//! Diagnostic codes are stable and documented in the repository's
+//! `LANGUAGE.md` (section *Diagnostics*): `E001`–`E015` are errors,
+//! `W001`–`W005` warnings, `H001` an optimization hint.
+
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod diagnostic;
+pub mod lints;
+pub mod render;
+
+pub use analyzer::{analyze, Analysis, Dialect, Options};
+pub use diagnostic::{Diagnostic, Note, Severity};
+pub use render::{render, render_all};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use idlog_common::Interner;
+
+    fn run(src: &str) -> Analysis {
+        analyze(src, &Arc::new(Interner::new()), &Options::default())
+    }
+
+    fn codes(a: &Analysis) -> Vec<&'static str> {
+        a.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn three_independent_errors_all_reported() {
+        // Clause 1: unbound head variable (E010).
+        // Clause 2: sort conflict — u-constant joined into an i position (E008).
+        // Clauses 3-4: stratification cycle through negation (E011).
+        let a = run("p(X, Y) :- q(X).
+                     r(Z) :- q(Z), plus(Z, one, Z).
+                     s(X) :- q(X), not t(X).
+                     t(X) :- q(X), not s(X).");
+        let cs = codes(&a);
+        assert!(cs.contains(&"E010"), "{cs:?}");
+        assert!(cs.contains(&"E008"), "{cs:?}");
+        assert!(cs.contains(&"E011"), "{cs:?}");
+        assert!(a.error_count() >= 3, "{cs:?}");
+    }
+
+    #[test]
+    fn parse_error_is_fatal_and_sole() {
+        let a = run("p(X :- q(X).");
+        assert_eq!(codes(&a), vec!["E001"]);
+        assert!(a.diagnostics[0].span.is_known());
+    }
+
+    #[test]
+    fn every_diagnostic_carries_a_span() {
+        let a = run("p(X, Y) :- q(X).
+                     r(X) :- q(X, X).
+                     s(X) :- s[](X, 0).");
+        assert!(a.error_count() >= 3);
+        for d in &a.diagnostics {
+            assert!(d.span.is_known(), "{} has no span", d.code);
+        }
+    }
+
+    #[test]
+    fn arity_conflict_points_at_both_occurrences() {
+        let a = run("p(X) :- q(X). r(X) :- q(X, X).");
+        let e006 = a.diagnostics.iter().find(|d| d.code == "E006").unwrap();
+        assert!(e006.message.contains("arity 2 but previously 1"));
+        assert_eq!(e006.notes.len(), 1);
+        assert!(e006.notes[0].span.unwrap().is_known());
+    }
+
+    #[test]
+    fn safety_notes_show_mode_table_rows() {
+        let a = run("p(X, N) :- q(X, N), plus(N, L, M).");
+        let e009 = a.diagnostics.iter().find(|d| d.code == "E009").unwrap();
+        let note = &e009.notes[0];
+        assert!(note.message.contains("mode table allows only"), "{note:?}");
+        assert!(note.message.contains("bnn"), "{note:?}");
+    }
+
+    #[test]
+    fn stratification_cycle_is_spelled_out() {
+        let a = run("p(X) :- q(X), not p(X).");
+        let e011 = a.diagnostics.iter().find(|d| d.code == "E011").unwrap();
+        assert!(e011.message.contains("cycle p -> p"), "{}", e011.message);
+        assert!(!e011.notes.is_empty());
+    }
+
+    #[test]
+    fn choice_dialect_gets_c1_c2_not_rejection() {
+        let a = run("s(N) :- emp(N, D), choice((D), (N)), choice((N), (D)).
+                     p(X) :- a(X, Y), choice((X), (Y)).
+                     p(X) :- b(X, Y), choice((X), (Y)).");
+        assert_eq!(a.dialect, Dialect::Choice);
+        let cs = codes(&a);
+        assert!(cs.contains(&"E012"), "{cs:?}");
+        assert!(cs.contains(&"E013"), "{cs:?}");
+    }
+
+    #[test]
+    fn clean_choice_program_is_clean() {
+        let a = run("select_emp(Name) :- emp(Name, Dept), choice((Dept), (Name)).");
+        assert_eq!(a.dialect, Dialect::Choice);
+        assert_eq!(a.error_count(), 0, "{:?}", codes(&a));
+        assert_eq!(a.warning_count(), 0, "{:?}", codes(&a));
+    }
+
+    #[test]
+    fn singleton_and_unused_warnings() {
+        // `orphan`/`orphan2` feed only each other, so neither is an output
+        // (a sink) nor reaches one — both are unused.
+        let a = run("out(D) :- emp(N, D, Junk).
+                     orphan(X) :- orphan2(X).
+                     orphan2(X) :- orphan(X).");
+        let cs = codes(&a);
+        assert!(cs.iter().filter(|c| **c == "W003").count() >= 2, "{cs:?}");
+        assert!(cs.iter().filter(|c| **c == "W001").count() == 2, "{cs:?}");
+        assert_eq!(a.error_count(), 0, "{cs:?}");
+    }
+
+    #[test]
+    fn underivable_only_fires_with_inline_facts() {
+        let with_facts = run("emp(ann, sales).
+                              out(N) :- emp(N, N), ghost(N).");
+        assert!(
+            codes(&with_facts).contains(&"W002"),
+            "{:?}",
+            codes(&with_facts)
+        );
+        let without = run("out(N) :- emp(N, N), ghost(N).");
+        assert!(!codes(&without).contains(&"W002"), "{:?}", codes(&without));
+    }
+
+    #[test]
+    fn degenerate_grouping_and_tid_hint() {
+        let a = run("pick(N) :- emp[1,2](N, D, 1), d(D).");
+        let cs = codes(&a);
+        assert!(cs.contains(&"W004"), "{cs:?}");
+        let w004 = a.diagnostics.iter().find(|d| d.code == "W004").unwrap();
+        assert!(w004.notes[0].message.contains("never match"), "{w004:?}");
+
+        let b = run("two(N) :- emp[2](N, D, T), T < 2, d(D).");
+        assert!(codes(&b).contains(&"H001"), "{:?}", codes(&b));
+        assert_eq!(
+            b.warning_count(),
+            0,
+            "hints are not warnings: {:?}",
+            codes(&b)
+        );
+    }
+
+    #[test]
+    fn example8_redundancy_is_suggested() {
+        // q = a ∪ (a ∩ b) = a: the second clause is removable.
+        let a = run("q(X) :- a(X). q(X) :- a(X), b(X).");
+        let w005: Vec<_> = a.diagnostics.iter().filter(|d| d.code == "W005").collect();
+        assert_eq!(w005.len(), 1, "{:?}", codes(&a));
+        assert_eq!(w005[0].span.start.line, 1);
+        assert!(w005[0].span.start.col > 10, "points at the second clause");
+    }
+
+    #[test]
+    fn check_options_skip_lints() {
+        let opts = Options {
+            lints: false,
+            redundancy: false,
+        };
+        let a = analyze(
+            "q(X) :- a(X). q(X) :- a(X), b(X), junk(J).",
+            &Arc::new(Interner::new()),
+            &opts,
+        );
+        assert!(a.diagnostics.is_empty(), "{:?}", codes(&a));
+    }
+
+    #[test]
+    fn diagnostics_sorted_by_position() {
+        let a = run("p(X, Y) :- q(X).
+                     r(Z, W) :- q(Z).");
+        let positions: Vec<(u32, u32)> = a
+            .diagnostics
+            .iter()
+            .map(|d| (d.span.start.line, d.span.start.col))
+            .collect();
+        let mut sorted = positions.clone();
+        sorted.sort();
+        assert_eq!(positions, sorted);
+    }
+}

@@ -42,49 +42,87 @@ fn reachable(program: &Program, q: SymbolId) -> FxHashSet<SymbolId> {
     }
 }
 
-/// Check C1, C2, and the no-self-recursion condition for a DATALOG^C
-/// program (single positive heads assumed — the parser accepts more, the
-/// caller's engine validates that part).
-pub fn check_conditions(program: &Program, interner: &Interner) -> ChoiceResult<()> {
+/// One structured violation of the paper's choice conditions, with clause
+/// (and where meaningful, literal) anchors for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChoiceViolation {
+    /// C1: more than one choice operator in a clause.
+    C1 {
+        /// The offending clause.
+        clause: usize,
+        /// Body indices of every choice literal in it.
+        literals: Vec<usize>,
+    },
+    /// C2: two choice clauses are related (the first's head contributes to
+    /// the second's head, or both share a head).
+    C2 {
+        /// Clause index and head predicate of the contributing choice clause.
+        first: (usize, SymbolId),
+        /// Clause index and head predicate of the choice clause it reaches.
+        second: (usize, SymbolId),
+    },
+    /// A choice clause recursive through its own head predicate.
+    Recursion {
+        /// The offending clause.
+        clause: usize,
+        /// Its head predicate.
+        pred: SymbolId,
+        /// The body literal through which the head is reachable.
+        literal: usize,
+    },
+}
+
+/// Collect *every* violation of C1, C2, and the no-self-recursion condition
+/// (single positive heads assumed — the parser accepts more, the caller's
+/// engine validates that part). Violations come out grouped in that order,
+/// so the first element reproduces the historical fail-fast error.
+pub fn collect_violations(program: &Program) -> Vec<ChoiceViolation> {
+    let mut violations = Vec::new();
+
     // C1 plus collect choice clauses.
     let mut choice_clauses: Vec<(usize, SymbolId)> = Vec::new();
     for (ci, clause) in program.clauses.iter().enumerate() {
-        let n = clause
+        let choice_lits: Vec<usize> = clause
             .body
             .iter()
-            .filter(|l| matches!(l, Literal::Choice { .. }))
-            .count();
-        if n > 1 {
-            return Err(ChoiceError::C1Violation { clause: ci });
+            .enumerate()
+            .filter(|(_, l)| matches!(l, Literal::Choice { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if choice_lits.len() > 1 {
+            violations.push(ChoiceViolation::C1 {
+                clause: ci,
+                literals: choice_lits.clone(),
+            });
         }
-        if n == 1 {
+        if !choice_lits.is_empty() {
             choice_clauses.push((ci, clause.head[0].atom.pred.base()));
         }
     }
 
     // C2: for distinct choice clauses i, j: head(i) must not contribute to
     // head(j) (clause i ∉ P/head(j)).
-    for &(_, pi) in &choice_clauses {
-        for &(_, pj) in &choice_clauses {
+    for &(ci, pi) in &choice_clauses {
+        for &(cj, pj) in &choice_clauses {
             if pi == pj {
                 continue;
             }
             if reachable(program, pj).contains(&pi) {
-                return Err(ChoiceError::C2Violation {
-                    first: interner.resolve(pi),
-                    second: interner.resolve(pj),
+                violations.push(ChoiceViolation::C2 {
+                    first: (ci, pi),
+                    second: (cj, pj),
                 });
             }
         }
     }
     // Two choice clauses with the same head violate C2 as well (each is
     // trivially related to the other's head).
-    for (k, &(_, pi)) in choice_clauses.iter().enumerate() {
-        for &(_, pj) in &choice_clauses[k + 1..] {
+    for (k, &(ci, pi)) in choice_clauses.iter().enumerate() {
+        for &(cj, pj) in &choice_clauses[k + 1..] {
             if pi == pj {
-                return Err(ChoiceError::C2Violation {
-                    first: interner.resolve(pi),
-                    second: interner.resolve(pj),
+                violations.push(ChoiceViolation::C2 {
+                    first: (ci, pi),
+                    second: (cj, pj),
                 });
             }
         }
@@ -93,17 +131,39 @@ pub fn check_conditions(program: &Program, interner: &Interner) -> ChoiceResult<
     // No recursion through a choice clause's own head: the head must not be
     // reachable from the clause's own body.
     for &(ci, head) in &choice_clauses {
-        for lit in &program.clauses[ci].body {
+        for (li, lit) in program.clauses[ci].body.iter().enumerate() {
             if let Some(a) = lit.atom() {
                 if reachable(program, a.pred.base()).contains(&head) {
-                    return Err(ChoiceError::ChoiceRecursion {
-                        pred: interner.resolve(head),
+                    violations.push(ChoiceViolation::Recursion {
+                        clause: ci,
+                        pred: head,
+                        literal: li,
                     });
+                    break; // one recursion report per clause
                 }
             }
         }
     }
-    Ok(())
+    violations
+}
+
+/// Check C1, C2, and the no-self-recursion condition, failing on the first
+/// violation found.
+pub fn check_conditions(program: &Program, interner: &Interner) -> ChoiceResult<()> {
+    match collect_violations(program).into_iter().next() {
+        None => Ok(()),
+        Some(ChoiceViolation::C1 { clause, .. }) => Err(ChoiceError::C1Violation { clause }),
+        Some(ChoiceViolation::C2 {
+            first: (_, pi),
+            second: (_, pj),
+        }) => Err(ChoiceError::C2Violation {
+            first: interner.resolve(pi),
+            second: interner.resolve(pj),
+        }),
+        Some(ChoiceViolation::Recursion { pred, .. }) => Err(ChoiceError::ChoiceRecursion {
+            pred: interner.resolve(pred),
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +225,30 @@ mod tests {
     fn self_recursive_choice_rejected() {
         let err = check("p(X) :- p(Y), e(Y, X), choice((Y), (X)).").unwrap_err();
         assert!(matches!(err, ChoiceError::ChoiceRecursion { .. }));
+    }
+
+    #[test]
+    fn collect_reports_independent_violations_together() {
+        // One C1 clause and, separately, a same-head C2 pair.
+        let i = Interner::new();
+        let p = parse_program(
+            "s(N) :- emp(N, D), choice((D), (N)), choice((N), (D)).
+             p(X) :- a(X, Y), choice((X), (Y)).
+             p(X) :- b(X, Y), choice((X), (Y)).",
+            &i,
+        )
+        .unwrap();
+        let vs = collect_violations(&p);
+        assert!(vs.iter().any(
+            |v| matches!(v, ChoiceViolation::C1 { clause: 0, literals } if literals == &vec![1, 2])
+        ));
+        assert!(vs.iter().any(|v| matches!(
+            v,
+            ChoiceViolation::C2 {
+                first: (1, _),
+                second: (2, _)
+            }
+        )));
     }
 
     #[test]

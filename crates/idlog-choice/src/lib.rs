@@ -28,7 +28,7 @@ pub mod eval;
 pub mod to_idlog;
 pub mod translate;
 
-pub use checks::check_conditions;
+pub use checks::{check_conditions, collect_violations, ChoiceViolation};
 pub use cut::{CutBudget, CutProgram};
 pub use error::{ChoiceError, ChoiceResult};
 pub use eval::{intended_models, one_intended_model, ChoiceBudget};

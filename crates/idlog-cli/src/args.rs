@@ -8,6 +8,7 @@ idlog — the IDLOG deductive database
 USAGE:
   idlog run <program> --output <pred> [options]   evaluate a query
   idlog check <program>                           validate and report strata
+  idlog lint <program>... [--deny-warnings]       collect-all diagnostics & lints
   idlog translate-choice <program>                Theorem 2: DATALOG^C -> IDLOG
   idlog optimize <program> --output <pred> [--suggest-prune]
                                                   ID-literal rewrite (paper §4)
@@ -40,6 +41,13 @@ pub enum Command {
     Check {
         /// Program path.
         program: String,
+    },
+    /// Run the full diagnostics/lint suite over one or more programs.
+    Lint {
+        /// Program paths (at least one).
+        programs: Vec<String>,
+        /// Treat warnings as fatal (for CI).
+        deny_warnings: bool,
     },
     /// Print the Theorem 2 translation.
     TranslateChoice {
@@ -95,6 +103,26 @@ impl Args {
             "check" => Command::Check {
                 program: one_path(rest, "check")?,
             },
+            "lint" => {
+                let mut programs = Vec::new();
+                let mut deny_warnings = false;
+                for word in rest {
+                    match word.as_str() {
+                        "--deny-warnings" => deny_warnings = true,
+                        other if other.starts_with('-') => {
+                            return Err(format!("unknown option {other}"));
+                        }
+                        path => programs.push(path.to_string()),
+                    }
+                }
+                if programs.is_empty() {
+                    return Err("lint needs at least one program path".into());
+                }
+                Command::Lint {
+                    programs,
+                    deny_warnings,
+                }
+            }
             "translate-choice" => Command::TranslateChoice {
                 program: one_path(rest, "translate-choice")?,
             },
@@ -242,6 +270,23 @@ mod tests {
         assert!(parse(&["check", "p.idl"]).is_ok());
         assert!(parse(&["check"]).is_err());
         assert!(parse(&["check", "a", "b"]).is_err());
+    }
+
+    #[test]
+    fn lint_takes_many_paths_and_deny_flag() {
+        let args = parse(&["lint", "a.idl", "b.idl", "--deny-warnings"]).unwrap();
+        let Command::Lint {
+            programs,
+            deny_warnings,
+        } = args.command
+        else {
+            panic!("expected lint");
+        };
+        assert_eq!(programs, vec!["a.idl", "b.idl"]);
+        assert!(deny_warnings);
+        assert!(parse(&["lint"]).is_err());
+        assert!(parse(&["lint", "--deny-warnings"]).is_err());
+        assert!(parse(&["lint", "a.idl", "--nope"]).is_err());
     }
 
     #[test]

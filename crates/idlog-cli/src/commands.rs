@@ -2,18 +2,43 @@
 
 use std::sync::Arc;
 
-use idlog_core::{stratify::stratify, Interner, ValidatedProgram};
+use idlog_analyze::{analyze, render_all, Options};
+use idlog_core::{Interner, ValidatedProgram};
 
 use crate::{default_budget, load, oracle_for};
 
 /// `idlog check`: validate and report predicates, sorts, and strata.
+///
+/// Validation runs through the `idlog-analyze` collect-all driver, so a
+/// broken program reports *every* error (with source excerpts) instead of
+/// just the first one the engine happens to hit.
 pub fn check(program_path: &str) -> Result<(), String> {
     let interner = Arc::new(Interner::new());
     let src = std::fs::read_to_string(program_path)
         .map_err(|e| format!("cannot read {program_path}: {e}"))?;
+    let analysis = analyze(
+        &src,
+        &interner,
+        &Options {
+            lints: false,
+            redundancy: false,
+        },
+    );
+    if analysis.error_count() > 0 {
+        eprint!("{}", render_all(&analysis.diagnostics, &src, program_path));
+        return Err(format!(
+            "{program_path}: {} error(s)",
+            analysis.error_count()
+        ));
+    }
+    if analysis.dialect == idlog_analyze::Dialect::Choice {
+        println!("{program_path}: valid DATALOG^C program (C1/C2 hold)");
+        println!("  translate it with: idlog translate-choice {program_path}");
+        return Ok(());
+    }
     let program = ValidatedProgram::parse(&src, Arc::clone(&interner))
         .map_err(|e| format!("{program_path}: {e}"))?;
-    let strat = stratify(program.ast(), &interner).map_err(|e| e.to_string())?;
+    let strat = program.stratification();
 
     println!("{program_path}: valid IDLOG program");
     println!("  clauses: {}", program.ast().clauses.len());
@@ -30,8 +55,12 @@ pub fn check(program_path: &str) -> Result<(), String> {
     println!("  inputs:  {}", inputs.join(", "));
     println!("  derived:");
     for name in idb {
-        let id = interner.get(&name).expect("resolved above");
-        let rtype = program.sorts().rel_type(id).expect("validated");
+        let Some(id) = interner.get(&name) else {
+            continue;
+        };
+        let Some(rtype) = program.sorts().rel_type(id) else {
+            continue;
+        };
         println!(
             "    {name}/{arity} type {rtype} stratum {stratum}",
             arity = rtype.arity(),
@@ -44,6 +73,39 @@ pub fn check(program_path: &str) -> Result<(), String> {
         println!("    {line}");
     }
     Ok(())
+}
+
+/// `idlog lint`: the full diagnostics suite (errors, warnings, hints) over
+/// one or more programs. Fails on errors, and on warnings too when
+/// `deny_warnings` is set.
+pub fn lint(program_paths: &[String], deny_warnings: bool) -> Result<(), String> {
+    let mut errors = 0;
+    let mut warnings = 0;
+    let mut hints = 0;
+    for path in program_paths {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let interner = Arc::new(Interner::new());
+        let analysis = analyze(&src, &interner, &Options::default());
+        if !analysis.diagnostics.is_empty() {
+            print!("{}", render_all(&analysis.diagnostics, &src, path));
+        }
+        errors += analysis.error_count();
+        warnings += analysis.warning_count();
+        hints += analysis.hint_count();
+    }
+    println!(
+        "checked {} file(s): {errors} error(s), {warnings} warning(s), {hints} hint(s)",
+        program_paths.len()
+    );
+    if errors > 0 {
+        Err(format!("lint failed with {errors} error(s)"))
+    } else if deny_warnings && warnings > 0 {
+        Err(format!(
+            "lint failed with {warnings} warning(s) (--deny-warnings)"
+        ))
+    } else {
+        Ok(())
+    }
 }
 
 /// `idlog translate-choice`: print the Theorem 2 translation.
@@ -81,8 +143,11 @@ pub fn optimize(program_path: &str, output: &str, suggest_prune: bool) -> Result
             .map_err(|e| e.to_string())?;
         let mut schema: Vec<(String, usize)> = Vec::new();
         for &pred in validated.inputs() {
-            let arity = validated.arity(pred).expect("input arity known");
-            let rtype = validated.sorts().rel_type(pred).expect("typed");
+            let (Some(arity), Some(rtype)) =
+                (validated.arity(pred), validated.sorts().rel_type(pred))
+            else {
+                continue;
+            };
             if rtype.is_elementary() {
                 schema.push((interner.resolve(pred), arity));
             }

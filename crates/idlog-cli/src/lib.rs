@@ -25,6 +25,10 @@ pub fn run(args: Args) -> Result<(), String> {
             Ok(())
         }
         Command::Check { program } => commands::check(&program),
+        Command::Lint {
+            programs,
+            deny_warnings,
+        } => commands::lint(&programs, deny_warnings),
         Command::TranslateChoice { program } => commands::translate_choice(&program),
         Command::Optimize {
             program,

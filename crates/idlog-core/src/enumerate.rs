@@ -180,7 +180,7 @@ pub fn enumerate_answers(
 }
 
 /// Enumerate every answer, distributing the first choice point's branches
-/// over threads (crossbeam scoped). Answers and budgets are shared.
+/// over threads (std scoped). Answers and budgets are shared.
 pub fn enumerate_answers_parallel(
     program: &ValidatedProgram,
     db: &Database,
@@ -393,14 +393,14 @@ fn branch(
         // single-core host this path is skipped — threads would only add
         // overhead.
         let chunk_len = assignments.len().div_ceil(workers);
-        let results: Vec<CoreResult<Local>> = crossbeam::thread::scope(|scope| {
+        let results: Vec<CoreResult<Local>> = std::thread::scope(|scope| {
             let handles: Vec<_> = assignments
                 .chunks(chunk_len)
                 .map(|chunk| {
                     let state = &state;
                     let base_rel = &base_rel;
                     let key = &key;
-                    scope.spawn(move |_| -> CoreResult<Local> {
+                    scope.spawn(move || -> CoreResult<Local> {
                         let mut mine = Local::default();
                         for assignment in chunk {
                             if cx.shared.truncated.load(Ordering::Relaxed) {
@@ -420,8 +420,7 @@ fn branch(
                 .into_iter()
                 .map(|h| h.join().expect("branch thread panicked"))
                 .collect()
-        })
-        .expect("crossbeam scope");
+        });
         for r in results {
             let mine = r?;
             for rel in mine.answers {

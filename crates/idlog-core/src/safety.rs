@@ -47,6 +47,119 @@ pub fn builtin_mode_ok(op: Builtin, bound: &[bool]) -> bool {
     }
 }
 
+/// The allowed binding patterns of `op`'s mode-table row, paper §2.2 style
+/// (`b` = bound, `n` = not bound).
+pub fn allowed_modes(op: Builtin) -> &'static str {
+    match op {
+        Builtin::Succ => "bb, bn, nb",
+        Builtin::Plus => "bbb, bbn, bnb, nbb, nnb",
+        Builtin::Minus => "bbb, bbn, bnb, nbb, bnn",
+        Builtin::Times => "bbb, bbn, bnb, nbb",
+        Builtin::Div => "bbb, bbn, nbb",
+        Builtin::Lt | Builtin::Le => "bb, nb",
+        Builtin::Gt | Builtin::Ge => "bb, bn",
+        Builtin::Eq => "bb, bn, nb",
+        Builtin::Ne => "bb",
+    }
+}
+
+/// Render a boundness pattern as a mode-table row, e.g. `bnn`.
+pub fn mode_string(pattern: &[bool]) -> String {
+    pattern.iter().map(|&b| if b { 'b' } else { 'n' }).collect()
+}
+
+/// Why one body literal cannot run given the variables bound so far.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StuckReason {
+    /// A builtin whose binding pattern matches no row of its mode table.
+    BuiltinMode {
+        /// The arithmetic predicate.
+        op: Builtin,
+        /// Observed boundness per argument (`true` = bound).
+        pattern: Vec<bool>,
+    },
+    /// A negated literal with variables bound nowhere else.
+    UnboundNegation {
+        /// The variables that never become bound.
+        unbound: Vec<String>,
+    },
+    /// A choice literal with variables bound nowhere else.
+    UnboundChoice {
+        /// The variables that never become bound.
+        unbound: Vec<String>,
+    },
+}
+
+/// One structured safety violation in a clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SafetyViolation {
+    /// No complete safe order exists; the listed literals stay stuck after a
+    /// maximal safe prefix has run.
+    NoSafeOrder {
+        /// `(body literal index, why it cannot run)` for each stuck literal.
+        stuck: Vec<(usize, StuckReason)>,
+    },
+    /// A head variable not bound anywhere in the body.
+    UnboundHeadVar {
+        /// Head atom index.
+        head: usize,
+        /// The unbound variable.
+        var: String,
+    },
+}
+
+impl StuckReason {
+    /// Human-readable explanation.
+    pub fn message(&self) -> String {
+        match self {
+            StuckReason::BuiltinMode { op, pattern } => format!(
+                "`{}` has binding pattern {} but its mode table allows only {}",
+                op.name(),
+                mode_string(pattern),
+                allowed_modes(*op)
+            ),
+            StuckReason::UnboundNegation { unbound } => {
+                format!("negated literal never gets {} bound", join_vars(unbound))
+            }
+            StuckReason::UnboundChoice { unbound } => {
+                format!("choice literal never gets {} bound", join_vars(unbound))
+            }
+        }
+    }
+}
+
+fn join_vars(vars: &[String]) -> String {
+    let list = vars
+        .iter()
+        .map(|v| format!("`{v}`"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    if vars.len() == 1 {
+        format!("variable {list}")
+    } else {
+        format!("variables {list}")
+    }
+}
+
+impl SafetyViolation {
+    /// Human-readable explanation (no clause prefix).
+    pub fn message(&self) -> String {
+        match self {
+            SafetyViolation::NoSafeOrder { stuck } => {
+                let details = stuck
+                    .iter()
+                    .map(|(_, r)| r.message())
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                format!("no safe evaluation order: {details}")
+            }
+            SafetyViolation::UnboundHeadVar { var, .. } => {
+                format!("head variable {var} is not bound by the body")
+            }
+        }
+    }
+}
+
 /// A safe evaluation order for one clause body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClauseOrder {
@@ -54,36 +167,108 @@ pub struct ClauseOrder {
     pub order: Vec<usize>,
 }
 
-/// Find a safe evaluation order for `clause` (see module docs), or explain
-/// why none exists. `clause_idx` is used only for error reporting.
-pub fn order_clause(clause: &Clause, clause_idx: usize) -> CoreResult<ClauseOrder> {
+/// Check one clause completely, collecting every violation instead of
+/// stopping at the first. On success returns the safe order found.
+pub fn analyze_clause(clause: &Clause) -> Result<ClauseOrder, Vec<SafetyViolation>> {
     let body = &clause.body;
     let mut order = Vec::with_capacity(body.len());
     let mut used = vec![false; body.len()];
     let mut bound: FxHashSet<&str> = FxHashSet::default();
 
     if !search(body, &mut used, &mut bound, &mut order) {
-        return Err(CoreError::Safety {
-            clause: clause_idx,
-            message: "no safe evaluation order: an arithmetic literal never gets enough \
-                      positively bound arguments, or a negated literal has a variable bound \
-                      nowhere else"
-                .into(),
-        });
+        return Err(vec![SafetyViolation::NoSafeOrder {
+            stuck: stuck_literals(body),
+        }]);
     }
 
     // Every head variable must be bound by the body (or be a constant).
-    for h in &clause.head {
+    let mut violations = Vec::new();
+    for (hi, h) in clause.head.iter().enumerate() {
         for v in h.atom.variables() {
             if !bound.contains(v) {
-                return Err(CoreError::Safety {
-                    clause: clause_idx,
-                    message: format!("head variable {v} is not bound by the body"),
+                violations.push(SafetyViolation::UnboundHeadVar {
+                    head: hi,
+                    var: v.to_string(),
                 });
             }
         }
     }
-    Ok(ClauseOrder { order })
+    if violations.is_empty() {
+        Ok(ClauseOrder { order })
+    } else {
+        Err(violations)
+    }
+}
+
+/// Find a safe evaluation order for `clause` (see module docs), or explain
+/// why none exists. `clause_idx` is used only for error reporting.
+pub fn order_clause(clause: &Clause, clause_idx: usize) -> CoreResult<ClauseOrder> {
+    analyze_clause(clause).map_err(|violations| CoreError::Safety {
+        clause: clause_idx,
+        message: violations
+            .first()
+            .map(SafetyViolation::message)
+            .unwrap_or_else(|| "unsafe clause".into()),
+    })
+}
+
+/// Run a greedy maximal safe prefix, then report why each leftover literal
+/// is stuck. Used only after the backtracking search has failed, so the
+/// leftovers are a genuine witness that no complete order exists.
+fn stuck_literals(body: &[Literal]) -> Vec<(usize, StuckReason)> {
+    let mut used = vec![false; body.len()];
+    let mut bound: FxHashSet<&str> = FxHashSet::default();
+    loop {
+        let next = (0..body.len())
+            .find(|&i| !used[i] && !matches!(eligibility(&body[i], &bound), Eligibility::No));
+        match next {
+            Some(i) => {
+                used[i] = true;
+                for v in body[i].variables() {
+                    bound.insert(v);
+                }
+            }
+            None => break,
+        }
+    }
+    let unbound_of = |terms: &[Term], bound: &FxHashSet<&str>| -> Vec<String> {
+        let mut seen = Vec::new();
+        for t in terms {
+            if let Term::Var(v) = t {
+                if !bound.contains(v.as_str()) && !seen.contains(v) {
+                    seen.push(v.clone());
+                }
+            }
+        }
+        seen
+    };
+    let mut stuck = Vec::new();
+    for (i, lit) in body.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        let reason = match lit {
+            Literal::Builtin { op, args } => StuckReason::BuiltinMode {
+                op: *op,
+                pattern: args.iter().map(|t| term_bound(t, &bound)).collect(),
+            },
+            Literal::Neg(a) => StuckReason::UnboundNegation {
+                unbound: unbound_of(&a.terms, &bound),
+            },
+            Literal::Choice { grouped, chosen } => {
+                let mut terms = grouped.clone();
+                terms.extend(chosen.iter().cloned());
+                StuckReason::UnboundChoice {
+                    unbound: unbound_of(&terms, &bound),
+                }
+            }
+            // Positive atoms and cut are always eligible, so they cannot be
+            // stuck.
+            Literal::Pos(_) | Literal::Cut => continue,
+        };
+        stuck.push((i, reason));
+    }
+    stuck
 }
 
 /// Depth-first search for a complete safe order. Preference at each step:
@@ -284,6 +469,49 @@ mod tests {
         // N < 3 with N free and 3 bound: generates N ∈ {0,1,2}.
         let ord = order_src("p(N) :- N < 3.").unwrap();
         assert_eq!(ord.order, vec![0]);
+    }
+
+    #[test]
+    fn analyze_collects_every_unbound_head_var() {
+        let i = Interner::new();
+        let c = parse_clause("p(X, Y, Z) :- q(X).", &i).unwrap();
+        let violations = analyze_clause(&c).unwrap_err();
+        assert_eq!(violations.len(), 2);
+        assert!(violations
+            .iter()
+            .all(|v| matches!(v, SafetyViolation::UnboundHeadVar { .. })));
+    }
+
+    #[test]
+    fn stuck_builtin_reports_pattern_and_mode_row() {
+        let i = Interner::new();
+        let c = parse_clause("p1(X, N) :- q(X, N), plus(N, L, M).", &i).unwrap();
+        let violations = analyze_clause(&c).unwrap_err();
+        let [SafetyViolation::NoSafeOrder { stuck }] = &violations[..] else {
+            panic!("expected NoSafeOrder, got {violations:?}");
+        };
+        let [(1, StuckReason::BuiltinMode { op, pattern })] = &stuck[..] else {
+            panic!("expected one stuck builtin, got {stuck:?}");
+        };
+        assert_eq!(*op, Builtin::Plus);
+        assert_eq!(pattern, &vec![true, false, false]);
+        let msg = violations[0].message();
+        assert!(msg.contains("bnn"), "{msg}");
+        assert!(msg.contains("nnb"), "{msg}");
+    }
+
+    #[test]
+    fn stuck_negation_names_the_unbound_variable() {
+        let i = Interner::new();
+        let c = parse_clause("p(X) :- q(X), not r(Y).", &i).unwrap();
+        let violations = analyze_clause(&c).unwrap_err();
+        let [SafetyViolation::NoSafeOrder { stuck }] = &violations[..] else {
+            panic!("{violations:?}");
+        };
+        let [(1, StuckReason::UnboundNegation { unbound })] = &stuck[..] else {
+            panic!("{stuck:?}");
+        };
+        assert_eq!(unbound, &vec!["Y".to_string()]);
     }
 
     #[test]

@@ -49,6 +49,73 @@ enum Node {
     Var(usize, String),
 }
 
+/// One sort conflict, with enough structure for span-carrying diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortConflict {
+    /// Clause whose constraint exposed the conflict (`None` for conflicts
+    /// between seed constraints).
+    pub clause: Option<usize>,
+    /// What conflicted.
+    pub kind: SortConflictKind,
+}
+
+/// The shape of a sort conflict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SortConflictKind {
+    /// A predicate column constrained to two different sorts.
+    Column {
+        /// The predicate.
+        pred: SymbolId,
+        /// Zero-based column.
+        col: usize,
+        /// The two demanded sorts.
+        sorts: (Sort, Sort),
+    },
+    /// A clause variable constrained to two different sorts.
+    Variable {
+        /// The variable name.
+        var: String,
+        /// The two demanded sorts.
+        sorts: (Sort, Sort),
+    },
+    /// A ground (dis)equality between constants of different sorts.
+    GroundMismatch,
+    /// A constant of the wrong sort in a position demanding `sort`.
+    ConstantPosition {
+        /// The demanded sort.
+        sort: Sort,
+    },
+}
+
+impl SortConflict {
+    /// Human-readable explanation (matches the engine's historical wording).
+    pub fn message(&self, interner: &Interner) -> String {
+        match &self.kind {
+            SortConflictKind::Column {
+                pred,
+                col,
+                sorts: (a, b),
+            } => format!(
+                "column {} of {} is used both as sort {a} and sort {b}",
+                col + 1,
+                interner.resolve(*pred)
+            ),
+            SortConflictKind::Variable { var, sorts: (a, b) } => {
+                let clause = self.clause.unwrap_or(0);
+                format!("variable {var} in clause #{clause} is used both as sort {a} and sort {b}")
+            }
+            SortConflictKind::GroundMismatch => {
+                let clause = self.clause.unwrap_or(0);
+                format!("clause #{clause}: (dis)equality between different sorts")
+            }
+            SortConflictKind::ConstantPosition { sort } => {
+                let clause = self.clause.unwrap_or(0);
+                format!("clause #{clause}: constant of wrong sort in {sort} position")
+            }
+        }
+    }
+}
+
 /// Infer sorts for `program`, whose predicates have the given `arities`.
 pub fn infer(
     program: &Program,
@@ -68,23 +135,40 @@ pub fn infer_with_seeds(
     interner: &Interner,
     seeds: &[(SymbolId, usize, Sort)],
 ) -> CoreResult<SortMap> {
+    let (map, conflicts) = infer_collect(program, arities, seeds);
+    match conflicts.into_iter().next() {
+        None => Ok(map),
+        Some(c) => Err(CoreError::Sort {
+            message: c.message(interner),
+        }),
+    }
+}
+
+/// Like [`infer_with_seeds`], but collects *every* conflict instead of
+/// stopping at the first, and still returns the best-effort [`SortMap`]
+/// (first constraint wins on conflicted nodes).
+pub fn infer_collect(
+    program: &Program,
+    arities: &FxHashMap<SymbolId, usize>,
+    seeds: &[(SymbolId, usize, Sort)],
+) -> (SortMap, Vec<SortConflict>) {
     let mut solver = Solver {
         sorts: FxHashMap::default(),
         unions: Vec::new(),
-        interner,
+        conflicts: Vec::new(),
     };
     for &(pred, col, sort) in seeds {
-        solver.col_is(pred, col, sort)?;
+        solver.node_is(Node::Col(pred, col), sort, None);
     }
 
     for (ci, clause) in program.clauses.iter().enumerate() {
         for h in &clause.head {
-            solver.atom(ci, &h.atom)?;
+            solver.atom(ci, &h.atom);
         }
         for l in &clause.body {
             match l {
-                Literal::Pos(a) | Literal::Neg(a) => solver.atom(ci, a)?,
-                Literal::Builtin { op, args } => solver.builtin(ci, *op, args)?,
+                Literal::Pos(a) | Literal::Neg(a) => solver.atom(ci, a),
+                Literal::Builtin { op, args } => solver.builtin(ci, *op, args),
                 Literal::Choice { .. } | Literal::Cut => {
                     // Choice terms are variables/constants already constrained
                     // by their other occurrences; choice and cut are sort-free.
@@ -92,7 +176,7 @@ pub fn infer_with_seeds(
             }
         }
     }
-    solver.solve()?;
+    solver.solve();
 
     let mut map = SortMap {
         cols: FxHashMap::default(),
@@ -103,17 +187,18 @@ pub fn infer_with_seeds(
             map.cols.insert((p, c), sort);
         }
     }
-    Ok(map)
+    (map, solver.conflicts)
 }
 
-struct Solver<'a> {
+struct Solver {
     sorts: FxHashMap<Node, Sort>,
-    unions: Vec<(Node, Node)>,
-    interner: &'a Interner,
+    /// `(a, b, clause)` — nodes demanded equal by clause `clause`.
+    unions: Vec<(Node, Node, usize)>,
+    conflicts: Vec<SortConflict>,
 }
 
-impl Solver<'_> {
-    fn atom(&mut self, clause: usize, atom: &Atom) -> CoreResult<()> {
+impl Solver {
+    fn atom(&mut self, clause: usize, atom: &Atom) {
         let (base, tid_pos) = match &atom.pred {
             PredicateRef::Ordinary(p) => (*p, None),
             PredicateRef::IdVersion { base, .. } => (*base, Some(atom.terms.len() - 1)),
@@ -121,22 +206,21 @@ impl Solver<'_> {
         for (pos, term) in atom.terms.iter().enumerate() {
             if Some(pos) == tid_pos {
                 // Tid column is sort i and does not belong to the base pred.
-                self.term_is(clause, term, Sort::I)?;
+                self.term_is(clause, term, Sort::I);
                 continue;
             }
             match term {
-                Term::Sym(_) => self.col_is(base, pos, Sort::U)?,
-                Term::Int(_) => self.col_is(base, pos, Sort::I)?,
+                Term::Sym(_) => self.node_is(Node::Col(base, pos), Sort::U, Some(clause)),
+                Term::Int(_) => self.node_is(Node::Col(base, pos), Sort::I, Some(clause)),
                 Term::Var(v) => {
                     self.unions
-                        .push((Node::Col(base, pos), Node::Var(clause, v.clone())));
+                        .push((Node::Col(base, pos), Node::Var(clause, v.clone()), clause));
                 }
             }
         }
-        Ok(())
     }
 
-    fn builtin(&mut self, clause: usize, op: Builtin, args: &[Term]) -> CoreResult<()> {
+    fn builtin(&mut self, clause: usize, op: Builtin, args: &[Term]) {
         match op {
             Builtin::Eq | Builtin::Ne => {
                 // Both sides share a sort, whatever it is.
@@ -148,15 +232,14 @@ impl Solver<'_> {
                     })
                     .collect();
                 match (&nodes[0], &nodes[1]) {
-                    (Some(a), Some(b)) => self.unions.push((a.clone(), b.clone())),
-                    (Some(n), None) => self.node_is(n.clone(), term_sort(&args[1]))?,
-                    (None, Some(n)) => self.node_is(n.clone(), term_sort(&args[0]))?,
+                    (Some(a), Some(b)) => self.unions.push((a.clone(), b.clone(), clause)),
+                    (Some(n), None) => self.node_is(n.clone(), term_sort(&args[1]), Some(clause)),
+                    (None, Some(n)) => self.node_is(n.clone(), term_sort(&args[0]), Some(clause)),
                     (None, None) => {
                         if term_sort(&args[0]) != term_sort(&args[1]) {
-                            return Err(CoreError::Sort {
-                                message: format!(
-                                    "clause #{clause}: (dis)equality between different sorts"
-                                ),
+                            self.conflicts.push(SortConflict {
+                                clause: Some(clause),
+                                kind: SortConflictKind::GroundMismatch,
                             });
                         }
                     }
@@ -165,69 +248,47 @@ impl Solver<'_> {
             _ => {
                 // All arithmetic arguments are naturals.
                 for t in args {
-                    self.term_is(clause, t, Sort::I)?;
+                    self.term_is(clause, t, Sort::I);
                 }
             }
         }
-        Ok(())
     }
 
-    fn term_is(&mut self, clause: usize, term: &Term, sort: Sort) -> CoreResult<()> {
+    fn term_is(&mut self, clause: usize, term: &Term, sort: Sort) {
         match term {
-            Term::Var(v) => self.node_is(Node::Var(clause, v.clone()), sort),
+            Term::Var(v) => self.node_is(Node::Var(clause, v.clone()), sort, Some(clause)),
             other => {
                 if term_sort(other) != sort {
-                    return Err(CoreError::Sort {
-                        message: format!(
-                            "clause #{clause}: constant of wrong sort in {sort} position"
-                        ),
+                    self.conflicts.push(SortConflict {
+                        clause: Some(clause),
+                        kind: SortConflictKind::ConstantPosition { sort },
                     });
                 }
-                Ok(())
             }
         }
     }
 
-    fn col_is(&mut self, pred: SymbolId, col: usize, sort: Sort) -> CoreResult<()> {
-        self.node_is(Node::Col(pred, col), sort)
-    }
-
-    fn node_is(&mut self, node: Node, sort: Sort) -> CoreResult<()> {
+    fn node_is(&mut self, node: Node, sort: Sort, clause: Option<usize>) {
         if let Some(&prev) = self.sorts.get(&node) {
             if prev != sort {
-                return Err(CoreError::Sort {
-                    message: self.conflict_message(&node, prev, sort),
-                });
+                self.conflicts.push(conflict(&node, prev, sort, clause));
             }
-            return Ok(());
+            return;
         }
         self.sorts.insert(node, sort);
-        Ok(())
     }
 
-    fn conflict_message(&self, node: &Node, a: Sort, b: Sort) -> String {
-        match node {
-            Node::Col(p, c) => format!(
-                "column {} of {} is used both as sort {a} and sort {b}",
-                c + 1,
-                self.interner.resolve(*p)
-            ),
-            Node::Var(clause, v) => {
-                format!("variable {v} in clause #{clause} is used both as sort {a} and sort {b}")
-            }
-        }
-    }
-
-    /// Propagate equalities until fixpoint.
-    fn solve(&mut self) -> CoreResult<()> {
+    /// Propagate equalities until fixpoint, recording (without re-recording)
+    /// every union whose two sides disagree.
+    fn solve(&mut self) {
+        let mut reported = vec![false; self.unions.len()];
         loop {
             let mut changed = false;
-            for (a, b) in self.unions.clone() {
+            for (idx, (a, b, clause)) in self.unions.clone().into_iter().enumerate() {
                 match (self.sorts.get(&a).copied(), self.sorts.get(&b).copied()) {
-                    (Some(sa), Some(sb)) if sa != sb => {
-                        return Err(CoreError::Sort {
-                            message: self.conflict_message(&a, sa, sb),
-                        });
+                    (Some(sa), Some(sb)) if sa != sb && !reported[idx] => {
+                        reported[idx] = true;
+                        self.conflicts.push(conflict(&a, sa, sb, Some(clause)));
                     }
                     (Some(sa), None) => {
                         self.sorts.insert(b.clone(), sa);
@@ -241,9 +302,29 @@ impl Solver<'_> {
                 }
             }
             if !changed {
-                return Ok(());
+                return;
             }
         }
+    }
+}
+
+fn conflict(node: &Node, a: Sort, b: Sort, clause: Option<usize>) -> SortConflict {
+    match node {
+        Node::Col(p, c) => SortConflict {
+            clause,
+            kind: SortConflictKind::Column {
+                pred: *p,
+                col: *c,
+                sorts: (a, b),
+            },
+        },
+        Node::Var(var_clause, v) => SortConflict {
+            clause: Some(*var_clause),
+            kind: SortConflictKind::Variable {
+                var: v.clone(),
+                sorts: (a, b),
+            },
+        },
     }
 }
 
@@ -338,6 +419,25 @@ mod tests {
     fn ground_disequality_between_sorts_rejected() {
         let err = infer_src("p(X) :- q(X), a != 3.").unwrap_err();
         assert!(matches!(err, CoreError::Sort { .. }));
+    }
+
+    #[test]
+    fn collect_reports_every_independent_conflict() {
+        // Two unrelated conflicts: q's column (u vs i via succ) and r's
+        // column (u via constant `a` vs i via constant 3).
+        let i = Interner::new();
+        let p = parse_program("q(a). p(X) :- q(X), succ(X, Y). r(a). r(3).", &i).unwrap();
+        let a = arities_of(&p);
+        let (_, conflicts) = infer_collect(&p, &a, &[]);
+        assert_eq!(conflicts.len(), 2, "{conflicts:?}");
+        assert!(conflicts
+            .iter()
+            .any(|c| matches!(&c.kind, SortConflictKind::Column { pred, .. }
+                if i.resolve(*pred) == "q")));
+        assert!(conflicts
+            .iter()
+            .any(|c| matches!(&c.kind, SortConflictKind::Column { pred, .. }
+                if i.resolve(*pred) == "r")));
     }
 
     #[test]

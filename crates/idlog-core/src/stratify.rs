@@ -45,33 +45,50 @@ impl Stratification {
     }
 }
 
-/// An edge in the dependency graph.
+/// An edge in the predicate dependency graph, with the clause and body
+/// literal that induced it (for span-carrying diagnostics).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Edge {
-    from: SymbolId,
-    to: SymbolId,
-    strict: bool,
+pub struct DepEdge {
+    /// Body predicate the head depends on.
+    pub from: SymbolId,
+    /// Head predicate.
+    pub to: SymbolId,
+    /// Strict: the occurrence is negated or an ID-literal.
+    pub strict: bool,
+    /// Index of the inducing clause.
+    pub clause: usize,
+    /// Index of the inducing body literal within that clause.
+    pub literal: usize,
 }
 
-fn edges(program: &Program) -> Vec<Edge> {
+/// The dependency edges of `program` (one per ordinary/ID/negated body
+/// occurrence; clauses with non-atom heads are skipped defensively).
+pub fn dependency_edges(program: &Program) -> Vec<DepEdge> {
     let mut out = Vec::new();
-    for clause in &program.clauses {
-        let head = clause.head[0].atom.pred.base();
-        for lit in &clause.body {
+    for (ci, clause) in program.clauses.iter().enumerate() {
+        let Some(h) = clause.head.first() else {
+            continue;
+        };
+        let head = h.atom.pred.base();
+        for (li, lit) in clause.body.iter().enumerate() {
             match lit {
                 Literal::Pos(a) => {
                     let strict = matches!(a.pred, PredicateRef::IdVersion { .. });
-                    out.push(Edge {
+                    out.push(DepEdge {
                         from: a.pred.base(),
                         to: head,
                         strict,
+                        clause: ci,
+                        literal: li,
                     });
                 }
                 Literal::Neg(a) => {
-                    out.push(Edge {
+                    out.push(DepEdge {
                         from: a.pred.base(),
                         to: head,
                         strict: true,
+                        clause: ci,
+                        literal: li,
                     });
                 }
                 Literal::Builtin { .. } | Literal::Choice { .. } | Literal::Cut => {}
@@ -81,16 +98,20 @@ fn edges(program: &Program) -> Vec<Edge> {
     out
 }
 
-/// Stratify `program`, or report a cycle through a strict edge.
-pub fn stratify(program: &Program, interner: &Interner) -> CoreResult<Stratification> {
-    let es = edges(program);
+/// Stratify `program`, or return the edges of a cycle through a strict
+/// edge: `cycle[0]` is the strict edge, and each edge's `to` is the next
+/// edge's `from`, closing back at `cycle[0].from`.
+pub fn stratify_check(program: &Program) -> Result<Stratification, Vec<DepEdge>> {
+    let es = dependency_edges(program);
     let mut preds: FxHashSet<SymbolId> = FxHashSet::default();
     for e in &es {
         preds.insert(e.from);
         preds.insert(e.to);
     }
     for clause in &program.clauses {
-        preds.insert(clause.head[0].atom.pred.base());
+        if let Some(h) = clause.head.first() {
+            preds.insert(h.atom.pred.base());
+        }
     }
 
     let mut stratum: FxHashMap<SymbolId, usize> = preds.iter().map(|&p| (p, 0)).collect();
@@ -118,50 +139,70 @@ pub fn stratify(program: &Program, interner: &Interner) -> CoreResult<Stratifica
             break;
         }
     }
-    Err(CoreError::Stratification {
-        cycle: find_cycle(&es, interner),
+    Err(find_cycle(&es))
+}
+
+/// Stratify `program`, or report a cycle through a strict edge.
+pub fn stratify(program: &Program, interner: &Interner) -> CoreResult<Stratification> {
+    stratify_check(program).map_err(|cycle| CoreError::Stratification {
+        cycle: cycle_names(&cycle, interner),
     })
 }
 
-/// Find some cycle containing a strict edge, for the error message.
-fn find_cycle(es: &[Edge], interner: &Interner) -> Vec<String> {
-    // Adjacency with edge strictness.
-    let mut adj: FxHashMap<SymbolId, Vec<(SymbolId, bool)>> = FxHashMap::default();
-    for e in es {
-        adj.entry(e.from).or_default().push((e.to, e.strict));
+/// The predicates along `cycle` (as produced by [`stratify_check`]),
+/// starting and ending at the same predicate: `[p, q, …, p]`.
+pub fn cycle_names(cycle: &[DepEdge], interner: &Interner) -> Vec<String> {
+    match cycle.first() {
+        None => vec!["<unknown>".into()],
+        Some(first) => {
+            let mut names = vec![interner.resolve(first.from)];
+            for e in cycle {
+                names.push(interner.resolve(e.to));
+            }
+            names
+        }
     }
-    // From each strict edge (u→v), look for a path v ⇝ u.
+}
+
+/// Find some cycle containing a strict edge: the strict edge `u → v`
+/// followed by a path `v ⇝ u`.
+fn find_cycle(es: &[DepEdge]) -> Vec<DepEdge> {
+    let mut adj: FxHashMap<SymbolId, Vec<DepEdge>> = FxHashMap::default();
+    for e in es {
+        adj.entry(e.from).or_default().push(*e);
+    }
     for e in es.iter().filter(|e| e.strict) {
+        if e.from == e.to {
+            return vec![*e];
+        }
         let mut stack = vec![e.to];
         let mut visited: FxHashSet<SymbolId> = FxHashSet::default();
-        let mut parent: FxHashMap<SymbolId, SymbolId> = FxHashMap::default();
+        // The edge that discovered each node during the walk from `e.to`.
+        let mut parent: FxHashMap<SymbolId, DepEdge> = FxHashMap::default();
         visited.insert(e.to);
         while let Some(u) = stack.pop() {
             if u == e.from {
-                // Reconstruct v ⇝ u path, then close the cycle.
-                let mut path = vec![interner.resolve(e.from)];
-                let mut at = e.from;
+                // Walk parent edges back from u to e.to, then prepend e.
+                let mut path = Vec::new();
+                let mut at = u;
                 while at != e.to {
-                    at = parent[&at];
-                    path.push(interner.resolve(at));
+                    let pe = parent[&at];
+                    path.push(pe);
+                    at = pe.from;
                 }
+                path.push(*e);
                 path.reverse();
-                path.push(interner.resolve(e.from));
                 return path;
             }
-            for &(w, _) in adj.get(&u).into_iter().flatten() {
-                if visited.insert(w) {
-                    parent.insert(w, u);
-                    stack.push(w);
+            for &edge in adj.get(&u).into_iter().flatten() {
+                if visited.insert(edge.to) {
+                    parent.insert(edge.to, edge);
+                    stack.push(edge.to);
                 }
             }
         }
-        if e.from == e.to {
-            let name = interner.resolve(e.from);
-            return vec![name.clone(), name];
-        }
     }
-    vec!["<unknown>".into()]
+    Vec::new()
 }
 
 #[cfg(test)]
@@ -257,8 +298,29 @@ mod tests {
     fn mutual_negative_cycle_reported() {
         let err = strat("p(X) :- a(X), not q(X). q(X) :- a(X), not p(X).").unwrap_err();
         match err {
-            CoreError::Stratification { cycle } => assert!(cycle.len() >= 2),
+            CoreError::Stratification { cycle } => {
+                assert!(cycle.len() >= 2);
+                assert_eq!(cycle.first(), cycle.last());
+            }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn cycle_edges_carry_clause_anchors_and_chain() {
+        let i = Interner::new();
+        let p = parse_program("p(X) :- a(X), not q(X). q(X) :- a(X), not p(X).", &i).unwrap();
+        let cycle = stratify_check(&p).unwrap_err();
+        assert!(!cycle.is_empty());
+        assert!(cycle[0].strict, "cycle starts with the strict edge");
+        for pair in cycle.windows(2) {
+            assert_eq!(pair[0].to, pair[1].from, "edges chain head-to-tail");
+        }
+        assert_eq!(cycle.last().unwrap().to, cycle[0].from, "cycle closes");
+        // Anchors point at the clause/literal inducing each edge.
+        let qp = cycle.iter().find(|e| i.resolve(e.from) == "q").unwrap();
+        assert_eq!((qp.clause, qp.literal), (0, 1));
+        let names = cycle_names(&cycle, &i);
+        assert_eq!(names.first(), names.last());
     }
 }

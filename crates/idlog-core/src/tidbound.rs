@@ -13,15 +13,22 @@
 //! (factorial) — see [`idlog_storage::BoundedAssignmentIter`].
 
 use idlog_common::{FxHashMap, SymbolId};
-use idlog_parser::{Builtin, Clause, Literal, PredicateRef, Term};
+use idlog_parser::{Builtin, Clause, Literal, PredicateRef, Program, Term};
 
 use crate::program::ValidatedProgram;
 
 /// For every ID-use whose tid is provably bounded in *all* occurrences, the
 /// number of distinguishable tids `k` (observe tids `0..k` only).
 pub fn tid_bounds(program: &ValidatedProgram) -> FxHashMap<(SymbolId, Vec<usize>), usize> {
+    tid_bounds_ast(program.ast())
+}
+
+/// AST-level variant of [`tid_bounds`], usable before full validation (the
+/// analysis only reads clause syntax) — e.g. by lint passes that want to
+/// surface the optimization as a hint.
+pub fn tid_bounds_ast(program: &Program) -> FxHashMap<(SymbolId, Vec<usize>), usize> {
     let mut bounds: FxHashMap<(SymbolId, Vec<usize>), Option<usize>> = FxHashMap::default();
-    for clause in &program.ast().clauses {
+    for clause in &program.clauses {
         for (li, lit) in clause.body.iter().enumerate() {
             let Some(atom) = lit.atom() else { continue };
             let PredicateRef::IdVersion { base, grouping } = &atom.pred else {

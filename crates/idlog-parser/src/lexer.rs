@@ -60,6 +60,7 @@ impl<'a> Lexer<'a> {
                 out.push(Spanned {
                     token: Token::Eof,
                     pos: start,
+                    end: start,
                 });
                 return Ok(out);
             };
@@ -162,7 +163,11 @@ impl<'a> Lexer<'a> {
                     ))
                 }
             };
-            out.push(Spanned { token, pos: start });
+            out.push(Spanned {
+                token,
+                pos: start,
+                end: self.pos,
+            });
         }
     }
 

@@ -35,8 +35,11 @@ pub mod display;
 pub mod error;
 pub mod lexer;
 pub mod parser;
+pub mod span;
 pub mod token;
 
 pub use ast::{Atom, Builtin, Clause, HeadAtom, Literal, PredicateRef, Program, Term};
 pub use error::{ParseError, ParseResult};
-pub use parser::{parse_clause, parse_program};
+pub use parser::{parse_clause, parse_program, parse_program_with_spans};
+pub use span::{AtomSpans, ClauseSpans, LiteralSpans, Span, SpanMap};
+pub use token::Pos;

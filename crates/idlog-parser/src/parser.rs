@@ -5,22 +5,32 @@ use idlog_common::Interner;
 use crate::ast::{Atom, Builtin, Clause, HeadAtom, Literal, Program, Term};
 use crate::error::{ParseError, ParseResult};
 use crate::lexer::lex;
+use crate::span::{AtomSpans, ClauseSpans, LiteralSpans, Span, SpanMap};
 use crate::token::{Pos, Spanned, Token};
 
 /// Parse a whole program. Constants are interned into `interner`.
 pub fn parse_program(src: &str, interner: &Interner) -> ParseResult<Program> {
+    parse_program_with_spans(src, interner).map(|(p, _)| p)
+}
+
+/// Parse a whole program, also returning a [`SpanMap`] that records where
+/// every clause, atom, and term came from (for diagnostics).
+pub fn parse_program_with_spans(src: &str, interner: &Interner) -> ParseResult<(Program, SpanMap)> {
     let mut p = Parser::new(src, interner)?;
     let mut clauses = Vec::new();
+    let mut spans = SpanMap::default();
     while !p.at_eof() {
-        clauses.push(p.clause()?);
+        let (clause, clause_spans) = p.clause()?;
+        clauses.push(clause);
+        spans.clauses.push(clause_spans);
     }
-    Ok(Program { clauses })
+    Ok((Program { clauses }, spans))
 }
 
 /// Parse a single clause (must consume all input up to the final `.`).
 pub fn parse_clause(src: &str, interner: &Interner) -> ParseResult<Clause> {
     let mut p = Parser::new(src, interner)?;
-    let c = p.clause()?;
+    let (c, _) = p.clause()?;
     if !p.at_eof() {
         return Err(p.unexpected("end of input"));
     }
@@ -30,6 +40,8 @@ pub fn parse_clause(src: &str, interner: &Interner) -> ParseResult<Clause> {
 struct Parser<'a> {
     tokens: Vec<Spanned>,
     at: usize,
+    /// End position of the most recently consumed token.
+    last_end: Pos,
     interner: &'a Interner,
 }
 
@@ -38,6 +50,7 @@ impl<'a> Parser<'a> {
         Ok(Parser {
             tokens: lex(src)?,
             at: 0,
+            last_end: Pos { line: 1, col: 1 },
             interner,
         })
     }
@@ -55,8 +68,20 @@ impl<'a> Parser<'a> {
         self.tokens[self.at].pos
     }
 
+    /// Span of the token about to be consumed.
+    fn token_span(&self) -> Span {
+        Span::new(self.tokens[self.at].pos, self.tokens[self.at].end)
+    }
+
+    /// End position of the last token consumed — the closing edge for a
+    /// span whose node has just been fully parsed.
+    fn prev_end(&self) -> Pos {
+        self.last_end
+    }
+
     fn bump(&mut self) -> Token {
         let t = self.tokens[self.at].token.clone();
+        self.last_end = self.tokens[self.at].end;
         if self.at + 1 < self.tokens.len() {
             self.at += 1;
         }
@@ -86,15 +111,20 @@ impl<'a> Parser<'a> {
         )
     }
 
-    fn clause(&mut self) -> ParseResult<Clause> {
-        let mut head = vec![self.head_atom()?];
+    fn clause(&mut self) -> ParseResult<(Clause, ClauseSpans)> {
+        let start = self.pos();
+        let (first, first_spans) = self.head_atom()?;
+        let mut head = vec![first];
+        let mut head_spans = vec![first_spans];
         let mut disjunctive = false;
         if matches!(self.peek(), Token::Amp | Token::Pipe) {
             disjunctive = matches!(self.peek(), Token::Pipe);
             let sep = if disjunctive { Token::Pipe } else { Token::Amp };
             while self.peek() == &sep {
                 self.bump();
-                head.push(self.head_atom()?);
+                let (atom, spans) = self.head_atom()?;
+                head.push(atom);
+                head_spans.push(spans);
             }
             if matches!(self.peek(), Token::Amp | Token::Pipe) {
                 return Err(ParseError::new(
@@ -103,66 +133,112 @@ impl<'a> Parser<'a> {
                 ));
             }
         }
+        let mut body_spans = Vec::new();
         let body = if matches!(self.peek(), Token::Implies) {
             self.bump();
-            let mut body = vec![self.literal()?];
+            let (first, first_spans) = self.literal()?;
+            let mut body = vec![first];
+            body_spans.push(first_spans);
             while matches!(self.peek(), Token::Comma) {
                 self.bump();
-                body.push(self.literal()?);
+                let (lit, spans) = self.literal()?;
+                body.push(lit);
+                body_spans.push(spans);
             }
             body
         } else {
             Vec::new()
         };
         self.expect(&Token::Dot)?;
-        Ok(Clause {
-            head,
-            body,
-            disjunctive,
-        })
+        Ok((
+            Clause {
+                head,
+                body,
+                disjunctive,
+            },
+            ClauseSpans {
+                span: Span::new(start, self.prev_end()),
+                head: head_spans,
+                body: body_spans,
+            },
+        ))
     }
 
-    fn head_atom(&mut self) -> ParseResult<HeadAtom> {
+    fn head_atom(&mut self) -> ParseResult<(HeadAtom, AtomSpans)> {
+        let start = self.pos();
         let negated = if matches!(self.peek(), Token::Not) {
             self.bump();
             true
         } else {
             false
         };
-        let atom = self.atom()?;
-        Ok(HeadAtom { negated, atom })
+        let (atom, mut spans) = self.atom()?;
+        spans.span.start = start; // include the `not`
+        Ok((HeadAtom { negated, atom }, spans))
     }
 
-    fn literal(&mut self) -> ParseResult<Literal> {
+    fn literal(&mut self) -> ParseResult<(Literal, LiteralSpans)> {
         match self.peek() {
             Token::Not => {
+                let start = self.pos();
                 self.bump();
                 let pos = self.pos();
-                let atom = self.atom()?;
+                let (atom, atom_spans) = self.atom()?;
                 if Builtin::from_name(&self.name_of(&atom)).is_some() {
                     return Err(ParseError::new(
                         pos,
                         "cannot negate an arithmetic predicate",
                     ));
                 }
-                Ok(Literal::Neg(atom))
+                Ok((
+                    Literal::Neg(atom),
+                    LiteralSpans {
+                        span: Span::new(start, self.prev_end()),
+                        atom: atom_spans,
+                    },
+                ))
             }
             Token::Choice => {
+                let start = self.pos();
+                let name = self.token_span();
                 self.bump();
                 self.expect(&Token::LParen)?;
                 self.expect(&Token::LParen)?;
-                let grouped = self.term_list(&Token::RParen)?;
+                let (grouped, mut term_spans) = self.term_list(&Token::RParen)?;
                 self.expect(&Token::RParen)?;
                 self.expect(&Token::Comma)?;
                 self.expect(&Token::LParen)?;
-                let chosen = self.term_list(&Token::RParen)?;
+                let (chosen, chosen_spans) = self.term_list(&Token::RParen)?;
                 self.expect(&Token::RParen)?;
                 self.expect(&Token::RParen)?;
-                Ok(Literal::Choice { grouped, chosen })
+                term_spans.extend(chosen_spans);
+                let span = Span::new(start, self.prev_end());
+                Ok((
+                    Literal::Choice { grouped, chosen },
+                    LiteralSpans {
+                        span,
+                        atom: AtomSpans {
+                            span,
+                            name,
+                            terms: term_spans,
+                        },
+                    },
+                ))
             }
             Token::Cut => {
+                let name = self.token_span();
                 self.bump();
-                Ok(Literal::Cut)
+                Ok((
+                    Literal::Cut,
+                    LiteralSpans {
+                        span: name,
+                        atom: AtomSpans {
+                            span: name,
+                            name,
+                            terms: Vec::new(),
+                        },
+                    },
+                ))
             }
             Token::Var(_) | Token::Int(_) => self.comparison(),
             Token::Ident(_) => {
@@ -171,8 +247,15 @@ impl<'a> Parser<'a> {
                     self.comparison()
                 } else {
                     let pos = self.pos();
-                    let atom = self.atom()?;
-                    self.classify_atom(atom, pos)
+                    let (atom, atom_spans) = self.atom()?;
+                    let lit = self.classify_atom(atom, pos)?;
+                    Ok((
+                        lit,
+                        LiteralSpans {
+                            span: atom_spans.span,
+                            atom: atom_spans,
+                        },
+                    ))
                 }
             }
             _ => Err(self.unexpected("a body literal")),
@@ -219,8 +302,9 @@ impl<'a> Parser<'a> {
         )
     }
 
-    fn comparison(&mut self) -> ParseResult<Literal> {
-        let lhs = self.term()?;
+    fn comparison(&mut self) -> ParseResult<(Literal, LiteralSpans)> {
+        let (lhs, lhs_span) = self.term()?;
+        let name = self.token_span();
         let op = match self.bump() {
             Token::Lt => Builtin::Lt,
             Token::Le => Builtin::Le,
@@ -235,15 +319,27 @@ impl<'a> Parser<'a> {
                 ))
             }
         };
-        let rhs = self.term()?;
-        Ok(Literal::Builtin {
-            op,
-            args: vec![lhs, rhs],
-        })
+        let (rhs, rhs_span) = self.term()?;
+        let span = lhs_span.merge(rhs_span);
+        Ok((
+            Literal::Builtin {
+                op,
+                args: vec![lhs, rhs],
+            },
+            LiteralSpans {
+                span,
+                atom: AtomSpans {
+                    span,
+                    name,
+                    terms: vec![lhs_span, rhs_span],
+                },
+            },
+        ))
     }
 
-    fn atom(&mut self) -> ParseResult<Atom> {
+    fn atom(&mut self) -> ParseResult<(Atom, AtomSpans)> {
         let pos = self.pos();
+        let name_span = self.token_span();
         let name = match self.bump() {
             Token::Ident(s) => s,
             other => {
@@ -290,17 +386,22 @@ impl<'a> Parser<'a> {
             None
         };
 
-        let terms = if matches!(self.peek(), Token::LParen) {
+        let (terms, term_spans) = if matches!(self.peek(), Token::LParen) {
             self.bump();
-            let terms = self.term_list(&Token::RParen)?;
+            let (terms, spans) = self.term_list(&Token::RParen)?;
             self.expect(&Token::RParen)?;
-            terms
+            (terms, spans)
         } else {
-            Vec::new()
+            (Vec::new(), Vec::new())
         };
 
+        let spans = AtomSpans {
+            span: Span::new(pos, self.prev_end()),
+            name: name_span,
+            terms: term_spans,
+        };
         match grouping {
-            None => Ok(Atom::ordinary(pred, terms)),
+            None => Ok((Atom::ordinary(pred, terms), spans)),
             Some(g) => {
                 if terms.is_empty() {
                     return Err(ParseError::new(
@@ -319,33 +420,37 @@ impl<'a> Parser<'a> {
                         ),
                     ));
                 }
-                Ok(Atom::id_version(pred, g, terms))
+                Ok((Atom::id_version(pred, g, terms), spans))
             }
         }
     }
 
-    fn term_list(&mut self, close: &Token) -> ParseResult<Vec<Term>> {
+    fn term_list(&mut self, close: &Token) -> ParseResult<(Vec<Term>, Vec<Span>)> {
         let mut terms = Vec::new();
+        let mut spans = Vec::new();
         if self.peek() == close {
-            return Ok(terms);
+            return Ok((terms, spans));
         }
         loop {
-            terms.push(self.term()?);
+            let (term, span) = self.term()?;
+            terms.push(term);
+            spans.push(span);
             if matches!(self.peek(), Token::Comma) {
                 self.bump();
             } else {
                 break;
             }
         }
-        Ok(terms)
+        Ok((terms, spans))
     }
 
-    fn term(&mut self) -> ParseResult<Term> {
+    fn term(&mut self) -> ParseResult<(Term, Span)> {
         let pos = self.pos();
+        let span = self.token_span();
         match self.bump() {
-            Token::Var(v) => Ok(Term::Var(v)),
-            Token::Ident(s) => Ok(Term::Sym(self.interner.intern(&s))),
-            Token::Int(n) => Ok(Term::Int(n)),
+            Token::Var(v) => Ok((Term::Var(v), span)),
+            Token::Ident(s) => Ok((Term::Sym(self.interner.intern(&s)), span)),
+            Token::Int(n) => Ok((Term::Int(n), span)),
             other => Err(ParseError::new(
                 pos,
                 format!("expected a term, found {other}"),
@@ -507,6 +612,60 @@ mod tests {
         let err = parse_program("p(X) :- q(X)\nr(Y).", &i).unwrap_err();
         // Missing dot: error reported on line 2.
         assert_eq!(err.pos.line, 2);
+    }
+
+    #[test]
+    fn spans_point_at_source_text() {
+        let i = Interner::new();
+        let src = "p(X) :- q(X, abc), not r(X), X < 2.\nfact(a).\n";
+        let (prog, spans) = parse_program_with_spans(src, &i).unwrap();
+        assert_eq!(prog.clauses.len(), 2);
+        assert_eq!(spans.clauses.len(), 2);
+
+        let c0 = spans.clause(0).unwrap();
+        // Whole clause: col 1 through one past the final `.` (col 36).
+        assert_eq!((c0.span.start.line, c0.span.start.col), (1, 1));
+        assert_eq!((c0.span.end.line, c0.span.end.col), (1, 36));
+        // Head atom `p(X)` and its name `p`.
+        let head = c0.head_atom(0).unwrap();
+        assert_eq!((head.name.start.col, head.name.end.col), (1, 2));
+        assert_eq!((head.span.start.col, head.span.end.col), (1, 5));
+        // `q(X, abc)`: name at col 9, term `abc` covering cols 14..17.
+        let q = c0.literal(0).unwrap();
+        assert_eq!((q.atom.name.start.col, q.atom.name.end.col), (9, 10));
+        let abc = q.atom.term(1).unwrap();
+        assert_eq!((abc.start.col, abc.end.col), (14, 17));
+        // `not r(X)` literal span includes the `not`; its name is `r`.
+        let r = c0.literal(1).unwrap();
+        assert_eq!((r.span.start.col, r.span.end.col), (20, 28));
+        assert_eq!((r.atom.name.start.col, r.atom.name.end.col), (24, 25));
+        // `X < 2` comparison: name span on the operator.
+        let cmp = c0.literal(2).unwrap();
+        assert_eq!((cmp.atom.name.start.col, cmp.atom.name.end.col), (32, 33));
+        assert_eq!((cmp.span.start.col, cmp.span.end.col), (30, 35));
+
+        // Second clause sits on line 2.
+        let c1 = spans.clause(1).unwrap();
+        assert_eq!(c1.span.start.line, 2);
+        assert_eq!((c1.span.start.col, c1.span.end.col), (1, 9));
+    }
+
+    #[test]
+    fn spans_cover_choice_and_id_atoms() {
+        let i = Interner::new();
+        let src = "two(N) :- emp[2](N, D, T), choice((D), (N)).";
+        let (_, spans) = parse_program_with_spans(src, &i).unwrap();
+        let c = spans.clause(0).unwrap();
+        // `emp[2](N, D, T)` — atom span covers brackets and args.
+        let emp = c.literal(0).unwrap();
+        assert_eq!((emp.span.start.col, emp.span.end.col), (11, 26));
+        assert_eq!((emp.atom.name.start.col, emp.atom.name.end.col), (11, 14));
+        assert_eq!(emp.atom.terms.len(), 3);
+        // choice literal: name on the keyword, terms = grouped ++ chosen.
+        let ch = c.literal(1).unwrap();
+        assert_eq!((ch.atom.name.start.col, ch.atom.name.end.col), (28, 34));
+        assert_eq!(ch.atom.terms.len(), 2);
+        assert_eq!((ch.span.start.col, ch.span.end.col), (28, 44));
     }
 
     #[test]

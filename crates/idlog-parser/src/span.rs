@@ -1,0 +1,194 @@
+//! Source spans for parsed programs.
+//!
+//! The AST types in [`crate::ast`] derive `PartialEq`/`Eq`/`Hash` and are
+//! compared *semantically* throughout the engines (e.g. the redundancy
+//! checker treats two α-identical clauses as equal), so positions cannot
+//! live inside the nodes themselves. Instead the parser records them in a
+//! [`SpanMap`] side-table whose shape mirrors the program structurally:
+//! clause *i* → head atom *j* / body literal *j* → term *k*. Consumers that
+//! hold a `Program` and its `SpanMap` can look up the origin of any node by
+//! the same indices they use to walk the AST.
+
+use crate::token::Pos;
+
+/// A contiguous region of source text: `[start, end)` in line/column terms,
+/// with `end` pointing one past the last character (both 1-based).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// First character of the region.
+    pub start: Pos,
+    /// One past the last character of the region.
+    pub end: Pos,
+}
+
+impl Span {
+    /// A span covering exactly the region from `start` to `end`.
+    pub fn new(start: Pos, end: Pos) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos` (used for EOF-anchored diagnostics).
+    pub fn point(pos: Pos) -> Self {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// Whether this span carries a real position. The `Default` span (line 0)
+    /// means "origin unknown" — e.g. a synthesized clause.
+    pub fn is_known(&self) -> bool {
+        self.start.line != 0
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        if !self.is_known() {
+            return other;
+        }
+        if !other.is_known() {
+            return self;
+        }
+        let start = if (other.start.line, other.start.col) < (self.start.line, self.start.col) {
+            other.start
+        } else {
+            self.start
+        };
+        let end = if (other.end.line, other.end.col) > (self.end.line, self.end.col) {
+            other.end
+        } else {
+            self.end
+        };
+        Span { start, end }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.start)
+    }
+}
+
+/// Spans for one atom (or atom-shaped literal such as a builtin call).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct AtomSpans {
+    /// The whole atom, including its argument list (and, for a negated head
+    /// atom, the leading `not`).
+    pub span: Span,
+    /// The predicate-name token alone (or the operator of a builtin, the
+    /// `choice` keyword of a choice literal, the `!` of a cut).
+    pub name: Span,
+    /// One span per argument term, in order. For a choice literal this is
+    /// the grouped terms followed by the chosen terms.
+    pub terms: Vec<Span>,
+}
+
+impl AtomSpans {
+    /// Span of term `idx`, if recorded.
+    pub fn term(&self, idx: usize) -> Option<Span> {
+        self.terms.get(idx).copied()
+    }
+}
+
+/// Spans for one body literal.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LiteralSpans {
+    /// The whole literal, including any leading `not`.
+    pub span: Span,
+    /// The literal's atom shape: predicate/operator name plus term spans.
+    pub atom: AtomSpans,
+}
+
+/// Spans for one clause.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ClauseSpans {
+    /// The whole clause, from the first head token through the final `.`.
+    pub span: Span,
+    /// One entry per head atom (parallel to `Clause::head`).
+    pub head: Vec<AtomSpans>,
+    /// One entry per body literal (parallel to `Clause::body`).
+    pub body: Vec<LiteralSpans>,
+}
+
+impl ClauseSpans {
+    /// Spans of head atom `idx`, if recorded.
+    pub fn head_atom(&self, idx: usize) -> Option<&AtomSpans> {
+        self.head.get(idx)
+    }
+
+    /// Spans of body literal `idx`, if recorded.
+    pub fn literal(&self, idx: usize) -> Option<&LiteralSpans> {
+        self.body.get(idx)
+    }
+}
+
+/// Positions for every clause of a parsed program, parallel to
+/// `Program::clauses`. Obtained from [`crate::parser::parse_program_with_spans`].
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SpanMap {
+    /// One entry per clause.
+    pub clauses: Vec<ClauseSpans>,
+}
+
+impl SpanMap {
+    /// Spans of clause `idx`, if recorded.
+    pub fn clause(&self, idx: usize) -> Option<&ClauseSpans> {
+        self.clauses.get(idx)
+    }
+
+    /// Span of clause `idx`, or the unknown span when unrecorded.
+    pub fn clause_span(&self, idx: usize) -> Span {
+        self.clause(idx).map(|c| c.span).unwrap_or_default()
+    }
+
+    /// Span of body literal `lit` of clause `idx`, falling back to the
+    /// clause span, then to the unknown span.
+    pub fn literal_span(&self, idx: usize, lit: usize) -> Span {
+        match self.clause(idx) {
+            Some(c) => c.literal(lit).map(|l| l.span).unwrap_or(c.span),
+            None => Span::default(),
+        }
+    }
+
+    /// Span of the head-atom predicate name of clause `idx` (first head
+    /// atom), falling back to the clause span.
+    pub fn head_name_span(&self, idx: usize) -> Span {
+        match self.clause(idx) {
+            Some(c) => c.head_atom(0).map(|a| a.name).unwrap_or(c.span),
+            None => Span::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(line: u32, col: u32) -> Pos {
+        Pos { line, col }
+    }
+
+    #[test]
+    fn merge_orders_endpoints() {
+        let a = Span::new(pos(1, 5), pos(1, 9));
+        let b = Span::new(pos(1, 2), pos(1, 7));
+        let m = a.merge(b);
+        assert_eq!(m, Span::new(pos(1, 2), pos(1, 9)));
+    }
+
+    #[test]
+    fn merge_ignores_unknown() {
+        let a = Span::new(pos(2, 1), pos(2, 4));
+        assert_eq!(a.merge(Span::default()), a);
+        assert_eq!(Span::default().merge(a), a);
+        assert!(!Span::default().is_known());
+    }
+
+    #[test]
+    fn fallbacks_degrade_gracefully() {
+        let map = SpanMap::default();
+        assert!(!map.clause_span(3).is_known());
+        assert!(!map.literal_span(0, 0).is_known());
+        assert!(!map.head_name_span(9).is_known());
+    }
+}

@@ -102,4 +102,6 @@ pub struct Spanned {
     pub token: Token,
     /// Where it starts.
     pub pos: Pos,
+    /// One past where it ends (the position of the following character).
+    pub end: Pos,
 }
