@@ -1,0 +1,74 @@
+//! Parallel round-execution scaling: the same fixpoint at 1/2/4/8 worker
+//! threads.
+//!
+//! Shape to hold: workloads with wide per-round deltas (transitive closure
+//! and same-generation on grids) speed up with threads on multi-core hosts,
+//! while the chain — whose deltas mostly stay under the parallel threshold —
+//! is unaffected. Results are byte-identical at every thread count (see the
+//! `determinism` suite in `idlog-core`); this bench only measures time.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use idlog_bench::{chain_db, grid_db};
+use idlog_core::{
+    evaluate_with_config, CanonicalOracle, EvalConfig, Interner, Strategy, ValidatedProgram,
+};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+const TC_SRC: &str = "tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).";
+const SG_SRC: &str = "sg(X, X) :- person(X). sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).";
+
+fn bench_workload(c: &mut Criterion, group_name: &str, src: &str, db: &idlog_storage::Database) {
+    let program =
+        ValidatedProgram::parse(src, Arc::clone(db.interner())).expect("fixture validates");
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for threads in THREADS {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), db, |b, db| {
+            let config = EvalConfig::with_threads(threads);
+            b.iter(|| {
+                evaluate_with_config(
+                    &program,
+                    db,
+                    &mut CanonicalOracle,
+                    Strategy::SemiNaive,
+                    &config,
+                )
+                .expect("fixture evaluates")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let interner = Arc::new(Interner::new());
+    // Narrow deltas: stays on the serial path, measures scheduling overhead.
+    bench_workload(
+        c,
+        "parallel_scaling/tc_chain_128",
+        TC_SRC,
+        &chain_db(&interner, 128),
+    );
+    // Wide deltas: the sharded scoped-pool path.
+    let interner = Arc::new(Interner::new());
+    bench_workload(
+        c,
+        "parallel_scaling/tc_grid_16x16",
+        TC_SRC,
+        &grid_db(&interner, 16, 16),
+    );
+    let interner = Arc::new(Interner::new());
+    bench_workload(
+        c,
+        "parallel_scaling/sg_grid_16x16",
+        SG_SRC,
+        &grid_db(&interner, 16, 16),
+    );
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! The experiment report generator: runs E1–E16 from `DESIGN.md` and prints
+//! The experiment report generator: runs E1–E17 from `DESIGN.md` and prints
 //! a paper-claim vs. measured table. `EXPERIMENTS.md` is this binary's
 //! output, annotated.
 //!
@@ -8,8 +8,11 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use idlog_bench::{choice_sampling_src, emp_db, idlog_sampling_src, run_canonical, zy_db};
-use idlog_core::{EnumBudget, Interner, Query, ValidatedProgram};
+use idlog_bench::{choice_sampling_src, emp_db, grid_db, idlog_sampling_src, run_canonical, zy_db};
+use idlog_core::{
+    evaluate_with_config, CanonicalOracle, EnumBudget, EvalConfig, Interner, Query, Strategy,
+    ValidatedProgram,
+};
 use idlog_storage::{count_id_functions, Database};
 
 struct Report {
@@ -101,6 +104,9 @@ fn main() {
     }
     if r.wants("e16") {
         e16(&r);
+    }
+    if r.wants("e17") {
+        e17(&r);
     }
 
     println!("\nall selected experiments completed in {:?}", t0.elapsed());
@@ -672,6 +678,73 @@ fn e16(r: &Report) {
     }
     println!();
     r.verdict(ok, "single correct answer at every size despite n! models");
+}
+
+/// E17 (engine property, not a paper claim): parallel round execution is
+/// observationally invisible. Relations *and* evaluation statistics are
+/// identical at every thread count; threads change wall-time only.
+fn e17(r: &Report) {
+    r.section(
+        "e17",
+        "parallel rounds: byte-identical relations and stats at any thread count",
+    );
+    let interner = Arc::new(Interner::new());
+    let db = grid_db(&interner, 12, 12);
+    let program = ValidatedProgram::parse(
+        "tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+        Arc::clone(&interner),
+    )
+    .unwrap();
+    let timed = |threads: usize| {
+        let t = Instant::now();
+        let out = evaluate_with_config(
+            &program,
+            &db,
+            &mut CanonicalOracle,
+            Strategy::SemiNaive,
+            &EvalConfig::with_threads(threads),
+        )
+        .unwrap();
+        (out, t.elapsed())
+    };
+
+    let (baseline, t1) = timed(1);
+    r.row("threads=1 (baseline)", format!("{:>9.2?}", t1));
+    let mut ok = baseline.relation("tc").unwrap().len() == 5940; // 78² − 144
+    let mut t4 = t1;
+    for threads in [2usize, 4, 8] {
+        let (out, t) = timed(threads);
+        if threads == 4 {
+            t4 = t;
+        }
+        let same = out
+            .relation("tc")
+            .unwrap()
+            .set_eq(baseline.relation("tc").unwrap())
+            && out.stats() == baseline.stats();
+        ok &= same;
+        r.row(
+            &format!("threads={threads}"),
+            format!("{t:>9.2?}  relations+stats identical: {same}"),
+        );
+    }
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    r.row(
+        "speedup at 4 threads (informational)",
+        format!(
+            "{:.2}x on a {cores}-core host{}",
+            t1.as_secs_f64() / t4.as_secs_f64(),
+            if cores < 4 {
+                " — no speedup expected below 4 cores"
+            } else {
+                ""
+            }
+        ),
+    );
+    r.verdict(
+        ok,
+        "thread count changes wall-time only, never relations or stats",
+    );
 }
 
 fn run_and_stats(

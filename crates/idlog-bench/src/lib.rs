@@ -54,6 +54,34 @@ pub fn chain_db(interner: &Arc<Interner>, n: usize) -> Database {
     db
 }
 
+/// A `w × h` grid graph. Node `(i, j)` gets `e` edges to `(i+1, j)` and
+/// `(i, j+1)`, matching `par(child, parent)` edges pointing back toward the
+/// origin, and a `person` fact. Unlike a chain, transitive closure and
+/// same-generation on a grid produce wide per-round deltas (hundreds of
+/// tuples), which is what the parallel round executor shards.
+pub fn grid_db(interner: &Arc<Interner>, w: usize, h: usize) -> Database {
+    let mut db = Database::with_interner(Arc::clone(interner));
+    let name = |i: usize, j: usize| format!("g{i}_{j}");
+    for i in 0..w {
+        for j in 0..h {
+            db.insert_syms("person", &[&name(i, j)]).expect("facts");
+            if i + 1 < w {
+                db.insert_syms("e", &[&name(i, j), &name(i + 1, j)])
+                    .expect("facts");
+                db.insert_syms("par", &[&name(i + 1, j), &name(i, j)])
+                    .expect("facts");
+            }
+            if j + 1 < h {
+                db.insert_syms("e", &[&name(i, j), &name(i, j + 1)])
+                    .expect("facts");
+                db.insert_syms("par", &[&name(i, j + 1), &name(i, j)])
+                    .expect("facts");
+            }
+        }
+    }
+    db
+}
+
 /// A complete binary tree with `levels` levels: `par(child, parent)` and
 /// `person(node)` facts.
 pub fn tree_db(interner: &Arc<Interner>, levels: u32) -> Database {
@@ -110,6 +138,11 @@ mod tests {
         let i = Arc::new(Interner::new());
         assert_eq!(emp_db(&i, 3, 4).relation("emp").unwrap().len(), 12);
         assert_eq!(chain_db(&i, 5).relation("e").unwrap().len(), 5);
+        let g = grid_db(&i, 3, 4);
+        assert_eq!(g.relation("person").unwrap().len(), 12);
+        // (w-1)·h right edges + w·(h-1) down edges.
+        assert_eq!(g.relation("e").unwrap().len(), 2 * 4 + 3 * 3);
+        assert_eq!(g.relation("par").unwrap().len(), 2 * 4 + 3 * 3);
         let t = tree_db(&i, 3);
         assert_eq!(t.relation("person").unwrap().len(), 7);
         assert_eq!(t.relation("par").unwrap().len(), 6);

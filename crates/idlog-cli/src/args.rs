@@ -23,6 +23,9 @@ RUN OPTIONS:
   --all               enumerate the full answer set instead of one answer
   --max-models <n>    cap on perfect models visited with --all
   --stats             print evaluation statistics
+  --threads <n>       worker threads for evaluation and enumeration
+                      (default: IDLOG_THREADS env var, else the machine's
+                      available parallelism; results never depend on it)
 ";
 
 /// A parsed invocation.
@@ -81,6 +84,8 @@ pub enum Command {
         stats: bool,
         /// Model cap for --all.
         max_models: Option<u64>,
+        /// Worker threads (None = auto: IDLOG_THREADS, else hardware).
+        threads: Option<usize>,
     },
 }
 
@@ -152,6 +157,7 @@ impl Args {
                 let mut all = false;
                 let mut stats = false;
                 let mut max_models = None;
+                let mut threads = None;
                 let mut it = opts.iter();
                 while let Some(flag) = it.next() {
                     match flag.as_str() {
@@ -171,6 +177,15 @@ impl Args {
                                     .map_err(|_| "--max-models expects a number".to_string())?,
                             )
                         }
+                        "--threads" => {
+                            let n: usize = value(&mut it, "--threads")?
+                                .parse()
+                                .map_err(|_| "--threads expects a number".to_string())?;
+                            if n == 0 {
+                                return Err("--threads expects a positive number".to_string());
+                            }
+                            threads = Some(n);
+                        }
                         "--all" => all = true,
                         "--stats" => stats = true,
                         other => return Err(format!("unknown option {other}")),
@@ -184,6 +199,7 @@ impl Args {
                     all,
                     stats,
                     max_models,
+                    threads,
                 }
             }
             other => return Err(format!("unknown command {other}")),
@@ -238,6 +254,8 @@ mod tests {
             "--stats",
             "--max-models",
             "100",
+            "--threads",
+            "4",
         ])
         .unwrap();
         let Command::Run {
@@ -248,6 +266,7 @@ mod tests {
             all,
             stats,
             max_models,
+            threads,
         } = args.command
         else {
             panic!("expected run");
@@ -258,6 +277,18 @@ mod tests {
         assert_eq!(seed, Some(7));
         assert!(all && stats);
         assert_eq!(max_models, Some(100));
+        assert_eq!(threads, Some(4));
+    }
+
+    #[test]
+    fn threads_must_be_positive() {
+        assert!(parse(&["run", "p.idl", "--output", "q", "--threads", "0"]).is_err());
+        assert!(parse(&["run", "p.idl", "--output", "q", "--threads", "x"]).is_err());
+        let args = parse(&["run", "p.idl", "--output", "q"]).unwrap();
+        let Command::Run { threads, .. } = args.command else {
+            panic!("expected run");
+        };
+        assert_eq!(threads, None, "default is auto");
     }
 
     #[test]

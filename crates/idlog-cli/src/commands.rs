@@ -5,7 +5,7 @@ use std::sync::Arc;
 use idlog_analyze::{analyze, render_all, Options};
 use idlog_core::{Interner, ValidatedProgram};
 
-use crate::{default_budget, load, oracle_for};
+use crate::{config_for, default_budget, load, oracle_for};
 
 /// `idlog check`: validate and report predicates, sorts, and strata.
 ///
@@ -197,15 +197,17 @@ pub fn run_query(
     all: bool,
     stats: bool,
     max_models: Option<u64>,
+    threads: Option<usize>,
 ) -> Result<(), String> {
     let loaded = load(program_path, facts_path, output)?;
     let interner = loaded.query.interner().clone();
+    let config = config_for(threads);
 
     if all {
         let budget = default_budget(max_models);
         let answers = loaded
             .query
-            .all_answers(&loaded.db, &budget)
+            .all_answers_configured(&loaded.db, &budget, &config)
             .map_err(|e| e.to_string())?;
         println!(
             "{} distinct answer(s) from {} perfect model(s){}:",
@@ -226,7 +228,7 @@ pub fn run_query(
     let mut oracle = oracle_for(seed);
     let (rel, eval_stats) = loaded
         .query
-        .eval_with_stats(&loaded.db, oracle.as_mut())
+        .eval_configured(&loaded.db, oracle.as_mut(), &config)
         .map_err(|e| e.to_string())?;
     for t in rel.sorted_canonical(&interner) {
         println!("{output}{}", t.display(&interner));

@@ -7,7 +7,8 @@
 use std::sync::Arc;
 
 use idlog_core::{
-    CanonicalOracle, EnumBudget, Interner, Query, SeededOracle, TidOracle, ValidatedProgram,
+    CanonicalOracle, EnumBudget, EvalConfig, Interner, Query, SeededOracle, TidOracle,
+    ValidatedProgram,
 };
 use idlog_storage::Database;
 
@@ -44,6 +45,7 @@ pub fn run(args: Args) -> Result<(), String> {
             all,
             stats,
             max_models,
+            threads,
         } => commands::run_query(
             &program,
             facts.as_deref(),
@@ -52,6 +54,7 @@ pub fn run(args: Args) -> Result<(), String> {
             all,
             stats,
             max_models,
+            threads,
         ),
     }
 }
@@ -88,6 +91,12 @@ pub fn oracle_for(seed: Option<u64>) -> Box<dyn TidOracle> {
         Some(s) => Box::new(SeededOracle::new(s)),
         None => Box::new(CanonicalOracle),
     }
+}
+
+/// The evaluation config for a `--threads` option (auto when absent:
+/// `IDLOG_THREADS`, else the machine's available parallelism).
+pub fn config_for(threads: Option<usize>) -> EvalConfig {
+    threads.map_or_else(EvalConfig::default, EvalConfig::with_threads)
 }
 
 /// The enumeration budget for a `--max-models` option.

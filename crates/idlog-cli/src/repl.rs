@@ -19,7 +19,7 @@ use std::sync::Arc;
 use idlog_core::{EnumBudget, Interner, Query, ValidatedProgram};
 use idlog_storage::Database;
 
-use crate::oracle_for;
+use crate::{config_for, oracle_for};
 
 /// REPL state: accumulated rule sources and the fact database.
 struct Session {
@@ -27,6 +27,7 @@ struct Session {
     rules: Vec<String>,
     db: Database,
     seed: Option<u64>,
+    threads: Option<usize>,
 }
 
 /// Run the REPL until `:quit` or end of input.
@@ -37,6 +38,7 @@ pub fn run(input: &mut dyn BufRead, out: &mut dyn Write) -> Result<(), String> {
         interner,
         rules: Vec::new(),
         seed: None,
+        threads: None,
     };
     let io = |e: std::io::Error| format!("i/o error: {e}");
 
@@ -76,6 +78,8 @@ const HELP: &str = "\
   ?- <pred>.         evaluate one answer for <pred>
   :all <pred>        enumerate the full answer set
   :seed <n>          use a seeded random oracle (\":seed off\" for canonical)
+  :threads <n>       worker threads for evaluation (\":threads auto\" for the
+                     default; answers never depend on the thread count)
   :list              show the current program and fact counts
   :help              this text
   :quit              leave";
@@ -122,6 +126,21 @@ impl Session {
                     Ok(Reply::Text(format!("oracle: seeded({n})")))
                 }
             }
+            "threads" => {
+                let rest = rest.trim();
+                if rest == "auto" || rest.is_empty() {
+                    self.threads = None;
+                    Ok(Reply::Text("threads: auto".into()))
+                } else {
+                    let n: usize = rest
+                        .parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or(":threads expects a positive number or `auto`")?;
+                    self.threads = Some(n);
+                    Ok(Reply::Text(format!("threads: {n}")))
+                }
+            }
             "all" | "a" => self.query(rest.trim().trim_end_matches('.').trim(), true),
             other => Err(format!("unknown command :{other} (try :help)")),
         }
@@ -150,9 +169,10 @@ impl Session {
         let program = ValidatedProgram::parse(&self.rules.join("\n"), Arc::clone(&self.interner))
             .map_err(|e| e.to_string())?;
         let query = Query::new(program, pred).map_err(|e| e.to_string())?;
+        let config = config_for(self.threads);
         if all {
             let answers = query
-                .all_answers(&self.db, &EnumBudget::default())
+                .all_answers_configured(&self.db, &EnumBudget::default(), &config)
                 .map_err(|e| e.to_string())?;
             let mut text = format!(
                 "{} answer(s) from {} model(s){}:",
@@ -170,8 +190,8 @@ impl Session {
             Ok(Reply::Text(text))
         } else {
             let mut oracle = oracle_for(self.seed);
-            let rel = query
-                .eval(&self.db, oracle.as_mut())
+            let (rel, _) = query
+                .eval_configured(&self.db, oracle.as_mut(), &config)
                 .map_err(|e| e.to_string())?;
             if rel.is_empty() {
                 return Ok(Reply::Text("(empty)".into()));
@@ -222,6 +242,24 @@ mod tests {
         assert!(out.contains("oracle: seeded(7)"), "{out}");
         assert!(out.contains("% item: 1 fact(s)"), "{out}");
         assert!(out.contains("oracle: canonical"), "{out}");
+    }
+
+    #[test]
+    fn threads_switching_and_query() {
+        let out = drive(
+            "e(a, b).\ne(b, c).\n\
+             tc(X, Y) :- e(X, Y).\n\
+             tc(X, Y) :- e(X, Z), tc(Z, Y).\n\
+             :threads 4\n\
+             ?- tc.\n\
+             :threads auto\n\
+             :threads 0\n\
+             :quit\n",
+        );
+        assert!(out.contains("threads: 4"), "{out}");
+        assert!(out.contains("tc(a, c)") || out.contains("tc(a,c)"), "{out}");
+        assert!(out.contains("threads: auto"), "{out}");
+        assert!(out.contains("error:"), "{out}");
     }
 
     #[test]

@@ -78,11 +78,31 @@ fn run_query_end_to_end() {
     let program = s.file("p.idl", "two(N) :- emp[2](N, D, T), T < 2.");
     let facts = s.file("f.idl", "emp(a, d). emp(b, d). emp(c, d).");
     // One answer, canonical.
-    commands::run_query(&program, Some(&facts), "two", None, false, true, None).unwrap();
+    commands::run_query(&program, Some(&facts), "two", None, false, true, None, None).unwrap();
     // All answers.
-    commands::run_query(&program, Some(&facts), "two", None, true, false, Some(100)).unwrap();
+    commands::run_query(
+        &program,
+        Some(&facts),
+        "two",
+        None,
+        true,
+        false,
+        Some(100),
+        Some(2),
+    )
+    .unwrap();
     // Seeded.
-    commands::run_query(&program, Some(&facts), "two", Some(7), false, false, None).unwrap();
+    commands::run_query(
+        &program,
+        Some(&facts),
+        "two",
+        Some(7),
+        false,
+        false,
+        None,
+        Some(1),
+    )
+    .unwrap();
 }
 
 #[test]

@@ -33,6 +33,7 @@ fn sampling_program_runs() {
         false,
         false,
         None,
+        None,
     )
     .unwrap();
     idlog_cli::commands::run_query(
@@ -43,6 +44,7 @@ fn sampling_program_runs() {
         true,
         false,
         Some(10_000),
+        Some(2),
     )
     .unwrap();
 }

@@ -1,0 +1,78 @@
+//! Evaluation configuration: the worker-thread budget shared by round
+//! execution ([`crate::engine`]) and answer enumeration
+//! ([`crate::enumerate`]).
+//!
+//! Determinism contract: the thread count never changes what is computed.
+//! Round work lists are built in a fixed (plan, step, shard) order, every
+//! worker derives into a local sink, and sinks are merged at the round
+//! barrier in work-item order — so answer relations *and*
+//! [`crate::EvalStats`] are identical for any `threads` value.
+
+use std::num::NonZeroUsize;
+
+/// Environment variable consulted when [`EvalConfig::threads`] is `0`
+/// (auto). CI uses it to run the whole test suite under a fixed thread
+/// count.
+pub const THREADS_ENV_VAR: &str = "IDLOG_THREADS";
+
+/// Knobs for one evaluation or enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalConfig {
+    /// Worker threads for fixpoint rounds and enumeration fan-out.
+    ///
+    /// `0` means *auto*: the `IDLOG_THREADS` environment variable when set
+    /// to a positive integer, otherwise
+    /// [`std::thread::available_parallelism`].
+    pub threads: usize,
+}
+
+impl EvalConfig {
+    /// Single-threaded evaluation (exactly the pre-parallel behavior).
+    pub const fn serial() -> Self {
+        EvalConfig { threads: 1 }
+    }
+
+    /// A fixed thread count (`0` = auto).
+    pub const fn with_threads(threads: usize) -> Self {
+        EvalConfig { threads }
+    }
+
+    /// Resolve the configured thread count to a concrete positive number.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Ok(raw) = std::env::var(THREADS_ENV_VAR) {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+    }
+}
+
+impl Default for EvalConfig {
+    /// Auto thread count (env var, then hardware).
+    fn default() -> Self {
+        EvalConfig { threads: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_threads_win() {
+        assert_eq!(EvalConfig::serial().effective_threads(), 1);
+        assert_eq!(EvalConfig::with_threads(6).effective_threads(), 6);
+    }
+
+    #[test]
+    fn auto_is_positive() {
+        // Whatever the host/env says, the resolved count is usable.
+        assert!(EvalConfig::default().effective_threads() >= 1);
+    }
+}

@@ -5,6 +5,16 @@
 //! stratum is evaluated by running every rule once in full, then iterating
 //! delta variants — each positive same-stratum atom step replayed against the
 //! newly derived tuples — until no new facts appear.
+//!
+//! Rounds execute shared-nothing parallel: the work list (one item per rule
+//! in round 0; one item per (plan, delta step, delta shard) afterwards) is
+//! built in a deterministic order, fanned out over a [`std::thread::scope`]
+//! pool against the read-only state (indexes are built *before* the round,
+//! so a round is pure reads), and each worker's local `out` sink and local
+//! [`EvalStats`] are merged at the round barrier **in work-item order**.
+//! Delta shards are a function of the delta size only — never of the thread
+//! count — so answer relations and statistics are identical for any
+//! `threads` value.
 
 use idlog_common::{FxHashMap, FxHashSet, SymbolId, Tuple, Value};
 use idlog_parser::Builtin;
@@ -66,17 +76,19 @@ impl EvalState {
     }
 
     /// Insert one tuple, returning whether it is new. The relation must
-    /// already be installed.
-    fn insert(&mut self, pred: SymbolId, t: Tuple) -> bool {
+    /// already be installed. The duplicate path clones nothing — the tuple
+    /// is only copied once it is known to be new.
+    fn insert(&mut self, pred: SymbolId, t: &Tuple) -> bool {
         let stored = self
             .rels
             .get_mut(&PredKey::Ordinary(pred))
             .expect("IDB relation installed before evaluation");
-        let added = stored.rel.insert_unchecked(t);
-        if added {
-            stored.version += 1;
+        if stored.rel.contains(t) {
+            return false;
         }
-        added
+        stored.rel.insert_unchecked(t.clone());
+        stored.version += 1;
+        true
     }
 
     /// Build (or refresh) every index the given plans will probe.
@@ -119,6 +131,121 @@ impl EvalState {
     }
 }
 
+/// One unit of round work: a rule plan, optionally restricted to replaying
+/// one atom step against a shard of the round's delta.
+struct WorkItem<'a> {
+    plan: &'a RulePlan,
+    delta: Option<(usize, &'a [Tuple])>,
+}
+
+/// Upper bound on shards per (plan, step, predicate) delta. A small constant:
+/// enough slack for an 8-way host, while keeping the per-round item count —
+/// and therefore the merge cost — bounded.
+const MAX_DELTA_SHARDS: usize = 8;
+
+/// A delta is not split below this many tuples per shard; sharding a tiny
+/// delta only buys scheduling overhead.
+const SHARD_MIN_TUPLES: usize = 64;
+
+/// Estimated round work (in delta tuples) below which the round runs on the
+/// calling thread. Thread-count-independent, so it only affects scheduling,
+/// never results.
+const PARALLEL_MIN_WORK: usize = 256;
+
+/// Number of shards for a delta of `n` tuples.
+///
+/// Deliberately a function of `n` **only**: when the delta step is not the
+/// plan's first step, the steps before it re-run once per shard, so
+/// `EvalStats.probes` depends on the shard count. Deriving it from the
+/// thread count would make statistics vary across `--threads` values.
+fn shard_count(n: usize) -> usize {
+    (n / SHARD_MIN_TUPLES).clamp(1, MAX_DELTA_SHARDS)
+}
+
+/// Execute one round's work items, serially or over a scoped thread pool,
+/// returning the concatenated derivations **in work-item order**. The merged
+/// `out` and the statistics are identical for every `threads` value.
+fn run_round(
+    state: &EvalState,
+    items: &[WorkItem<'_>],
+    threads: usize,
+    stats: &mut EvalStats,
+) -> CoreResult<Vec<(SymbolId, Tuple)>> {
+    // Estimate the round's work to skip thread spawn for tiny rounds. Full
+    // (round 0) items count as heavy; the estimate uses no thread-dependent
+    // input, so the serial/parallel decision is the same for a given round
+    // regardless of `threads` — and either path computes the same result.
+    let est: usize = items
+        .iter()
+        .map(|it| it.delta.map_or(PARALLEL_MIN_WORK, |(_, d)| d.len()))
+        .sum();
+    if threads <= 1 || items.len() <= 1 || est < PARALLEL_MIN_WORK {
+        let mut out: Vec<(SymbolId, Tuple)> = Vec::new();
+        for item in items {
+            run_rule(state, item.plan, item.delta, &mut out, stats)?;
+        }
+        return Ok(out);
+    }
+
+    type Slot = Option<CoreResult<(Vec<(SymbolId, Tuple)>, EvalStats)>>;
+    let mut slots: Vec<Slot> = items.iter().map(|_| None).collect();
+    let chunk = items.len().div_ceil(threads.min(items.len()));
+    std::thread::scope(|scope| {
+        for (item_chunk, slot_chunk) in items.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (item, slot) in item_chunk.iter().zip(slot_chunk.iter_mut()) {
+                    let mut out: Vec<(SymbolId, Tuple)> = Vec::new();
+                    let mut local = EvalStats::default();
+                    let res = run_rule(state, item.plan, item.delta, &mut out, &mut local);
+                    *slot = Some(res.map(|()| (out, local)));
+                }
+            });
+        }
+    });
+
+    let mut merged: Vec<(SymbolId, Tuple)> = Vec::new();
+    for slot in slots {
+        let (out, local) = slot.expect("scope joined every worker")?;
+        merged.extend(out);
+        *stats += local;
+    }
+    Ok(merged)
+}
+
+/// Build the delta round's work list in deterministic (plan, step, shard)
+/// order. Only positive ordinary atom steps on same-stratum predicates with
+/// a non-empty delta contribute items.
+fn delta_work_list<'a>(
+    plans: &[&'a RulePlan],
+    same_stratum: &FxHashSet<SymbolId>,
+    delta: &'a FxHashMap<SymbolId, Vec<Tuple>>,
+) -> Vec<WorkItem<'a>> {
+    let mut items: Vec<WorkItem<'a>> = Vec::new();
+    for plan in plans {
+        for (si, step) in plan.steps.iter().enumerate() {
+            let Step::Atom(astep) = step else { continue };
+            let PredKey::Ordinary(pred) = &astep.key else {
+                continue;
+            };
+            if !same_stratum.contains(pred) {
+                continue;
+            }
+            let Some(d) = delta.get(pred) else { continue };
+            if d.is_empty() {
+                continue;
+            }
+            let per_shard = d.len().div_ceil(shard_count(d.len()));
+            for shard in d.chunks(per_shard) {
+                items.push(WorkItem {
+                    plan,
+                    delta: Some((si, shard)),
+                });
+            }
+        }
+    }
+    items
+}
+
 /// Evaluate one stratum to fixpoint **naively**: every round re-runs every
 /// rule in full until nothing new is derived. Exists as the ablation
 /// baseline for the semi-naive strategy ([`eval_stratum`]); results are
@@ -127,13 +254,18 @@ pub fn eval_stratum_naive(
     state: &mut EvalState,
     plans: &[&RulePlan],
     stats: &mut EvalStats,
+    threads: usize,
 ) -> CoreResult<()> {
     loop {
         state.ensure_indexes(plans);
-        let mut out: Vec<(SymbolId, Tuple)> = Vec::new();
-        for plan in plans {
-            run_rule(state, plan, None, &mut out, stats)?;
-        }
+        let items: Vec<WorkItem> = plans
+            .iter()
+            .map(|p| WorkItem {
+                plan: p,
+                delta: None,
+            })
+            .collect();
+        let out = run_round(state, &items, threads, stats)?;
         let delta = absorb(state, out, stats);
         stats.iterations += 1;
         if delta.is_empty() {
@@ -146,76 +278,66 @@ pub fn eval_stratum_naive(
 ///
 /// `plans` are the rules whose head is in this stratum; `same_stratum` is the
 /// set of head predicates of the stratum (used to pick delta steps). Head
-/// relations must already be installed in `state`.
+/// relations must already be installed in `state`. `threads` bounds the
+/// round's worker pool; results and statistics do not depend on it.
 pub fn eval_stratum(
     state: &mut EvalState,
     plans: &[&RulePlan],
     same_stratum: &FxHashSet<SymbolId>,
     stats: &mut EvalStats,
+    threads: usize,
 ) -> CoreResult<()> {
     // Round 0: full evaluation of every rule.
     state.ensure_indexes(plans);
-    let mut out: Vec<(SymbolId, Tuple)> = Vec::new();
-    for plan in plans {
-        run_rule(state, plan, None, &mut out, stats)?;
-    }
+    let full: Vec<WorkItem> = plans
+        .iter()
+        .map(|p| WorkItem {
+            plan: p,
+            delta: None,
+        })
+        .collect();
+    let out = run_round(state, &full, threads, stats)?;
     let mut delta = absorb(state, out, stats);
     stats.iterations += 1;
 
     // Delta rounds.
     while !delta.is_empty() {
         state.ensure_indexes(plans);
-        let mut out: Vec<(SymbolId, Tuple)> = Vec::new();
-        for plan in plans {
-            for pred in same_stratum {
-                let Some(drel) = delta.get(pred) else {
-                    continue;
-                };
-                if drel.is_empty() {
-                    continue;
-                }
-                for si in plan.atom_steps_on(*pred) {
-                    run_rule(state, plan, Some((si, drel)), &mut out, stats)?;
-                }
-            }
-        }
+        let items = delta_work_list(plans, same_stratum, &delta);
+        let out = run_round(state, &items, threads, stats)?;
         delta = absorb(state, out, stats);
         stats.iterations += 1;
     }
     Ok(())
 }
 
-/// Insert derived tuples; return the per-predicate delta of new facts.
+/// Insert derived tuples; return the per-predicate delta of new facts, in
+/// derivation order. Duplicates cost one set lookup and no allocation; the
+/// delta holds the already-owned tuple, so a new fact is cloned exactly once
+/// (into the stored relation).
 fn absorb(
     state: &mut EvalState,
     out: Vec<(SymbolId, Tuple)>,
     stats: &mut EvalStats,
-) -> FxHashMap<SymbolId, Relation> {
-    let mut delta: FxHashMap<SymbolId, Relation> = FxHashMap::default();
+) -> FxHashMap<SymbolId, Vec<Tuple>> {
+    let mut delta: FxHashMap<SymbolId, Vec<Tuple>> = FxHashMap::default();
     for (pred, t) in out {
         stats.derived += 1;
-        if state.insert(pred, t.clone()) {
+        if state.insert(pred, &t) {
             stats.inserted += 1;
-            let rtype = state
-                .get(&PredKey::Ordinary(pred))
-                .expect("just inserted")
-                .rtype()
-                .clone();
-            delta
-                .entry(pred)
-                .or_insert_with(|| Relation::new(rtype))
-                .insert_unchecked(t);
+            delta.entry(pred).or_default().push(t);
         }
     }
     delta
 }
 
 /// Execute one rule, optionally replaying step `delta.0` against the delta
-/// relation `delta.1` instead of the stored relation.
+/// tuples `delta.1` (a slice so callers can shard) instead of the stored
+/// relation.
 pub fn run_rule(
     state: &EvalState,
     plan: &RulePlan,
-    delta: Option<(usize, &Relation)>,
+    delta: Option<(usize, &[Tuple])>,
     out: &mut Vec<(SymbolId, Tuple)>,
     stats: &mut EvalStats,
 ) -> CoreResult<()> {
@@ -234,7 +356,7 @@ fn exec(
     state: &EvalState,
     plan: &RulePlan,
     si: usize,
-    delta: Option<(usize, &Relation)>,
+    delta: Option<(usize, &[Tuple])>,
     bindings: &mut Vec<Option<Value>>,
     out: &mut Vec<(SymbolId, Tuple)>,
     stats: &mut EvalStats,
@@ -249,9 +371,9 @@ fn exec(
         Step::Atom(astep) => {
             let is_delta_step = delta.is_some_and(|(di, _)| di == si);
             if is_delta_step {
-                let (_, drel) = delta.expect("delta step implies delta");
-                // Scan the (small) delta, re-checking probe positions.
-                for t in drel.iter() {
+                let (_, dtuples) = delta.expect("delta step implies delta");
+                // Scan the (small) delta shard, re-checking probe positions.
+                for t in dtuples {
                     stats.probes += 1;
                     try_tuple(state, plan, si, astep, t, true, delta, bindings, out, stats)?;
                 }
@@ -314,7 +436,7 @@ fn try_tuple(
     astep: &AtomStep,
     t: &Tuple,
     verify_probe: bool,
-    delta: Option<(usize, &Relation)>,
+    delta: Option<(usize, &[Tuple])>,
     bindings: &mut Vec<Option<Value>>,
     out: &mut Vec<(SymbolId, Tuple)>,
     stats: &mut EvalStats,
@@ -350,7 +472,7 @@ fn exec_builtin(
     op: Builtin,
     args: &[TermPat],
     bound: &[bool],
-    delta: Option<(usize, &Relation)>,
+    delta: Option<(usize, &[Tuple])>,
     bindings: &mut Vec<Option<Value>>,
     out: &mut Vec<(SymbolId, Tuple)>,
     stats: &mut EvalStats,

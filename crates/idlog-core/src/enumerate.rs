@@ -17,6 +17,7 @@ use idlog_storage::{
     make_id_relation, BoundedAssignmentIter, Database, IdAssignmentIter, Relation,
 };
 
+use crate::config::EvalConfig;
 use crate::engine::{eval_stratum, EvalState};
 use crate::error::{CoreError, CoreResult};
 use crate::eval;
@@ -176,7 +177,7 @@ pub fn enumerate_answers(
     output: &str,
     budget: &EnumBudget,
 ) -> CoreResult<AnswerSet> {
-    enumerate_impl(program, db, output, budget, false)
+    enumerate_impl(program, db, output, budget, &EvalConfig::serial())
 }
 
 /// Enumerate every answer, distributing the first choice point's branches
@@ -187,7 +188,20 @@ pub fn enumerate_answers_parallel(
     output: &str,
     budget: &EnumBudget,
 ) -> CoreResult<AnswerSet> {
-    enumerate_impl(program, db, output, budget, true)
+    enumerate_impl(program, db, output, budget, &EvalConfig::default())
+}
+
+/// Enumerate every answer under an explicit [`EvalConfig`]: the configured
+/// thread budget drives the first choice point's fan-out, and whatever is
+/// not consumed by branching parallelizes the per-branch fixpoint rounds.
+pub fn enumerate_answers_with(
+    program: &ValidatedProgram,
+    db: &Database,
+    output: &str,
+    budget: &EnumBudget,
+    config: &EvalConfig,
+) -> CoreResult<AnswerSet> {
+    enumerate_impl(program, db, output, budget, config)
 }
 
 struct Shared {
@@ -211,7 +225,7 @@ fn enumerate_impl(
     db: &Database,
     output: &str,
     budget: &EnumBudget,
-    parallel: bool,
+    config: &EvalConfig,
 ) -> CoreResult<AnswerSet> {
     let interner = Arc::clone(program.interner());
     let output_id = interner.get(output).ok_or_else(|| CoreError::Validation {
@@ -269,8 +283,11 @@ fn enumerate_impl(
         shared: &shared,
         bounds: &bounds,
     };
+    // Cap the fan-out: beyond a small pool the branch chunks stop amortizing
+    // the per-branch state clone.
+    let threads = config.effective_threads().min(16);
     let mut local = Local::default();
-    explore(&cx, 0, state, parallel, &mut local)?;
+    explore(&cx, 0, state, threads, &mut local)?;
 
     // `Local` already deduplicates within one worker; parallel workers merge
     // their sinks in `branch`, so at this point `local` holds everything.
@@ -301,7 +318,7 @@ fn explore(
     cx: &Cx<'_>,
     k: usize,
     state: EvalState,
-    parallel: bool,
+    threads: usize,
     local: &mut Local,
 ) -> CoreResult<()> {
     if k == cx.stratum_plans.len() {
@@ -341,7 +358,7 @@ fn explore(
     // Deterministic branch order.
     needed.sort_by_key(|(_, base, grouping)| (cx.interner.resolve(*base), grouping.clone()));
 
-    branch(cx, k, state, parallel, &needed, 0, local)
+    branch(cx, k, state, threads, &needed, 0, local)
 }
 
 /// Branch over assignments of `needed[i..]`, then evaluate stratum `k` and
@@ -351,7 +368,7 @@ fn branch(
     cx: &Cx<'_>,
     k: usize,
     state: EvalState,
-    parallel: bool,
+    threads: usize,
     needed: &[(PredKey, SymbolId, Vec<usize>)],
     i: usize,
     local: &mut Local,
@@ -363,8 +380,9 @@ fn branch(
         let mut state = state;
         let same: FxHashSet<SymbolId> = cx.stratum_plans[k].iter().map(|p| p.head_pred).collect();
         let mut stats = EvalStats::default();
-        eval_stratum(&mut state, &cx.stratum_plans[k], &same, &mut stats)?;
-        return explore(cx, k + 1, state, parallel, local);
+        // Threads not consumed by branch fan-out parallelize the rounds.
+        eval_stratum(&mut state, &cx.stratum_plans[k], &same, &mut stats, threads)?;
+        return explore(cx, k + 1, state, threads, local);
     }
 
     let (key, base, grouping) = &needed[i];
@@ -383,16 +401,13 @@ fn branch(
         None => IdAssignmentIter::new(&base_rel, grouping, cx.interner).collect(),
     };
 
-    let workers = std::thread::available_parallelism()
-        .map_or(1, |n| n.get())
-        .min(16);
-    if parallel && workers > 1 && assignments.len() > 1 {
+    if threads > 1 && assignments.len() > 1 {
         // Distribute the first choice point's branches over a bounded pool:
         // one thread per chunk, each walking its share sequentially into its
-        // own local sink (no cross-thread locking on the leaf path). On a
-        // single-core host this path is skipped — threads would only add
-        // overhead.
-        let chunk_len = assignments.len().div_ceil(workers);
+        // own local sink (no cross-thread locking on the leaf path). With a
+        // single-thread budget (e.g. a single-core host under auto config)
+        // this path is skipped — threads would only add overhead.
+        let chunk_len = assignments.len().div_ceil(threads);
         let results: Vec<CoreResult<Local>> = std::thread::scope(|scope| {
             let handles: Vec<_> = assignments
                 .chunks(chunk_len)
@@ -410,7 +425,7 @@ fn branch(
                             branch_state
                                 .put((*key).clone(), make_id_relation(base_rel, assignment));
                             // Only one level of parallelism.
-                            branch(cx, k, branch_state, false, needed, i + 1, &mut mine)?;
+                            branch(cx, k, branch_state, 1, needed, i + 1, &mut mine)?;
                         }
                         Ok(mine)
                     })
@@ -439,7 +454,7 @@ fn branch(
         }
         let mut branch_state = state.clone();
         branch_state.put(key.clone(), make_id_relation(&base_rel, assignment));
-        branch(cx, k, branch_state, parallel, needed, i + 1, local)?;
+        branch(cx, k, branch_state, threads, needed, i + 1, local)?;
     }
     Ok(())
 }

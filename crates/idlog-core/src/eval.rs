@@ -11,6 +11,7 @@ use std::sync::Arc;
 use idlog_common::{FxHashMap, FxHashSet, Interner, SymbolId};
 use idlog_storage::{make_id_relation, Database, Relation};
 
+use crate::config::EvalConfig;
 use crate::engine::{eval_stratum, eval_stratum_naive, EvalState};
 use crate::error::{CoreError, CoreResult};
 use crate::plan::RulePlan;
@@ -75,7 +76,13 @@ pub fn evaluate(
     db: &Database,
     oracle: &mut dyn TidOracle,
 ) -> CoreResult<EvalOutput> {
-    evaluate_with_strategy(program, db, oracle, Strategy::SemiNaive)
+    evaluate_with_config(
+        program,
+        db,
+        oracle,
+        Strategy::SemiNaive,
+        &EvalConfig::default(),
+    )
 }
 
 /// [`evaluate`] with an explicit fixpoint [`Strategy`].
@@ -84,6 +91,19 @@ pub fn evaluate_with_strategy(
     db: &Database,
     oracle: &mut dyn TidOracle,
     strategy: Strategy,
+) -> CoreResult<EvalOutput> {
+    evaluate_with_config(program, db, oracle, strategy, &EvalConfig::default())
+}
+
+/// [`evaluate`] with an explicit [`Strategy`] and [`EvalConfig`]. The thread
+/// count never changes the computed relations or statistics — rounds merge
+/// worker output in deterministic work-item order.
+pub fn evaluate_with_config(
+    program: &ValidatedProgram,
+    db: &Database,
+    oracle: &mut dyn TidOracle,
+    strategy: Strategy,
+    config: &EvalConfig,
 ) -> CoreResult<EvalOutput> {
     let interner = Arc::clone(program.interner());
     if !Arc::ptr_eq(&interner, db.interner()) {
@@ -102,6 +122,7 @@ pub fn evaluate_with_strategy(
     install_inputs(program, db, &mut state)?;
     install_idb(program, &refine_sorts(program, db)?, db, &mut state)?;
 
+    let threads = config.effective_threads();
     let by_stratum = strat.clauses_by_stratum(program.ast());
     for stratum_clauses in &by_stratum {
         let stratum_plans: Vec<&RulePlan> = stratum_clauses.iter().map(|&ci| &plans[ci]).collect();
@@ -110,10 +131,16 @@ pub fn evaluate_with_strategy(
             Strategy::SemiNaive => {
                 let same_stratum: FxHashSet<SymbolId> =
                     stratum_plans.iter().map(|p| p.head_pred).collect();
-                eval_stratum(&mut state, &stratum_plans, &same_stratum, &mut stats)?;
+                eval_stratum(
+                    &mut state,
+                    &stratum_plans,
+                    &same_stratum,
+                    &mut stats,
+                    threads,
+                )?;
             }
             Strategy::Naive => {
-                eval_stratum_naive(&mut state, &stratum_plans, &mut stats)?;
+                eval_stratum_naive(&mut state, &stratum_plans, &mut stats, threads)?;
             }
         }
     }
@@ -249,6 +276,11 @@ fn install_idb(
 
 /// Materialize every ID-relation the given plans read that is not yet
 /// present. Lower strata are complete, so the base relations are final.
+///
+/// The oracle is consulted in sorted (base name, grouping) order. Iterating
+/// the collection map directly would consult it in hash order — fine for
+/// [`crate::tid::CanonicalOracle`], but any oracle with call-order-dependent
+/// state would then produce different perfect models run-to-run.
 fn materialize_id_relations(
     plans: &[&RulePlan],
     state: &mut EvalState,
@@ -268,6 +300,8 @@ fn materialize_id_relations(
             }
         }
     }
+    let mut needed: Vec<(PredKey, (SymbolId, Vec<usize>))> = needed.into_iter().collect();
+    needed.sort_by_key(|(_, (base, grouping))| (interner.resolve(*base), grouping.clone()));
     for (key, (base, grouping)) in needed {
         let rel = state
             .get(&PredKey::Ordinary(base))

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod builtins;
+pub mod config;
 pub mod engine;
 pub mod enumerate;
 pub mod error;
@@ -45,9 +46,10 @@ pub mod stratify;
 pub mod tid;
 pub mod tidbound;
 
+pub use config::EvalConfig;
 pub use enumerate::{AnswerSet, EnumBudget};
 pub use error::{CoreError, CoreResult};
-pub use eval::{evaluate, evaluate_with_strategy, EvalOutput, Strategy};
+pub use eval::{evaluate, evaluate_with_config, evaluate_with_strategy, EvalOutput, Strategy};
 pub use explain::explain;
 pub use facts::load_facts;
 pub use modelcheck::{verify_model, ModelViolation};

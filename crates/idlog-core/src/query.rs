@@ -29,9 +29,12 @@ use std::sync::Arc;
 use idlog_common::Interner;
 use idlog_storage::{Database, Relation};
 
-use crate::enumerate::{enumerate_answers, enumerate_answers_parallel, AnswerSet, EnumBudget};
+use crate::config::EvalConfig;
+use crate::enumerate::{
+    enumerate_answers, enumerate_answers_parallel, enumerate_answers_with, AnswerSet, EnumBudget,
+};
 use crate::error::{CoreError, CoreResult};
-use crate::eval::evaluate;
+use crate::eval::{evaluate_with_config, Strategy};
 use crate::program::ValidatedProgram;
 use crate::stats::EvalStats;
 use crate::tid::TidOracle;
@@ -121,6 +124,18 @@ impl Query {
         db: &Database,
         oracle: &mut dyn TidOracle,
     ) -> CoreResult<(Relation, EvalStats)> {
+        self.eval_configured(db, oracle, &EvalConfig::default())
+    }
+
+    /// Like [`Query::eval_with_stats`] with an explicit [`EvalConfig`]
+    /// (thread count). Relations and statistics do not depend on the
+    /// configured thread count.
+    pub fn eval_configured(
+        &self,
+        db: &Database,
+        oracle: &mut dyn TidOracle,
+        config: &EvalConfig,
+    ) -> CoreResult<(Relation, EvalStats)> {
         // An output with no defining clause is an input predicate: the
         // identity query over the stored relation.
         let output_id = self
@@ -136,7 +151,7 @@ impl Query {
                 .unwrap_or_else(|| Relation::elementary(arity));
             return Ok((rel, EvalStats::default()));
         }
-        let out = evaluate(&self.related, db, oracle)?;
+        let out = evaluate_with_config(&self.related, db, oracle, Strategy::SemiNaive, config)?;
         let rel = out
             .relation(&self.output)
             .cloned()
@@ -161,6 +176,20 @@ impl Query {
         match self.edb_answer(db) {
             Some(answers) => Ok(answers),
             None => enumerate_answers_parallel(&self.related, db, &self.output, budget),
+        }
+    }
+
+    /// Every answer under an explicit [`EvalConfig`] (thread count for the
+    /// choice-point fan-out and per-branch rounds).
+    pub fn all_answers_configured(
+        &self,
+        db: &Database,
+        budget: &EnumBudget,
+        config: &EvalConfig,
+    ) -> CoreResult<AnswerSet> {
+        match self.edb_answer(db) {
+            Some(answers) => Ok(answers),
+            None => enumerate_answers_with(&self.related, db, &self.output, budget, config),
         }
     }
 

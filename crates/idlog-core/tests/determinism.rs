@@ -1,0 +1,254 @@
+//! Reproducibility suite.
+//!
+//! The engine promises bit-for-bit reproducibility along two axes:
+//!
+//! 1. **Run-to-run**: the same program, database, and oracle produce the
+//!    same relations and the same [`EvalStats`] every time — the oracle is
+//!    consulted in sorted (name, grouping) order and delta rounds execute a
+//!    deterministic (plan, step) work list.
+//! 2. **Across thread counts**: `EvalConfig { threads }` changes scheduling
+//!    only. Work items merge at the round barrier in work-item order, so
+//!    relations *and* statistics are identical for any thread count.
+
+use std::sync::Arc;
+
+use idlog_core::tid::TidOracle;
+use idlog_core::{
+    enumerate::enumerate_answers_with, evaluate, evaluate_with_config, CanonicalOracle, EnumBudget,
+    EvalConfig, EvalOutput, Interner, SeededOracle, Strategy, ValidatedProgram,
+};
+use idlog_storage::{make_id_relation, Database};
+
+fn setup(src: &str, facts: &[(&str, &[&str])]) -> (ValidatedProgram, Database) {
+    let interner = Arc::new(Interner::new());
+    let program = ValidatedProgram::parse(src, Arc::clone(&interner)).unwrap();
+    let mut db = Database::with_interner(interner);
+    for (pred, cols) in facts {
+        db.insert_syms(pred, cols).unwrap();
+    }
+    (program, db)
+}
+
+/// A two-layer tree: root → 16 middle nodes → 16 leaves each. Transitive
+/// closure runs few rounds, but the deltas (272, then 256 tuples) are large
+/// enough to cross the engine's parallel-round threshold and shard.
+fn two_layer_tree() -> (ValidatedProgram, Database) {
+    let interner = Arc::new(Interner::new());
+    let program = ValidatedProgram::parse(
+        "tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+        Arc::clone(&interner),
+    )
+    .unwrap();
+    let mut db = Database::with_interner(interner);
+    for m in 0..16 {
+        db.insert_syms("e", &["root", &format!("m{m}")]).unwrap();
+        for l in 0..16 {
+            db.insert_syms("e", &[&format!("m{m}"), &format!("l{m}_{l}")])
+                .unwrap();
+        }
+    }
+    (program, db)
+}
+
+fn assert_same_output(a: &EvalOutput, b: &EvalOutput, rels: &[&str], what: &str) {
+    assert_eq!(a.stats(), b.stats(), "stats differ: {what}");
+    for name in rels {
+        match (a.relation(name), b.relation(name)) {
+            (Some(x), Some(y)) => assert!(x.set_eq(y), "relation {name} differs: {what}"),
+            (None, None) => {}
+            _ => panic!("presence of {name} differs: {what}"),
+        }
+    }
+}
+
+/// A stratum that reads several ID-relations: before the ordering fix the
+/// oracle was consulted in hash order, so any call-order-sensitive oracle
+/// produced different perfect models run-to-run.
+const MULTI_ID_SRC: &str = "
+    first_a(X, T) :- a[1](X, Y, T).
+    first_b(X, T) :- b[1](X, Y, T).
+    first_c(X, T) :- c[1](X, Y, T).
+    agree(X) :- first_a(X, T), first_b(X, T), first_c(X, T).
+";
+
+const MULTI_ID_FACTS: &[(&str, &[&str])] = &[
+    ("a", &["p", "u"]),
+    ("a", &["p", "v"]),
+    ("a", &["q", "u"]),
+    ("b", &["p", "u"]),
+    ("b", &["p", "w"]),
+    ("b", &["q", "u"]),
+    ("c", &["p", "u"]),
+    ("c", &["p", "v"]),
+    ("c", &["q", "w"]),
+];
+
+#[test]
+fn seeded_runs_are_reproducible() {
+    for seed in [0u64, 7, 0xDEAD_BEEF] {
+        let (program, db) = setup(MULTI_ID_SRC, MULTI_ID_FACTS);
+        let once = evaluate(&program, &db, &mut SeededOracle::new(seed)).unwrap();
+        let (program2, db2) = setup(MULTI_ID_SRC, MULTI_ID_FACTS);
+        let twice = evaluate(&program2, &db2, &mut SeededOracle::new(seed)).unwrap();
+        // Fresh interners on both sides: reproducibility may not lean on
+        // interning order, only on names.
+        let render = |out: &EvalOutput, rel: &str| -> Vec<String> {
+            out.relation(rel)
+                .map(|r| {
+                    r.sorted_canonical(out.interner())
+                        .iter()
+                        .map(|t| t.display(out.interner()).to_string())
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        for rel in ["first_a", "first_b", "first_c", "agree"] {
+            assert_eq!(
+                render(&once, rel),
+                render(&twice, rel),
+                "seed {seed}: relation {rel} not reproducible"
+            );
+        }
+        assert_eq!(once.stats(), twice.stats(), "seed {seed}: stats differ");
+    }
+}
+
+#[test]
+fn seeded_oracle_is_call_order_independent() {
+    let (_, db) = setup(MULTI_ID_SRC, MULTI_ID_FACTS);
+    let interner = Arc::clone(db.interner());
+    let a = db.relation("a").unwrap();
+    let b = db.relation("b").unwrap();
+    let sym_a = interner.get("a").unwrap();
+    let sym_b = interner.get("b").unwrap();
+
+    // Consult a then b…
+    let mut o1 = SeededOracle::new(42);
+    let a_first = o1.assign(sym_a, &[0], a, &interner);
+    let b_second = o1.assign(sym_b, &[0], b, &interner);
+    // …and b then a: per-(seed, name, grouping) streams must not shift.
+    let mut o2 = SeededOracle::new(42);
+    let b_first = o2.assign(sym_b, &[0], b, &interner);
+    let a_second = o2.assign(sym_a, &[0], a, &interner);
+
+    assert!(
+        make_id_relation(a, &a_first).set_eq(&make_id_relation(a, &a_second)),
+        "assignment for `a` depends on consultation order"
+    );
+    assert!(
+        make_id_relation(b, &b_first).set_eq(&make_id_relation(b, &b_second)),
+        "assignment for `b` depends on consultation order"
+    );
+}
+
+#[test]
+fn thread_count_changes_nothing_on_recursion() {
+    // Deltas of 272 and 256 tuples exceed the parallel-round threshold, so
+    // the scoped-pool path really runs (sharded) at 2 and 8 threads.
+    let (program, db) = two_layer_tree();
+    let baseline = evaluate_with_config(
+        &program,
+        &db,
+        &mut CanonicalOracle,
+        Strategy::SemiNaive,
+        &EvalConfig::serial(),
+    )
+    .unwrap();
+    // 272 edges + 256 root→leaf paths.
+    assert_eq!(
+        baseline.relation("tc").unwrap().len(),
+        528,
+        "fixture sanity"
+    );
+    for threads in [2usize, 8] {
+        let par = evaluate_with_config(
+            &program,
+            &db,
+            &mut CanonicalOracle,
+            Strategy::SemiNaive,
+            &EvalConfig::with_threads(threads),
+        )
+        .unwrap();
+        assert_same_output(&baseline, &par, &["tc"], &format!("{threads} threads"));
+    }
+}
+
+#[test]
+fn thread_count_changes_nothing_on_multi_rule_strata() {
+    // Several rules per stratum + negation + ID-literals: round 0 fans out
+    // across plans, delta rounds across (plan, step) items.
+    let src = "
+        reach(X) :- start(X).
+        reach(Y) :- reach(X), e(X, Y).
+        alt(Y) :- start(Y).
+        alt(Y) :- alt(X), e(X, Y).
+        dead(X) :- node(X), not reach(X).
+        pick(X) :- node[](X, 0).
+    ";
+    let facts: &[(&str, &[&str])] = &[
+        ("start", &["a"]),
+        ("node", &["a"]),
+        ("node", &["b"]),
+        ("node", &["c"]),
+        ("node", &["d"]),
+        ("e", &["a", "b"]),
+        ("e", &["b", "c"]),
+        ("e", &["c", "a"]),
+    ];
+    let rels = ["reach", "alt", "dead", "pick"];
+    for strategy in [Strategy::SemiNaive, Strategy::Naive] {
+        let (program, db) = setup(src, facts);
+        let baseline = evaluate_with_config(
+            &program,
+            &db,
+            &mut SeededOracle::new(3),
+            strategy,
+            &EvalConfig::serial(),
+        )
+        .unwrap();
+        for threads in [2usize, 8] {
+            let par = evaluate_with_config(
+                &program,
+                &db,
+                &mut SeededOracle::new(3),
+                strategy,
+                &EvalConfig::with_threads(threads),
+            )
+            .unwrap();
+            assert_same_output(
+                &baseline,
+                &par,
+                &rels,
+                &format!("{threads} threads, {strategy:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn enumeration_is_identical_across_thread_counts() {
+    let (program, db) = setup(
+        "sex_guess(X, male) :- person(X).
+         sex_guess(X, female) :- person(X).
+         man(X) :- sex_guess[1](X, male, 1).",
+        &[("person", &["a"]), ("person", &["b"]), ("person", &["c"])],
+    );
+    let budget = EnumBudget::default();
+    let serial =
+        enumerate_answers_with(&program, &db, "man", &budget, &EvalConfig::serial()).unwrap();
+    for threads in [2usize, 8] {
+        let par = enumerate_answers_with(
+            &program,
+            &db,
+            "man",
+            &budget,
+            &EvalConfig::with_threads(threads),
+        )
+        .unwrap();
+        assert!(
+            serial.same_answers(&par, program.interner()),
+            "answer set differs at {threads} threads"
+        );
+        assert_eq!(serial.models_explored(), par.models_explored());
+    }
+}

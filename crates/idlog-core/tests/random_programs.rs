@@ -15,8 +15,9 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use idlog_core::{
-    enumerate::enumerate_answers, evaluate, evaluate_with_strategy, verify_model, CanonicalOracle,
-    EnumBudget, Interner, SeededOracle, Strategy as EvalStrategy, ValidatedProgram,
+    enumerate::enumerate_answers, evaluate, evaluate_with_config, evaluate_with_strategy,
+    verify_model, CanonicalOracle, EnumBudget, EvalConfig, Interner, SeededOracle,
+    Strategy as EvalStrategy, ValidatedProgram,
 };
 use idlog_storage::Database;
 
@@ -244,6 +245,42 @@ proptest! {
                     (Some(a), Some(b)) => prop_assert!(a.set_eq(b), "strategy mismatch on {name}"),
                     (None, None) => {}
                     _ => prop_assert!(false, "presence mismatch on {name}"),
+                }
+            }
+        }
+    }
+
+    /// Parallel and serial evaluation agree — relations *and* statistics —
+    /// on random stratified programs, for both fixpoint strategies.
+    #[test]
+    fn parallel_and_serial_evaluation_agree(spec in arb_program(), seed in any::<u64>()) {
+        let (program, db) = build(&spec);
+        for strategy in [EvalStrategy::SemiNaive, EvalStrategy::Naive] {
+            let serial = evaluate_with_config(
+                &program, &db, &mut SeededOracle::new(seed), strategy, &EvalConfig::serial(),
+            ).unwrap();
+            for threads in [2usize, 8] {
+                let par = evaluate_with_config(
+                    &program, &db, &mut SeededOracle::new(seed), strategy,
+                    &EvalConfig::with_threads(threads),
+                ).unwrap();
+                prop_assert_eq!(
+                    serial.stats(), par.stats(),
+                    "stats differ at {} threads ({:?})\n{}", threads, strategy, render(&spec)
+                );
+                for level in 1..=2usize {
+                    for pred in 0..2 {
+                        let name = pred_name(level, pred);
+                        match (serial.relation(&name), par.relation(&name)) {
+                            (Some(a), Some(b)) => prop_assert!(
+                                a.set_eq(b),
+                                "relation {} differs at {} threads\n{}",
+                                name, threads, render(&spec)
+                            ),
+                            (None, None) => {}
+                            _ => prop_assert!(false, "presence mismatch on {}", name),
+                        }
+                    }
                 }
             }
         }
