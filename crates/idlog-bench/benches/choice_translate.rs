@@ -9,7 +9,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use idlog_bench::emp_db;
-use idlog_core::{CanonicalOracle, Interner, Query, ValidatedProgram};
+use idlog_core::{Interner, Query, ValidatedProgram};
 
 fn bench_translation(c: &mut Criterion) {
     let mut group = c.benchmark_group("choice_translate");
@@ -36,7 +36,7 @@ fn bench_translation(c: &mut Criterion) {
             .expect("translated program validates");
         let q = Query::new(validated, "select_emp").expect("output exists");
         group.bench_with_input(BenchmarkId::new("via_idlog", &label), &db, |b, db| {
-            b.iter(|| q.eval(db, &mut CanonicalOracle).expect("fixture evaluates"))
+            b.iter(|| q.session(db).run().expect("fixture evaluates").relation)
         });
     }
     group.finish();

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use idlog_bench::{chain_db, tree_db};
-use idlog_core::{CanonicalOracle, Interner, Query};
+use idlog_core::{Interner, Query};
 
 fn bench_tc(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_tc");
@@ -25,7 +25,7 @@ fn bench_tc(c: &mut Criterion) {
         .expect("fixture parses");
         group.bench_with_input(BenchmarkId::new("chain", n), &db, |b, db| {
             b.iter(|| {
-                let rel = q.eval(db, &mut CanonicalOracle).expect("fixture evaluates");
+                let rel = q.session(db).run().expect("fixture evaluates").relation;
                 assert_eq!(rel.len(), n * (n + 1) / 2);
                 rel
             })
@@ -48,7 +48,7 @@ fn bench_same_generation(c: &mut Criterion) {
         )
         .expect("fixture parses");
         group.bench_with_input(BenchmarkId::new("tree_levels", levels), &db, |b, db| {
-            b.iter(|| q.eval(db, &mut CanonicalOracle).expect("fixture evaluates"))
+            b.iter(|| q.session(db).run().expect("fixture evaluates").relation)
         });
     }
     group.finish();

@@ -34,7 +34,9 @@ fn bench_enumeration(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("bounded_tid0", emps), &db, |b, db| {
             b.iter(|| {
                 let a = bounded
-                    .all_answers(db, &budget)
+                    .session(db)
+                    .budget(budget)
+                    .all_answers()
                     .expect("enumeration succeeds");
                 assert_eq!(a.models_explored(), emps as u64);
                 a
@@ -51,7 +53,9 @@ fn bench_enumeration(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("unbounded_full", emps), &db, |b, db| {
             b.iter(|| {
                 unbounded
-                    .all_answers(db, &budget)
+                    .session(db)
+                    .budget(budget)
+                    .all_answers()
                     .expect("enumeration succeeds")
             })
         });
@@ -75,11 +79,19 @@ fn bench_parallel(c: &mut Criterion) {
     )
     .expect("fixture parses");
     group.bench_function("sequential_7fact", |b| {
-        b.iter(|| q.all_answers(&db, &budget).expect("enumeration succeeds"))
+        b.iter(|| {
+            q.session(&db)
+                .threads(1)
+                .budget(budget)
+                .all_answers()
+                .expect("enumeration succeeds")
+        })
     });
     group.bench_function("parallel_7fact", |b| {
         b.iter(|| {
-            q.all_answers_parallel(&db, &budget)
+            q.session(&db)
+                .budget(budget)
+                .all_answers()
                 .expect("enumeration succeeds")
         })
     });

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use idlog_bench::zy_db;
-use idlog_core::{CanonicalOracle, Interner, Query, ValidatedProgram};
+use idlog_core::{Interner, Query, ValidatedProgram};
 use idlog_optimizer::{push_projections, to_id_program};
 
 fn bench_rewrites(c: &mut Criterion) {
@@ -35,7 +35,7 @@ fn bench_rewrites(c: &mut Criterion) {
                 .expect("fixture validates");
             let q = Query::new(validated, "p").expect("output exists");
             group.bench_with_input(BenchmarkId::new(name, &label), &db, |b, db| {
-                b.iter(|| q.eval(db, &mut CanonicalOracle).expect("fixture evaluates"))
+                b.iter(|| q.session(db).run().expect("fixture evaluates").relation)
             });
         }
     }

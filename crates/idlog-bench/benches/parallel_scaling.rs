@@ -12,9 +12,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use idlog_bench::{chain_db, grid_db};
-use idlog_core::{
-    evaluate_with_config, CanonicalOracle, EvalConfig, Interner, Strategy, ValidatedProgram,
-};
+use idlog_core::{evaluate_with_options, CanonicalOracle, EvalOptions, Interner, ValidatedProgram};
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
@@ -28,16 +26,10 @@ fn bench_workload(c: &mut Criterion, group_name: &str, src: &str, db: &idlog_sto
     group.sample_size(10);
     for threads in THREADS {
         group.bench_with_input(BenchmarkId::from_parameter(threads), db, |b, db| {
-            let config = EvalConfig::with_threads(threads);
+            let options = EvalOptions::new().threads(threads);
             b.iter(|| {
-                evaluate_with_config(
-                    &program,
-                    db,
-                    &mut CanonicalOracle,
-                    Strategy::SemiNaive,
-                    &config,
-                )
-                .expect("fixture evaluates")
+                evaluate_with_options(&program, db, &mut CanonicalOracle, &options)
+                    .expect("fixture evaluates")
             })
         });
     }

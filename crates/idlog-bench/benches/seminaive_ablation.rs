@@ -9,7 +9,9 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use idlog_bench::chain_db;
-use idlog_core::{evaluate_with_strategy, CanonicalOracle, Interner, Strategy, ValidatedProgram};
+use idlog_core::{
+    evaluate_with_options, CanonicalOracle, EvalOptions, Interner, Strategy, ValidatedProgram,
+};
 
 fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("seminaive_ablation");
@@ -27,8 +29,9 @@ fn bench_ablation(c: &mut Criterion) {
             ("naive", Strategy::Naive),
         ] {
             group.bench_with_input(BenchmarkId::new(name, n), &db, |b, db| {
+                let options = EvalOptions::new().strategy(strategy);
                 b.iter(|| {
-                    evaluate_with_strategy(&program, db, &mut CanonicalOracle, strategy)
+                    evaluate_with_options(&program, db, &mut CanonicalOracle, &options)
                         .expect("fixture evaluates")
                 })
             });

@@ -1,4 +1,4 @@
-//! The experiment report generator: runs E1–E17 from `DESIGN.md` and prints
+//! The experiment report generator: runs E1–E18 from `DESIGN.md` and prints
 //! a paper-claim vs. measured table. `EXPERIMENTS.md` is this binary's
 //! output, annotated.
 //!
@@ -10,7 +10,7 @@ use std::time::Instant;
 
 use idlog_bench::{choice_sampling_src, emp_db, grid_db, idlog_sampling_src, run_canonical, zy_db};
 use idlog_core::{
-    evaluate_with_config, CanonicalOracle, EnumBudget, EvalConfig, Interner, Query, Strategy,
+    evaluate_with_options, CanonicalOracle, EnumBudget, EvalOptions, Interner, Query,
     ValidatedProgram,
 };
 use idlog_storage::{count_id_functions, Database};
@@ -108,6 +108,9 @@ fn main() {
     if r.wants("e17") {
         e17(&r);
     }
+    if r.wants("e18") {
+        e18(&r);
+    }
 
     println!("\nall selected experiments completed in {:?}", t0.elapsed());
 }
@@ -147,10 +150,11 @@ fn e2(r: &Report) {
     ";
     let q = Query::parse(src, "man").unwrap();
     let db = db_from(q.interner(), &[("person", &["a"]), ("person", &["b"])]);
-    let man = q.all_answers(&db, &EnumBudget::default()).unwrap();
+    let man = q.session(&db).all_answers().unwrap();
     let woman = Query::parse_with_interner(src, "woman", Arc::clone(q.interner()))
         .unwrap()
-        .all_answers(&db, &EnumBudget::default())
+        .session(&db)
+        .all_answers()
         .unwrap();
     r.row("distinct man answers (expect 4)", man.len());
     r.row("distinct woman answers (expect 4)", woman.len());
@@ -205,7 +209,7 @@ fn e4(r: &Report) {
         Arc::clone(&interner),
     )
     .unwrap();
-    let b = q.all_answers(&db, &budget).unwrap();
+    let b = q.session(&db).budget(budget).all_answers().unwrap();
     r.row("choice answers (expect 3^3 = 27)", a.len());
     r.row("idlog answers", b.len());
     r.verdict(
@@ -228,7 +232,7 @@ fn e5(r: &Report) {
     let deficient = a.iter().filter(|rel| rel.len() < 4).count();
     let q = Query::parse_with_interner(&idlog_sampling_src(2), "select_n", Arc::clone(&interner))
         .unwrap();
-    let b = q.all_answers(&db, &budget).unwrap();
+    let b = q.session(&db).budget(budget).all_answers().unwrap();
     let exact = b.iter().all(|rel| rel.len() == 4);
     r.row(
         "choice answers / deficient",
@@ -452,7 +456,9 @@ fn e11(r: &Report) {
         let v = ValidatedProgram::new(translated, Arc::clone(&interner)).unwrap();
         let via = Query::new(v, "s")
             .unwrap()
-            .all_answers(&db, &budget)
+            .session(&db)
+            .budget(budget)
+            .all_answers()
             .unwrap();
         let same = direct.same_answers(&via, &interner);
         r.row(
@@ -612,7 +618,7 @@ fn e15(r: &Report) {
             Arc::clone(&interner),
         )
         .unwrap();
-        let a = bounded.all_answers(&db, &budget).unwrap();
+        let a = bounded.session(&db).budget(budget).all_answers().unwrap();
 
         // Full walk: semantically identical query with the tid exposed
         // through a helper, defeating the bound analysis.
@@ -622,7 +628,7 @@ fn e15(r: &Report) {
             Arc::clone(&interner),
         )
         .unwrap();
-        let b = full.all_answers(&db, &budget).unwrap();
+        let b = full.session(&db).budget(budget).all_answers().unwrap();
 
         println!(
             "  {emps:>6} {:>18} {:>18} {:>10}",
@@ -670,7 +676,7 @@ fn e16(r: &Report) {
         for k in 0..n {
             db.insert_syms("person", &[&format!("p{k}")]).unwrap();
         }
-        let answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+        let answers = q.session(&db).all_answers().unwrap();
         let deterministic = answers.len() == 1;
         let is_even = !answers.iter().next().unwrap().is_empty();
         print!(" {}", if is_even { "even" } else { "odd" });
@@ -697,12 +703,11 @@ fn e17(r: &Report) {
     .unwrap();
     let timed = |threads: usize| {
         let t = Instant::now();
-        let out = evaluate_with_config(
+        let out = evaluate_with_options(
             &program,
             &db,
             &mut CanonicalOracle,
-            Strategy::SemiNaive,
-            &EvalConfig::with_threads(threads),
+            &EvalOptions::new().threads(threads),
         )
         .unwrap();
         (out, t.elapsed())
@@ -747,6 +752,89 @@ fn e17(r: &Report) {
     );
 }
 
+/// E18 (profiler): per-rule profiling localizes §4's savings to the
+/// rewritten rule. E9 shows the *totals* shrink by fanout×witnesses; the
+/// profile shows *which clause* stopped doing the work, and its JSON form
+/// is stable across thread counts.
+fn e18(r: &Report) {
+    r.section(
+        "e18",
+        "profiler localizes the §4 instantiation savings to the rewritten rule",
+    );
+    use idlog_optimizer::to_id_program;
+    let interner = Arc::new(Interner::new());
+    let original = idlog_core::parse_program("p(X) :- q(X, Z), z(Z, Y), y(W).", &interner).unwrap();
+    let optimized = to_id_program(&original, interner.intern("p"));
+    let (keys, fanout, witnesses) = (10usize, 20, 40);
+    let db = zy_db(&interner, keys, fanout, witnesses);
+
+    let profile_of = |ast: &idlog_core::Program, threads: usize| {
+        let v = ValidatedProgram::new(ast.clone(), Arc::clone(&interner)).unwrap();
+        let q = Query::new(v, "p").unwrap();
+        q.session(&db)
+            .threads(threads)
+            .profile(true)
+            .run()
+            .unwrap()
+            .profile
+            .expect("profiling enabled")
+    };
+    let orig = profile_of(&original, 1);
+    let opt = profile_of(&optimized, 1);
+
+    let worst = |p: &idlog_core::Profile| {
+        let mut totals = p.per_rule_totals();
+        totals.sort_by_key(|t| std::cmp::Reverse(t.stats.instantiations));
+        totals.into_iter().next().expect("at least one rule fired")
+    };
+    let worst_orig = worst(&orig);
+    let worst_opt = worst(&opt);
+    r.row(
+        "original worst rule",
+        format!(
+            "{} inst  `{}`",
+            worst_orig.stats.instantiations,
+            orig.rule_text(worst_orig.clause)
+        ),
+    );
+    r.row(
+        "rewritten worst rule",
+        format!(
+            "{} inst  `{}`",
+            worst_opt.stats.instantiations,
+            opt.rule_text(worst_opt.clause)
+        ),
+    );
+    let saved = orig.totals.instantiations - opt.totals.instantiations;
+    let localized = worst_orig.stats.instantiations - worst_opt.stats.instantiations;
+    r.row(
+        "savings localized to that rule",
+        format!("{localized} of {saved} total"),
+    );
+
+    // The profile's JSON form is schema-tagged and thread-count independent.
+    let json = opt.to_json(false);
+    let json_ok = json.starts_with('{')
+        && json.ends_with('}')
+        && json.contains("\"schema\":\"idlog-profile/1\"")
+        && json.contains("\"strata\"");
+    let stable = profile_of(&optimized, 4).to_json(false) == json;
+    r.row(
+        "profile JSON (schema tag, stable at 4 threads)",
+        format!("{json_ok} / {stable}"),
+    );
+
+    let ok = worst_orig.stats.instantiations == (keys * fanout * witnesses) as u64
+        && opt.totals.instantiations == keys as u64
+        && saved == localized
+        && json_ok
+        && stable;
+    r.verdict(
+        ok,
+        "the profiler pins the entire §4 saving on the rewritten clause",
+    );
+}
+
 fn run_and_stats(
     ast: &idlog_core::Program,
     interner: &Arc<Interner>,
@@ -755,6 +843,6 @@ fn run_and_stats(
 ) -> (idlog_core::Relation, idlog_core::EvalStats) {
     let v = ValidatedProgram::new(ast.clone(), Arc::clone(interner)).unwrap();
     let q = Query::new(v, output).unwrap();
-    q.eval_with_stats(db, &mut idlog_core::CanonicalOracle)
-        .unwrap()
+    let result = q.session(db).run().unwrap();
+    (result.relation, result.stats)
 }

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use idlog_core::{CanonicalOracle, EvalStats, Interner, Query, Relation};
+use idlog_core::{EvalStats, Interner, Query, Relation};
 use idlog_storage::Database;
 
 /// D departments × E employees per department (`emp(name, dept)`).
@@ -103,8 +103,8 @@ pub fn tree_db(interner: &Arc<Interner>, levels: u32) -> Database {
 pub fn run_canonical(src: &str, output: &str, db: &Database) -> (Relation, EvalStats) {
     let q = Query::parse_with_interner(src, output, Arc::clone(db.interner()))
         .expect("bench program is valid");
-    q.eval_with_stats(db, &mut CanonicalOracle)
-        .expect("bench evaluation succeeds")
+    let result = q.session(db).run().expect("bench evaluation succeeds");
+    (result.relation, result.stats)
 }
 
 /// The paper's choice-emulated n-sampling program (Example 5 generalized):

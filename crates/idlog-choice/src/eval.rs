@@ -18,7 +18,8 @@ use rand::{Rng, SeedableRng};
 
 use idlog_common::{Interner, Tuple};
 use idlog_core::{
-    evaluate, AnswerSet, CanonicalOracle, CoreError, EnumBudget, EvalStats, ValidatedProgram,
+    evaluate_with_options, AnswerSet, CanonicalOracle, CoreError, EnumBudget, EvalOptions,
+    EvalStats, ValidatedProgram,
 };
 use idlog_parser::Program;
 use idlog_storage::{group_by, Database, Grouping, Relation};
@@ -48,7 +49,7 @@ fn prepare(program: &Program, interner: &Arc<Interner>, db: &Database) -> Choice
 
     // Phase 1: candidate pools from the full Pᶜ.
     let pc = ValidatedProgram::new(translated.program.clone(), Arc::clone(interner))?;
-    let out = evaluate(&pc, db, &mut CanonicalOracle)?;
+    let out = evaluate_with_options(&pc, db, &mut CanonicalOracle, &EvalOptions::default())?;
     let pool_stats = out.stats();
 
     let mut pools = Vec::with_capacity(translated.sites.len());
@@ -107,7 +108,12 @@ fn eval_with_selection(
             db2.insert(&site.name, t)?;
         }
     }
-    let out = evaluate(&prep.fixed_program, &db2, &mut CanonicalOracle)?;
+    let out = evaluate_with_options(
+        &prep.fixed_program,
+        &db2,
+        &mut CanonicalOracle,
+        &EvalOptions::default(),
+    )?;
     let rel = out.relation(output).cloned().ok_or_else(|| {
         ChoiceError::Core(CoreError::Validation {
             clause: None,

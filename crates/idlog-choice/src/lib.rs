@@ -12,7 +12,7 @@
 //!   paper describes: minimal model of the translated program `Pᶜ`, then a
 //!   functional subset per choice predicate, then the minimal model with the
 //!   chosen facts fixed;
-//! * [`translate`] — the shared `P → Pᶜ` rewriting (choice literals become
+//! * [`mod@translate`] — the shared `P → Pᶜ` rewriting (choice literals become
 //!   `ext_choice_i` predicates with defining clauses);
 //! * [`to_idlog`] — the constructive side of **Theorem 2**: every DATALOG^C
 //!   program satisfying C1/C2 (and not recursive through a choice clause's

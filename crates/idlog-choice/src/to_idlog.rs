@@ -105,7 +105,7 @@ mod tests {
         let idlog_ast = to_idlog(&program, &interner).unwrap();
         let validated = ValidatedProgram::new(idlog_ast, Arc::clone(&interner)).unwrap();
         let q = Query::new(validated, output).unwrap();
-        let translated = q.all_answers(&db, &budget).unwrap();
+        let translated = q.session(&db).budget(budget).all_answers().unwrap();
         assert!(translated.complete());
 
         assert!(

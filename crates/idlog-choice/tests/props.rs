@@ -43,7 +43,12 @@ proptest! {
 
         let translated = to_idlog(&ast, &interner).unwrap();
         let validated = ValidatedProgram::new(translated, Arc::clone(&interner)).unwrap();
-        let via = Query::new(validated, "s").unwrap().all_answers(&db, &budget).unwrap();
+        let via = Query::new(validated, "s")
+            .unwrap()
+            .session(&db)
+            .budget(budget)
+            .all_answers()
+            .unwrap();
         prop_assert!(via.complete());
         prop_assert!(
             direct.same_answers(&via, &interner),

@@ -8,6 +8,7 @@ idlog — the IDLOG deductive database
 USAGE:
   idlog run <program> --output <pred> [options]   evaluate a query
   idlog check <program>                           validate and report strata
+  idlog explain <program> [--analyze] [options]   print the evaluation plan
   idlog lint <program>... [--deny-warnings]       collect-all diagnostics & lints
   idlog translate-choice <program>                Theorem 2: DATALOG^C -> IDLOG
   idlog optimize <program> --output <pred> [--suggest-prune]
@@ -23,10 +24,68 @@ RUN OPTIONS:
   --all               enumerate the full answer set instead of one answer
   --max-models <n>    cap on perfect models visited with --all
   --stats             print evaluation statistics
+  --profile           print the per-rule evaluation profile (worst first)
+  --profile-json <f>  write the profile as JSON to <f> ('-' = stdout)
+  --profile-time      include wall time in the profile output (wall time is
+                      the one non-deterministic profile column, so it is
+                      off by default)
   --threads <n>       worker threads for evaluation and enumeration
                       (default: IDLOG_THREADS env var, else the machine's
                       available parallelism; results never depend on it)
+
+EXPLAIN OPTIONS:
+  --facts <file>      load ground facts from a separate file
+  --analyze           evaluate the program and annotate each clause with
+                      measured counters (EXPLAIN ANALYZE)
+  --seed <n>          oracle seed for --analyze (default: canonical)
+  --threads <n>       worker threads for --analyze
 ";
+
+/// Options of `idlog run` (also the payload of [`Command::Run`]).
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Program path.
+    pub program: String,
+    /// Optional facts path.
+    pub facts: Option<String>,
+    /// Output predicate.
+    pub output: String,
+    /// Seed for the random oracle (None = canonical).
+    pub seed: Option<u64>,
+    /// Enumerate all answers.
+    pub all: bool,
+    /// Print statistics.
+    pub stats: bool,
+    /// Model cap for --all.
+    pub max_models: Option<u64>,
+    /// Worker threads (None = auto: IDLOG_THREADS, else hardware).
+    pub threads: Option<usize>,
+    /// Print the per-rule profile table.
+    pub profile: bool,
+    /// Write the profile as JSON to this path (`-` = stdout).
+    pub profile_json: Option<String>,
+    /// Include wall time in profile output.
+    pub profile_time: bool,
+}
+
+impl RunOpts {
+    /// Options with every flag off — for tests and programmatic callers.
+    pub fn new(program: impl Into<String>, output: impl Into<String>) -> RunOpts {
+        RunOpts {
+            program: program.into(),
+            facts: None,
+            output: output.into(),
+            seed: None,
+            all: false,
+            stats: false,
+            max_models: None,
+            threads: None,
+            profile: false,
+            profile_json: None,
+            profile_time: false,
+        }
+    }
+}
 
 /// A parsed invocation.
 #[derive(Debug, Clone)]
@@ -44,6 +103,20 @@ pub enum Command {
     Check {
         /// Program path.
         program: String,
+    },
+    /// Print the evaluation plan, optionally annotated with measured
+    /// counters.
+    Explain {
+        /// Program path.
+        program: String,
+        /// Optional facts path.
+        facts: Option<String>,
+        /// Evaluate and annotate clauses with measured counters.
+        analyze: bool,
+        /// Oracle seed for --analyze (None = canonical).
+        seed: Option<u64>,
+        /// Worker threads for --analyze (None = auto).
+        threads: Option<usize>,
     },
     /// Run the full diagnostics/lint suite over one or more programs.
     Lint {
@@ -69,24 +142,7 @@ pub enum Command {
         suggest_prune: bool,
     },
     /// Evaluate a query.
-    Run {
-        /// Program path.
-        program: String,
-        /// Optional facts path.
-        facts: Option<String>,
-        /// Output predicate.
-        output: String,
-        /// Seed for the random oracle (None = canonical).
-        seed: Option<u64>,
-        /// Enumerate all answers.
-        all: bool,
-        /// Print statistics.
-        stats: bool,
-        /// Model cap for --all.
-        max_models: Option<u64>,
-        /// Worker threads (None = auto: IDLOG_THREADS, else hardware).
-        threads: Option<usize>,
-    },
+    Run(RunOpts),
 }
 
 impl Args {
@@ -108,6 +164,30 @@ impl Args {
             "check" => Command::Check {
                 program: one_path(rest, "check")?,
             },
+            "explain" => {
+                let (program, opts) = path_and_opts(rest, "explain")?;
+                let mut facts = None;
+                let mut analyze = false;
+                let mut seed = None;
+                let mut threads = None;
+                let mut it = opts.iter();
+                while let Some(flag) = it.next() {
+                    match flag.as_str() {
+                        "--facts" => facts = Some(value(&mut it, "--facts")?),
+                        "--analyze" => analyze = true,
+                        "--seed" => seed = Some(parse_num(&mut it, "--seed")?),
+                        "--threads" => threads = Some(parse_threads(&mut it)?),
+                        other => return Err(format!("unknown option {other}")),
+                    }
+                }
+                Command::Explain {
+                    program,
+                    facts,
+                    analyze,
+                    seed,
+                    threads,
+                }
+            }
             "lint" => {
                 let mut programs = Vec::new();
                 let mut deny_warnings = false;
@@ -151,56 +231,30 @@ impl Args {
             }
             "run" => {
                 let (program, opts) = path_and_opts(rest, "run")?;
-                let mut facts = None;
+                let mut run = RunOpts::new(program, String::new());
                 let mut output = None;
-                let mut seed = None;
-                let mut all = false;
-                let mut stats = false;
-                let mut max_models = None;
-                let mut threads = None;
                 let mut it = opts.iter();
                 while let Some(flag) = it.next() {
                     match flag.as_str() {
-                        "--facts" => facts = Some(value(&mut it, "--facts")?),
+                        "--facts" => run.facts = Some(value(&mut it, "--facts")?),
                         "--output" => output = Some(value(&mut it, "--output")?),
-                        "--seed" => {
-                            seed = Some(
-                                value(&mut it, "--seed")?
-                                    .parse()
-                                    .map_err(|_| "--seed expects a number".to_string())?,
-                            )
-                        }
+                        "--seed" => run.seed = Some(parse_num(&mut it, "--seed")?),
                         "--max-models" => {
-                            max_models = Some(
-                                value(&mut it, "--max-models")?
-                                    .parse()
-                                    .map_err(|_| "--max-models expects a number".to_string())?,
-                            )
+                            run.max_models = Some(parse_num(&mut it, "--max-models")?)
                         }
-                        "--threads" => {
-                            let n: usize = value(&mut it, "--threads")?
-                                .parse()
-                                .map_err(|_| "--threads expects a number".to_string())?;
-                            if n == 0 {
-                                return Err("--threads expects a positive number".to_string());
-                            }
-                            threads = Some(n);
+                        "--threads" => run.threads = Some(parse_threads(&mut it)?),
+                        "--all" => run.all = true,
+                        "--stats" => run.stats = true,
+                        "--profile" => run.profile = true,
+                        "--profile-json" => {
+                            run.profile_json = Some(value(&mut it, "--profile-json")?)
                         }
-                        "--all" => all = true,
-                        "--stats" => stats = true,
+                        "--profile-time" => run.profile_time = true,
                         other => return Err(format!("unknown option {other}")),
                     }
                 }
-                Command::Run {
-                    program,
-                    facts,
-                    output: output.ok_or("run requires --output <pred>")?,
-                    seed,
-                    all,
-                    stats,
-                    max_models,
-                    threads,
-                }
+                run.output = output.ok_or("run requires --output <pred>")?;
+                Command::Run(run)
             }
             other => return Err(format!("unknown command {other}")),
         };
@@ -231,6 +285,23 @@ fn value<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> Result<St
         .ok_or_else(|| format!("{flag} expects a value"))
 }
 
+fn parse_num<'a, N: std::str::FromStr>(
+    it: &mut impl Iterator<Item = &'a String>,
+    flag: &str,
+) -> Result<N, String> {
+    value(it, flag)?
+        .parse()
+        .map_err(|_| format!("{flag} expects a number"))
+}
+
+fn parse_threads<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<usize, String> {
+    let n: usize = parse_num(it, "--threads")?;
+    if n == 0 {
+        return Err("--threads expects a positive number".to_string());
+    }
+    Ok(n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,26 +329,71 @@ mod tests {
             "4",
         ])
         .unwrap();
-        let Command::Run {
+        let Command::Run(run) = args.command else {
+            panic!("expected run");
+        };
+        assert_eq!(run.program, "p.idl");
+        assert_eq!(run.facts.as_deref(), Some("f.idl"));
+        assert_eq!(run.output, "q");
+        assert_eq!(run.seed, Some(7));
+        assert!(run.all && run.stats);
+        assert_eq!(run.max_models, Some(100));
+        assert_eq!(run.threads, Some(4));
+        assert!(!run.profile && run.profile_json.is_none() && !run.profile_time);
+    }
+
+    #[test]
+    fn parses_profile_flags() {
+        let args = parse(&[
+            "run",
+            "p.idl",
+            "--output",
+            "q",
+            "--profile",
+            "--profile-json",
+            "out.json",
+            "--profile-time",
+        ])
+        .unwrap();
+        let Command::Run(run) = args.command else {
+            panic!("expected run");
+        };
+        assert!(run.profile && run.profile_time);
+        assert_eq!(run.profile_json.as_deref(), Some("out.json"));
+        assert!(parse(&["run", "p.idl", "--output", "q", "--profile-json"]).is_err());
+    }
+
+    #[test]
+    fn parses_explain_command() {
+        let args = parse(&[
+            "explain",
+            "p.idl",
+            "--facts",
+            "f.idl",
+            "--analyze",
+            "--seed",
+            "3",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        let Command::Explain {
             program,
             facts,
-            output,
+            analyze,
             seed,
-            all,
-            stats,
-            max_models,
             threads,
         } = args.command
         else {
-            panic!("expected run");
+            panic!("expected explain");
         };
         assert_eq!(program, "p.idl");
         assert_eq!(facts.as_deref(), Some("f.idl"));
-        assert_eq!(output, "q");
-        assert_eq!(seed, Some(7));
-        assert!(all && stats);
-        assert_eq!(max_models, Some(100));
-        assert_eq!(threads, Some(4));
+        assert!(analyze);
+        assert_eq!(seed, Some(3));
+        assert_eq!(threads, Some(2));
+        assert!(parse(&["explain"]).is_err());
+        assert!(parse(&["explain", "p.idl", "--nope"]).is_err());
     }
 
     #[test]
@@ -285,10 +401,10 @@ mod tests {
         assert!(parse(&["run", "p.idl", "--output", "q", "--threads", "0"]).is_err());
         assert!(parse(&["run", "p.idl", "--output", "q", "--threads", "x"]).is_err());
         let args = parse(&["run", "p.idl", "--output", "q"]).unwrap();
-        let Command::Run { threads, .. } = args.command else {
+        let Command::Run(run) = args.command else {
             panic!("expected run");
         };
-        assert_eq!(threads, None, "default is auto");
+        assert_eq!(run.threads, None, "default is auto");
     }
 
     #[test]

@@ -5,7 +5,8 @@ use std::sync::Arc;
 use idlog_analyze::{analyze, render_all, Options};
 use idlog_core::{Interner, ValidatedProgram};
 
-use crate::{config_for, default_budget, load, oracle_for};
+use crate::args::RunOpts;
+use crate::{default_budget, load, options_for, oracle_for};
 
 /// `idlog check`: validate and report predicates, sorts, and strata.
 ///
@@ -187,27 +188,62 @@ pub fn optimize(program_path: &str, output: &str, suggest_prune: bool) -> Result
     Ok(())
 }
 
-/// `idlog run`: evaluate one answer or enumerate them all.
-#[allow(clippy::too_many_arguments)]
-pub fn run_query(
+/// `idlog explain`: print the evaluation plan for the *whole* program;
+/// with `--analyze`, evaluate it first (profiling on) and annotate every
+/// clause with measured counters.
+pub fn explain(
     program_path: &str,
     facts_path: Option<&str>,
-    output: &str,
+    analyze: bool,
     seed: Option<u64>,
-    all: bool,
-    stats: bool,
-    max_models: Option<u64>,
     threads: Option<usize>,
 ) -> Result<(), String> {
-    let loaded = load(program_path, facts_path, output)?;
-    let interner = loaded.query.interner().clone();
-    let config = config_for(threads);
+    let interner = Arc::new(Interner::new());
+    let src = std::fs::read_to_string(program_path)
+        .map_err(|e| format!("cannot read {program_path}: {e}"))?;
+    let program = ValidatedProgram::parse(&src, Arc::clone(&interner))
+        .map_err(|e| format!("{program_path}: {e}"))?;
 
-    if all {
-        let budget = default_budget(max_models);
+    if !analyze {
+        let text = idlog_core::explain(&program).map_err(|e| e.to_string())?;
+        print!("{text}");
+        return Ok(());
+    }
+
+    let mut db = idlog_storage::Database::with_interner(Arc::clone(&interner));
+    if let Some(path) = facts_path {
+        let facts_src =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        idlog_core::load_facts(&facts_src, &mut db).map_err(|e| format!("{path}: {e}"))?;
+    }
+    let mut oracle = oracle_for(seed);
+    let options = options_for(threads).profile(true);
+    let out = idlog_core::evaluate_with_options(&program, &db, oracle.as_mut(), &options)
+        .map_err(|e| e.to_string())?;
+    let profile = out.profile().expect("profiling was enabled");
+    let text = idlog_core::explain_analyze(&program, profile).map_err(|e| e.to_string())?;
+    print!("{text}");
+    Ok(())
+}
+
+/// `idlog run`: evaluate one answer or enumerate them all.
+pub fn run_query(opts: &RunOpts) -> Result<(), String> {
+    let loaded = load(&opts.program, opts.facts.as_deref(), &opts.output)?;
+    let interner = loaded.query.interner().clone();
+    let want_profile = opts.profile || opts.profile_json.is_some() || opts.stats;
+    let options = options_for(opts.threads)
+        .budget(default_budget(opts.max_models))
+        .profile(want_profile);
+
+    if opts.all {
+        if opts.profile || opts.profile_json.is_some() {
+            eprintln!("-- profiling does not apply to --all enumeration; ignoring");
+        }
         let answers = loaded
             .query
-            .all_answers_configured(&loaded.db, &budget, &config)
+            .session(&loaded.db)
+            .options(options)
+            .all_answers()
             .map_err(|e| e.to_string())?;
         println!(
             "{} distinct answer(s) from {} perfect model(s){}:",
@@ -225,16 +261,33 @@ pub fn run_query(
         return Ok(());
     }
 
-    let mut oracle = oracle_for(seed);
-    let (rel, eval_stats) = loaded
+    let mut oracle = oracle_for(opts.seed);
+    let result = loaded
         .query
-        .eval_configured(&loaded.db, oracle.as_mut(), &config)
+        .session(&loaded.db)
+        .options(options)
+        .run_with(oracle.as_mut())
         .map_err(|e| e.to_string())?;
-    for t in rel.sorted_canonical(&interner) {
+    let output = &opts.output;
+    for t in result.relation.sorted_canonical(&interner) {
         println!("{output}{}", t.display(&interner));
     }
-    if stats {
-        eprintln!("-- {eval_stats}");
+    if opts.profile {
+        let profile = result.profile.as_ref().expect("profiling was enabled");
+        print!("{}", profile.render_table(opts.profile_time));
+    }
+    if let Some(path) = &opts.profile_json {
+        let profile = result.profile.as_ref().expect("profiling was enabled");
+        let json = profile.to_json(opts.profile_time);
+        if path == "-" {
+            println!("{json}");
+        } else {
+            std::fs::write(path, json.as_bytes())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+    }
+    if opts.stats {
+        eprintln!("-- {}", result.stats.display_with(result.profile.as_ref()));
     }
     Ok(())
 }

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use idlog_core::{
-    CanonicalOracle, EnumBudget, EvalConfig, Interner, Query, SeededOracle, TidOracle,
+    CanonicalOracle, EnumBudget, EvalOptions, Interner, Query, SeededOracle, TidOracle,
     ValidatedProgram,
 };
 use idlog_storage::Database;
@@ -16,7 +16,7 @@ pub mod args;
 pub mod commands;
 pub mod repl;
 
-pub use args::{Args, Command, USAGE};
+pub use args::{Args, Command, RunOpts, USAGE};
 
 /// Run a parsed invocation (everything except `main`'s exit-code mapping).
 pub fn run(args: Args) -> Result<(), String> {
@@ -26,6 +26,13 @@ pub fn run(args: Args) -> Result<(), String> {
             Ok(())
         }
         Command::Check { program } => commands::check(&program),
+        Command::Explain {
+            program,
+            facts,
+            analyze,
+            seed,
+            threads,
+        } => commands::explain(&program, facts.as_deref(), analyze, seed, threads),
         Command::Lint {
             programs,
             deny_warnings,
@@ -37,25 +44,7 @@ pub fn run(args: Args) -> Result<(), String> {
             suggest_prune,
         } => commands::optimize(&program, &output, suggest_prune),
         Command::Repl => repl::run(&mut std::io::stdin().lock(), &mut std::io::stdout()),
-        Command::Run {
-            program,
-            facts,
-            output,
-            seed,
-            all,
-            stats,
-            max_models,
-            threads,
-        } => commands::run_query(
-            &program,
-            facts.as_deref(),
-            &output,
-            seed,
-            all,
-            stats,
-            max_models,
-            threads,
-        ),
+        Command::Run(opts) => commands::run_query(&opts),
     }
 }
 
@@ -93,10 +82,10 @@ pub fn oracle_for(seed: Option<u64>) -> Box<dyn TidOracle> {
     }
 }
 
-/// The evaluation config for a `--threads` option (auto when absent:
+/// The evaluation options for a `--threads` option (auto when absent:
 /// `IDLOG_THREADS`, else the machine's available parallelism).
-pub fn config_for(threads: Option<usize>) -> EvalConfig {
-    threads.map_or_else(EvalConfig::default, EvalConfig::with_threads)
+pub fn options_for(threads: Option<usize>) -> EvalOptions {
+    EvalOptions::new().threads(threads.unwrap_or(0))
 }
 
 /// The enumeration budget for a `--max-models` option.

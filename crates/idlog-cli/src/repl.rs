@@ -19,7 +19,7 @@ use std::sync::Arc;
 use idlog_core::{EnumBudget, Interner, Query, ValidatedProgram};
 use idlog_storage::Database;
 
-use crate::{config_for, oracle_for};
+use crate::{options_for, oracle_for};
 
 /// REPL state: accumulated rule sources and the fact database.
 struct Session {
@@ -28,6 +28,7 @@ struct Session {
     db: Database,
     seed: Option<u64>,
     threads: Option<usize>,
+    profile: bool,
 }
 
 /// Run the REPL until `:quit` or end of input.
@@ -39,6 +40,7 @@ pub fn run(input: &mut dyn BufRead, out: &mut dyn Write) -> Result<(), String> {
         rules: Vec::new(),
         seed: None,
         threads: None,
+        profile: false,
     };
     let io = |e: std::io::Error| format!("i/o error: {e}");
 
@@ -80,6 +82,7 @@ const HELP: &str = "\
   :seed <n>          use a seeded random oracle (\":seed off\" for canonical)
   :threads <n>       worker threads for evaluation (\":threads auto\" for the
                      default; answers never depend on the thread count)
+  :profile on|off    print the per-rule evaluation profile after ?- queries
   :list              show the current program and fact counts
   :help              this text
   :quit              leave";
@@ -141,6 +144,19 @@ impl Session {
                     Ok(Reply::Text(format!("threads: {n}")))
                 }
             }
+            "profile" => {
+                let rest = rest.trim();
+                match rest {
+                    "on" => self.profile = true,
+                    "off" => self.profile = false,
+                    "" => self.profile = !self.profile,
+                    _ => return Err(":profile expects `on` or `off`".into()),
+                }
+                Ok(Reply::Text(format!(
+                    "profile: {}",
+                    if self.profile { "on" } else { "off" }
+                )))
+            }
             "all" | "a" => self.query(rest.trim().trim_end_matches('.').trim(), true),
             other => Err(format!("unknown command :{other} (try :help)")),
         }
@@ -169,10 +185,12 @@ impl Session {
         let program = ValidatedProgram::parse(&self.rules.join("\n"), Arc::clone(&self.interner))
             .map_err(|e| e.to_string())?;
         let query = Query::new(program, pred).map_err(|e| e.to_string())?;
-        let config = config_for(self.threads);
+        let options = options_for(self.threads);
         if all {
             let answers = query
-                .all_answers_configured(&self.db, &EnumBudget::default(), &config)
+                .session(&self.db)
+                .options(options.budget(EnumBudget::default()))
+                .all_answers()
                 .map_err(|e| e.to_string())?;
             let mut text = format!(
                 "{} answer(s) from {} model(s){}:",
@@ -190,15 +208,20 @@ impl Session {
             Ok(Reply::Text(text))
         } else {
             let mut oracle = oracle_for(self.seed);
-            let (rel, _) = query
-                .eval_configured(&self.db, oracle.as_mut(), &config)
+            let result = query
+                .session(&self.db)
+                .options(options.profile(self.profile))
+                .run_with(oracle.as_mut())
                 .map_err(|e| e.to_string())?;
-            if rel.is_empty() {
-                return Ok(Reply::Text("(empty)".into()));
-            }
             let mut text = String::new();
-            for t in rel.sorted_canonical(&self.interner) {
+            if result.relation.is_empty() {
+                text.push_str("(empty)\n");
+            }
+            for t in result.relation.sorted_canonical(&self.interner) {
                 text.push_str(&format!("{pred}{}\n", t.display(&self.interner)));
+            }
+            if let Some(profile) = &result.profile {
+                text.push_str(&profile.render_table(false));
             }
             Ok(Reply::Text(text.trim_end().to_string()))
         }
@@ -260,6 +283,28 @@ mod tests {
         assert!(out.contains("tc(a, c)") || out.contains("tc(a,c)"), "{out}");
         assert!(out.contains("threads: auto"), "{out}");
         assert!(out.contains("error:"), "{out}");
+    }
+
+    #[test]
+    fn profile_toggle_prints_table_after_queries() {
+        let out = drive(
+            "emp(ann, sales).\n\
+             emp(bob, sales).\n\
+             pick(N) :- emp[2](N, D, 0).\n\
+             :profile on\n\
+             ?- pick.\n\
+             :profile off\n\
+             ?- pick.\n\
+             :profile nope\n\
+             :quit\n",
+        );
+        assert!(out.contains("profile: on"), "{out}");
+        assert!(out.contains("evaluation profile"), "{out}");
+        assert!(out.contains("totals: instantiations="), "{out}");
+        assert!(out.contains("profile: off"), "{out}");
+        assert!(out.contains("error: :profile expects"), "{out}");
+        // After switching off, only one table was printed.
+        assert_eq!(out.matches("evaluation profile").count(), 1, "{out}");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use std::path::PathBuf;
 
-use idlog_cli::{commands, load, Args, Command};
+use idlog_cli::{commands, load, Args, Command, RunOpts};
 
 /// A per-test scratch directory (cleaned up on drop).
 struct Scratch {
@@ -37,11 +37,8 @@ fn load_reads_program_and_facts() {
     let facts = s.file("f.idl", "emp(ann, sales). emp(bob, sales).");
     let loaded = load(&program, Some(&facts), "pick").unwrap();
     assert_eq!(loaded.db.relation("emp").unwrap().len(), 2);
-    let rel = loaded
-        .query
-        .eval(&loaded.db, &mut idlog_core::CanonicalOracle)
-        .unwrap();
-    assert_eq!(rel.len(), 1);
+    let result = loaded.query.session(&loaded.db).run().unwrap();
+    assert_eq!(result.relation.len(), 1);
 }
 
 #[test]
@@ -77,32 +74,57 @@ fn run_query_end_to_end() {
     let s = Scratch::new("run");
     let program = s.file("p.idl", "two(N) :- emp[2](N, D, T), T < 2.");
     let facts = s.file("f.idl", "emp(a, d). emp(b, d). emp(c, d).");
-    // One answer, canonical.
-    commands::run_query(&program, Some(&facts), "two", None, false, true, None, None).unwrap();
+    // One answer, canonical, with statistics.
+    let mut one = RunOpts::new(&program, "two");
+    one.facts = Some(facts.clone());
+    one.stats = true;
+    commands::run_query(&one).unwrap();
     // All answers.
-    commands::run_query(
-        &program,
-        Some(&facts),
-        "two",
-        None,
-        true,
-        false,
-        Some(100),
-        Some(2),
-    )
-    .unwrap();
-    // Seeded.
-    commands::run_query(
-        &program,
-        Some(&facts),
-        "two",
-        Some(7),
-        false,
-        false,
-        None,
-        Some(1),
-    )
-    .unwrap();
+    let mut all = RunOpts::new(&program, "two");
+    all.facts = Some(facts.clone());
+    all.all = true;
+    all.max_models = Some(100);
+    all.threads = Some(2);
+    commands::run_query(&all).unwrap();
+    // Seeded, with the profile table.
+    let mut seeded = RunOpts::new(&program, "two");
+    seeded.facts = Some(facts.clone());
+    seeded.seed = Some(7);
+    seeded.threads = Some(1);
+    seeded.profile = true;
+    commands::run_query(&seeded).unwrap();
+}
+
+#[test]
+fn run_query_writes_profile_json() {
+    let s = Scratch::new("profile-json");
+    let program = s.file("p.idl", "two(N) :- emp[2](N, D, T), T < 2.");
+    let facts = s.file("f.idl", "emp(a, d). emp(b, d). emp(c, d).");
+    let json_path = s.dir.join("profile.json").to_string_lossy().into_owned();
+    let mut opts = RunOpts::new(&program, "two");
+    opts.facts = Some(facts);
+    opts.profile_json = Some(json_path.clone());
+    commands::run_query(&opts).unwrap();
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"schema\":\"idlog-profile/1\""), "{json}");
+    assert!(json.contains("\"rules\":["), "{json}");
+    assert!(json.contains("\"strata\":["), "{json}");
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+}
+
+#[test]
+fn explain_command_plain_and_analyze() {
+    let s = Scratch::new("explain");
+    let program = s.file(
+        "p.idl",
+        "reach(X) :- start(X).
+         reach(Y) :- reach(X), e(X, Y).
+         pick(X) :- reach[](X, 0).",
+    );
+    let facts = s.file("f.idl", "start(a). e(a, b).");
+    commands::explain(&program, None, false, None, None).unwrap();
+    commands::explain(&program, Some(&facts), true, None, Some(1)).unwrap();
+    assert!(commands::explain("/nonexistent/x.idl", None, false, None, None).is_err());
 }
 
 #[test]

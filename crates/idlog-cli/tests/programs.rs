@@ -25,28 +25,15 @@ fn shipped_programs_validate() {
 
 #[test]
 fn sampling_program_runs() {
-    idlog_cli::commands::run_query(
-        &path("sampling.idl"),
-        Some(&path("company.facts")),
-        "select_two_emp",
-        None,
-        false,
-        false,
-        None,
-        None,
-    )
-    .unwrap();
-    idlog_cli::commands::run_query(
-        &path("sampling.idl"),
-        Some(&path("company.facts")),
-        "select_two_emp",
-        None,
-        true,
-        false,
-        Some(10_000),
-        Some(2),
-    )
-    .unwrap();
+    let mut one = idlog_cli::RunOpts::new(path("sampling.idl"), "select_two_emp");
+    one.facts = Some(path("company.facts"));
+    idlog_cli::commands::run_query(&one).unwrap();
+    let mut all = idlog_cli::RunOpts::new(path("sampling.idl"), "select_two_emp");
+    all.facts = Some(path("company.facts"));
+    all.all = true;
+    all.max_models = Some(10_000);
+    all.threads = Some(2);
+    idlog_cli::commands::run_query(&all).unwrap();
 }
 
 #[test]
@@ -57,10 +44,7 @@ fn coloring_program_enumerates() {
         "proper_color",
     )
     .unwrap();
-    let answers = loaded
-        .query
-        .all_answers(&loaded.db, &idlog_core::EnumBudget::default())
-        .unwrap();
+    let answers = loaded.query.session(&loaded.db).all_answers().unwrap();
     // A 4-cycle: two proper 2-colorings plus the empty answer from improper
     // guesses.
     assert_eq!(answers.len(), 3);
@@ -75,10 +59,7 @@ fn parity_program_is_deterministic() {
         "even_card",
     )
     .unwrap();
-    let answers = loaded
-        .query
-        .all_answers(&loaded.db, &idlog_core::EnumBudget::default())
-        .unwrap();
+    let answers = loaded.query.session(&loaded.db).all_answers().unwrap();
     assert_eq!(answers.len(), 1, "parity is tid-independent");
     assert!(
         !answers.iter().next().unwrap().is_empty(),

@@ -1,31 +1,130 @@
-//! Evaluation configuration: the worker-thread budget shared by round
-//! execution ([`crate::engine`]) and answer enumeration
-//! ([`crate::enumerate`]).
+//! Evaluation options: the single knob surface shared by evaluation
+//! ([`crate::eval::evaluate_with_options`]), enumeration
+//! ([`crate::enumerate::enumerate_with_options`]), and the session API
+//! ([`crate::query::Session`]).
 //!
-//! Determinism contract: the thread count never changes what is computed.
-//! Round work lists are built in a fixed (plan, step, shard) order, every
-//! worker derives into a local sink, and sinks are merged at the round
-//! barrier in work-item order — so answer relations *and*
-//! [`crate::EvalStats`] are identical for any `threads` value.
+//! Determinism contract: neither the thread count nor profiling changes
+//! what is computed. Round work lists are built in a fixed (plan, step,
+//! shard) order, every worker derives into a local sink, and sinks are
+//! merged at the round barrier in work-item order — so answer relations,
+//! [`crate::EvalStats`], and [`crate::Profile`] (wall time excepted) are
+//! identical for any `threads` value.
 
 use std::num::NonZeroUsize;
 
-/// Environment variable consulted when [`EvalConfig::threads`] is `0`
+use crate::enumerate::EnumBudget;
+use crate::eval::Strategy;
+
+/// Environment variable consulted when [`EvalOptions::threads`] is `0`
 /// (auto). CI uses it to run the whole test suite under a fixed thread
 /// count.
 pub const THREADS_ENV_VAR: &str = "IDLOG_THREADS";
 
-/// Knobs for one evaluation or enumeration.
+/// Builder-style options for one evaluation or enumeration.
+///
+/// ```
+/// use idlog_core::{EvalOptions, Strategy};
+///
+/// let opts = EvalOptions::new()
+///     .strategy(Strategy::SemiNaive)
+///     .threads(4)
+///     .profile(true);
+/// assert_eq!(opts.effective_threads(), 4);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct EvalConfig {
+pub struct EvalOptions {
+    /// Fixpoint strategy per stratum.
+    pub strategy: Strategy,
     /// Worker threads for fixpoint rounds and enumeration fan-out.
     ///
     /// `0` means *auto*: the `IDLOG_THREADS` environment variable when set
     /// to a positive integer, otherwise
     /// [`std::thread::available_parallelism`].
     pub threads: usize,
+    /// Collect a per-rule [`crate::Profile`] alongside the statistics.
+    /// Near-zero cost when off; deterministic (wall time excepted) when on.
+    pub profile: bool,
+    /// Bounds for all-answers enumeration (ignored by single-model
+    /// evaluation).
+    pub budget: EnumBudget,
 }
 
+impl EvalOptions {
+    /// Default options: semi-naive, auto threads, profiling off, default
+    /// enumeration budget.
+    pub fn new() -> Self {
+        EvalOptions {
+            strategy: Strategy::SemiNaive,
+            threads: 0,
+            profile: false,
+            budget: EnumBudget::default(),
+        }
+    }
+
+    /// Single-threaded evaluation (exactly the pre-parallel behavior).
+    pub fn serial() -> Self {
+        EvalOptions::new().threads(1)
+    }
+
+    /// Set the fixpoint [`Strategy`].
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Set the worker-thread count (`0` = auto).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Toggle per-rule profiling.
+    pub fn profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Set the enumeration budget.
+    pub fn budget(mut self, budget: EnumBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Resolve the configured thread count to a concrete positive number.
+    pub fn effective_threads(&self) -> usize {
+        resolve_threads(self.threads)
+    }
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions::new()
+    }
+}
+
+fn resolve_threads(threads: usize) -> usize {
+    if threads > 0 {
+        return threads;
+    }
+    if let Ok(raw) = std::env::var(THREADS_ENV_VAR) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// Knobs for one evaluation or enumeration (superseded by [`EvalOptions`]).
+#[deprecated(since = "0.2.0", note = "use EvalOptions")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalConfig {
+    /// Worker threads (`0` = auto, as in [`EvalOptions::threads`]).
+    pub threads: usize,
+}
+
+#[allow(deprecated)]
 impl EvalConfig {
     /// Single-threaded evaluation (exactly the pre-parallel behavior).
     pub const fn serial() -> Self {
@@ -39,24 +138,27 @@ impl EvalConfig {
 
     /// Resolve the configured thread count to a concrete positive number.
     pub fn effective_threads(&self) -> usize {
-        if self.threads > 0 {
-            return self.threads;
-        }
-        if let Ok(raw) = std::env::var(THREADS_ENV_VAR) {
-            if let Ok(n) = raw.trim().parse::<usize>() {
-                if n > 0 {
-                    return n;
-                }
-            }
-        }
-        std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+        resolve_threads(self.threads)
+    }
+
+    /// The equivalent [`EvalOptions`].
+    pub fn to_options(self) -> EvalOptions {
+        EvalOptions::new().threads(self.threads)
     }
 }
 
+#[allow(deprecated)]
 impl Default for EvalConfig {
     /// Auto thread count (env var, then hardware).
     fn default() -> Self {
         EvalConfig { threads: 0 }
+    }
+}
+
+#[allow(deprecated)]
+impl From<EvalConfig> for EvalOptions {
+    fn from(config: EvalConfig) -> EvalOptions {
+        config.to_options()
     }
 }
 
@@ -66,13 +168,40 @@ mod tests {
 
     #[test]
     fn explicit_threads_win() {
-        assert_eq!(EvalConfig::serial().effective_threads(), 1);
-        assert_eq!(EvalConfig::with_threads(6).effective_threads(), 6);
+        assert_eq!(EvalOptions::serial().effective_threads(), 1);
+        assert_eq!(EvalOptions::new().threads(6).effective_threads(), 6);
     }
 
     #[test]
     fn auto_is_positive() {
         // Whatever the host/env says, the resolved count is usable.
+        assert!(EvalOptions::default().effective_threads() >= 1);
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let opts = EvalOptions::new()
+            .strategy(Strategy::Naive)
+            .threads(3)
+            .profile(true)
+            .budget(EnumBudget {
+                max_models: 7,
+                max_answers: 5,
+            });
+        assert_eq!(opts.strategy, Strategy::Naive);
+        assert_eq!(opts.threads, 3);
+        assert!(opts.profile);
+        assert_eq!(opts.budget.max_models, 7);
+        assert_eq!(opts.budget.max_answers, 5);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_config_converts() {
+        let opts: EvalOptions = EvalConfig::with_threads(5).into();
+        assert_eq!(opts.threads, 5);
+        assert!(!opts.profile);
+        assert_eq!(EvalConfig::serial().effective_threads(), 1);
         assert!(EvalConfig::default().effective_threads() >= 1);
     }
 }

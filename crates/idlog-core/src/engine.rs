@@ -24,6 +24,7 @@ use crate::builtins;
 use crate::error::CoreResult;
 use crate::plan::{AtomStep, RulePlan, Step, TermPat};
 use crate::pred::PredKey;
+use crate::profile::{ItemRec, RoundProfile, StratumProfile};
 use crate::stats::EvalStats;
 
 /// A stored relation with a version counter for index invalidation.
@@ -138,6 +139,20 @@ struct WorkItem<'a> {
     delta: Option<(usize, &'a [Tuple])>,
 }
 
+impl WorkItem<'_> {
+    /// The profile record for this item's execution.
+    fn record(&self, out_len: usize, stats: EvalStats, wall_nanos: u64) -> ItemRec {
+        ItemRec {
+            clause: self.plan.clause_idx,
+            delta_step: self.delta.map(|(si, _)| si),
+            delta_tuples: self.delta.map_or(0, |(_, d)| d.len() as u64),
+            out_len,
+            stats,
+            wall_nanos,
+        }
+    }
+}
+
 /// Upper bound on shards per (plan, step, predicate) delta. A small constant:
 /// enough slack for an 8-way host, while keeping the per-round item count —
 /// and therefore the merge cost — bounded.
@@ -165,11 +180,16 @@ fn shard_count(n: usize) -> usize {
 /// Execute one round's work items, serially or over a scoped thread pool,
 /// returning the concatenated derivations **in work-item order**. The merged
 /// `out` and the statistics are identical for every `threads` value.
+///
+/// When `recs` is provided, one [`ItemRec`] per work item is appended — in
+/// work-item order, so profiles inherit the determinism of the merge. The
+/// `recs: None` path is exactly the unprofiled code.
 fn run_round(
     state: &EvalState,
     items: &[WorkItem<'_>],
     threads: usize,
     stats: &mut EvalStats,
+    mut recs: Option<&mut Vec<ItemRec>>,
 ) -> CoreResult<Vec<(SymbolId, Tuple)>> {
     // Estimate the round's work to skip thread spawn for tiny rounds. Full
     // (round 0) items count as heavy; the estimate uses no thread-dependent
@@ -180,6 +200,22 @@ fn run_round(
         .map(|it| it.delta.map_or(PARALLEL_MIN_WORK, |(_, d)| d.len()))
         .sum();
     if threads <= 1 || items.len() <= 1 || est < PARALLEL_MIN_WORK {
+        if let Some(recs) = recs {
+            // Profiled serial path: per-item local stats so counters can be
+            // attributed, merged into `stats` exactly as the parallel path
+            // does.
+            let mut out: Vec<(SymbolId, Tuple)> = Vec::new();
+            for item in items {
+                let before = out.len();
+                let started = std::time::Instant::now();
+                let mut local = EvalStats::default();
+                run_rule(state, item.plan, item.delta, &mut out, &mut local)?;
+                let nanos = started.elapsed().as_nanos() as u64;
+                recs.push(item.record(out.len() - before, local, nanos));
+                *stats += local;
+            }
+            return Ok(out);
+        }
         let mut out: Vec<(SymbolId, Tuple)> = Vec::new();
         for item in items {
             run_rule(state, item.plan, item.delta, &mut out, stats)?;
@@ -187,25 +223,31 @@ fn run_round(
         return Ok(out);
     }
 
-    type Slot = Option<CoreResult<(Vec<(SymbolId, Tuple)>, EvalStats)>>;
+    type Slot = Option<CoreResult<(Vec<(SymbolId, Tuple)>, EvalStats, u64)>>;
+    let profiling = recs.is_some();
     let mut slots: Vec<Slot> = items.iter().map(|_| None).collect();
     let chunk = items.len().div_ceil(threads.min(items.len()));
     std::thread::scope(|scope| {
         for (item_chunk, slot_chunk) in items.chunks(chunk).zip(slots.chunks_mut(chunk)) {
             scope.spawn(move || {
                 for (item, slot) in item_chunk.iter().zip(slot_chunk.iter_mut()) {
+                    let started = profiling.then(std::time::Instant::now);
                     let mut out: Vec<(SymbolId, Tuple)> = Vec::new();
                     let mut local = EvalStats::default();
                     let res = run_rule(state, item.plan, item.delta, &mut out, &mut local);
-                    *slot = Some(res.map(|()| (out, local)));
+                    let nanos = started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    *slot = Some(res.map(|()| (out, local, nanos)));
                 }
             });
         }
     });
 
     let mut merged: Vec<(SymbolId, Tuple)> = Vec::new();
-    for slot in slots {
-        let (out, local) = slot.expect("scope joined every worker")?;
+    for (item, slot) in items.iter().zip(slots) {
+        let (out, local, nanos) = slot.expect("scope joined every worker")?;
+        if let Some(recs) = recs.as_deref_mut() {
+            recs.push(item.record(out.len(), local, nanos));
+        }
         merged.extend(out);
         *stats += local;
     }
@@ -255,7 +297,9 @@ pub fn eval_stratum_naive(
     plans: &[&RulePlan],
     stats: &mut EvalStats,
     threads: usize,
+    mut prof: Option<&mut StratumProfile>,
 ) -> CoreResult<()> {
+    let mut round = 0usize;
     loop {
         state.ensure_indexes(plans);
         let items: Vec<WorkItem> = plans
@@ -265,9 +309,14 @@ pub fn eval_stratum_naive(
                 delta: None,
             })
             .collect();
-        let out = run_round(state, &items, threads, stats)?;
-        let delta = absorb(state, out, stats);
+        let mut recs = prof.as_ref().map(|_| Vec::new());
+        let out = run_round(state, &items, threads, stats, recs.as_mut())?;
+        let delta = absorb(state, out, stats, recs.as_mut());
+        if let (Some(p), Some(recs)) = (prof.as_deref_mut(), recs) {
+            p.rounds.push(RoundProfile::from_items(round, recs));
+        }
         stats.iterations += 1;
+        round += 1;
         if delta.is_empty() {
             return Ok(());
         }
@@ -286,6 +335,7 @@ pub fn eval_stratum(
     same_stratum: &FxHashSet<SymbolId>,
     stats: &mut EvalStats,
     threads: usize,
+    mut prof: Option<&mut StratumProfile>,
 ) -> CoreResult<()> {
     // Round 0: full evaluation of every rule.
     state.ensure_indexes(plans);
@@ -296,17 +346,27 @@ pub fn eval_stratum(
             delta: None,
         })
         .collect();
-    let out = run_round(state, &full, threads, stats)?;
-    let mut delta = absorb(state, out, stats);
+    let mut recs = prof.as_ref().map(|_| Vec::new());
+    let out = run_round(state, &full, threads, stats, recs.as_mut())?;
+    let mut delta = absorb(state, out, stats, recs.as_mut());
+    if let (Some(p), Some(recs)) = (prof.as_deref_mut(), recs) {
+        p.rounds.push(RoundProfile::from_items(0, recs));
+    }
     stats.iterations += 1;
 
     // Delta rounds.
+    let mut round = 1usize;
     while !delta.is_empty() {
         state.ensure_indexes(plans);
         let items = delta_work_list(plans, same_stratum, &delta);
-        let out = run_round(state, &items, threads, stats)?;
-        delta = absorb(state, out, stats);
+        let mut recs = prof.as_ref().map(|_| Vec::new());
+        let out = run_round(state, &items, threads, stats, recs.as_mut())?;
+        delta = absorb(state, out, stats, recs.as_mut());
+        if let (Some(p), Some(recs)) = (prof.as_deref_mut(), recs) {
+            p.rounds.push(RoundProfile::from_items(round, recs));
+        }
         stats.iterations += 1;
+        round += 1;
     }
     Ok(())
 }
@@ -315,18 +375,43 @@ pub fn eval_stratum(
 /// derivation order. Duplicates cost one set lookup and no allocation; the
 /// delta holds the already-owned tuple, so a new fact is cloned exactly once
 /// (into the stored relation).
+///
+/// With `recs`, `derived`/`inserted` are also attributed to the work item
+/// that produced each tuple: `out` is the concatenation of per-item output
+/// segments in record order, so a cursor over the records' `out_len`
+/// boundaries identifies the owner.
 fn absorb(
     state: &mut EvalState,
     out: Vec<(SymbolId, Tuple)>,
     stats: &mut EvalStats,
+    recs: Option<&mut Vec<ItemRec>>,
 ) -> FxHashMap<SymbolId, Vec<Tuple>> {
     let mut delta: FxHashMap<SymbolId, Vec<Tuple>> = FxHashMap::default();
+    let Some(recs) = recs else {
+        for (pred, t) in out {
+            stats.derived += 1;
+            if state.insert(pred, &t) {
+                stats.inserted += 1;
+                delta.entry(pred).or_default().push(t);
+            }
+        }
+        return delta;
+    };
+    let mut ri = 0usize;
+    let mut remaining = recs.first().map_or(0, |r| r.out_len);
     for (pred, t) in out {
+        while remaining == 0 {
+            ri += 1;
+            remaining = recs[ri].out_len;
+        }
         stats.derived += 1;
+        recs[ri].stats.derived += 1;
         if state.insert(pred, &t) {
             stats.inserted += 1;
+            recs[ri].stats.inserted += 1;
             delta.entry(pred).or_default().push(t);
         }
+        remaining -= 1;
     }
     delta
 }

@@ -17,7 +17,7 @@ use idlog_storage::{
     make_id_relation, BoundedAssignmentIter, Database, IdAssignmentIter, Relation,
 };
 
-use crate::config::EvalConfig;
+use crate::config::EvalOptions;
 use crate::engine::{eval_stratum, EvalState};
 use crate::error::{CoreError, CoreResult};
 use crate::eval;
@@ -29,7 +29,7 @@ use crate::tid::CanonicalOracle;
 use crate::tidbound::tid_bounds;
 
 /// Bounds on enumeration work.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EnumBudget {
     /// Maximum number of perfect models (leaves) to visit.
     pub max_models: u64,
@@ -152,9 +152,59 @@ impl AnswerSet {
 }
 
 /// Enumerate every answer of `output` over `db` (sequentially).
+#[deprecated(
+    since = "0.2.0",
+    note = "use enumerate_with_options with EvalOptions::serial().budget(..)"
+)]
+pub fn enumerate_answers(
+    program: &ValidatedProgram,
+    db: &Database,
+    output: &str,
+    budget: &EnumBudget,
+) -> CoreResult<AnswerSet> {
+    enumerate_with_options(program, db, output, &EvalOptions::serial().budget(*budget))
+}
+
+/// Enumerate every answer, distributing the first choice point's branches
+/// over threads (std scoped). Answers and budgets are shared.
+#[deprecated(
+    since = "0.2.0",
+    note = "use enumerate_with_options with EvalOptions::new().budget(..)"
+)]
+pub fn enumerate_answers_parallel(
+    program: &ValidatedProgram,
+    db: &Database,
+    output: &str,
+    budget: &EnumBudget,
+) -> CoreResult<AnswerSet> {
+    enumerate_with_options(program, db, output, &EvalOptions::new().budget(*budget))
+}
+
+/// Enumerate every answer under an explicit legacy `(EnumBudget,
+/// EvalConfig)` pair.
+#[deprecated(
+    since = "0.2.0",
+    note = "use enumerate_with_options with EvalOptions::new().threads(..).budget(..)"
+)]
+#[allow(deprecated)]
+pub fn enumerate_answers_with(
+    program: &ValidatedProgram,
+    db: &Database,
+    output: &str,
+    budget: &EnumBudget,
+    config: &crate::config::EvalConfig,
+) -> CoreResult<AnswerSet> {
+    enumerate_with_options(program, db, output, &config.to_options().budget(*budget))
+}
+
+/// Enumerate every answer of `output` over `db` under [`EvalOptions`]: the
+/// options' budget bounds the walk, and the configured thread budget drives
+/// the first choice point's fan-out (whatever is not consumed by branching
+/// parallelizes the per-branch fixpoint rounds). Profiling does not apply
+/// to enumeration and is ignored.
 ///
 /// ```
-/// use idlog_core::{enumerate::enumerate_answers, EnumBudget, Query};
+/// use idlog_core::Query;
 ///
 /// // Example 2 of the paper: guessing everyone's sex.
 /// let q = Query::parse(
@@ -167,41 +217,17 @@ impl AnswerSet {
 /// db.insert_syms("person", &["a"]).unwrap();
 /// db.insert_syms("person", &["b"]).unwrap();
 ///
-/// let answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+/// let answers = q.session(&db).all_answers().unwrap();
 /// assert_eq!(answers.len(), 4); // ∅, {a}, {b}, {a, b}
 /// assert!(answers.complete());
 /// ```
-pub fn enumerate_answers(
+pub fn enumerate_with_options(
     program: &ValidatedProgram,
     db: &Database,
     output: &str,
-    budget: &EnumBudget,
+    options: &EvalOptions,
 ) -> CoreResult<AnswerSet> {
-    enumerate_impl(program, db, output, budget, &EvalConfig::serial())
-}
-
-/// Enumerate every answer, distributing the first choice point's branches
-/// over threads (std scoped). Answers and budgets are shared.
-pub fn enumerate_answers_parallel(
-    program: &ValidatedProgram,
-    db: &Database,
-    output: &str,
-    budget: &EnumBudget,
-) -> CoreResult<AnswerSet> {
-    enumerate_impl(program, db, output, budget, &EvalConfig::default())
-}
-
-/// Enumerate every answer under an explicit [`EvalConfig`]: the configured
-/// thread budget drives the first choice point's fan-out, and whatever is
-/// not consumed by branching parallelizes the per-branch fixpoint rounds.
-pub fn enumerate_answers_with(
-    program: &ValidatedProgram,
-    db: &Database,
-    output: &str,
-    budget: &EnumBudget,
-    config: &EvalConfig,
-) -> CoreResult<AnswerSet> {
-    enumerate_impl(program, db, output, budget, config)
+    enumerate_impl(program, db, output, &options.budget, options)
 }
 
 struct Shared {
@@ -225,7 +251,7 @@ fn enumerate_impl(
     db: &Database,
     output: &str,
     budget: &EnumBudget,
-    config: &EvalConfig,
+    options: &EvalOptions,
 ) -> CoreResult<AnswerSet> {
     let interner = Arc::clone(program.interner());
     let output_id = interner.get(output).ok_or_else(|| CoreError::Validation {
@@ -285,7 +311,7 @@ fn enumerate_impl(
     };
     // Cap the fan-out: beyond a small pool the branch chunks stop amortizing
     // the per-branch state clone.
-    let threads = config.effective_threads().min(16);
+    let threads = options.effective_threads().min(16);
     let mut local = Local::default();
     explore(&cx, 0, state, threads, &mut local)?;
 
@@ -381,7 +407,14 @@ fn branch(
         let same: FxHashSet<SymbolId> = cx.stratum_plans[k].iter().map(|p| p.head_pred).collect();
         let mut stats = EvalStats::default();
         // Threads not consumed by branch fan-out parallelize the rounds.
-        eval_stratum(&mut state, &cx.stratum_plans[k], &same, &mut stats, threads)?;
+        eval_stratum(
+            &mut state,
+            &cx.stratum_plans[k],
+            &same,
+            &mut stats,
+            threads,
+            None,
+        )?;
         return explore(cx, k + 1, state, threads, local);
     }
 
@@ -465,7 +498,8 @@ pub fn canonical_answer(
     db: &Database,
     output: &str,
 ) -> CoreResult<Relation> {
-    let out = eval::evaluate(program, db, &mut CanonicalOracle)?;
+    let out =
+        eval::evaluate_with_options(program, db, &mut CanonicalOracle, &EvalOptions::default())?;
     out.relation(output)
         .cloned()
         .ok_or_else(|| CoreError::Validation {
@@ -488,6 +522,15 @@ mod tests {
         (program, db)
     }
 
+    fn enumerate(
+        program: &ValidatedProgram,
+        db: &Database,
+        output: &str,
+        budget: &EnumBudget,
+    ) -> CoreResult<AnswerSet> {
+        enumerate_with_options(program, db, output, &EvalOptions::serial().budget(*budget))
+    }
+
     #[test]
     fn paper_example2_all_answers() {
         // The query man on person={a,b} has answers ∅, {a}, {b}, {a,b}.
@@ -499,7 +542,7 @@ mod tests {
             &[("person", &["a"]), ("person", &["b"])],
         );
         let budget = EnumBudget::default();
-        let answers = enumerate_answers(&p, &db, "man", &budget).unwrap();
+        let answers = enumerate(&p, &db, "man", &budget).unwrap();
         assert!(answers.complete());
         let strings = answers.to_sorted_strings(p.interner());
         assert_eq!(
@@ -512,7 +555,7 @@ mod tests {
             ]
         );
         // woman has the same answer set by symmetry.
-        let answers_w = enumerate_answers(&p, &db, "woman", &budget).unwrap();
+        let answers_w = enumerate(&p, &db, "woman", &budget).unwrap();
         assert_eq!(answers_w.to_sorted_strings(p.interner()), strings);
     }
 
@@ -522,7 +565,7 @@ mod tests {
             "tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
             &[("e", &["a", "b"]), ("e", &["b", "c"])],
         );
-        let answers = enumerate_answers(&p, &db, "tc", &EnumBudget::default()).unwrap();
+        let answers = enumerate(&p, &db, "tc", &EnumBudget::default()).unwrap();
         assert_eq!(answers.len(), 1);
         assert!(answers.complete());
         assert_eq!(answers.models_explored(), 1);
@@ -542,7 +585,7 @@ mod tests {
                 ("emp", &["c", "d"]),
             ],
         );
-        let answers = enumerate_answers(&p, &db, "pick", &EnumBudget::default()).unwrap();
+        let answers = enumerate(&p, &db, "pick", &EnumBudget::default()).unwrap();
         assert_eq!(answers.models_explored(), 3);
         assert_eq!(answers.len(), 3);
     }
@@ -559,7 +602,7 @@ mod tests {
                 ("emp", &["c", "d"]),
             ],
         );
-        let answers = enumerate_answers(&p, &db, "pick", &EnumBudget::default()).unwrap();
+        let answers = enumerate(&p, &db, "pick", &EnumBudget::default()).unwrap();
         assert_eq!(answers.models_explored(), 6);
         assert_eq!(answers.len(), 6);
     }
@@ -582,7 +625,7 @@ mod tests {
             max_models: 10,
             max_answers: 1000,
         };
-        let answers = enumerate_answers(&p, &db, "pick", &budget).unwrap();
+        let answers = enumerate(&p, &db, "pick", &budget).unwrap();
         assert!(!answers.complete());
         assert!(answers.models_explored() <= 11);
     }
@@ -596,8 +639,9 @@ mod tests {
             &[("person", &["a"]), ("person", &["b"]), ("person", &["c"])],
         );
         let budget = EnumBudget::default();
-        let seq = enumerate_answers(&p, &db, "man", &budget).unwrap();
-        let par = enumerate_answers_parallel(&p, &db, "man", &budget).unwrap();
+        let seq = enumerate(&p, &db, "man", &budget).unwrap();
+        let par =
+            enumerate_with_options(&p, &db, "man", &EvalOptions::new().budget(budget)).unwrap();
         assert_eq!(
             seq.to_sorted_strings(p.interner()),
             par.to_sorted_strings(p.interner())
@@ -607,7 +651,7 @@ mod tests {
     #[test]
     fn unknown_output_is_an_error() {
         let (p, db) = setup("p(X) :- q(X).", &[]);
-        assert!(enumerate_answers(&p, &db, "zzz", &EnumBudget::default()).is_err());
+        assert!(enumerate(&p, &db, "zzz", &EnumBudget::default()).is_err());
     }
 
     #[test]
@@ -624,7 +668,7 @@ mod tests {
                 ("emp", &["c", "d"]),
             ],
         );
-        let answers = enumerate_answers(&p, &db, "out", &EnumBudget::default()).unwrap();
+        let answers = enumerate(&p, &db, "out", &EnumBudget::default()).unwrap();
         assert_eq!(answers.models_explored(), 1);
         assert_eq!(answers.len(), 1);
     }

@@ -11,22 +11,25 @@ use std::sync::Arc;
 use idlog_common::{FxHashMap, FxHashSet, Interner, SymbolId};
 use idlog_storage::{make_id_relation, Database, Relation};
 
-use crate::config::EvalConfig;
+use crate::config::EvalOptions;
 use crate::engine::{eval_stratum, eval_stratum_naive, EvalState};
 use crate::error::{CoreError, CoreResult};
 use crate::plan::RulePlan;
 use crate::pred::PredKey;
+use crate::profile::{IdRelationProfile, Profile, StratumProfile};
 use crate::program::ValidatedProgram;
 use crate::sorts::{infer_with_seeds, SortMap};
 use crate::stats::EvalStats;
 use crate::tid::TidOracle;
 
-/// The result of one evaluation: every predicate's relation plus statistics.
+/// The result of one evaluation: every predicate's relation plus statistics
+/// (and, when requested, a per-rule [`Profile`]).
 #[derive(Debug, Clone)]
 pub struct EvalOutput {
     interner: Arc<Interner>,
     state: EvalState,
     stats: EvalStats,
+    profile: Option<Profile>,
 }
 
 impl EvalOutput {
@@ -49,6 +52,17 @@ impl EvalOutput {
         self.stats
     }
 
+    /// The per-rule profile, when the run was started with
+    /// [`EvalOptions::profile`] set.
+    pub fn profile(&self) -> Option<&Profile> {
+        self.profile.as_ref()
+    }
+
+    /// Take ownership of the profile, leaving `None` behind.
+    pub fn take_profile(&mut self) -> Option<Profile> {
+        self.profile.take()
+    }
+
     /// The interner shared with the program and database.
     pub fn interner(&self) -> &Arc<Interner> {
         &self.interner
@@ -67,43 +81,18 @@ pub enum Strategy {
 }
 
 /// Compute the perfect model of `program` on `db` under `oracle`'s tid
-/// choices.
+/// choices, governed by [`EvalOptions`] (strategy, threads, profiling).
 ///
 /// `db` must share the program's interner (build it with
-/// `Database::with_interner(program.interner().clone())`).
-pub fn evaluate(
+/// `Database::with_interner(program.interner().clone())`). Neither the
+/// thread count nor profiling changes the computed relations or statistics
+/// — rounds merge worker output in deterministic work-item order, and the
+/// profile (wall time excepted) inherits that determinism.
+pub fn evaluate_with_options(
     program: &ValidatedProgram,
     db: &Database,
     oracle: &mut dyn TidOracle,
-) -> CoreResult<EvalOutput> {
-    evaluate_with_config(
-        program,
-        db,
-        oracle,
-        Strategy::SemiNaive,
-        &EvalConfig::default(),
-    )
-}
-
-/// [`evaluate`] with an explicit fixpoint [`Strategy`].
-pub fn evaluate_with_strategy(
-    program: &ValidatedProgram,
-    db: &Database,
-    oracle: &mut dyn TidOracle,
-    strategy: Strategy,
-) -> CoreResult<EvalOutput> {
-    evaluate_with_config(program, db, oracle, strategy, &EvalConfig::default())
-}
-
-/// [`evaluate`] with an explicit [`Strategy`] and [`EvalConfig`]. The thread
-/// count never changes the computed relations or statistics — rounds merge
-/// worker output in deterministic work-item order.
-pub fn evaluate_with_config(
-    program: &ValidatedProgram,
-    db: &Database,
-    oracle: &mut dyn TidOracle,
-    strategy: Strategy,
-    config: &EvalConfig,
+    options: &EvalOptions,
 ) -> CoreResult<EvalOutput> {
     let interner = Arc::clone(program.interner());
     if !Arc::ptr_eq(&interner, db.interner()) {
@@ -118,16 +107,25 @@ pub fn evaluate_with_config(
     let plans = program.plans();
     let mut stats = EvalStats::default();
     let mut state = EvalState::new();
+    let mut profile = options.profile.then(|| Profile::for_program(program));
 
     install_inputs(program, db, &mut state)?;
     install_idb(program, &refine_sorts(program, db)?, db, &mut state)?;
 
-    let threads = config.effective_threads();
+    let threads = options.effective_threads();
     let by_stratum = strat.clauses_by_stratum(program.ast());
-    for stratum_clauses in &by_stratum {
+    for (k, stratum_clauses) in by_stratum.iter().enumerate() {
         let stratum_plans: Vec<&RulePlan> = stratum_clauses.iter().map(|&ci| &plans[ci]).collect();
-        materialize_id_relations(&stratum_plans, &mut state, oracle, &interner, &mut stats)?;
-        match strategy {
+        let mut sp = profile.as_ref().map(|_| StratumProfile::new(k));
+        materialize_id_relations(
+            &stratum_plans,
+            &mut state,
+            oracle,
+            &interner,
+            &mut stats,
+            sp.as_mut(),
+        )?;
+        match options.strategy {
             Strategy::SemiNaive => {
                 let same_stratum: FxHashSet<SymbolId> =
                     stratum_plans.iter().map(|p| p.head_pred).collect();
@@ -137,19 +135,72 @@ pub fn evaluate_with_config(
                     &same_stratum,
                     &mut stats,
                     threads,
+                    sp.as_mut(),
                 )?;
             }
             Strategy::Naive => {
-                eval_stratum_naive(&mut state, &stratum_plans, &mut stats, threads)?;
+                eval_stratum_naive(&mut state, &stratum_plans, &mut stats, threads, sp.as_mut())?;
             }
+        }
+        if let (Some(p), Some(sp)) = (profile.as_mut(), sp) {
+            p.strata.push(sp);
         }
     }
 
+    if let Some(p) = profile.as_mut() {
+        p.totals = stats;
+    }
     Ok(EvalOutput {
         interner,
         state,
         stats,
+        profile,
     })
+}
+
+/// Compute the perfect model under default options.
+#[deprecated(
+    since = "0.2.0",
+    note = "use evaluate_with_options(program, db, oracle, &EvalOptions::default()) \
+            or Query::session"
+)]
+pub fn evaluate(
+    program: &ValidatedProgram,
+    db: &Database,
+    oracle: &mut dyn TidOracle,
+) -> CoreResult<EvalOutput> {
+    evaluate_with_options(program, db, oracle, &EvalOptions::default())
+}
+
+/// [`evaluate_with_options`] with only the fixpoint [`Strategy`] set.
+#[deprecated(
+    since = "0.2.0",
+    note = "use evaluate_with_options with EvalOptions::new().strategy(..)"
+)]
+pub fn evaluate_with_strategy(
+    program: &ValidatedProgram,
+    db: &Database,
+    oracle: &mut dyn TidOracle,
+    strategy: Strategy,
+) -> CoreResult<EvalOutput> {
+    evaluate_with_options(program, db, oracle, &EvalOptions::new().strategy(strategy))
+}
+
+/// [`evaluate_with_options`] taking the legacy `(Strategy, EvalConfig)`
+/// pair.
+#[deprecated(
+    since = "0.2.0",
+    note = "use evaluate_with_options with EvalOptions::new().strategy(..).threads(..)"
+)]
+#[allow(deprecated)]
+pub fn evaluate_with_config(
+    program: &ValidatedProgram,
+    db: &Database,
+    oracle: &mut dyn TidOracle,
+    strategy: Strategy,
+    config: &crate::config::EvalConfig,
+) -> CoreResult<EvalOutput> {
+    evaluate_with_options(program, db, oracle, &config.to_options().strategy(strategy))
 }
 
 /// Set up an [`EvalState`] for enumeration: interner check, input relations
@@ -287,6 +338,7 @@ fn materialize_id_relations(
     oracle: &mut dyn TidOracle,
     interner: &Interner,
     stats: &mut EvalStats,
+    mut prof: Option<&mut StratumProfile>,
 ) -> CoreResult<()> {
     // Collect first: borrow juggling (state is read and written).
     let mut needed: FxHashMap<PredKey, (SymbolId, Vec<usize>)> = FxHashMap::default();
@@ -313,6 +365,17 @@ fn materialize_id_relations(
                 ),
             })?;
         let assignment = oracle.assign(base, &grouping, &rel, interner);
+        if let Some(p) = prof.as_deref_mut() {
+            // Each group gets exactly one tid-0 tuple, so counting them
+            // counts the groups.
+            let groups = rel.iter().filter(|t| assignment.tid(t) == Some(0)).count() as u64;
+            p.id_relations.push(IdRelationProfile {
+                name: interner.resolve(base),
+                grouping: grouping.clone(),
+                groups,
+                tuples: rel.len() as u64,
+            });
+        }
         state.put(key, make_id_relation(&rel, &assignment));
         stats.id_relations += 1;
     }
@@ -333,6 +396,14 @@ mod tests {
             db.insert_syms(pred, cols).unwrap();
         }
         (program, db)
+    }
+
+    fn run(
+        program: &ValidatedProgram,
+        db: &Database,
+        oracle: &mut dyn TidOracle,
+    ) -> CoreResult<EvalOutput> {
+        evaluate_with_options(program, db, oracle, &EvalOptions::default())
     }
 
     fn names(out: &EvalOutput, rel: &str) -> Vec<String> {
@@ -361,7 +432,7 @@ mod tests {
             "tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
             &[("e", &["a", "b"]), ("e", &["b", "c"]), ("e", &["c", "d"])],
         );
-        let out = evaluate(&p, &db, &mut CanonicalOracle).unwrap();
+        let out = run(&p, &db, &mut CanonicalOracle).unwrap();
         assert_eq!(
             names(&out, "tc"),
             ["a,b", "a,c", "a,d", "b,c", "b,d", "c,d"]
@@ -382,7 +453,7 @@ mod tests {
                 ("e", &["a", "b"]),
             ],
         );
-        let out = evaluate(&p, &db, &mut CanonicalOracle).unwrap();
+        let out = run(&p, &db, &mut CanonicalOracle).unwrap();
         assert_eq!(names(&out, "reach"), ["a", "b"]);
         assert_eq!(names(&out, "unreach"), ["c"]);
     }
@@ -390,7 +461,7 @@ mod tests {
     #[test]
     fn facts_in_program() {
         let (p, db) = setup("p(a). q(X) :- p(X).", &[]);
-        let out = evaluate(&p, &db, &mut CanonicalOracle).unwrap();
+        let out = run(&p, &db, &mut CanonicalOracle).unwrap();
         assert_eq!(names(&out, "q"), ["a"]);
     }
 
@@ -405,7 +476,7 @@ mod tests {
                 ("emp", &["cay", "dev"]),
             ],
         );
-        let out = evaluate(&p, &db, &mut CanonicalOracle).unwrap();
+        let out = run(&p, &db, &mut CanonicalOracle).unwrap();
         // Canonical order: ann before bob in sales.
         assert_eq!(names(&out, "one_per_dept"), ["ann,sales", "cay,dev"]);
         assert_eq!(out.stats().id_relations, 1);
@@ -425,7 +496,7 @@ mod tests {
         // Group "dev" = [cay], group "sales" = [ann, bob] (canonical key
         // order: dev < sales). Swap sales so bob gets tid 0.
         oracle.set("emp", vec![1], vec![vec![0], vec![1, 0]]);
-        let out = evaluate(&p, &db, &mut oracle).unwrap();
+        let out = run(&p, &db, &mut oracle).unwrap();
         assert_eq!(names(&out, "one_per_dept"), ["bob,sales", "cay,dev"]);
     }
 
@@ -434,14 +505,14 @@ mod tests {
         let (p, mut db) = setup("double(N, M) :- num(N), plus(N, N, M).", &[]);
         db.insert("num", Tuple::new(vec![Value::Int(3)])).unwrap();
         db.insert("num", Tuple::new(vec![Value::Int(5)])).unwrap();
-        let out = evaluate(&p, &db, &mut CanonicalOracle).unwrap();
+        let out = run(&p, &db, &mut CanonicalOracle).unwrap();
         assert_eq!(names(&out, "double"), ["3,6", "5,10"]);
     }
 
     #[test]
     fn missing_input_relation_is_empty() {
         let (p, db) = setup("p(X) :- q(X).", &[]);
-        let out = evaluate(&p, &db, &mut CanonicalOracle).unwrap();
+        let out = run(&p, &db, &mut CanonicalOracle).unwrap();
         assert!(names(&out, "p").is_empty());
     }
 
@@ -450,7 +521,7 @@ mod tests {
         let (p, mut db) = setup("p(X) :- q(X).", &[]);
         db.insert_syms("q", &["a", "b"]).unwrap();
         assert!(matches!(
-            evaluate(&p, &db, &mut CanonicalOracle),
+            run(&p, &db, &mut CanonicalOracle),
             Err(CoreError::Input { .. })
         ));
     }
@@ -460,7 +531,7 @@ mod tests {
         let (p, mut db) = setup("r(N) :- q(N), succ(N, M).", &[]);
         db.insert_syms("q", &["a"]).unwrap();
         assert!(matches!(
-            evaluate(&p, &db, &mut CanonicalOracle),
+            run(&p, &db, &mut CanonicalOracle),
             Err(CoreError::Input { .. })
         ));
     }
@@ -471,7 +542,7 @@ mod tests {
         let program = ValidatedProgram::parse("p(X) :- q(X).", interner).unwrap();
         let db = Database::new();
         assert!(matches!(
-            evaluate(&program, &db, &mut CanonicalOracle),
+            run(&program, &db, &mut CanonicalOracle),
             Err(CoreError::Input { .. })
         ));
     }
@@ -481,7 +552,7 @@ mod tests {
         let (p, mut db) = setup("p(X) :- q(X).", &[("q", &["a"])]);
         db.insert_syms("p", &["stray"]).unwrap();
         assert!(matches!(
-            evaluate(&p, &db, &mut CanonicalOracle),
+            run(&p, &db, &mut CanonicalOracle),
             Err(CoreError::Input { .. })
         ));
     }
@@ -499,7 +570,7 @@ mod tests {
              woman(X) :- sex_guess[1](X, female, 1).",
             &[("person", &["a"]), ("person", &["b"])],
         );
-        let out = evaluate(&p, &db, &mut CanonicalOracle).unwrap();
+        let out = run(&p, &db, &mut CanonicalOracle).unwrap();
         assert_eq!(names(&out, "man"), ["a", "b"]);
         assert!(names(&out, "woman").is_empty());
     }
@@ -515,9 +586,20 @@ mod tests {
                 ("e", &["d", "a"]),
             ],
         );
-        let semi =
-            evaluate_with_strategy(&p, &db, &mut CanonicalOracle, Strategy::SemiNaive).unwrap();
-        let naive = evaluate_with_strategy(&p, &db, &mut CanonicalOracle, Strategy::Naive).unwrap();
+        let semi = evaluate_with_options(
+            &p,
+            &db,
+            &mut CanonicalOracle,
+            &EvalOptions::new().strategy(Strategy::SemiNaive),
+        )
+        .unwrap();
+        let naive = evaluate_with_options(
+            &p,
+            &db,
+            &mut CanonicalOracle,
+            &EvalOptions::new().strategy(Strategy::Naive),
+        )
+        .unwrap();
         assert!(semi
             .relation("tc")
             .unwrap()
@@ -532,6 +614,61 @@ mod tests {
     }
 
     #[test]
+    fn profiling_records_strata_rules_and_id_relations() {
+        let (p, db) = setup(
+            "reach(X) :- start(X).
+             reach(Y) :- reach(X), e(X, Y).
+             pick(X) :- reach[](X, 0).",
+            &[("start", &["a"]), ("e", &["a", "b"]), ("e", &["b", "c"])],
+        );
+        let plain = run(&p, &db, &mut CanonicalOracle).unwrap();
+        assert!(plain.profile().is_none(), "profiling must be opt-in");
+
+        let out = evaluate_with_options(
+            &p,
+            &db,
+            &mut CanonicalOracle,
+            &EvalOptions::new().profile(true),
+        )
+        .unwrap();
+        let profile = out.profile().expect("profile requested");
+        assert_eq!(profile.totals, out.stats(), "totals mirror EvalStats");
+        assert_eq!(out.stats(), plain.stats(), "profiling changes no counters");
+        assert!(
+            plain
+                .relation("pick")
+                .unwrap()
+                .set_eq(out.relation("pick").unwrap()),
+            "profiling changes no relations"
+        );
+        assert_eq!(profile.rules.len(), 3, "clause text captured");
+        // reach[] materialized in the pick stratum: 3 tuples, 1 group.
+        let idr: Vec<_> = profile
+            .strata
+            .iter()
+            .flat_map(|s| s.id_relations.iter())
+            .collect();
+        assert_eq!(idr.len(), 1);
+        assert_eq!(idr[0].display_name(), "reach[]");
+        assert_eq!(idr[0].tuples, 3);
+        assert_eq!(idr[0].groups, 1);
+        // Per-rule counters sum to the totals on every attributed field.
+        let per_rule = profile.per_rule_totals();
+        let summed = per_rule.iter().fold(EvalStats::default(), |mut acc, t| {
+            acc += t.stats;
+            acc
+        });
+        assert_eq!(summed.instantiations, profile.totals.instantiations);
+        assert_eq!(summed.derived, profile.totals.derived);
+        assert_eq!(summed.inserted, profile.totals.inserted);
+        assert_eq!(summed.probes, profile.totals.probes);
+        assert_eq!(summed.builtin_evals, profile.totals.builtin_evals);
+        // Rounds across strata equal the iterations counter.
+        let rounds: u64 = profile.strata.iter().map(|s| s.rounds.len() as u64).sum();
+        assert_eq!(rounds, profile.totals.iterations);
+    }
+
+    #[test]
     fn negated_id_literal() {
         // Everyone who is NOT the tid-0 employee of their department.
         let (p, db) = setup(
@@ -542,7 +679,7 @@ mod tests {
                 ("emp", &["cay", "dev"]),
             ],
         );
-        let out = evaluate(&p, &db, &mut CanonicalOracle).unwrap();
+        let out = run(&p, &db, &mut CanonicalOracle).unwrap();
         assert_eq!(names(&out, "rest"), ["bob,sales"]);
     }
 }

@@ -37,6 +37,7 @@ pub mod facts;
 pub mod modelcheck;
 pub mod plan;
 pub mod pred;
+pub mod profile;
 pub mod program;
 pub mod query;
 pub mod safety;
@@ -46,16 +47,21 @@ pub mod stratify;
 pub mod tid;
 pub mod tidbound;
 
+#[allow(deprecated)]
 pub use config::EvalConfig;
-pub use enumerate::{AnswerSet, EnumBudget};
+pub use config::{EvalOptions, THREADS_ENV_VAR};
+pub use enumerate::{enumerate_with_options, AnswerSet, EnumBudget};
 pub use error::{CoreError, CoreResult};
-pub use eval::{evaluate, evaluate_with_config, evaluate_with_strategy, EvalOutput, Strategy};
-pub use explain::explain;
+#[allow(deprecated)]
+pub use eval::{evaluate, evaluate_with_config, evaluate_with_strategy};
+pub use eval::{evaluate_with_options, EvalOutput, Strategy};
+pub use explain::{explain, explain_analyze};
 pub use facts::load_facts;
 pub use modelcheck::{verify_model, ModelViolation};
 pub use pred::PredKey;
+pub use profile::{Profile, RuleTotals, PROFILE_JSON_SCHEMA};
 pub use program::ValidatedProgram;
-pub use query::Query;
+pub use query::{EvalResult, Query, Session};
 pub use stats::EvalStats;
 pub use tid::{CanonicalOracle, ExplicitOracle, SeededOracle, TidOracle};
 

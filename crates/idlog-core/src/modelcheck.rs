@@ -26,7 +26,7 @@ pub struct ModelViolation {
     pub tuple: Tuple,
 }
 
-/// Check that `output`'s state (all relations computed by [`crate::evaluate`]
+/// Check that `output`'s state (all relations computed by [`crate::evaluate_with_options`]
 /// along with the input database) is closed under the program's clauses:
 /// re-fire every rule against the final relations and report any head fact
 /// not already present.
@@ -121,7 +121,8 @@ pub fn verify_model(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::eval::evaluate;
+    use crate::config::EvalOptions;
+    use crate::eval::evaluate_with_options;
     use crate::tid::{CanonicalOracle, SeededOracle};
     use std::sync::Arc;
 
@@ -141,7 +142,8 @@ mod tests {
             "tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
             &[("e", &["a", "b"]), ("e", &["b", "c"]), ("e", &["c", "a"])],
         );
-        let out = evaluate(&p, &db, &mut CanonicalOracle).unwrap();
+        let out =
+            evaluate_with_options(&p, &db, &mut CanonicalOracle, &EvalOptions::default()).unwrap();
         assert!(verify_model(&p, &db, &out).unwrap().is_empty());
     }
 
@@ -157,7 +159,13 @@ mod tests {
             ],
         );
         for seed in 0..8 {
-            let out = evaluate(&p, &db, &mut SeededOracle::new(seed)).unwrap();
+            let out = evaluate_with_options(
+                &p,
+                &db,
+                &mut SeededOracle::new(seed),
+                &EvalOptions::default(),
+            )
+            .unwrap();
             let violations = verify_model(&p, &db, &out).unwrap();
             assert!(violations.is_empty(), "seed {seed}: {violations:?}");
         }
@@ -168,7 +176,8 @@ mod tests {
         // Evaluate the full program, then check a *larger* program against
         // the same state: the extra clause's heads are missing.
         let (p, db) = setup("a(X) :- base(X).", &[("base", &["x"]), ("base", &["y"])]);
-        let out = evaluate(&p, &db, &mut CanonicalOracle).unwrap();
+        let out =
+            evaluate_with_options(&p, &db, &mut CanonicalOracle, &EvalOptions::default()).unwrap();
 
         let bigger = ValidatedProgram::parse(
             "a(X) :- base(X). a(X) :- more(X).",
@@ -191,7 +200,8 @@ mod tests {
     #[test]
     fn arithmetic_models_check() {
         let (p, db) = setup("upto(0). upto(M) :- upto(N), succ(N, M), M <= 5.", &[]);
-        let out = evaluate(&p, &db, &mut CanonicalOracle).unwrap();
+        let out =
+            evaluate_with_options(&p, &db, &mut CanonicalOracle, &EvalOptions::default()).unwrap();
         assert_eq!(out.relation("upto").unwrap().len(), 6);
         assert!(verify_model(&p, &db, &out).unwrap().is_empty());
     }

@@ -3,9 +3,12 @@
 //! A [`Query`] couples a validated program with one output predicate. It
 //! evaluates the program portion related to the output (the paper's `P/q`),
 //! so unrelated clauses neither cost work nor contribute non-determinism.
+//! Evaluation runs through a [`Session`]: borrow the query and database,
+//! set [`EvalOptions`] with builder calls, then `run()` (one model) or
+//! `all_answers()` (every model).
 //!
 //! ```
-//! use idlog_core::{CanonicalOracle, EnumBudget, Query};
+//! use idlog_core::Query;
 //!
 //! let query = Query::parse(
 //!     "select_emp(N) :- emp[2](N, D, 0).", // one employee per department
@@ -16,11 +19,11 @@
 //! db.insert_syms("emp", &["bob", "sales"]).unwrap();
 //!
 //! // One non-deterministic answer, resolved canonically:
-//! let rel = query.eval(&db, &mut CanonicalOracle).unwrap();
-//! assert_eq!(rel.len(), 1);
+//! let result = query.session(&db).run().unwrap();
+//! assert_eq!(result.relation.len(), 1);
 //!
 //! // The full answer set: either ann or bob.
-//! let all = query.all_answers(&db, &EnumBudget::default()).unwrap();
+//! let all = query.session(&db).all_answers().unwrap();
 //! assert_eq!(all.len(), 2);
 //! ```
 
@@ -29,15 +32,14 @@ use std::sync::Arc;
 use idlog_common::Interner;
 use idlog_storage::{Database, Relation};
 
-use crate::config::EvalConfig;
-use crate::enumerate::{
-    enumerate_answers, enumerate_answers_parallel, enumerate_answers_with, AnswerSet, EnumBudget,
-};
+use crate::config::EvalOptions;
+use crate::enumerate::{enumerate_with_options, AnswerSet, EnumBudget};
 use crate::error::{CoreError, CoreResult};
-use crate::eval::{evaluate_with_config, Strategy};
+use crate::eval::{evaluate_with_options, Strategy};
+use crate::profile::Profile;
 use crate::program::ValidatedProgram;
 use crate::stats::EvalStats;
-use crate::tid::TidOracle;
+use crate::tid::{CanonicalOracle, TidOracle};
 
 /// A program with a designated output predicate.
 #[derive(Debug, Clone)]
@@ -48,6 +50,83 @@ pub struct Query {
     /// gets evaluated.
     related: ValidatedProgram,
     output: String,
+}
+
+/// The outcome of one [`Session::run`]: the output relation, the
+/// evaluation statistics, and (when requested via
+/// [`EvalOptions::profile`]) the per-rule [`Profile`].
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// The output predicate's relation in the computed model.
+    pub relation: Relation,
+    /// Counters accumulated across the whole evaluation.
+    pub stats: EvalStats,
+    /// The per-rule profile, present iff profiling was enabled.
+    pub profile: Option<Profile>,
+}
+
+/// One evaluation or enumeration of a [`Query`] over a [`Database`],
+/// configured by [`EvalOptions`].
+///
+/// Built by [`Query::session`]; consumed by [`Session::run`],
+/// [`Session::run_with`], or [`Session::all_answers`].
+#[derive(Debug, Clone)]
+pub struct Session<'q, 'd> {
+    query: &'q Query,
+    db: &'d Database,
+    options: EvalOptions,
+}
+
+impl<'q, 'd> Session<'q, 'd> {
+    /// Replace the whole option set.
+    pub fn options(mut self, options: EvalOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Set the worker-thread count (`0` = auto).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options = self.options.threads(threads);
+        self
+    }
+
+    /// Toggle per-rule profiling for [`Session::run`]/[`Session::run_with`].
+    pub fn profile(mut self, profile: bool) -> Self {
+        self.options = self.options.profile(profile);
+        self
+    }
+
+    /// Set the fixpoint [`Strategy`].
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.options = self.options.strategy(strategy);
+        self
+    }
+
+    /// Set the enumeration budget for [`Session::all_answers`].
+    pub fn budget(mut self, budget: EnumBudget) -> Self {
+        self.options = self.options.budget(budget);
+        self
+    }
+
+    /// One answer of the (possibly non-deterministic) query, resolved by
+    /// the canonical oracle (tids in first-derivation order).
+    pub fn run(self) -> CoreResult<EvalResult> {
+        self.run_with(&mut CanonicalOracle)
+    }
+
+    /// One answer, with non-determinism resolved by `oracle`.
+    pub fn run_with(self, oracle: &mut dyn TidOracle) -> CoreResult<EvalResult> {
+        self.query.eval_inner(self.db, oracle, &self.options)
+    }
+
+    /// Every answer of the query, bounded by the options' budget.
+    pub fn all_answers(self) -> CoreResult<AnswerSet> {
+        let query = self.query;
+        match query.edb_answer(self.db) {
+            Some(answers) => Ok(answers),
+            None => enumerate_with_options(&query.related, self.db, &query.output, &self.options),
+        }
+    }
 }
 
 impl Query {
@@ -112,30 +191,100 @@ impl Query {
         Database::with_interner(Arc::clone(self.program.interner()))
     }
 
-    /// One answer of the (possibly non-deterministic) query, resolved by
-    /// `oracle`.
-    pub fn eval(&self, db: &Database, oracle: &mut dyn TidOracle) -> CoreResult<Relation> {
-        self.eval_with_stats(db, oracle).map(|(rel, _)| rel)
+    /// Start a [`Session`] over `db` with default [`EvalOptions`].
+    pub fn session<'q, 'd>(&'q self, db: &'d Database) -> Session<'q, 'd> {
+        Session {
+            query: self,
+            db,
+            options: EvalOptions::default(),
+        }
     }
 
-    /// Like [`Query::eval`], also returning evaluation statistics.
+    /// One answer of the (possibly non-deterministic) query, resolved by
+    /// `oracle`.
+    #[deprecated(since = "0.2.0", note = "use Query::session(db).run_with(oracle)")]
+    pub fn eval(&self, db: &Database, oracle: &mut dyn TidOracle) -> CoreResult<Relation> {
+        self.eval_inner(db, oracle, &EvalOptions::default())
+            .map(|r| r.relation)
+    }
+
+    /// Like `eval`, also returning evaluation statistics.
+    #[deprecated(since = "0.2.0", note = "use Query::session(db).run_with(oracle)")]
     pub fn eval_with_stats(
         &self,
         db: &Database,
         oracle: &mut dyn TidOracle,
     ) -> CoreResult<(Relation, EvalStats)> {
-        self.eval_configured(db, oracle, &EvalConfig::default())
+        self.eval_inner(db, oracle, &EvalOptions::default())
+            .map(|r| (r.relation, r.stats))
     }
 
-    /// Like [`Query::eval_with_stats`] with an explicit [`EvalConfig`]
-    /// (thread count). Relations and statistics do not depend on the
-    /// configured thread count.
+    /// Like `eval_with_stats` with an explicit `EvalConfig` (thread count).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Query::session(db).options(opts).run_with(oracle)"
+    )]
+    #[allow(deprecated)]
     pub fn eval_configured(
         &self,
         db: &Database,
         oracle: &mut dyn TidOracle,
-        config: &EvalConfig,
+        config: &crate::config::EvalConfig,
     ) -> CoreResult<(Relation, EvalStats)> {
+        self.eval_inner(db, oracle, &config.to_options())
+            .map(|r| (r.relation, r.stats))
+    }
+
+    /// Every answer of the query (bounded by `budget`).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Query::session(db).budget(budget).all_answers()"
+    )]
+    pub fn all_answers(&self, db: &Database, budget: &EnumBudget) -> CoreResult<AnswerSet> {
+        self.session(db)
+            .options(EvalOptions::serial().budget(*budget))
+            .all_answers()
+    }
+
+    /// Every answer, exploring the first choice point in parallel.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Query::session(db).budget(budget).all_answers()"
+    )]
+    pub fn all_answers_parallel(
+        &self,
+        db: &Database,
+        budget: &EnumBudget,
+    ) -> CoreResult<AnswerSet> {
+        self.session(db).budget(*budget).all_answers()
+    }
+
+    /// Every answer under an explicit `EvalConfig` (thread count for the
+    /// choice-point fan-out and per-branch rounds).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Query::session(db).options(opts).all_answers()"
+    )]
+    #[allow(deprecated)]
+    pub fn all_answers_configured(
+        &self,
+        db: &Database,
+        budget: &EnumBudget,
+        config: &crate::config::EvalConfig,
+    ) -> CoreResult<AnswerSet> {
+        self.session(db)
+            .options(config.to_options().budget(*budget))
+            .all_answers()
+    }
+
+    /// The shared implementation behind [`Session::run_with`] and the
+    /// deprecated `eval*` entry points.
+    fn eval_inner(
+        &self,
+        db: &Database,
+        oracle: &mut dyn TidOracle,
+        options: &EvalOptions,
+    ) -> CoreResult<EvalResult> {
         // An output with no defining clause is an input predicate: the
         // identity query over the stored relation.
         let output_id = self
@@ -149,48 +298,22 @@ impl Query {
                 .relation_by_id(output_id)
                 .cloned()
                 .unwrap_or_else(|| Relation::elementary(arity));
-            return Ok((rel, EvalStats::default()));
+            return Ok(EvalResult {
+                relation: rel,
+                stats: EvalStats::default(),
+                profile: options.profile.then(Profile::empty),
+            });
         }
-        let out = evaluate_with_config(&self.related, db, oracle, Strategy::SemiNaive, config)?;
+        let mut out = evaluate_with_options(&self.related, db, oracle, options)?;
         let rel = out
             .relation(&self.output)
             .cloned()
             .expect("output predicate exists in the related program");
-        Ok((rel, out.stats()))
-    }
-
-    /// Every answer of the query (bounded by `budget`).
-    pub fn all_answers(&self, db: &Database, budget: &EnumBudget) -> CoreResult<AnswerSet> {
-        match self.edb_answer(db) {
-            Some(answers) => Ok(answers),
-            None => enumerate_answers(&self.related, db, &self.output, budget),
-        }
-    }
-
-    /// Every answer, exploring the first choice point in parallel.
-    pub fn all_answers_parallel(
-        &self,
-        db: &Database,
-        budget: &EnumBudget,
-    ) -> CoreResult<AnswerSet> {
-        match self.edb_answer(db) {
-            Some(answers) => Ok(answers),
-            None => enumerate_answers_parallel(&self.related, db, &self.output, budget),
-        }
-    }
-
-    /// Every answer under an explicit [`EvalConfig`] (thread count for the
-    /// choice-point fan-out and per-branch rounds).
-    pub fn all_answers_configured(
-        &self,
-        db: &Database,
-        budget: &EnumBudget,
-        config: &EvalConfig,
-    ) -> CoreResult<AnswerSet> {
-        match self.edb_answer(db) {
-            Some(answers) => Ok(answers),
-            None => enumerate_answers_with(&self.related, db, &self.output, budget, config),
-        }
+        Ok(EvalResult {
+            relation: rel,
+            stats: out.stats(),
+            profile: out.take_profile(),
+        })
     }
 
     /// The single-answer set when the output is an input predicate (no
@@ -216,7 +339,7 @@ impl Query {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tid::{CanonicalOracle, SeededOracle};
+    use crate::tid::SeededOracle;
 
     #[test]
     fn eval_and_all_answers_agree() {
@@ -225,18 +348,22 @@ mod tests {
         for (n, d) in [("a", "x"), ("b", "x"), ("c", "y")] {
             db.insert_syms("emp", &[n, d]).unwrap();
         }
-        let all = q.all_answers(&db, &EnumBudget::default()).unwrap();
+        let all = q.session(&db).all_answers().unwrap();
         assert!(all.complete());
         // Every oracle-produced answer must be among the enumerated ones.
         for seed in 0..8 {
-            let rel = q.eval(&db, &mut SeededOracle::new(seed)).unwrap();
+            let rel = q
+                .session(&db)
+                .run_with(&mut SeededOracle::new(seed))
+                .unwrap()
+                .relation;
             let tuples: Vec<_> = rel.iter().cloned().collect();
             assert!(
                 all.contains_answer(&tuples),
                 "seed {seed} answer not enumerated"
             );
         }
-        let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+        let rel = q.session(&db).run().unwrap().relation;
         let tuples: Vec<_> = rel.iter().cloned().collect();
         assert!(all.contains_answer(&tuples));
     }
@@ -259,8 +386,8 @@ mod tests {
         db.insert_syms("base", &["a"]).unwrap();
         db.insert_syms("other", &["b"]).unwrap();
         db.insert_syms("other2", &["b"]).unwrap();
-        let (_, s1) = q1.eval_with_stats(&db, &mut CanonicalOracle).unwrap();
-        let (_, s2) = q2.eval_with_stats(&db, &mut CanonicalOracle).unwrap();
+        let s1 = q1.session(&db).run().unwrap().stats;
+        let s2 = q2.session(&db).run().unwrap().stats;
         assert_eq!(
             s1.instantiations, s2.instantiations,
             "junk clauses were evaluated"
@@ -273,15 +400,51 @@ mod tests {
         let mut db = q.new_database();
         db.insert_syms("p", &["a"]).unwrap();
         db.insert_syms("p", &["b"]).unwrap();
-        let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
-        assert_eq!(rel.len(), 2);
-        let all = q.all_answers(&db, &EnumBudget::default()).unwrap();
+        let result = q.session(&db).profile(true).run().unwrap();
+        assert_eq!(result.relation.len(), 2);
+        // The EDB identity path still honors the profile opt-in (empty).
+        let profile = result.profile.expect("profile requested");
+        assert!(profile.strata.is_empty());
+        let all = q.session(&db).all_answers().unwrap();
         assert_eq!(all.len(), 1);
         assert!(all.complete());
         // With an empty database the answer is the empty relation.
         let empty_db = q.new_database();
-        let rel = q.eval(&empty_db, &mut CanonicalOracle).unwrap();
+        let rel = q.session(&empty_db).run().unwrap().relation;
         assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn session_profile_toggle_controls_presence() {
+        let q = Query::parse("pick(N) :- emp[2](N, D, 0).", "pick").unwrap();
+        let mut db = q.new_database();
+        db.insert_syms("emp", &["a", "x"]).unwrap();
+        let plain = q.session(&db).run().unwrap();
+        assert!(plain.profile.is_none());
+        let profiled = q.session(&db).profile(true).run().unwrap();
+        let profile = profiled.profile.expect("profile requested");
+        assert_eq!(profile.totals, profiled.stats);
+        assert_eq!(plain.relation, profiled.relation);
+        assert_eq!(plain.stats, profiled.stats);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_entry_points_match_session() {
+        let q = Query::parse("pick(N) :- emp[2](N, D, 0).", "pick").unwrap();
+        let mut db = q.new_database();
+        db.insert_syms("emp", &["a", "x"]).unwrap();
+        db.insert_syms("emp", &["b", "x"]).unwrap();
+        let new = q.session(&db).run().unwrap();
+        let old = q.eval(&db, &mut CanonicalOracle).unwrap();
+        assert_eq!(new.relation, old);
+        let (rel, stats) = q.eval_with_stats(&db, &mut CanonicalOracle).unwrap();
+        assert_eq!(rel, new.relation);
+        assert_eq!(stats, new.stats);
+        let budget = EnumBudget::default();
+        let all_new = q.session(&db).all_answers().unwrap();
+        let all_old = q.all_answers(&db, &budget).unwrap();
+        assert_eq!(all_new.len(), all_old.len());
     }
 
     #[test]
@@ -290,9 +453,9 @@ mod tests {
         let mut db = query.new_database();
         db.insert_syms("emp", &["ann", "sales"]).unwrap();
         db.insert_syms("emp", &["bob", "sales"]).unwrap();
-        let rel = query.eval(&db, &mut CanonicalOracle).unwrap();
-        assert_eq!(rel.len(), 1);
-        let all = query.all_answers(&db, &EnumBudget::default()).unwrap();
+        let result = query.session(&db).run().unwrap();
+        assert_eq!(result.relation.len(), 1);
+        let all = query.session(&db).all_answers().unwrap();
         assert_eq!(all.len(), 2);
     }
 }

@@ -29,6 +29,18 @@ pub struct EvalStats {
     pub id_relations: u64,
 }
 
+impl EvalStats {
+    /// Render the counters like [`fmt::Display`], but expand the bare
+    /// `id_relations` count with the per-relation breakdown (name,
+    /// grouping, group and tuple counts) when a profile carries it.
+    pub fn display_with(&self, profile: Option<&crate::profile::Profile>) -> String {
+        match profile.and_then(|p| p.id_relation_breakdown()) {
+            Some(breakdown) => format!("{self} ({breakdown})"),
+            None => self.to_string(),
+        }
+    }
+}
+
 impl AddAssign for EvalStats {
     fn add_assign(&mut self, o: EvalStats) {
         self.instantiations += o.instantiations;

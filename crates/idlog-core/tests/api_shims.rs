@@ -1,0 +1,165 @@
+//! The deprecated entry points are shims over the `EvalOptions`/`Session`
+//! API — each must produce exactly what its replacement produces.
+
+#![allow(deprecated)]
+
+use std::sync::Arc;
+
+use idlog_core::enumerate::{
+    enumerate_answers, enumerate_answers_parallel, enumerate_answers_with,
+};
+use idlog_core::{
+    enumerate_with_options, evaluate, evaluate_with_config, evaluate_with_options,
+    evaluate_with_strategy, CanonicalOracle, EnumBudget, EvalConfig, EvalOptions, Interner, Query,
+    SeededOracle, Strategy, ValidatedProgram,
+};
+use idlog_storage::Database;
+
+fn fixture() -> (ValidatedProgram, Database) {
+    let interner = Arc::new(Interner::new());
+    let program = ValidatedProgram::parse(
+        "reach(X) :- start(X).
+         reach(Y) :- reach(X), e(X, Y).
+         pick(X) :- reach[](X, 0).
+         far(X) :- node(X), not reach(X).",
+        Arc::clone(&interner),
+    )
+    .unwrap();
+    let mut db = Database::with_interner(interner);
+    for v in ["a", "b", "c", "d"] {
+        db.insert_syms("node", &[v]).unwrap();
+    }
+    for (x, y) in [("a", "b"), ("b", "c")] {
+        db.insert_syms("e", &[x, y]).unwrap();
+    }
+    db.insert_syms("start", &["a"]).unwrap();
+    (program, db)
+}
+
+fn same_relations(
+    a: &idlog_core::EvalOutput,
+    b: &idlog_core::EvalOutput,
+    program: &ValidatedProgram,
+) {
+    for name in ["reach", "pick", "far"] {
+        let (ra, rb) = (a.relation(name).unwrap(), b.relation(name).unwrap());
+        assert!(ra.set_eq(rb), "relation {name} differs");
+    }
+    assert_eq!(a.stats(), b.stats(), "stats differ");
+    let _ = program;
+}
+
+#[test]
+fn evaluate_shim_matches_options() {
+    let (program, db) = fixture();
+    let old = evaluate(&program, &db, &mut CanonicalOracle).unwrap();
+    let new = evaluate_with_options(&program, &db, &mut CanonicalOracle, &EvalOptions::default())
+        .unwrap();
+    same_relations(&old, &new, &program);
+}
+
+#[test]
+fn evaluate_with_strategy_shim_matches_options() {
+    let (program, db) = fixture();
+    for strategy in [Strategy::SemiNaive, Strategy::Naive] {
+        let old =
+            evaluate_with_strategy(&program, &db, &mut SeededOracle::new(9), strategy).unwrap();
+        let new = evaluate_with_options(
+            &program,
+            &db,
+            &mut SeededOracle::new(9),
+            &EvalOptions::new().strategy(strategy),
+        )
+        .unwrap();
+        same_relations(&old, &new, &program);
+    }
+}
+
+#[test]
+fn evaluate_with_config_shim_matches_options() {
+    let (program, db) = fixture();
+    for threads in [1usize, 3] {
+        let old = evaluate_with_config(
+            &program,
+            &db,
+            &mut CanonicalOracle,
+            Strategy::SemiNaive,
+            &EvalConfig::with_threads(threads),
+        )
+        .unwrap();
+        let new = evaluate_with_options(
+            &program,
+            &db,
+            &mut CanonicalOracle,
+            &EvalOptions::new().threads(threads),
+        )
+        .unwrap();
+        same_relations(&old, &new, &program);
+    }
+}
+
+#[test]
+fn enumeration_shims_match_options() {
+    let (program, db) = fixture();
+    let budget = EnumBudget::default();
+    let new = enumerate_with_options(&program, &db, "pick", &EvalOptions::serial().budget(budget))
+        .unwrap();
+    let seq = enumerate_answers(&program, &db, "pick", &budget).unwrap();
+    let par = enumerate_answers_parallel(&program, &db, "pick", &budget).unwrap();
+    let cfg = enumerate_answers_with(&program, &db, "pick", &budget, &EvalConfig::with_threads(2))
+        .unwrap();
+    for (label, old) in [("seq", &seq), ("par", &par), ("cfg", &cfg)] {
+        assert!(
+            new.same_answers(old, program.interner()),
+            "{label} shim differs"
+        );
+        assert_eq!(new.models_explored(), old.models_explored(), "{label}");
+        assert_eq!(new.complete(), old.complete(), "{label}");
+    }
+}
+
+#[test]
+fn query_shims_match_session() {
+    let q = Query::parse(
+        "reach(X) :- start(X).
+         reach(Y) :- reach(X), e(X, Y).
+         pick(X) :- reach[](X, 0).",
+        "pick",
+    )
+    .unwrap();
+    let mut db = q.new_database();
+    db.insert_syms("start", &["a"]).unwrap();
+    db.insert_syms("e", &["a", "b"]).unwrap();
+
+    let session = q.session(&db).run().unwrap();
+    let old_eval = q.eval(&db, &mut CanonicalOracle).unwrap();
+    assert_eq!(session.relation, old_eval);
+    let (rel, stats) = q.eval_with_stats(&db, &mut CanonicalOracle).unwrap();
+    assert_eq!((rel, stats), (session.relation.clone(), session.stats));
+    let (rel, stats) = q
+        .eval_configured(&db, &mut CanonicalOracle, &EvalConfig::serial())
+        .unwrap();
+    assert_eq!((rel, stats), (session.relation.clone(), session.stats));
+
+    let budget = EnumBudget::default();
+    let new_all = q.session(&db).all_answers().unwrap();
+    for old in [
+        q.all_answers(&db, &budget).unwrap(),
+        q.all_answers_parallel(&db, &budget).unwrap(),
+        q.all_answers_configured(&db, &budget, &EvalConfig::with_threads(2))
+            .unwrap(),
+    ] {
+        assert!(new_all.same_answers(&old, q.interner()));
+    }
+}
+
+#[test]
+fn eval_config_converts_to_options() {
+    let opts: EvalOptions = EvalConfig::with_threads(7).into();
+    assert_eq!(opts, EvalOptions::new().threads(7));
+    assert_eq!(
+        EvalConfig::serial().to_options().effective_threads(),
+        1,
+        "serial config resolves to one thread"
+    );
+}

@@ -6,16 +6,17 @@
 //!    same relations and the same [`EvalStats`] every time — the oracle is
 //!    consulted in sorted (name, grouping) order and delta rounds execute a
 //!    deterministic (plan, step) work list.
-//! 2. **Across thread counts**: `EvalConfig { threads }` changes scheduling
+//! 2. **Across thread counts**: `EvalOptions::threads` changes scheduling
 //!    only. Work items merge at the round barrier in work-item order, so
-//!    relations *and* statistics are identical for any thread count.
+//!    relations, statistics, *and* profiles (wall time excepted) are
+//!    identical for any thread count.
 
 use std::sync::Arc;
 
 use idlog_core::tid::TidOracle;
 use idlog_core::{
-    enumerate::enumerate_answers_with, evaluate, evaluate_with_config, CanonicalOracle, EnumBudget,
-    EvalConfig, EvalOutput, Interner, SeededOracle, Strategy, ValidatedProgram,
+    enumerate_with_options, evaluate_with_options, CanonicalOracle, EnumBudget, EvalOptions,
+    EvalOutput, Interner, SeededOracle, Strategy, ValidatedProgram,
 };
 use idlog_storage::{make_id_relation, Database};
 
@@ -87,9 +88,21 @@ const MULTI_ID_FACTS: &[(&str, &[&str])] = &[
 fn seeded_runs_are_reproducible() {
     for seed in [0u64, 7, 0xDEAD_BEEF] {
         let (program, db) = setup(MULTI_ID_SRC, MULTI_ID_FACTS);
-        let once = evaluate(&program, &db, &mut SeededOracle::new(seed)).unwrap();
+        let once = evaluate_with_options(
+            &program,
+            &db,
+            &mut SeededOracle::new(seed),
+            &EvalOptions::new(),
+        )
+        .unwrap();
         let (program2, db2) = setup(MULTI_ID_SRC, MULTI_ID_FACTS);
-        let twice = evaluate(&program2, &db2, &mut SeededOracle::new(seed)).unwrap();
+        let twice = evaluate_with_options(
+            &program2,
+            &db2,
+            &mut SeededOracle::new(seed),
+            &EvalOptions::new(),
+        )
+        .unwrap();
         // Fresh interners on both sides: reproducibility may not lean on
         // interning order, only on names.
         let render = |out: &EvalOutput, rel: &str| -> Vec<String> {
@@ -146,14 +159,8 @@ fn thread_count_changes_nothing_on_recursion() {
     // Deltas of 272 and 256 tuples exceed the parallel-round threshold, so
     // the scoped-pool path really runs (sharded) at 2 and 8 threads.
     let (program, db) = two_layer_tree();
-    let baseline = evaluate_with_config(
-        &program,
-        &db,
-        &mut CanonicalOracle,
-        Strategy::SemiNaive,
-        &EvalConfig::serial(),
-    )
-    .unwrap();
+    let baseline =
+        evaluate_with_options(&program, &db, &mut CanonicalOracle, &EvalOptions::serial()).unwrap();
     // 272 edges + 256 root→leaf paths.
     assert_eq!(
         baseline.relation("tc").unwrap().len(),
@@ -161,12 +168,11 @@ fn thread_count_changes_nothing_on_recursion() {
         "fixture sanity"
     );
     for threads in [2usize, 8] {
-        let par = evaluate_with_config(
+        let par = evaluate_with_options(
             &program,
             &db,
             &mut CanonicalOracle,
-            Strategy::SemiNaive,
-            &EvalConfig::with_threads(threads),
+            &EvalOptions::new().threads(threads),
         )
         .unwrap();
         assert_same_output(&baseline, &par, &["tc"], &format!("{threads} threads"));
@@ -198,21 +204,19 @@ fn thread_count_changes_nothing_on_multi_rule_strata() {
     let rels = ["reach", "alt", "dead", "pick"];
     for strategy in [Strategy::SemiNaive, Strategy::Naive] {
         let (program, db) = setup(src, facts);
-        let baseline = evaluate_with_config(
+        let baseline = evaluate_with_options(
             &program,
             &db,
             &mut SeededOracle::new(3),
-            strategy,
-            &EvalConfig::serial(),
+            &EvalOptions::serial().strategy(strategy),
         )
         .unwrap();
         for threads in [2usize, 8] {
-            let par = evaluate_with_config(
+            let par = evaluate_with_options(
                 &program,
                 &db,
                 &mut SeededOracle::new(3),
-                strategy,
-                &EvalConfig::with_threads(threads),
+                &EvalOptions::new().threads(threads).strategy(strategy),
             )
             .unwrap();
             assert_same_output(
@@ -235,14 +239,14 @@ fn enumeration_is_identical_across_thread_counts() {
     );
     let budget = EnumBudget::default();
     let serial =
-        enumerate_answers_with(&program, &db, "man", &budget, &EvalConfig::serial()).unwrap();
+        enumerate_with_options(&program, &db, "man", &EvalOptions::serial().budget(budget))
+            .unwrap();
     for threads in [2usize, 8] {
-        let par = enumerate_answers_with(
+        let par = enumerate_with_options(
             &program,
             &db,
             "man",
-            &budget,
-            &EvalConfig::with_threads(threads),
+            &EvalOptions::new().threads(threads).budget(budget),
         )
         .unwrap();
         assert!(
@@ -251,4 +255,63 @@ fn enumeration_is_identical_across_thread_counts() {
         );
         assert_eq!(serial.models_explored(), par.models_explored());
     }
+}
+
+#[test]
+fn profile_is_identical_across_thread_counts() {
+    // Deltas large enough that the sharded parallel path actually runs;
+    // the profile (JSON and table, wall time excluded) must still be
+    // byte-identical at every thread count.
+    let (program, db) = two_layer_tree();
+    let run = |threads: usize| {
+        evaluate_with_options(
+            &program,
+            &db,
+            &mut CanonicalOracle,
+            &EvalOptions::new().threads(threads).profile(true),
+        )
+        .unwrap()
+    };
+    let baseline = run(1);
+    let base_profile = baseline.profile().expect("profiling enabled");
+    let base_json = base_profile.to_json(false);
+    let base_table = base_profile.render_table(false);
+    assert!(base_json.contains("idlog-profile/1"), "{base_json}");
+    assert_eq!(base_profile.totals, baseline.stats());
+    for threads in [2usize, 8] {
+        let par = run(threads);
+        let profile = par.profile().expect("profiling enabled");
+        assert_eq!(
+            profile.to_json(false),
+            base_json,
+            "profile JSON differs at {threads} threads"
+        );
+        assert_eq!(
+            profile.render_table(false),
+            base_table,
+            "profile table differs at {threads} threads"
+        );
+        // Shard counts are part of the profile and depend only on delta
+        // sizes, so the parallel runs really sharded *and* still agreed.
+        assert!(
+            profile.per_rule_totals().iter().any(|t| t.shards > 1),
+            "fixture did not exercise sharding"
+        );
+    }
+}
+
+#[test]
+fn profiling_does_not_change_results() {
+    let (program, db) = two_layer_tree();
+    let plain =
+        evaluate_with_options(&program, &db, &mut CanonicalOracle, &EvalOptions::new()).unwrap();
+    let profiled = evaluate_with_options(
+        &program,
+        &db,
+        &mut CanonicalOracle,
+        &EvalOptions::new().profile(true),
+    )
+    .unwrap();
+    assert!(plain.profile().is_none());
+    assert_same_output(&plain, &profiled, &["tc"], "profiling on vs off");
 }

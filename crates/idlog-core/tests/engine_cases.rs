@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use idlog_core::{CanonicalOracle, EnumBudget, Interner, Query, Tuple, Value};
+use idlog_core::{Interner, Query, Tuple, Value};
 use idlog_storage::Database;
 
 fn db_from(interner: &Arc<Interner>, facts: &[(&str, &[&str])]) -> Database {
@@ -46,7 +46,7 @@ fn mutual_recursion_even_odd_paths() {
             ("e", &["c", "a"]),
         ],
     );
-    let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+    let rel = q.session(&db).run().unwrap().relation;
     // 3-cycle: even-length paths from X land on the nodes at even distance;
     // gcd(2,3)=1 so every node reaches every node (incl. itself) eventually.
     assert_eq!(rel.len(), 9);
@@ -65,7 +65,7 @@ fn self_loop_detection() {
             ("e", &["b", "c"]),
         ],
     );
-    let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+    let rel = q.session(&db).run().unwrap().relation;
     assert_eq!(rows(&q, &rel), ["(a)", "(b)"]);
 }
 
@@ -82,7 +82,7 @@ fn constant_probes_and_self_join() {
             ("e", &["c", "other"]),
         ],
     );
-    let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+    let rel = q.session(&db).run().unwrap().relation;
     assert_eq!(rows(&q, &rel), ["(a, b)", "(b, a)"]);
 }
 
@@ -100,7 +100,7 @@ fn two_id_literals_in_one_clause() {
             ("right", &["r2"]),
         ],
     );
-    let answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+    let answers = q.session(&db).all_answers().unwrap();
     assert!(answers.complete());
     // 2 × 2 = 4 distinct single-pair answers.
     assert_eq!(answers.len(), 4);
@@ -127,7 +127,7 @@ fn two_groupings_of_one_predicate() {
             ("emp", &["b", "x"]),
         ],
     );
-    let answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+    let answers = q.session(&db).all_answers().unwrap();
     assert!(answers.complete());
     assert!(answers.len() > 1, "the two groupings choose independently");
     // Every answer is a cross product of the two independent selections.
@@ -156,7 +156,7 @@ fn deep_strata_chain() {
             ("skip", &["c"]),
         ],
     );
-    let answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+    let answers = q.session(&db).all_answers().unwrap();
     assert!(answers.complete());
     // l2 = {a,b}; l3 picks one; l4 = the other; l5 = that one.
     assert_eq!(answers.len(), 2);
@@ -179,10 +179,10 @@ fn integer_facts_and_filters() {
         db.insert("level", Tuple::new(vec![sym, Value::Int(l)]))
             .unwrap();
     }
-    let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+    let rel = q.session(&db).run().unwrap().relation;
     assert_eq!(rows(&q, &rel), ["(b)", "(c)"]);
     let j = Query::parse_with_interner(src, "junior", Arc::clone(q.interner())).unwrap();
-    let rel = j.eval(&db, &mut CanonicalOracle).unwrap();
+    let rel = j.session(&db).run().unwrap().relation;
     assert_eq!(rows(&j, &rel), ["(a)"]);
 }
 
@@ -197,10 +197,10 @@ fn zero_ary_flags() {
     ";
     let q = Query::parse(src, "verdict").unwrap();
     let db = db_from(q.interner(), &[("p", &["a"])]);
-    let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+    let rel = q.session(&db).run().unwrap().relation;
     assert_eq!(rows(&q, &rel), ["(yes)"]);
     let empty_db = q.new_database();
-    let rel = q.eval(&empty_db, &mut CanonicalOracle).unwrap();
+    let rel = q.session(&empty_db).run().unwrap().relation;
     assert_eq!(rows(&q, &rel), ["(no)"]);
 }
 
@@ -221,7 +221,7 @@ fn five_way_join() {
             ("r2", &["b2", "c2"]),
         ],
     );
-    let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+    let rel = q.session(&db).run().unwrap().relation;
     assert_eq!(rows(&q, &rel), ["(a, e)"]);
 }
 
@@ -237,7 +237,7 @@ fn id_relation_over_recursive_idb() {
     let q = Query::parse(src, "spokesman").unwrap();
     let db = db_from(q.interner(), &[("e", &["a", "b"]), ("e", &["b", "c"])]);
     // reach = {(a,b),(a,c),(b,c)}: groups by source a → {b,c}, b → {c}.
-    let answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+    let answers = q.session(&db).all_answers().unwrap();
     assert!(answers.complete());
     assert_eq!(answers.len(), 2, "two choices for a's spokesman, one for b");
     for rel in answers.iter() {

@@ -8,8 +8,8 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use idlog_core::{
-    builtins::solve, enumerate::enumerate_answers, evaluate, CanonicalOracle, EnumBudget, Interner,
-    Query, SeededOracle, ValidatedProgram,
+    builtins::solve, enumerate_with_options, evaluate_with_options, CanonicalOracle, EnumBudget,
+    EvalOptions, Interner, Query, SeededOracle, ValidatedProgram,
 };
 use idlog_parser::Builtin;
 use idlog_storage::Database;
@@ -126,7 +126,7 @@ proptest! {
             db.insert_syms("e", &[&format!("v{a}"), &format!("v{b}")]).unwrap();
         }
         db.insert_syms("start", &[&format!("v{start}")]).unwrap();
-        let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+        let rel = q.session(&db).run().unwrap().relation;
         let mut got: Vec<String> = rel
             .iter()
             .map(|t| q.interner().resolve(t[0].as_sym().unwrap()))
@@ -135,6 +135,56 @@ proptest! {
         let want: Vec<String> =
             reachable(&edges, &[start]).into_iter().map(|v| format!("v{v}")).collect();
         prop_assert_eq!(got, want);
+    }
+
+    /// Per-rule profile records partition the total [`idlog_core::EvalStats`]:
+    /// summing every rule's counters (plus per-round iteration counts and
+    /// ID-relation materializations) reproduces the run's totals exactly.
+    #[test]
+    fn profile_totals_sum_to_eval_stats(
+        edges in proptest::collection::vec((0usize..8, 0usize..8), 0..24),
+        start in 0usize..8,
+        threads in 1usize..5,
+    ) {
+        let interner = Arc::new(Interner::new());
+        let program = ValidatedProgram::parse(
+            "reach(X) :- start(X).
+             reach(Y) :- reach(X), e(X, Y).
+             pick(X) :- reach[](X, 0).
+             far(X) :- node(X), not reach(X).",
+            Arc::clone(&interner),
+        ).unwrap();
+        let mut db = Database::with_interner(Arc::clone(&interner));
+        for v in 0..8 {
+            db.insert_syms("node", &[&format!("v{v}")]).unwrap();
+        }
+        for (a, b) in &edges {
+            db.insert_syms("e", &[&format!("v{a}"), &format!("v{b}")]).unwrap();
+        }
+        db.insert_syms("start", &[&format!("v{start}")]).unwrap();
+        let out = evaluate_with_options(
+            &program,
+            &db,
+            &mut CanonicalOracle,
+            &EvalOptions::new().threads(threads).profile(true),
+        ).unwrap();
+        let stats = out.stats();
+        let profile = out.profile().unwrap();
+        prop_assert_eq!(profile.totals, stats);
+
+        let mut summed = idlog_core::EvalStats::default();
+        for t in profile.per_rule_totals() {
+            summed.instantiations += t.stats.instantiations;
+            summed.derived += t.stats.derived;
+            summed.inserted += t.stats.inserted;
+            summed.probes += t.stats.probes;
+            summed.builtin_evals += t.stats.builtin_evals;
+        }
+        for stratum in &profile.strata {
+            summed.iterations += stratum.rounds.len() as u64;
+            summed.id_relations += stratum.id_relations.len() as u64;
+        }
+        prop_assert_eq!(summed, stats, "profile records do not partition the totals");
     }
 
     /// Stratified negation: complement = nodes − reach, on random graphs.
@@ -157,7 +207,7 @@ proptest! {
             db.insert_syms("e", &[&format!("v{a}"), &format!("v{b}")]).unwrap();
         }
         db.insert_syms("start", &[&format!("v{start}")]).unwrap();
-        let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+        let rel = q.session(&db).run().unwrap().relation;
         let reach = reachable(&edges, &[start]);
         prop_assert_eq!(rel.len(), 6 - reach.len());
     }
@@ -174,9 +224,9 @@ proptest! {
         for (d, m) in &members {
             db.insert_syms("emp", &[&format!("m{m}"), &format!("d{d}")]).unwrap();
         }
-        let all = q.all_answers(&db, &EnumBudget::default()).unwrap();
+        let all = q.session(&db).all_answers().unwrap();
         prop_assert!(all.complete());
-        let one = q.eval(&db, &mut SeededOracle::new(seed)).unwrap();
+        let one = q.session(&db).run_with(&mut SeededOracle::new(seed)).unwrap().relation;
         let tuples: Vec<_> = one.iter().cloned().collect();
         prop_assert!(all.contains_answer(&tuples));
     }
@@ -209,8 +259,9 @@ proptest! {
             db.insert_syms("emp", &[&format!("m{m}"), &format!("d{d}")]).unwrap();
         }
         let budget = EnumBudget { max_models: 200_000, max_answers: 100_000 };
-        let a = enumerate_answers(&bounded, &db, "pick", &budget).unwrap();
-        let b = enumerate_answers(&full, &db, "pick", &budget).unwrap();
+        let opts = EvalOptions::serial().budget(budget);
+        let a = enumerate_with_options(&bounded, &db, "pick", &opts).unwrap();
+        let b = enumerate_with_options(&full, &db, "pick", &opts).unwrap();
         prop_assert!(a.complete() && b.complete());
         prop_assert!(a.same_answers(&b, &interner));
         // And the bounded walk is never larger.
@@ -236,8 +287,12 @@ proptest! {
             }
             db_big.insert_syms("e", &[&format!("v{a}"), &format!("v{b}")]).unwrap();
         }
-        let small = evaluate(&program, &db_small, &mut CanonicalOracle).unwrap();
-        let big = evaluate(&program, &db_big, &mut CanonicalOracle).unwrap();
+        let small =
+            evaluate_with_options(&program, &db_small, &mut CanonicalOracle, &EvalOptions::new())
+                .unwrap();
+        let big =
+            evaluate_with_options(&program, &db_big, &mut CanonicalOracle, &EvalOptions::new())
+                .unwrap();
         let small_tc = small.relation("tc").unwrap();
         let big_tc = big.relation("tc").unwrap();
         for t in small_tc.iter() {

@@ -15,9 +15,8 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use idlog_core::{
-    enumerate::enumerate_answers, evaluate, evaluate_with_config, evaluate_with_strategy,
-    verify_model, CanonicalOracle, EnumBudget, EvalConfig, Interner, SeededOracle,
-    Strategy as EvalStrategy, ValidatedProgram,
+    enumerate_with_options, evaluate_with_options, verify_model, CanonicalOracle, EnumBudget,
+    EvalOptions, Interner, SeededOracle, Strategy as EvalStrategy, ValidatedProgram,
 };
 use idlog_storage::Database;
 
@@ -231,13 +230,15 @@ proptest! {
     #[test]
     fn fixpoints_are_models_and_strategies_agree(spec in arb_program()) {
         let (program, db) = build(&spec);
-        let semi = evaluate(&program, &db, &mut CanonicalOracle).unwrap();
+        let semi =
+            evaluate_with_options(&program, &db, &mut CanonicalOracle, &EvalOptions::new()).unwrap();
         let violations = verify_model(&program, &db, &semi).unwrap();
         prop_assert!(violations.is_empty(), "not a model: {violations:?}\n{}", render(&spec));
 
-        let naive =
-            evaluate_with_strategy(&program, &db, &mut CanonicalOracle, EvalStrategy::Naive)
-                .unwrap();
+        let naive = evaluate_with_options(
+            &program, &db, &mut CanonicalOracle,
+            &EvalOptions::new().strategy(EvalStrategy::Naive),
+        ).unwrap();
         for level in 1..=2usize {
             for pred in 0..2 {
                 let name = pred_name(level, pred);
@@ -256,17 +257,23 @@ proptest! {
     fn parallel_and_serial_evaluation_agree(spec in arb_program(), seed in any::<u64>()) {
         let (program, db) = build(&spec);
         for strategy in [EvalStrategy::SemiNaive, EvalStrategy::Naive] {
-            let serial = evaluate_with_config(
-                &program, &db, &mut SeededOracle::new(seed), strategy, &EvalConfig::serial(),
+            let serial = evaluate_with_options(
+                &program, &db, &mut SeededOracle::new(seed),
+                &EvalOptions::serial().strategy(strategy).profile(true),
             ).unwrap();
             for threads in [2usize, 8] {
-                let par = evaluate_with_config(
-                    &program, &db, &mut SeededOracle::new(seed), strategy,
-                    &EvalConfig::with_threads(threads),
+                let par = evaluate_with_options(
+                    &program, &db, &mut SeededOracle::new(seed),
+                    &EvalOptions::new().threads(threads).strategy(strategy).profile(true),
                 ).unwrap();
                 prop_assert_eq!(
                     serial.stats(), par.stats(),
                     "stats differ at {} threads ({:?})\n{}", threads, strategy, render(&spec)
+                );
+                prop_assert_eq!(
+                    serial.profile().unwrap().to_json(false),
+                    par.profile().unwrap().to_json(false),
+                    "profile differs at {} threads ({:?})\n{}", threads, strategy, render(&spec)
                 );
                 for level in 1..=2usize {
                     for pred in 0..2 {
@@ -294,13 +301,16 @@ proptest! {
         // Query the first level-2 head predicate that actually has clauses.
         let output = pred_name(2, spec.clauses[1][0].head_pred);
         let budget = EnumBudget { max_models: 50_000, max_answers: 50_000 };
-        let all = enumerate_answers(&program, &db, &output, &budget).unwrap();
+        let opts = EvalOptions::serial().budget(budget);
+        let all = enumerate_with_options(&program, &db, &output, &opts).unwrap();
         prop_assume!(all.complete()); // skip the rare factorial blowups
 
-        let again = enumerate_answers(&program, &db, &output, &budget).unwrap();
+        let again = enumerate_with_options(&program, &db, &output, &opts).unwrap();
         prop_assert!(all.same_answers(&again, program.interner()));
 
-        let out = evaluate(&program, &db, &mut SeededOracle::new(seed)).unwrap();
+        let out =
+            evaluate_with_options(&program, &db, &mut SeededOracle::new(seed), &EvalOptions::new())
+                .unwrap();
         let rel = out.relation(&output).unwrap();
         let tuples: Vec<_> = rel.iter().cloned().collect();
         prop_assert!(

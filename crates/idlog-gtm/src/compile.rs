@@ -184,7 +184,7 @@ impl CompiledTm {
     ) -> CoreResult<Vec<Vec<(usize, u8)>>> {
         let query = self.query("result")?;
         let db = self.database(query.interner(), input);
-        let answers = query.all_answers(&db, budget)?;
+        let answers = query.session(&db).budget(*budget).all_answers()?;
         let mut tapes: Vec<Vec<(usize, u8)>> = answers
             .iter()
             .filter(|rel| !rel.is_empty())
@@ -211,7 +211,7 @@ impl CompiledTm {
     pub fn acceptance(&self, input: &[u8], budget: &EnumBudget) -> CoreResult<(bool, bool)> {
         let query = self.query("accepted")?;
         let db = self.database(query.interner(), input);
-        let answers = query.all_answers(&db, budget)?;
+        let answers = query.session(&db).budget(*budget).all_answers()?;
         let mut some = false;
         let mut all = true;
         for rel in answers.iter() {

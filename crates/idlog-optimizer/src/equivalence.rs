@@ -14,7 +14,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use idlog_common::Interner;
-use idlog_core::{enumerate::enumerate_answers, CoreResult, EnumBudget, ValidatedProgram};
+use idlog_core::{enumerate_with_options, CoreResult, EnumBudget, EvalOptions, ValidatedProgram};
 use idlog_parser::Program;
 use idlog_storage::Database;
 
@@ -43,8 +43,9 @@ pub fn q_equivalent_on(
     let v1 = ValidatedProgram::new(p1.clone(), Arc::clone(interner))?;
     let v2 = ValidatedProgram::new(p2.clone(), Arc::clone(interner))?;
     for (i, db) in dbs.iter().enumerate() {
-        let a1 = enumerate_answers(&v1, db, output, budget)?;
-        let a2 = enumerate_answers(&v2, db, output, budget)?;
+        let opts = EvalOptions::serial().budget(*budget);
+        let a1 = enumerate_with_options(&v1, db, output, &opts)?;
+        let a2 = enumerate_with_options(&v2, db, output, &opts)?;
         if !a1.same_answers(&a2, interner) {
             return Ok(EquivalenceReport {
                 equivalent: false,

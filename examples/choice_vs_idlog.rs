@@ -42,7 +42,7 @@ woman(X) :- sex(X, female).";
     let translated_ast = idlog_choice::to_idlog::to_idlog(&ast, &interner)?;
     let validated = ValidatedProgram::new(translated_ast, Arc::clone(&interner))?;
     let q = Query::new(validated, "man")?;
-    let via_idlog = q.all_answers(&db, &budget)?;
+    let via_idlog = q.session(&db).budget(budget).all_answers()?;
 
     println!("answers for `man` on person = {{ann, bob, cay}}:");
     println!("  direct KN88 semantics:   {} answers", direct.len());

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run -p idlog-suite --example coloring`
 
-use idlog_core::{EnumBudget, Query, SeededOracle};
+use idlog_core::{Query, SeededOracle};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Guess: each node's group in color_guess has two candidate rows
@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let interner = query.interner().clone();
 
     // One random coloring (may or may not be proper):
-    let guess = query.eval(&db, &mut SeededOracle::new(7))?;
+    let guess = query
+        .session(&db)
+        .run_with(&mut SeededOracle::new(7))?
+        .relation;
     println!("a random coloring (seed 7):");
     for t in guess.sorted_canonical(&interner) {
         println!("  color{}", t.display(&interner));
@@ -45,8 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "bad",
         std::sync::Arc::clone(&interner),
     )?;
-    let bad_answers = checker.all_answers(&db, &EnumBudget::default())?;
-    let colorings = query.all_answers(&db, &EnumBudget::default())?;
+    let bad_answers = checker.session(&db).all_answers()?;
+    let colorings = query.session(&db).all_answers()?;
     println!(
         "\n{} distinct colorings enumerated; conflict-freedom is achievable: {}",
         colorings.len(),
@@ -65,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "proper_color",
         std::sync::Arc::clone(&interner),
     )?;
-    let proper = combined.all_answers(&db, &EnumBudget::default())?;
+    let proper = combined.session(&db).all_answers()?;
     let nonempty = proper
         .to_sorted_strings(&interner)
         .into_iter()

@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use idlog_core::{CanonicalOracle, Interner, Query, ValidatedProgram};
+use idlog_core::{Interner, Query, ValidatedProgram};
 use idlog_optimizer::{push_projections, to_id_program};
 use idlog_storage::Database;
 
@@ -45,7 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let validated = ValidatedProgram::new(ast.clone(), Arc::clone(&interner))?;
         let q = Query::new(validated, "p")?;
         let t0 = std::time::Instant::now();
-        let (rel, stats) = q.eval_with_stats(&db, &mut CanonicalOracle)?;
+        let result = q.session(&db).run()?;
+        let (rel, stats) = (result.relation, result.stats);
         println!(
             "  {label:<12} answers={:<4} instantiations={:<9} probes={:<9} time={:?}",
             rel.len(),

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run -p idlog-suite --example quickstart`
 
-use idlog_core::{CanonicalOracle, EnumBudget, Query, SeededOracle};
+use idlog_core::{Query, SeededOracle};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's flagship sampling query (§1): pick exactly 2 employees
@@ -29,21 +29,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let interner = query.interner().clone();
 
     // One answer, resolved deterministically (canonical tid order):
-    let canonical = query.eval(&db, &mut CanonicalOracle)?;
+    let canonical = query.session(&db).run()?.relation;
     println!("canonical answer ({} samples):", canonical.len());
     for t in canonical.sorted_canonical(&interner) {
         println!("  select_two_emp{}", t.display(&interner));
     }
 
     // A different random-but-reproducible answer:
-    let sampled = query.eval(&db, &mut SeededOracle::new(2024))?;
+    let sampled = query
+        .session(&db)
+        .run_with(&mut SeededOracle::new(2024))?
+        .relation;
     println!("\nseed-2024 answer:");
     for t in sampled.sorted_canonical(&interner) {
         println!("  select_two_emp{}", t.display(&interner));
     }
 
     // The full answer set of the non-deterministic query:
-    let all = query.all_answers(&db, &EnumBudget::default())?;
+    let all = query.session(&db).all_answers()?;
     println!(
         "\nthe query has {} distinct answers (C(3,2) × C(3,2) = 9), \
          enumerated from {} perfect models:",

@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "select_emp",
         Arc::clone(&interner),
     )?;
-    let idlog_answers = idlog_one.all_answers(&db, &budget)?;
+    let idlog_answers = idlog_one.session(&db).budget(budget).all_answers()?;
 
     println!("one-per-department (Example 4):");
     println!("  DATALOG^C answers: {}", choice_answers.len());
@@ -68,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "select_two_emp",
         Arc::clone(&interner),
     )?;
-    let two_answers = idlog_two.all_answers(&db, &budget)?;
+    let two_answers = idlog_two.session(&db).budget(budget).all_answers()?;
     println!(
         "  IDLOG `T < 2`:   {} answers, every one with exactly 4 samples",
         two_answers.len()

@@ -28,7 +28,7 @@ fn check_theorem2(src: &str, facts: &[(&str, &[&str])], output: &str) {
     let translated = idlog_choice::to_idlog::to_idlog(&ast, &interner).unwrap();
     let validated = ValidatedProgram::new(translated, Arc::clone(&interner)).unwrap();
     let q = Query::new(validated, output).unwrap();
-    let via_idlog = q.all_answers(&db, &budget).unwrap();
+    let via_idlog = q.session(&db).budget(budget).all_answers().unwrap();
     assert!(via_idlog.complete());
 
     assert!(
@@ -92,7 +92,7 @@ fn three_languages_one_query() {
     let idlog =
         Query::parse_with_interner("pick(X) :- item[](X, 0).", "pick", Arc::clone(&interner))
             .unwrap();
-    let a_idlog = idlog.all_answers(&db, &budget).unwrap();
+    let a_idlog = idlog.session(&db).budget(budget).all_answers().unwrap();
 
     // DATALOG^C.
     let choice_ast =
@@ -147,7 +147,7 @@ fn idlog_n_sampling_is_exactly_binomial() {
         Arc::clone(&interner),
     )
     .unwrap();
-    let answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+    let answers = q.session(&db).all_answers().unwrap();
     assert!(answers.complete());
     assert_eq!(answers.len(), 6);
     for rel in answers.iter() {
@@ -175,7 +175,7 @@ fn dl_outcomes_contain_the_stratified_answer() {
         unreach(X) :- node(X), not reach(X).
     ";
     let q = Query::parse_with_interner(src, "unreach", Arc::clone(&interner)).unwrap();
-    let idlog_answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+    let idlog_answers = q.session(&db).all_answers().unwrap();
     assert_eq!(idlog_answers.len(), 1);
 
     let dl_ast = idlog_core::parse_program(src, &interner).unwrap();
@@ -240,7 +240,9 @@ fn cut_answer_is_a_choice_model_is_an_idlog_answer() {
     let validated = ValidatedProgram::new(translated, Arc::clone(&interner)).unwrap();
     let idlog_answers = Query::new(validated, "picked")
         .unwrap()
-        .all_answers(&db, &budget)
+        .session(&db)
+        .budget(budget)
+        .all_answers()
         .unwrap();
     assert!(choice_models.same_answers(&idlog_answers, &interner));
     assert!(idlog_answers.contains_answer(&cut_tuples));
@@ -265,7 +267,7 @@ fn four_languages_agree_on_the_guess_query() {
         Arc::clone(&interner),
     )
     .unwrap();
-    let a_idlog = idlog.all_answers(&db, &budget).unwrap();
+    let a_idlog = idlog.session(&db).budget(budget).all_answers().unwrap();
 
     // DL (Example 3).
     let dl_ast = idlog_core::parse_program(

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use idlog_core::{CanonicalOracle, EnumBudget, EvalStats, Interner, Query, SeededOracle};
+use idlog_core::{EnumBudget, EvalStats, Interner, Query, SeededOracle};
 use idlog_storage::Database;
 
 /// D departments × E employees per department.
@@ -22,8 +22,7 @@ fn emp_db(interner: &Arc<Interner>, depts: usize, emps: usize) -> Database {
 fn stats_of(src: &str, output: &str, db_builder: impl Fn(&Arc<Interner>) -> Database) -> EvalStats {
     let q = Query::parse(src, output).unwrap();
     let db = db_builder(q.interner());
-    let (_, stats) = q.eval_with_stats(&db, &mut CanonicalOracle).unwrap();
-    stats
+    q.session(&db).run().unwrap().stats
 }
 
 /// §1/§4: the IDLOG formulation of all_depts considers one tuple per
@@ -73,7 +72,7 @@ fn same_generation_on_a_tree() {
         db.insert_syms("person", &[&format!("v{child}")]).unwrap();
     }
     db.insert_syms("person", &["v1"]).unwrap();
-    let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+    let rel = q.session(&db).run().unwrap().relation;
     // Same-generation pairs in a complete binary tree of 15 nodes:
     // level sizes 1,2,4,8 → 1 + 4 + 16 + 64 = 85 ordered pairs.
     assert_eq!(rel.len(), 85);
@@ -85,11 +84,25 @@ fn same_generation_on_a_tree() {
 fn seeded_oracles_are_reproducible() {
     let q = Query::parse("pick(N) :- emp[2](N, D, 0).", "pick").unwrap();
     let db = emp_db(q.interner(), 2, 6);
-    let a1 = q.eval(&db, &mut SeededOracle::new(11)).unwrap();
-    let a2 = q.eval(&db, &mut SeededOracle::new(11)).unwrap();
+    let a1 = q
+        .session(&db)
+        .run_with(&mut SeededOracle::new(11))
+        .unwrap()
+        .relation;
+    let a2 = q
+        .session(&db)
+        .run_with(&mut SeededOracle::new(11))
+        .unwrap()
+        .relation;
     assert!(a1.set_eq(&a2));
     let differing = (0..32)
-        .filter(|&s| !q.eval(&db, &mut SeededOracle::new(s)).unwrap().set_eq(&a1))
+        .filter(|&s| {
+            !q.session(&db)
+                .run_with(&mut SeededOracle::new(s))
+                .unwrap()
+                .relation
+                .set_eq(&a1)
+        })
         .count();
     assert!(
         differing > 0,
@@ -103,9 +116,13 @@ fn seeded_oracles_are_reproducible() {
 fn all_depts_is_oracle_independent() {
     let q = Query::parse("all_depts(D) :- emp[2](N, D, 0).", "all_depts").unwrap();
     let db = emp_db(q.interner(), 4, 5);
-    let canonical = q.eval(&db, &mut CanonicalOracle).unwrap();
+    let canonical = q.session(&db).run().unwrap().relation;
     for seed in 0..16 {
-        let seeded = q.eval(&db, &mut SeededOracle::new(seed)).unwrap();
+        let seeded = q
+            .session(&db)
+            .run_with(&mut SeededOracle::new(seed))
+            .unwrap()
+            .relation;
         assert!(
             canonical.set_eq(&seeded),
             "seed {seed} changed a deterministic query"
@@ -123,7 +140,7 @@ fn triangular_numbers_via_arithmetic() {
     ";
     let q = Query::parse(src, "tri").unwrap();
     let db = Database::with_interner(Arc::clone(q.interner()));
-    let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+    let rel = q.session(&db).run().unwrap().relation;
     assert_eq!(rel.len(), 11);
     let t: idlog_core::Tuple = vec![idlog_core::Value::Int(10), idlog_core::Value::Int(55)].into();
     assert!(rel.contains(&t), "tri(10) = 55");
@@ -144,7 +161,7 @@ fn three_strata_pipeline() {
     for (x, y) in [("a", "b"), ("b", "c"), ("c", "d")] {
         db.insert_syms("e", &[x, y]).unwrap();
     }
-    let answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+    let answers = q.session(&db).all_answers().unwrap();
     // reach = {a,b,c,d}; rep is any single one of them; nonrep the other 3.
     assert_eq!(answers.len(), 4);
     for rel in answers.iter() {
@@ -164,7 +181,14 @@ fn enumeration_budget_cuts_factorial_space() {
         max_models: 500,
         max_answers: 10_000,
     };
-    let answers = q.all_answers(&db, &budget).unwrap();
+    // Serial: the tight models_explored bound is a property of the
+    // sequential walk (parallel branches may each run up to the budget).
+    let answers = q
+        .session(&db)
+        .threads(1)
+        .budget(budget)
+        .all_answers()
+        .unwrap();
     assert!(!answers.complete());
     assert!(answers.models_explored() <= 501);
 }
@@ -179,7 +203,7 @@ fn bounded_tid_enumeration_is_linear() {
         max_models: 500,
         max_answers: 10_000,
     };
-    let answers = q.all_answers(&db, &budget).unwrap();
+    let answers = q.session(&db).budget(budget).all_answers().unwrap();
     assert!(answers.complete());
     assert_eq!(answers.models_explored(), 9);
     assert_eq!(answers.len(), 9);
@@ -202,8 +226,8 @@ fn parallel_enumeration_agrees() {
         }
     }
     let budget = EnumBudget::default();
-    let seq = q.all_answers(&db, &budget).unwrap();
-    let par = q.all_answers_parallel(&db, &budget).unwrap();
+    let seq = q.session(&db).budget(budget).all_answers().unwrap();
+    let par = q.session(&db).budget(budget).all_answers().unwrap();
     assert!(seq.complete() && par.complete());
     assert!(seq.same_answers(&par, q.interner()));
 }
@@ -238,7 +262,7 @@ fn counting_with_tids_is_deterministic() {
             db.insert_syms("person", &[&format!("p{k}")]).unwrap();
         }
         // Deterministic: a single answer over all perfect models.
-        let answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+        let answers = q.session(&db).all_answers().unwrap();
         assert!(answers.complete());
         assert_eq!(
             answers.len(),
@@ -249,7 +273,11 @@ fn counting_with_tids_is_deterministic() {
         assert_eq!(is_even, n % 2 == 0, "wrong parity for n={n}");
         // And any single oracle gives the same verdict.
         for seed in [1, 9] {
-            let rel = q.eval(&db, &mut SeededOracle::new(seed)).unwrap();
+            let rel = q
+                .session(&db)
+                .run_with(&mut SeededOracle::new(seed))
+                .unwrap()
+                .relation;
             assert_eq!(!rel.is_empty(), n % 2 == 0);
         }
     }
@@ -271,7 +299,7 @@ fn plus_is_definable_from_succ() {
     ";
     let q = Query::parse(src, "myplus").unwrap();
     let db = Database::with_interner(Arc::clone(q.interner()));
-    let rel = q.eval(&db, &mut CanonicalOracle).unwrap();
+    let rel = q.session(&db).run().unwrap().relation;
     // Every derived myplus(X, Y, Z) satisfies X + Y = Z…
     for t in rel.iter() {
         let (x, y, z) = (

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use idlog_core::{CanonicalOracle, EnumBudget, EvalStats, Interner, Query, ValidatedProgram};
+use idlog_core::{EnumBudget, EvalStats, Interner, Query, ValidatedProgram};
 use idlog_optimizer::{
     analyze, push_projections, q_equivalent_on, random_databases, to_id_program,
 };
@@ -69,8 +69,7 @@ fn rewrites_preserve_query_on_program_family() {
 fn stats_on(program: &Program, interner: &Arc<Interner>, db: &Database, output: &str) -> EvalStats {
     let validated = ValidatedProgram::new(program.clone(), Arc::clone(interner)).unwrap();
     let q = Query::new(validated, output).unwrap();
-    let (_, stats) = q.eval_with_stats(db, &mut CanonicalOracle).unwrap();
-    stats
+    q.session(db).run().unwrap().stats
 }
 
 /// §4's whole point: the ID-rewrite reduces intermediate redundant tuples.

@@ -70,12 +70,12 @@ fn example2_man_woman_answer_sets() {
         vec!["(a)".to_string(), "(b)".to_string()],
         vec!["(b)".to_string()],
     ];
-    let man_answers = man.all_answers(&db, &budget).unwrap();
+    let man_answers = man.session(&db).budget(budget).all_answers().unwrap();
     assert!(man_answers.complete());
     assert_eq!(man_answers.to_sorted_strings(man.interner()), expected);
 
     let woman = Query::parse_with_interner(src, "woman", Arc::clone(man.interner())).unwrap();
-    let woman_answers = woman.all_answers(&db, &budget).unwrap();
+    let woman_answers = woman.session(&db).budget(budget).all_answers().unwrap();
     assert_eq!(woman_answers.to_sorted_strings(man.interner()), expected);
 }
 
@@ -93,7 +93,7 @@ fn example3_dl_agrees_with_example2_idlog() {
     ";
     let q = Query::parse(idlog_src, "man").unwrap();
     let db = db_from(q.interner(), &[("person", &["a"]), ("person", &["b"])]);
-    let idlog_answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+    let idlog_answers = q.session(&db).all_answers().unwrap();
 
     let dl_src = "
         man(X) :- person(X), not woman(X).
@@ -133,7 +133,7 @@ fn example4_single_sampling_equivalence() {
         Arc::clone(&interner),
     )
     .unwrap();
-    let idlog_answers = idlog.all_answers(&db, &budget).unwrap();
+    let idlog_answers = idlog.session(&db).budget(budget).all_answers().unwrap();
 
     assert!(choice_answers.same_answers(&idlog_answers, &interner));
     // 2 × 3 = 6 ways to pick one employee per department.
@@ -180,7 +180,7 @@ fn example5_two_sampling() {
         Arc::clone(&interner),
     )
     .unwrap();
-    let idlog_answers = idlog.all_answers(&db, &budget).unwrap();
+    let idlog_answers = idlog.session(&db).budget(budget).all_answers().unwrap();
     assert!(idlog_answers.complete());
     for rel in idlog_answers.iter() {
         assert_eq!(
@@ -267,7 +267,7 @@ fn all_depts_three_ways() {
         Arc::clone(&interner),
     )
     .unwrap();
-    let plain_answers = plain.all_answers(&db, &budget).unwrap();
+    let plain_answers = plain.session(&db).budget(budget).all_answers().unwrap();
     assert_eq!(plain_answers.len(), 1);
 
     let idlog = Query::parse_with_interner(
@@ -276,7 +276,7 @@ fn all_depts_three_ways() {
         Arc::clone(&interner),
     )
     .unwrap();
-    let idlog_answers = idlog.all_answers(&db, &budget).unwrap();
+    let idlog_answers = idlog.session(&db).budget(budget).all_answers().unwrap();
     assert!(plain_answers.same_answers(&idlog_answers, &interner));
 
     let choice_ast =
@@ -300,7 +300,7 @@ fn queries_are_generic() {
             ("emp", &["u3", "d2"]),
         ],
     );
-    let answers = q.all_answers(&db, &EnumBudget::default()).unwrap();
+    let answers = q.session(&db).all_answers().unwrap();
 
     // Permute u1 <-> u3 (a renaming of the domain).
     let permuted_db = db_from(
@@ -311,7 +311,7 @@ fn queries_are_generic() {
             ("emp", &["u1", "d2"]),
         ],
     );
-    let permuted = q.all_answers(&permuted_db, &EnumBudget::default()).unwrap();
+    let permuted = q.session(&permuted_db).all_answers().unwrap();
 
     // Apply the same permutation to the original answers and compare.
     let rename = |s: &str| match s {
@@ -351,13 +351,13 @@ fn udom_enables_complement_queries() {
     .unwrap();
     let mut db = db_from(q.interner(), &[("e", &["a", "b"]), ("e", &["b", "c"])]);
     db.materialize_udom("udom").unwrap();
-    let rel = q.eval(&db, &mut idlog_core::CanonicalOracle).unwrap();
+    let rel = q.session(&db).run().unwrap().relation;
     // 3 constants → 9 pairs, minus the 2 edges.
     assert_eq!(rel.len(), 7);
 
     // The domain can also carry isolated elements, as the paper allows.
     db.add_domain_element("d");
     db.materialize_udom("udom").unwrap();
-    let rel = q.eval(&db, &mut idlog_core::CanonicalOracle).unwrap();
+    let rel = q.session(&db).run().unwrap().relation;
     assert_eq!(rel.len(), 16 - 2);
 }
