@@ -13,13 +13,14 @@ use std::sync::Arc;
 
 use idlog_choice::{collect_violations, ChoiceViolation};
 use idlog_common::{FxHashMap, Interner, SymbolId};
-use idlog_core::{safety, sorts, stratify};
+use idlog_core::{safety, stratify};
 use idlog_parser::{
     parse_program_with_spans, Builtin, Literal, PredicateRef, Program, Span, SpanMap, Term,
 };
 
+use crate::dataflow::Dataflow;
 use crate::diagnostic::Diagnostic;
-use crate::lints;
+use crate::{determinism, lints, sorts};
 
 /// Which language the program appears to be written in.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -115,7 +116,7 @@ pub fn analyze(src: &str, interner: &Arc<Interner>, options: &Options) -> Analys
     check_structure(&program, &spans, interner, dialect, &mut diags);
     let arities = check_arities(&program, &spans, interner, &mut diags);
     check_grouping(&program, &spans, &arities, interner, &mut diags);
-    check_sorts(&program, &spans, &arities, interner, &mut diags);
+    sorts::check(&program, &spans, &arities, interner, &mut diags);
     check_safety(&program, &spans, &mut diags);
     check_stratification(&program, &spans, interner, &mut diags);
     if dialect == Dialect::Choice {
@@ -129,6 +130,11 @@ pub fn analyze(src: &str, interner: &Arc<Interner>, options: &Options) -> Analys
         lints::singleton_variables(&program, &spans, &mut diags);
         lints::degenerate_id_groups(&program, &spans, interner, &mut diags);
         if !has_errors && dialect == Dialect::Idlog {
+            let flow = Dataflow::of(&program, interner);
+            determinism::possibly_nondeterministic_outputs(
+                &program, &spans, &flow, interner, &mut diags,
+            );
+            determinism::tid_value_columns(&program, &spans, &flow, interner, &mut diags);
             lints::tid_bound_hints(&program, &spans, interner, &mut diags);
             if options.redundancy {
                 lints::redundant_clauses(&program, &spans, interner, &mut diags);
@@ -318,21 +324,6 @@ fn check_grouping(
                 ));
             }
         }
-    }
-}
-
-/// Sort conflicts (E008), one diagnostic per independent conflict.
-fn check_sorts(
-    program: &Program,
-    spans: &SpanMap,
-    arities: &FxHashMap<SymbolId, usize>,
-    interner: &Interner,
-    diags: &mut Vec<Diagnostic>,
-) {
-    let (_, conflicts) = sorts::infer_collect(program, arities, &[]);
-    for c in conflicts {
-        let span = c.clause.map(|ci| spans.clause_span(ci)).unwrap_or_default();
-        diags.push(Diagnostic::error("E008", span, c.message(interner)));
     }
 }
 

@@ -1,0 +1,123 @@
+//! Determinism certification lints (W010, W011).
+//!
+//! Theorem 3 makes exact determinism undecidable, so these are
+//! *possibly*-non-deterministic warnings: W010 silence is a certificate
+//! (the engine then skips ID-function enumeration for that output — see
+//! [`idlog_core::Query::certified_deterministic`]), W010 presence is not a
+//! conviction. Intentionally non-deterministic programs (the paper's
+//! sampling queries) should suppress it with `idlog lint --allow W010`.
+
+use idlog_common::Interner;
+use idlog_core::taint::TaintStep;
+use idlog_parser::{Program, SpanMap, Term};
+
+use crate::dataflow::Dataflow;
+use crate::diagnostic::Diagnostic;
+
+/// W010: an output (sink) predicate the analysis cannot certify
+/// deterministic — its contents can vary with the chosen ID-function. The
+/// notes walk the taint witness down to the literal that introduces the
+/// choice.
+pub(crate) fn possibly_nondeterministic_outputs(
+    program: &Program,
+    spans: &SpanMap,
+    flow: &Dataflow,
+    interner: &Interner,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for &sink in &flow.sinks {
+        if flow.taint.deterministic(sink) {
+            continue;
+        }
+        let name = interner.resolve(sink);
+        let defining = program
+            .clauses
+            .iter()
+            .position(|c| c.head.iter().any(|h| h.atom.pred.base() == sink));
+        let anchor = defining
+            .map(|ci| spans.head_name_span(ci))
+            .unwrap_or_default();
+        let mut d = Diagnostic::warning(
+            "W010",
+            anchor,
+            format!(
+                "output predicate `{name}` is possibly non-deterministic: its contents \
+                 can vary with the chosen ID-function"
+            ),
+        );
+        for step in flow.taint.witness(sink) {
+            d = match step {
+                TaintStep::Choice { clause, literal } => d.with_note_at(
+                    spans.literal_span(clause, literal),
+                    "the choice is introduced here",
+                ),
+                TaintStep::Via {
+                    clause,
+                    literal,
+                    from,
+                } => d.with_note_at(
+                    spans.literal_span(clause, literal),
+                    format!(
+                        "depends on possibly non-deterministic `{}` here",
+                        interner.resolve(from)
+                    ),
+                ),
+            };
+        }
+        d = d.with_note(
+            "the analysis is conservative (Theorem 3: exact determinism is undecidable); \
+             if the non-determinism is intentional, suppress with --allow W010",
+        );
+        diags.push(d);
+    }
+}
+
+/// W011: a head column receives a tid-derived value. Even when reaching
+/// the clause is deterministic, the stored value is an artifact of the
+/// enumerated ID-function; joins on such a column differ across perfect
+/// models. Reported once per (predicate, column).
+pub(crate) fn tid_value_columns(
+    program: &Program,
+    spans: &SpanMap,
+    flow: &Dataflow,
+    interner: &Interner,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut reported: Vec<(idlog_common::SymbolId, usize)> = Vec::new();
+    for (ci, clause) in program.clauses.iter().enumerate() {
+        let tainted = flow.taint.value_tainted_vars(clause);
+        if tainted.is_empty() {
+            continue;
+        }
+        for (hi, h) in clause.head.iter().enumerate() {
+            let pred = h.atom.pred.base();
+            for (k, term) in h.atom.terms.iter().enumerate() {
+                let Term::Var(v) = term else { continue };
+                if !tainted.contains(v.as_str()) || reported.contains(&(pred, k)) {
+                    continue;
+                }
+                reported.push((pred, k));
+                let anchor = spans
+                    .clause(ci)
+                    .and_then(|c| c.head_atom(hi))
+                    .and_then(|a| a.term(k))
+                    .unwrap_or_else(|| spans.head_name_span(ci));
+                diags.push(
+                    Diagnostic::warning(
+                        "W011",
+                        anchor,
+                        format!(
+                            "column {} of `{}` stores a tid-derived value",
+                            k + 1,
+                            interner.resolve(pred)
+                        ),
+                    )
+                    .with_note(
+                        "tids are assigned by the enumerated ID-function; values derived \
+                         from them differ across perfect models",
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -133,6 +133,7 @@ pub fn singleton_variables(program: &Program, spans: &SpanMap, diags: &mut Vec<D
         for (v, _) in &occurrences {
             *counts.entry(v.as_str()).or_insert(0) += 1;
         }
+        let mut flagged: Vec<&str> = Vec::new();
         for (v, span) in &occurrences {
             if counts[v.as_str()] == 1 && !v.starts_with('_') {
                 diags.push(
@@ -144,6 +145,33 @@ pub fn singleton_variables(program: &Program, spans: &SpanMap, diags: &mut Vec<D
                     .with_note(format!(
                         "rename it to _{v} if the single occurrence is intentional"
                     )),
+                );
+            }
+            // The inverse (SWI-Prolog's singleton-marked warning): an
+            // underscore prefix promises a singleton, so a repeated use is
+            // probably a typo'd join.
+            if counts[v.as_str()] > 1 && v.starts_with('_') && !flagged.contains(&v.as_str()) {
+                flagged.push(v.as_str());
+                diags.push(
+                    Diagnostic::warning(
+                        "W003",
+                        *span,
+                        format!(
+                            "variable {v} occurs {} times but its name marks it as an \
+                             intentional singleton",
+                            counts[v.as_str()]
+                        ),
+                    )
+                    .with_note(if v.trim_start_matches('_').is_empty() {
+                        // There is no anonymous wildcard: every `_` in a
+                        // clause is the *same* variable and joins.
+                        format!("every occurrence of {v} names the same variable and joins")
+                    } else {
+                        format!(
+                            "drop the underscore if the join is intentional: {}",
+                            v.trim_start_matches('_')
+                        )
+                    }),
                 );
             }
         }

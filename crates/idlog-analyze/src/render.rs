@@ -102,6 +102,69 @@ pub fn render_all(diags: &[Diagnostic], src: &str, filename: &str) -> String {
         .join("\n")
 }
 
+/// Render a batch of diagnostics as a JSON array (machine-readable lint
+/// output for CI and editor integration). Each element carries `code`,
+/// `severity`, `file`, `message`, a `span` object (`null` when unknown,
+/// 1-based lines and columns otherwise), and its `notes`.
+pub fn render_json(diags: &[Diagnostic], filename: &str) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":{},\"code\":{},\"severity\":{},\"message\":{},\"span\":{},\"notes\":[",
+            json_str(filename),
+            json_str(d.code),
+            json_str(d.severity.label()),
+            json_str(&d.message),
+            json_span(Some(d.span)),
+        ));
+        for (k, note) in d.notes.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"message\":{},\"span\":{}}}",
+                json_str(&note.message),
+                json_span(note.span),
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push(']');
+    out
+}
+
+fn json_span(span: Option<Span>) -> String {
+    match span.filter(Span::is_known) {
+        None => "null".to_string(),
+        Some(s) => format!(
+            "{{\"line\":{},\"col\":{},\"end_line\":{},\"end_col\":{}}}",
+            s.start.line, s.start.col, s.end.line, s.end.col
+        ),
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +206,31 @@ mod tests {
     fn unknown_span_degrades_to_header() {
         let d = Diagnostic::warning("W001", Span::default(), "unused");
         assert_eq!(render(&d, "", "f.idl"), "warning[W001]: unused\n");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_nulls() {
+        let d = Diagnostic::error("E010", span(1, 6, 7), "head variable \"Y\"\nnot bound")
+            .with_note("spanless note");
+        let j = render_json(
+            &[d, Diagnostic::warning("W001", Span::default(), "unused")],
+            "f.idl",
+        );
+        assert!(j.starts_with('[') && j.ends_with(']'), "{j}");
+        assert!(j.contains("\"code\":\"E010\""), "{j}");
+        assert!(j.contains("\\\"Y\\\"\\nnot bound"), "{j}");
+        assert!(
+            j.contains("\"span\":{\"line\":1,\"col\":6,\"end_line\":1,\"end_col\":7}"),
+            "{j}"
+        );
+        assert!(
+            j.contains("\"severity\":\"warning\",\"message\":\"unused\",\"span\":null"),
+            "{j}"
+        );
+        assert!(
+            j.contains("{\"message\":\"spanless note\",\"span\":null}"),
+            "{j}"
+        );
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Span-precise sort-conflict diagnostics (E020–E022).
+//!
+//! PR 1 surfaced the engine's sort errors as a single clause-level E008.
+//! The solver in [`idlog_core::sorts`] now records the *occurrence* behind
+//! every demand (a [`SortSite`]), so each conflict kind gets its own code
+//! anchored at the offending term, with a note pointing at the earlier
+//! occurrence that pinned the other sort:
+//!
+//! * **E020** — a predicate column used both as sort `u` and sort `i`
+//! * **E021** — a clause variable used both as sort `u` and sort `i`
+//! * **E022** — a constant of the wrong sort (ground (dis)equality between
+//!   different sorts, or a `u`-constant in an arithmetic/tid position)
+
+use idlog_common::{FxHashMap, Interner, SymbolId};
+use idlog_core::sorts::{infer_collect, SortConflictKind, SortSite};
+use idlog_parser::{Program, Span, SpanMap};
+
+use crate::diagnostic::Diagnostic;
+
+/// The source span of one solver occurrence, when the parser recorded it.
+fn site_span(spans: &SpanMap, site: SortSite) -> Option<Span> {
+    let span = match site {
+        SortSite::Head { clause, atom, term } => {
+            spans.clause(clause)?.head_atom(atom)?.term(term)?
+        }
+        SortSite::Body {
+            clause,
+            literal,
+            term,
+        } => spans.clause(clause)?.literal(literal)?.atom.term(term)?,
+    };
+    Some(span).filter(Span::is_known)
+}
+
+/// Run sort inference and report every conflict (E020–E022).
+pub(crate) fn check(
+    program: &Program,
+    spans: &SpanMap,
+    arities: &FxHashMap<SymbolId, usize>,
+    interner: &Interner,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let (_, conflicts) = infer_collect(program, arities, &[]);
+    for c in conflicts {
+        let anchor =
+            c.at.and_then(|site| site_span(spans, site))
+                .or_else(|| c.clause.map(|ci| spans.clause_span(ci)))
+                .unwrap_or_default();
+        let mut d = match &c.kind {
+            SortConflictKind::Column {
+                pred,
+                col,
+                sorts: (a, b),
+            } => Diagnostic::error(
+                "E020",
+                anchor,
+                format!(
+                    "column {} of `{}` is used both as sort {a} and sort {b}",
+                    col + 1,
+                    interner.resolve(*pred)
+                ),
+            ),
+            SortConflictKind::Variable { var, sorts: (a, b) } => Diagnostic::error(
+                "E021",
+                anchor,
+                format!("variable {var} is used both as sort {a} and sort {b}"),
+            ),
+            SortConflictKind::GroundMismatch => Diagnostic::error(
+                "E022",
+                anchor,
+                "(dis)equality between constants of different sorts can never hold",
+            ),
+            SortConflictKind::ConstantPosition { sort } => Diagnostic::error(
+                "E022",
+                anchor,
+                format!("constant of the wrong sort in a position demanding sort {sort}"),
+            ),
+        };
+        if let Some(first) = c.first.and_then(|site| site_span(spans, site)) {
+            if first != anchor {
+                d = d.with_note_at(first, "the conflicting use is here");
+            }
+        }
+        diags.push(d);
+    }
+}

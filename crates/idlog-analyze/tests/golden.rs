@@ -88,7 +88,7 @@ fn multi_error_file_reports_three_independent_errors() {
         analysis.error_count()
     );
     let codes: Vec<&str> = analysis.diagnostics.iter().map(|d| d.code).collect();
-    for code in ["E010", "E008", "E011"] {
+    for code in ["E010", "E022", "E011"] {
         assert!(codes.contains(&code), "{code} missing from {codes:?}");
     }
 }

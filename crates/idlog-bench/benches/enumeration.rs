@@ -10,7 +10,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use idlog_bench::emp_db;
-use idlog_core::{EnumBudget, Interner, Query};
+use idlog_core::{EnumBudget, EvalOptions, Interner, Query};
 
 fn bench_enumeration(c: &mut Criterion) {
     let mut group = c.benchmark_group("enumeration");
@@ -42,6 +42,46 @@ fn bench_enumeration(c: &mut Criterion) {
                 a
             })
         });
+
+        // Certified: the non-grouping variable stays local, so the taint
+        // analysis certifies the query and one canonical evaluation
+        // replaces the walk. The `_no_fastpath` twin measures what the
+        // certification saves.
+        let certified = Query::parse_with_interner(
+            "all_depts(D) :- emp[2](N, D, 0).",
+            "all_depts",
+            Arc::clone(&interner),
+        )
+        .expect("fixture parses");
+        assert!(certified.certified_deterministic());
+        group.bench_with_input(
+            BenchmarkId::new("certified_fastpath", emps),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    let a = certified
+                        .session(db)
+                        .budget(budget)
+                        .all_answers()
+                        .expect("enumeration succeeds");
+                    assert_eq!(a.models_explored(), 1);
+                    a
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("certified_no_fastpath", emps),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    certified
+                        .session(db)
+                        .options(EvalOptions::new().budget(budget).det_fastpath(false))
+                        .all_answers()
+                        .expect("enumeration succeeds")
+                })
+            },
+        );
 
         // Unbounded: the tid escapes into the head → emps! permutations.
         let unbounded = Query::parse_with_interner(

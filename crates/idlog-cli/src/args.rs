@@ -9,7 +9,7 @@ USAGE:
   idlog run <program> --output <pred> [options]   evaluate a query
   idlog check <program>                           validate and report strata
   idlog explain <program> [--analyze] [options]   print the evaluation plan
-  idlog lint <program>... [--deny-warnings]       collect-all diagnostics & lints
+  idlog lint <program>... [options]               collect-all diagnostics & lints
   idlog translate-choice <program>                Theorem 2: DATALOG^C -> IDLOG
   idlog optimize <program> --output <pred> [--suggest-prune]
                                                   ID-literal rewrite (paper §4)
@@ -36,9 +36,18 @@ RUN OPTIONS:
 EXPLAIN OPTIONS:
   --facts <file>      load ground facts from a separate file
   --analyze           evaluate the program and annotate each clause with
-                      measured counters (EXPLAIN ANALYZE)
+                      measured counters (EXPLAIN ANALYZE) and report the
+                      determinism certification per predicate
   --seed <n>          oracle seed for --analyze (default: canonical)
   --threads <n>       worker threads for --analyze
+
+LINT OPTIONS:
+  --deny-warnings     treat warnings as fatal (for CI)
+  --json              print diagnostics as a JSON array on stdout
+                      (the human summary moves to stderr)
+  --allow <CODE>      suppress a diagnostic code (repeatable); e.g.
+                      --allow W010 for intentionally non-deterministic
+                      sampling programs
 ";
 
 /// Options of `idlog run` (also the payload of [`Command::Run`]).
@@ -124,6 +133,10 @@ pub enum Command {
         programs: Vec<String>,
         /// Treat warnings as fatal (for CI).
         deny_warnings: bool,
+        /// Print diagnostics as a JSON array instead of rendered text.
+        json: bool,
+        /// Diagnostic codes to suppress (case-insensitive).
+        allow: Vec<String>,
     },
     /// Print the Theorem 2 translation.
     TranslateChoice {
@@ -191,9 +204,14 @@ impl Args {
             "lint" => {
                 let mut programs = Vec::new();
                 let mut deny_warnings = false;
-                for word in rest {
+                let mut json = false;
+                let mut allow = Vec::new();
+                let mut it = rest.iter();
+                while let Some(word) = it.next() {
                     match word.as_str() {
                         "--deny-warnings" => deny_warnings = true,
+                        "--json" => json = true,
+                        "--allow" => allow.push(value(&mut it, "--allow")?),
                         other if other.starts_with('-') => {
                             return Err(format!("unknown option {other}"));
                         }
@@ -206,6 +224,8 @@ impl Args {
                 Command::Lint {
                     programs,
                     deny_warnings,
+                    json,
+                    allow,
                 }
             }
             "translate-choice" => Command::TranslateChoice {
@@ -425,15 +445,32 @@ mod tests {
         let Command::Lint {
             programs,
             deny_warnings,
+            json,
+            allow,
         } = args.command
         else {
             panic!("expected lint");
         };
         assert_eq!(programs, vec!["a.idl", "b.idl"]);
         assert!(deny_warnings);
+        assert!(!json && allow.is_empty());
         assert!(parse(&["lint"]).is_err());
         assert!(parse(&["lint", "--deny-warnings"]).is_err());
         assert!(parse(&["lint", "a.idl", "--nope"]).is_err());
+    }
+
+    #[test]
+    fn lint_json_and_allow_flags() {
+        let args = parse(&[
+            "lint", "a.idl", "--json", "--allow", "W010", "--allow", "w011",
+        ])
+        .unwrap();
+        let Command::Lint { json, allow, .. } = args.command else {
+            panic!("expected lint");
+        };
+        assert!(json);
+        assert_eq!(allow, vec!["W010", "w011"]);
+        assert!(parse(&["lint", "a.idl", "--allow"]).is_err());
     }
 
     #[test]

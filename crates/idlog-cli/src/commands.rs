@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use idlog_analyze::{analyze, render_all, Options};
+use idlog_analyze::{analyze, render_all, render_json, Options};
 use idlog_core::{Interner, ValidatedProgram};
 
 use crate::args::RunOpts;
@@ -68,6 +68,20 @@ pub fn check(program_path: &str) -> Result<(), String> {
             stratum = strat.stratum(id)
         );
     }
+    println!("  determinism:");
+    let taint = idlog_core::analyze_taint(program.ast());
+    let mut derived: Vec<String> = program.idb().iter().map(|&p| interner.resolve(p)).collect();
+    derived.sort();
+    for name in &derived {
+        let Some(id) = interner.get(name) else {
+            continue;
+        };
+        if taint.deterministic(id) {
+            println!("    {name}: certified deterministic");
+        } else {
+            println!("    {name}: possibly non-deterministic (depends on the ID-function)");
+        }
+    }
     println!("  plan:");
     let plan = idlog_core::explain(&program).map_err(|e| e.to_string())?;
     for line in plan.lines() {
@@ -78,26 +92,51 @@ pub fn check(program_path: &str) -> Result<(), String> {
 
 /// `idlog lint`: the full diagnostics suite (errors, warnings, hints) over
 /// one or more programs. Fails on errors, and on warnings too when
-/// `deny_warnings` is set.
-pub fn lint(program_paths: &[String], deny_warnings: bool) -> Result<(), String> {
+/// `deny_warnings` is set. `allow` suppresses codes (case-insensitive);
+/// `json` switches stdout to one machine-readable JSON array covering all
+/// files (the human summary moves to stderr).
+pub fn lint(
+    program_paths: &[String],
+    deny_warnings: bool,
+    json: bool,
+    allow: &[String],
+) -> Result<(), String> {
+    let allowed: Vec<String> = allow.iter().map(|c| c.to_ascii_uppercase()).collect();
     let mut errors = 0;
     let mut warnings = 0;
     let mut hints = 0;
+    // In JSON mode, per-file arrays are merged into one top-level array.
+    let mut json_items: Vec<String> = Vec::new();
     for path in program_paths {
         let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let interner = Arc::new(Interner::new());
-        let analysis = analyze(&src, &interner, &Options::default());
-        if !analysis.diagnostics.is_empty() {
+        let mut analysis = analyze(&src, &interner, &Options::default());
+        analysis
+            .diagnostics
+            .retain(|d| !allowed.iter().any(|a| a == d.code));
+        if json {
+            let rendered = render_json(&analysis.diagnostics, path);
+            let inner = &rendered[1..rendered.len() - 1];
+            if !inner.is_empty() {
+                json_items.push(inner.to_string());
+            }
+        } else if !analysis.diagnostics.is_empty() {
             print!("{}", render_all(&analysis.diagnostics, &src, path));
         }
         errors += analysis.error_count();
         warnings += analysis.warning_count();
         hints += analysis.hint_count();
     }
-    println!(
+    let summary = format!(
         "checked {} file(s): {errors} error(s), {warnings} warning(s), {hints} hint(s)",
         program_paths.len()
     );
+    if json {
+        println!("[{}]", json_items.join(","));
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
+    }
     if errors > 0 {
         Err(format!("lint failed with {errors} error(s)"))
     } else if deny_warnings && warnings > 0 {
@@ -223,6 +262,32 @@ pub fn explain(
     let profile = out.profile().expect("profiling was enabled");
     let text = idlog_core::explain_analyze(&program, profile).map_err(|e| e.to_string())?;
     print!("{text}");
+
+    // Determinism footer: which derived predicates are certified independent
+    // of the chosen ID-function (the engine's enumeration fast path).
+    let taint = idlog_core::analyze_taint(program.ast());
+    let mut derived: Vec<String> = program.idb().iter().map(|&p| interner.resolve(p)).collect();
+    derived.sort();
+    let certified: Vec<&String> = derived
+        .iter()
+        .filter(|n| interner.get(n).is_some_and(|id| taint.deterministic(id)))
+        .collect();
+    println!(
+        "-- determinism: {}/{} derived predicate(s) certified deterministic",
+        certified.len(),
+        derived.len()
+    );
+    let uncertified: Vec<String> = derived
+        .iter()
+        .filter(|n| !certified.contains(n))
+        .cloned()
+        .collect();
+    if !uncertified.is_empty() {
+        println!(
+            "--   possibly non-deterministic: {}",
+            uncertified.join(", ")
+        );
+    }
     Ok(())
 }
 

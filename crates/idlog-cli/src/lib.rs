@@ -36,7 +36,9 @@ pub fn run(args: Args) -> Result<(), String> {
         Command::Lint {
             programs,
             deny_warnings,
-        } => commands::lint(&programs, deny_warnings),
+            json,
+            allow,
+        } => commands::lint(&programs, deny_warnings, json, &allow),
         Command::TranslateChoice { program } => commands::translate_choice(&program),
         Command::Optimize {
             program,

@@ -139,6 +139,22 @@ fn translate_and_optimize_commands() {
 }
 
 #[test]
+fn lint_command_allow_and_json() {
+    let s = Scratch::new("lint");
+    // Partial grouping with a non-grouping base variable escaping to the
+    // head: W010 (non-deterministic output) + W011 (tid-derived column).
+    let warny = s.file("w.idl", "pick(N) :- emp[2](N, _D, T), T < 2.");
+    let files = std::slice::from_ref(&warny);
+    assert!(commands::lint(files, true, false, &[]).is_err());
+    let allow = ["W010".to_string(), "w011".to_string()];
+    commands::lint(files, true, false, &allow).unwrap();
+    // JSON mode reports the same verdicts.
+    assert!(commands::lint(files, true, true, &[]).is_err());
+    commands::lint(files, true, true, &allow).unwrap();
+    assert!(commands::lint(&["/nonexistent/x.idl".to_string()], false, false, &[]).is_err());
+}
+
+#[test]
 fn full_arg_to_run_path() {
     let s = Scratch::new("args");
     let program = s.file("p.idl", "pick(N) :- emp[2](N, D, 0).");

@@ -18,6 +18,7 @@ fn shipped_programs_validate() {
         "all_depts.idl",
         "coloring.idl",
         "parity.idl",
+        "dept_sizes.idl",
     ] {
         idlog_cli::commands::check(&path(program)).unwrap_or_else(|e| panic!("{program}: {e}"));
     }
@@ -70,4 +71,42 @@ fn parity_program_is_deterministic() {
 #[test]
 fn choice_program_translates() {
     idlog_cli::commands::translate_choice(&path("choice_select.idl")).unwrap();
+}
+
+/// The shipped programs exercise both sides of the determinism analysis:
+/// the choice-free queries are certified (and skip enumeration on `--all`),
+/// the genuinely non-deterministic ones are not.
+#[test]
+fn shipped_programs_certification() {
+    for (program, facts, output, certified) in [
+        ("all_depts.idl", "company.facts", "all_depts", true),
+        ("dept_sizes.idl", "company.facts", "has_two", true),
+        ("dept_sizes.idl", "company.facts", "singleton", true),
+        ("sampling.idl", "company.facts", "select_two_emp", false),
+        ("coloring.idl", "cycle.facts", "proper_color", false),
+        // parity is deterministic by design but beyond the conservative
+        // analysis (Theorem 3: certification is sound, not complete).
+        ("parity.idl", "people.facts", "even_card", false),
+    ] {
+        let loaded = idlog_cli::load(&path(program), Some(&path(facts)), output).unwrap();
+        assert_eq!(
+            loaded.query.certified_deterministic(),
+            certified,
+            "{program} --output {output}"
+        );
+    }
+}
+
+#[test]
+fn certified_programs_skip_enumeration() {
+    let loaded = idlog_cli::load(
+        &path("dept_sizes.idl"),
+        Some(&path("company.facts")),
+        "singleton",
+    )
+    .unwrap();
+    let answers = loaded.query.session(&loaded.db).all_answers().unwrap();
+    assert_eq!(answers.models_explored(), 1, "fast path: no enumeration");
+    assert!(answers.complete());
+    assert_eq!(answers.len(), 1, "certified: a single answer");
 }

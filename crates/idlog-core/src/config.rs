@@ -47,6 +47,12 @@ pub struct EvalOptions {
     /// Bounds for all-answers enumeration (ignored by single-model
     /// evaluation).
     pub budget: EnumBudget,
+    /// Skip ID-function enumeration when the taint analysis certifies the
+    /// query deterministic ([`crate::Query::certified_deterministic`]): one
+    /// canonical evaluation then yields the complete answer set. On by
+    /// default; turn off to force the full enumeration (benchmark
+    /// baselines, soundness tests).
+    pub det_fastpath: bool,
 }
 
 impl EvalOptions {
@@ -58,6 +64,7 @@ impl EvalOptions {
             threads: 0,
             profile: false,
             budget: EnumBudget::default(),
+            det_fastpath: true,
         }
     }
 
@@ -87,6 +94,12 @@ impl EvalOptions {
     /// Set the enumeration budget.
     pub fn budget(mut self, budget: EnumBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Toggle the certified-deterministic enumeration fast path.
+    pub fn det_fastpath(mut self, det_fastpath: bool) -> Self {
+        self.det_fastpath = det_fastpath;
         self
     }
 
@@ -187,12 +200,15 @@ mod tests {
             .budget(EnumBudget {
                 max_models: 7,
                 max_answers: 5,
-            });
+            })
+            .det_fastpath(false);
         assert_eq!(opts.strategy, Strategy::Naive);
         assert_eq!(opts.threads, 3);
         assert!(opts.profile);
         assert_eq!(opts.budget.max_models, 7);
         assert_eq!(opts.budget.max_answers, 5);
+        assert!(!opts.det_fastpath);
+        assert!(EvalOptions::new().det_fastpath);
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod safety;
 pub mod sorts;
 pub mod stats;
 pub mod stratify;
+pub mod taint;
 pub mod tid;
 pub mod tidbound;
 
@@ -63,6 +64,7 @@ pub use profile::{Profile, RuleTotals, PROFILE_JSON_SCHEMA};
 pub use program::ValidatedProgram;
 pub use query::{EvalResult, Query, Session};
 pub use stats::EvalStats;
+pub use taint::{analyze_taint, choice_free_occurrence, TaintAnalysis, TaintStep};
 pub use tid::{CanonicalOracle, ExplicitOracle, SeededOracle, TidOracle};
 
 // Re-export the pieces callers need to build inputs and read outputs.

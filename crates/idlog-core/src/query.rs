@@ -50,6 +50,10 @@ pub struct Query {
     /// gets evaluated.
     related: ValidatedProgram,
     output: String,
+    /// Whether the ID-taint analysis ([`crate::taint`]) certifies the
+    /// output ID-function-independent over `related`. Computed once at
+    /// construction; lets [`Session::all_answers`] skip enumeration.
+    deterministic: bool,
 }
 
 /// The outcome of one [`Session::run`]: the output relation, the
@@ -120,12 +124,26 @@ impl<'q, 'd> Session<'q, 'd> {
     }
 
     /// Every answer of the query, bounded by the options' budget.
+    ///
+    /// When the query is [certified deterministic](Query::certified_deterministic)
+    /// and [`EvalOptions::det_fastpath`] is on (the default), the answer
+    /// set is computed by a single canonical evaluation — no ID-function
+    /// enumeration, always complete, `models_explored() == 1`.
     pub fn all_answers(self) -> CoreResult<AnswerSet> {
         let query = self.query;
-        match query.edb_answer(self.db) {
-            Some(answers) => Ok(answers),
-            None => enumerate_with_options(&query.related, self.db, &query.output, &self.options),
+        if let Some(answers) = query.edb_answer(self.db) {
+            return Ok(answers);
         }
+        if self.options.det_fastpath && query.deterministic {
+            let result = query.eval_inner(self.db, &mut CanonicalOracle, &self.options)?;
+            return Ok(AnswerSet::collect(
+                [result.relation],
+                true,
+                1,
+                query.program.interner(),
+            ));
+        }
+        enumerate_with_options(&query.related, self.db, &query.output, &self.options)
     }
 }
 
@@ -159,11 +177,24 @@ impl Query {
             });
         };
         let related = program.restrict_to(output_id)?;
+        let deterministic = crate::taint::analyze_taint(related.ast()).deterministic(output_id);
         Ok(Query {
             program,
             related,
             output: output.to_string(),
+            deterministic,
         })
+    }
+
+    /// True when the conservative ID-taint analysis certifies this query's
+    /// answer identical under every ID-function (Theorem 3 makes the exact
+    /// property undecidable, so `false` means *unknown*, not
+    /// non-deterministic). Certified queries have a singleton answer set,
+    /// and [`Session::all_answers`] computes it with one canonical
+    /// evaluation instead of enumerating ID-functions (unless
+    /// [`EvalOptions::det_fastpath`] is off).
+    pub fn certified_deterministic(&self) -> bool {
+        self.deterministic
     }
 
     /// The output predicate name.
@@ -366,6 +397,41 @@ mod tests {
         let rel = q.session(&db).run().unwrap().relation;
         let tuples: Vec<_> = rel.iter().cloned().collect();
         assert!(all.contains_answer(&tuples));
+    }
+
+    #[test]
+    fn certified_query_skips_enumeration() {
+        // `D` ranges over the departments regardless of the ID-function.
+        let q = Query::parse("all_depts(D) :- emp[2](N, D, 0).", "all_depts").unwrap();
+        assert!(q.certified_deterministic());
+        let mut db = q.new_database();
+        for (n, d) in [("a", "x"), ("b", "x"), ("c", "y")] {
+            db.insert_syms("emp", &[n, d]).unwrap();
+        }
+        let fast = q.session(&db).all_answers().unwrap();
+        assert!(fast.complete());
+        assert_eq!(fast.models_explored(), 1);
+        assert_eq!(fast.len(), 1);
+        // The full enumeration agrees (soundness spot check; the proptest
+        // suite covers this at scale).
+        let slow = q
+            .session(&db)
+            .options(EvalOptions::new().det_fastpath(false))
+            .all_answers()
+            .unwrap();
+        assert!(slow.models_explored() > 1);
+        assert!(fast.same_answers(&slow, q.interner()));
+    }
+
+    #[test]
+    fn uncertified_query_still_enumerates() {
+        let q = Query::parse("pick(N) :- emp[2](N, D, 0).", "pick").unwrap();
+        assert!(!q.certified_deterministic());
+        let mut db = q.new_database();
+        db.insert_syms("emp", &["a", "x"]).unwrap();
+        db.insert_syms("emp", &["b", "x"]).unwrap();
+        let all = q.session(&db).all_answers().unwrap();
+        assert_eq!(all.len(), 2, "fast path must not fire on tainted queries");
     }
 
     #[test]

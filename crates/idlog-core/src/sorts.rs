@@ -49,12 +49,41 @@ enum Node {
     Var(usize, String),
 }
 
+/// Where a sort demand arose: one term occurrence in the program. Maps to
+/// a source span through the parser's `SpanMap` side-table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortSite {
+    /// Term `term` of head atom `atom` in clause `clause`.
+    Head {
+        /// Clause index.
+        clause: usize,
+        /// Head atom index within the clause.
+        atom: usize,
+        /// Term position within the atom.
+        term: usize,
+    },
+    /// Term (or builtin argument) `term` of body literal `literal` in
+    /// clause `clause`.
+    Body {
+        /// Clause index.
+        clause: usize,
+        /// Body literal index within the clause.
+        literal: usize,
+        /// Term position within the literal.
+        term: usize,
+    },
+}
+
 /// One sort conflict, with enough structure for span-carrying diagnostics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SortConflict {
     /// Clause whose constraint exposed the conflict (`None` for conflicts
     /// between seed constraints).
     pub clause: Option<usize>,
+    /// The occurrence whose demand exposed the conflict, when known.
+    pub at: Option<SortSite>,
+    /// The earlier occurrence that pinned the other sort, when known.
+    pub first: Option<SortSite>,
     /// What conflicted.
     pub kind: SortConflictKind,
 }
@@ -158,17 +187,17 @@ pub fn infer_collect(
         conflicts: Vec::new(),
     };
     for &(pred, col, sort) in seeds {
-        solver.node_is(Node::Col(pred, col), sort, None);
+        solver.node_is(Node::Col(pred, col), sort, None, None);
     }
 
     for (ci, clause) in program.clauses.iter().enumerate() {
-        for h in &clause.head {
-            solver.atom(ci, &h.atom);
+        for (hi, h) in clause.head.iter().enumerate() {
+            solver.atom(ci, Loc::Head(hi), &h.atom);
         }
-        for l in &clause.body {
+        for (li, l) in clause.body.iter().enumerate() {
             match l {
-                Literal::Pos(a) | Literal::Neg(a) => solver.atom(ci, a),
-                Literal::Builtin { op, args } => solver.builtin(ci, *op, args),
+                Literal::Pos(a) | Literal::Neg(a) => solver.atom(ci, Loc::Body(li), a),
+                Literal::Builtin { op, args } => solver.builtin(ci, li, *op, args),
                 Literal::Choice { .. } | Literal::Cut => {
                     // Choice terms are variables/constants already constrained
                     // by their other occurrences; choice and cut are sort-free.
@@ -182,7 +211,7 @@ pub fn infer_collect(
         cols: FxHashMap::default(),
         arities: arities.clone(),
     };
-    for (node, sort) in solver.sorts {
+    for (node, (sort, _)) in solver.sorts {
         if let Node::Col(p, c) = node {
             map.cols.insert((p, c), sort);
         }
@@ -190,37 +219,73 @@ pub fn infer_collect(
     (map, solver.conflicts)
 }
 
+/// Which side of a clause an atom occurrence sits on.
+#[derive(Clone, Copy)]
+enum Loc {
+    Head(usize),
+    Body(usize),
+}
+
+impl Loc {
+    fn site(self, clause: usize, term: usize) -> SortSite {
+        match self {
+            Loc::Head(atom) => SortSite::Head { clause, atom, term },
+            Loc::Body(literal) => SortSite::Body {
+                clause,
+                literal,
+                term,
+            },
+        }
+    }
+}
+
 struct Solver {
-    sorts: FxHashMap<Node, Sort>,
-    /// `(a, b, clause)` — nodes demanded equal by clause `clause`.
-    unions: Vec<(Node, Node, usize)>,
+    /// Each node's sort plus the occurrence that first demanded it.
+    sorts: FxHashMap<Node, (Sort, Option<SortSite>)>,
+    /// `(a, b, clause, site)` — nodes demanded equal by the occurrence at
+    /// `site` in clause `clause`.
+    unions: Vec<(Node, Node, usize, SortSite)>,
     conflicts: Vec<SortConflict>,
 }
 
 impl Solver {
-    fn atom(&mut self, clause: usize, atom: &Atom) {
+    fn atom(&mut self, clause: usize, loc: Loc, atom: &Atom) {
         let (base, tid_pos) = match &atom.pred {
             PredicateRef::Ordinary(p) => (*p, None),
             PredicateRef::IdVersion { base, .. } => (*base, Some(atom.terms.len() - 1)),
         };
         for (pos, term) in atom.terms.iter().enumerate() {
+            let site = loc.site(clause, pos);
             if Some(pos) == tid_pos {
                 // Tid column is sort i and does not belong to the base pred.
-                self.term_is(clause, term, Sort::I);
+                self.term_is(clause, site, term, Sort::I);
                 continue;
             }
             match term {
-                Term::Sym(_) => self.node_is(Node::Col(base, pos), Sort::U, Some(clause)),
-                Term::Int(_) => self.node_is(Node::Col(base, pos), Sort::I, Some(clause)),
+                Term::Sym(_) => {
+                    self.node_is(Node::Col(base, pos), Sort::U, Some(clause), Some(site))
+                }
+                Term::Int(_) => {
+                    self.node_is(Node::Col(base, pos), Sort::I, Some(clause), Some(site))
+                }
                 Term::Var(v) => {
-                    self.unions
-                        .push((Node::Col(base, pos), Node::Var(clause, v.clone()), clause));
+                    self.unions.push((
+                        Node::Col(base, pos),
+                        Node::Var(clause, v.clone()),
+                        clause,
+                        site,
+                    ));
                 }
             }
         }
     }
 
-    fn builtin(&mut self, clause: usize, op: Builtin, args: &[Term]) {
+    fn builtin(&mut self, clause: usize, literal: usize, op: Builtin, args: &[Term]) {
+        let site = |term| SortSite::Body {
+            clause,
+            literal,
+            term,
+        };
         match op {
             Builtin::Eq | Builtin::Ne => {
                 // Both sides share a sort, whatever it is.
@@ -232,13 +297,19 @@ impl Solver {
                     })
                     .collect();
                 match (&nodes[0], &nodes[1]) {
-                    (Some(a), Some(b)) => self.unions.push((a.clone(), b.clone(), clause)),
-                    (Some(n), None) => self.node_is(n.clone(), term_sort(&args[1]), Some(clause)),
-                    (None, Some(n)) => self.node_is(n.clone(), term_sort(&args[0]), Some(clause)),
+                    (Some(a), Some(b)) => self.unions.push((a.clone(), b.clone(), clause, site(0))),
+                    (Some(n), None) => {
+                        self.node_is(n.clone(), term_sort(&args[1]), Some(clause), Some(site(1)))
+                    }
+                    (None, Some(n)) => {
+                        self.node_is(n.clone(), term_sort(&args[0]), Some(clause), Some(site(0)))
+                    }
                     (None, None) => {
                         if term_sort(&args[0]) != term_sort(&args[1]) {
                             self.conflicts.push(SortConflict {
                                 clause: Some(clause),
+                                at: Some(site(1)),
+                                first: Some(site(0)),
                                 kind: SortConflictKind::GroundMismatch,
                             });
                         }
@@ -247,20 +318,24 @@ impl Solver {
             }
             _ => {
                 // All arithmetic arguments are naturals.
-                for t in args {
-                    self.term_is(clause, t, Sort::I);
+                for (pos, t) in args.iter().enumerate() {
+                    self.term_is(clause, site(pos), t, Sort::I);
                 }
             }
         }
     }
 
-    fn term_is(&mut self, clause: usize, term: &Term, sort: Sort) {
+    fn term_is(&mut self, clause: usize, site: SortSite, term: &Term, sort: Sort) {
         match term {
-            Term::Var(v) => self.node_is(Node::Var(clause, v.clone()), sort, Some(clause)),
+            Term::Var(v) => {
+                self.node_is(Node::Var(clause, v.clone()), sort, Some(clause), Some(site))
+            }
             other => {
                 if term_sort(other) != sort {
                     self.conflicts.push(SortConflict {
                         clause: Some(clause),
+                        at: Some(site),
+                        first: None,
                         kind: SortConflictKind::ConstantPosition { sort },
                     });
                 }
@@ -268,14 +343,15 @@ impl Solver {
         }
     }
 
-    fn node_is(&mut self, node: Node, sort: Sort, clause: Option<usize>) {
-        if let Some(&prev) = self.sorts.get(&node) {
+    fn node_is(&mut self, node: Node, sort: Sort, clause: Option<usize>, site: Option<SortSite>) {
+        if let Some(&(prev, prev_site)) = self.sorts.get(&node) {
             if prev != sort {
-                self.conflicts.push(conflict(&node, prev, sort, clause));
+                self.conflicts
+                    .push(conflict(&node, prev, sort, clause, site, prev_site));
             }
             return;
         }
-        self.sorts.insert(node, sort);
+        self.sorts.insert(node, (sort, site));
     }
 
     /// Propagate equalities until fixpoint, recording (without re-recording)
@@ -284,18 +360,22 @@ impl Solver {
         let mut reported = vec![false; self.unions.len()];
         loop {
             let mut changed = false;
-            for (idx, (a, b, clause)) in self.unions.clone().into_iter().enumerate() {
+            for (idx, (a, b, clause, site)) in self.unions.clone().into_iter().enumerate() {
                 match (self.sorts.get(&a).copied(), self.sorts.get(&b).copied()) {
-                    (Some(sa), Some(sb)) if sa != sb && !reported[idx] => {
+                    (Some((sa, site_a)), Some((sb, site_b))) if sa != sb && !reported[idx] => {
                         reported[idx] = true;
-                        self.conflicts.push(conflict(&a, sa, sb, Some(clause)));
+                        // Anchor at the occurrence demanding the equality;
+                        // point back at whichever prior demand disagrees.
+                        let first = site_b.or(site_a);
+                        self.conflicts
+                            .push(conflict(&a, sa, sb, Some(clause), Some(site), first));
                     }
-                    (Some(sa), None) => {
-                        self.sorts.insert(b.clone(), sa);
+                    (Some((sa, _)), None) => {
+                        self.sorts.insert(b.clone(), (sa, Some(site)));
                         changed = true;
                     }
-                    (None, Some(sb)) => {
-                        self.sorts.insert(a.clone(), sb);
+                    (None, Some((sb, _))) => {
+                        self.sorts.insert(a.clone(), (sb, Some(site)));
                         changed = true;
                     }
                     _ => {}
@@ -308,10 +388,19 @@ impl Solver {
     }
 }
 
-fn conflict(node: &Node, a: Sort, b: Sort, clause: Option<usize>) -> SortConflict {
+fn conflict(
+    node: &Node,
+    a: Sort,
+    b: Sort,
+    clause: Option<usize>,
+    at: Option<SortSite>,
+    first: Option<SortSite>,
+) -> SortConflict {
     match node {
         Node::Col(p, c) => SortConflict {
             clause,
+            at,
+            first,
             kind: SortConflictKind::Column {
                 pred: *p,
                 col: *c,
@@ -320,6 +409,8 @@ fn conflict(node: &Node, a: Sort, b: Sort, clause: Option<usize>) -> SortConflic
         },
         Node::Var(var_clause, v) => SortConflict {
             clause: Some(*var_clause),
+            at,
+            first,
             kind: SortConflictKind::Variable {
                 var: v.clone(),
                 sorts: (a, b),

@@ -1,0 +1,515 @@
+//! ID-taint dataflow and conservative determinism certification.
+//!
+//! The paper's Theorem 3 proves that deciding whether an IDLOG program is
+//! deterministic is undecidable, so this analysis is *sound but incomplete*:
+//! every predicate it certifies is genuinely ID-function-independent, but
+//! some deterministic programs (e.g. `programs/parity.idl`, which counts
+//! along an arbitrary tid order) remain uncertified.
+//!
+//! The analysis is a monotone fixpoint over the predicate dependency graph
+//! with two coupled lattices:
+//!
+//! * **membership taint** — the set of tuples derivable for a predicate can
+//!   vary with the chosen ID-function. A head is tainted when its clause
+//!   reads a tainted predicate, contains an ID-literal occurrence that is
+//!   not *choice-free* (see [`choice_free_occurrence`]), or uses the
+//!   `choice`/`!` constructs of the emulated languages.
+//! * **column (value) taint** — a column can carry a tid-derived value even
+//!   when reaching the clause at all is deterministic. Tracked per
+//!   `(predicate, column)` and propagated through joins and `=` builtins;
+//!   it feeds the W011 lint and makes witness messages precise. Membership
+//!   taint is the sound gate: a clause binding a variable from a tainted
+//!   column of predicate `p` is already membership-tainted via `p`.
+//!
+//! Certification (`deterministic(p)`) is the complement of membership
+//! taint, and every taint carries a [`TaintStep`] witness so diagnostics
+//! can show a concrete derivation path to the offending literal.
+
+use idlog_common::{FxHashMap, FxHashSet, SymbolId};
+use idlog_parser::{Builtin, Clause, Literal, PredicateRef, Program, Term};
+
+/// One step in a taint witness: how ID-function dependence reaches a
+/// predicate. Chased transitively by [`TaintAnalysis::witness`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaintStep {
+    /// The literal at `(clause, literal)` introduces a choice directly: an
+    /// ID-literal whose enumerated bindings vary across ID-functions, or a
+    /// `choice`/`!` construct.
+    Choice {
+        /// Clause index in the program.
+        clause: usize,
+        /// Body literal index within that clause.
+        literal: usize,
+    },
+    /// The body literal at `(clause, literal)` reads the already-tainted
+    /// predicate `from`.
+    Via {
+        /// Clause index in the program.
+        clause: usize,
+        /// Body literal index within that clause.
+        literal: usize,
+        /// The tainted predicate this literal reads.
+        from: SymbolId,
+    },
+}
+
+/// The result of the ID-taint fixpoint over one program.
+#[derive(Debug, Clone, Default)]
+pub struct TaintAnalysis {
+    /// First taint step recorded per membership-tainted predicate.
+    tainted: FxHashMap<SymbolId, TaintStep>,
+    /// `(predicate, column)` pairs that can carry tid-derived values.
+    tainted_cols: FxHashSet<(SymbolId, usize)>,
+}
+
+impl TaintAnalysis {
+    /// True when the analysis certifies `pred`'s contents identical under
+    /// every ID-function. Predicates the program never defines (EDB inputs)
+    /// are trivially certified.
+    pub fn deterministic(&self, pred: SymbolId) -> bool {
+        !self.tainted.contains_key(&pred)
+    }
+
+    /// True when column `col` of `pred` can carry a tid-derived value.
+    pub fn col_tainted(&self, pred: SymbolId, col: usize) -> bool {
+        self.tainted_cols.contains(&(pred, col))
+    }
+
+    /// All membership-tainted predicates, in arbitrary order.
+    pub fn tainted_predicates(&self) -> impl Iterator<Item = SymbolId> + '_ {
+        self.tainted.keys().copied()
+    }
+
+    /// All tainted `(predicate, column)` pairs, in arbitrary order.
+    pub fn tainted_columns(&self) -> impl Iterator<Item = (SymbolId, usize)> + '_ {
+        self.tainted_cols.iter().copied()
+    }
+
+    /// The witness path from `pred` down to a choice-introducing literal:
+    /// a sequence of [`TaintStep::Via`] hops ending in a
+    /// [`TaintStep::Choice`]. Empty when `pred` is certified.
+    pub fn witness(&self, pred: SymbolId) -> Vec<TaintStep> {
+        let mut path = Vec::new();
+        let mut at = pred;
+        while let Some(&step) = self.tainted.get(&at) {
+            path.push(step);
+            match step {
+                TaintStep::Choice { .. } => break,
+                // First-taint order makes the chain acyclic, but guard
+                // against pathological growth anyway.
+                TaintStep::Via { from, .. } if path.len() <= 1024 => at = from,
+                TaintStep::Via { .. } => break,
+            }
+        }
+        path
+    }
+
+    /// The variables of `clause` that can carry tid-derived values, given
+    /// the column taint computed so far. Exposed for per-clause reporting
+    /// (the W011 lint); sound only on the fixpoint result.
+    pub fn value_tainted_vars<'c>(&self, clause: &'c Clause) -> FxHashSet<&'c str> {
+        value_tainted_vars(clause, &self.tainted_cols)
+    }
+}
+
+/// Run the ID-taint fixpoint over `program`. Works on the surface AST so
+/// the analyzer can run it on programs that fail later validation stages.
+pub fn analyze_taint(program: &Program) -> TaintAnalysis {
+    let mut t = TaintAnalysis::default();
+    loop {
+        let mut changed = false;
+        for (ci, clause) in program.clauses.iter().enumerate() {
+            let step = clause_taint_step(clause, ci, &t);
+            let vars = value_tainted_vars(clause, &t.tainted_cols);
+            for h in &clause.head {
+                let head = h.atom.pred.base();
+                if let Some(step) = step {
+                    if let std::collections::hash_map::Entry::Vacant(e) = t.tainted.entry(head) {
+                        e.insert(step);
+                        changed = true;
+                    }
+                }
+                for (pos, term) in h.atom.terms.iter().enumerate() {
+                    if let Term::Var(v) = term {
+                        if vars.contains(v.as_str()) {
+                            changed |= t.tainted_cols.insert((head, pos));
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            return t;
+        }
+    }
+}
+
+/// Why `clause` membership-taints its head(s), if it does: the first body
+/// literal that reads a tainted predicate or introduces a choice.
+fn clause_taint_step(clause: &Clause, ci: usize, t: &TaintAnalysis) -> Option<TaintStep> {
+    for (li, lit) in clause.body.iter().enumerate() {
+        match lit {
+            Literal::Pos(a) | Literal::Neg(a) => {
+                let base = a.pred.base();
+                if !t.deterministic(base) {
+                    return Some(TaintStep::Via {
+                        clause: ci,
+                        literal: li,
+                        from: base,
+                    });
+                }
+                if a.pred.is_id_version() && !choice_free_occurrence(clause, li) {
+                    return Some(TaintStep::Choice {
+                        clause: ci,
+                        literal: li,
+                    });
+                }
+            }
+            // `choice((X̄),(Ȳ))` picks one Ȳ per X̄; `!` commits to the
+            // first solution of a search order: both inherently
+            // non-deterministic.
+            Literal::Choice { .. } | Literal::Cut => {
+                return Some(TaintStep::Choice {
+                    clause: ci,
+                    literal: li,
+                });
+            }
+            Literal::Builtin { .. } => {}
+        }
+    }
+    None
+}
+
+/// True when the ID-literal occurrence at `clause.body[li]` is
+/// *choice-free*: the set of clause instantiations it admits is the same
+/// under every ID-function, so it introduces no non-determinism of its own.
+///
+/// Sound cases (anything else returns `false`):
+///
+/// * **Full grouping** (`grouping.len() == base arity`): every group is a
+///   singleton, so every ID-function assigns the same tids — deterministic
+///   for positive *and* negated occurrences (the W004 degenerate case).
+/// * **Positive occurrence testing only group membership**: every
+///   non-grouping base position is a variable occurring exactly once in
+///   the whole clause (a pure existential — which group member carries
+///   which tid cannot be observed), *and* the tid term is a constant or a
+///   variable constrained only by comparisons against constants. The tids
+///   of a k-member group are always exactly `{0, …, k−1}`, so
+///   `∃t ∈ {0..k−1}: C(t)` depends only on the group size, never on the
+///   ID-function. Note this is strictly stronger than H001 tid-boundedness:
+///   `pick(N) :- emp[2](N, D, 0)` is tid-bounded but non-deterministic,
+///   because N escapes to the head.
+/// * **Negated occurrences** are choice-free only under full grouping:
+///   range restriction forces their variables to be bound elsewhere, so
+///   they always observe the member↔tid assignment.
+pub fn choice_free_occurrence(clause: &Clause, li: usize) -> bool {
+    let Some(atom) = clause.body[li].atom() else {
+        return false;
+    };
+    let PredicateRef::IdVersion { grouping, .. } = &atom.pred else {
+        return false;
+    };
+    if atom.terms.is_empty() {
+        return false;
+    }
+    let tid_pos = atom.terms.len() - 1;
+    if grouping.len() == atom.base_arity() {
+        return true;
+    }
+    if matches!(clause.body[li], Literal::Neg(_)) {
+        return false;
+    }
+    let counts = variable_counts(clause);
+    for (pos, term) in atom.terms[..tid_pos].iter().enumerate() {
+        if grouping.contains(&pos) {
+            continue;
+        }
+        match term {
+            Term::Var(v) if counts.get(v.as_str()) == Some(&1) => {}
+            _ => return false,
+        }
+    }
+    match &atom.terms[tid_pos] {
+        // A symbolic constant never matches the integer-sorted tid column:
+        // the occurrence admits no instantiation under any ID-function.
+        Term::Int(_) | Term::Sym(_) => true,
+        Term::Var(v) => tid_var_is_local(clause, li, v),
+    }
+}
+
+/// True when tid variable `v` of the ID-literal at `clause.body[li]` is
+/// constrained only by that literal and by builtins over constants, so the
+/// set of tids satisfying the constraints is a function of the group size
+/// alone.
+fn tid_var_is_local(clause: &Clause, li: usize, v: &str) -> bool {
+    let occurs = |t: &Term| matches!(t, Term::Var(name) if name == v);
+    if clause.head.iter().any(|h| h.atom.terms.iter().any(occurs)) {
+        return false;
+    }
+    for (i, lit) in clause.body.iter().enumerate() {
+        match lit {
+            _ if i == li => {
+                // Within the ID-literal itself `v` must fill only the tid
+                // position; reuse at a base position couples the tid with
+                // the member↔tid assignment.
+                let atom = lit.atom().expect("li indexes an ID-literal");
+                let tid_pos = atom.terms.len() - 1;
+                if atom.terms[..tid_pos].iter().any(occurs) {
+                    return false;
+                }
+            }
+            Literal::Builtin { args, .. } => {
+                // A builtin mentioning `v` keeps it local only when every
+                // other argument is a constant (the constraint is then a
+                // fixed predicate on the tid value).
+                if args.iter().any(occurs)
+                    && args.iter().any(|t| !occurs(t) && matches!(t, Term::Var(_)))
+                {
+                    return false;
+                }
+            }
+            _ => {
+                if lit.variables().contains(&v) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Occurrence count of every variable across the whole clause (heads,
+/// atoms, builtins, choice literals), counting repeats.
+fn variable_counts(clause: &Clause) -> FxHashMap<&str, usize> {
+    let mut terms: Vec<&Term> = Vec::new();
+    for h in &clause.head {
+        terms.extend(&h.atom.terms);
+    }
+    for lit in &clause.body {
+        match lit {
+            Literal::Pos(a) | Literal::Neg(a) => terms.extend(&a.terms),
+            Literal::Builtin { args, .. } => terms.extend(args),
+            Literal::Choice { grouped, chosen } => {
+                terms.extend(grouped);
+                terms.extend(chosen);
+            }
+            Literal::Cut => {}
+        }
+    }
+    let mut counts: FxHashMap<&str, usize> = FxHashMap::default();
+    for t in terms {
+        if let Term::Var(v) = t {
+            *counts.entry(v.as_str()).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// The clause's variables that can carry tid-derived values: tid-position
+/// and non-grouping variables of non-choice-free positive ID-literals, plus
+/// variables bound from tainted columns, closed under `=` builtins.
+fn value_tainted_vars<'c>(
+    clause: &'c Clause,
+    tainted_cols: &FxHashSet<(SymbolId, usize)>,
+) -> FxHashSet<&'c str> {
+    let mut tainted: FxHashSet<&'c str> = FxHashSet::default();
+    for (li, lit) in clause.body.iter().enumerate() {
+        let Literal::Pos(a) = lit else { continue };
+        match &a.pred {
+            PredicateRef::IdVersion { grouping, .. } => {
+                if a.terms.is_empty() || choice_free_occurrence(clause, li) {
+                    continue;
+                }
+                let tid_pos = a.terms.len() - 1;
+                for (pos, term) in a.terms.iter().enumerate() {
+                    if let Term::Var(v) = term {
+                        // Grouping positions range over the (deterministic)
+                        // projection of the base relation; every other
+                        // position pairs with the ID-function's choices.
+                        if pos == tid_pos || !grouping.contains(&pos) {
+                            tainted.insert(v.as_str());
+                        }
+                        // Base columns of the ID-relation inherit the base
+                        // predicate's column taint below.
+                        if pos < tid_pos && tainted_cols.contains(&(a.pred.base(), pos)) {
+                            tainted.insert(v.as_str());
+                        }
+                    }
+                }
+            }
+            PredicateRef::Ordinary(p) => {
+                for (pos, term) in a.terms.iter().enumerate() {
+                    if let Term::Var(v) = term {
+                        if tainted_cols.contains(&(*p, pos)) {
+                            tainted.insert(v.as_str());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Close under value-producing builtins: `X = Y` and the arithmetic
+    // relations spread taint among their arguments. Pure comparisons
+    // (`<`, …) constrain but do not carry values; membership taint already
+    // accounts for their effect on derivability.
+    loop {
+        let mut changed = false;
+        for lit in &clause.body {
+            if let Literal::Builtin { op, args } = lit {
+                if !op.is_comparison() || matches!(op, Builtin::Eq) {
+                    let any = args
+                        .iter()
+                        .any(|t| matches!(t, Term::Var(v) if tainted.contains(v.as_str())));
+                    if any {
+                        for t in args {
+                            if let Term::Var(v) = t {
+                                changed |= tainted.insert(v.as_str());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            return tainted;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use idlog_common::Interner;
+    use idlog_parser::parse_program;
+
+    fn taints(src: &str) -> (TaintAnalysis, Arc<Interner>) {
+        let interner = Arc::new(Interner::new());
+        let program = parse_program(src, &interner).expect("test program parses");
+        (analyze_taint(&program), interner)
+    }
+
+    fn det(src: &str, pred: &str) -> bool {
+        let (t, interner) = taints(src);
+        t.deterministic(interner.intern(pred))
+    }
+
+    #[test]
+    fn pure_existential_group_scan_is_certified() {
+        assert!(det("all_depts(D) :- emp[2](N, D, 0).", "all_depts"));
+        // Any constant tid works, as does a tid variable compared against
+        // constants (group-size tests).
+        assert!(det("has_two(D) :- emp[2](N, D, T), T = 1.", "has_two"));
+        assert!(det("big(D) :- emp[2](N, D, T), T > 2.", "big"));
+        // A symbolic tid never matches: vacuously deterministic.
+        assert!(det("none(D) :- emp[2](N, D, a).", "none"));
+    }
+
+    #[test]
+    fn escaping_member_variable_taints() {
+        // The chosen member reaches the head …
+        assert!(!det("pick(N) :- emp[2](N, D, 0).", "pick"));
+        // … or is constrained by another literal.
+        assert!(!det("q(D) :- emp[2](N, D, 0), male(N).", "q"));
+        // A constant at a non-grouping position observes the assignment.
+        assert!(!det("q(D) :- emp[2](ann, D, 0).", "q"));
+        // The member variable repeated inside the atom observes it too.
+        assert!(!det("q(D) :- emp[2](N, N, 0).", "q"));
+    }
+
+    #[test]
+    fn escaping_tid_variable_taints() {
+        assert!(!det("pick(N, T) :- emp[](N, D, T).", "pick"));
+        // Tid compared against another variable leaks through the builtin.
+        assert!(!det("q(D) :- emp[2](N, D, T), size(M), T < M.", "q"));
+        // Tid reused at a base position of the same atom.
+        assert!(!det("q(D) :- emp[2](N, D, D).", "q"));
+    }
+
+    #[test]
+    fn full_grouping_is_certified_both_polarities() {
+        assert!(det("p(N, D) :- emp[1,2](N, D, 0).", "p"));
+        assert!(det("p(N, D) :- emp(N, D), not emp[1,2](N, D, 1).", "p"));
+        // Partial grouping under negation observes the assignment.
+        assert!(!det(
+            "rest(N, D) :- emp(N, D), not emp[2](N, D, 0).",
+            "rest"
+        ));
+    }
+
+    #[test]
+    fn taint_propagates_transitively() {
+        let src = "
+            picked(N) :- emp[2](N, D, 0).
+            via(X) :- picked(X).
+            clean(D) :- emp[2](N, D, 0).
+            downstream(X) :- clean(X).
+        ";
+        let (t, interner) = taints(src);
+        assert!(!t.deterministic(interner.intern("picked")));
+        assert!(!t.deterministic(interner.intern("via")));
+        assert!(t.deterministic(interner.intern("clean")));
+        assert!(t.deterministic(interner.intern("downstream")));
+    }
+
+    #[test]
+    fn id_literal_over_tainted_base_taints() {
+        // h's ID-occurrence is choice-free in shape, but its base g is
+        // itself tainted.
+        let src = "
+            g(N, D) :- emp[2](N, D, 0), dept(D).
+            h(D) :- g[2](M, D, 0).
+        ";
+        let (t, interner) = taints(src);
+        assert!(!t.deterministic(interner.intern("g")));
+        assert!(!t.deterministic(interner.intern("h")));
+        match t.witness(interner.intern("h")).as_slice() {
+            [TaintStep::Via { from, .. }, TaintStep::Choice { clause: 0, .. }] => {
+                assert_eq!(*from, interner.intern("g"));
+            }
+            other => panic!("unexpected witness {other:?}"),
+        }
+    }
+
+    #[test]
+    fn choice_and_cut_taint() {
+        assert!(!det("s(N) :- emp(N, D), choice((D), (N)).", "s"));
+        assert!(!det("first(X) :- cand(X), !.", "first"));
+    }
+
+    #[test]
+    fn column_taint_tracks_tid_values() {
+        let src = "
+            numbered(X, T) :- person[](X, T).
+            copy(T) :- numbered(X, T).
+            names(X) :- numbered(X, T).
+        ";
+        let (t, interner) = taints(src);
+        let numbered = interner.intern("numbered");
+        // Column 1 carries the tid; column 0 carries the (non-determinately
+        // paired) member.
+        assert!(t.col_tainted(numbered, 1));
+        assert!(t.col_tainted(numbered, 0));
+        assert!(t.col_tainted(interner.intern("copy"), 0));
+        // Membership taint still gates everything downstream.
+        assert!(!t.deterministic(interner.intern("names")));
+    }
+
+    #[test]
+    fn certified_program_has_empty_witness() {
+        let (t, interner) = taints("all_depts(D) :- emp[2](N, D, 0).");
+        assert!(t.witness(interner.intern("all_depts")).is_empty());
+        assert_eq!(t.tainted_predicates().count(), 0);
+    }
+
+    #[test]
+    fn equality_spreads_value_taint() {
+        let src = "
+            leak(Y) :- person[](X, T), T = Y2, Y = Y2.
+        ";
+        let (t, interner) = taints(src);
+        assert!(!t.deterministic(interner.intern("leak")));
+        assert!(t.col_tainted(interner.intern("leak"), 0));
+    }
+}

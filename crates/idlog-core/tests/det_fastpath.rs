@@ -1,0 +1,268 @@
+//! Soundness harness for the determinism fast path.
+//!
+//! Generates random safe, stratified programs whose ID-literals are all
+//! *choice-free occurrences* (fresh non-grouping variables, constant tids),
+//! so the taint analysis must certify every query over them. For a
+//! certified query the engine answers `all_answers` with one canonical
+//! evaluation instead of enumerating ID-functions; this harness checks the
+//! certification claim behind that shortcut:
+//!
+//! 1. the full enumeration (fast path disabled) finds exactly one answer;
+//! 2. the fast path reproduces it byte-identically at every thread count;
+//! 3. every seeded-oracle evaluation lands on that same answer.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use idlog_core::{EnumBudget, EvalOptions, Interner, Query, SeededOracle, ValidatedProgram};
+use idlog_storage::Database;
+
+/// Pool of variable names used by generated clauses.
+const VARS: [&str; 4] = ["X", "Y", "Z", "W"];
+
+/// One generated body literal.
+#[derive(Clone, Debug)]
+enum LitSpec {
+    /// Positive atom on a predicate of the given level (0 = input).
+    Pos {
+        level: usize,
+        pred: usize,
+        vars: Vec<usize>,
+    },
+    /// Negated atom on a strictly lower level (vars forced to bound ones).
+    Neg {
+        level: usize,
+        pred: usize,
+        vars: Vec<usize>,
+    },
+    /// Choice-free ID-literal on a strictly lower level: grouped by the
+    /// first column, a *fresh* variable in the non-grouping column, and a
+    /// constant tid — exactly the taint analysis's base case.
+    IdFresh {
+        level: usize,
+        pred: usize,
+        var: usize,
+    },
+}
+
+/// One clause for a level-`level` head predicate.
+#[derive(Clone, Debug)]
+struct ClauseSpec {
+    head_pred: usize,
+    head_vars: Vec<usize>,
+    body: Vec<LitSpec>,
+}
+
+#[derive(Clone, Debug)]
+struct ProgramSpec {
+    /// clauses[level-1] = clauses whose head lives at that level (1 or 2).
+    clauses: Vec<Vec<ClauseSpec>>,
+    /// Facts for the two input predicates over a 3-symbol domain.
+    facts: Vec<(usize, usize, usize)>,
+}
+
+fn pred_name(level: usize, pred: usize) -> String {
+    format!("l{level}p{pred}")
+}
+
+fn arb_lit(level: usize) -> impl Strategy<Value = LitSpec> {
+    let pos = (
+        0..level + 1,
+        0usize..2,
+        proptest::collection::vec(0usize..4, 2),
+    )
+        .prop_map(|(l, p, v)| LitSpec::Pos {
+            level: l,
+            pred: p,
+            vars: v,
+        });
+    let neg =
+        (0..level, 0usize..2, proptest::collection::vec(0usize..4, 2)).prop_map(|(l, p, v)| {
+            LitSpec::Neg {
+                level: l,
+                pred: p,
+                vars: v,
+            }
+        });
+    let id = (0..level, 0usize..2, 0usize..4).prop_map(|(l, p, v)| LitSpec::IdFresh {
+        level: l,
+        pred: p,
+        var: v,
+    });
+    prop_oneof![3 => pos, 1 => neg, 2 => id]
+}
+
+fn arb_clause(level: usize) -> impl Strategy<Value = ClauseSpec> {
+    (
+        0usize..2,
+        proptest::collection::vec(0usize..4, 2),
+        proptest::collection::vec(arb_lit(level), 1..4),
+    )
+        .prop_map(move |(head_pred, head_vars, body)| ClauseSpec {
+            head_pred,
+            head_vars,
+            body,
+        })
+}
+
+fn arb_program() -> impl Strategy<Value = ProgramSpec> {
+    (
+        proptest::collection::vec(arb_clause(1), 1..4),
+        proptest::collection::vec(arb_clause(2), 1..4),
+        proptest::collection::vec((0usize..2, 0usize..3, 0usize..3), 0..8),
+    )
+        .prop_map(|(l1, l2, facts)| ProgramSpec {
+            clauses: vec![l1, l2],
+            facts,
+        })
+}
+
+/// Render the spec to source, repairing safety exactly as the general
+/// random-program harness does, but giving every ID-literal a fresh
+/// non-grouping variable so each occurrence is choice-free.
+fn render(spec: &ProgramSpec) -> String {
+    let mut src = String::new();
+    let mut fresh = 0usize;
+    for (li, level_clauses) in spec.clauses.iter().enumerate() {
+        let level = li + 1;
+        for c in level_clauses {
+            let mut bound: Vec<usize> = c
+                .body
+                .iter()
+                .filter_map(|l| match l {
+                    LitSpec::Pos { vars, .. } => Some(vars.clone()),
+                    _ => None,
+                })
+                .flatten()
+                .collect();
+            bound.sort_unstable();
+            bound.dedup();
+            let mut body_parts: Vec<String> = Vec::new();
+            if bound.is_empty() {
+                body_parts.push(format!("{}(X, Y)", pred_name(0, 0)));
+                bound = vec![0, 1];
+            }
+            let fix = |v: usize| -> usize {
+                if bound.contains(&v) {
+                    v
+                } else {
+                    bound[v % bound.len()]
+                }
+            };
+            for l in &c.body {
+                match l {
+                    LitSpec::Pos { level, pred, vars } => {
+                        body_parts.push(format!(
+                            "{}({}, {})",
+                            pred_name(*level, *pred),
+                            VARS[vars[0]],
+                            VARS[vars[1]]
+                        ));
+                    }
+                    LitSpec::Neg { level, pred, vars } => {
+                        body_parts.push(format!(
+                            "not {}({}, {})",
+                            pred_name(*level, *pred),
+                            VARS[fix(vars[0])],
+                            VARS[fix(vars[1])]
+                        ));
+                    }
+                    LitSpec::IdFresh { level, pred, var } => {
+                        fresh += 1;
+                        body_parts.push(format!(
+                            "{}[1]({}, F{fresh}, 0)",
+                            pred_name(*level, *pred),
+                            VARS[fix(*var)],
+                        ));
+                    }
+                }
+            }
+            let head = format!(
+                "{}({}, {})",
+                pred_name(level, c.head_pred),
+                VARS[fix(c.head_vars[0])],
+                VARS[fix(c.head_vars[1])]
+            );
+            src.push_str(&format!("{head} :- {}.\n", body_parts.join(", ")));
+        }
+    }
+    src
+}
+
+fn build(spec: &ProgramSpec) -> (ValidatedProgram, Database) {
+    let src = render(spec);
+    let interner = Arc::new(Interner::new());
+    let program = ValidatedProgram::parse(&src, Arc::clone(&interner))
+        .unwrap_or_else(|e| panic!("generated program failed to validate: {e}\n{src}"));
+    let mut db = Database::with_interner(interner);
+    for p in 0..2 {
+        db.declare(&pred_name(0, p), idlog_core::RelType::elementary(2))
+            .unwrap();
+    }
+    for &(p, a, b) in &spec.facts {
+        db.insert_syms(&pred_name(0, p), &[&format!("c{a}"), &format!("c{b}")])
+            .unwrap();
+    }
+    (program, db)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn certified_fast_path_matches_full_enumeration(spec in arb_program(), seed in any::<u64>()) {
+        let (program, db) = build(&spec);
+        let interner = Arc::clone(program.interner());
+        let output = pred_name(2, spec.clauses[1][0].head_pred);
+        let query = Query::new(program, &output).unwrap();
+        prop_assert!(
+            query.certified_deterministic(),
+            "choice-free occurrences must certify\n{}",
+            render(&spec)
+        );
+
+        let budget = EnumBudget { max_models: 50_000, max_answers: 50_000 };
+        let slow = query
+            .session(&db)
+            .options(EvalOptions::serial().budget(budget).det_fastpath(false))
+            .all_answers()
+            .unwrap();
+        prop_assume!(slow.complete()); // skip the rare factorial blowups
+        prop_assert_eq!(
+            slow.len(), 1,
+            "a certified query has a single answer over all ID-functions\n{}",
+            render(&spec)
+        );
+
+        for threads in [1usize, 2, 8] {
+            let fast = query
+                .session(&db)
+                .options(EvalOptions::new().threads(threads).budget(budget))
+                .all_answers()
+                .unwrap();
+            prop_assert_eq!(fast.models_explored(), 1, "fast path must not enumerate");
+            prop_assert!(fast.complete());
+            prop_assert_eq!(
+                fast.to_sorted_strings(&interner),
+                slow.to_sorted_strings(&interner),
+                "fast path diverged at {} threads\n{}",
+                threads,
+                render(&spec)
+            );
+        }
+
+        // Every seeded oracle must land on the certified answer.
+        let result = query
+            .session(&db)
+            .options(EvalOptions::new())
+            .run_with(&mut SeededOracle::new(seed))
+            .unwrap();
+        let tuples: Vec<_> = result.relation.iter().cloned().collect();
+        prop_assert!(
+            slow.contains_answer(&tuples),
+            "seeded answer differs from the certified one\n{}",
+            render(&spec)
+        );
+    }
+}

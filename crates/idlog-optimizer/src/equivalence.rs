@@ -14,7 +14,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use idlog_common::Interner;
-use idlog_core::{enumerate_with_options, CoreResult, EnumBudget, EvalOptions, ValidatedProgram};
+use idlog_core::{
+    analyze_taint, enumerate_with_options, evaluate_with_options, CanonicalOracle, CoreResult,
+    EnumBudget, EvalOptions, ValidatedProgram,
+};
 use idlog_parser::Program;
 use idlog_storage::Database;
 
@@ -42,11 +45,30 @@ pub fn q_equivalent_on(
 ) -> CoreResult<EquivalenceReport> {
     let v1 = ValidatedProgram::new(p1.clone(), Arc::clone(interner))?;
     let v2 = ValidatedProgram::new(p2.clone(), Arc::clone(interner))?;
+    // Determinism fast path: when the taint analysis certifies `output` in
+    // BOTH programs, each answer set is a singleton, so one canonical
+    // evaluation per side replaces the full ID-function enumeration.
+    let both_certified = interner.get(output).is_some_and(|out| {
+        analyze_taint(v1.ast()).deterministic(out) && analyze_taint(v2.ast()).deterministic(out)
+    });
     for (i, db) in dbs.iter().enumerate() {
         let opts = EvalOptions::serial().budget(*budget);
-        let a1 = enumerate_with_options(&v1, db, output, &opts)?;
-        let a2 = enumerate_with_options(&v2, db, output, &opts)?;
-        if !a1.same_answers(&a2, interner) {
+        let differs = if both_certified {
+            let r1 = evaluate_with_options(&v1, db, &mut CanonicalOracle, &opts)?;
+            let r2 = evaluate_with_options(&v2, db, &mut CanonicalOracle, &opts)?;
+            match (r1.relation(output), r2.relation(output)) {
+                (Some(a), Some(b)) => !a.set_eq(b),
+                (a, b) => {
+                    a.map(|r| !r.is_empty()).unwrap_or(false)
+                        || b.map(|r| !r.is_empty()).unwrap_or(false)
+                }
+            }
+        } else {
+            let a1 = enumerate_with_options(&v1, db, output, &opts)?;
+            let a2 = enumerate_with_options(&v2, db, output, &opts)?;
+            !a1.same_answers(&a2, interner)
+        };
+        if differs {
             return Ok(EquivalenceReport {
                 equivalent: false,
                 counterexample: Some(i),
@@ -216,6 +238,25 @@ mod tests {
             !r2.equivalent,
             "the argument is NOT ∀-existential w.r.t. q2"
         );
+    }
+
+    #[test]
+    fn certified_programs_compare_without_enumeration() {
+        // Full-grouping ID-literals with constant tids: both programs are
+        // certified deterministic, so the check runs on single canonical
+        // evaluations. The verdicts must still be right in both directions.
+        let i = Arc::new(Interner::new());
+        let p1 = parse_program("q(D) :- e[1](D, 0).", &i).unwrap();
+        let p2 = parse_program("q(D) :- e[1](D, T), T = 0.", &i).unwrap();
+        let p3 = parse_program("q(D) :- e[1](D, 1).", &i).unwrap();
+        let dbs = random_databases(&i, &[("e", 1)], &["a", "b", "c"], 8, 21);
+        let budget = EnumBudget::default();
+        let r = q_equivalent_on(&p1, &p2, &i, &dbs, "q", &budget).unwrap();
+        assert!(r.equivalent, "tid constant vs tid builtin");
+        // Full grouping means every group is a singleton, so tid 1 never
+        // exists and p3 is empty everywhere — distinguishable.
+        let r = q_equivalent_on(&p1, &p3, &i, &dbs, "q", &budget).unwrap();
+        assert!(!r.equivalent, "tid 0 vs unreachable tid 1");
     }
 
     #[test]

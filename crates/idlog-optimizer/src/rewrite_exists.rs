@@ -16,8 +16,16 @@
 //! Soundness is Theorem 4: every ∀-existential argument identified by the
 //! adornment algorithm is also ∃-existential, so keeping *one tuple per
 //! sub-relation* (tid 0) instead of *all* tuples preserves the query.
+//!
+//! As an independent machine-checked precondition, every ID-literal this
+//! pass introduces must be a *choice-free occurrence* in its clause
+//! (`idlog_core::choice_free_occurrence`, the taint analysis's base case):
+//! a rewrite that fails the check — e.g. a repeated variable inside the
+//! rewritten atom, which turns "some tuple with equal columns" into "THE
+//! chosen tuple has equal columns" — is reverted literal by literal.
 
 use idlog_common::SymbolId;
+use idlog_core::choice_free_occurrence;
 use idlog_parser::{Atom, Clause, Literal, Program, Term};
 
 use crate::adornment::analyze;
@@ -50,7 +58,8 @@ pub fn to_id_program(program: &Program, output: SymbolId) -> Program {
         .iter()
         .enumerate()
         .map(|(ci, clause)| {
-            let body = clause
+            let mut rewritten_at: Vec<usize> = Vec::new();
+            let body: Vec<Literal> = clause
                 .body
                 .iter()
                 .enumerate()
@@ -67,17 +76,28 @@ pub fn to_id_program(program: &Program, output: SymbolId) -> Program {
                                 .collect();
                             let mut terms = atom.terms.clone();
                             terms.push(Term::Int(0));
+                            rewritten_at.push(li);
                             Literal::Pos(Atom::id_version(atom.pred.base(), grouping, terms))
                         }
                     }
                     other => other.clone(),
                 })
                 .collect();
-            Clause {
+            let mut candidate = Clause {
                 head: clause.head.clone(),
                 body,
                 disjunctive: clause.disjunctive,
+            };
+            // Precondition check: revert any introduced ID-literal that is
+            // not choice-free in the rewritten clause. (Reverting one
+            // literal never changes another's verdict — the rewrite keeps
+            // base terms intact, so variable counts are unaffected.)
+            for li in rewritten_at {
+                if !choice_free_occurrence(&candidate, li) {
+                    candidate.body[li] = clause.body[li].clone();
+                }
             }
+            candidate
         })
         .collect();
     Program { clauses }
@@ -132,6 +152,22 @@ mod tests {
         let printed = rewrite("p(X) :- q(X, Z), z(Z, Y).", "p");
         assert!(printed.contains("z[1](Z, Y, 0)"), "{printed}");
         assert!(printed.contains("q(X, Z)"), "{printed}");
+    }
+
+    #[test]
+    fn repeated_variable_rewrite_is_reverted() {
+        // Both columns of z(Y, Y) are existential, but z[](Y, Y, 0) is NOT
+        // choice-free (Y occurs twice): it asks whether THE chosen tuple has
+        // equal columns, not whether SOME tuple does. The precondition check
+        // must keep the original literal.
+        let printed = rewrite("p(X) :- q(X), z(Y, Y).", "p");
+        assert!(printed.contains("z(Y, Y)"), "{printed}");
+        assert!(!printed.contains("z["), "{printed}");
+        // A sibling literal with a genuine existential argument is still
+        // rewritten: the revert is per-literal, not per-clause.
+        let printed = rewrite("p(X) :- q(X), z(Y, Y), y(W).", "p");
+        assert!(printed.contains("z(Y, Y)"), "{printed}");
+        assert!(printed.contains("y[](W, 0)"), "{printed}");
     }
 
     #[test]
