@@ -12,21 +12,44 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use idlog_bench::{chain_db, grid_db};
-use idlog_core::{evaluate_with_options, CanonicalOracle, EvalOptions, Interner, ValidatedProgram};
+use idlog_core::{
+    evaluate_with_options, CanonicalOracle, EvalOptions, Interner, Limits, ValidatedProgram,
+};
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
 const TC_SRC: &str = "tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).";
 const SG_SRC: &str = "sg(X, X) :- person(X). sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).";
 
+/// Generous ceilings a terminating fixture never reaches: the measured cost
+/// is pure governance bookkeeping (per-item polls + barrier checks).
+fn generous_limits() -> Limits {
+    Limits {
+        deadline: Some(std::time::Duration::from_secs(3600)),
+        max_rounds: Some(1_000_000),
+        max_tuples: Some(1_000_000_000),
+        max_bytes: Some(1 << 40),
+    }
+}
+
 fn bench_workload(c: &mut Criterion, group_name: &str, src: &str, db: &idlog_storage::Database) {
+    bench_workload_with(c, group_name, src, db, Limits::none());
+}
+
+fn bench_workload_with(
+    c: &mut Criterion,
+    group_name: &str,
+    src: &str,
+    db: &idlog_storage::Database,
+    limits: Limits,
+) {
     let program =
         ValidatedProgram::parse(src, Arc::clone(db.interner())).expect("fixture validates");
     let mut group = c.benchmark_group(group_name);
     group.sample_size(10);
     for threads in THREADS {
         group.bench_with_input(BenchmarkId::from_parameter(threads), db, |b, db| {
-            let options = EvalOptions::new().threads(threads);
+            let options = EvalOptions::new().threads(threads).limits(limits);
             b.iter(|| {
                 evaluate_with_options(&program, db, &mut CanonicalOracle, &options)
                     .expect("fixture evaluates")
@@ -59,6 +82,16 @@ fn bench_parallel_scaling(c: &mut Criterion) {
         "parallel_scaling/sg_grid_16x16",
         SG_SRC,
         &grid_db(&interner, 16, 16),
+    );
+    // The same wide-delta fixture under full governance: the delta against
+    // tc_grid_16x16 is the governor's overhead (budgeted at < 2%).
+    let interner = Arc::new(Interner::new());
+    bench_workload_with(
+        c,
+        "parallel_scaling/tc_grid_16x16_governed",
+        TC_SRC,
+        &grid_db(&interner, 16, 16),
+        generous_limits(),
     );
 }
 

@@ -1,4 +1,4 @@
-//! The experiment report generator: runs E1–E19 from `DESIGN.md` and prints
+//! The experiment report generator: runs E1–E20 from `DESIGN.md` and prints
 //! a paper-claim vs. measured table. `EXPERIMENTS.md` is this binary's
 //! output, annotated.
 //!
@@ -113,6 +113,9 @@ fn main() {
     }
     if r.wants("e19") {
         e19(&r);
+    }
+    if r.wants("e20") {
+        e20(&r);
     }
 
     println!("\nall selected experiments completed in {:?}", t0.elapsed());
@@ -902,6 +905,131 @@ fn e19(r: &Report) {
     r.verdict(
         ok,
         "one canonical evaluation replaces the whole walk, byte-identically",
+    );
+}
+
+/// E20: the resource governor — Theorem 3 says termination is undecidable,
+/// so divergence is handled at runtime: ceilings trip at deterministic
+/// round barriers with a coherent partial result, and the bookkeeping is
+/// nearly free on terminating workloads.
+fn e20(r: &Report) {
+    use idlog_core::{EvalError, LimitKind, Limits};
+
+    r.section(
+        "e20",
+        "Theorem 3 (termination undecidable) -> runtime governance: \
+         deterministic limit trips, cheap when idle",
+    );
+
+    // (a) Overhead on a terminating fixture: transitive closure on the
+    // 16x16 grid (the parallel_scaling bench workload), ungoverned vs
+    // under generous ceilings, best-of-5 each to shed scheduler noise.
+    let interner = Arc::new(Interner::new());
+    let db = idlog_bench::grid_db(&interner, 16, 16);
+    let q = Query::parse_with_interner(
+        "tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+        "tc",
+        Arc::clone(&interner),
+    )
+    .unwrap();
+    let generous = Limits {
+        deadline: Some(std::time::Duration::from_secs(3600)),
+        max_rounds: Some(1_000_000),
+        max_tuples: Some(1_000_000_000),
+        max_bytes: Some(1 << 40),
+    };
+    let best = |limits: Limits| {
+        (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                q.session(&db)
+                    .options(EvalOptions::new().threads(4).limits(limits))
+                    .try_run()
+                    .unwrap();
+                t.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let plain = best(Limits::none());
+    let governed = best(generous);
+    let ratio = governed.as_secs_f64() / plain.as_secs_f64().max(1e-9);
+    r.row(
+        "tc 16x16 grid, ungoverned (best of 5)",
+        format!("{plain:?}"),
+    );
+    r.row(
+        "tc 16x16 grid, governed (best of 5)",
+        format!("{governed:?}"),
+    );
+    r.row("overhead ratio", format!("{ratio:.3}"));
+
+    // (b) A diverging program under a wall-clock deadline: stops promptly,
+    // reports which limit tripped, and hands back a non-empty partial
+    // relation (complete rounds only).
+    let diverge = Query::parse_with_interner(
+        "count(0). count(M) :- count(N), plus(N, 1, M).",
+        "count",
+        Arc::clone(&interner),
+    )
+    .unwrap();
+    let ddb = Database::with_interner(Arc::clone(&interner));
+    let t = Instant::now();
+    let err = diverge
+        .session(&ddb)
+        .options(
+            EvalOptions::new()
+                .threads(4)
+                .deadline(std::time::Duration::from_millis(100)),
+        )
+        .try_run()
+        .unwrap_err();
+    let stop_elapsed = t.elapsed();
+    let deadline_ok = match &err {
+        EvalError::Limit { limit, partial } => {
+            let n = partial.relation("count").map_or(0, |rel| rel.len());
+            r.row(
+                "diverging run, 100ms deadline",
+                format!("stopped after {stop_elapsed:?}, partial = {n} tuple(s)"),
+            );
+            *limit == LimitKind::Deadline && n > 0
+        }
+        _ => false,
+    };
+
+    // (c) Determinism of the trip: a round ceiling yields byte-identical
+    // partial relations and statistics at 1, 2, and 8 threads.
+    let mut partials = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let err = diverge
+            .session(&ddb)
+            .options(EvalOptions::new().threads(threads).limits(Limits {
+                max_rounds: Some(64),
+                ..Limits::none()
+            }))
+            .try_run()
+            .unwrap_err();
+        let EvalError::Limit { limit, partial } = err else {
+            panic!("expected a limit trip at {threads} threads");
+        };
+        assert_eq!(limit, LimitKind::Rounds);
+        let rel = partial.relation("count").cloned().unwrap();
+        partials.push((rel.sorted_canonical(&interner), partial.stats()));
+    }
+    let identical = partials.windows(2).all(|w| w[0] == w[1]);
+    r.row(
+        "max-rounds=64 partial at 1/2/8 threads",
+        format!("{} tuple(s), identical = {identical}", partials[0].0.len()),
+    );
+
+    // The overhead bound in DESIGN.md is < 2% on the criterion bench; a
+    // single best-of-5 in a shared CI runner is noisier, so the hard gate
+    // here is looser while the functional claims stay exact.
+    let ok = ratio < 1.25 && deadline_ok && identical && stop_elapsed.as_secs() < 30;
+    r.verdict(
+        ok,
+        "limits trip deterministically with a coherent partial result; \
+         governance is within noise of ungoverned evaluation",
     );
 }
 

@@ -1,6 +1,8 @@
 //! Hand-rolled argument parsing (the workspace deliberately avoids extra
 //! dependencies; the grammar is small).
 
+use std::time::Duration;
+
 /// Usage text for `--help` and argument errors.
 pub const USAGE: &str = "\
 idlog — the IDLOG deductive database
@@ -32,6 +34,19 @@ RUN OPTIONS:
   --threads <n>       worker threads for evaluation and enumeration
                       (default: IDLOG_THREADS env var, else the machine's
                       available parallelism; results never depend on it)
+  --timeout <dur>     wall-clock budget, e.g. 500ms, 2s, 1m (bare numbers
+                      are seconds); a trip prints the partial result and
+                      exits with code 3
+  --max-rounds <n>    cap on semi-naive fixpoint rounds (deterministic:
+                      trips at the same round for any --threads value)
+  --max-tuples <n>    cap on newly derived tuples (deterministic)
+
+EXIT CODES:
+  0   success (including --all walks truncated by --max-models)
+  1   failure (bad program, missing file, evaluation error)
+  2   usage error
+  3   a resource limit tripped (--timeout, --max-rounds, --max-tuples)
+  130 interrupted (Ctrl-C)
 
 EXPLAIN OPTIONS:
   --facts <file>      load ground facts from a separate file
@@ -75,6 +90,12 @@ pub struct RunOpts {
     pub profile_json: Option<String>,
     /// Include wall time in profile output.
     pub profile_time: bool,
+    /// Wall-clock budget for the evaluation.
+    pub timeout: Option<Duration>,
+    /// Cap on semi-naive fixpoint rounds.
+    pub max_rounds: Option<u64>,
+    /// Cap on newly derived tuples.
+    pub max_tuples: Option<u64>,
 }
 
 impl RunOpts {
@@ -92,8 +113,34 @@ impl RunOpts {
             profile: false,
             profile_json: None,
             profile_time: false,
+            timeout: None,
+            max_rounds: None,
+            max_tuples: None,
         }
     }
+}
+
+/// Parse a human duration: `500ms`, `2s`, `1m`, or a bare number of
+/// seconds (fractions allowed: `0.5s`, `1.5`).
+pub fn parse_duration(s: &str) -> Result<Duration, String> {
+    let s = s.trim();
+    let (digits, scale_ms) = if let Some(d) = s.strip_suffix("ms") {
+        (d, 1.0)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1_000.0)
+    } else if let Some(d) = s.strip_suffix('m') {
+        (d, 60_000.0)
+    } else {
+        (s, 1_000.0)
+    };
+    let n: f64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid duration {s:?} (try 500ms, 2s, or 1m)"))?;
+    if !n.is_finite() || n < 0.0 {
+        return Err(format!("invalid duration {s:?} (must be non-negative)"));
+    }
+    Ok(Duration::from_secs_f64(n * scale_ms / 1_000.0))
 }
 
 /// A parsed invocation.
@@ -263,6 +310,15 @@ impl Args {
                             run.max_models = Some(parse_num(&mut it, "--max-models")?)
                         }
                         "--threads" => run.threads = Some(parse_threads(&mut it)?),
+                        "--timeout" => {
+                            run.timeout = Some(parse_duration(&value(&mut it, "--timeout")?)?)
+                        }
+                        "--max-rounds" => {
+                            run.max_rounds = Some(parse_num(&mut it, "--max-rounds")?)
+                        }
+                        "--max-tuples" => {
+                            run.max_tuples = Some(parse_num(&mut it, "--max-tuples")?)
+                        }
                         "--all" => run.all = true,
                         "--stats" => run.stats = true,
                         "--profile" => run.profile = true,
@@ -414,6 +470,52 @@ mod tests {
         assert_eq!(threads, Some(2));
         assert!(parse(&["explain"]).is_err());
         assert!(parse(&["explain", "p.idl", "--nope"]).is_err());
+    }
+
+    #[test]
+    fn parses_limit_flags() {
+        let args = parse(&[
+            "run",
+            "p.idl",
+            "--output",
+            "q",
+            "--timeout",
+            "500ms",
+            "--max-rounds",
+            "16",
+            "--max-tuples",
+            "1000",
+        ])
+        .unwrap();
+        let Command::Run(run) = args.command else {
+            panic!("expected run");
+        };
+        assert_eq!(run.timeout, Some(Duration::from_millis(500)));
+        assert_eq!(run.max_rounds, Some(16));
+        assert_eq!(run.max_tuples, Some(1000));
+        assert!(parse(&["run", "p.idl", "--output", "q", "--timeout", "soon"]).is_err());
+        assert!(parse(&["run", "p.idl", "--output", "q", "--max-tuples", "-1"]).is_err());
+    }
+
+    #[test]
+    fn duration_grammar() {
+        assert_eq!(parse_duration("500ms").unwrap(), Duration::from_millis(500));
+        assert_eq!(parse_duration("2s").unwrap(), Duration::from_secs(2));
+        assert_eq!(parse_duration("1m").unwrap(), Duration::from_secs(60));
+        assert_eq!(parse_duration("3").unwrap(), Duration::from_secs(3));
+        assert_eq!(parse_duration("0.5s").unwrap(), Duration::from_millis(500));
+        assert_eq!(parse_duration("1.5").unwrap(), Duration::from_millis(1500));
+        assert!(parse_duration("").is_err());
+        assert!(parse_duration("-1s").is_err());
+        assert!(parse_duration("fast").is_err());
+        assert!(parse_duration("nans").is_err());
+    }
+
+    #[test]
+    fn usage_documents_exit_codes() {
+        for needle in ["EXIT CODES", "--timeout", "--max-rounds", "--max-tuples"] {
+            assert!(USAGE.contains(needle), "usage lost {needle}");
+        }
     }
 
     #[test]

@@ -3,10 +3,10 @@
 use std::sync::Arc;
 
 use idlog_analyze::{analyze, render_all, render_json, Options};
-use idlog_core::{Interner, ValidatedProgram};
+use idlog_core::{EvalError, Interner, LimitKind, StopReason, ValidatedProgram};
 
 use crate::args::RunOpts;
-use crate::{default_budget, load, options_for, oracle_for};
+use crate::{default_budget, limits_for, load, options_for, oracle_for, signal, CliError};
 
 /// `idlog check`: validate and report predicates, sorts, and strata.
 ///
@@ -259,7 +259,9 @@ pub fn explain(
     let options = options_for(threads).profile(true);
     let out = idlog_core::evaluate_with_options(&program, &db, oracle.as_mut(), &options)
         .map_err(|e| e.to_string())?;
-    let profile = out.profile().expect("profiling was enabled");
+    let profile = out
+        .profile()
+        .ok_or("internal error: profiling was enabled but produced no profile")?;
     let text = idlog_core::explain_analyze(&program, profile).map_err(|e| e.to_string())?;
     print!("{text}");
 
@@ -292,13 +294,24 @@ pub fn explain(
 }
 
 /// `idlog run`: evaluate one answer or enumerate them all.
-pub fn run_query(opts: &RunOpts) -> Result<(), String> {
+///
+/// Resource governance: `--timeout`/`--max-rounds`/`--max-tuples` bound the
+/// evaluation; a trip prints the partial result (up to the last completed
+/// round barrier) and returns [`CliError::Limit`] (exit 3). Ctrl-C returns
+/// [`CliError::Cancelled`] (exit 130). With `--all`, the enumeration
+/// budgets (`--max-models`) merely truncate the walk — still exit 0 — while
+/// governor ceilings exit 3.
+pub fn run_query(opts: &RunOpts) -> Result<(), CliError> {
     let loaded = load(&opts.program, opts.facts.as_deref(), &opts.output)?;
     let interner = loaded.query.interner().clone();
     let want_profile = opts.profile || opts.profile_json.is_some() || opts.stats;
     let options = options_for(opts.threads)
         .budget(default_budget(opts.max_models))
-        .profile(want_profile);
+        .profile(want_profile)
+        .limits(limits_for(opts));
+    // A stale Ctrl-C from a previous evaluation must not cancel this one.
+    let token = signal::token();
+    token.reset();
 
     if opts.all {
         if opts.profile || opts.profile_json.is_some() {
@@ -308,22 +321,30 @@ pub fn run_query(opts: &RunOpts) -> Result<(), String> {
             .query
             .session(&loaded.db)
             .options(options)
+            .cancel_token(token)
             .all_answers()
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| CliError::Failure(e.to_string()))?;
+        let note = match answers.stopped() {
+            None => String::new(),
+            Some(reason) => format!(" ({reason}; incomplete)"),
+        };
         println!(
-            "{} distinct answer(s) from {} perfect model(s){}:",
+            "{} distinct answer(s) from {} perfect model(s){note}:",
             answers.len(),
             answers.models_explored(),
-            if answers.complete() {
-                ""
-            } else {
-                " (budget hit; incomplete)"
-            }
         );
         for (i, answer) in answers.to_sorted_strings(&interner).iter().enumerate() {
             println!("answer #{i}: {{{}}}", answer.join(", "));
         }
-        return Ok(());
+        // Enumeration budgets bound an intentionally bounded walk — exit 0.
+        // Governor ceilings and Ctrl-C are real stops — exit 3 / 130.
+        return match answers.stopped() {
+            None | Some(StopReason::Limit(LimitKind::Models | LimitKind::Answers)) => Ok(()),
+            Some(StopReason::Limit(kind)) => Err(CliError::Limit(format!(
+                "enumeration stopped: {kind} budget hit"
+            ))),
+            Some(StopReason::Cancelled) => Err(CliError::Cancelled("interrupted".into())),
+        };
     }
 
     let mut oracle = oracle_for(opts.seed);
@@ -331,19 +352,39 @@ pub fn run_query(opts: &RunOpts) -> Result<(), String> {
         .query
         .session(&loaded.db)
         .options(options)
-        .run_with(oracle.as_mut())
-        .map_err(|e| e.to_string())?;
+        .cancel_token(token)
+        .try_run_with(oracle.as_mut());
+    let (result, stop) = match result {
+        Ok(result) => (result, None),
+        Err(EvalError::Limit { limit, partial }) => {
+            let partial = partial_result(&partial, &opts.output, want_profile);
+            (
+                partial,
+                Some(CliError::Limit(format!("limit exceeded: {limit}"))),
+            )
+        }
+        Err(EvalError::Cancelled { partial }) => {
+            let partial = partial_result(&partial, &opts.output, want_profile);
+            (partial, Some(CliError::Cancelled("interrupted".into())))
+        }
+        Err(EvalError::Core(e)) => return Err(CliError::Failure(e.to_string())),
+    };
+    if let Some(stop) = &stop {
+        eprintln!(
+            "-- partial result up to the last completed round ({})",
+            stop.message()
+        );
+    }
     let output = &opts.output;
     for t in result.relation.sorted_canonical(&interner) {
         println!("{output}{}", t.display(&interner));
     }
     if opts.profile {
-        let profile = result.profile.as_ref().expect("profiling was enabled");
+        let profile = require_profile(&result)?;
         print!("{}", profile.render_table(opts.profile_time));
     }
     if let Some(path) = &opts.profile_json {
-        let profile = result.profile.as_ref().expect("profiling was enabled");
-        let json = profile.to_json(opts.profile_time);
+        let json = require_profile(&result)?.to_json(opts.profile_time);
         if path == "-" {
             println!("{json}");
         } else {
@@ -354,5 +395,31 @@ pub fn run_query(opts: &RunOpts) -> Result<(), String> {
     if opts.stats {
         eprintln!("-- {}", result.stats.display_with(result.profile.as_ref()));
     }
-    Ok(())
+    match stop {
+        Some(stop) => Err(stop),
+        None => Ok(()),
+    }
+}
+
+/// Project the partial [`idlog_core::EvalOutput`] carried by a limit trip
+/// onto the shape `run_query` prints.
+fn partial_result(
+    partial: &idlog_core::EvalOutput,
+    output: &str,
+    want_profile: bool,
+) -> idlog_core::EvalResult {
+    idlog_core::EvalResult {
+        relation: partial
+            .relation(output)
+            .cloned()
+            .unwrap_or_else(|| idlog_core::Relation::elementary(0)),
+        stats: partial.stats(),
+        profile: want_profile.then(|| partial.profile().cloned().unwrap_or_default()),
+    }
+}
+
+fn require_profile(result: &idlog_core::EvalResult) -> Result<&idlog_core::Profile, CliError> {
+    result.profile.as_ref().ok_or_else(|| {
+        CliError::Failure("internal error: profiling was enabled but produced no profile".into())
+    })
 }

@@ -3,11 +3,13 @@
 //! integration tests can drive commands directly.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+use std::fmt;
 use std::sync::Arc;
 
 use idlog_core::{
-    CanonicalOracle, EnumBudget, EvalOptions, Interner, Query, SeededOracle, TidOracle,
+    CanonicalOracle, EnumBudget, EvalOptions, Interner, Limits, Query, SeededOracle, TidOracle,
     ValidatedProgram,
 };
 use idlog_storage::Database;
@@ -15,38 +17,99 @@ use idlog_storage::Database;
 pub mod args;
 pub mod commands;
 pub mod repl;
+pub mod signal;
 
 pub use args::{Args, Command, RunOpts, USAGE};
 
+/// A command failure, classified for the process exit code: ordinary
+/// failures exit 1, governor limit trips exit 3, and interruptions exit
+/// with the conventional 130 (128 + SIGINT).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Ordinary failure: bad input, evaluation error, I/O problem.
+    Failure(String),
+    /// A resource ceiling (`--timeout`, `--max-rounds`, `--max-tuples`)
+    /// stopped the evaluation.
+    Limit(String),
+    /// Ctrl-C (or an embedder's cancel token) stopped the evaluation.
+    Cancelled(String),
+}
+
+impl CliError {
+    /// The process exit code this failure maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Failure(_) => 1,
+            CliError::Limit(_) => 3,
+            CliError::Cancelled(_) => 130,
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            CliError::Failure(m) | CliError::Limit(m) | CliError::Cancelled(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Failure(m)
+    }
+}
+
 /// Run a parsed invocation (everything except `main`'s exit-code mapping).
-pub fn run(args: Args) -> Result<(), String> {
+pub fn run(args: Args) -> Result<(), CliError> {
     match args.command {
         Command::Help => {
             print!("{USAGE}");
             Ok(())
         }
-        Command::Check { program } => commands::check(&program),
+        Command::Check { program } => commands::check(&program).map_err(CliError::from),
         Command::Explain {
             program,
             facts,
             analyze,
             seed,
             threads,
-        } => commands::explain(&program, facts.as_deref(), analyze, seed, threads),
+        } => commands::explain(&program, facts.as_deref(), analyze, seed, threads)
+            .map_err(CliError::from),
         Command::Lint {
             programs,
             deny_warnings,
             json,
             allow,
-        } => commands::lint(&programs, deny_warnings, json, &allow),
-        Command::TranslateChoice { program } => commands::translate_choice(&program),
+        } => commands::lint(&programs, deny_warnings, json, &allow).map_err(CliError::from),
+        Command::TranslateChoice { program } => {
+            commands::translate_choice(&program).map_err(CliError::from)
+        }
         Command::Optimize {
             program,
             output,
             suggest_prune,
-        } => commands::optimize(&program, &output, suggest_prune),
-        Command::Repl => repl::run(&mut std::io::stdin().lock(), &mut std::io::stdout()),
+        } => commands::optimize(&program, &output, suggest_prune).map_err(CliError::from),
+        Command::Repl => {
+            repl::run(&mut std::io::stdin().lock(), &mut std::io::stdout()).map_err(CliError::from)
+        }
         Command::Run(opts) => commands::run_query(&opts),
+    }
+}
+
+/// The [`Limits`] for `idlog run`'s `--timeout`/`--max-rounds`/
+/// `--max-tuples` flags.
+pub fn limits_for(opts: &RunOpts) -> Limits {
+    Limits {
+        deadline: opts.timeout,
+        max_rounds: opts.max_rounds,
+        max_tuples: opts.max_tuples,
+        max_bytes: None,
     }
 }
 

@@ -1,10 +1,16 @@
 //! `idlog` — command-line front end for the IDLOG deductive database.
+//!
+//! Exit codes: 0 success, 1 failure, 2 usage error, 3 resource limit
+//! tripped, 130 interrupted (see `idlog help`).
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 use std::process::ExitCode;
 
-use idlog_cli::{args, run, Args};
+use idlog_cli::{args, run, signal, Args};
 
 fn main() -> ExitCode {
+    signal::install_ctrlc();
     let args = match Args::parse(std::env::args().skip(1)) {
         Ok(args) => args,
         Err(msg) => {
@@ -15,9 +21,9 @@ fn main() -> ExitCode {
     };
     match run(args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -15,13 +15,20 @@
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
+use std::time::Duration;
 
 use idlog_core::{EnumBudget, Interner, Query, ValidatedProgram};
 use idlog_storage::Database;
 
-use crate::{options_for, oracle_for};
+use crate::args::parse_duration;
+use crate::{options_for, oracle_for, signal};
 
 /// REPL state: accumulated rule sources and the fact database.
+///
+/// Robustness contract: a failed evaluation (limit trip, Ctrl-C, arithmetic
+/// overflow, even a contained engine panic) reports an `error:` line and
+/// leaves every piece of this state — rules, facts, `:seed`, `:threads`,
+/// `:profile`, `:timeout` — exactly as it was.
 struct Session {
     interner: Arc<Interner>,
     rules: Vec<String>,
@@ -29,6 +36,7 @@ struct Session {
     seed: Option<u64>,
     threads: Option<usize>,
     profile: bool,
+    timeout: Option<Duration>,
 }
 
 /// Run the REPL until `:quit` or end of input.
@@ -41,6 +49,7 @@ pub fn run(input: &mut dyn BufRead, out: &mut dyn Write) -> Result<(), String> {
         seed: None,
         threads: None,
         profile: false,
+        timeout: None,
     };
     let io = |e: std::io::Error| format!("i/o error: {e}");
 
@@ -83,6 +92,9 @@ const HELP: &str = "\
   :threads <n>       worker threads for evaluation (\":threads auto\" for the
                      default; answers never depend on the thread count)
   :profile on|off    print the per-rule evaluation profile after ?- queries
+  :timeout <dur>     wall-clock budget per query, e.g. 500ms, 2s
+                     (\":timeout off\" to lift it); Ctrl-C also stops a
+                     running query — session state survives either way
   :list              show the current program and fact counts
   :help              this text
   :quit              leave";
@@ -157,6 +169,17 @@ impl Session {
                     if self.profile { "on" } else { "off" }
                 )))
             }
+            "timeout" => {
+                let rest = rest.trim();
+                if rest == "off" || rest.is_empty() {
+                    self.timeout = None;
+                    Ok(Reply::Text("timeout: off".into()))
+                } else {
+                    let d = parse_duration(rest).map_err(|e| format!(":timeout: {e}"))?;
+                    self.timeout = Some(d);
+                    Ok(Reply::Text(format!("timeout: {}ms", d.as_millis())))
+                }
+            }
             "all" | "a" => self.query(rest.trim().trim_end_matches('.').trim(), true),
             other => Err(format!("unknown command :{other} (try :help)")),
         }
@@ -185,22 +208,30 @@ impl Session {
         let program = ValidatedProgram::parse(&self.rules.join("\n"), Arc::clone(&self.interner))
             .map_err(|e| e.to_string())?;
         let query = Query::new(program, pred).map_err(|e| e.to_string())?;
-        let options = options_for(self.threads);
+        let mut options = options_for(self.threads);
+        if let Some(t) = self.timeout {
+            options = options.deadline(t);
+        }
+        // A fresh token per query: a Ctrl-C from a previous (finished)
+        // evaluation must not cancel this one.
+        let token = signal::token();
+        token.reset();
         if all {
             let answers = query
                 .session(&self.db)
                 .options(options.budget(EnumBudget::default()))
+                .cancel_token(token)
                 .all_answers()
                 .map_err(|e| e.to_string())?;
+            let note = match answers.stopped() {
+                None => String::new(),
+                Some(reason) => format!(" ({reason}; incomplete)"),
+            };
             let mut text = format!(
                 "{} answer(s) from {} model(s){}:",
                 answers.len(),
                 answers.models_explored(),
-                if answers.complete() {
-                    ""
-                } else {
-                    " (incomplete)"
-                }
+                note
             );
             for ans in answers.to_sorted_strings(&self.interner) {
                 text.push_str(&format!("\n  {{{}}}", ans.join(", ")));
@@ -211,6 +242,7 @@ impl Session {
             let result = query
                 .session(&self.db)
                 .options(options.profile(self.profile))
+                .cancel_token(token)
                 .run_with(oracle.as_mut())
                 .map_err(|e| e.to_string())?;
             let mut text = String::new();
@@ -305,6 +337,49 @@ mod tests {
         assert!(out.contains("error: :profile expects"), "{out}");
         // After switching off, only one table was printed.
         assert_eq!(out.matches("evaluation profile").count(), 1, "{out}");
+    }
+
+    #[test]
+    fn timeout_set_and_clear() {
+        let out = drive(
+            "item(a).\n\
+             pick(X) :- item[](X, 0).\n\
+             :timeout 2s\n\
+             ?- pick.\n\
+             :timeout off\n\
+             :timeout soon\n\
+             :quit\n",
+        );
+        assert!(out.contains("timeout: 2000ms"), "{out}");
+        assert!(out.contains("pick(a)"), "{out}");
+        assert!(out.contains("timeout: off"), "{out}");
+        assert!(out.contains("error: :timeout:"), "{out}");
+    }
+
+    #[test]
+    fn timeout_trip_reports_error_and_keeps_state() {
+        // A diverging program: with a zero wall-clock budget the query must
+        // come back as an `error:` line, and the session must still answer
+        // other queries with its settings intact.
+        let out = drive(
+            "count(0).\n\
+             count(M) :- count(N), plus(N, 1, M).\n\
+             item(a).\n\
+             pick(X) :- item[](X, 0).\n\
+             :threads 2\n\
+             :timeout 0ms\n\
+             ?- count.\n\
+             :timeout off\n\
+             :profile on\n\
+             ?- pick.\n\
+             :list\n\
+             :quit\n",
+        );
+        assert!(out.contains("error:"), "{out}");
+        assert!(out.contains("profile: on"), "{out}");
+        assert!(out.contains("pick(a)"), "{out}");
+        assert!(out.contains("evaluation profile"), "{out}");
+        assert!(out.contains("% item: 1 fact(s)"), "{out}");
     }
 
     #[test]

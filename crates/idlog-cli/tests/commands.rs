@@ -96,6 +96,37 @@ fn run_query_end_to_end() {
 }
 
 #[test]
+fn run_query_limit_trip_maps_to_limit_exit_class() {
+    let s = Scratch::new("limits");
+    let program = s.file("p.idl", "count(0). count(M) :- count(N), plus(N, 1, M).");
+
+    // A round ceiling on a diverging program: the error is classified as a
+    // limit trip (exit 3), not an ordinary failure, and names the flag.
+    let mut rounds = RunOpts::new(&program, "count");
+    rounds.max_rounds = Some(5);
+    let err = commands::run_query(&rounds).unwrap_err();
+    assert_eq!(err.exit_code(), 3, "{err:?}");
+    assert!(err.message().contains("max-rounds"), "{err:?}");
+
+    // Same for a tuple ceiling.
+    let mut tuples = RunOpts::new(&program, "count");
+    tuples.max_tuples = Some(10);
+    let err = commands::run_query(&tuples).unwrap_err();
+    assert_eq!(err.exit_code(), 3, "{err:?}");
+    assert!(err.message().contains("max-tuples"), "{err:?}");
+
+    // A generous ceiling on a terminating program does not trip.
+    let fine = s.file("ok.idl", "two(N) :- emp[2](N, D, T), T < 2.");
+    let facts = s.file("f.idl", "emp(a, d). emp(b, d).");
+    let mut ok = RunOpts::new(&fine, "two");
+    ok.facts = Some(facts);
+    ok.max_rounds = Some(1_000);
+    ok.max_tuples = Some(1_000_000);
+    ok.timeout = Some(std::time::Duration::from_secs(60));
+    commands::run_query(&ok).unwrap();
+}
+
+#[test]
 fn run_query_writes_profile_json() {
     let s = Scratch::new("profile-json");
     let program = s.file("p.idl", "two(N) :- emp[2](N, D, T), T < 2.");

@@ -110,3 +110,24 @@ fn certified_programs_skip_enumeration() {
     assert!(answers.complete());
     assert_eq!(answers.len(), 1, "certified: a single answer");
 }
+
+#[test]
+fn diverge_program_lints_clean_and_trips_limits() {
+    // The linter's redundancy pass evaluates candidate programs on test
+    // databases; the diverging example must be skipped via the optimizer's
+    // probe ceilings — terminating cleanly — not hang the lint sweep.
+    idlog_cli::commands::lint(
+        &[path("diverge.idl")],
+        true,
+        false,
+        &["W010".into(), "W011".into()],
+    )
+    .unwrap();
+    // And `idlog run` on it under a round ceiling exits via the limit
+    // class (exit code 3), carrying the partial result to stdout.
+    let mut opts = idlog_cli::RunOpts::new(path("diverge.idl"), "count");
+    opts.max_rounds = Some(50);
+    let err = idlog_cli::commands::run_query(&opts).unwrap_err();
+    assert_eq!(err.exit_code(), 3, "{err:?}");
+    assert!(err.message().contains("max-rounds"), "{err:?}");
+}

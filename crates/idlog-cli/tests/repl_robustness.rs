@@ -1,0 +1,89 @@
+//! Regression tests for REPL robustness: an evaluation error — a limit
+//! trip, a builtin failure, a parse error — must never lose the session's
+//! accumulated state (program, facts, `:seed`, `:threads`, `:profile`,
+//! `:timeout`).
+
+use idlog_cli::repl;
+
+fn drive(script: &str) -> String {
+    let mut input = std::io::Cursor::new(script.to_string());
+    let mut out: Vec<u8> = Vec::new();
+    repl::run(&mut input, &mut out).unwrap();
+    String::from_utf8(out).unwrap()
+}
+
+#[test]
+fn limit_trip_preserves_program_and_settings() {
+    // Load a diverging rule next to a harmless one, trip a zero timeout on
+    // the diverging query, then show the session still evaluates — with the
+    // `:threads`/`:profile` settings chosen *before* the error still active.
+    let out = drive(
+        "seed(0).\n\
+         count(N) :- seed(N).\n\
+         count(M) :- count(N), plus(N, 1, M).\n\
+         item(a).\n\
+         item(b).\n\
+         pick(X) :- item[](X, 0).\n\
+         :threads 2\n\
+         :profile on\n\
+         :timeout 0ms\n\
+         ?- count.\n\
+         :timeout off\n\
+         ?- pick.\n\
+         :list\n\
+         :quit\n",
+    );
+    // The zero-deadline query tripped the governor cleanly...
+    assert!(out.contains("error: limit exceeded: timeout"), "{out}");
+    // ...but the session survived: later query answers, with profiling (set
+    // before the failure) still on, and the program/facts intact.
+    assert!(out.contains("pick(a)"), "{out}");
+    assert!(out.contains("evaluation profile"), "{out}");
+    assert!(out.contains("% item: 2 fact(s)"), "{out}");
+    assert!(
+        out.contains("count(M) :- count(N), plus(N, 1, M)."),
+        "{out}"
+    );
+}
+
+#[test]
+fn builtin_error_preserves_session_state() {
+    // Arithmetic overflow in a builtin is an evaluation error, not a crash;
+    // the next query still runs against the same program.
+    let out = drive(
+        "big(9223372036854775807).\n\
+         boom(M) :- big(N), plus(N, 1, M).\n\
+         item(a).\n\
+         pick(X) :- item[](X, 0).\n\
+         :seed 7\n\
+         ?- boom.\n\
+         ?- pick.\n\
+         :list\n\
+         :quit\n",
+    );
+    assert!(out.contains("error:"), "{out}");
+    assert!(out.contains("pick(a)"), "{out}");
+    assert!(out.contains("oracle: seeded(7)"), "{out}");
+    assert!(out.contains("% big: 1 fact(s)"), "{out}");
+}
+
+#[test]
+fn timeout_survives_across_queries_until_cleared() {
+    // `:timeout` applies to every subsequent query until `:timeout off`;
+    // a fast query under a generous timeout succeeds.
+    let out = drive(
+        "item(a).\n\
+         pick(X) :- item[](X, 0).\n\
+         :timeout 30s\n\
+         ?- pick.\n\
+         :all pick\n\
+         :timeout off\n\
+         ?- pick.\n\
+         :quit\n",
+    );
+    assert!(out.contains("timeout: 30000ms"), "{out}");
+    assert!(out.contains("pick(a)"), "{out}");
+    assert!(out.contains("1 answer(s)"), "{out}");
+    assert!(out.contains("timeout: off"), "{out}");
+    assert!(!out.contains("incomplete"), "{out}");
+}

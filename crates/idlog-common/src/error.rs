@@ -20,6 +20,14 @@ pub enum CommonError {
         /// Human-readable description of the mismatch.
         detail: String,
     },
+    /// An internal invariant a caller promised to uphold did not hold
+    /// (e.g. an ID-assignment that fails to cover its base relation).
+    /// Surfaced as an error rather than a panic so one faulty component
+    /// cannot abort a whole evaluation.
+    Invariant {
+        /// Human-readable description of the broken invariant.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CommonError {
@@ -32,6 +40,7 @@ impl fmt::Display for CommonError {
                 )
             }
             CommonError::TypeMismatch { detail } => write!(f, "type mismatch: {detail}"),
+            CommonError::Invariant { detail } => write!(f, "invariant violated: {detail}"),
         }
     }
 }

@@ -1,0 +1,230 @@
+//! Test-only fault injection ("failpoints").
+//!
+//! The engine sprinkles named *sites* through its hot paths (worker bodies,
+//! storage inserts, ID-oracle calls, enumeration branches). In a normal
+//! build every site compiles to nothing. With the `failpoints` cargo
+//! feature enabled, each site consults a process-global registry and can be
+//! told to **panic**, **sleep**, or **fail** — letting the test suite prove
+//! that the governance layer turns arbitrary mid-evaluation faults into
+//! clean structured errors instead of aborts, deadlocks, or partial merges.
+//!
+//! Sites are selected either programmatically ([`configure`]) or through the
+//! `IDLOG_FAILPOINTS` environment variable read once at first use. The spec
+//! grammar is `site=action` pairs separated by `;`:
+//!
+//! ```text
+//! IDLOG_FAILPOINTS="eval.worker=panic;storage.insert=delay:25"
+//! ```
+//!
+//! Actions:
+//!
+//! | spec         | effect at the site                                       |
+//! |--------------|----------------------------------------------------------|
+//! | `panic`      | `panic!` (exercises `catch_unwind` containment)          |
+//! | `oom`        | panic with an allocation-failure message (a stand-in: a  |
+//! |              | real allocator abort cannot be caught, so the ceiling    |
+//! |              | guarding against it is `Limits::max_bytes`)              |
+//! | `delay:<ms>` | sleep `<ms>` milliseconds (exercises determinism under   |
+//! |              | adversarial scheduling)                                  |
+//! | `err`        | return an error from the site                            |
+//! | `err:<msg>`  | return an error carrying `<msg>`                         |
+//!
+//! The registry is global; tests that configure failpoints must serialize
+//! (the engine's suite holds a `static Mutex` around each scenario).
+
+/// Names every failpoint site compiled into the workspace, for discovery
+/// and for validating specs in tests. Sites live where a third-party or
+/// lower-layer component could realistically fault: rule execution, the
+/// tuple store, the ID-oracle, and enumeration branch workers.
+pub const SITES: &[&str] = &[
+    "eval.worker",
+    "storage.insert",
+    "oracle.assign",
+    "enum.branch",
+];
+
+/// Environment variable holding the failpoint spec (`site=action;...`),
+/// read once the first time any site is hit.
+pub const ENV_VAR: &str = "IDLOG_FAILPOINTS";
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    /// What a triggered site does.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum Action {
+        /// Panic at the site.
+        Panic,
+        /// Panic with an allocation-failure message.
+        Oom,
+        /// Sleep this many milliseconds, then proceed normally.
+        Delay(u64),
+        /// Return an error from the site.
+        Error(String),
+    }
+
+    fn parse_action(s: &str) -> Result<Action, String> {
+        if s == "panic" {
+            return Ok(Action::Panic);
+        }
+        if s == "oom" {
+            return Ok(Action::Oom);
+        }
+        if s == "err" {
+            return Ok(Action::Error("injected failure".to_string()));
+        }
+        if let Some(msg) = s.strip_prefix("err:") {
+            return Ok(Action::Error(msg.to_string()));
+        }
+        if let Some(ms) = s.strip_prefix("delay:") {
+            return ms
+                .parse::<u64>()
+                .map(Action::Delay)
+                .map_err(|e| format!("bad delay {ms:?}: {e}"));
+        }
+        Err(format!("unknown failpoint action {s:?}"))
+    }
+
+    fn parse_into(spec: &str, map: &mut HashMap<String, Action>) -> Result<(), String> {
+        for pair in spec.split(';') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (site, action) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("failpoint spec {pair:?} is not site=action"))?;
+            map.insert(site.trim().to_string(), parse_action(action.trim())?);
+        }
+        Ok(())
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, Action>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, Action>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| {
+            let mut map = HashMap::new();
+            if let Ok(spec) = std::env::var(super::ENV_VAR) {
+                // A typo'd env spec in a fault-injection run must fail loudly,
+                // not silently test nothing.
+                if let Err(e) = parse_into(&spec, &mut map) {
+                    panic!("{}: {e}", super::ENV_VAR);
+                }
+            }
+            Mutex::new(map)
+        })
+    }
+
+    fn lock() -> std::sync::MutexGuard<'static, HashMap<String, Action>> {
+        // A poisoned registry just means some test panicked mid-configure;
+        // the map itself is always coherent.
+        registry().lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Replace the registry contents with the given spec.
+    pub fn configure(spec: &str) -> Result<(), String> {
+        let mut map = HashMap::new();
+        parse_into(spec, &mut map)?;
+        *lock() = map;
+        Ok(())
+    }
+
+    /// Remove every configured failpoint.
+    pub fn clear() {
+        lock().clear();
+    }
+
+    /// Trigger the site's configured action, if any.
+    pub fn hit(site: &str) -> Result<(), String> {
+        let action = lock().get(site).cloned();
+        match action {
+            None => Ok(()),
+            Some(Action::Panic) => panic!("failpoint {site}: injected panic"),
+            Some(Action::Oom) => panic!("failpoint {site}: injected allocation failure"),
+            Some(Action::Delay(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(())
+            }
+            Some(Action::Error(msg)) => Err(format!("failpoint {site}: {msg}")),
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        // The registry is process-global; serialize the tests that touch it.
+        static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+        #[test]
+        fn parse_rejects_garbage() {
+            assert!(parse_action("explode").is_err());
+            assert!(parse_action("delay:abc").is_err());
+            let mut m = HashMap::new();
+            assert!(parse_into("no-equals-sign", &mut m).is_err());
+        }
+
+        #[test]
+        fn parse_accepts_every_documented_action() {
+            assert_eq!(parse_action("panic"), Ok(Action::Panic));
+            assert_eq!(parse_action("oom"), Ok(Action::Oom));
+            assert_eq!(parse_action("delay:25"), Ok(Action::Delay(25)));
+            assert_eq!(
+                parse_action("err"),
+                Ok(Action::Error("injected failure".into()))
+            );
+            assert_eq!(parse_action("err:boom"), Ok(Action::Error("boom".into())));
+        }
+
+        #[test]
+        fn hit_is_noop_when_unconfigured() {
+            let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+            clear();
+            assert_eq!(hit("eval.worker"), Ok(()));
+        }
+
+        #[test]
+        fn configure_then_clear_round_trips() {
+            let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+            configure("storage.insert=err:kaput; eval.worker=delay:0").unwrap();
+            assert_eq!(
+                hit("storage.insert"),
+                Err("failpoint storage.insert: kaput".to_string())
+            );
+            assert_eq!(hit("eval.worker"), Ok(()));
+            clear();
+            assert_eq!(hit("storage.insert"), Ok(()));
+        }
+
+        #[test]
+        fn injected_panic_unwinds() {
+            let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+            configure("oracle.assign=panic").unwrap();
+            let r = std::panic::catch_unwind(|| hit("oracle.assign"));
+            clear();
+            assert!(r.is_err());
+        }
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub use imp::{clear, configure, hit, Action};
+
+/// No-op stand-in: with the `failpoints` feature disabled every site
+/// vanishes at compile time.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn hit(_site: &str) -> Result<(), String> {
+    Ok(())
+}
+
+/// No-op stand-in for builds without the `failpoints` feature.
+#[cfg(not(feature = "failpoints"))]
+pub fn configure(_spec: &str) -> Result<(), String> {
+    Err("idlog was built without the `failpoints` feature".to_string())
+}
+
+/// No-op stand-in for builds without the `failpoints` feature.
+#[cfg(not(feature = "failpoints"))]
+pub fn clear() {}

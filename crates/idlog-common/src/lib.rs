@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod failpoint;
 pub mod fxhash;
 pub mod sort;
 pub mod symbol;

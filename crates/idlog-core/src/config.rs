@@ -11,9 +11,11 @@
 //! identical for any `threads` value.
 
 use std::num::NonZeroUsize;
+use std::time::Duration;
 
 use crate::enumerate::EnumBudget;
 use crate::eval::Strategy;
+use crate::govern::Limits;
 
 /// Environment variable consulted when [`EvalOptions::threads`] is `0`
 /// (auto). CI uses it to run the whole test suite under a fixed thread
@@ -53,6 +55,9 @@ pub struct EvalOptions {
     /// default; turn off to force the full enumeration (benchmark
     /// baselines, soundness tests).
     pub det_fastpath: bool,
+    /// Resource ceilings enforced by the [`crate::Governor`] (deadline,
+    /// rounds, tuples, bytes). Unlimited by default.
+    pub limits: Limits,
 }
 
 impl EvalOptions {
@@ -65,6 +70,7 @@ impl EvalOptions {
             profile: false,
             budget: EnumBudget::default(),
             det_fastpath: true,
+            limits: Limits::none(),
         }
     }
 
@@ -100,6 +106,37 @@ impl EvalOptions {
     /// Toggle the certified-deterministic enumeration fast path.
     pub fn det_fastpath(mut self, det_fastpath: bool) -> Self {
         self.det_fastpath = det_fastpath;
+        self
+    }
+
+    /// Replace every resource ceiling at once.
+    pub fn limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Set a wall-clock budget for the evaluation.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.limits.deadline = Some(deadline);
+        self
+    }
+
+    /// Cap the number of semi-naive fixpoint rounds (cumulative across
+    /// strata).
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.limits.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Cap the number of newly derived tuples.
+    pub fn max_tuples(mut self, max_tuples: u64) -> Self {
+        self.limits.max_tuples = Some(max_tuples);
+        self
+    }
+
+    /// Cap the estimated bytes of stored tuples.
+    pub fn max_bytes(mut self, max_bytes: u64) -> Self {
+        self.limits.max_bytes = Some(max_bytes);
         self
     }
 
@@ -201,14 +238,33 @@ mod tests {
                 max_models: 7,
                 max_answers: 5,
             })
-            .det_fastpath(false);
+            .det_fastpath(false)
+            .deadline(Duration::from_millis(250))
+            .max_rounds(9)
+            .max_tuples(1_000)
+            .max_bytes(1 << 20);
         assert_eq!(opts.strategy, Strategy::Naive);
         assert_eq!(opts.threads, 3);
         assert!(opts.profile);
         assert_eq!(opts.budget.max_models, 7);
         assert_eq!(opts.budget.max_answers, 5);
         assert!(!opts.det_fastpath);
+        assert_eq!(opts.limits.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(opts.limits.max_rounds, Some(9));
+        assert_eq!(opts.limits.max_tuples, Some(1_000));
+        assert_eq!(opts.limits.max_bytes, Some(1 << 20));
         assert!(EvalOptions::new().det_fastpath);
+        assert!(EvalOptions::new().limits.is_unlimited());
+    }
+
+    #[test]
+    fn limits_builder_replaces_all_ceilings() {
+        let limits = Limits {
+            max_rounds: Some(4),
+            ..Limits::none()
+        };
+        let opts = EvalOptions::new().max_tuples(5).limits(limits);
+        assert_eq!(opts.limits, limits);
     }
 
     #[test]

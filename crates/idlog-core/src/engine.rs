@@ -21,7 +21,8 @@ use idlog_parser::Builtin;
 use idlog_storage::{Index, Relation};
 
 use crate::builtins;
-use crate::error::CoreResult;
+use crate::error::{CoreError, CoreResult};
+use crate::govern::{panic_message, Governor};
 use crate::plan::{AtomStep, RulePlan, Step, TermPat};
 use crate::pred::PredKey;
 use crate::profile::{ItemRec, RoundProfile, StratumProfile};
@@ -130,6 +131,14 @@ impl EvalState {
             .get(&(key.clone(), positions.to_vec()))
             .map(|(_, i)| i)
     }
+
+    /// Rough, deterministic estimate of the bytes held by every stored
+    /// relation (the index cache is derived data and excluded). A pure
+    /// function of relation sizes, so the governor's `max_bytes` ceiling
+    /// trips at the same round at any thread count.
+    pub fn estimated_bytes(&self) -> u64 {
+        self.rels.values().map(|s| s.rel.estimated_bytes()).sum()
+    }
 }
 
 /// One unit of round work: a rule plan, optionally restricted to replaying
@@ -177,9 +186,48 @@ fn shard_count(n: usize) -> usize {
     (n / SHARD_MIN_TUPLES).clamp(1, MAX_DELTA_SHARDS)
 }
 
+/// Run one work item with panic containment: a panic inside rule execution
+/// (a buggy builtin, a storage fault, an injected failpoint) surfaces as
+/// [`CoreError::Internal`] carrying the rule's clause index instead of
+/// unwinding across the scoped-thread boundary and aborting the process.
+/// Unwind safety: on any error the caller discards `out`, `stats`, and the
+/// whole round, so partially mutated locals are never observed.
+fn run_item(
+    state: &EvalState,
+    item: &WorkItem<'_>,
+    out: &mut Vec<(SymbolId, Tuple)>,
+    stats: &mut EvalStats,
+) -> CoreResult<()> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // The failpoint sits inside the contained region so an injected
+        // `panic`/`oom` action exercises the same unwind path a real rule
+        // fault would.
+        #[cfg(feature = "failpoints")]
+        idlog_common::failpoint::hit("eval.worker").map_err(|message| CoreError::Internal {
+            clause: Some(item.plan.clause_idx),
+            message,
+        })?;
+        run_rule(state, item.plan, item.delta, out, stats)
+    }))
+    .unwrap_or_else(|payload| {
+        Err(CoreError::Internal {
+            clause: Some(item.plan.clause_idx),
+            message: format!("rule evaluation panicked: {}", panic_message(payload)),
+        })
+    })
+}
+
 /// Execute one round's work items, serially or over a scoped thread pool,
 /// returning the concatenated derivations **in work-item order**. The merged
 /// `out` and the statistics are identical for every `threads` value.
+///
+/// The governor is polled between work items on every path, so a deadline
+/// or cancellation stops all workers promptly; the caller discards the
+/// round on any error, keeping the surviving state barrier-consistent.
+/// Failures (governor trips, rule errors, contained panics) surface as the
+/// first failing item in work-item order — the same error the serial path
+/// reports, except for the inherently timing-dependent deadline/cancel
+/// trips.
 ///
 /// When `recs` is provided, one [`ItemRec`] per work item is appended — in
 /// work-item order, so profiles inherit the determinism of the merge. The
@@ -188,6 +236,7 @@ fn run_round(
     state: &EvalState,
     items: &[WorkItem<'_>],
     threads: usize,
+    governor: &Governor,
     stats: &mut EvalStats,
     mut recs: Option<&mut Vec<ItemRec>>,
 ) -> CoreResult<Vec<(SymbolId, Tuple)>> {
@@ -206,10 +255,11 @@ fn run_round(
             // does.
             let mut out: Vec<(SymbolId, Tuple)> = Vec::new();
             for item in items {
+                governor.poll()?;
                 let before = out.len();
                 let started = std::time::Instant::now();
                 let mut local = EvalStats::default();
-                run_rule(state, item.plan, item.delta, &mut out, &mut local)?;
+                run_item(state, item, &mut out, &mut local)?;
                 let nanos = started.elapsed().as_nanos() as u64;
                 recs.push(item.record(out.len() - before, local, nanos));
                 *stats += local;
@@ -218,7 +268,8 @@ fn run_round(
         }
         let mut out: Vec<(SymbolId, Tuple)> = Vec::new();
         for item in items {
-            run_rule(state, item.plan, item.delta, &mut out, stats)?;
+            governor.poll()?;
+            run_item(state, item, &mut out, stats)?;
         }
         return Ok(out);
     }
@@ -234,17 +285,42 @@ fn run_round(
                     let started = profiling.then(std::time::Instant::now);
                     let mut out: Vec<(SymbolId, Tuple)> = Vec::new();
                     let mut local = EvalStats::default();
-                    let res = run_rule(state, item.plan, item.delta, &mut out, &mut local);
+                    let res = governor
+                        .poll()
+                        .and_then(|()| run_item(state, item, &mut out, &mut local));
                     let nanos = started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    let failed = res.is_err();
                     *slot = Some(res.map(|()| (out, local, nanos)));
+                    if failed {
+                        // The round is doomed; don't burn time on the rest
+                        // of the chunk. Later slots stay `None`.
+                        break;
+                    }
                 }
             });
         }
     });
 
+    // A worker stops at its first failing item, leaving later slots in its
+    // chunk empty — so in work-item order every `None` is preceded by that
+    // chunk's `Err`, and the first non-Ok slot overall is the error the
+    // serial path would have reported.
+    if slots.iter().any(|s| !matches!(s, Some(Ok(_)))) {
+        for slot in slots {
+            if let Some(Err(e)) = slot {
+                return Err(e);
+            }
+        }
+        return Err(CoreError::Internal {
+            clause: None,
+            message: "round worker left no result and no error".to_string(),
+        });
+    }
     let mut merged: Vec<(SymbolId, Tuple)> = Vec::new();
     for (item, slot) in items.iter().zip(slots) {
-        let (out, local, nanos) = slot.expect("scope joined every worker")?;
+        let Some(Ok((out, local, nanos))) = slot else {
+            continue; // unreachable: the all-Ok scan above returned otherwise
+        };
         if let Some(recs) = recs.as_deref_mut() {
             recs.push(item.record(out.len(), local, nanos));
         }
@@ -297,6 +373,7 @@ pub fn eval_stratum_naive(
     plans: &[&RulePlan],
     stats: &mut EvalStats,
     threads: usize,
+    governor: &Governor,
     mut prof: Option<&mut StratumProfile>,
 ) -> CoreResult<()> {
     let mut round = 0usize;
@@ -310,8 +387,8 @@ pub fn eval_stratum_naive(
             })
             .collect();
         let mut recs = prof.as_ref().map(|_| Vec::new());
-        let out = run_round(state, &items, threads, stats, recs.as_mut())?;
-        let delta = absorb(state, out, stats, recs.as_mut());
+        let out = run_round(state, &items, threads, governor, stats, recs.as_mut())?;
+        let delta = absorb_contained(state, out, stats, recs.as_mut())?;
         if let (Some(p), Some(recs)) = (prof.as_deref_mut(), recs) {
             p.rounds.push(RoundProfile::from_items(round, recs));
         }
@@ -320,6 +397,10 @@ pub fn eval_stratum_naive(
         if delta.is_empty() {
             return Ok(());
         }
+        // Another round is coming: a deterministic barrier, where merged
+        // state and stats are thread-count independent — the only place
+        // the rounds/tuples/bytes ceilings are allowed to trip.
+        governor.check_barrier(stats, || state.estimated_bytes())?;
     }
 }
 
@@ -335,6 +416,7 @@ pub fn eval_stratum(
     same_stratum: &FxHashSet<SymbolId>,
     stats: &mut EvalStats,
     threads: usize,
+    governor: &Governor,
     mut prof: Option<&mut StratumProfile>,
 ) -> CoreResult<()> {
     // Round 0: full evaluation of every rule.
@@ -347,8 +429,8 @@ pub fn eval_stratum(
         })
         .collect();
     let mut recs = prof.as_ref().map(|_| Vec::new());
-    let out = run_round(state, &full, threads, stats, recs.as_mut())?;
-    let mut delta = absorb(state, out, stats, recs.as_mut());
+    let out = run_round(state, &full, threads, governor, stats, recs.as_mut())?;
+    let mut delta = absorb_contained(state, out, stats, recs.as_mut())?;
     if let (Some(p), Some(recs)) = (prof.as_deref_mut(), recs) {
         p.rounds.push(RoundProfile::from_items(0, recs));
     }
@@ -357,11 +439,17 @@ pub fn eval_stratum(
     // Delta rounds.
     let mut round = 1usize;
     while !delta.is_empty() {
+        // Deterministic barrier: merged state and stats are identical at
+        // any thread count here, so *whether* and *which* ceiling trips —
+        // and the partial output it leaves behind — are too. An evaluation
+        // that reaches fixpoint never gets here, so completing runs are
+        // never reported as tripped.
+        governor.check_barrier(stats, || state.estimated_bytes())?;
         state.ensure_indexes(plans);
         let items = delta_work_list(plans, same_stratum, &delta);
         let mut recs = prof.as_ref().map(|_| Vec::new());
-        let out = run_round(state, &items, threads, stats, recs.as_mut())?;
-        delta = absorb(state, out, stats, recs.as_mut());
+        let out = run_round(state, &items, threads, governor, stats, recs.as_mut())?;
+        delta = absorb_contained(state, out, stats, recs.as_mut())?;
         if let (Some(p), Some(recs)) = (prof.as_deref_mut(), recs) {
             p.rounds.push(RoundProfile::from_items(round, recs));
         }
@@ -369,6 +457,25 @@ pub fn eval_stratum(
         round += 1;
     }
     Ok(())
+}
+
+/// Run [`absorb`] with panic containment: a fault in the storage layer
+/// (e.g. an injected `storage.insert` failpoint) becomes a clean
+/// [`CoreError::Internal`]. On error the evaluation is abandoned wholesale,
+/// so the partially absorbed round is never observed as a barrier state.
+fn absorb_contained(
+    state: &mut EvalState,
+    out: Vec<(SymbolId, Tuple)>,
+    stats: &mut EvalStats,
+    recs: Option<&mut Vec<ItemRec>>,
+) -> CoreResult<FxHashMap<SymbolId, Vec<Tuple>>> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        absorb(state, out, stats, recs)
+    }))
+    .map_err(|payload| CoreError::Internal {
+        clause: None,
+        message: format!("tuple store panicked: {}", panic_message(payload)),
+    })
 }
 
 /// Insert derived tuples; return the per-predicate delta of new facts, in

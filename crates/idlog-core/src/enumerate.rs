@@ -6,10 +6,12 @@
 //! backtracks over every [`idlog_storage::IdAssignment`] at every
 //! ID-materialization point,
 //! stratum by stratum. The space is a product of factorials; an
-//! [`EnumBudget`] bounds the walk and the result records whether it was
-//! exhaustive.
+//! [`EnumBudget`] bounds the walk, the [`crate::Governor`] limits
+//! bound each branch's fixpoint, and the result records *which* stop —
+//! model budget, answer budget, a resource ceiling, or cancellation — ended
+//! the walk early ([`AnswerSet::stopped`]).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use idlog_common::{FxHashMap, FxHashSet, Interner, SymbolId, Tuple};
@@ -21,6 +23,7 @@ use crate::config::EvalOptions;
 use crate::engine::{eval_stratum, EvalState};
 use crate::error::{CoreError, CoreResult};
 use crate::eval;
+use crate::govern::{panic_message, CancelToken, Governor, LimitKind, StopReason};
 use crate::plan::RulePlan;
 use crate::pred::PredKey;
 use crate::program::ValidatedProgram;
@@ -50,7 +53,7 @@ impl Default for EnumBudget {
 #[derive(Debug, Clone)]
 pub struct AnswerSet {
     answers: Vec<Relation>,
-    complete: bool,
+    stop: Option<StopReason>,
     models_explored: u64,
 }
 
@@ -71,10 +74,18 @@ impl AnswerSet {
         self.answers.iter()
     }
 
-    /// False when a budget stopped the walk before every perfect model was
-    /// visited.
+    /// False when a budget, resource limit, or cancellation stopped the walk
+    /// before every perfect model was visited.
     pub fn complete(&self) -> bool {
-        self.complete
+        self.stop.is_none()
+    }
+
+    /// Why the walk stopped early, when it did: the enumeration budgets
+    /// report as [`LimitKind::Models`]/[`LimitKind::Answers`], governor
+    /// ceilings as their own [`LimitKind`], Ctrl-C as
+    /// [`StopReason::Cancelled`]. `None` means the walk was exhaustive.
+    pub fn stopped(&self) -> Option<StopReason> {
+        self.stop
     }
 
     /// How many perfect models were visited.
@@ -112,9 +123,27 @@ impl AnswerSet {
     /// Build an answer set from raw relations (used by the other language
     /// semantics in this workspace — DATALOG^C and DL — so their answer sets
     /// compare directly with IDLOG's). Deduplicates and sorts canonically.
+    /// An incomplete walk (`complete == false`) reports as a model-budget
+    /// stop; use [`AnswerSet::collect_stopped`] to carry a precise reason.
     pub fn collect(
         relations: impl IntoIterator<Item = Relation>,
         complete: bool,
+        models_explored: u64,
+        interner: &Interner,
+    ) -> AnswerSet {
+        let stop = if complete {
+            None
+        } else {
+            Some(StopReason::Limit(LimitKind::Models))
+        };
+        AnswerSet::collect_stopped(relations, stop, models_explored, interner)
+    }
+
+    /// Like [`AnswerSet::collect`], but records exactly why the walk stopped
+    /// early (`None` = exhaustive).
+    pub fn collect_stopped(
+        relations: impl IntoIterator<Item = Relation>,
+        stop: Option<StopReason>,
         models_explored: u64,
         interner: &Interner,
     ) -> AnswerSet {
@@ -140,7 +169,7 @@ impl AnswerSet {
         });
         AnswerSet {
             answers,
-            complete,
+            stop,
             models_explored,
         }
     }
@@ -227,15 +256,93 @@ pub fn enumerate_with_options(
     output: &str,
     options: &EvalOptions,
 ) -> CoreResult<AnswerSet> {
-    enumerate_impl(program, db, output, &options.budget, options)
+    enumerate_governed(program, db, output, options, None)
+}
+
+/// [`enumerate_with_options`] plus governance: the options'
+/// [`Limits`](crate::Limits) bound each branch's fixpoint and the whole walk
+/// (deadline), and `cancel` lets a signal handler or embedder stop the walk.
+///
+/// Limit trips and cancellations are **not errors** here: enumeration is
+/// a bounded walk by design, so they end the walk the same way the model
+/// budget does, and the returned set reports the reason through
+/// [`AnswerSet::stopped`]. Only real failures (validation, arithmetic,
+/// contained panics) return `Err`.
+pub fn enumerate_governed(
+    program: &ValidatedProgram,
+    db: &Database,
+    output: &str,
+    options: &EvalOptions,
+    cancel: Option<&CancelToken>,
+) -> CoreResult<AnswerSet> {
+    let governor = Governor::new(options.limits, cancel.cloned());
+    enumerate_impl(program, db, output, &options.budget, options, &governor)
+}
+
+/// `Shared::stop` encoding: `0` = still walking; otherwise a [`StopReason`].
+/// The first writer wins (compare-exchange from `0`), so the reported reason
+/// is the first stop observed anywhere in the walk.
+fn encode_stop(reason: StopReason) -> u8 {
+    match reason {
+        StopReason::Limit(LimitKind::Deadline) => 1,
+        StopReason::Limit(LimitKind::Rounds) => 2,
+        StopReason::Limit(LimitKind::Tuples) => 3,
+        StopReason::Limit(LimitKind::Bytes) => 4,
+        StopReason::Limit(LimitKind::Models) => 5,
+        StopReason::Limit(LimitKind::Answers) => 6,
+        StopReason::Cancelled => 7,
+    }
+}
+
+fn decode_stop(code: u8) -> Option<StopReason> {
+    match code {
+        0 => None,
+        1 => Some(StopReason::Limit(LimitKind::Deadline)),
+        2 => Some(StopReason::Limit(LimitKind::Rounds)),
+        3 => Some(StopReason::Limit(LimitKind::Tuples)),
+        4 => Some(StopReason::Limit(LimitKind::Bytes)),
+        5 => Some(StopReason::Limit(LimitKind::Models)),
+        6 => Some(StopReason::Limit(LimitKind::Answers)),
+        _ => Some(StopReason::Cancelled),
+    }
 }
 
 struct Shared {
     budget: EnumBudget,
     /// Perfect models visited, across all workers.
     models: AtomicU64,
-    /// Set once a budget trips anywhere.
-    truncated: AtomicBool,
+    /// First stop reason observed anywhere ([`encode_stop`]); `0` = none.
+    stop: AtomicU8,
+}
+
+impl Shared {
+    /// Record a stop; the first reason wins, later ones are ignored.
+    fn stop_with(&self, reason: StopReason) {
+        let _ = self.stop.compare_exchange(
+            0,
+            encode_stop(reason),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Record the stop corresponding to a governor trip.
+    fn stop_for(&self, e: &CoreError) {
+        match e {
+            CoreError::LimitExceeded { limit } => self.stop_with(StopReason::Limit(*limit)),
+            CoreError::Cancelled => self.stop_with(StopReason::Cancelled),
+            // Not a stop — real errors propagate as Err, not through here.
+            _ => {}
+        }
+    }
+
+    fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed) != 0
+    }
+
+    fn stopped(&self) -> Option<StopReason> {
+        decode_stop(self.stop.load(Ordering::Relaxed))
+    }
 }
 
 /// Per-worker answer sink (merged after the walk); keeps the hot leaf path
@@ -252,6 +359,7 @@ fn enumerate_impl(
     output: &str,
     budget: &EnumBudget,
     options: &EvalOptions,
+    governor: &Governor,
 ) -> CoreResult<AnswerSet> {
     let interner = Arc::clone(program.interner());
     let output_id = interner.get(output).ok_or_else(|| CoreError::Validation {
@@ -299,7 +407,7 @@ fn enumerate_impl(
     let shared = Shared {
         budget: *budget,
         models: AtomicU64::new(0),
-        truncated: AtomicBool::new(false),
+        stop: AtomicU8::new(0),
     };
 
     let cx = Cx {
@@ -308,22 +416,36 @@ fn enumerate_impl(
         output: output_id,
         shared: &shared,
         bounds: &bounds,
+        governor,
     };
     // Cap the fan-out: beyond a small pool the branch chunks stop amortizing
     // the per-branch state clone.
     let threads = options.effective_threads().min(16);
     let mut local = Local::default();
-    explore(&cx, 0, state, threads, &mut local)?;
+    // The walk is contained: a panic anywhere below surfaces as a clean
+    // `Internal` error instead of aborting the caller. Parallel branch
+    // workers are additionally contained at their join points in `branch`.
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        explore(&cx, 0, state, threads, &mut local)
+    })) {
+        Ok(result) => result?,
+        Err(payload) => {
+            return Err(CoreError::Internal {
+                clause: None,
+                message: format!("enumeration panicked: {}", panic_message(payload)),
+            })
+        }
+    }
 
     // `Local` already deduplicates within one worker; parallel workers merge
     // their sinks in `branch`, so at this point `local` holds everything.
     if local.answers.len() > budget.max_answers {
         local.answers.truncate(budget.max_answers);
-        shared.truncated.store(true, Ordering::Relaxed);
+        shared.stop_with(StopReason::Limit(LimitKind::Answers));
     }
-    Ok(AnswerSet::collect(
+    Ok(AnswerSet::collect_stopped(
         local.answers,
-        !shared.truncated.load(Ordering::Relaxed),
+        shared.stopped(),
         shared.models.load(Ordering::Relaxed),
         &interner,
     ))
@@ -336,6 +458,7 @@ struct Cx<'a> {
     output: SymbolId,
     shared: &'a Shared,
     bounds: &'a FxHashMap<(SymbolId, Vec<usize>), usize>,
+    governor: &'a Governor,
 }
 
 /// Recursive walk: at stratum `k`, branch over the assignments of every
@@ -355,12 +478,12 @@ fn explore(
         let key = rel.sorted_canonical(cx.interner);
         let models = cx.shared.models.fetch_add(1, Ordering::Relaxed) + 1;
         if models > cx.shared.budget.max_models {
-            cx.shared.truncated.store(true, Ordering::Relaxed);
+            cx.shared.stop_with(StopReason::Limit(LimitKind::Models));
             return Ok(());
         }
         if local.keys.insert(key) {
             if local.answers.len() >= cx.shared.budget.max_answers {
-                cx.shared.truncated.store(true, Ordering::Relaxed);
+                cx.shared.stop_with(StopReason::Limit(LimitKind::Answers));
                 return Ok(());
             }
             local.answers.push(rel);
@@ -399,7 +522,14 @@ fn branch(
     i: usize,
     local: &mut Local,
 ) -> CoreResult<()> {
-    if cx.shared.truncated.load(Ordering::Relaxed) {
+    if cx.shared.is_stopped() {
+        return Ok(());
+    }
+    // Timing-dependent stops (deadline, Ctrl-C): a trip ends the walk the
+    // same way a budget does — the answers gathered so far stand, and the
+    // result records the reason.
+    if let Err(e) = cx.governor.poll() {
+        cx.shared.stop_for(&e);
         return Ok(());
     }
     if i == needed.len() {
@@ -407,14 +537,25 @@ fn branch(
         let same: FxHashSet<SymbolId> = cx.stratum_plans[k].iter().map(|p| p.head_pred).collect();
         let mut stats = EvalStats::default();
         // Threads not consumed by branch fan-out parallelize the rounds.
-        eval_stratum(
+        // Governor trips inside the branch's fixpoint (per-branch rounds,
+        // tuples, bytes, or the shared deadline) stop the walk rather than
+        // failing it.
+        match eval_stratum(
             &mut state,
             &cx.stratum_plans[k],
             &same,
             &mut stats,
             threads,
+            cx.governor,
             None,
-        )?;
+        ) {
+            Ok(()) => {}
+            Err(e @ (CoreError::LimitExceeded { .. } | CoreError::Cancelled)) => {
+                cx.shared.stop_for(&e);
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
         return explore(cx, k + 1, state, threads, local);
     }
 
@@ -449,14 +590,21 @@ fn branch(
                     let base_rel = &base_rel;
                     let key = &key;
                     scope.spawn(move || -> CoreResult<Local> {
+                        #[cfg(feature = "failpoints")]
+                        if let Err(message) = idlog_common::failpoint::hit("enum.branch") {
+                            return Err(CoreError::Internal {
+                                clause: None,
+                                message,
+                            });
+                        }
                         let mut mine = Local::default();
                         for assignment in chunk {
-                            if cx.shared.truncated.load(Ordering::Relaxed) {
+                            if cx.shared.is_stopped() {
                                 return Ok(mine);
                             }
                             let mut branch_state = state.clone();
                             branch_state
-                                .put((*key).clone(), make_id_relation(base_rel, assignment));
+                                .put((*key).clone(), make_id_relation(base_rel, assignment)?);
                             // Only one level of parallelism.
                             branch(cx, k, branch_state, 1, needed, i + 1, &mut mine)?;
                         }
@@ -466,7 +614,18 @@ fn branch(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("branch thread panicked"))
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    // A worker panic must not take the process down; surface
+                    // it as the same contained-fault error the fixpoint uses.
+                    Err(payload) => Err(CoreError::Internal {
+                        clause: None,
+                        message: format!(
+                            "enumeration branch worker panicked: {}",
+                            panic_message(payload)
+                        ),
+                    }),
+                })
                 .collect()
         });
         for r in results {
@@ -482,11 +641,11 @@ fn branch(
     }
 
     for assignment in &assignments {
-        if cx.shared.truncated.load(Ordering::Relaxed) {
+        if cx.shared.is_stopped() {
             return Ok(());
         }
         let mut branch_state = state.clone();
-        branch_state.put(key.clone(), make_id_relation(&base_rel, assignment));
+        branch_state.put(key.clone(), make_id_relation(&base_rel, assignment)?);
         branch(cx, k, branch_state, threads, needed, i + 1, local)?;
     }
     Ok(())
@@ -544,6 +703,7 @@ mod tests {
         let budget = EnumBudget::default();
         let answers = enumerate(&p, &db, "man", &budget).unwrap();
         assert!(answers.complete());
+        assert_eq!(answers.stopped(), None);
         let strings = answers.to_sorted_strings(p.interner());
         assert_eq!(
             strings,
@@ -627,7 +787,65 @@ mod tests {
         };
         let answers = enumerate(&p, &db, "pick", &budget).unwrap();
         assert!(!answers.complete());
+        assert_eq!(
+            answers.stopped(),
+            Some(StopReason::Limit(LimitKind::Models))
+        );
         assert!(answers.models_explored() <= 11);
+    }
+
+    #[test]
+    fn answer_budget_reports_its_own_kind() {
+        let (p, db) = setup(
+            "pick(N, T) :- emp[](N, D, T).",
+            &[
+                ("emp", &["a", "d"]),
+                ("emp", &["b", "d"]),
+                ("emp", &["c", "d"]),
+            ],
+        );
+        let budget = EnumBudget {
+            max_models: 1_000,
+            max_answers: 2,
+        };
+        let answers = enumerate(&p, &db, "pick", &budget).unwrap();
+        assert!(!answers.complete());
+        assert_eq!(
+            answers.stopped(),
+            Some(StopReason::Limit(LimitKind::Answers))
+        );
+        assert_eq!(answers.len(), 2);
+    }
+
+    #[test]
+    fn zero_deadline_stops_the_walk_cleanly() {
+        // A deadline trip is a *stop*, not an error: the walk ends where it
+        // stands and the result names the timeout.
+        let (p, db) = setup(
+            "tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+            &[("e", &["a", "b"]), ("e", &["b", "c"])],
+        );
+        let opts = EvalOptions::serial().deadline(std::time::Duration::ZERO);
+        let answers = enumerate_governed(&p, &db, "tc", &opts, None).unwrap();
+        assert!(!answers.complete());
+        assert_eq!(
+            answers.stopped(),
+            Some(StopReason::Limit(LimitKind::Deadline))
+        );
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_walk_cleanly() {
+        let (p, db) = setup(
+            "tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+            &[("e", &["a", "b"])],
+        );
+        let token = CancelToken::new();
+        token.cancel();
+        let answers =
+            enumerate_governed(&p, &db, "tc", &EvalOptions::serial(), Some(&token)).unwrap();
+        assert!(!answers.complete());
+        assert_eq!(answers.stopped(), Some(StopReason::Cancelled));
     }
 
     #[test]
@@ -671,5 +889,32 @@ mod tests {
         let answers = enumerate(&p, &db, "out", &EnumBudget::default()).unwrap();
         assert_eq!(answers.models_explored(), 1);
         assert_eq!(answers.len(), 1);
+    }
+
+    #[test]
+    fn legacy_collect_maps_incomplete_to_model_budget() {
+        let interner = Interner::new();
+        let set = AnswerSet::collect([Relation::elementary(0)], false, 3, &interner);
+        assert!(!set.complete());
+        assert_eq!(set.stopped(), Some(StopReason::Limit(LimitKind::Models)));
+        let set = AnswerSet::collect([Relation::elementary(0)], true, 1, &interner);
+        assert!(set.complete());
+        assert_eq!(set.stopped(), None);
+    }
+
+    #[test]
+    fn stop_codes_round_trip() {
+        for reason in [
+            StopReason::Limit(LimitKind::Deadline),
+            StopReason::Limit(LimitKind::Rounds),
+            StopReason::Limit(LimitKind::Tuples),
+            StopReason::Limit(LimitKind::Bytes),
+            StopReason::Limit(LimitKind::Models),
+            StopReason::Limit(LimitKind::Answers),
+            StopReason::Cancelled,
+        ] {
+            assert_eq!(decode_stop(encode_stop(reason)), Some(reason));
+        }
+        assert_eq!(decode_stop(0), None);
     }
 }

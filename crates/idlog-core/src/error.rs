@@ -55,6 +55,28 @@ pub enum CoreError {
         /// Which budget tripped.
         what: String,
     },
+    /// A governor resource ceiling tripped (deadline, rounds, tuples,
+    /// bytes). The governed entry points wrap this as
+    /// [`EvalError::Limit`](crate::EvalError) with the partial output
+    /// attached; this payload-light form is what propagates through the
+    /// engine internals and the legacy `CoreResult` API.
+    LimitExceeded {
+        /// Which ceiling tripped.
+        limit: crate::govern::LimitKind,
+    },
+    /// The evaluation's [`CancelToken`](crate::CancelToken) fired
+    /// (Ctrl-C, embedder shutdown).
+    Cancelled,
+    /// An engine invariant failed at runtime — typically a panic in a
+    /// worker, builtin, oracle, or the storage layer, contained by
+    /// `catch_unwind` instead of aborting the process.
+    Internal {
+        /// 0-based clause index of the rule being evaluated, when the
+        /// fault is attributable to one.
+        clause: Option<usize>,
+        /// The contained panic message or broken invariant.
+        message: String,
+    },
     /// A foundation-layer error surfaced during evaluation.
     Common(CommonError),
 }
@@ -89,6 +111,20 @@ impl fmt::Display for CoreError {
             CoreError::Input { message } => write!(f, "bad input database: {message}"),
             CoreError::Eval { message } => write!(f, "evaluation error: {message}"),
             CoreError::BudgetExceeded { what } => write!(f, "budget exceeded: {what}"),
+            CoreError::LimitExceeded { limit } => write!(f, "limit exceeded: {limit}"),
+            CoreError::Cancelled => f.write_str("evaluation cancelled"),
+            CoreError::Internal {
+                clause: Some(c),
+                message,
+            } => {
+                write!(f, "internal error in clause #{c}: {message}")
+            }
+            CoreError::Internal {
+                clause: None,
+                message,
+            } => {
+                write!(f, "internal error: {message}")
+            }
             CoreError::Common(e) => write!(f, "{e}"),
         }
     }

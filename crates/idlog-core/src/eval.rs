@@ -14,6 +14,7 @@ use idlog_storage::{make_id_relation, Database, Relation};
 use crate::config::EvalOptions;
 use crate::engine::{eval_stratum, eval_stratum_naive, EvalState};
 use crate::error::{CoreError, CoreResult};
+use crate::govern::{panic_message, CancelToken, EvalError, Governor};
 use crate::plan::RulePlan;
 use crate::pred::PredKey;
 use crate::profile::{IdRelationProfile, Profile, StratumProfile};
@@ -94,68 +95,125 @@ pub fn evaluate_with_options(
     oracle: &mut dyn TidOracle,
     options: &EvalOptions,
 ) -> CoreResult<EvalOutput> {
+    evaluate_governed(program, db, oracle, options, None).map_err(EvalError::into_core)
+}
+
+/// [`evaluate_with_options`] under full resource governance: a
+/// [`Governor`] built from `options.limits` (plus the optional
+/// [`CancelToken`]) is checked by every worker, and a limit trip or
+/// cancellation returns [`EvalError::Limit`]/[`EvalError::Cancelled`]
+/// carrying the **partial output** — relations, [`EvalStats`], and profile
+/// as of the last completed round barrier, byte-identical at any thread
+/// count for the deterministic ceilings (`max_rounds`, `max_tuples`,
+/// `max_bytes`).
+pub fn evaluate_governed(
+    program: &ValidatedProgram,
+    db: &Database,
+    oracle: &mut dyn TidOracle,
+    options: &EvalOptions,
+    cancel: Option<&CancelToken>,
+) -> Result<EvalOutput, EvalError> {
     let interner = Arc::clone(program.interner());
     if !Arc::ptr_eq(&interner, db.interner()) {
-        return Err(CoreError::Input {
+        return Err(EvalError::Core(CoreError::Input {
             message: "database and program must share one interner \
                       (use Database::with_interner(program.interner().clone()))"
                 .into(),
-        });
+        }));
     }
 
+    let governor = Governor::new(options.limits, cancel.cloned());
     let strat = program.stratification();
     let plans = program.plans();
     let mut stats = EvalStats::default();
     let mut state = EvalState::new();
     let mut profile = options.profile.then(|| Profile::for_program(program));
 
-    install_inputs(program, db, &mut state)?;
-    install_idb(program, &refine_sorts(program, db)?, db, &mut state)?;
+    install_inputs(program, db, &mut state).map_err(EvalError::Core)?;
+    install_idb(
+        program,
+        &refine_sorts(program, db).map_err(EvalError::Core)?,
+        db,
+        &mut state,
+    )
+    .map_err(EvalError::Core)?;
 
+    // Run the strata inside a closure so that on a limit trip or
+    // cancellation the accumulated state/stats/profile survive to be
+    // packaged as the partial output.
     let threads = options.effective_threads();
     let by_stratum = strat.clauses_by_stratum(program.ast());
-    for (k, stratum_clauses) in by_stratum.iter().enumerate() {
-        let stratum_plans: Vec<&RulePlan> = stratum_clauses.iter().map(|&ci| &plans[ci]).collect();
-        let mut sp = profile.as_ref().map(|_| StratumProfile::new(k));
-        materialize_id_relations(
-            &stratum_plans,
-            &mut state,
-            oracle,
-            &interner,
-            &mut stats,
-            sp.as_mut(),
-        )?;
-        match options.strategy {
-            Strategy::SemiNaive => {
-                let same_stratum: FxHashSet<SymbolId> =
-                    stratum_plans.iter().map(|p| p.head_pred).collect();
-                eval_stratum(
-                    &mut state,
-                    &stratum_plans,
-                    &same_stratum,
-                    &mut stats,
-                    threads,
-                    sp.as_mut(),
-                )?;
+    let run = (|| -> CoreResult<()> {
+        for (k, stratum_clauses) in by_stratum.iter().enumerate() {
+            // Inter-stratum barrier: a stratum that ends at fixpoint skips
+            // its final in-stratum check, so re-check cumulative ceilings
+            // before committing to the next stratum's work.
+            if k > 0 {
+                governor.check_barrier(&stats, || state.estimated_bytes())?;
             }
-            Strategy::Naive => {
-                eval_stratum_naive(&mut state, &stratum_plans, &mut stats, threads, sp.as_mut())?;
+            let stratum_plans: Vec<&RulePlan> =
+                stratum_clauses.iter().map(|&ci| &plans[ci]).collect();
+            let mut sp = profile.as_ref().map(|_| StratumProfile::new(k));
+            materialize_id_relations(
+                &stratum_plans,
+                &mut state,
+                oracle,
+                &interner,
+                &mut stats,
+                sp.as_mut(),
+            )?;
+            match options.strategy {
+                Strategy::SemiNaive => {
+                    let same_stratum: FxHashSet<SymbolId> =
+                        stratum_plans.iter().map(|p| p.head_pred).collect();
+                    eval_stratum(
+                        &mut state,
+                        &stratum_plans,
+                        &same_stratum,
+                        &mut stats,
+                        threads,
+                        &governor,
+                        sp.as_mut(),
+                    )?;
+                }
+                Strategy::Naive => {
+                    eval_stratum_naive(
+                        &mut state,
+                        &stratum_plans,
+                        &mut stats,
+                        threads,
+                        &governor,
+                        sp.as_mut(),
+                    )?;
+                }
+            }
+            if let (Some(p), Some(sp)) = (profile.as_mut(), sp) {
+                p.strata.push(sp);
             }
         }
-        if let (Some(p), Some(sp)) = (profile.as_mut(), sp) {
-            p.strata.push(sp);
-        }
-    }
+        Ok(())
+    })();
 
     if let Some(p) = profile.as_mut() {
         p.totals = stats;
     }
-    Ok(EvalOutput {
+    let output = EvalOutput {
         interner,
         state,
         stats,
         profile,
-    })
+    };
+    match run {
+        Ok(()) => Ok(output),
+        Err(CoreError::LimitExceeded { limit }) => Err(EvalError::Limit {
+            limit,
+            partial: Box::new(output),
+        }),
+        Err(CoreError::Cancelled) => Err(EvalError::Cancelled {
+            partial: Box::new(output),
+        }),
+        Err(e) => Err(EvalError::Core(e)),
+    }
 }
 
 /// Compute the perfect model under default options.
@@ -364,7 +422,27 @@ fn materialize_id_relations(
                     interner.resolve(base)
                 ),
             })?;
-        let assignment = oracle.assign(base, &grouping, &rel, interner);
+        // The oracle is third-party code (trait object); contain its panics.
+        // The failpoint sits inside the contained region so an injected
+        // `panic` action exercises the same unwind path an oracle bug would.
+        let assignment =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Result<_, String> {
+                #[cfg(feature = "failpoints")]
+                idlog_common::failpoint::hit("oracle.assign")?;
+                Ok(oracle.assign(base, &grouping, &rel, interner))
+            }))
+            .map_err(|payload| CoreError::Internal {
+                clause: None,
+                message: format!(
+                    "ID-oracle panicked for {}: {}",
+                    interner.resolve(base),
+                    panic_message(payload)
+                ),
+            })?
+            .map_err(|message| CoreError::Internal {
+                clause: None,
+                message,
+            })?;
         if let Some(p) = prof.as_deref_mut() {
             // Each group gets exactly one tid-0 tuple, so counting them
             // counts the groups.
@@ -376,7 +454,11 @@ fn materialize_id_relations(
                 tuples: rel.len() as u64,
             });
         }
-        state.put(key, make_id_relation(&rel, &assignment));
+        let id_rel = make_id_relation(&rel, &assignment).map_err(|e| CoreError::Internal {
+            clause: None,
+            message: format!("ID-oracle assignment for {}: {e}", interner.resolve(base)),
+        })?;
+        state.put(key, id_rel);
         stats.id_relations += 1;
     }
     Ok(())

@@ -34,6 +34,7 @@ pub mod error;
 pub mod eval;
 pub mod explain;
 pub mod facts;
+pub mod govern;
 pub mod modelcheck;
 pub mod plan;
 pub mod pred;
@@ -51,13 +52,14 @@ pub mod tidbound;
 #[allow(deprecated)]
 pub use config::EvalConfig;
 pub use config::{EvalOptions, THREADS_ENV_VAR};
-pub use enumerate::{enumerate_with_options, AnswerSet, EnumBudget};
+pub use enumerate::{enumerate_governed, enumerate_with_options, AnswerSet, EnumBudget};
 pub use error::{CoreError, CoreResult};
 #[allow(deprecated)]
 pub use eval::{evaluate, evaluate_with_config, evaluate_with_strategy};
-pub use eval::{evaluate_with_options, EvalOutput, Strategy};
+pub use eval::{evaluate_governed, evaluate_with_options, EvalOutput, Strategy};
 pub use explain::{explain, explain_analyze};
 pub use facts::load_facts;
+pub use govern::{CancelToken, EvalError, Governor, LimitKind, Limits, StopReason};
 pub use modelcheck::{verify_model, ModelViolation};
 pub use pred::PredKey;
 pub use profile::{Profile, RuleTotals, PROFILE_JSON_SCHEMA};

@@ -28,14 +28,16 @@
 //! ```
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use idlog_common::Interner;
 use idlog_storage::{Database, Relation};
 
 use crate::config::EvalOptions;
-use crate::enumerate::{enumerate_with_options, AnswerSet, EnumBudget};
+use crate::enumerate::{enumerate_governed, AnswerSet, EnumBudget};
 use crate::error::{CoreError, CoreResult};
-use crate::eval::{evaluate_with_options, Strategy};
+use crate::eval::{evaluate_governed, Strategy};
+use crate::govern::{CancelToken, EvalError, Limits};
 use crate::profile::Profile;
 use crate::program::ValidatedProgram;
 use crate::stats::EvalStats;
@@ -79,6 +81,7 @@ pub struct Session<'q, 'd> {
     query: &'q Query,
     db: &'d Database,
     options: EvalOptions,
+    cancel: Option<CancelToken>,
 }
 
 impl<'q, 'd> Session<'q, 'd> {
@@ -112,6 +115,26 @@ impl<'q, 'd> Session<'q, 'd> {
         self
     }
 
+    /// Replace every resource ceiling at once (see
+    /// [`EvalOptions::limits`]).
+    pub fn limits(mut self, limits: Limits) -> Self {
+        self.options = self.options.limits(limits);
+        self
+    }
+
+    /// Set a wall-clock budget for the evaluation.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.options = self.options.deadline(deadline);
+        self
+    }
+
+    /// Attach a cancellation token: any clone of it can stop this session's
+    /// evaluation or enumeration promptly (e.g. from a Ctrl-C handler).
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// One answer of the (possibly non-deterministic) query, resolved by
     /// the canonical oracle (tids in first-derivation order).
     pub fn run(self) -> CoreResult<EvalResult> {
@@ -120,7 +143,20 @@ impl<'q, 'd> Session<'q, 'd> {
 
     /// One answer, with non-determinism resolved by `oracle`.
     pub fn run_with(self, oracle: &mut dyn TidOracle) -> CoreResult<EvalResult> {
-        self.query.eval_inner(self.db, oracle, &self.options)
+        self.try_run_with(oracle).map_err(EvalError::into_core)
+    }
+
+    /// Like [`Session::run`], but limit trips and cancellations return the
+    /// structured [`EvalError`], which carries the partial output computed
+    /// up to the last completed round barrier.
+    pub fn try_run(self) -> Result<EvalResult, EvalError> {
+        self.try_run_with(&mut CanonicalOracle)
+    }
+
+    /// Like [`Session::run_with`], with the structured [`EvalError`].
+    pub fn try_run_with(self, oracle: &mut dyn TidOracle) -> Result<EvalResult, EvalError> {
+        self.query
+            .eval_inner(self.db, oracle, &self.options, self.cancel.as_ref())
     }
 
     /// Every answer of the query, bounded by the options' budget.
@@ -129,21 +165,54 @@ impl<'q, 'd> Session<'q, 'd> {
     /// and [`EvalOptions::det_fastpath`] is on (the default), the answer
     /// set is computed by a single canonical evaluation — no ID-function
     /// enumeration, always complete, `models_explored() == 1`.
+    /// Limit trips and cancellations are reported through
+    /// [`AnswerSet::stopped`], not as errors: the walk is bounded by design,
+    /// so a stop truncates the set the same way the model budget does.
     pub fn all_answers(self) -> CoreResult<AnswerSet> {
         let query = self.query;
         if let Some(answers) = query.edb_answer(self.db) {
             return Ok(answers);
         }
         if self.options.det_fastpath && query.deterministic {
-            let result = query.eval_inner(self.db, &mut CanonicalOracle, &self.options)?;
-            return Ok(AnswerSet::collect(
-                [result.relation],
-                true,
-                1,
-                query.program.interner(),
-            ));
+            // A stop mid-evaluation yields no complete perfect model, so the
+            // partial relation is *not* an answer — report an empty,
+            // stopped set instead.
+            return match query.eval_inner(
+                self.db,
+                &mut CanonicalOracle,
+                &self.options,
+                self.cancel.as_ref(),
+            ) {
+                Ok(result) => Ok(AnswerSet::collect(
+                    [result.relation],
+                    true,
+                    1,
+                    query.program.interner(),
+                )),
+                Err(e @ (EvalError::Limit { .. } | EvalError::Cancelled { .. })) => {
+                    let stop = match e.into_core() {
+                        CoreError::LimitExceeded { limit } => {
+                            crate::govern::StopReason::Limit(limit)
+                        }
+                        _ => crate::govern::StopReason::Cancelled,
+                    };
+                    Ok(AnswerSet::collect_stopped(
+                        [],
+                        Some(stop),
+                        0,
+                        query.program.interner(),
+                    ))
+                }
+                Err(e) => Err(e.into_core()),
+            };
         }
-        enumerate_with_options(&query.related, self.db, &query.output, &self.options)
+        enumerate_governed(
+            &query.related,
+            self.db,
+            &query.output,
+            &self.options,
+            self.cancel.as_ref(),
+        )
     }
 }
 
@@ -228,6 +297,7 @@ impl Query {
             query: self,
             db,
             options: EvalOptions::default(),
+            cancel: None,
         }
     }
 
@@ -235,8 +305,9 @@ impl Query {
     /// `oracle`.
     #[deprecated(since = "0.2.0", note = "use Query::session(db).run_with(oracle)")]
     pub fn eval(&self, db: &Database, oracle: &mut dyn TidOracle) -> CoreResult<Relation> {
-        self.eval_inner(db, oracle, &EvalOptions::default())
+        self.eval_inner(db, oracle, &EvalOptions::default(), None)
             .map(|r| r.relation)
+            .map_err(EvalError::into_core)
     }
 
     /// Like `eval`, also returning evaluation statistics.
@@ -246,8 +317,9 @@ impl Query {
         db: &Database,
         oracle: &mut dyn TidOracle,
     ) -> CoreResult<(Relation, EvalStats)> {
-        self.eval_inner(db, oracle, &EvalOptions::default())
+        self.eval_inner(db, oracle, &EvalOptions::default(), None)
             .map(|r| (r.relation, r.stats))
+            .map_err(EvalError::into_core)
     }
 
     /// Like `eval_with_stats` with an explicit `EvalConfig` (thread count).
@@ -262,8 +334,9 @@ impl Query {
         oracle: &mut dyn TidOracle,
         config: &crate::config::EvalConfig,
     ) -> CoreResult<(Relation, EvalStats)> {
-        self.eval_inner(db, oracle, &config.to_options())
+        self.eval_inner(db, oracle, &config.to_options(), None)
             .map(|r| (r.relation, r.stats))
+            .map_err(EvalError::into_core)
     }
 
     /// Every answer of the query (bounded by `budget`).
@@ -308,14 +381,15 @@ impl Query {
             .all_answers()
     }
 
-    /// The shared implementation behind [`Session::run_with`] and the
+    /// The shared implementation behind [`Session::try_run_with`] and the
     /// deprecated `eval*` entry points.
     fn eval_inner(
         &self,
         db: &Database,
         oracle: &mut dyn TidOracle,
         options: &EvalOptions,
-    ) -> CoreResult<EvalResult> {
+        cancel: Option<&CancelToken>,
+    ) -> Result<EvalResult, EvalError> {
         // An output with no defining clause is an input predicate: the
         // identity query over the stored relation.
         let output_id = self
@@ -335,7 +409,7 @@ impl Query {
                 profile: options.profile.then(Profile::empty),
             });
         }
-        let mut out = evaluate_with_options(&self.related, db, oracle, options)?;
+        let mut out = evaluate_governed(&self.related, db, oracle, options, cancel)?;
         let rel = out
             .relation(&self.output)
             .cloned()
@@ -511,6 +585,87 @@ mod tests {
         let all_new = q.session(&db).all_answers().unwrap();
         let all_old = q.all_answers(&db, &budget).unwrap();
         assert_eq!(all_new.len(), all_old.len());
+    }
+
+    #[test]
+    fn try_run_surfaces_limit_with_partial_output() {
+        let q = Query::parse("count(0). count(M) :- count(N), plus(N, 1, M).", "count").unwrap();
+        let db = q.new_database();
+        let err = q
+            .session(&db)
+            .limits(Limits {
+                max_rounds: Some(5),
+                ..Limits::none()
+            })
+            .try_run()
+            .unwrap_err();
+        match &err {
+            EvalError::Limit { limit, partial } => {
+                assert_eq!(*limit, crate::govern::LimitKind::Rounds);
+                let rel = partial.relation("count").expect("partial carries output");
+                assert!(!rel.is_empty(), "partial output should hold derived facts");
+            }
+            other => panic!("expected Limit, got {other:?}"),
+        }
+        // The legacy surface flattens the same failure.
+        let core = q
+            .session(&db)
+            .limits(Limits {
+                max_rounds: Some(5),
+                ..Limits::none()
+            })
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            core,
+            CoreError::LimitExceeded {
+                limit: crate::govern::LimitKind::Rounds
+            }
+        );
+    }
+
+    #[test]
+    fn cancelled_session_reports_cancellation() {
+        let q = Query::parse("out(X) :- base(X).", "out").unwrap();
+        let mut db = q.new_database();
+        db.insert_syms("base", &["a"]).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = q.session(&db).cancel_token(token.clone()).try_run();
+        assert!(matches!(err, Err(EvalError::Cancelled { .. })));
+        // Reset and the same session setup succeeds.
+        token.reset();
+        let ok = q.session(&db).cancel_token(token).try_run().unwrap();
+        assert_eq!(ok.relation.len(), 1);
+    }
+
+    #[test]
+    fn all_answers_reports_stop_reason() {
+        let q = Query::parse("pick(N) :- emp[2](N, D, 0).", "pick").unwrap();
+        let mut db = q.new_database();
+        db.insert_syms("emp", &["a", "x"]).unwrap();
+        db.insert_syms("emp", &["b", "x"]).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let all = q.session(&db).cancel_token(token).all_answers().unwrap();
+        assert!(!all.complete());
+        assert_eq!(all.stopped(), Some(crate::govern::StopReason::Cancelled));
+    }
+
+    #[test]
+    fn det_fastpath_stop_yields_empty_stopped_set() {
+        // Certified-deterministic query + cancelled token: the canonical
+        // evaluation cannot finish, so no perfect model exists yet — the
+        // answer set is empty and names the stop.
+        let q = Query::parse("all_depts(D) :- emp[2](N, D, 0).", "all_depts").unwrap();
+        assert!(q.certified_deterministic());
+        let mut db = q.new_database();
+        db.insert_syms("emp", &["a", "x"]).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let all = q.session(&db).cancel_token(token).all_answers().unwrap();
+        assert!(all.is_empty());
+        assert_eq!(all.stopped(), Some(crate::govern::StopReason::Cancelled));
     }
 
     #[test]

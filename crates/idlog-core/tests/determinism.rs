@@ -145,11 +145,15 @@ fn seeded_oracle_is_call_order_independent() {
     let a_second = o2.assign(sym_a, &[0], a, &interner);
 
     assert!(
-        make_id_relation(a, &a_first).set_eq(&make_id_relation(a, &a_second)),
+        make_id_relation(a, &a_first)
+            .unwrap()
+            .set_eq(&make_id_relation(a, &a_second).unwrap()),
         "assignment for `a` depends on consultation order"
     );
     assert!(
-        make_id_relation(b, &b_first).set_eq(&make_id_relation(b, &b_second)),
+        make_id_relation(b, &b_first)
+            .unwrap()
+            .set_eq(&make_id_relation(b, &b_second).unwrap()),
         "assignment for `b` depends on consultation order"
     );
 }
@@ -314,4 +318,40 @@ fn profiling_does_not_change_results() {
     .unwrap();
     assert!(plain.profile().is_none());
     assert_same_output(&plain, &profiled, &["tc"], "profiling on vs off");
+}
+
+/// A program whose round-0 delta is ~300 tuples per rule — enough to cross
+/// the parallel-round threshold and shard — and whose `plus` instances
+/// overflow for some pairs. The overflow error itself must be
+/// deterministic: parallel rounds report the first failing work item in
+/// work-item order, so every thread count sees the serial path's error.
+fn overflow_fixture() -> (idlog_core::Query, Database) {
+    let src = "sum(M) :- a(X), b(Y), plus(X, Y, M).\n\
+               sum(M) :- b(Y), a(X), plus(X, Y, M).";
+    let q = idlog_core::Query::parse(src, "sum").unwrap();
+    let mut db = q.new_database();
+    let mut facts = String::from("b(9223372036854775707).\n");
+    for i in 0..300 {
+        facts.push_str(&format!("a({i}).\n"));
+    }
+    idlog_core::load_facts(&facts, &mut db).unwrap();
+    (q, db)
+}
+
+#[test]
+fn builtin_overflow_error_is_identical_across_thread_counts() {
+    let (q, db) = overflow_fixture();
+    let serial = q.session(&db).threads(1).run().unwrap_err();
+    assert_eq!(
+        serial,
+        idlog_core::CoreError::Eval {
+            message: "arithmetic overflow".into()
+        }
+    );
+    for threads in [2usize, 8] {
+        let par = q.session(&db).threads(threads).run().unwrap_err();
+        assert_eq!(serial, par, "overflow error differs at {threads} threads");
+    }
+    // Run-to-run too.
+    assert_eq!(serial, q.session(&db).threads(8).run().unwrap_err());
 }

@@ -300,3 +300,35 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Builtin failures are part of the determinism contract: whether a
+    /// random arithmetic program overflows — and the exact error it
+    /// overflows with — is identical at 1, 2, and 8 threads, and matches
+    /// run-to-run.
+    #[test]
+    fn overflow_outcome_is_thread_count_invariant(
+        offsets in proptest::collection::vec(0i64..200, 1..40),
+        near_max in (i64::MAX - 150)..i64::MAX,
+    ) {
+        let q = Query::parse("sum(M) :- a(X), b(Y), plus(X, Y, M).", "sum").unwrap();
+        let mut db = q.new_database();
+        let mut facts = format!("b({near_max}).\n");
+        for off in &offsets {
+            facts.push_str(&format!("a({off}).\n"));
+        }
+        idlog_core::load_facts(&facts, &mut db).unwrap();
+        let serial = q.session(&db).threads(1).run();
+        for threads in [2usize, 8] {
+            let par = q.session(&db).threads(threads).run();
+            match (&serial, &par) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert!(a.relation.set_eq(&b.relation), "{threads} threads");
+                    prop_assert_eq!(a.stats, b.stats, "{} threads", threads);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b, "{} threads", threads),
+                _ => prop_assert!(false, "Ok/Err disagreement at {threads} threads"),
+            }
+        }
+    }
+}

@@ -16,7 +16,7 @@ use rand::{Rng, SeedableRng};
 use idlog_common::Interner;
 use idlog_core::{
     analyze_taint, enumerate_with_options, evaluate_with_options, CanonicalOracle, CoreResult,
-    EnumBudget, EvalOptions, ValidatedProgram,
+    EnumBudget, EvalOptions, Limits, ValidatedProgram,
 };
 use idlog_parser::Program;
 use idlog_storage::Database;
@@ -51,8 +51,19 @@ pub fn q_equivalent_on(
     let both_certified = interner.get(output).is_some_and(|out| {
         analyze_taint(v1.ast()).deterministic(out) && analyze_taint(v2.ast()).deterministic(out)
     });
+    // Termination of the probed programs is undecidable (Theorem 3), and
+    // this routine runs inside lints and optimizer suggestions that must
+    // never hang. The test databases hold a handful of constants, so any
+    // honest fixpoint finishes in a few rounds; a diverging candidate trips
+    // these ceilings and surfaces as `CoreError::LimitExceeded`, which
+    // callers treat as "no verdict".
+    let probe_limits = Limits {
+        max_rounds: Some(10_000),
+        max_tuples: Some(1_000_000),
+        ..Limits::none()
+    };
     for (i, db) in dbs.iter().enumerate() {
-        let opts = EvalOptions::serial().budget(*budget);
+        let opts = EvalOptions::serial().budget(*budget).limits(probe_limits);
         let differs = if both_certified {
             let r1 = evaluate_with_options(&v1, db, &mut CanonicalOracle, &opts)?;
             let r2 = evaluate_with_options(&v2, db, &mut CanonicalOracle, &opts)?;
@@ -66,6 +77,19 @@ pub fn q_equivalent_on(
         } else {
             let a1 = enumerate_with_options(&v1, db, output, &opts)?;
             let a2 = enumerate_with_options(&v2, db, output, &opts)?;
+            // A walk cut short by the probe ceilings (as opposed to the
+            // caller's model/answer budget) compared two truncated sets;
+            // no verdict can be drawn from that, so surface the trip.
+            for set in [&a1, &a2] {
+                if let Some(idlog_core::StopReason::Limit(kind)) = set.stopped() {
+                    if !matches!(
+                        kind,
+                        idlog_core::LimitKind::Models | idlog_core::LimitKind::Answers
+                    ) {
+                        return Err(idlog_core::CoreError::LimitExceeded { limit: kind });
+                    }
+                }
+            }
             !a1.same_answers(&a2, interner)
         };
         if differs {

@@ -9,7 +9,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use idlog_common::{FxHashMap, Interner, Tuple, Value};
+use idlog_common::{CommonError, CommonResult, FxHashMap, Interner, Tuple, Value};
 
 use crate::group::{group_by, Grouping};
 use crate::relation::Relation;
@@ -121,13 +121,22 @@ impl IdAssignment {
 
 /// Materialize the ID-relation of `rel` under `assignment`: each tuple is
 /// extended with its tid as a trailing `i`-sorted column.
-pub fn make_id_relation(rel: &Relation, assignment: &IdAssignment) -> Relation {
+///
+/// Errors if the assignment does not cover every tuple of `rel` — a buggy
+/// oracle must surface as a clean error, not take down the evaluation.
+pub fn make_id_relation(rel: &Relation, assignment: &IdAssignment) -> CommonResult<Relation> {
     let mut out = Relation::new(rel.rtype().id_version());
     for t in rel.iter() {
-        let tid = assignment.tid(t).expect("assignment covers base relation");
+        let tid = assignment.tid(t).ok_or_else(|| CommonError::Invariant {
+            detail: format!(
+                "ID-assignment covers {} tuple(s) but misses one of the base relation's {}",
+                assignment.len(),
+                rel.len()
+            ),
+        })?;
         out.insert_unchecked(t.with_appended(Value::Int(tid)));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -182,7 +191,7 @@ mod tests {
         let i = Interner::new();
         let r = example1_relation(&i);
         let a = IdAssignment::canonical(&r, &[0], &i);
-        let idr = make_id_relation(&r, &a);
+        let idr = make_id_relation(&r, &a).unwrap();
         assert_eq!(idr.rtype().to_string(), "001");
         assert_eq!(idr.len(), r.len());
     }
@@ -207,6 +216,19 @@ mod tests {
         assert_eq!(tid_of(&i, &a, "a", "c"), 1);
         assert_eq!(tid_of(&i, &a, "a", "d"), 0);
         assert_eq!(tid_of(&i, &a, "b", "c"), 0);
+    }
+
+    #[test]
+    fn incomplete_assignment_is_an_error_not_a_panic() {
+        let i = Interner::new();
+        let r = example1_relation(&i);
+        let a = IdAssignment::canonical(&r, &[0], &i);
+        let mut bigger = r.clone();
+        bigger
+            .insert(vec![Value::Sym(i.intern("x")), Value::Sym(i.intern("y"))].into())
+            .unwrap();
+        let err = make_id_relation(&bigger, &a).unwrap_err();
+        assert!(err.to_string().contains("invariant"), "{err}");
     }
 
     #[test]

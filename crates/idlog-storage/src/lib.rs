@@ -11,6 +11,9 @@
 //! given a choice, and [`enumerate`] iterates over all of them.
 
 #![warn(missing_docs)]
+// Storage faults must surface as errors, never panics: a panicking store
+// would unwind through the engine's worker threads. Tests may still unwrap.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod database;
 pub mod enumerate;

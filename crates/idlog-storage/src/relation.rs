@@ -96,7 +96,21 @@ impl Relation {
     /// already sort-checked at program validation time.
     pub fn insert_unchecked(&mut self, t: Tuple) -> bool {
         debug_assert!(self.check_tuple(&t).is_ok(), "ill-typed tuple inserted");
+        #[cfg(feature = "failpoints")]
+        if let Err(msg) = idlog_common::failpoint::hit("storage.insert") {
+            panic!("{msg}");
+        }
         self.tuples.insert(t)
+    }
+
+    /// Rough estimate of the heap bytes held by this relation's tuples:
+    /// `len × (tuple header + arity × value size)`, ignoring hash-set
+    /// overhead. Deliberately a pure function of `len` and `arity` so the
+    /// engine's `max_bytes` ceiling trips at the same fixpoint round at any
+    /// thread count.
+    pub fn estimated_bytes(&self) -> u64 {
+        let per_tuple = std::mem::size_of::<Tuple>() + self.arity() * std::mem::size_of::<Value>();
+        (self.len() as u64) * (per_tuple as u64)
     }
 
     /// Membership test.

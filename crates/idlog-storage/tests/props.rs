@@ -133,7 +133,7 @@ proptest! {
     #[test]
     fn id_relation_shape((interner, rel) in arb_relation()) {
         let assignment = IdAssignment::canonical(&rel, &[0], &interner);
-        let idrel = make_id_relation(&rel, &assignment);
+        let idrel = make_id_relation(&rel, &assignment).unwrap();
         prop_assert_eq!(idrel.len(), rel.len());
         prop_assert_eq!(idrel.arity(), rel.arity() + 1);
         for t in idrel.iter() {
