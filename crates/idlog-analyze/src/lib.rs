@@ -26,7 +26,9 @@
 //! are structural errors, `E020`–`E022` sort conflicts (splitting the
 //! retired clause-level `E008`), `W001`–`W005` syntactic warnings,
 //! `W010`/`W011` determinism warnings backed by the ID-taint dataflow in
-//! [`idlog_core::taint`], and `H001` an optimization hint.
+//! [`idlog_core::taint`], `W020`/`W021` termination warnings backed by the
+//! argument-flow analysis in [`idlog_core::termination`], and
+//! `H001`/`H010` optimization and bounded-depth hints.
 
 #![warn(missing_docs)]
 
@@ -37,6 +39,7 @@ pub mod diagnostic;
 pub mod lints;
 pub mod render;
 mod sorts;
+mod termination;
 
 pub use analyzer::{analyze, Analysis, Dialect, Options};
 pub use diagnostic::{Diagnostic, Note, Severity};
@@ -261,7 +264,13 @@ mod tests {
             .iter()
             .filter(|d| d.severity == Severity::Hint)
             .collect();
-        assert!(hints.iter().all(|d| d.code == "H001"), "{:?}", codes(&b));
+        // H010 (bounded depth) also fires: the program is nonrecursive.
+        assert!(
+            hints.iter().all(|d| d.code == "H001" || d.code == "H010"),
+            "{:?}",
+            codes(&b)
+        );
+        assert!(codes(&b).contains(&"H001"), "{:?}", codes(&b));
     }
 
     #[test]
@@ -286,6 +295,72 @@ mod tests {
             &opts,
         );
         assert!(a.diagnostics.is_empty(), "{:?}", codes(&a));
+    }
+
+    #[test]
+    fn growing_recursion_draws_w020_with_witness_walk() {
+        let a = run("count(0).
+                     count(M) :- count(N), succ(N, M).
+                     out(N) :- count(N).");
+        let w020 = a.diagnostics.iter().find(|d| d.code == "W020").unwrap();
+        assert!(w020.message.contains("`count`"), "{w020:?}");
+        assert!(w020.message.contains("succ"), "{w020:?}");
+        // Witness walk: at least the expanding edge plus the closing note.
+        assert!(w020.notes.len() >= 2, "{w020:?}");
+        assert!(
+            w020.notes.iter().any(|n| n.message.contains("grows")),
+            "{w020:?}"
+        );
+        assert!(
+            w020.notes
+                .iter()
+                .any(|n| n.message.contains("--allow W020")),
+            "{w020:?}"
+        );
+        // A diverging program is not certified bounded.
+        assert!(!codes(&a).contains(&"H010"), "{:?}", codes(&a));
+    }
+
+    #[test]
+    fn recursive_choice_over_growing_base_draws_w021() {
+        let a = run("n(0).
+                     n(M) :- n(N), plus(N, 1, M).
+                     pick(N) :- n[1](N, T).");
+        let cs = codes(&a);
+        assert!(cs.contains(&"W020"), "{cs:?}");
+        let w021 = a.diagnostics.iter().find(|d| d.code == "W021").unwrap();
+        assert!(w021.message.contains("`n`"), "{w021:?}");
+        assert!(
+            w021.notes
+                .iter()
+                .any(|n| n.message.contains("never completes")),
+            "{w021:?}"
+        );
+    }
+
+    #[test]
+    fn bounded_recursion_earns_h010_certificate() {
+        let a = run("tc(X, Y) :- edge(X, Y).
+                     tc(X, Z) :- tc(X, Y), edge(Y, Z).");
+        let h010 = a.diagnostics.iter().find(|d| d.code == "H010").unwrap();
+        assert!(h010.message.contains("statically bounded"), "{h010:?}");
+        assert!(h010.message.contains("degree <= 2"), "{h010:?}");
+        assert!(
+            h010.notes.iter().any(|n| n.message.contains("1 recursive")),
+            "{h010:?}"
+        );
+        assert!(!codes(&a).contains(&"W020"), "{:?}", codes(&a));
+    }
+
+    #[test]
+    fn termination_lints_respect_error_gate_and_dialect() {
+        // Errors suppress the termination pass entirely.
+        let a = run("count(M) :- count(N), succ(N, M). p(X :- q(X).");
+        assert!(!codes(&a).contains(&"W020"), "{:?}", codes(&a));
+        // Choice dialect is outside the certified fragment: no H010.
+        let b = run("s(N) :- emp(N, D), choice((D), (N)).");
+        assert_eq!(b.dialect, Dialect::Choice);
+        assert!(!codes(&b).contains(&"H010"), "{:?}", codes(&b));
     }
 
     #[test]

@@ -52,7 +52,8 @@ EXPLAIN OPTIONS:
   --facts <file>      load ground facts from a separate file
   --analyze           evaluate the program and annotate each clause with
                       measured counters (EXPLAIN ANALYZE) and report the
-                      determinism certification per predicate
+                      determinism and termination certification per
+                      predicate
   --seed <n>          oracle seed for --analyze (default: canonical)
   --threads <n>       worker threads for --analyze
 
@@ -62,7 +63,8 @@ LINT OPTIONS:
                       (the human summary moves to stderr)
   --allow <CODE>      suppress a diagnostic code (repeatable); e.g.
                       --allow W010 for intentionally non-deterministic
-                      sampling programs
+                      sampling programs, --allow W020 for intentionally
+                      value-generating recursion bounded at run time
 ";
 
 /// Options of `idlog run` (also the payload of [`Command::Run`]).

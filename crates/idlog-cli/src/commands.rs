@@ -82,6 +82,35 @@ pub fn check(program_path: &str) -> Result<(), String> {
             println!("    {name}: possibly non-deterministic (depends on the ID-function)");
         }
     }
+    println!("  termination:");
+    let cert = idlog_core::analyze_termination(program.ast());
+    if cert.bounded() {
+        println!(
+            "    certified bounded: derivation depth polynomial (degree <= {}) in EDB size",
+            cert.degree()
+        );
+    } else if cert.growth_witness().is_some() {
+        println!("    possibly diverging: value growth through arithmetic (see idlog lint, W020)");
+    } else {
+        println!("    not certified (outside the analyzed fragment)");
+    }
+    for name in &derived {
+        let Some(id) = interner.get(name) else {
+            continue;
+        };
+        let kind = cert.recursion_kind(id);
+        if kind != idlog_core::RecursionKind::Nonrecursive {
+            println!(
+                "    {name}: {} recursion{}",
+                kind.as_str(),
+                if cert.pred_bounded(id) {
+                    ""
+                } else {
+                    ", possibly unbounded"
+                }
+            );
+        }
+    }
     println!("  plan:");
     let plan = idlog_core::explain(&program).map_err(|e| e.to_string())?;
     for line in plan.lines() {
@@ -289,6 +318,29 @@ pub fn explain(
             "--   possibly non-deterministic: {}",
             uncertified.join(", ")
         );
+    }
+    // Termination footer: whether the run above was protected by an
+    // automatic round ceiling derived from the certificate.
+    let cert = idlog_core::analyze_termination(program.ast());
+    if cert.bounded() {
+        match cert.round_bound(&db) {
+            Some(bound) => println!(
+                "-- termination: certified bounded; automatic round ceiling {bound} for this database"
+            ),
+            None => println!("-- termination: certified bounded"),
+        }
+    } else if cert.growth_witness().is_some() {
+        let unbounded: Vec<String> = cert
+            .unbounded_predicates()
+            .iter()
+            .map(|&p| interner.resolve(p))
+            .collect();
+        println!(
+            "-- termination: possibly diverging (W020); unbounded: {}",
+            unbounded.join(", ")
+        );
+    } else {
+        println!("-- termination: not certified (outside the analyzed fragment)");
     }
     Ok(())
 }

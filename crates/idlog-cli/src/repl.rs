@@ -96,6 +96,8 @@ const HELP: &str = "\
                      (\":timeout off\" to lift it); Ctrl-C also stops a
                      running query — session state survives either way
   :list              show the current program and fact counts
+  :analyze           determinism and termination certificates for the
+                     accumulated rules (and the round ceiling, if bounded)
   :help              this text
   :quit              leave";
 
@@ -180,9 +182,60 @@ impl Session {
                     Ok(Reply::Text(format!("timeout: {}ms", d.as_millis())))
                 }
             }
+            "analyze" => self.analyze(),
             "all" | "a" => self.query(rest.trim().trim_end_matches('.').trim(), true),
             other => Err(format!("unknown command :{other} (try :help)")),
         }
+    }
+
+    /// `:analyze`: determinism and termination certificates for the
+    /// accumulated rules, against the facts loaded so far.
+    fn analyze(&self) -> Result<Reply, String> {
+        if self.rules.is_empty() {
+            return Ok(Reply::Text("no rules to analyze yet".into()));
+        }
+        let program = ValidatedProgram::parse(&self.rules.join("\n"), Arc::clone(&self.interner))
+            .map_err(|e| e.to_string())?;
+        let taint = idlog_core::analyze_taint(program.ast());
+        let cert = idlog_core::analyze_termination(program.ast());
+        let mut derived: Vec<String> = program
+            .idb()
+            .iter()
+            .map(|&p| self.interner.resolve(p))
+            .collect();
+        derived.sort();
+        let mut text = String::new();
+        for name in &derived {
+            let Some(id) = self.interner.get(name) else {
+                continue;
+            };
+            let det = if taint.deterministic(id) {
+                "deterministic"
+            } else {
+                "possibly non-deterministic"
+            };
+            let kind = cert.recursion_kind(id);
+            text.push_str(&format!("{name}: {det}, {} recursion", kind.as_str()));
+            if !cert.pred_bounded(id) {
+                text.push_str(", possibly unbounded");
+            }
+            text.push('\n');
+        }
+        if cert.bounded() {
+            match cert.round_bound(&self.db) {
+                Some(b) => text.push_str(&format!(
+                    "termination: certified bounded; round ceiling {b} for the current facts"
+                )),
+                None => text.push_str("termination: certified bounded"),
+            }
+        } else if cert.growth_witness().is_some() {
+            text.push_str(
+                "termination: possibly diverging (run `idlog lint` for the W020 witness)",
+            );
+        } else {
+            text.push_str("termination: not certified (outside the analyzed fragment)");
+        }
+        Ok(Reply::Text(text.trim_end().to_string()))
     }
 
     fn add_clause(&mut self, line: &str) -> Result<Reply, String> {
@@ -289,6 +342,31 @@ mod tests {
         assert!(out.contains("2 answer(s)"), "{out}");
         assert!(out.contains("{(a)}"), "{out}");
         assert!(out.contains("{(b)}"), "{out}");
+    }
+
+    #[test]
+    fn analyze_reports_certificates() {
+        let out = drive(
+            "e(a, b).\ne(b, c).\n\
+             tc(X, Y) :- e(X, Y).\n\
+             tc(X, Z) :- tc(X, Y), e(Y, Z).\n\
+             :analyze\n\
+             :quit\n",
+        );
+        assert!(out.contains("tc: deterministic, linear recursion"), "{out}");
+        assert!(out.contains("certified bounded; round ceiling"), "{out}");
+
+        let growing = drive(
+            "n(0).\n\
+             n(M) :- n(N), succ(N, M).\n\
+             :analyze\n\
+             :quit\n",
+        );
+        assert!(growing.contains("possibly unbounded"), "{growing}");
+        assert!(growing.contains("possibly diverging"), "{growing}");
+
+        let empty = drive(":analyze\n:quit\n");
+        assert!(empty.contains("no rules to analyze yet"), "{empty}");
     }
 
     #[test]

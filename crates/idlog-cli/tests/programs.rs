@@ -120,9 +120,19 @@ fn diverge_program_lints_clean_and_trips_limits() {
         &[path("diverge.idl")],
         true,
         false,
-        &["W010".into(), "W011".into()],
+        &["W010".into(), "W011".into(), "W020".into()],
     )
     .unwrap();
+    // Without the W020 allowance the termination pass flags the growth
+    // statically, so the deny-warnings sweep rejects the file.
+    let lint_err = idlog_cli::commands::lint(
+        &[path("diverge.idl")],
+        true,
+        false,
+        &["W010".into(), "W011".into()],
+    )
+    .unwrap_err();
+    assert!(lint_err.contains("warning"), "{lint_err}");
     // And `idlog run` on it under a round ceiling exits via the limit
     // class (exit code 3), carrying the partial result to stdout.
     let mut opts = idlog_cli::RunOpts::new(path("diverge.idl"), "count");

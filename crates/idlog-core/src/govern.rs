@@ -121,6 +121,15 @@ impl Limits {
     pub fn is_unlimited(&self) -> bool {
         *self == Limits::default()
     }
+
+    /// Tighten the round ceiling to at most `bound`, keeping an existing
+    /// smaller one. Used to install a statically certified depth bound
+    /// ([`crate::TerminationCert::round_bound`]) without loosening limits
+    /// the caller already set.
+    pub fn tighten_rounds(mut self, bound: u64) -> Limits {
+        self.max_rounds = Some(self.max_rounds.map_or(bound, |m| m.min(bound)));
+        self
+    }
 }
 
 /// A cloneable cancellation flag. Cloning shares the flag; any clone can

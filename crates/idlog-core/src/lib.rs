@@ -46,6 +46,7 @@ pub mod sorts;
 pub mod stats;
 pub mod stratify;
 pub mod taint;
+pub mod termination;
 pub mod tid;
 pub mod tidbound;
 
@@ -67,6 +68,10 @@ pub use program::ValidatedProgram;
 pub use query::{EvalResult, Query, Session};
 pub use stats::EvalStats;
 pub use taint::{analyze_taint, choice_free_occurrence, TaintAnalysis, TaintStep};
+pub use termination::{
+    analyze_termination, FlowEdge, FlowNode, RecursionKind, SccSummary, TerminationCert,
+    UnboundedIdSite,
+};
 pub use tid::{CanonicalOracle, ExplicitOracle, SeededOracle, TidOracle};
 
 // Re-export the pieces callers need to build inputs and read outputs.

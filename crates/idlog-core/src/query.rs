@@ -56,6 +56,11 @@ pub struct Query {
     /// output ID-function-independent over `related`. Computed once at
     /// construction; lets [`Session::all_answers`] skip enumeration.
     deterministic: bool,
+    /// The termination certificate ([`crate::termination`]) over `related`.
+    /// Computed once at construction; a certified depth bound becomes an
+    /// automatic `max_rounds` ceiling on every evaluation, so even a buggy
+    /// certificate trips deterministically instead of hanging.
+    termination: crate::termination::TerminationCert,
 }
 
 /// The outcome of one [`Session::run`]: the output relation, the
@@ -247,11 +252,13 @@ impl Query {
         };
         let related = program.restrict_to(output_id)?;
         let deterministic = crate::taint::analyze_taint(related.ast()).deterministic(output_id);
+        let termination = crate::termination::analyze_termination(related.ast());
         Ok(Query {
             program,
             related,
             output: output.to_string(),
             deterministic,
+            termination,
         })
     }
 
@@ -264,6 +271,15 @@ impl Query {
     /// [`EvalOptions::det_fastpath`] is off).
     pub fn certified_deterministic(&self) -> bool {
         self.deterministic
+    }
+
+    /// The termination certificate for the related portion `P/q`. When it
+    /// [certifies boundedness](crate::TerminationCert::bounded), every
+    /// session automatically runs under the certified
+    /// [round bound](crate::TerminationCert::round_bound) as a `max_rounds`
+    /// ceiling (tightening, never loosening, caller-set limits).
+    pub fn termination_cert(&self) -> &crate::termination::TerminationCert {
+        &self.termination
     }
 
     /// The output predicate name.
@@ -409,7 +425,14 @@ impl Query {
                 profile: options.profile.then(Profile::empty),
             });
         }
-        let mut out = evaluate_governed(&self.related, db, oracle, options, cancel)?;
+        // Install the certified depth bound as a static round ceiling: a
+        // correct cert never trips it (the bound over-approximates), and a
+        // buggy one trips deterministically instead of hanging.
+        let mut options = *options;
+        if let Some(bound) = self.termination.round_bound(db) {
+            options.limits = options.limits.tighten_rounds(bound);
+        }
+        let mut out = evaluate_governed(&self.related, db, oracle, &options, cancel)?;
         let rel = out
             .relation(&self.output)
             .cloned()
@@ -622,6 +645,46 @@ mod tests {
                 limit: crate::govern::LimitKind::Rounds
             }
         );
+    }
+
+    #[test]
+    fn certified_bound_becomes_automatic_round_ceiling() {
+        let q = Query::parse("tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).", "tc").unwrap();
+        let cert = q.termination_cert();
+        assert!(cert.bounded());
+        let mut db = q.new_database();
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "d")] {
+            db.insert_syms("e", &[a, b]).unwrap();
+        }
+        let bound = cert.round_bound(&db).expect("certified");
+        // The certified ceiling never trips an honest evaluation …
+        let ok = q.session(&db).run().unwrap();
+        assert!(ok.stats.iterations <= bound);
+        // … and tightening keeps a stricter caller limit intact.
+        let err = q
+            .session(&db)
+            .limits(Limits {
+                max_rounds: Some(1),
+                ..Limits::none()
+            })
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EvalError::Limit {
+                limit: crate::govern::LimitKind::Rounds,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn uncertified_query_keeps_no_automatic_ceiling() {
+        let q = Query::parse("count(0). count(M) :- count(N), plus(N, 1, M).", "count").unwrap();
+        assert!(!q.termination_cert().bounded());
+        assert!(q.termination_cert().growth_witness().is_some());
+        let db = q.new_database();
+        assert!(q.termination_cert().round_bound(&db).is_none());
     }
 
     #[test]

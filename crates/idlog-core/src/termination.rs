@@ -1,0 +1,1153 @@
+//! Static termination and boundedness certification.
+//!
+//! The paper's Theorem 3 makes exact termination undecidable, so — like the
+//! ID-taint analysis in [`crate::taint`] — this pass is *sound but
+//! incomplete*: every program it certifies genuinely reaches a fixpoint in a
+//! bounded number of rounds, but some terminating programs stay uncertified.
+//!
+//! The analysis has three layers:
+//!
+//! 1. **Recursion classification.** The predicate dependency graph (from
+//!    [`crate::stratify::dependency_edges`]) is condensed into SCCs and each
+//!    recursive component is classified as linear, nonlinear, or recursive
+//!    through negation / ID-materialization (see [`RecursionKind`]).
+//! 2. **Argument flow.** A graph over `(predicate, column)` nodes records
+//!    how values move between columns, through joins and through builtins.
+//!    Arithmetic over ℕ is the only way IDLOG can *invent* values, so an
+//!    edge is **expanding** when it passes through a builtin output position
+//!    that can exceed every input (`succ`'s successor, `plus`/`times`
+//!    results, `minus`/`div` first arguments). A cycle through an expanding
+//!    edge is the divergence engine of `programs/diverge.idl`: the fixpoint
+//!    derives an ever-larger value forever. Such a cycle is returned as a
+//!    [`FlowEdge`] witness; predicates fed by one are cardinality-unbounded.
+//! 3. **Round bound.** When no expanding cycle exists (and the program is
+//!    choice-free and stratifiable), every derivable value lives in a finite
+//!    pool: database values, program constants, and builtin-generated
+//!    naturals up to a ceiling `V*` obtained by applying each expanding
+//!    builtin occurrence at most once (an acyclic flow graph cannot reuse
+//!    one). [`TerminationCert::round_bound`] turns that pool into a concrete
+//!    per-database ceiling on fixpoint rounds — polynomial in the EDB size —
+//!    which the engine installs as an automatic `max_rounds` limit, so even
+//!    a buggy certificate trips deterministically instead of hanging.
+
+use idlog_common::{FxHashMap, FxHashSet, SymbolId, Value};
+use idlog_parser::{Builtin, Literal, Program, Term};
+use idlog_storage::Database;
+
+use crate::stratify::{dependency_edges, stratify_check, DepEdge};
+
+/// A node of the argument-flow graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FlowNode {
+    /// Column `.1` (0-based) of predicate `.0`.
+    Col(SymbolId, usize),
+    /// The tid source of predicate `.0`: tids enumerate group members, so
+    /// their values are bounded by the base relation's cardinality.
+    Card(SymbolId),
+}
+
+impl FlowNode {
+    /// The predicate this node belongs to.
+    pub fn pred(&self) -> SymbolId {
+        match self {
+            FlowNode::Col(p, _) | FlowNode::Card(p) => *p,
+        }
+    }
+}
+
+/// One edge of the argument-flow graph: a value read from `from` can reach
+/// `to` through clause `clause`. Carries provenance for witness rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowEdge {
+    /// Source node (a body occurrence).
+    pub from: FlowNode,
+    /// Target node (a head column).
+    pub to: FlowNode,
+    /// Index of the inducing clause.
+    pub clause: usize,
+    /// Body literal where the value is read.
+    pub literal: usize,
+    /// Body literal of the builtin that grows the value, when the edge is
+    /// expanding.
+    pub grew_at: Option<usize>,
+    /// The growing builtin, when the edge is expanding.
+    pub op: Option<Builtin>,
+}
+
+impl FlowEdge {
+    /// True when the value can strictly exceed every value read at `from`.
+    pub fn is_expanding(&self) -> bool {
+        self.grew_at.is_some()
+    }
+}
+
+/// How a dependency SCC recurses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecursionKind {
+    /// The component has no cycle (a single predicate without a self-edge).
+    Nonrecursive,
+    /// Every clause of the component reads at most one component predicate.
+    Linear,
+    /// Some clause reads two or more component predicates.
+    Nonlinear,
+    /// A cycle of the component passes through negation (not stratifiable).
+    ThroughNegation,
+    /// A cycle passes through an ID-literal or the clauses use `choice`/`!`
+    /// (recursive choice — ID-relations inside the cycle can never be
+    /// completely materialized).
+    ThroughChoice,
+}
+
+impl RecursionKind {
+    /// Stable lower-case rendering for reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RecursionKind::Nonrecursive => "nonrecursive",
+            RecursionKind::Linear => "linear",
+            RecursionKind::Nonlinear => "nonlinear",
+            RecursionKind::ThroughNegation => "through-negation",
+            RecursionKind::ThroughChoice => "through-choice",
+        }
+    }
+}
+
+/// One SCC of the predicate dependency graph.
+#[derive(Debug, Clone)]
+pub struct SccSummary {
+    /// Member predicates, in interning order.
+    pub preds: Vec<SymbolId>,
+    /// Recursion classification.
+    pub kind: RecursionKind,
+}
+
+/// An ID-literal occurrence whose base predicate is not certified
+/// cardinality-bounded (the W021 lint's raw material).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnboundedIdSite {
+    /// Clause index of the occurrence.
+    pub clause: usize,
+    /// Body literal index of the occurrence.
+    pub literal: usize,
+    /// The base predicate of the ID-literal.
+    pub base: SymbolId,
+}
+
+/// The result of the termination analysis over one program.
+///
+/// Produced by [`analyze_termination`]; cached per [`crate::Query`] and
+/// consumed by the governor wiring and the `idlog-analyze` lints
+/// (W020/W021/H010).
+#[derive(Debug, Clone)]
+pub struct TerminationCert {
+    /// Certified: no expanding flow cycle, choice-free, stratifiable.
+    bounded: bool,
+    /// An expanding flow cycle, when one exists: `witness[0]` is the
+    /// expanding edge, and each edge's `to` is the next edge's `from`,
+    /// closing back at `witness[0].from`.
+    witness: Vec<FlowEdge>,
+    /// Predicates whose cardinality the analysis cannot bound (fed by an
+    /// expanding cycle).
+    unbounded: FxHashSet<SymbolId>,
+    /// Dependency SCCs with their recursion classification.
+    sccs: Vec<SccSummary>,
+    /// ID-literal occurrences over unbounded bases.
+    id_sites: Vec<UnboundedIdSite>,
+    /// Derived predicates with their arities (the tuples the fixpoint can
+    /// insert), in first-definition order.
+    idb: Vec<(SymbolId, usize)>,
+    /// Input predicates (read but never defined), with arities.
+    edb: Vec<(SymbolId, usize)>,
+    /// Largest integer constant in the program (for the value ceiling).
+    max_const: i64,
+    /// Number of distinct constant terms in the program.
+    const_count: u64,
+    /// One entry per body occurrence of a builtin with an expanding output
+    /// position (bounds the depth of acyclic growth chains).
+    expanding_ops: Vec<Builtin>,
+    /// Number of strata when the program stratifies.
+    strata: u64,
+    /// True when the program uses `choice`/`!` or non-IDLOG head forms.
+    foreign: bool,
+    /// Pre-extracted clause shapes for the instantiation products.
+    nonrec_clauses: Vec<ClauseShape>,
+    /// Dependency edges (to find what feeds a recursive component).
+    dep_edges: Vec<DepEdge>,
+}
+
+impl TerminationCert {
+    /// True when the analysis certifies that every fixpoint evaluation of
+    /// the program reaches its fixpoint in finitely many rounds, on every
+    /// database ([`TerminationCert::round_bound`] then yields a concrete
+    /// ceiling). `false` means *unknown*, not divergent — Theorem 3 makes
+    /// the exact property undecidable.
+    pub fn bounded(&self) -> bool {
+        self.bounded
+    }
+
+    /// True when the analysis bounds the cardinality of `pred` (its set of
+    /// derivable tuples is finite on every database). Predicates never fed
+    /// by an expanding cycle — including all EDB inputs — are bounded.
+    pub fn pred_bounded(&self, pred: SymbolId) -> bool {
+        !self.unbounded.contains(&pred)
+    }
+
+    /// The expanding flow cycle proving why no bound exists, if one was
+    /// found: `witness()[0]` is the expanding edge and consecutive edges
+    /// chain `to → from`, closing the cycle.
+    pub fn growth_witness(&self) -> Option<&[FlowEdge]> {
+        if self.witness.is_empty() {
+            None
+        } else {
+            Some(&self.witness)
+        }
+    }
+
+    /// Predicates whose cardinality the analysis cannot bound, in
+    /// interning order.
+    pub fn unbounded_predicates(&self) -> Vec<SymbolId> {
+        let mut v: Vec<SymbolId> = self.unbounded.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The dependency SCCs with their recursion classification, in
+    /// condensation (evaluation) order.
+    pub fn recursion(&self) -> &[SccSummary] {
+        &self.sccs
+    }
+
+    /// The recursion classification of `pred`'s component
+    /// ([`RecursionKind::Nonrecursive`] for unknown predicates).
+    pub fn recursion_kind(&self, pred: SymbolId) -> RecursionKind {
+        self.sccs
+            .iter()
+            .find(|s| s.preds.contains(&pred))
+            .map(|s| s.kind)
+            .unwrap_or(RecursionKind::Nonrecursive)
+    }
+
+    /// ID-literal occurrences whose base predicate is not certified
+    /// cardinality-bounded — materializing such an ID-relation can never
+    /// complete (the W021 lint).
+    pub fn unbounded_id_sites(&self) -> &[UnboundedIdSite] {
+        &self.id_sites
+    }
+
+    /// The maximum arity over derived predicates: the degree of the
+    /// polynomial (in the active-domain size) bounding every derived
+    /// relation's cardinality. `0` for fact-only programs.
+    pub fn degree(&self) -> usize {
+        self.idb.iter().map(|&(_, a)| a).max().unwrap_or(0)
+    }
+
+    /// A concrete ceiling on fixpoint rounds (`EvalStats::iterations`) for
+    /// evaluating the program over `db`, or `None` when the program is not
+    /// certified bounded.
+    ///
+    /// The bound is a deliberate over-approximation: every non-final round
+    /// inserts at least one tuple, so rounds ≤ total derivable tuples +
+    /// one fixpoint-detection round per stratum. Derivable tuples per
+    /// predicate are bounded by `D^arity` where `D` is the size of the
+    /// derivable-value pool (database values, program constants, naturals
+    /// up to the ceiling `V*`, and — for recursive components — the
+    /// cardinalities of the components they read, which also bound tid
+    /// values). All arithmetic saturates; a saturated bound is still sound,
+    /// merely useless as a governor ceiling.
+    pub fn round_bound(&self, db: &Database) -> Option<u64> {
+        if !self.bounded {
+            return None;
+        }
+        // Value ceiling: the largest natural any evaluation can derive.
+        // In a certified (acyclic) flow graph a derivation chain passes
+        // each expanding occurrence at most once, so iterating them all
+        // `len` times dominates every chain.
+        let mut vstar: u64 = self.max_const.max(0) as u64;
+        for rel in db.iter().map(|(_, r)| r) {
+            for t in rel.iter() {
+                for v in t.values() {
+                    if let Value::Int(n) = v {
+                        vstar = vstar.max((*n).max(0) as u64);
+                    }
+                }
+            }
+        }
+        for _ in 0..self.expanding_ops.len() + 1 {
+            for op in &self.expanding_ops {
+                vstar = match op {
+                    Builtin::Succ => vstar.saturating_add(1),
+                    Builtin::Plus | Builtin::Minus => vstar.saturating_add(vstar).max(1),
+                    Builtin::Times | Builtin::Div => vstar.saturating_mul(vstar).max(vstar),
+                    _ => vstar,
+                };
+            }
+        }
+        // Distinct values stored anywhere in the database.
+        let mut pool: FxHashSet<Value> = FxHashSet::default();
+        for (_, rel) in db.iter() {
+            for t in rel.iter() {
+                pool.extend(t.values().iter().copied());
+            }
+        }
+        let base_domain = (pool.len() as u64)
+            .saturating_add(self.const_count)
+            .saturating_add(vstar)
+            .saturating_add(1);
+
+        // Tuple bounds per predicate, over the dependency condensation in
+        // evaluation order: nonrecursive predicates get the sum over their
+        // clauses of instantiation products; recursive components get
+        // `D^arity` over the pool enlarged by everything the component
+        // reads (which also covers tid values: a tid of `q` is below
+        // `q`'s cardinality).
+        let mut tuples: FxHashMap<SymbolId, u64> = FxHashMap::default();
+        for &(p, _) in &self.edb {
+            let n = db.relation_by_id(p).map(|r| r.len() as u64).unwrap_or(0);
+            tuples.insert(p, n);
+        }
+        let arity: FxHashMap<SymbolId, usize> = self
+            .idb
+            .iter()
+            .chain(self.edb.iter())
+            .map(|&(p, a)| (p, a))
+            .collect();
+        for scc in &self.sccs {
+            if scc.kind == RecursionKind::Nonrecursive {
+                let p = scc.preds[0];
+                if tuples.contains_key(&p) {
+                    continue; // EDB input
+                }
+                let mut total: u64 = 0;
+                for clauses in self.clause_products(p, &tuples, vstar) {
+                    total = total.saturating_add(clauses);
+                }
+                tuples.insert(p, total);
+            } else {
+                let mut domain = base_domain;
+                for q in self.feeding(scc) {
+                    domain = domain.saturating_add(tuples.get(&q).copied().unwrap_or(0));
+                }
+                for &p in &scc.preds {
+                    let a = arity.get(&p).copied().unwrap_or(0) as u32;
+                    tuples.insert(p, domain.saturating_pow(a).max(1));
+                }
+            }
+        }
+        let mut total: u64 = 0;
+        for &(p, _) in &self.idb {
+            total = total.saturating_add(tuples.get(&p).copied().unwrap_or(0));
+        }
+        Some(total.saturating_add(self.strata).saturating_add(2))
+    }
+
+    /// Per-clause instantiation products for nonrecursive `p`: for each
+    /// defining clause, the product of body-atom cardinalities, with
+    /// `V*+1` per value-generating builtin.
+    fn clause_products(
+        &self,
+        p: SymbolId,
+        tuples: &FxHashMap<SymbolId, u64>,
+        vstar: u64,
+    ) -> Vec<u64> {
+        let mut out = Vec::new();
+        for clause in &self.nonrec_clauses {
+            if clause.head != p {
+                continue;
+            }
+            let mut product: u64 = 1;
+            for factor in &clause.factors {
+                let f = match factor {
+                    ClauseFactor::Atom(q) => tuples.get(q).copied().unwrap_or(0),
+                    ClauseFactor::Generator => vstar.saturating_add(1),
+                };
+                product = product.saturating_mul(f);
+            }
+            out.push(product);
+        }
+        out
+    }
+
+    /// Predicates outside `scc` that some clause of `scc` reads.
+    fn feeding(&self, scc: &SccSummary) -> Vec<SymbolId> {
+        let mut out: Vec<SymbolId> = self
+            .dep_edges
+            .iter()
+            .filter(|e| scc.preds.contains(&e.to) && !scc.preds.contains(&e.from))
+            .map(|e| e.from)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// A body factor of a nonrecursive clause, for the instantiation product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClauseFactor {
+    /// A positive atom (ordinary or ID) over the given base predicate.
+    Atom(SymbolId),
+    /// A value-generating builtin (anything but `=`/`!=`): at most `V*+1`
+    /// solutions per instantiation of its bound arguments.
+    Generator,
+}
+
+/// Pre-extracted shape of one clause, for the per-database bound.
+#[derive(Debug, Clone)]
+struct ClauseShape {
+    head: SymbolId,
+    factors: Vec<ClauseFactor>,
+}
+
+impl TerminationCert {
+    /// An always-uncertified certificate (used defensively for programs the
+    /// analysis cannot model).
+    fn uncertified(foreign: bool) -> TerminationCert {
+        TerminationCert {
+            bounded: false,
+            witness: Vec::new(),
+            unbounded: FxHashSet::default(),
+            sccs: Vec::new(),
+            id_sites: Vec::new(),
+            idb: Vec::new(),
+            edb: Vec::new(),
+            max_const: 0,
+            const_count: 0,
+            expanding_ops: Vec::new(),
+            strata: 1,
+            foreign,
+            nonrec_clauses: Vec::new(),
+            dep_edges: Vec::new(),
+        }
+    }
+
+    /// True when the program uses constructs outside the analyzed fragment
+    /// (`choice`, `!`, multi-atom or negated heads).
+    pub fn outside_fragment(&self) -> bool {
+        self.foreign
+    }
+}
+
+/// Builtin output positions whose value can strictly exceed every input:
+/// the successor, sums, products, and the reconstructed minuend/dividend.
+fn expanding_output(op: Builtin, pos: usize) -> bool {
+    matches!(
+        (op, pos),
+        (Builtin::Succ, 1)
+            | (Builtin::Plus, 2)
+            | (Builtin::Minus, 0)
+            | (Builtin::Times, 2)
+            | (Builtin::Div, 0)
+    )
+}
+
+/// Builtin argument positions the engine can *bind* from the others (see
+/// `idlog_core::builtins::solve`'s mode table). Comparisons enumerate their
+/// open side; `!=` never binds.
+fn bindable_output(op: Builtin, pos: usize) -> bool {
+    match op {
+        Builtin::Succ | Builtin::Eq => true,
+        Builtin::Plus | Builtin::Minus | Builtin::Times | Builtin::Div => true,
+        Builtin::Lt | Builtin::Le => pos == 0,
+        Builtin::Gt | Builtin::Ge => pos == 1,
+        Builtin::Ne => false,
+    }
+}
+
+/// One source feeding a clause variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Src {
+    node: FlowNode,
+    literal: usize,
+    grew_at: Option<usize>,
+    op: Option<Builtin>,
+}
+
+/// Run the termination analysis over `program`. Works on the surface AST so
+/// the analyzer can run it on programs that fail later validation stages;
+/// anything outside the IDLOG fragment yields an uncertified cert.
+pub fn analyze_termination(program: &Program) -> TerminationCert {
+    let foreign = program.clauses.iter().any(|c| {
+        c.head.len() != 1
+            || c.head.iter().any(|h| h.negated)
+            || c.body
+                .iter()
+                .any(|l| matches!(l, Literal::Choice { .. } | Literal::Cut))
+    });
+    if program.clauses.is_empty() {
+        let mut cert = TerminationCert::uncertified(false);
+        cert.bounded = true;
+        return cert;
+    }
+
+    // --- Program inventory: predicates, arities, constants. ---
+    let mut idb: Vec<(SymbolId, usize)> = Vec::new();
+    let mut all: Vec<(SymbolId, usize)> = Vec::new();
+    let mut consts: FxHashSet<Term> = FxHashSet::default();
+    let mut max_const: i64 = 0;
+    let mut expanding_ops: Vec<Builtin> = Vec::new();
+    let see = |all: &mut Vec<(SymbolId, usize)>, p: SymbolId, a: usize| {
+        if !all.iter().any(|&(q, _)| q == p) {
+            all.push((p, a));
+        }
+    };
+    for clause in &program.clauses {
+        for h in &clause.head {
+            let p = h.atom.pred.base();
+            see(&mut all, p, h.atom.base_arity());
+            if !idb.iter().any(|&(q, _)| q == p) {
+                idb.push((p, h.atom.base_arity()));
+            }
+            for t in &h.atom.terms {
+                note_const(t, &mut consts, &mut max_const);
+            }
+        }
+        for lit in &clause.body {
+            if let Some(a) = lit.atom() {
+                see(&mut all, a.pred.base(), a.base_arity());
+                for t in &a.terms {
+                    note_const(t, &mut consts, &mut max_const);
+                }
+            }
+            if let Literal::Builtin { op, args } = lit {
+                if (0..args.len()).any(|i| expanding_output(*op, i)) {
+                    expanding_ops.push(*op);
+                }
+                for t in args {
+                    note_const(t, &mut consts, &mut max_const);
+                }
+            }
+        }
+    }
+    let edb: Vec<(SymbolId, usize)> = all
+        .iter()
+        .copied()
+        .filter(|&(p, _)| !idb.iter().any(|&(q, _)| q == p))
+        .collect();
+
+    // --- Argument-flow graph. ---
+    let edges = flow_edges(program);
+    let witness = growth_cycle(&edges);
+    let unbounded = unbounded_predicates(&edges, &witness);
+
+    // --- Dependency SCC classification. ---
+    let dep_edges = dependency_edges(program);
+    let sccs = classify_sccs(program, &dep_edges, &idb, &edb);
+
+    // --- ID-sites over unbounded bases. ---
+    let mut id_sites = Vec::new();
+    for (ci, clause) in program.clauses.iter().enumerate() {
+        for (li, lit) in clause.body.iter().enumerate() {
+            if let Some(a) = lit.atom() {
+                if a.pred.is_id_version() && unbounded.contains(&a.pred.base()) {
+                    id_sites.push(UnboundedIdSite {
+                        clause: ci,
+                        literal: li,
+                        base: a.pred.base(),
+                    });
+                }
+            }
+        }
+    }
+
+    let (strata, stratified) = match stratify_check(program) {
+        Ok(s) => (s.count() as u64, true),
+        Err(_) => (1, false),
+    };
+    let bounded = !foreign && stratified && witness.is_empty() && unbounded.is_empty();
+
+    // Clause shapes for the per-database instantiation products.
+    let mut nonrec_clauses = Vec::new();
+    for clause in &program.clauses {
+        let Some(h) = clause.head.first() else {
+            continue;
+        };
+        let mut factors = Vec::new();
+        for lit in &clause.body {
+            match lit {
+                Literal::Pos(a) => factors.push(ClauseFactor::Atom(a.pred.base())),
+                Literal::Builtin { op, .. } if !matches!(op, Builtin::Eq | Builtin::Ne) => {
+                    factors.push(ClauseFactor::Generator)
+                }
+                _ => {}
+            }
+        }
+        nonrec_clauses.push(ClauseShape {
+            head: h.atom.pred.base(),
+            factors,
+        });
+    }
+
+    TerminationCert {
+        bounded,
+        witness,
+        unbounded,
+        sccs,
+        id_sites,
+        idb,
+        edb,
+        max_const,
+        const_count: consts.len() as u64,
+        expanding_ops,
+        strata,
+        foreign,
+        nonrec_clauses,
+        dep_edges,
+    }
+}
+
+fn note_const(t: &Term, consts: &mut FxHashSet<Term>, max_const: &mut i64) {
+    match t {
+        Term::Int(n) => {
+            *max_const = (*max_const).max(*n);
+            consts.insert(t.clone());
+        }
+        Term::Sym(_) => {
+            consts.insert(t.clone());
+        }
+        Term::Var(_) => {}
+    }
+}
+
+/// Build the argument-flow edges of `program`.
+///
+/// Per clause: a variable bound by any positive atom takes only its atom
+/// sources (the join *restricts* its range, so builtin-derived bindings for
+/// the same variable cannot widen it — this is what keeps `parity.idl`'s
+/// `succ(T, T2), has(T2)` certified). Variables bound only by builtins
+/// inherit the sources of the builtin's other arguments, marked expanding
+/// when the output position can exceed its inputs.
+fn flow_edges(program: &Program) -> Vec<FlowEdge> {
+    let mut edges = Vec::new();
+    for (ci, clause) in program.clauses.iter().enumerate() {
+        let mut sources: FxHashMap<&str, Vec<Src>> = FxHashMap::default();
+        // Pass 1: positive atom bindings.
+        for (li, lit) in clause.body.iter().enumerate() {
+            let Literal::Pos(a) = lit else { continue };
+            let base = a.pred.base();
+            let id = a.pred.is_id_version();
+            let tid_pos = a.terms.len().saturating_sub(1);
+            for (j, t) in a.terms.iter().enumerate() {
+                let Term::Var(v) = t else { continue };
+                let node = if id && j == tid_pos {
+                    FlowNode::Card(base)
+                } else {
+                    FlowNode::Col(base, j)
+                };
+                sources.entry(v.as_str()).or_default().push(Src {
+                    node,
+                    literal: li,
+                    grew_at: None,
+                    op: None,
+                });
+            }
+        }
+        let atom_bound: FxHashSet<&str> = sources.keys().copied().collect();
+        // Pass 2: builtin-derived bindings, to fixpoint (chains like
+        // `succ(A, B), succ(B, C)` need two passes).
+        loop {
+            let mut changed = false;
+            for (li, lit) in clause.body.iter().enumerate() {
+                let Literal::Builtin { op, args } = lit else {
+                    continue;
+                };
+                for (tp, t) in args.iter().enumerate() {
+                    let Term::Var(tv) = t else { continue };
+                    if atom_bound.contains(tv.as_str()) || !bindable_output(*op, tp) {
+                        continue;
+                    }
+                    let expanding = expanding_output(*op, tp);
+                    let mut derived: Vec<Src> = Vec::new();
+                    for (i, other) in args.iter().enumerate() {
+                        if i == tp {
+                            continue;
+                        }
+                        let Term::Var(ov) = other else { continue };
+                        if ov == tv {
+                            continue;
+                        }
+                        for src in sources.get(ov.as_str()).cloned().unwrap_or_default() {
+                            derived.push(Src {
+                                node: src.node,
+                                literal: src.literal,
+                                grew_at: if expanding { Some(li) } else { src.grew_at },
+                                op: if expanding { Some(*op) } else { src.op },
+                            });
+                        }
+                    }
+                    let entry = sources.entry(tv.as_str()).or_default();
+                    for src in derived {
+                        let key = (src.node, src.grew_at.is_some());
+                        if !entry.iter().any(|s| (s.node, s.grew_at.is_some()) == key) {
+                            entry.push(src);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Pass 3: edges into head columns.
+        for h in &clause.head {
+            let hp = h.atom.pred.base();
+            for (k, t) in h.atom.terms.iter().enumerate() {
+                let Term::Var(v) = t else { continue };
+                for src in sources.get(v.as_str()).into_iter().flatten() {
+                    edges.push(FlowEdge {
+                        from: src.node,
+                        to: FlowNode::Col(hp, k),
+                        clause: ci,
+                        literal: src.literal,
+                        grew_at: src.grew_at,
+                        op: src.op,
+                    });
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Find an expanding edge lying on a cycle, and return the cycle:
+/// `[expanding edge, path back to its source…]` (mirrors
+/// `stratify::find_cycle`). Empty when the flow graph has no growing cycle.
+fn growth_cycle(edges: &[FlowEdge]) -> Vec<FlowEdge> {
+    let mut adj: FxHashMap<FlowNode, Vec<&FlowEdge>> = FxHashMap::default();
+    for e in edges {
+        adj.entry(e.from).or_default().push(e);
+    }
+    for e in edges.iter().filter(|e| e.is_expanding()) {
+        if e.from == e.to {
+            return vec![*e];
+        }
+        let mut stack = vec![e.to];
+        let mut visited: FxHashSet<FlowNode> = FxHashSet::default();
+        let mut parent: FxHashMap<FlowNode, FlowEdge> = FxHashMap::default();
+        visited.insert(e.to);
+        while let Some(u) = stack.pop() {
+            if u == e.from {
+                let mut path = Vec::new();
+                let mut at = u;
+                while at != e.to {
+                    let pe = parent[&at];
+                    path.push(pe);
+                    at = pe.from;
+                }
+                path.push(*e);
+                path.reverse();
+                return path;
+            }
+            for &edge in adj.get(&u).into_iter().flatten() {
+                if visited.insert(edge.to) {
+                    parent.insert(edge.to, *edge);
+                    stack.push(edge.to);
+                }
+            }
+        }
+    }
+    Vec::new()
+}
+
+/// Predicates whose cardinality cannot be bounded: everything reachable
+/// (forward) from a node of an expanding cycle.
+fn unbounded_predicates(edges: &[FlowEdge], witness: &[FlowEdge]) -> FxHashSet<SymbolId> {
+    let mut out = FxHashSet::default();
+    if witness.is_empty() {
+        return out;
+    }
+    let mut adj: FxHashMap<FlowNode, Vec<FlowNode>> = FxHashMap::default();
+    for e in edges {
+        adj.entry(e.from).or_default().push(e.to);
+    }
+    // Seed from every expanding edge that closes a cycle, not just the
+    // first witness: independent growth engines all poison their sinks.
+    let mut seeds: Vec<FlowNode> = Vec::new();
+    for e in edges.iter().filter(|e| e.is_expanding()) {
+        if e.from == e.to || reaches(&adj, e.to, e.from) {
+            seeds.push(e.to);
+        }
+    }
+    let mut visited: FxHashSet<FlowNode> = seeds.iter().copied().collect();
+    let mut stack = seeds;
+    while let Some(u) = stack.pop() {
+        if let FlowNode::Col(p, _) = u {
+            out.insert(p);
+        }
+        for &v in adj.get(&u).into_iter().flatten() {
+            if visited.insert(v) {
+                stack.push(v);
+            }
+        }
+    }
+    out
+}
+
+fn reaches(adj: &FxHashMap<FlowNode, Vec<FlowNode>>, from: FlowNode, to: FlowNode) -> bool {
+    let mut visited: FxHashSet<FlowNode> = FxHashSet::default();
+    let mut stack = vec![from];
+    visited.insert(from);
+    while let Some(u) = stack.pop() {
+        if u == to {
+            return true;
+        }
+        for &v in adj.get(&u).into_iter().flatten() {
+            if visited.insert(v) {
+                stack.push(v);
+            }
+        }
+    }
+    false
+}
+
+/// Tarjan condensation of the dependency graph, in evaluation (reverse
+/// topological-of-condensation) order, with recursion classification.
+fn classify_sccs(
+    program: &Program,
+    dep_edges: &[DepEdge],
+    idb: &[(SymbolId, usize)],
+    edb: &[(SymbolId, usize)],
+) -> Vec<SccSummary> {
+    let mut preds: Vec<SymbolId> = idb.iter().chain(edb.iter()).map(|&(p, _)| p).collect();
+    preds.sort_unstable();
+    preds.dedup();
+    let index_of: FxHashMap<SymbolId, usize> =
+        preds.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); preds.len()];
+    for e in dep_edges {
+        if let (Some(&f), Some(&t)) = (index_of.get(&e.from), index_of.get(&e.to)) {
+            adj[f].push(t);
+        }
+    }
+    // Tarjan emits components in reverse topological order of the
+    // condensation (every component after its dependents); evaluation
+    // order — dependencies first — is the reverse.
+    let mut sccs = tarjan(&adj);
+    sccs.reverse();
+
+    let mut out = Vec::new();
+    for comp in sccs {
+        let members: FxHashSet<SymbolId> = comp.iter().map(|&i| preds[i]).collect();
+        let self_edge = dep_edges
+            .iter()
+            .any(|e| e.from == e.to && members.contains(&e.from));
+        let recursive = comp.len() > 1 || self_edge;
+        let kind = if !recursive {
+            RecursionKind::Nonrecursive
+        } else {
+            let in_scc = |e: &&DepEdge| members.contains(&e.from) && members.contains(&e.to);
+            let through_neg = dep_edges.iter().filter(in_scc).any(|e| {
+                matches!(
+                    program.clauses[e.clause].body.get(e.literal),
+                    Some(Literal::Neg(_))
+                )
+            });
+            let through_id = dep_edges.iter().filter(in_scc).any(|e| {
+                program.clauses[e.clause]
+                    .body
+                    .get(e.literal)
+                    .and_then(Literal::atom)
+                    .is_some_and(|a| a.pred.is_id_version())
+            });
+            let through_choice = through_id
+                || program.clauses.iter().any(|c| {
+                    c.head.iter().any(|h| members.contains(&h.atom.pred.base()))
+                        && c.body
+                            .iter()
+                            .any(|l| matches!(l, Literal::Choice { .. } | Literal::Cut))
+                });
+            if through_choice {
+                RecursionKind::ThroughChoice
+            } else if through_neg {
+                RecursionKind::ThroughNegation
+            } else {
+                // Linear: every clause of the component reads the component
+                // at most once.
+                let linear = program.clauses.iter().all(|c| {
+                    if !c.head.iter().any(|h| members.contains(&h.atom.pred.base())) {
+                        return true;
+                    }
+                    c.body
+                        .iter()
+                        .filter(|l| {
+                            matches!(l, Literal::Pos(_))
+                                && l.atom().is_some_and(|a| members.contains(&a.pred.base()))
+                        })
+                        .count()
+                        <= 1
+                });
+                if linear {
+                    RecursionKind::Linear
+                } else {
+                    RecursionKind::Nonlinear
+                }
+            }
+        };
+        let mut ps: Vec<SymbolId> = members.into_iter().collect();
+        ps.sort_unstable();
+        out.push(SccSummary { preds: ps, kind });
+    }
+    out
+}
+
+/// Iterative Tarjan SCC; components come out in reverse topological order
+/// of the condensation (callers reverse for evaluation order).
+fn tarjan(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS stack: (node, next child position).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(*ci) {
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(comp);
+                }
+                call.pop();
+                if let Some(&(u, _)) = call.last() {
+                    low[u] = low[u].min(low[v]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use idlog_common::Interner;
+    use idlog_parser::parse_program;
+
+    fn cert(src: &str) -> (TerminationCert, Arc<Interner>) {
+        let interner = Arc::new(Interner::new());
+        let program = parse_program(src, &interner).expect("test program parses");
+        (analyze_termination(&program), interner)
+    }
+
+    #[test]
+    fn diverge_program_gets_growth_witness() {
+        let (c, i) = cert("count(0). count(M) :- count(N), plus(N, 1, M). reached(N) :- count(N).");
+        assert!(!c.bounded());
+        let w = c.growth_witness().expect("witness");
+        assert!(w[0].is_expanding());
+        assert_eq!(w[0].op, Some(Builtin::Plus));
+        // The cycle chains to → from and closes.
+        for pair in w.windows(2) {
+            assert_eq!(pair[0].to, pair[1].from);
+        }
+        assert_eq!(w.last().unwrap().to, w[0].from);
+        let count = i.intern("count");
+        let reached = i.intern("reached");
+        assert!(!c.pred_bounded(count));
+        assert!(!c.pred_bounded(reached), "growth flows into reached");
+        assert!(c.round_bound(&Database::with_interner(i)).is_none());
+    }
+
+    #[test]
+    fn succ_growth_is_caught_too() {
+        let (c, _) = cert("nat(0). nat(M) :- nat(N), succ(N, M).");
+        let w = c.growth_witness().expect("witness");
+        assert_eq!(w[0].op, Some(Builtin::Succ));
+    }
+
+    #[test]
+    fn transitive_closure_is_bounded_linear() {
+        let (c, i) = cert("tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).");
+        assert!(c.bounded());
+        assert!(c.growth_witness().is_none());
+        assert_eq!(c.recursion_kind(i.intern("tc")), RecursionKind::Linear);
+        assert_eq!(c.recursion_kind(i.intern("e")), RecursionKind::Nonrecursive);
+        assert_eq!(c.degree(), 2);
+    }
+
+    #[test]
+    fn nonlinear_recursion_classified() {
+        let (c, i) = cert("tc(X, Y) :- e(X, Y). tc(X, Y) :- tc(X, Z), tc(Z, Y).");
+        assert!(c.bounded());
+        assert_eq!(c.recursion_kind(i.intern("tc")), RecursionKind::Nonlinear);
+    }
+
+    #[test]
+    fn bounded_succ_through_join_is_certified() {
+        // parity.idl's engine: the succ output T2 is also bound by has(T2),
+        // so the join restricts it to existing values — no growth.
+        let (c, _) = cert(
+            "numbered(X, T) :- person[](X, T).
+             has(T) :- numbered(X, T).
+             even_upto(T) :- has(T), T = 0.
+             even_upto(T2) :- odd_upto(T), succ(T, T2), has(T2).
+             odd_upto(T2) :- even_upto(T), succ(T, T2), has(T2).",
+        );
+        assert!(c.bounded(), "witness: {:?}", c.growth_witness());
+    }
+
+    #[test]
+    fn acyclic_arithmetic_is_bounded() {
+        let (c, i) = cert("next(M) :- base(N), succ(N, M).");
+        assert!(c.bounded());
+        let mut db = Database::with_interner(Arc::clone(&i));
+        db.insert("base", idlog_common::Tuple::new(vec![Value::Int(7)]))
+            .unwrap();
+        let b = c.round_bound(&db).expect("bounded");
+        assert!(b >= 2, "at least one derivation round plus fixpoint check");
+    }
+
+    #[test]
+    fn unbounded_id_materialization_has_sites() {
+        let (c, i) = cert(
+            "nat(0). nat(M) :- nat(N), plus(N, 1, M).
+             pick(X) :- nat[](X, 0).",
+        );
+        assert!(!c.bounded());
+        let sites = c.unbounded_id_sites();
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].base, i.intern("nat"));
+        assert_eq!((sites[0].clause, sites[0].literal), (2, 0));
+    }
+
+    #[test]
+    fn recursion_through_negation_classified() {
+        let (c, i) = cert("p(X) :- q(X), not p(X).");
+        assert_eq!(
+            c.recursion_kind(i.intern("p")),
+            RecursionKind::ThroughNegation
+        );
+        assert!(!c.bounded(), "not stratifiable");
+    }
+
+    #[test]
+    fn recursion_through_id_literal_classified_as_choice() {
+        let (c, i) = cert("p(X) :- q(X). p(X) :- p[](X, 0).");
+        assert_eq!(
+            c.recursion_kind(i.intern("p")),
+            RecursionKind::ThroughChoice
+        );
+        assert!(!c.bounded());
+    }
+
+    #[test]
+    fn choice_construct_is_outside_fragment() {
+        let (c, _) = cert("s(N) :- emp(N, D), choice((D), (N)).");
+        assert!(c.outside_fragment());
+        assert!(!c.bounded());
+        assert!(c.growth_witness().is_none(), "unknown, not divergent");
+    }
+
+    #[test]
+    fn round_bound_covers_actual_rounds_tc() {
+        // A 4-node chain: tc needs ~5 rounds; the bound must dominate.
+        let src = "tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).";
+        let interner = Arc::new(Interner::new());
+        let program = parse_program(src, &interner).unwrap();
+        let c = analyze_termination(&program);
+        let mut db = Database::with_interner(Arc::clone(&interner));
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")] {
+            db.insert_syms("e", &[a, b]).unwrap();
+        }
+        let bound = c.round_bound(&db).expect("certified");
+        let vp = crate::ValidatedProgram::parse(src, Arc::clone(&interner)).unwrap();
+        let out = crate::evaluate_with_options(
+            &vp,
+            &db,
+            &mut crate::CanonicalOracle,
+            &crate::EvalOptions::new(),
+        )
+        .unwrap();
+        assert!(
+            out.stats().iterations <= bound,
+            "actual {} > certified {}",
+            out.stats().iterations,
+            bound
+        );
+    }
+
+    #[test]
+    fn chain_bound_accumulates_in_dependency_order() {
+        // Regression: the condensation must be walked dependencies-first,
+        // or downstream predicates see cardinality 0 and the "bound"
+        // undercuts the real round count.
+        let src = "out(X) :- l0(X, Y). l0(X, Y) :- l1(X, Y). l1(X, Y) :- base(X, Y).";
+        let interner = Arc::new(Interner::new());
+        let program = parse_program(src, &interner).unwrap();
+        let c = analyze_termination(&program);
+        let mut db = Database::with_interner(Arc::clone(&interner));
+        db.insert_syms("base", &["a", "b"]).unwrap();
+        db.insert_syms("base", &["b", "c"]).unwrap();
+        let bound = c.round_bound(&db).expect("certified");
+        let vp = crate::ValidatedProgram::parse(src, Arc::clone(&interner)).unwrap();
+        let out = crate::evaluate_with_options(
+            &vp,
+            &db,
+            &mut crate::CanonicalOracle,
+            &crate::EvalOptions::new(),
+        )
+        .unwrap();
+        assert!(out.stats().iterations <= bound, "{bound} too small");
+        assert!(bound >= 2 * 3, "three copies of two tuples dominate");
+    }
+
+    #[test]
+    fn empty_and_fact_only_programs_are_bounded() {
+        let (c, _) = cert("");
+        assert!(c.bounded());
+        let (c, i) = cert("p(a). p(b).");
+        assert!(c.bounded());
+        let b = c.round_bound(&Database::with_interner(i)).unwrap();
+        assert!(b >= 2);
+    }
+
+    #[test]
+    fn enumerative_comparison_is_bounded() {
+        // `T < 2` enumerates 0..2 — bounded by the constant, no growth.
+        let (c, _) = cert("two(N) :- emp[2](E, D, T), T < 2, eqv(T, N).");
+        assert!(c.growth_witness().is_none());
+    }
+
+    #[test]
+    fn growth_through_copy_chain_is_found() {
+        // The growing value takes a detour through a second predicate.
+        let (c, i) = cert(
+            "a(0).
+             b(M) :- a(N), plus(N, 1, M).
+             a(N) :- b(N).",
+        );
+        assert!(!c.bounded());
+        let w = c.growth_witness().expect("witness");
+        assert!(w.len() >= 2, "cycle passes through two predicates: {w:?}");
+        assert!(!c.pred_bounded(i.intern("a")));
+        assert!(!c.pred_bounded(i.intern("b")));
+    }
+}

@@ -1,0 +1,221 @@
+//! Randomized soundness harness for the termination certificate.
+//!
+//! Generates random *choice-free* programs over a small predicate pool with
+//! same-level recursion and arithmetic builtins (`succ`, `plus`, `<`) —
+//! exactly the shapes the argument-flow analysis classifies — then checks:
+//!
+//! 1. a certificate that says *bounded* is honest: the actual semi-naive
+//!    round count never exceeds `round_bound(db)`, at 1, 2, and 8 threads;
+//! 2. the run under the bound is byte-identical across thread counts
+//!    (stats included), so the certificate never perturbs determinism;
+//! 3. a certificate that refuses a bound always carries a growth witness
+//!    (these programs are never evaluated — they may actually diverge).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use idlog_core::{
+    analyze_termination, evaluate_with_options, CanonicalOracle, EvalOptions, Interner, Tuple,
+    ValidatedProgram, Value,
+};
+use idlog_storage::Database;
+
+/// Variable pool; index 4 is reserved for a builtin's fresh output.
+const VARS: [&str; 5] = ["X", "Y", "Z", "W", "V"];
+
+/// Derived predicates `p0..p3`; atom index 4 refers to the input `e`.
+const DERIVED: usize = 4;
+
+fn pred_name(p: usize) -> String {
+    if p == DERIVED {
+        "e".to_string()
+    } else {
+        format!("p{p}")
+    }
+}
+
+/// An optional arithmetic literal in a clause body.
+#[derive(Clone, Copy, Debug)]
+enum BuiltinSpec {
+    /// `succ(A, V)` — grows A by one into the fresh var V.
+    Succ { input: usize },
+    /// `plus(A, A, V)` — doubles A into V.
+    Plus { input: usize },
+    /// `A < B` — a pure test, never a generator.
+    Lt { a: usize, b: usize },
+}
+
+#[derive(Clone, Debug)]
+struct ClauseSpec {
+    head: usize,
+    head_vars: [usize; 2],
+    atoms: Vec<(usize, [usize; 2])>,
+    builtin: Option<BuiltinSpec>,
+}
+
+#[derive(Clone, Debug)]
+struct ProgramSpec {
+    clauses: Vec<ClauseSpec>,
+    facts: Vec<(i64, i64)>,
+}
+
+fn arb_builtin() -> impl Strategy<Value = Option<BuiltinSpec>> {
+    prop_oneof![
+        2 => Just(None),
+        1 => (0usize..4).prop_map(|input| Some(BuiltinSpec::Succ { input })),
+        1 => (0usize..4).prop_map(|input| Some(BuiltinSpec::Plus { input })),
+        1 => (0usize..4, 0usize..4).prop_map(|(a, b)| Some(BuiltinSpec::Lt { a, b })),
+    ]
+}
+
+fn arb_clause() -> impl Strategy<Value = ClauseSpec> {
+    (
+        0usize..4,
+        (0usize..5, 0usize..5),
+        proptest::collection::vec((0usize..=DERIVED, (0usize..4, 0usize..4)), 1..3),
+        arb_builtin(),
+    )
+        .prop_map(|(head, head_vars, atoms, builtin)| ClauseSpec {
+            head,
+            head_vars: [head_vars.0, head_vars.1],
+            atoms: atoms.into_iter().map(|(p, vs)| (p, [vs.0, vs.1])).collect(),
+            builtin,
+        })
+}
+
+fn arb_program() -> impl Strategy<Value = ProgramSpec> {
+    (
+        proptest::collection::vec(arb_clause(), 1..5),
+        proptest::collection::vec((0i64..5, 0i64..5), 1..6),
+    )
+        .prop_map(|(clauses, facts)| ProgramSpec { clauses, facts })
+}
+
+/// Render the spec to source, repairing safety: every variable a builtin
+/// reads, and every head variable, is forced to one bound by a positive
+/// atom — except the builtin's fresh output `V`, which may flow to the
+/// head (that is the growth shape under test).
+fn render(spec: &ProgramSpec) -> String {
+    let mut src = String::new();
+    for c in &spec.clauses {
+        let mut bound: Vec<usize> = c.atoms.iter().flat_map(|(_, vs)| vs.to_vec()).collect();
+        bound.sort_unstable();
+        bound.dedup();
+        let fix = |v: usize| bound[v % bound.len()];
+        let mut parts: Vec<String> = c
+            .atoms
+            .iter()
+            .map(|(p, vs)| format!("{}({}, {})", pred_name(*p), VARS[vs[0]], VARS[vs[1]]))
+            .collect();
+        let mut generated = None;
+        match c.builtin {
+            Some(BuiltinSpec::Succ { input }) => {
+                parts.push(format!("succ({}, V)", VARS[fix(input)]));
+                generated = Some(4);
+            }
+            Some(BuiltinSpec::Plus { input }) => {
+                let a = VARS[fix(input)];
+                parts.push(format!("plus({a}, {a}, V)"));
+                generated = Some(4);
+            }
+            Some(BuiltinSpec::Lt { a, b }) => {
+                parts.push(format!("{} < {}", VARS[fix(a)], VARS[fix(b)]));
+            }
+            None => {}
+        }
+        let head_var = |v: usize| {
+            if v == 4 && generated == Some(4) {
+                VARS[4]
+            } else {
+                VARS[fix(v)]
+            }
+        };
+        src.push_str(&format!(
+            "{}({}, {}) :- {}.\n",
+            pred_name(c.head),
+            head_var(c.head_vars[0]),
+            head_var(c.head_vars[1]),
+            parts.join(", ")
+        ));
+    }
+    src
+}
+
+fn build(spec: &ProgramSpec) -> (ValidatedProgram, Database) {
+    let src = render(spec);
+    let interner = Arc::new(Interner::new());
+    let program = ValidatedProgram::parse(&src, Arc::clone(&interner))
+        .unwrap_or_else(|e| panic!("generated program failed to validate: {e}\n{src}"));
+    let mut db = Database::with_interner(interner);
+    db.declare(
+        "e",
+        idlog_core::RelType::new(vec![idlog_core::Sort::I, idlog_core::Sort::I]),
+    )
+    .unwrap();
+    for &(a, b) in &spec.facts {
+        db.insert("e", Tuple::new(vec![Value::Int(a), Value::Int(b)]))
+            .unwrap();
+    }
+    (program, db)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A bounded certificate over-approximates the real round count, and
+    /// the certified ceiling never perturbs thread-count determinism. An
+    /// unbounded verdict always names a growing cycle.
+    #[test]
+    fn certified_bounds_cover_actual_rounds(spec in arb_program()) {
+        let (program, db) = build(&spec);
+        let cert = analyze_termination(program.ast());
+        if !cert.bounded() {
+            // Positive choice-free programs leave only one refusal reason.
+            prop_assert!(
+                cert.growth_witness().is_some(),
+                "unbounded without witness\n{}",
+                render(&spec)
+            );
+            prop_assert!(cert.round_bound(&db).is_none());
+            return Ok(()); // evaluating could genuinely diverge
+        }
+        let bound = cert.round_bound(&db);
+        prop_assert!(bound.is_some(), "bounded cert without a bound\n{}", render(&spec));
+        let bound = bound.unwrap();
+
+        let mut outs = Vec::new();
+        for threads in [1usize, 2, 8] {
+            // The certified ceiling: honest evaluations must never trip it.
+            let options = EvalOptions::new().threads(threads).max_rounds(bound);
+            let out = evaluate_with_options(&program, &db, &mut CanonicalOracle, &options)
+                .unwrap_or_else(|e| panic!(
+                    "certified program tripped its own bound {bound}: {e}\n{}",
+                    render(&spec)
+                ));
+            prop_assert!(
+                out.stats().iterations <= bound,
+                "rounds {} > certified bound {bound}\n{}",
+                out.stats().iterations,
+                render(&spec)
+            );
+            outs.push(out);
+        }
+        for pair in outs.windows(2) {
+            prop_assert_eq!(
+                pair[0].stats(),
+                pair[1].stats(),
+                "stats differ across thread counts\n{}",
+                render(&spec)
+            );
+            for p in 0..4 {
+                let name = pred_name(p);
+                match (pair[0].relation(&name), pair[1].relation(&name)) {
+                    (Some(a), Some(b)) => prop_assert!(a.set_eq(b), "{name} differs"),
+                    (None, None) => {}
+                    _ => prop_assert!(false, "presence mismatch on {name}"),
+                }
+            }
+        }
+    }
+}

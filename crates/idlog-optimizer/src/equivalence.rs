@@ -15,8 +15,8 @@ use rand::{Rng, SeedableRng};
 
 use idlog_common::Interner;
 use idlog_core::{
-    analyze_taint, enumerate_with_options, evaluate_with_options, CanonicalOracle, CoreResult,
-    EnumBudget, EvalOptions, Limits, ValidatedProgram,
+    analyze_taint, analyze_termination, enumerate_with_options, evaluate_with_options,
+    CanonicalOracle, CoreResult, EnumBudget, EvalOptions, Limits, ValidatedProgram,
 };
 use idlog_parser::Program;
 use idlog_storage::Database;
@@ -53,16 +53,37 @@ pub fn q_equivalent_on(
     });
     // Termination of the probed programs is undecidable (Theorem 3), and
     // this routine runs inside lints and optimizer suggestions that must
-    // never hang. The test databases hold a handful of constants, so any
-    // honest fixpoint finishes in a few rounds; a diverging candidate trips
-    // these ceilings and surfaces as `CoreError::LimitExceeded`, which
-    // callers treat as "no verdict".
-    let probe_limits = Limits {
+    // never hang. Three cases, decided by the static termination cert:
+    // a growth witness on either side means the probe would only ever burn
+    // its ceilings, so skip probing entirely (no verdict); both sides
+    // certified bounded means every fixpoint finishes on its own, so the
+    // probes run without governor ceilings (the certified per-database
+    // round bound stays installed as a backstop against a buggy cert);
+    // otherwise fall back to the legacy blunt ceilings.
+    let t1 = analyze_termination(v1.ast());
+    let t2 = analyze_termination(v2.ast());
+    if t1.growth_witness().is_some() || t2.growth_witness().is_some() {
+        return Err(idlog_core::CoreError::LimitExceeded {
+            limit: idlog_core::LimitKind::Rounds,
+        });
+    }
+    let both_bounded = t1.bounded() && t2.bounded();
+    let legacy_limits = Limits {
         max_rounds: Some(10_000),
         max_tuples: Some(1_000_000),
         ..Limits::none()
     };
     for (i, db) in dbs.iter().enumerate() {
+        let probe_limits = if both_bounded {
+            let bound = t1
+                .round_bound(db)
+                .into_iter()
+                .chain(t2.round_bound(db))
+                .max();
+            bound.map_or_else(Limits::none, |b| Limits::none().tighten_rounds(b))
+        } else {
+            legacy_limits
+        };
         let opts = EvalOptions::serial().budget(*budget).limits(probe_limits);
         let differs = if both_certified {
             let r1 = evaluate_with_options(&v1, db, &mut CanonicalOracle, &opts)?;
@@ -281,6 +302,40 @@ mod tests {
         // exists and p3 is empty everywhere — distinguishable.
         let r = q_equivalent_on(&p1, &p3, &i, &dbs, "q", &budget).unwrap();
         assert!(!r.equivalent, "tid 0 vs unreachable tid 1");
+    }
+
+    #[test]
+    fn diverging_candidate_is_skipped_without_probing() {
+        // A growth witness on either side means no probe can return a
+        // verdict — the check reports the would-be limit trip immediately
+        // instead of burning 10k rounds.
+        let i = Arc::new(Interner::new());
+        let p1 = parse_program("q(X) :- e(X, Y).", &i).unwrap();
+        let p2 =
+            parse_program("q(M) :- e(X, Y), q(N), plus(N, 1, M). q(0) :- e(X, Y).", &i).unwrap();
+        let dbs = random_databases(&i, &[("e", 2)], &["a", "b"], 4, 9);
+        let err = q_equivalent_on(&p1, &p2, &i, &dbs, "q", &EnumBudget::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            idlog_core::CoreError::LimitExceeded {
+                limit: idlog_core::LimitKind::Rounds
+            }
+        ));
+    }
+
+    #[test]
+    fn certified_bounded_programs_probe_without_blunt_ceilings() {
+        // Both sides certify bounded: verdicts must match the legacy path
+        // (covered by the other tests) while running under the certified
+        // round bound only.
+        let i = Arc::new(Interner::new());
+        let p1 = parse_program("q(X) :- e(X, Y).", &i).unwrap();
+        let p2 = parse_program("q(X) :- e(X, Y), e(X, Z).", &i).unwrap();
+        assert!(idlog_core::analyze_termination(&p1).bounded());
+        assert!(idlog_core::analyze_termination(&p2).bounded());
+        let dbs = random_databases(&i, &[("e", 2)], &["a", "b", "c"], 8, 13);
+        let r = q_equivalent_on(&p1, &p2, &i, &dbs, "q", &EnumBudget::default()).unwrap();
+        assert!(r.equivalent, "projections of the same join key agree");
     }
 
     #[test]

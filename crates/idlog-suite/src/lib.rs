@@ -1,1 +1,357 @@
-//! Placeholder module; implementation follows.
+//! Cross-program benchmark suite: run every shipped example under every
+//! {strategy × thread-count} combination and record the engine's own
+//! counters (fixpoint rounds, inserted tuples, wall time).
+//!
+//! The binary (`cargo run -p idlog-suite --release`) writes the sweep as
+//! `BENCH_6.json` at the repository root — schema `idlog-bench/6` — which
+//! CI regenerates and uploads as an artifact on every push. The suite
+//! leans on [`idlog_core::termination`]: programs whose certificate has a
+//! growth witness (the shipped `diverge.idl`) are run under a round
+//! ceiling and recorded as `tripped` instead of hanging the sweep.
+
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use idlog_core::{
+    analyze_termination, CanonicalOracle, CoreError, EvalOptions, Interner, Strategy,
+    TerminationCert, ValidatedProgram,
+};
+use idlog_storage::Database;
+
+/// Round ceiling for programs whose termination certificate carries a
+/// growth witness: enough to measure per-round cost, small enough that the
+/// sweep stays fast.
+pub const GOVERNED_ROUNDS: u64 = 60;
+
+/// The strategies the sweep covers.
+pub const STRATEGIES: [Strategy; 2] = [Strategy::SemiNaive, Strategy::Naive];
+
+/// The thread counts the sweep covers.
+pub const THREADS: [usize; 3] = [1, 2, 4];
+
+/// One program of the corpus, with its sidecar facts file (when one is
+/// shipped for it).
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Program file name (relative to the programs directory).
+    pub program: String,
+    /// Facts file name, when the program has a shipped EDB.
+    pub facts: Option<String>,
+}
+
+/// One measured evaluation.
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// Evaluation strategy used.
+    pub strategy: Strategy,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Semi-naive iterations across all strata.
+    pub rounds: u64,
+    /// Genuinely new facts derived.
+    pub tuples: u64,
+    /// Wall-clock time in milliseconds.
+    pub wall_ms: f64,
+    /// Whether the round ceiling stopped the run (diverging programs).
+    pub tripped: bool,
+}
+
+/// The full record for one corpus program.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// The program and its facts sidecar.
+    pub case: Case,
+    /// Why the program was skipped (choice dialect), if it was.
+    pub skipped: Option<String>,
+    /// Number of EDB facts loaded.
+    pub facts_loaded: usize,
+    /// Whether the termination certificate bounds the program.
+    pub bounded: bool,
+    /// The certified round bound for the loaded database, when bounded.
+    pub round_bound: Option<u64>,
+    /// One entry per {strategy × threads} combination.
+    pub runs: Vec<Run>,
+}
+
+/// The whole sweep.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// Per-program reports, in corpus order.
+    pub cases: Vec<CaseReport>,
+}
+
+/// The shipped facts sidecar for a program stem, mirroring the pairings
+/// the CLI integration tests and the README use.
+fn facts_for(stem: &str) -> Option<&'static str> {
+    match stem {
+        "all_depts" | "dept_sizes" | "sampling" => Some("company.facts"),
+        "coloring" => Some("cycle.facts"),
+        "parity" => Some("people.facts"),
+        _ => None,
+    }
+}
+
+/// Enumerate the corpus: every `*.idl` under `dir`, sorted by name.
+pub fn corpus(dir: &Path) -> std::io::Result<Vec<Case>> {
+    let mut programs: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "idl"))
+        .collect();
+    programs.sort();
+    Ok(programs
+        .into_iter()
+        .map(|p| {
+            let stem = p.file_stem().unwrap_or_default().to_string_lossy();
+            Case {
+                facts: facts_for(&stem).map(str::to_string),
+                program: p
+                    .file_name()
+                    .unwrap_or_default()
+                    .to_string_lossy()
+                    .into_owned(),
+            }
+        })
+        .collect())
+}
+
+/// Is this source in the DATALOG^C dialect (any `choice` literal)? Choice
+/// programs are translated, not evaluated directly, so the sweep skips
+/// them.
+fn is_choice_dialect(src: &str, interner: &Interner) -> bool {
+    let Ok(program) = idlog_parser::parse_program(src, interner) else {
+        return false;
+    };
+    program.clauses.iter().any(|c| {
+        c.body
+            .iter()
+            .any(|l| matches!(l, idlog_parser::Literal::Choice { .. }))
+    })
+}
+
+/// Run one corpus case across every {strategy × threads} combination.
+pub fn run_case(dir: &Path, case: &Case) -> Result<CaseReport, String> {
+    let path = dir.join(&case.program);
+    let src = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", case.program))?;
+    let interner = Arc::new(Interner::new());
+    if is_choice_dialect(&src, &interner) {
+        return Ok(CaseReport {
+            case: case.clone(),
+            skipped: Some("choice dialect (translate first)".into()),
+            facts_loaded: 0,
+            bounded: false,
+            round_bound: None,
+            runs: Vec::new(),
+        });
+    }
+    let program = ValidatedProgram::parse(&src, Arc::clone(&interner))
+        .map_err(|e| format!("{}: {e}", case.program))?;
+    let mut db = Database::with_interner(Arc::clone(&interner));
+    if let Some(facts) = &case.facts {
+        let facts_src =
+            std::fs::read_to_string(dir.join(facts)).map_err(|e| format!("{facts}: {e}"))?;
+        idlog_core::load_facts(&facts_src, &mut db).map_err(|e| format!("{facts}: {e}"))?;
+    }
+    let facts_loaded = db.iter().map(|(_, r)| r.len()).sum();
+    let cert: TerminationCert = analyze_termination(program.ast());
+    let governed = cert.growth_witness().is_some();
+
+    let mut runs = Vec::new();
+    for strategy in STRATEGIES {
+        for threads in THREADS {
+            let mut options = EvalOptions::new().strategy(strategy).threads(threads);
+            if governed {
+                options = options.max_rounds(GOVERNED_ROUNDS);
+            }
+            let mut oracle = CanonicalOracle;
+            let start = Instant::now();
+            let outcome = idlog_core::evaluate_with_options(&program, &db, &mut oracle, &options);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let run = match outcome {
+                Ok(out) => Run {
+                    strategy,
+                    threads,
+                    rounds: out.stats().iterations,
+                    tuples: out.stats().inserted,
+                    wall_ms,
+                    tripped: false,
+                },
+                Err(CoreError::LimitExceeded { .. }) => Run {
+                    strategy,
+                    threads,
+                    rounds: GOVERNED_ROUNDS,
+                    tuples: 0,
+                    wall_ms,
+                    tripped: true,
+                },
+                Err(e) => return Err(format!("{}: {e}", case.program)),
+            };
+            runs.push(run);
+        }
+    }
+    Ok(CaseReport {
+        case: case.clone(),
+        skipped: None,
+        facts_loaded,
+        bounded: cert.bounded(),
+        round_bound: cert.round_bound(&db),
+        runs,
+    })
+}
+
+/// Run the whole corpus under `dir`.
+pub fn run_suite(dir: &Path) -> Result<SuiteReport, String> {
+    let cases = corpus(dir).map_err(|e| e.to_string())?;
+    if cases.is_empty() {
+        return Err(format!("no .idl programs under {}", dir.display()));
+    }
+    let mut reports = Vec::new();
+    for case in &cases {
+        reports.push(run_case(dir, case)?);
+    }
+    Ok(SuiteReport { cases: reports })
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl SuiteReport {
+    /// Render the sweep as schema-tagged JSON (`idlog-bench/6`).
+    pub fn to_json(&self) -> String {
+        let mut cases = Vec::new();
+        for r in &self.cases {
+            let mut fields = vec![format!("\"program\": {}", json_str(&r.case.program))];
+            match &r.case.facts {
+                Some(f) => fields.push(format!("\"facts\": {}", json_str(f))),
+                None => fields.push("\"facts\": null".into()),
+            }
+            if let Some(reason) = &r.skipped {
+                fields.push(format!("\"skipped\": {}", json_str(reason)));
+            } else {
+                fields.push(format!("\"facts_loaded\": {}", r.facts_loaded));
+                fields.push(format!("\"bounded\": {}", r.bounded));
+                match r.round_bound {
+                    Some(b) => fields.push(format!("\"round_bound\": {b}")),
+                    None => fields.push("\"round_bound\": null".into()),
+                }
+                let runs: Vec<String> = r
+                    .runs
+                    .iter()
+                    .map(|run| {
+                        format!(
+                            "{{\"strategy\": {}, \"threads\": {}, \"rounds\": {}, \
+                             \"tuples\": {}, \"wall_ms\": {:.3}, \"tripped\": {}}}",
+                            json_str(match run.strategy {
+                                Strategy::SemiNaive => "semi-naive",
+                                Strategy::Naive => "naive",
+                            }),
+                            run.threads,
+                            run.rounds,
+                            run.tuples,
+                            run.wall_ms,
+                            run.tripped
+                        )
+                    })
+                    .collect();
+                fields.push(format!("\"runs\": [{}]", runs.join(", ")));
+            }
+            cases.push(format!("  {{{}}}", fields.join(", ")));
+        }
+        format!(
+            "{{\n\"schema\": \"idlog-bench/6\",\n\"cases\": [\n{}\n]\n}}\n",
+            cases.join(",\n")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn programs_dir() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../programs")
+    }
+
+    #[test]
+    fn sweep_covers_corpus_and_stays_deterministic() {
+        let report = run_suite(&programs_dir()).unwrap();
+        assert!(report.cases.len() >= 5, "{}", report.cases.len());
+        for case in &report.cases {
+            if case.skipped.is_some() {
+                continue;
+            }
+            // Rounds and tuples are engine counters, promised identical
+            // across thread counts per strategy.
+            for strategy in STRATEGIES {
+                let per: Vec<&Run> = case
+                    .runs
+                    .iter()
+                    .filter(|r| r.strategy == strategy)
+                    .collect();
+                assert_eq!(per.len(), THREADS.len(), "{}", case.case.program);
+                assert!(
+                    per.windows(2)
+                        .all(|w| w[0].rounds == w[1].rounds && w[0].tuples == w[1].tuples),
+                    "{} not thread-deterministic: {:?}",
+                    case.case.program,
+                    per
+                );
+            }
+            // A certified bound is an over-approximation of the real
+            // round count on this very database.
+            if let Some(bound) = case.round_bound {
+                for run in &case.runs {
+                    assert!(
+                        run.rounds <= bound,
+                        "{}: {} rounds > certified bound {bound}",
+                        case.case.program,
+                        run.rounds
+                    );
+                }
+            }
+        }
+        // The shipped diverging program must be governed, not hung.
+        let diverge = report
+            .cases
+            .iter()
+            .find(|c| c.case.program == "diverge.idl")
+            .expect("diverge.idl in corpus");
+        assert!(!diverge.bounded);
+        assert!(diverge.runs.iter().all(|r| r.tripped), "{diverge:?}");
+    }
+
+    #[test]
+    fn json_is_schema_tagged_and_escaped() {
+        let report = SuiteReport {
+            cases: vec![CaseReport {
+                case: Case {
+                    program: "a\"b.idl".into(),
+                    facts: None,
+                },
+                skipped: Some("choice dialect (translate first)".into()),
+                facts_loaded: 0,
+                bounded: false,
+                round_bound: None,
+                runs: Vec::new(),
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"idlog-bench/6\""), "{json}");
+        assert!(json.contains("a\\\"b.idl"), "{json}");
+    }
+}

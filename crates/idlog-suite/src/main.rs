@@ -1,0 +1,44 @@
+//! `idlog-suite`: run the corpus sweep and write `BENCH_6.json` at the
+//! repository root (CI regenerates and uploads it as an artifact).
+
+use std::path::Path;
+
+fn main() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest.join("../..");
+    let programs = root.join("programs");
+    let report = match idlog_suite::run_suite(&programs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("idlog-suite: {e}");
+            std::process::exit(1);
+        }
+    };
+    for case in &report.cases {
+        match &case.skipped {
+            Some(reason) => println!("{:<20} skipped: {reason}", case.case.program),
+            None => {
+                let best = case
+                    .runs
+                    .iter()
+                    .map(|r| r.wall_ms)
+                    .fold(f64::INFINITY, f64::min);
+                let r0 = &case.runs[0];
+                println!(
+                    "{:<20} rounds {:<4} tuples {:<6} best {best:.3}ms bound {}{}",
+                    case.case.program,
+                    r0.rounds,
+                    r0.tuples,
+                    case.round_bound.map_or("-".to_string(), |b| b.to_string()),
+                    if r0.tripped { " (governed trip)" } else { "" }
+                );
+            }
+        }
+    }
+    let out = root.join("BENCH_6.json");
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("idlog-suite: cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", out.display());
+}
