@@ -1,0 +1,99 @@
+//! Before/after check for the index-maintenance fix: the legacy
+//! [`idlog_storage::Index`] clones every tuple into per-key `Vec<Tuple>`
+//! and had to be rebuilt from scratch every semi-naive round, while the
+//! storage backends keep offset-based indexes that absorb each delta batch
+//! incrementally.
+//!
+//! Shape to hold: the incremental path stays ahead of the rebuild path,
+//! and its advantage grows with the number of rounds (rebuild is
+//! quadratic in total tuples, maintenance is linear).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use idlog_common::{Tuple, Value};
+use idlog_core::Interner;
+use idlog_storage::{BackendKind, Index, Relation};
+
+const ROUNDS: usize = 16;
+const DELTA: usize = 256;
+const KEYS: usize = 32;
+
+/// Per-round delta batches of arity-2 symbol tuples, plus the probe keys
+/// (every value of the first column).
+fn fixture(interner: &Arc<Interner>) -> (Vec<Vec<Tuple>>, Vec<Tuple>) {
+    let keys: Vec<Tuple> = (0..KEYS)
+        .map(|k| Tuple::from(vec![Value::Sym(interner.intern(&format!("k{k}")))]))
+        .collect();
+    let deltas: Vec<Vec<Tuple>> = (0..ROUNDS)
+        .map(|r| {
+            (0..DELTA)
+                .map(|i| {
+                    Tuple::from(vec![
+                        Value::Sym(interner.intern(&format!("k{}", i % KEYS))),
+                        Value::Sym(interner.intern(&format!("v{r}_{i}"))),
+                    ])
+                })
+                .collect()
+        })
+        .collect();
+    (deltas, keys)
+}
+
+/// Probing every key after every round touches each stored tuple once per
+/// round: round r (1-based) holds r·DELTA tuples.
+const EXPECTED_HITS: usize = DELTA * ROUNDS * (ROUNDS + 1) / 2;
+
+fn bench_index_maintenance(c: &mut Criterion) {
+    let interner = Arc::new(Interner::new());
+    let (deltas, keys) = fixture(&interner);
+    let mut group = c.benchmark_group("index_maintenance");
+    group.sample_size(10);
+
+    // Before: rebuild a cloning index from the whole relation every round.
+    group.bench_function("legacy_rebuild_per_round", |b| {
+        b.iter(|| {
+            let mut rel = Relation::elementary(2);
+            let mut hits = 0usize;
+            for delta in &deltas {
+                let refs: Vec<&Tuple> = delta.iter().collect();
+                rel.delta_batch_insert(&refs);
+                let idx = Index::build(&rel, &[0]);
+                for key in &keys {
+                    hits += idx.probe(key).len();
+                }
+            }
+            assert_eq!(hits, EXPECTED_HITS);
+            hits
+        })
+    });
+
+    // After: one offset index per backend, maintained from the deltas.
+    for backend in [BackendKind::Hash, BackendKind::Columnar] {
+        group.bench_with_input(
+            BenchmarkId::new("incremental", backend),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    let mut rel = Relation::elementary(2).to_backend(backend);
+                    rel.ensure_index(&[0]);
+                    let mut hits = 0usize;
+                    for delta in &deltas {
+                        let refs: Vec<&Tuple> = delta.iter().collect();
+                        rel.delta_batch_insert(&refs);
+                        for key in &keys {
+                            hits += rel.probe(&[0], key).len();
+                        }
+                    }
+                    assert_eq!(hits, EXPECTED_HITS);
+                    hits
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_maintenance);
+criterion_main!(benches);

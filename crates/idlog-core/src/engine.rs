@@ -1,24 +1,29 @@
 //! Semi-naive bottom-up execution of rule plans.
 //!
 //! [`EvalState`] stores one [`Relation`] per [`PredKey`] (ordinary predicates
-//! and materialized ID-relations) plus a version-checked index cache. A
-//! stratum is evaluated by running every rule once in full, then iterating
-//! delta variants — each positive same-stratum atom step replayed against the
-//! newly derived tuples — until no new facts appear.
+//! and materialized ID-relations). Each relation carries its own pluggable
+//! storage backend ([`idlog_storage::Storage`]): the engine talks to it only
+//! through scan / indexed probe / `delta_batch_insert`, so hash and columnar
+//! relations evaluate through identical code. A stratum is evaluated by
+//! running every rule once in full, then iterating delta variants — each
+//! positive same-stratum atom step replayed against the newly derived tuples
+//! — until no new facts appear.
 //!
 //! Rounds execute shared-nothing parallel: the work list (one item per rule
 //! in round 0; one item per (plan, delta step, delta shard) afterwards) is
 //! built in a deterministic order, fanned out over a [`std::thread::scope`]
-//! pool against the read-only state (indexes are built *before* the round,
-//! so a round is pure reads), and each worker's local `out` sink and local
-//! [`EvalStats`] are merged at the round barrier **in work-item order**.
-//! Delta shards are a function of the delta size only — never of the thread
-//! count — so answer relations and statistics are identical for any
-//! `threads` value.
+//! pool against the read-only state (indexes are readied *before* the round
+//! via [`Relation::ensure_index`], so a round is pure reads), and each
+//! worker's local `out` sink and local [`EvalStats`] are merged at the round
+//! barrier **in work-item order**. Delta shards are a function of the delta
+//! size only — never of the thread count — so answer relations and
+//! statistics are identical for any `threads` value. And because every
+//! engine counter is a function of relation *contents* (never of scan
+//! order), they are identical across backends too.
 
 use idlog_common::{FxHashMap, FxHashSet, SymbolId, Tuple, Value};
 use idlog_parser::Builtin;
-use idlog_storage::{Index, Relation};
+use idlog_storage::Relation;
 
 use crate::builtins;
 use crate::error::{CoreError, CoreResult};
@@ -28,31 +33,17 @@ use crate::pred::PredKey;
 use crate::profile::{ItemRec, RoundProfile, StratumProfile};
 use crate::stats::EvalStats;
 
-/// A stored relation with a version counter for index invalidation.
-#[derive(Debug, Clone)]
-struct StoredRel {
-    rel: Relation,
-    version: u64,
-}
-
 /// All relations (EDB, IDB, and materialized ID-relations) during one
 /// evaluation.
-#[derive(Debug, Default)]
+///
+/// Indexes live *inside* each relation's storage backend and are maintained
+/// incrementally on insert — there is no per-state index cache to rebuild
+/// (the former `Index::build`-per-round churn), and cloning the state (once
+/// per enumeration branch) carries the indexes along, so branches never
+/// rebuild them either.
+#[derive(Debug, Default, Clone)]
 pub struct EvalState {
-    rels: FxHashMap<PredKey, StoredRel>,
-    indexes: FxHashMap<(PredKey, Vec<usize>), (u64, Index)>,
-}
-
-impl Clone for EvalState {
-    /// Cloning copies the relations but **not** the index cache — indexes
-    /// are derived data, rebuilt on demand, and enumeration clones the state
-    /// once per branch, where copying indexes would dominate.
-    fn clone(&self) -> Self {
-        EvalState {
-            rels: self.rels.clone(),
-            indexes: FxHashMap::default(),
-        }
-    }
+    rels: FxHashMap<PredKey, Relation>,
 }
 
 impl EvalState {
@@ -63,13 +54,12 @@ impl EvalState {
 
     /// Install (or replace) a relation.
     pub fn put(&mut self, key: PredKey, rel: Relation) {
-        let version = self.rels.get(&key).map_or(0, |s| s.version + 1);
-        self.rels.insert(key, StoredRel { rel, version });
+        self.rels.insert(key, rel);
     }
 
     /// Read a relation.
     pub fn get(&self, key: &PredKey) -> Option<&Relation> {
-        self.rels.get(key).map(|s| &s.rel)
+        self.rels.get(key)
     }
 
     /// True when the key has been installed (even if empty).
@@ -77,23 +67,10 @@ impl EvalState {
         self.rels.contains_key(key)
     }
 
-    /// Insert one tuple, returning whether it is new. The relation must
-    /// already be installed. The duplicate path clones nothing — the tuple
-    /// is only copied once it is known to be new.
-    fn insert(&mut self, pred: SymbolId, t: &Tuple) -> bool {
-        let stored = self
-            .rels
-            .get_mut(&PredKey::Ordinary(pred))
-            .expect("IDB relation installed before evaluation");
-        if stored.rel.contains(t) {
-            return false;
-        }
-        stored.rel.insert_unchecked(t.clone());
-        stored.version += 1;
-        true
-    }
-
-    /// Build (or refresh) every index the given plans will probe.
+    /// Ready every index the given plans will probe: each probing atom step
+    /// gets [`Relation::ensure_index`] on its bound positions. A no-op once
+    /// the index exists — backends maintain indexes incrementally from then
+    /// on.
     fn ensure_indexes(&mut self, plans: &[&RulePlan]) {
         for plan in plans {
             for step in &plan.steps {
@@ -102,42 +79,27 @@ impl EvalState {
                         continue;
                     }
                     let positions: Vec<usize> = a.probe.iter().map(|&(p, _)| p).collect();
-                    let Some(stored) = self.rels.get(&a.key) else {
-                        continue;
-                    };
-                    let cache_key = (a.key.clone(), positions.clone());
-                    let stale = self
-                        .indexes
-                        .get(&cache_key)
-                        .is_none_or(|(v, _)| *v != stored.version);
-                    if stale {
-                        let idx = Index::build(&stored.rel, &positions);
-                        self.indexes.insert(cache_key, (stored.version, idx));
+                    if let Some(rel) = self.rels.get_mut(&a.key) {
+                        rel.ensure_index(&positions);
                     }
                 }
             }
         }
     }
 
-    /// Rebuild every index the given plans probe (public entry point for
+    /// Ready every index the given plans probe (public entry point for
     /// read-only consumers like the model checker; evaluation calls the
     /// internal version per iteration).
     pub fn rebuild_indexes_for(&mut self, plans: &[&RulePlan]) {
         self.ensure_indexes(plans);
     }
 
-    fn index(&self, key: &PredKey, positions: &[usize]) -> Option<&Index> {
-        self.indexes
-            .get(&(key.clone(), positions.to_vec()))
-            .map(|(_, i)| i)
-    }
-
     /// Rough, deterministic estimate of the bytes held by every stored
-    /// relation (the index cache is derived data and excluded). A pure
-    /// function of relation sizes, so the governor's `max_bytes` ceiling
-    /// trips at the same round at any thread count.
+    /// relation (indexes are derived data and excluded). A pure function of
+    /// relation sizes and types, so the governor's `max_bytes` ceiling
+    /// trips at the same round at any thread count, on any backend.
     pub fn estimated_bytes(&self) -> u64 {
-        self.rels.values().map(|s| s.rel.estimated_bytes()).sum()
+        self.rels.values().map(Relation::estimated_bytes).sum()
     }
 }
 
@@ -478,26 +440,54 @@ fn absorb_contained(
     })
 }
 
-/// Insert derived tuples; return the per-predicate delta of new facts, in
-/// derivation order. Duplicates cost one set lookup and no allocation; the
-/// delta holds the already-owned tuple, so a new fact is cloned exactly once
-/// (into the stored relation).
+/// Insert derived tuples as **per-predicate batches** through
+/// [`Relation::delta_batch_insert`]; return the per-predicate delta of new
+/// facts, in derivation order. Duplicates cost one membership check and no
+/// allocation; the delta holds the already-owned tuple, so a new fact is
+/// cloned exactly once (into the stored relation). Batching is what lets
+/// the columnar backend turn a round's derivations into one sorted run.
 ///
 /// With `recs`, `derived`/`inserted` are also attributed to the work item
 /// that produced each tuple: `out` is the concatenation of per-item output
 /// segments in record order, so a cursor over the records' `out_len`
-/// boundaries identifies the owner.
+/// boundaries identifies the owner. Flags are computed per predicate but
+/// walked in global derivation order, so the attribution is identical to
+/// the former tuple-at-a-time insertion.
 fn absorb(
     state: &mut EvalState,
     out: Vec<(SymbolId, Tuple)>,
     stats: &mut EvalStats,
     recs: Option<&mut Vec<ItemRec>>,
 ) -> FxHashMap<SymbolId, Vec<Tuple>> {
+    // Group derivation positions per predicate, in first-seen order.
+    let mut pred_slot: FxHashMap<SymbolId, usize> = FxHashMap::default();
+    let mut groups: Vec<(SymbolId, Vec<usize>)> = Vec::new();
+    for (i, (pred, _)) in out.iter().enumerate() {
+        let slot = *pred_slot.entry(*pred).or_insert_with(|| {
+            groups.push((*pred, Vec::new()));
+            groups.len() - 1
+        });
+        groups[slot].1.push(i);
+    }
+    // One batch insert per predicate; flags flow back to global positions.
+    let mut flags: Vec<bool> = vec![false; out.len()];
+    for (pred, positions) in &groups {
+        let batch: Vec<&Tuple> = positions.iter().map(|&i| &out[i].1).collect();
+        let rel = state
+            .rels
+            .get_mut(&PredKey::Ordinary(*pred))
+            .expect("IDB relation installed before evaluation");
+        let batch_flags = rel.delta_batch_insert(&batch);
+        for (&i, f) in positions.iter().zip(batch_flags) {
+            flags[i] = f;
+        }
+    }
+    // Walk the derivations in global order: statistics, attribution, delta.
     let mut delta: FxHashMap<SymbolId, Vec<Tuple>> = FxHashMap::default();
     let Some(recs) = recs else {
-        for (pred, t) in out {
+        for (new, (pred, t)) in flags.into_iter().zip(out) {
             stats.derived += 1;
-            if state.insert(pred, &t) {
+            if new {
                 stats.inserted += 1;
                 delta.entry(pred).or_default().push(t);
             }
@@ -506,14 +496,14 @@ fn absorb(
     };
     let mut ri = 0usize;
     let mut remaining = recs.first().map_or(0, |r| r.out_len);
-    for (pred, t) in out {
+    for (new, (pred, t)) in flags.into_iter().zip(out) {
         while remaining == 0 {
             ri += 1;
             remaining = recs[ri].out_len;
         }
         stats.derived += 1;
         recs[ri].stats.derived += 1;
-        if state.insert(pred, &t) {
+        if new {
             stats.inserted += 1;
             recs[ri].stats.inserted += 1;
             delta.entry(pred).or_default().push(t);
@@ -586,11 +576,11 @@ fn exec(
                     .iter()
                     .map(|&(_, pat)| resolve(pat, bindings))
                     .collect();
-                let Some(index) = state.index(&astep.key, &positions) else {
+                let Some(rel) = state.get(&astep.key) else {
                     // No relation installed → no matches.
                     return Ok(());
                 };
-                for t in index.probe(&key_tuple) {
+                for t in rel.probe(&positions, &key_tuple).iter() {
                     stats.probes += 1;
                     // Probe positions already match; only bind/check remain.
                     try_tuple(
@@ -796,25 +786,20 @@ mod tests {
     }
 
     #[test]
-    fn clone_drops_index_cache_but_keeps_relations() {
+    fn clone_keeps_relations_and_their_indexes() {
         let i = Interner::new();
         let p = i.intern("p");
         let mut state = EvalState::new();
         state.put(PredKey::Ordinary(p), rel(&i, &["a", "b"]));
-        // Force an index through the public rebuild hook with a probing plan.
-        let program = crate::ValidatedProgram::parse(
-            "q(X) :- p(X), p(X).",
-            std::sync::Arc::new(Interner::new()),
-        )
-        .unwrap();
-        let _ = program; // plans belong to another interner; index cache is
-                         // exercised indirectly by eval tests — here we only
-                         // check the clone contract on relations.
+        // Indexes now live inside each relation's backend and travel with
+        // the clone (enumeration branches reuse them instead of rebuilding).
+        if let Some(r) = state.rels.get_mut(&PredKey::Ordinary(p)) {
+            r.ensure_index(&[0]);
+        }
         let cloned = state.clone();
-        assert_eq!(cloned.get(&PredKey::Ordinary(p)).unwrap().len(), 2);
-        assert!(
-            cloned.indexes.is_empty(),
-            "clone must not copy derived indexes"
-        );
+        let cloned_rel = cloned.get(&PredKey::Ordinary(p)).unwrap();
+        assert_eq!(cloned_rel.len(), 2);
+        let key: Tuple = vec![Value::Sym(i.intern("a"))].into();
+        assert_eq!(cloned_rel.probe(&[0], &key).len(), 1);
     }
 }

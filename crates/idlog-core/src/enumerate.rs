@@ -398,7 +398,7 @@ fn enumerate_impl(
         .collect();
 
     let mut state = EvalState::new();
-    eval::install_for_enumeration(&restricted, db, &mut state)?;
+    eval::install_for_enumeration(&restricted, db, &mut state, options.backend)?;
 
     // Footnote 6/7 optimization: ID-uses whose tids are provably bounded
     // enumerate k-prefix arrangements instead of full permutations.

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use idlog_common::{FxHashMap, FxHashSet, Interner, SymbolId};
-use idlog_storage::{make_id_relation, Database, Relation};
+use idlog_storage::{make_id_relation, BackendKind, Database, Relation};
 
 use crate::config::EvalOptions;
 use crate::engine::{eval_stratum, eval_stratum_naive, EvalState};
@@ -129,12 +129,13 @@ pub fn evaluate_governed(
     let mut state = EvalState::new();
     let mut profile = options.profile.then(|| Profile::for_program(program));
 
-    install_inputs(program, db, &mut state).map_err(EvalError::Core)?;
+    install_inputs(program, db, &mut state, options.backend).map_err(EvalError::Core)?;
     install_idb(
         program,
         &refine_sorts(program, db).map_err(EvalError::Core)?,
         db,
         &mut state,
+        options.backend,
     )
     .map_err(EvalError::Core)?;
 
@@ -267,6 +268,7 @@ pub(crate) fn install_for_enumeration(
     program: &ValidatedProgram,
     db: &Database,
     state: &mut EvalState,
+    backend: BackendKind,
 ) -> CoreResult<()> {
     if !Arc::ptr_eq(program.interner(), db.interner()) {
         return Err(CoreError::Input {
@@ -275,8 +277,8 @@ pub(crate) fn install_for_enumeration(
                 .into(),
         });
     }
-    install_inputs(program, db, state)?;
-    install_idb(program, &refine_sorts(program, db)?, db, state)?;
+    install_inputs(program, db, state, backend)?;
+    install_idb(program, &refine_sorts(program, db)?, db, state, backend)?;
     Ok(())
 }
 
@@ -307,11 +309,13 @@ fn refine_sorts(program: &ValidatedProgram, db: &Database) -> CoreResult<SortMap
 }
 
 /// Copy input relations from the database (or create empty ones), checking
-/// arity and constrained sorts.
+/// arity and constrained sorts. The working copies are converted to the
+/// requested storage backend in bulk — the database itself stays untouched.
 fn install_inputs(
     program: &ValidatedProgram,
     db: &Database,
     state: &mut EvalState,
+    backend: BackendKind,
 ) -> CoreResult<()> {
     let interner = program.interner();
     for &pred in program.inputs() {
@@ -340,14 +344,14 @@ fn install_inputs(
                         }
                     }
                 }
-                state.put(PredKey::Ordinary(pred), rel.clone());
+                state.put(PredKey::Ordinary(pred), rel.clone().to_backend(backend));
             }
             None => {
                 let rtype = program
                     .sorts()
                     .rel_type(pred)
                     .expect("arity known implies type known");
-                state.put(PredKey::Ordinary(pred), Relation::new(rtype));
+                state.put(PredKey::Ordinary(pred), Relation::new_in(rtype, backend));
             }
         }
     }
@@ -363,6 +367,7 @@ fn install_idb(
     refined: &SortMap,
     db: &Database,
     state: &mut EvalState,
+    backend: BackendKind,
 ) -> CoreResult<()> {
     for &pred in program.idb() {
         if db.relation_by_id(pred).is_some_and(|r| !r.is_empty()) {
@@ -378,7 +383,7 @@ fn install_idb(
             .rel_type(pred)
             .or_else(|| program.sorts().rel_type(pred))
             .expect("IDB predicate has a type");
-        state.put(PredKey::Ordinary(pred), Relation::new(rtype));
+        state.put(PredKey::Ordinary(pred), Relation::new_in(rtype, backend));
     }
     Ok(())
 }
@@ -458,7 +463,9 @@ fn materialize_id_relations(
             clause: None,
             message: format!("ID-oracle assignment for {}: {e}", interner.resolve(base)),
         })?;
-        state.put(key, id_rel);
+        // `make_id_relation` builds on the (cheap-to-append) hash backend;
+        // convert in bulk so the ID-relation lives where its base does.
+        state.put(key, id_rel.to_backend(rel.backend_kind()));
         stats.id_relations += 1;
     }
     Ok(())

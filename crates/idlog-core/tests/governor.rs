@@ -5,7 +5,10 @@
 
 use std::time::Duration;
 
-use idlog_core::{CancelToken, EvalError, LimitKind, Limits, Query};
+use idlog_core::{BackendKind, CancelToken, EvalError, LimitKind, Limits, Query};
+
+/// Both storage backends; limit trips must be identical across them.
+const BACKENDS: [BackendKind; 2] = [BackendKind::Hash, BackendKind::Columnar];
 
 /// A program whose fixpoint diverges: `count` grows by one every round,
 /// forever. Theorem 3 of the paper says we cannot detect this statically —
@@ -24,29 +27,33 @@ fn round_limit_returns_partial_result_identically_at_any_thread_count() {
     let q = Query::parse(DIVERGE, "count").unwrap();
     let db = q.new_database();
     let mut snapshots = Vec::new();
-    for threads in [1usize, 2, 8] {
-        let err = q
-            .session(&db)
-            .threads(threads)
-            .limits(rounds_limit(10))
-            .try_run()
-            .unwrap_err();
-        let EvalError::Limit { limit, partial } = err else {
-            panic!("expected Limit at {threads} threads");
-        };
-        assert_eq!(limit, LimitKind::Rounds);
-        let rel = partial.relation("count").expect("partial carries output");
-        let tuples: Vec<String> = rel
-            .sorted_canonical(q.interner())
-            .iter()
-            .map(|t| t.display(q.interner()).to_string())
-            .collect();
-        assert!(!tuples.is_empty(), "partial result must not be empty");
-        snapshots.push((tuples, partial.stats()));
+    for backend in BACKENDS {
+        for threads in [1usize, 2, 8] {
+            let err = q
+                .session(&db)
+                .threads(threads)
+                .backend(backend)
+                .limits(rounds_limit(10))
+                .try_run()
+                .unwrap_err();
+            let EvalError::Limit { limit, partial } = err else {
+                panic!("expected Limit at {threads} threads");
+            };
+            assert_eq!(limit, LimitKind::Rounds);
+            let rel = partial.relation("count").expect("partial carries output");
+            let tuples: Vec<String> = rel
+                .sorted_canonical(q.interner())
+                .iter()
+                .map(|t| t.display(q.interner()).to_string())
+                .collect();
+            assert!(!tuples.is_empty(), "partial result must not be empty");
+            snapshots.push((tuples, partial.stats()));
+        }
     }
-    // Same facts, same counters, regardless of parallelism.
-    assert_eq!(snapshots[0], snapshots[1], "1 vs 2 threads");
-    assert_eq!(snapshots[0], snapshots[2], "1 vs 8 threads");
+    // Same facts, same counters, regardless of parallelism or storage.
+    for (i, snap) in snapshots.iter().enumerate().skip(1) {
+        assert_eq!(&snapshots[0], snap, "snapshot {i} diverged");
+    }
     assert_eq!(
         snapshots[0].1.iterations, 10,
         "tripped at the round barrier"
@@ -58,25 +65,29 @@ fn tuple_limit_trips_deterministically() {
     let q = Query::parse(DIVERGE, "count").unwrap();
     let db = q.new_database();
     let mut snapshots = Vec::new();
-    for threads in [1usize, 2, 8] {
-        let err = q
-            .session(&db)
-            .threads(threads)
-            .limits(Limits {
-                max_tuples: Some(7),
-                ..Limits::none()
-            })
-            .try_run()
-            .unwrap_err();
-        let EvalError::Limit { limit, partial } = err else {
-            panic!("expected Limit at {threads} threads");
-        };
-        assert_eq!(limit, LimitKind::Tuples);
-        let rel = partial.relation("count").expect("partial carries output");
-        snapshots.push((rel.len(), partial.stats()));
+    for backend in BACKENDS {
+        for threads in [1usize, 2, 8] {
+            let err = q
+                .session(&db)
+                .threads(threads)
+                .backend(backend)
+                .limits(Limits {
+                    max_tuples: Some(7),
+                    ..Limits::none()
+                })
+                .try_run()
+                .unwrap_err();
+            let EvalError::Limit { limit, partial } = err else {
+                panic!("expected Limit at {threads} threads");
+            };
+            assert_eq!(limit, LimitKind::Tuples);
+            let rel = partial.relation("count").expect("partial carries output");
+            snapshots.push((rel.len(), partial.stats()));
+        }
     }
-    assert_eq!(snapshots[0], snapshots[1]);
-    assert_eq!(snapshots[0], snapshots[2]);
+    for (i, snap) in snapshots.iter().enumerate().skip(1) {
+        assert_eq!(&snapshots[0], snap, "snapshot {i} diverged");
+    }
     assert!(
         snapshots[0].1.inserted > 7,
         "tripped after crossing the bound"
@@ -99,6 +110,63 @@ fn byte_limit_trips_on_divergence() {
         panic!("expected Limit");
     };
     assert_eq!(limit, LimitKind::Bytes);
+}
+
+/// The byte estimate is a pure function of (len, arity, sorts) — no hashes,
+/// no capacities, no backend internals — so a symbol-heavy diverging
+/// program trips `max_bytes` at the *same round* for every thread count and
+/// every storage backend.
+#[test]
+fn byte_limit_trips_at_the_same_round_for_symbol_heavy_programs() {
+    let sym_src = "seedy(alpha). seedy(beta). seedy(gamma).
+                   count(X, 0) :- seedy(X).
+                   count(X, M) :- count(X, N), plus(N, 1, M).";
+    let limits = Limits {
+        max_bytes: Some(4096),
+        ..Limits::none()
+    };
+    let q = Query::parse(sym_src, "count").unwrap();
+    let db = q.new_database();
+    let mut rounds = Vec::new();
+    for backend in BACKENDS {
+        for threads in [1usize, 2, 8] {
+            let err = q
+                .session(&db)
+                .threads(threads)
+                .backend(backend)
+                .limits(limits)
+                .try_run()
+                .unwrap_err();
+            let EvalError::Limit { limit, partial } = err else {
+                panic!("expected Limit at {threads} threads on {backend}");
+            };
+            assert_eq!(limit, LimitKind::Bytes);
+            rounds.push((partial.stats().iterations, partial.stats()));
+        }
+    }
+    for (i, r) in rounds.iter().enumerate().skip(1) {
+        assert_eq!(&rounds[0], r, "trip round {i} diverged");
+    }
+    assert!(rounds[0].0 >= 2, "fixture must survive the first barrier");
+
+    // Same shape with int keys: symbols are estimated heavier (48 vs 16
+    // bytes per value), so the symbol-heavy variant must trip earlier.
+    let int_src = "seedy(101). seedy(102). seedy(103).
+                   count(X, 0) :- seedy(X).
+                   count(X, M) :- count(X, N), plus(N, 1, M).";
+    let qi = Query::parse(int_src, "count").unwrap();
+    let dbi = qi.new_database();
+    let err = qi.session(&dbi).limits(limits).try_run().unwrap_err();
+    let EvalError::Limit { limit, partial } = err else {
+        panic!("expected Limit on the int variant");
+    };
+    assert_eq!(limit, LimitKind::Bytes);
+    assert!(
+        rounds[0].0 < partial.stats().iterations,
+        "symbol columns must weigh more than int columns ({} vs {})",
+        rounds[0].0,
+        partial.stats().iterations
+    );
 }
 
 #[test]

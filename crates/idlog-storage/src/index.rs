@@ -7,9 +7,13 @@ use crate::relation::Relation;
 /// A hash index from a projection key (values at the indexed positions, in
 /// position order) to the matching tuples.
 ///
-/// Built on demand by the join engine for the bound positions of a body
-/// literal; the empty-position index degenerates to "all tuples under one
-/// key", which callers should avoid in favour of scanning the relation.
+/// **Legacy**: the join engine now probes through the maintained indexes of
+/// [`crate::storage::Storage`] backends (offsets into the tuple store,
+/// updated incrementally on insert) instead of rebuilding one of these —
+/// which clones every tuple into per-key vectors — per round. Kept as the
+/// baseline for the `index_maintenance` benchmark and for external callers.
+/// The empty-position index degenerates to "all tuples under one key",
+/// which callers should avoid in favour of scanning the relation.
 #[derive(Debug, Clone)]
 pub struct Index {
     positions: Vec<usize>,

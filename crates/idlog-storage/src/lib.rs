@@ -21,6 +21,7 @@ pub mod group;
 pub mod idrel;
 pub mod index;
 pub mod relation;
+pub mod storage;
 
 pub use database::Database;
 pub use enumerate::{
@@ -31,3 +32,7 @@ pub use idrel::TidOrder;
 pub use idrel::{make_id_relation, IdAssignment};
 pub use index::Index;
 pub use relation::Relation;
+pub use storage::{
+    estimated_tuple_bytes, estimated_value_bytes, BackendKind, ColumnarBackend, HashBackend, Probe,
+    ScanIter, Storage,
+};

@@ -1,0 +1,452 @@
+//! Regression gate against the committed baseline sweep.
+//!
+//! `BENCH_6.json` (schema `idlog-bench/6`, hash backend only) is committed
+//! at the repository root as the performance record of the previous PR.
+//! [`regressions`] compares the current sweep's hash-backend runs against
+//! it: `rounds` and `tuples` are engine counters and must match **exactly**
+//! for every `(program, strategy, threads)` the baseline records; `wall_ms`
+//! only gates within a deliberately generous tolerance
+//! ([`WALL_TOLERANCE_FACTOR`] with a [`WALL_FLOOR_MS`] floor), because CI
+//! machines vary while counters do not.
+//!
+//! The workspace vendors no JSON crate, so this module carries a minimal
+//! recursive-descent parser — enough for the sweep files this suite itself
+//! writes, not a general-purpose implementation.
+
+use idlog_core::BackendKind;
+
+use crate::{strategy_name, SuiteReport};
+
+/// A current wall time may exceed the baseline by this factor before the
+/// gate fails.
+pub const WALL_TOLERANCE_FACTOR: f64 = 10.0;
+
+/// Wall times below this floor (in ms) never fail the gate: sub-millisecond
+/// baselines amplified by `WALL_TOLERANCE_FACTOR` would still be noise.
+pub const WALL_FLOOR_MS: f64 = 50.0;
+
+/// A minimal JSON value (see module docs for scope).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (always carried as `f64`; the counters we read fit).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in source order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document (trailing whitespace allowed).
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let bytes = src.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = std::str::from_utf8(hex)
+                            .ok()
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("bad \\u escape")?;
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8 sequences pass through verbatim.
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && bytes[*pos] & 0xC0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?);
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        members.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+/// One run of the committed baseline sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRun {
+    /// Program file name.
+    pub program: String,
+    /// Strategy name as recorded (`semi-naive` / `naive`).
+    pub strategy: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Fixpoint rounds.
+    pub rounds: u64,
+    /// Inserted tuples.
+    pub tuples: u64,
+    /// Wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Whether the governed round ceiling tripped.
+    pub tripped: bool,
+}
+
+/// Parse a committed `BENCH_*.json` into its per-run records. Accepts both
+/// schema `idlog-bench/6` (no backend field — hash implied) and
+/// `idlog-bench/7` (only `"backend": "hash"` runs are kept, so a future PR
+/// can re-baseline on a 7-schema file unchanged).
+pub fn parse_baseline(src: &str) -> Result<Vec<BaselineRun>, String> {
+    let doc = Json::parse(src)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("baseline has no schema tag")?;
+    if !schema.starts_with("idlog-bench/") {
+        return Err(format!("unexpected baseline schema {schema:?}"));
+    }
+    let mut out = Vec::new();
+    for case in doc
+        .get("cases")
+        .and_then(Json::as_array)
+        .ok_or("baseline has no cases array")?
+    {
+        if case.get("skipped").is_some() {
+            continue;
+        }
+        let program = case
+            .get("program")
+            .and_then(Json::as_str)
+            .ok_or("case has no program")?;
+        for run in case
+            .get("runs")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{program}: no runs"))?
+        {
+            if let Some(backend) = run.get("backend").and_then(Json::as_str) {
+                if backend != BackendKind::Hash.name() {
+                    continue;
+                }
+            }
+            let field = |k: &str| {
+                run.get(k)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("{program}: run has no {k}"))
+            };
+            out.push(BaselineRun {
+                program: program.to_string(),
+                strategy: run
+                    .get("strategy")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("{program}: run has no strategy"))?
+                    .to_string(),
+                threads: field("threads")? as usize,
+                rounds: field("rounds")? as u64,
+                tuples: field("tuples")? as u64,
+                wall_ms: field("wall_ms")?,
+                tripped: run.get("tripped") == Some(&Json::Bool(true)),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Compare the current sweep's hash-backend runs against a committed
+/// baseline. Returns one message per regression; empty means the gate
+/// passes. Programs the baseline does not record (new corpus entries) are
+/// not gated; programs it records but the sweep lost are.
+pub fn regressions(report: &SuiteReport, baseline_src: &str) -> Result<Vec<String>, String> {
+    let baseline = parse_baseline(baseline_src)?;
+    let mut failures = Vec::new();
+    for base in &baseline {
+        let Some(case) = report.cases.iter().find(|c| c.case.program == base.program) else {
+            failures.push(format!("{}: dropped from the corpus", base.program));
+            continue;
+        };
+        let Some(run) = case.runs.iter().find(|r| {
+            r.backend == BackendKind::Hash
+                && strategy_name(r.strategy) == base.strategy
+                && r.threads == base.threads
+        }) else {
+            failures.push(format!(
+                "{}: no hash run for ({}, {} threads)",
+                base.program, base.strategy, base.threads
+            ));
+            continue;
+        };
+        if run.rounds != base.rounds || run.tuples != base.tuples || run.tripped != base.tripped {
+            failures.push(format!(
+                "{} ({}, {} threads): counters moved: rounds {} -> {}, tuples {} -> {}, \
+                 tripped {} -> {}",
+                base.program,
+                base.strategy,
+                base.threads,
+                base.rounds,
+                run.rounds,
+                base.tuples,
+                run.tuples,
+                base.tripped,
+                run.tripped
+            ));
+        }
+        let ceiling = (base.wall_ms * WALL_TOLERANCE_FACTOR).max(WALL_FLOOR_MS);
+        if run.wall_ms > ceiling {
+            failures.push(format!(
+                "{} ({}, {} threads): wall time {:.3}ms exceeds {:.3}ms \
+                 (baseline {:.3}ms x {WALL_TOLERANCE_FACTOR}, floor {WALL_FLOOR_MS}ms)",
+                base.program, base.strategy, base.threads, run.wall_ms, ceiling, base.wall_ms
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_the_sweep_grammar() {
+        let doc =
+            Json::parse(r#"{"s": "a\"bA", "n": -1.5e2, "t": true, "x": null, "a": [1, {}, []]}"#)
+                .unwrap();
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("a\"bA"));
+        assert_eq!(doc.get("n").and_then(Json::as_f64), Some(-150.0));
+        assert_eq!(doc.get("t"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("x"), Some(&Json::Null));
+        assert_eq!(
+            doc.get("a").and_then(Json::as_array).map(<[_]>::len),
+            Some(3)
+        );
+        assert!(Json::parse("{\"k\": 1} trailing").is_err());
+        assert!(Json::parse("{\"k\"").is_err());
+    }
+
+    #[test]
+    fn committed_baseline_parses() {
+        let src = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_6.json"),
+        )
+        .unwrap();
+        let runs = parse_baseline(&src).unwrap();
+        // 6 non-skipped programs x 2 strategies x 3 thread counts.
+        assert_eq!(runs.len(), 36, "{runs:?}");
+        assert!(runs.iter().any(|r| r.program == "diverge.idl" && r.tripped));
+    }
+
+    #[test]
+    fn gate_passes_on_a_fresh_sweep_and_catches_planted_regressions() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../programs");
+        let report = crate::run_suite(&dir).unwrap();
+        let baseline_src = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_6.json"),
+        )
+        .unwrap();
+        assert_eq!(
+            regressions(&report, &baseline_src).unwrap(),
+            Vec::<String>::new()
+        );
+
+        // Plant a counter regression: the gate must name it.
+        let mut broken = report.clone();
+        let case = broken
+            .cases
+            .iter_mut()
+            .find(|c| c.skipped.is_none())
+            .unwrap();
+        case.runs[0].rounds += 1;
+        let failures = regressions(&broken, &baseline_src).unwrap();
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("counters moved"), "{failures:?}");
+
+        // Drop a program: the gate must notice the hole.
+        let mut dropped = report.clone();
+        dropped.cases.retain(|c| c.case.program != "parity.idl");
+        let failures = regressions(&dropped, &baseline_src).unwrap();
+        assert!(
+            failures.iter().all(|f| f.starts_with("parity.idl")) && !failures.is_empty(),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn seven_schema_baselines_keep_only_hash_runs() {
+        let src = r#"{
+            "schema": "idlog-bench/7",
+            "cases": [
+                {"program": "p.idl", "facts": null, "facts_loaded": 1, "bounded": true,
+                 "round_bound": 5, "runs": [
+                    {"backend": "hash", "strategy": "semi-naive", "threads": 1,
+                     "rounds": 3, "tuples": 4, "wall_ms": 0.1, "tripped": false},
+                    {"backend": "columnar", "strategy": "semi-naive", "threads": 1,
+                     "rounds": 3, "tuples": 4, "wall_ms": 0.2, "tripped": false}
+                 ]}
+            ]
+        }"#;
+        let runs = parse_baseline(src).unwrap();
+        assert_eq!(runs.len(), 1, "{runs:?}");
+        assert_eq!(runs[0].rounds, 3);
+    }
+}

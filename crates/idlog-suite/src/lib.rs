@@ -1,13 +1,16 @@
 //! Cross-program benchmark suite: run every shipped example under every
-//! {strategy × thread-count} combination and record the engine's own
-//! counters (fixpoint rounds, inserted tuples, wall time).
+//! {backend × strategy × thread-count} combination and record the engine's
+//! own counters (fixpoint rounds, inserted tuples, wall time).
 //!
 //! The binary (`cargo run -p idlog-suite --release`) writes the sweep as
-//! `BENCH_6.json` at the repository root — schema `idlog-bench/6` — which
-//! CI regenerates and uploads as an artifact on every push. The suite
-//! leans on [`idlog_core::termination`]: programs whose certificate has a
-//! growth witness (the shipped `diverge.idl`) are run under a round
-//! ceiling and recorded as `tripped` instead of hanging the sweep.
+//! `BENCH_7.json` at the repository root — schema `idlog-bench/7` — which
+//! CI regenerates and uploads as an artifact on every push, and gates the
+//! hash-backend runs against the committed `BENCH_6.json` baseline
+//! ([`baseline::regressions`]: rounds/tuples exact, wall time within a
+//! generous tolerance). The suite leans on [`idlog_core::termination`]:
+//! programs whose certificate has a growth witness (the shipped
+//! `diverge.idl`) are run under a round ceiling and recorded as `tripped`
+//! instead of hanging the sweep.
 
 #![warn(missing_docs)]
 
@@ -16,21 +19,34 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use idlog_core::{
-    analyze_termination, CanonicalOracle, CoreError, EvalOptions, Interner, Strategy,
+    analyze_termination, BackendKind, CanonicalOracle, CoreError, EvalOptions, Interner, Strategy,
     TerminationCert, ValidatedProgram,
 };
 use idlog_storage::Database;
+
+pub mod baseline;
 
 /// Round ceiling for programs whose termination certificate carries a
 /// growth witness: enough to measure per-round cost, small enough that the
 /// sweep stays fast.
 pub const GOVERNED_ROUNDS: u64 = 60;
 
+/// The storage backends the sweep covers.
+pub const BACKENDS: [BackendKind; 2] = [BackendKind::Hash, BackendKind::Columnar];
+
 /// The strategies the sweep covers.
 pub const STRATEGIES: [Strategy; 2] = [Strategy::SemiNaive, Strategy::Naive];
 
 /// The thread counts the sweep covers.
 pub const THREADS: [usize; 3] = [1, 2, 4];
+
+/// The JSON name of a strategy (stable across schema versions).
+pub fn strategy_name(strategy: Strategy) -> &'static str {
+    match strategy {
+        Strategy::SemiNaive => "semi-naive",
+        Strategy::Naive => "naive",
+    }
+}
 
 /// One program of the corpus, with its sidecar facts file (when one is
 /// shipped for it).
@@ -45,6 +61,8 @@ pub struct Case {
 /// One measured evaluation.
 #[derive(Debug, Clone)]
 pub struct Run {
+    /// Storage backend used.
+    pub backend: BackendKind,
     /// Evaluation strategy used.
     pub strategy: Strategy,
     /// Worker threads used.
@@ -72,7 +90,7 @@ pub struct CaseReport {
     pub bounded: bool,
     /// The certified round bound for the loaded database, when bounded.
     pub round_bound: Option<u64>,
-    /// One entry per {strategy × threads} combination.
+    /// One entry per {backend × strategy × threads} combination.
     pub runs: Vec<Run>,
 }
 
@@ -131,7 +149,8 @@ fn is_choice_dialect(src: &str, interner: &Interner) -> bool {
     })
 }
 
-/// Run one corpus case across every {strategy × threads} combination.
+/// Run one corpus case across every {backend × strategy × threads}
+/// combination.
 pub fn run_case(dir: &Path, case: &Case) -> Result<CaseReport, String> {
     let path = dir.join(&case.program);
     let src = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", case.program))?;
@@ -159,36 +178,44 @@ pub fn run_case(dir: &Path, case: &Case) -> Result<CaseReport, String> {
     let governed = cert.growth_witness().is_some();
 
     let mut runs = Vec::new();
-    for strategy in STRATEGIES {
-        for threads in THREADS {
-            let mut options = EvalOptions::new().strategy(strategy).threads(threads);
-            if governed {
-                options = options.max_rounds(GOVERNED_ROUNDS);
+    for backend in BACKENDS {
+        for strategy in STRATEGIES {
+            for threads in THREADS {
+                let mut options = EvalOptions::new()
+                    .backend(backend)
+                    .strategy(strategy)
+                    .threads(threads);
+                if governed {
+                    options = options.max_rounds(GOVERNED_ROUNDS);
+                }
+                let mut oracle = CanonicalOracle;
+                let start = Instant::now();
+                let outcome =
+                    idlog_core::evaluate_with_options(&program, &db, &mut oracle, &options);
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                let run = match outcome {
+                    Ok(out) => Run {
+                        backend,
+                        strategy,
+                        threads,
+                        rounds: out.stats().iterations,
+                        tuples: out.stats().inserted,
+                        wall_ms,
+                        tripped: false,
+                    },
+                    Err(CoreError::LimitExceeded { .. }) => Run {
+                        backend,
+                        strategy,
+                        threads,
+                        rounds: GOVERNED_ROUNDS,
+                        tuples: 0,
+                        wall_ms,
+                        tripped: true,
+                    },
+                    Err(e) => return Err(format!("{}: {e}", case.program)),
+                };
+                runs.push(run);
             }
-            let mut oracle = CanonicalOracle;
-            let start = Instant::now();
-            let outcome = idlog_core::evaluate_with_options(&program, &db, &mut oracle, &options);
-            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-            let run = match outcome {
-                Ok(out) => Run {
-                    strategy,
-                    threads,
-                    rounds: out.stats().iterations,
-                    tuples: out.stats().inserted,
-                    wall_ms,
-                    tripped: false,
-                },
-                Err(CoreError::LimitExceeded { .. }) => Run {
-                    strategy,
-                    threads,
-                    rounds: GOVERNED_ROUNDS,
-                    tuples: 0,
-                    wall_ms,
-                    tripped: true,
-                },
-                Err(e) => return Err(format!("{}: {e}", case.program)),
-            };
-            runs.push(run);
         }
     }
     Ok(CaseReport {
@@ -231,7 +258,7 @@ fn json_str(s: &str) -> String {
 }
 
 impl SuiteReport {
-    /// Render the sweep as schema-tagged JSON (`idlog-bench/6`).
+    /// Render the sweep as schema-tagged JSON (`idlog-bench/7`).
     pub fn to_json(&self) -> String {
         let mut cases = Vec::new();
         for r in &self.cases {
@@ -254,12 +281,11 @@ impl SuiteReport {
                     .iter()
                     .map(|run| {
                         format!(
-                            "{{\"strategy\": {}, \"threads\": {}, \"rounds\": {}, \
-                             \"tuples\": {}, \"wall_ms\": {:.3}, \"tripped\": {}}}",
-                            json_str(match run.strategy {
-                                Strategy::SemiNaive => "semi-naive",
-                                Strategy::Naive => "naive",
-                            }),
+                            "{{\"backend\": {}, \"strategy\": {}, \"threads\": {}, \
+                             \"rounds\": {}, \"tuples\": {}, \"wall_ms\": {:.3}, \
+                             \"tripped\": {}}}",
+                            json_str(run.backend.name()),
+                            json_str(strategy_name(run.strategy)),
                             run.threads,
                             run.rounds,
                             run.tuples,
@@ -273,7 +299,7 @@ impl SuiteReport {
             cases.push(format!("  {{{}}}", fields.join(", ")));
         }
         format!(
-            "{{\n\"schema\": \"idlog-bench/6\",\n\"cases\": [\n{}\n]\n}}\n",
+            "{{\n\"schema\": \"idlog-bench/7\",\n\"cases\": [\n{}\n]\n}}\n",
             cases.join(",\n")
         )
     }
@@ -296,21 +322,43 @@ mod tests {
                 continue;
             }
             // Rounds and tuples are engine counters, promised identical
-            // across thread counts per strategy.
+            // across thread counts per (backend, strategy)…
+            for backend in BACKENDS {
+                for strategy in STRATEGIES {
+                    let per: Vec<&Run> = case
+                        .runs
+                        .iter()
+                        .filter(|r| r.backend == backend && r.strategy == strategy)
+                        .collect();
+                    assert_eq!(per.len(), THREADS.len(), "{}", case.case.program);
+                    assert!(
+                        per.windows(2)
+                            .all(|w| w[0].rounds == w[1].rounds && w[0].tuples == w[1].tuples),
+                        "{} not thread-deterministic: {:?}",
+                        case.case.program,
+                        per
+                    );
+                }
+            }
+            // …and across storage backends per (strategy, threads): the
+            // backend changes physical layout only, never the counters.
             for strategy in STRATEGIES {
-                let per: Vec<&Run> = case
-                    .runs
-                    .iter()
-                    .filter(|r| r.strategy == strategy)
-                    .collect();
-                assert_eq!(per.len(), THREADS.len(), "{}", case.case.program);
-                assert!(
-                    per.windows(2)
-                        .all(|w| w[0].rounds == w[1].rounds && w[0].tuples == w[1].tuples),
-                    "{} not thread-deterministic: {:?}",
-                    case.case.program,
-                    per
-                );
+                for threads in THREADS {
+                    let per: Vec<&Run> = case
+                        .runs
+                        .iter()
+                        .filter(|r| r.strategy == strategy && r.threads == threads)
+                        .collect();
+                    assert_eq!(per.len(), BACKENDS.len(), "{}", case.case.program);
+                    assert!(
+                        per.windows(2).all(|w| w[0].rounds == w[1].rounds
+                            && w[0].tuples == w[1].tuples
+                            && w[0].tripped == w[1].tripped),
+                        "{} not backend-deterministic: {:?}",
+                        case.case.program,
+                        per
+                    );
+                }
             }
             // A certified bound is an over-approximation of the real
             // round count on this very database.
@@ -351,7 +399,35 @@ mod tests {
             }],
         };
         let json = report.to_json();
-        assert!(json.contains("\"idlog-bench/6\""), "{json}");
+        assert!(json.contains("\"idlog-bench/7\""), "{json}");
         assert!(json.contains("a\\\"b.idl"), "{json}");
+    }
+
+    #[test]
+    fn json_tags_runs_with_their_backend() {
+        let report = SuiteReport {
+            cases: vec![CaseReport {
+                case: Case {
+                    program: "p.idl".into(),
+                    facts: None,
+                },
+                skipped: None,
+                facts_loaded: 1,
+                bounded: true,
+                round_bound: Some(5),
+                runs: vec![Run {
+                    backend: idlog_core::BackendKind::Columnar,
+                    strategy: Strategy::SemiNaive,
+                    threads: 2,
+                    rounds: 3,
+                    tuples: 4,
+                    wall_ms: 0.5,
+                    tripped: false,
+                }],
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"backend\": \"columnar\""), "{json}");
+        assert!(json.contains("\"strategy\": \"semi-naive\""), "{json}");
     }
 }

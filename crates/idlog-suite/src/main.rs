@@ -1,5 +1,8 @@
-//! `idlog-suite`: run the corpus sweep and write `BENCH_6.json` at the
-//! repository root (CI regenerates and uploads it as an artifact).
+//! `idlog-suite`: run the corpus sweep, write `BENCH_7.json` at the
+//! repository root (CI regenerates and uploads it as an artifact), and gate
+//! the hash-backend runs against the committed `BENCH_6.json` baseline —
+//! counters exact, wall time within a generous tolerance. A regression
+//! exits nonzero so CI fails.
 
 use std::path::Path;
 
@@ -35,10 +38,37 @@ fn main() {
             }
         }
     }
-    let out = root.join("BENCH_6.json");
+    let out = root.join("BENCH_7.json");
     if let Err(e) = std::fs::write(&out, report.to_json()) {
         eprintln!("idlog-suite: cannot write {}: {e}", out.display());
         std::process::exit(1);
     }
     println!("wrote {}", out.display());
+
+    // Regression gate: the committed BENCH_6.json is the previous PR's
+    // performance record for the hash backend.
+    let baseline_path = root.join("BENCH_6.json");
+    match std::fs::read_to_string(&baseline_path) {
+        Err(e) => {
+            eprintln!(
+                "idlog-suite: no baseline at {} ({e}); gate skipped",
+                baseline_path.display()
+            );
+        }
+        Ok(src) => match idlog_suite::baseline::regressions(&report, &src) {
+            Err(e) => {
+                eprintln!("idlog-suite: cannot read baseline: {e}");
+                std::process::exit(1);
+            }
+            Ok(failures) if failures.is_empty() => {
+                println!("baseline gate: ok (vs {})", baseline_path.display());
+            }
+            Ok(failures) => {
+                for f in &failures {
+                    eprintln!("regression: {f}");
+                }
+                std::process::exit(1);
+            }
+        },
+    }
 }
