@@ -18,6 +18,8 @@ USAGE:
   idlog optimize <program> --output <pred> [--suggest-prune]
                                                   ID-literal rewrite (paper §4)
   idlog repl                                      interactive session
+  idlog serve [options]                           multi-tenant query service
+  idlog client <addr> <request>                   send one service request
   idlog help                                      this text
 
 RUN OPTIONS:
@@ -60,6 +62,17 @@ EXPLAIN OPTIONS:
                       predicate
   --seed <n>          oracle seed for --analyze (default: canonical)
   --threads <n>       worker threads for --analyze
+
+SERVE OPTIONS:
+  --listen <addr>     bind address (default 127.0.0.1:7421; port 0 picks an
+                      ephemeral port, printed on stderr)
+  --workers <n>       connection worker threads (default 16)
+
+  The service speaks the idlog-service/1 line protocol: one JSON request
+  per line in, one JSON response per line out (see LANGUAGE.md §Service).
+  `idlog client` sends a single raw request line and prints the response;
+  its process exit code mirrors the response's \"exit\" field, which uses
+  the same 0/1/2/3/130 convention as `idlog run`.
 
 LINT OPTIONS:
   --deny-warnings     treat warnings as fatal (for CI)
@@ -212,6 +225,20 @@ pub enum Command {
     },
     /// Evaluate a query.
     Run(RunOpts),
+    /// Run the multi-tenant query service.
+    Serve {
+        /// Bind address.
+        listen: String,
+        /// Connection worker threads.
+        workers: usize,
+    },
+    /// Send one raw protocol request line to a running service.
+    Client {
+        /// Service address (`host:port`).
+        addr: String,
+        /// The request line (JSON).
+        request: String,
+    },
 }
 
 impl Args {
@@ -342,6 +369,31 @@ impl Args {
                 run.output = output.ok_or("run requires --output <pred>")?;
                 Command::Run(run)
             }
+            "serve" => {
+                let mut listen = "127.0.0.1:7421".to_string();
+                let mut workers = 16usize;
+                let mut it = rest.iter();
+                while let Some(flag) = it.next() {
+                    match flag.as_str() {
+                        "--listen" => listen = value(&mut it, "--listen")?,
+                        "--workers" => {
+                            workers = parse_num(&mut it, "--workers")?;
+                            if workers == 0 {
+                                return Err("--workers expects a positive number".into());
+                            }
+                        }
+                        other => return Err(format!("unknown option {other}")),
+                    }
+                }
+                Command::Serve { listen, workers }
+            }
+            "client" => match rest {
+                [addr, request] => Command::Client {
+                    addr: addr.clone(),
+                    request: request.clone(),
+                },
+                _ => return Err("client takes an address and one request line".into()),
+            },
             other => return Err(format!("unknown command {other}")),
         };
         Ok(Args { command })
@@ -627,6 +679,46 @@ mod tests {
         assert!(parse(&["frobnicate"]).is_err());
         assert!(parse(&["run", "p.idl", "--output", "q", "--nope"]).is_err());
         assert!(parse(&["run", "--output", "q"]).is_err());
+    }
+
+    #[test]
+    fn parses_serve_and_client() {
+        let args = parse(&["serve"]).unwrap();
+        let Command::Serve { listen, workers } = args.command else {
+            panic!("expected serve");
+        };
+        assert_eq!(listen, "127.0.0.1:7421");
+        assert_eq!(workers, 16);
+        let args = parse(&["serve", "--listen", "0.0.0.0:9000", "--workers", "4"]).unwrap();
+        let Command::Serve { listen, workers } = args.command else {
+            panic!("expected serve");
+        };
+        assert_eq!(listen, "0.0.0.0:9000");
+        assert_eq!(workers, 4);
+        assert!(parse(&["serve", "--workers", "0"]).is_err());
+        assert!(parse(&["serve", "--nope"]).is_err());
+
+        let args = parse(&["client", "127.0.0.1:7421", r#"{"op":"ping"}"#]).unwrap();
+        let Command::Client { addr, request } = args.command else {
+            panic!("expected client");
+        };
+        assert_eq!(addr, "127.0.0.1:7421");
+        assert_eq!(request, r#"{"op":"ping"}"#);
+        assert!(parse(&["client"]).is_err());
+        assert!(parse(&["client", "addr"]).is_err());
+    }
+
+    #[test]
+    fn usage_documents_the_service() {
+        for needle in [
+            "serve",
+            "client",
+            "--listen",
+            "--workers",
+            "idlog-service/1",
+        ] {
+            assert!(USAGE.contains(needle), "usage lost {needle}");
+        }
     }
 
     #[test]

@@ -349,8 +349,8 @@ pub fn explain(
 ///
 /// Resource governance: `--timeout`/`--max-rounds`/`--max-tuples` bound the
 /// evaluation; a trip prints the partial result (up to the last completed
-/// round barrier) and returns [`CliError::Limit`] (exit 3). Ctrl-C returns
-/// [`CliError::Cancelled`] (exit 130). With `--all`, the enumeration
+/// round barrier) and returns [`CliError::limit`] (exit 3). Ctrl-C returns
+/// [`CliError::cancelled`] (exit 130). With `--all`, the enumeration
 /// budgets (`--max-models`) merely truncate the walk — still exit 0 — while
 /// governor ceilings exit 3.
 pub fn run_query(opts: &RunOpts) -> Result<(), CliError> {
@@ -376,7 +376,7 @@ pub fn run_query(opts: &RunOpts) -> Result<(), CliError> {
             .options(options)
             .cancel_token(token)
             .all_answers()
-            .map_err(|e| CliError::Failure(e.to_string()))?;
+            .map_err(CliError::from)?;
         let note = match answers.stopped() {
             None => String::new(),
             Some(reason) => format!(" ({reason}; incomplete)"),
@@ -393,10 +393,11 @@ pub fn run_query(opts: &RunOpts) -> Result<(), CliError> {
         // Governor ceilings and Ctrl-C are real stops — exit 3 / 130.
         return match answers.stopped() {
             None | Some(StopReason::Limit(LimitKind::Models | LimitKind::Answers)) => Ok(()),
-            Some(StopReason::Limit(kind)) => Err(CliError::Limit(format!(
-                "enumeration stopped: {kind} budget hit"
-            ))),
-            Some(StopReason::Cancelled) => Err(CliError::Cancelled("interrupted".into())),
+            Some(StopReason::Limit(kind)) => Err(CliError::limit(
+                kind,
+                format!("enumeration stopped: {kind} budget hit"),
+            )),
+            Some(StopReason::Cancelled) => Err(CliError::cancelled("interrupted")),
         };
     }
 
@@ -413,14 +414,14 @@ pub fn run_query(opts: &RunOpts) -> Result<(), CliError> {
             let partial = partial_result(&partial, &opts.output, want_profile);
             (
                 partial,
-                Some(CliError::Limit(format!("limit exceeded: {limit}"))),
+                Some(CliError::limit(limit, format!("limit exceeded: {limit}"))),
             )
         }
         Err(EvalError::Cancelled { partial }) => {
             let partial = partial_result(&partial, &opts.output, want_profile);
-            (partial, Some(CliError::Cancelled("interrupted".into())))
+            (partial, Some(CliError::cancelled("interrupted")))
         }
-        Err(EvalError::Core(e)) => return Err(CliError::Failure(e.to_string())),
+        Err(EvalError::Core(e)) => return Err(CliError::from(e)),
     };
     if let Some(stop) = &stop {
         eprintln!(
@@ -454,6 +455,56 @@ pub fn run_query(opts: &RunOpts) -> Result<(), CliError> {
     }
 }
 
+/// `idlog serve`: run the multi-tenant query service until a `shutdown`
+/// request arrives.
+pub fn serve(listen: &str, workers: usize) -> Result<(), CliError> {
+    let server = idlog_server::Server::bind(listen).map_err(|e| {
+        CliError::new(
+            idlog_core::ErrorCode::Io,
+            format!("cannot bind {listen}: {e}"),
+        )
+    })?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError::new(idlog_core::ErrorCode::Io, e.to_string()))?;
+    eprintln!(
+        "idlog service ({}) listening on {addr}",
+        idlog_core::service::SERVICE_SCHEMA
+    );
+    server
+        .run(workers)
+        .map_err(|e| CliError::new(idlog_core::ErrorCode::Io, e.to_string()))
+}
+
+/// `idlog client`: send one raw request line and print the response line.
+///
+/// The process exit code mirrors the response's `exit` field, so shell
+/// scripts can treat a served failure exactly like a local `idlog run`
+/// failure (same 0/1/2/3/130 convention).
+pub fn client(addr: &str, request: &str) -> Result<(), CliError> {
+    let mut client = idlog_server::Client::connect(addr).map_err(|e| {
+        CliError::new(
+            idlog_core::ErrorCode::Io,
+            format!("cannot connect to {addr}: {e}"),
+        )
+    })?;
+    let line = client
+        .request_raw(request)
+        .map_err(|e| CliError::new(idlog_core::ErrorCode::Io, e.to_string()))?;
+    println!("{line}");
+    let response = idlog_core::service::Response::parse(&line)
+        .map_err(|e| CliError::new(idlog_core::ErrorCode::Protocol, e))?;
+    match response.code {
+        Some(code) => Err(CliError::new(
+            code,
+            response
+                .error
+                .unwrap_or_else(|| "request failed".to_string()),
+        )),
+        None => Ok(()),
+    }
+}
+
 /// Project the partial [`idlog_core::EvalOutput`] carried by a limit trip
 /// onto the shape `run_query` prints.
 fn partial_result(
@@ -473,6 +524,6 @@ fn partial_result(
 
 fn require_profile(result: &idlog_core::EvalResult) -> Result<&idlog_core::Profile, CliError> {
     result.profile.as_ref().ok_or_else(|| {
-        CliError::Failure("internal error: profiling was enabled but produced no profile".into())
+        CliError::failure("internal error: profiling was enabled but produced no profile")
     })
 }

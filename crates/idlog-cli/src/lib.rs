@@ -9,8 +9,8 @@ use std::fmt;
 use std::sync::Arc;
 
 use idlog_core::{
-    CanonicalOracle, EnumBudget, EvalOptions, Interner, Limits, Query, SeededOracle, TidOracle,
-    ValidatedProgram,
+    CanonicalOracle, CoreError, EnumBudget, ErrorCode, EvalOptions, Interner, LimitKind, Limits,
+    Query, SeededOracle, TidOracle, ValidatedProgram,
 };
 use idlog_storage::Database;
 
@@ -21,35 +21,61 @@ pub mod signal;
 
 pub use args::{Args, Command, RunOpts, USAGE};
 
-/// A command failure, classified for the process exit code: ordinary
-/// failures exit 1, governor limit trips exit 3, and interruptions exit
-/// with the conventional 130 (128 + SIGINT).
+/// A command failure: a stable [`ErrorCode`] plus a human-readable message.
+///
+/// The process exit code is the code's [`ErrorCode::exit_code`] — ordinary
+/// failures exit 1, usage errors 2, resource limit trips 3, interruptions
+/// the conventional 130 (128 + SIGINT). The same codes travel in `idlog
+/// serve` responses, so scripts driving either surface can switch on one
+/// vocabulary.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CliError {
-    /// Ordinary failure: bad input, evaluation error, I/O problem.
-    Failure(String),
-    /// A resource ceiling (`--timeout`, `--max-rounds`, `--max-tuples`)
-    /// stopped the evaluation.
-    Limit(String),
-    /// Ctrl-C (or an embedder's cancel token) stopped the evaluation.
-    Cancelled(String),
+pub struct CliError {
+    code: ErrorCode,
+    message: String,
 }
 
 impl CliError {
+    /// A failure with an explicit [`ErrorCode`].
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        CliError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// An unclassified ordinary failure (exit 1).
+    pub fn failure(message: impl Into<String>) -> Self {
+        CliError::new(ErrorCode::Failure, message)
+    }
+
+    /// A bad-arguments failure (exit 2).
+    pub fn usage(message: impl Into<String>) -> Self {
+        CliError::new(ErrorCode::Usage, message)
+    }
+
+    /// A governor limit trip (exit 3).
+    pub fn limit(kind: LimitKind, message: impl Into<String>) -> Self {
+        CliError::new(ErrorCode::Limit(kind), message)
+    }
+
+    /// An interruption (exit 130).
+    pub fn cancelled(message: impl Into<String>) -> Self {
+        CliError::new(ErrorCode::Cancelled, message)
+    }
+
+    /// The stable error code.
+    pub fn code(&self) -> ErrorCode {
+        self.code
+    }
+
     /// The process exit code this failure maps to.
     pub fn exit_code(&self) -> u8 {
-        match self {
-            CliError::Failure(_) => 1,
-            CliError::Limit(_) => 3,
-            CliError::Cancelled(_) => 130,
-        }
+        self.code.exit_code()
     }
 
     /// The human-readable message.
     pub fn message(&self) -> &str {
-        match self {
-            CliError::Failure(m) | CliError::Limit(m) | CliError::Cancelled(m) => m,
-        }
+        &self.message
     }
 }
 
@@ -61,7 +87,13 @@ impl fmt::Display for CliError {
 
 impl From<String> for CliError {
     fn from(m: String) -> Self {
-        CliError::Failure(m)
+        CliError::failure(m)
+    }
+}
+
+impl From<CoreError> for CliError {
+    fn from(e: CoreError) -> Self {
+        CliError::new(e.code(), e.to_string())
     }
 }
 
@@ -99,6 +131,8 @@ pub fn run(args: Args) -> Result<(), CliError> {
             repl::run(&mut std::io::stdin().lock(), &mut std::io::stdout()).map_err(CliError::from)
         }
         Command::Run(opts) => commands::run_query(&opts),
+        Command::Serve { listen, workers } => commands::serve(&listen, workers),
+        Command::Client { addr, request } => commands::client(&addr, &request),
     }
 }
 
@@ -122,19 +156,26 @@ pub struct Loaded {
 }
 
 /// Read and validate a program file, optionally loading a fact file.
-pub fn load(program_path: &str, facts_path: Option<&str>, output: &str) -> Result<Loaded, String> {
+/// Failures carry the engine's [`ErrorCode`] (I/O problems map to
+/// [`ErrorCode::Io`]) instead of flattening everything to a string.
+pub fn load(
+    program_path: &str,
+    facts_path: Option<&str>,
+    output: &str,
+) -> Result<Loaded, CliError> {
     let interner = Arc::new(Interner::new());
     let src = std::fs::read_to_string(program_path)
-        .map_err(|e| format!("cannot read {program_path}: {e}"))?;
+        .map_err(|e| CliError::new(ErrorCode::Io, format!("cannot read {program_path}: {e}")))?;
     let program = ValidatedProgram::parse(&src, Arc::clone(&interner))
-        .map_err(|e| format!("{program_path}: {e}"))?;
-    let query = Query::new(program, output).map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::new(e.code(), format!("{program_path}: {e}")))?;
+    let query = Query::new(program, output).map_err(CliError::from)?;
 
     let mut db = Database::with_interner(interner);
     if let Some(path) = facts_path {
-        let facts_src =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        idlog_core::load_facts(&facts_src, &mut db).map_err(|e| format!("{path}: {e}"))?;
+        let facts_src = std::fs::read_to_string(path)
+            .map_err(|e| CliError::new(ErrorCode::Io, format!("cannot read {path}: {e}")))?;
+        idlog_core::load_facts(&facts_src, &mut db)
+            .map_err(|e| CliError::new(e.code(), format!("{path}: {e}")))?;
     }
     Ok(Loaded { query, db })
 }
@@ -158,5 +199,36 @@ pub fn default_budget(max_models: Option<u64>) -> EnumBudget {
     EnumBudget {
         max_models: max_models.unwrap_or(EnumBudget::default().max_models),
         ..EnumBudget::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 0/1/2/3/130 exit-code convention, regression-tested: scripts
+    /// depend on these values, so they may never drift.
+    #[test]
+    fn exit_code_convention_is_stable() {
+        assert_eq!(CliError::failure("x").exit_code(), 1);
+        assert_eq!(CliError::usage("x").exit_code(), 2);
+        for kind in [
+            LimitKind::Deadline,
+            LimitKind::Rounds,
+            LimitKind::Tuples,
+            LimitKind::Bytes,
+        ] {
+            assert_eq!(CliError::limit(kind, "x").exit_code(), 3, "{kind}");
+        }
+        assert_eq!(CliError::cancelled("x").exit_code(), 130);
+        // Engine errors keep their family code through the conversion.
+        let err = CliError::from(CoreError::Cancelled);
+        assert_eq!(err.code(), ErrorCode::Cancelled);
+        assert_eq!(err.exit_code(), 130);
+        let err = CliError::from(CoreError::Eval {
+            message: "overflow".into(),
+        });
+        assert_eq!(err.code(), ErrorCode::Eval);
+        assert_eq!(err.exit_code(), 1);
     }
 }

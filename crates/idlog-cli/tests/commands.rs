@@ -51,9 +51,10 @@ fn load_reports_missing_files_and_bad_programs() {
         Ok(_) => panic!("unsafe program must be rejected"),
     };
     assert!(
-        err.contains("unsafe") || err.contains("head variable"),
+        err.message().contains("unsafe") || err.message().contains("head variable"),
         "{err}"
     );
+    assert_eq!(err.code(), idlog_core::ErrorCode::Safety, "{err:?}");
     let good = s.file("good.idl", "p(X) :- q(X).");
     assert!(
         load(&good, None, "nope").is_err(),
@@ -198,4 +199,44 @@ fn full_arg_to_run_path() {
     .unwrap();
     assert!(matches!(args.command, Command::Run { .. }));
     idlog_cli::run(args).unwrap();
+}
+
+#[test]
+fn client_command_against_a_live_service() {
+    let server = idlog_server::Server::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run(2).unwrap());
+
+    // A ping succeeds and prints the response line.
+    commands::client(&addr, r#"{"op":"ping"}"#).unwrap();
+
+    // Inserts and a run round-trip through the raw client surface.
+    commands::client(
+        &addr,
+        r#"{"op":"insert","tenant":"t","pred":"e","tuple":["a","b"]}"#,
+    )
+    .unwrap();
+    commands::client(
+        &addr,
+        r#"{"op":"run","tenant":"t","program":"p(X, Y) :- e(X, Y).","output":"p"}"#,
+    )
+    .unwrap();
+
+    // A served failure maps onto the CLI's stable exit-code convention.
+    let err = commands::client(&addr, "not json").unwrap_err();
+    assert_eq!(err.code(), idlog_core::ErrorCode::Protocol);
+    assert_eq!(err.exit_code(), 1);
+    let err = commands::client(
+        &addr,
+        r#"{"op":"run","tenant":"t","program":"p(X :-","output":"p"}"#,
+    )
+    .unwrap_err();
+    assert_eq!(err.code(), idlog_core::ErrorCode::Parse);
+
+    commands::client(&addr, r#"{"op":"shutdown"}"#).unwrap();
+    handle.join().unwrap();
+
+    // Connecting to a dead service is an I/O failure.
+    let err = commands::client(&addr, r#"{"op":"ping"}"#).unwrap_err();
+    assert_eq!(err.code(), idlog_core::ErrorCode::Io);
 }

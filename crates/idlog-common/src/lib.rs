@@ -15,6 +15,7 @@
 pub mod error;
 pub mod failpoint;
 pub mod fxhash;
+pub mod json;
 pub mod sort;
 pub mod symbol;
 pub mod tuple;
@@ -22,6 +23,7 @@ pub mod value;
 
 pub use error::{CommonError, CommonResult};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use json::Json;
 pub use sort::{RelType, Sort};
 pub use symbol::{Interner, SymbolId};
 pub use tuple::Tuple;

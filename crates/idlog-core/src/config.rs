@@ -180,52 +180,6 @@ fn resolve_threads(threads: usize) -> usize {
     std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
 }
 
-/// Knobs for one evaluation or enumeration (superseded by [`EvalOptions`]).
-#[deprecated(since = "0.2.0", note = "use EvalOptions")]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct EvalConfig {
-    /// Worker threads (`0` = auto, as in [`EvalOptions::threads`]).
-    pub threads: usize,
-}
-
-#[allow(deprecated)]
-impl EvalConfig {
-    /// Single-threaded evaluation (exactly the pre-parallel behavior).
-    pub const fn serial() -> Self {
-        EvalConfig { threads: 1 }
-    }
-
-    /// A fixed thread count (`0` = auto).
-    pub const fn with_threads(threads: usize) -> Self {
-        EvalConfig { threads }
-    }
-
-    /// Resolve the configured thread count to a concrete positive number.
-    pub fn effective_threads(&self) -> usize {
-        resolve_threads(self.threads)
-    }
-
-    /// The equivalent [`EvalOptions`].
-    pub fn to_options(self) -> EvalOptions {
-        EvalOptions::new().threads(self.threads)
-    }
-}
-
-#[allow(deprecated)]
-impl Default for EvalConfig {
-    /// Auto thread count (env var, then hardware).
-    fn default() -> Self {
-        EvalConfig { threads: 0 }
-    }
-}
-
-#[allow(deprecated)]
-impl From<EvalConfig> for EvalOptions {
-    fn from(config: EvalConfig) -> EvalOptions {
-        config.to_options()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,15 +236,5 @@ mod tests {
         };
         let opts = EvalOptions::new().max_tuples(5).limits(limits);
         assert_eq!(opts.limits, limits);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_config_converts() {
-        let opts: EvalOptions = EvalConfig::with_threads(5).into();
-        assert_eq!(opts.threads, 5);
-        assert!(!opts.profile);
-        assert_eq!(EvalConfig::serial().effective_threads(), 1);
-        assert!(EvalConfig::default().effective_threads() >= 1);
     }
 }

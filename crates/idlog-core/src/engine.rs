@@ -67,6 +67,12 @@ impl EvalState {
         self.rels.contains_key(key)
     }
 
+    /// Mutable access to a relation (incremental maintenance applies
+    /// inserts and removals in place).
+    pub(crate) fn get_mut(&mut self, key: &PredKey) -> Option<&mut Relation> {
+        self.rels.get_mut(key)
+    }
+
     /// Ready every index the given plans will probe: each probing atom step
     /// gets [`Relation::ensure_index`] on its bound positions. A no-op once
     /// the index exists — backends maintain indexes incrementally from then

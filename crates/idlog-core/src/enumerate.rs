@@ -180,52 +180,6 @@ impl AnswerSet {
     }
 }
 
-/// Enumerate every answer of `output` over `db` (sequentially).
-#[deprecated(
-    since = "0.2.0",
-    note = "use enumerate_with_options with EvalOptions::serial().budget(..)"
-)]
-pub fn enumerate_answers(
-    program: &ValidatedProgram,
-    db: &Database,
-    output: &str,
-    budget: &EnumBudget,
-) -> CoreResult<AnswerSet> {
-    enumerate_with_options(program, db, output, &EvalOptions::serial().budget(*budget))
-}
-
-/// Enumerate every answer, distributing the first choice point's branches
-/// over threads (std scoped). Answers and budgets are shared.
-#[deprecated(
-    since = "0.2.0",
-    note = "use enumerate_with_options with EvalOptions::new().budget(..)"
-)]
-pub fn enumerate_answers_parallel(
-    program: &ValidatedProgram,
-    db: &Database,
-    output: &str,
-    budget: &EnumBudget,
-) -> CoreResult<AnswerSet> {
-    enumerate_with_options(program, db, output, &EvalOptions::new().budget(*budget))
-}
-
-/// Enumerate every answer under an explicit legacy `(EnumBudget,
-/// EvalConfig)` pair.
-#[deprecated(
-    since = "0.2.0",
-    note = "use enumerate_with_options with EvalOptions::new().threads(..).budget(..)"
-)]
-#[allow(deprecated)]
-pub fn enumerate_answers_with(
-    program: &ValidatedProgram,
-    db: &Database,
-    output: &str,
-    budget: &EnumBudget,
-    config: &crate::config::EvalConfig,
-) -> CoreResult<AnswerSet> {
-    enumerate_with_options(program, db, output, &config.to_options().budget(*budget))
-}
-
 /// Enumerate every answer of `output` over `db` under [`EvalOptions`]: the
 /// options' budget bounds the walk, and the configured thread budget drives
 /// the first choice point's fan-out (whatever is not consumed by branching

@@ -68,6 +68,12 @@ impl EvalOutput {
     pub fn interner(&self) -> &Arc<Interner> {
         &self.interner
     }
+
+    /// Decompose into the raw evaluation state and statistics (incremental
+    /// maintenance seeds a [`crate::maintain::Materialized`] from them).
+    pub(crate) fn into_parts(self) -> (Arc<Interner>, EvalState, EvalStats) {
+        (self.interner, self.state, self.stats)
+    }
 }
 
 /// Fixpoint strategy per stratum.
@@ -215,51 +221,6 @@ pub fn evaluate_governed(
         }),
         Err(e) => Err(EvalError::Core(e)),
     }
-}
-
-/// Compute the perfect model under default options.
-#[deprecated(
-    since = "0.2.0",
-    note = "use evaluate_with_options(program, db, oracle, &EvalOptions::default()) \
-            or Query::session"
-)]
-pub fn evaluate(
-    program: &ValidatedProgram,
-    db: &Database,
-    oracle: &mut dyn TidOracle,
-) -> CoreResult<EvalOutput> {
-    evaluate_with_options(program, db, oracle, &EvalOptions::default())
-}
-
-/// [`evaluate_with_options`] with only the fixpoint [`Strategy`] set.
-#[deprecated(
-    since = "0.2.0",
-    note = "use evaluate_with_options with EvalOptions::new().strategy(..)"
-)]
-pub fn evaluate_with_strategy(
-    program: &ValidatedProgram,
-    db: &Database,
-    oracle: &mut dyn TidOracle,
-    strategy: Strategy,
-) -> CoreResult<EvalOutput> {
-    evaluate_with_options(program, db, oracle, &EvalOptions::new().strategy(strategy))
-}
-
-/// [`evaluate_with_options`] taking the legacy `(Strategy, EvalConfig)`
-/// pair.
-#[deprecated(
-    since = "0.2.0",
-    note = "use evaluate_with_options with EvalOptions::new().strategy(..).threads(..)"
-)]
-#[allow(deprecated)]
-pub fn evaluate_with_config(
-    program: &ValidatedProgram,
-    db: &Database,
-    oracle: &mut dyn TidOracle,
-    strategy: Strategy,
-    config: &crate::config::EvalConfig,
-) -> CoreResult<EvalOutput> {
-    evaluate_with_options(program, db, oracle, &config.to_options().strategy(strategy))
 }
 
 /// Set up an [`EvalState`] for enumeration: interner check, input relations

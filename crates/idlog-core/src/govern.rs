@@ -82,6 +82,16 @@ pub enum StopReason {
     Cancelled,
 }
 
+impl StopReason {
+    /// The stable [`ErrorCode`](crate::ErrorCode) for this stop.
+    pub fn code(&self) -> crate::ErrorCode {
+        match self {
+            StopReason::Limit(k) => crate::ErrorCode::Limit(*k),
+            StopReason::Cancelled => crate::ErrorCode::Cancelled,
+        }
+    }
+}
+
 impl fmt::Display for StopReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -286,6 +296,17 @@ impl EvalError {
         match self {
             EvalError::Limit { partial, .. } | EvalError::Cancelled { partial } => Some(partial),
             EvalError::Core(_) => None,
+        }
+    }
+
+    /// The stable [`ErrorCode`](crate::ErrorCode) for this error — the same
+    /// code [`EvalError::into_core`] would yield, without consuming the
+    /// partial output.
+    pub fn code(&self) -> crate::ErrorCode {
+        match self {
+            EvalError::Limit { limit, .. } => crate::ErrorCode::Limit(*limit),
+            EvalError::Cancelled { .. } => crate::ErrorCode::Cancelled,
+            EvalError::Core(e) => e.code(),
         }
     }
 }

@@ -35,6 +35,7 @@ pub mod eval;
 pub mod explain;
 pub mod facts;
 pub mod govern;
+pub mod maintain;
 pub mod modelcheck;
 pub mod plan;
 pub mod pred;
@@ -42,6 +43,7 @@ pub mod profile;
 pub mod program;
 pub mod query;
 pub mod safety;
+pub mod service;
 pub mod sorts;
 pub mod stats;
 pub mod stratify;
@@ -50,22 +52,23 @@ pub mod termination;
 pub mod tid;
 pub mod tidbound;
 
-#[allow(deprecated)]
-pub use config::EvalConfig;
 pub use config::{EvalOptions, THREADS_ENV_VAR};
 pub use enumerate::{enumerate_governed, enumerate_with_options, AnswerSet, EnumBudget};
-pub use error::{CoreError, CoreResult};
-#[allow(deprecated)]
-pub use eval::{evaluate, evaluate_with_config, evaluate_with_strategy};
+pub use error::{CoreError, CoreResult, ErrorCode};
 pub use eval::{evaluate_governed, evaluate_with_options, EvalOutput, Strategy};
 pub use explain::{explain, explain_analyze};
 pub use facts::load_facts;
 pub use govern::{CancelToken, EvalError, Governor, LimitKind, Limits, StopReason};
+pub use maintain::{FactDelta, MaintainOutcome, Materialized};
 pub use modelcheck::{verify_model, ModelViolation};
 pub use pred::PredKey;
 pub use profile::{Profile, RuleTotals, PROFILE_JSON_SCHEMA};
 pub use program::ValidatedProgram;
 pub use query::{EvalResult, Query, Session};
+pub use service::{
+    render_answers, render_tuple, FactValue, Request, Response, RunRequest, ServeMode,
+    SERVICE_SCHEMA,
+};
 pub use stats::EvalStats;
 pub use taint::{analyze_taint, choice_free_occurrence, TaintAnalysis, TaintStep};
 pub use termination::{
@@ -75,6 +78,6 @@ pub use termination::{
 pub use tid::{CanonicalOracle, ExplicitOracle, SeededOracle, TidOracle};
 
 // Re-export the pieces callers need to build inputs and read outputs.
-pub use idlog_common::{Interner, RelType, Sort, SymbolId, Tuple, Value};
+pub use idlog_common::{Interner, Json, RelType, Sort, SymbolId, Tuple, Value};
 pub use idlog_parser::{parse_clause, parse_program, Program};
 pub use idlog_storage::{BackendKind, Database, Relation, Storage};

@@ -324,88 +324,7 @@ impl Query {
         }
     }
 
-    /// One answer of the (possibly non-deterministic) query, resolved by
-    /// `oracle`.
-    #[deprecated(since = "0.2.0", note = "use Query::session(db).run_with(oracle)")]
-    pub fn eval(&self, db: &Database, oracle: &mut dyn TidOracle) -> CoreResult<Relation> {
-        self.eval_inner(db, oracle, &EvalOptions::default(), None)
-            .map(|r| r.relation)
-            .map_err(EvalError::into_core)
-    }
-
-    /// Like `eval`, also returning evaluation statistics.
-    #[deprecated(since = "0.2.0", note = "use Query::session(db).run_with(oracle)")]
-    pub fn eval_with_stats(
-        &self,
-        db: &Database,
-        oracle: &mut dyn TidOracle,
-    ) -> CoreResult<(Relation, EvalStats)> {
-        self.eval_inner(db, oracle, &EvalOptions::default(), None)
-            .map(|r| (r.relation, r.stats))
-            .map_err(EvalError::into_core)
-    }
-
-    /// Like `eval_with_stats` with an explicit `EvalConfig` (thread count).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Query::session(db).options(opts).run_with(oracle)"
-    )]
-    #[allow(deprecated)]
-    pub fn eval_configured(
-        &self,
-        db: &Database,
-        oracle: &mut dyn TidOracle,
-        config: &crate::config::EvalConfig,
-    ) -> CoreResult<(Relation, EvalStats)> {
-        self.eval_inner(db, oracle, &config.to_options(), None)
-            .map(|r| (r.relation, r.stats))
-            .map_err(EvalError::into_core)
-    }
-
-    /// Every answer of the query (bounded by `budget`).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Query::session(db).budget(budget).all_answers()"
-    )]
-    pub fn all_answers(&self, db: &Database, budget: &EnumBudget) -> CoreResult<AnswerSet> {
-        self.session(db)
-            .options(EvalOptions::serial().budget(*budget))
-            .all_answers()
-    }
-
-    /// Every answer, exploring the first choice point in parallel.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Query::session(db).budget(budget).all_answers()"
-    )]
-    pub fn all_answers_parallel(
-        &self,
-        db: &Database,
-        budget: &EnumBudget,
-    ) -> CoreResult<AnswerSet> {
-        self.session(db).budget(*budget).all_answers()
-    }
-
-    /// Every answer under an explicit `EvalConfig` (thread count for the
-    /// choice-point fan-out and per-branch rounds).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Query::session(db).options(opts).all_answers()"
-    )]
-    #[allow(deprecated)]
-    pub fn all_answers_configured(
-        &self,
-        db: &Database,
-        budget: &EnumBudget,
-        config: &crate::config::EvalConfig,
-    ) -> CoreResult<AnswerSet> {
-        self.session(db)
-            .options(config.to_options().budget(*budget))
-            .all_answers()
-    }
-
-    /// The shared implementation behind [`Session::try_run_with`] and the
-    /// deprecated `eval*` entry points.
+    /// The shared implementation behind [`Session::try_run_with`].
     fn eval_inner(
         &self,
         db: &Database,
@@ -596,25 +515,6 @@ mod tests {
         assert_eq!(profile.totals, profiled.stats);
         assert_eq!(plain.relation, profiled.relation);
         assert_eq!(plain.stats, profiled.stats);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_entry_points_match_session() {
-        let q = Query::parse("pick(N) :- emp[2](N, D, 0).", "pick").unwrap();
-        let mut db = q.new_database();
-        db.insert_syms("emp", &["a", "x"]).unwrap();
-        db.insert_syms("emp", &["b", "x"]).unwrap();
-        let new = q.session(&db).run().unwrap();
-        let old = q.eval(&db, &mut CanonicalOracle).unwrap();
-        assert_eq!(new.relation, old);
-        let (rel, stats) = q.eval_with_stats(&db, &mut CanonicalOracle).unwrap();
-        assert_eq!(rel, new.relation);
-        assert_eq!(stats, new.stats);
-        let budget = EnumBudget::default();
-        let all_new = q.session(&db).all_answers().unwrap();
-        let all_old = q.all_answers(&db, &budget).unwrap();
-        assert_eq!(all_new.len(), all_old.len());
     }
 
     #[test]

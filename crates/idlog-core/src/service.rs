@@ -1,0 +1,672 @@
+//! The IDLOG service protocol: serializable request/response types for
+//! `idlog serve`.
+//!
+//! The wire format is a line protocol: one JSON object per line, request in,
+//! response out, over a plain TCP stream. Hand-rolled JSON
+//! ([`idlog_common::Json`]) keeps the engine dependency-free; the schema is
+//! small enough that a grammar-complete parser is overkill.
+//!
+//! Responses reuse the library's stable [`ErrorCode`] vocabulary and its
+//! exit-code convention — `"exit"` in a response equals what the `idlog`
+//! CLI would have exited with for the same failure, so scripts can switch
+//! on one code set across both surfaces. See `LANGUAGE.md` §Service for
+//! the full field reference.
+
+use std::time::Duration;
+
+use idlog_common::{Interner, Json, Tuple, Value};
+use idlog_storage::{BackendKind, Relation};
+
+use crate::error::ErrorCode;
+use crate::govern::Limits;
+
+/// Protocol schema identifier, reported by `ping`.
+pub const SERVICE_SCHEMA: &str = "idlog-service/1";
+
+/// One fact argument on the wire: JSON strings are symbols, JSON integers
+/// are sort-`i` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactValue {
+    /// An uninterpreted symbol.
+    Sym(String),
+    /// An integer.
+    Int(i64),
+}
+
+impl FactValue {
+    /// Intern into an engine [`Value`].
+    pub fn to_value(&self, interner: &Interner) -> Value {
+        match self {
+            FactValue::Sym(s) => Value::Sym(interner.intern(s)),
+            FactValue::Int(n) => Value::Int(*n),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            FactValue::Sym(s) => Json::str(s.clone()),
+            FactValue::Int(n) => Json::Num(*n as f64),
+        }
+    }
+
+    fn parse(j: &Json) -> Result<FactValue, String> {
+        if let Some(s) = j.as_str() {
+            return Ok(FactValue::Sym(s.to_string()));
+        }
+        if let Some(n) = j.as_f64() {
+            if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                return Ok(FactValue::Int(n as i64));
+            }
+            return Err(format!("fact value {n} is not an integer"));
+        }
+        Err("fact values must be strings or integers".to_string())
+    }
+}
+
+/// A `run` request: evaluate `program`'s `output` under per-request options
+/// and limits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRequest {
+    /// Tenant whose database the query runs against.
+    pub tenant: String,
+    /// IDLOG program text.
+    pub program: String,
+    /// Output predicate name.
+    pub output: String,
+    /// Enumerate the full answer set instead of one canonical answer.
+    pub all: bool,
+    /// Resolve non-determinism with a seeded oracle instead of the
+    /// canonical one (forces a fresh evaluation; materialized models are
+    /// canonical).
+    pub seed: Option<u64>,
+    /// Worker-thread count (`None`/`0` = auto).
+    pub threads: Option<usize>,
+    /// Storage backend override for materialized relations.
+    pub backend: Option<BackendKind>,
+    /// Wall-clock budget in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Semi-naive round ceiling.
+    pub max_rounds: Option<u64>,
+    /// Derived-tuple ceiling.
+    pub max_tuples: Option<u64>,
+    /// Stored-bytes ceiling.
+    pub max_bytes: Option<u64>,
+    /// Model ceiling for `all` enumeration.
+    pub max_models: Option<u64>,
+}
+
+impl RunRequest {
+    /// A minimal run request with every option defaulted.
+    pub fn new(tenant: &str, program: &str, output: &str) -> RunRequest {
+        RunRequest {
+            tenant: tenant.to_string(),
+            program: program.to_string(),
+            output: output.to_string(),
+            all: false,
+            seed: None,
+            threads: None,
+            backend: None,
+            timeout_ms: None,
+            max_rounds: None,
+            max_tuples: None,
+            max_bytes: None,
+            max_models: None,
+        }
+    }
+
+    /// The [`Limits`] this request's ceiling fields map to.
+    pub fn limits(&self) -> Limits {
+        Limits {
+            deadline: self.timeout_ms.map(Duration::from_millis),
+            max_rounds: self.max_rounds,
+            max_tuples: self.max_tuples,
+            max_bytes: self.max_bytes,
+        }
+    }
+
+    /// True when the request can be served from (and maintained in) a
+    /// canonical materialized model: one canonical answer, no per-request
+    /// resource ceilings that a cached read could misreport.
+    pub fn wants_materialized(&self) -> bool {
+        !self.all && self.seed.is_none() && self.limits() == Limits::default()
+    }
+}
+
+/// One request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Evaluate a query.
+    Run(RunRequest),
+    /// Add one fact to a tenant's database.
+    Insert {
+        /// Target tenant.
+        tenant: String,
+        /// Predicate name.
+        pred: String,
+        /// Fact arguments.
+        tuple: Vec<FactValue>,
+    },
+    /// Remove one fact from a tenant's database.
+    Retract {
+        /// Target tenant.
+        tenant: String,
+        /// Predicate name.
+        pred: String,
+        /// Fact arguments.
+        tuple: Vec<FactValue>,
+    },
+    /// Liveness probe; the response carries [`SERVICE_SCHEMA`].
+    Ping,
+    /// Per-tenant counters (facts, cached queries).
+    Stats {
+        /// Target tenant.
+        tenant: String,
+    },
+    /// Orderly server shutdown.
+    Shutdown,
+}
+
+impl Request {
+    /// Parse one request line. Errors are human-readable and map to
+    /// [`ErrorCode::Protocol`].
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let j = Json::parse(line)?;
+        let op = j
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request object needs a string \"op\" field")?;
+        let tenant = |j: &Json| -> Result<String, String> {
+            Ok(j.get("tenant")
+                .and_then(Json::as_str)
+                .ok_or("request needs a string \"tenant\" field")?
+                .to_string())
+        };
+        let fact = |j: &Json| -> Result<(String, Vec<FactValue>), String> {
+            let pred = j
+                .get("pred")
+                .and_then(Json::as_str)
+                .ok_or("fact request needs a string \"pred\" field")?
+                .to_string();
+            let tuple = j
+                .get("tuple")
+                .and_then(Json::as_array)
+                .ok_or("fact request needs an array \"tuple\" field")?
+                .iter()
+                .map(FactValue::parse)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok((pred, tuple))
+        };
+        match op {
+            "run" => {
+                let field = |k: &str| -> Result<String, String> {
+                    Ok(j.get(k)
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("run request needs a string \"{k}\" field"))?
+                        .to_string())
+                };
+                let backend = match j.get("backend").and_then(Json::as_str) {
+                    None => None,
+                    Some(name) => Some(
+                        BackendKind::parse(name)
+                            .ok_or_else(|| format!("unknown backend {name:?}"))?,
+                    ),
+                };
+                Ok(Request::Run(RunRequest {
+                    tenant: tenant(&j)?,
+                    program: field("program")?,
+                    output: field("output")?,
+                    all: j.get("all").and_then(Json::as_bool).unwrap_or(false),
+                    seed: j.get("seed").and_then(Json::as_u64),
+                    threads: j.get("threads").and_then(Json::as_u64).map(|n| n as usize),
+                    backend,
+                    timeout_ms: j.get("timeout_ms").and_then(Json::as_u64),
+                    max_rounds: j.get("max_rounds").and_then(Json::as_u64),
+                    max_tuples: j.get("max_tuples").and_then(Json::as_u64),
+                    max_bytes: j.get("max_bytes").and_then(Json::as_u64),
+                    max_models: j.get("max_models").and_then(Json::as_u64),
+                }))
+            }
+            "insert" => {
+                let (pred, tuple) = fact(&j)?;
+                Ok(Request::Insert {
+                    tenant: tenant(&j)?,
+                    pred,
+                    tuple,
+                })
+            }
+            "retract" => {
+                let (pred, tuple) = fact(&j)?;
+                Ok(Request::Retract {
+                    tenant: tenant(&j)?,
+                    pred,
+                    tuple,
+                })
+            }
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats {
+                tenant: tenant(&j)?,
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+
+    /// Render as one compact JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        let mut put = |k: &str, v: Json| fields.push((k.to_string(), v));
+        match self {
+            Request::Run(r) => {
+                put("op", Json::str("run"));
+                put("tenant", Json::str(r.tenant.clone()));
+                put("program", Json::str(r.program.clone()));
+                put("output", Json::str(r.output.clone()));
+                if r.all {
+                    put("all", Json::Bool(true));
+                }
+                let nums = [
+                    ("seed", r.seed),
+                    ("timeout_ms", r.timeout_ms),
+                    ("max_rounds", r.max_rounds),
+                    ("max_tuples", r.max_tuples),
+                    ("max_bytes", r.max_bytes),
+                    ("max_models", r.max_models),
+                ];
+                for (k, v) in nums {
+                    if let Some(n) = v {
+                        put(k, Json::Num(n as f64));
+                    }
+                }
+                if let Some(t) = r.threads {
+                    put("threads", Json::Num(t as f64));
+                }
+                if let Some(b) = r.backend {
+                    put("backend", Json::str(b.name()));
+                }
+            }
+            Request::Insert {
+                tenant,
+                pred,
+                tuple,
+            }
+            | Request::Retract {
+                tenant,
+                pred,
+                tuple,
+            } => {
+                let op = if matches!(self, Request::Insert { .. }) {
+                    "insert"
+                } else {
+                    "retract"
+                };
+                put("op", Json::str(op));
+                put("tenant", Json::str(tenant.clone()));
+                put("pred", Json::str(pred.clone()));
+                put(
+                    "tuple",
+                    Json::Array(tuple.iter().map(FactValue::to_json).collect()),
+                );
+            }
+            Request::Ping => put("op", Json::str("ping")),
+            Request::Stats { tenant } => {
+                put("op", Json::str("stats"));
+                put("tenant", Json::str(tenant.clone()));
+            }
+            Request::Shutdown => put("op", Json::str("shutdown")),
+        }
+        Json::Object(fields).render()
+    }
+}
+
+/// How a `run` request was satisfied (diagnostic; not part of the
+/// byte-identical answer surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Served straight from a maintained materialized model.
+    Materialized,
+    /// The model was updated by delta propagation before serving.
+    Incremental,
+    /// The model was recomputed in full before serving.
+    Recomputed,
+    /// Evaluated from scratch for this request (seeded, limited, or `all`).
+    Fresh,
+}
+
+impl ServeMode {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServeMode::Materialized => "materialized",
+            ServeMode::Incremental => "incremental",
+            ServeMode::Recomputed => "recomputed",
+            ServeMode::Fresh => "fresh",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<ServeMode> {
+        Some(match s {
+            "materialized" => ServeMode::Materialized,
+            "incremental" => ServeMode::Incremental,
+            "recomputed" => ServeMode::Recomputed,
+            "fresh" => ServeMode::Fresh,
+            _ => return None,
+        })
+    }
+}
+
+/// One response line. `exit` mirrors the CLI exit-code convention (0 ok,
+/// 1 failure, 2 usage, 3 limit, 130 cancelled); `code` is the stable
+/// [`ErrorCode`] string when the request failed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Exit-code-style status.
+    pub exit: u8,
+    /// Stable error code on failure.
+    pub code: Option<ErrorCode>,
+    /// Human-readable message on failure.
+    pub error: Option<String>,
+    /// Canonically ordered answer tuples (`run`): each tuple rendered as
+    /// comma-joined values. Also carries partial results on a limit trip.
+    pub answers: Option<Vec<String>>,
+    /// All distinct answers of a non-deterministic query (`run` with
+    /// `all`): each inner list one answer's tuples, canonically sorted.
+    pub models: Option<Vec<Vec<String>>>,
+    /// Whether an `all` enumeration completed within its budget.
+    pub complete: Option<bool>,
+    /// Prepared-query cache: `true` = hit.
+    pub cache_hit: Option<bool>,
+    /// How the request was satisfied.
+    pub mode: Option<ServeMode>,
+    /// Whether a fact change altered the database (`insert`/`retract`).
+    pub changed: Option<bool>,
+    /// Tenant fact count (`stats`, `insert`, `retract`).
+    pub facts: Option<u64>,
+    /// Cached prepared queries for the tenant (`stats`).
+    pub queries: Option<u64>,
+    /// Schema identifier (`ping`).
+    pub schema: Option<String>,
+}
+
+impl Response {
+    /// A success with no payload.
+    pub fn ok() -> Response {
+        Response {
+            exit: 0,
+            code: None,
+            error: None,
+            answers: None,
+            models: None,
+            complete: None,
+            cache_hit: None,
+            mode: None,
+            changed: None,
+            facts: None,
+            queries: None,
+            schema: None,
+        }
+    }
+
+    /// A failure carrying `code` and a message; `exit` follows
+    /// [`ErrorCode::exit_code`].
+    pub fn error(code: ErrorCode, message: impl Into<String>) -> Response {
+        Response {
+            exit: code.exit_code(),
+            code: Some(code),
+            error: Some(message.into()),
+            ..Response::ok()
+        }
+    }
+
+    /// Render as one compact JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut fields: Vec<(String, Json)> =
+            vec![("exit".to_string(), Json::Num(self.exit as f64))];
+        let mut put = |k: &str, v: Json| fields.push((k.to_string(), v));
+        if let Some(code) = self.code {
+            put("code", Json::str(code.as_str()));
+        }
+        if let Some(e) = &self.error {
+            put("error", Json::str(e.clone()));
+        }
+        if let Some(a) = &self.answers {
+            put(
+                "answers",
+                Json::Array(a.iter().map(|s| Json::str(s.clone())).collect()),
+            );
+        }
+        if let Some(m) = &self.models {
+            put(
+                "models",
+                Json::Array(
+                    m.iter()
+                        .map(|rows| {
+                            Json::Array(rows.iter().map(|s| Json::str(s.clone())).collect())
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        if let Some(c) = self.complete {
+            put("complete", Json::Bool(c));
+        }
+        if let Some(h) = self.cache_hit {
+            put("cache_hit", Json::Bool(h));
+        }
+        if let Some(m) = self.mode {
+            put("mode", Json::str(m.as_str()));
+        }
+        if let Some(c) = self.changed {
+            put("changed", Json::Bool(c));
+        }
+        if let Some(f) = self.facts {
+            put("facts", Json::Num(f as f64));
+        }
+        if let Some(q) = self.queries {
+            put("queries", Json::Num(q as f64));
+        }
+        if let Some(s) = &self.schema {
+            put("schema", Json::str(s.clone()));
+        }
+        Json::Object(fields).render()
+    }
+
+    /// Parse one response line.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let j = Json::parse(line)?;
+        let exit = j
+            .get("exit")
+            .and_then(Json::as_u64)
+            .ok_or("response needs a numeric \"exit\" field")?;
+        let code = match j.get("code").and_then(Json::as_str) {
+            None => None,
+            Some(s) => Some(ErrorCode::parse(s).ok_or_else(|| format!("unknown code {s:?}"))?),
+        };
+        let answers = match j.get("answers").and_then(Json::as_array) {
+            None => None,
+            Some(items) => Some(
+                items
+                    .iter()
+                    .map(|i| {
+                        i.as_str()
+                            .map(str::to_string)
+                            .ok_or("answers must be strings")
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+        };
+        let models = match j.get("models").and_then(Json::as_array) {
+            None => None,
+            Some(items) => Some(
+                items
+                    .iter()
+                    .map(|m| {
+                        m.as_array()
+                            .ok_or("models must be arrays of strings")?
+                            .iter()
+                            .map(|i| {
+                                i.as_str()
+                                    .map(str::to_string)
+                                    .ok_or("models must be arrays of strings")
+                            })
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+        };
+        let mode = match j.get("mode").and_then(Json::as_str) {
+            None => None,
+            Some(s) => Some(ServeMode::parse(s).ok_or_else(|| format!("unknown mode {s:?}"))?),
+        };
+        Ok(Response {
+            exit: exit as u8,
+            code,
+            error: j.get("error").and_then(Json::as_str).map(str::to_string),
+            answers,
+            models,
+            complete: j.get("complete").and_then(Json::as_bool),
+            cache_hit: j.get("cache_hit").and_then(Json::as_bool),
+            mode,
+            changed: j.get("changed").and_then(Json::as_bool),
+            facts: j.get("facts").and_then(Json::as_u64),
+            queries: j.get("queries").and_then(Json::as_u64),
+            schema: j.get("schema").and_then(Json::as_str).map(str::to_string),
+        })
+    }
+}
+
+/// Render a relation as the protocol's canonical answer strings: tuples in
+/// canonical (name-based) order, each value displayed and comma-joined.
+/// A pure function of relation *content*, so any two states holding the
+/// same relation — materialized, incrementally maintained, or freshly
+/// evaluated, on either backend, at any thread count — render byte-
+/// identically.
+pub fn render_answers(rel: &Relation, interner: &Interner) -> Vec<String> {
+    rel.sorted_canonical(interner)
+        .iter()
+        .map(|t| render_tuple(t, interner))
+        .collect()
+}
+
+/// One tuple as a comma-joined value string.
+pub fn render_tuple(t: &Tuple, interner: &Interner) -> String {
+    t.values()
+        .iter()
+        .map(|v| v.display(interner).to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::govern::LimitKind;
+
+    #[test]
+    fn run_request_round_trips() {
+        let mut r = RunRequest::new("acme", "p(X) :- q(X).", "p");
+        r.all = true;
+        r.seed = Some(7);
+        r.threads = Some(2);
+        r.backend = Some(BackendKind::Columnar);
+        r.timeout_ms = Some(250);
+        r.max_rounds = Some(10);
+        r.max_tuples = Some(1000);
+        r.max_bytes = Some(1 << 20);
+        r.max_models = Some(64);
+        let line = Request::Run(r.clone()).to_json();
+        assert_eq!(Request::parse(&line).unwrap(), Request::Run(r.clone()));
+        // The ceiling fields map onto Limits.
+        let limits = r.limits();
+        assert_eq!(limits.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(limits.max_rounds, Some(10));
+        assert_eq!(limits.max_tuples, Some(1000));
+        assert_eq!(limits.max_bytes, Some(1 << 20));
+        assert!(
+            !r.wants_materialized(),
+            "limited request bypasses the cache"
+        );
+        assert!(
+            RunRequest::new("acme", "p(X) :- q(X).", "p").wants_materialized(),
+            "plain request is materializable"
+        );
+    }
+
+    #[test]
+    fn fact_requests_round_trip_with_mixed_sorts() {
+        let req = Request::Insert {
+            tenant: "t".into(),
+            pred: "num".into(),
+            tuple: vec![FactValue::Sym("a".into()), FactValue::Int(42)],
+        };
+        let parsed = Request::parse(&req.to_json()).unwrap();
+        assert_eq!(parsed, req);
+        let ret = Request::Retract {
+            tenant: "t".into(),
+            pred: "num".into(),
+            tuple: vec![FactValue::Int(-3)],
+        };
+        assert_eq!(Request::parse(&ret.to_json()).unwrap(), ret);
+        for control in [
+            Request::Ping,
+            Request::Stats { tenant: "t".into() },
+            Request::Shutdown,
+        ] {
+            assert_eq!(Request::parse(&control.to_json()).unwrap(), control);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("{}").is_err());
+        assert!(Request::parse(r#"{"op":"warp"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"run","tenant":"t"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"insert","tenant":"t","pred":"p"}"#).is_err());
+        assert!(
+            Request::parse(r#"{"op":"insert","tenant":"t","pred":"p","tuple":[1.5]}"#).is_err(),
+            "non-integer numbers are not fact values"
+        );
+        assert!(Request::parse(
+            r#"{"op":"run","tenant":"t","program":"p(a).","output":"p","backend":"flash"}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn responses_round_trip_and_follow_the_exit_convention() {
+        let ok = Response {
+            answers: Some(vec!["a,b".into(), "b,c".into()]),
+            models: Some(vec![vec!["a,b".into()], vec!["b,c".into()]]),
+            complete: Some(true),
+            cache_hit: Some(false),
+            mode: Some(ServeMode::Incremental),
+            ..Response::ok()
+        };
+        assert_eq!(Response::parse(&ok.to_json()).unwrap(), ok);
+        assert_eq!(ok.exit, 0);
+
+        let limit = Response::error(ErrorCode::Limit(LimitKind::Deadline), "deadline exceeded");
+        assert_eq!(limit.exit, 3);
+        let parsed = Response::parse(&limit.to_json()).unwrap();
+        assert_eq!(parsed.code, Some(ErrorCode::Limit(LimitKind::Deadline)));
+        assert_eq!(parsed.exit, 3);
+
+        assert_eq!(Response::error(ErrorCode::Usage, "x").exit, 2);
+        assert_eq!(Response::error(ErrorCode::Cancelled, "x").exit, 130);
+        assert_eq!(Response::error(ErrorCode::Parse, "x").exit, 1);
+        assert_eq!(Response::error(ErrorCode::Protocol, "x").exit, 1);
+    }
+
+    #[test]
+    fn render_answers_is_canonical() {
+        let q = crate::Query::parse("p(X, Y) :- e(X, Y).", "p").unwrap();
+        let mut db = q.new_database();
+        // Insert out of name order; rendering must sort canonically.
+        db.insert_syms("e", &["zoo", "b"]).unwrap();
+        db.insert_syms("e", &["ant", "b"]).unwrap();
+        let out = q.session(&db).run().unwrap();
+        let rendered = render_answers(&out.relation, q.interner());
+        assert_eq!(rendered, ["ant,b", "zoo,b"]);
+    }
+}

@@ -1,165 +1,117 @@
-//! The deprecated entry points are shims over the `EvalOptions`/`Session`
-//! API — each must produce exactly what its replacement produces.
+//! The PR 3 `#[deprecated]` entry-point shims are gone; `Query::parse` →
+//! [`idlog_core::Session`] with [`idlog_core::EvalOptions`] is the one
+//! blessed path. This test keeps them gone:
+//!
+//! 1. an **absence scan** over `idlog-core/src` asserts no `#[deprecated]`
+//!    attribute and no removed-shim name reappears in the public surface;
+//! 2. a **blessed-path exercise** shows the supported API covers everything
+//!    the shims used to do (one answer, stats, explicit options, seeded
+//!    oracle, all answers).
 
-#![allow(deprecated)]
+use idlog_core::{EnumBudget, EvalOptions, Query, SeededOracle, Strategy};
 
-use std::sync::Arc;
+/// Declarations of the deleted shims. Any of these reappearing as `pub` in
+/// idlog-core source is a regression — the blessed API must not regrow them.
+const REMOVED: &[&str] = &[
+    "fn eval(",
+    "fn eval_with_stats(",
+    "fn eval_configured(",
+    "fn all_answers_parallel(",
+    "fn all_answers_configured(",
+    "struct EvalConfig",
+    "fn evaluate(",
+    "fn evaluate_with_strategy(",
+    "fn evaluate_with_config(",
+    "fn enumerate_answers(",
+    "fn enumerate_answers_parallel(",
+    "fn enumerate_answers_with(",
+];
 
-use idlog_core::enumerate::{
-    enumerate_answers, enumerate_answers_parallel, enumerate_answers_with,
-};
-use idlog_core::{
-    enumerate_with_options, evaluate, evaluate_with_config, evaluate_with_options,
-    evaluate_with_strategy, CanonicalOracle, EnumBudget, EvalConfig, EvalOptions, Interner, Query,
-    SeededOracle, Strategy, ValidatedProgram,
-};
-use idlog_storage::Database;
-
-fn fixture() -> (ValidatedProgram, Database) {
-    let interner = Arc::new(Interner::new());
-    let program = ValidatedProgram::parse(
-        "reach(X) :- start(X).
-         reach(Y) :- reach(X), e(X, Y).
-         pick(X) :- reach[](X, 0).
-         far(X) :- node(X), not reach(X).",
-        Arc::clone(&interner),
-    )
-    .unwrap();
-    let mut db = Database::with_interner(interner);
-    for v in ["a", "b", "c", "d"] {
-        db.insert_syms("node", &[v]).unwrap();
+fn core_src_files() -> Vec<std::path::PathBuf> {
+    let src = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut files = Vec::new();
+    let mut stack = vec![src];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("readable src dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
     }
-    for (x, y) in [("a", "b"), ("b", "c")] {
-        db.insert_syms("e", &[x, y]).unwrap();
-    }
-    db.insert_syms("start", &["a"]).unwrap();
-    (program, db)
-}
-
-fn same_relations(
-    a: &idlog_core::EvalOutput,
-    b: &idlog_core::EvalOutput,
-    program: &ValidatedProgram,
-) {
-    for name in ["reach", "pick", "far"] {
-        let (ra, rb) = (a.relation(name).unwrap(), b.relation(name).unwrap());
-        assert!(ra.set_eq(rb), "relation {name} differs");
-    }
-    assert_eq!(a.stats(), b.stats(), "stats differ");
-    let _ = program;
+    assert!(!files.is_empty(), "found no source files under src/");
+    files
 }
 
 #[test]
-fn evaluate_shim_matches_options() {
-    let (program, db) = fixture();
-    let old = evaluate(&program, &db, &mut CanonicalOracle).unwrap();
-    let new = evaluate_with_options(&program, &db, &mut CanonicalOracle, &EvalOptions::default())
-        .unwrap();
-    same_relations(&old, &new, &program);
-}
-
-#[test]
-fn evaluate_with_strategy_shim_matches_options() {
-    let (program, db) = fixture();
-    for strategy in [Strategy::SemiNaive, Strategy::Naive] {
-        let old =
-            evaluate_with_strategy(&program, &db, &mut SeededOracle::new(9), strategy).unwrap();
-        let new = evaluate_with_options(
-            &program,
-            &db,
-            &mut SeededOracle::new(9),
-            &EvalOptions::new().strategy(strategy),
-        )
-        .unwrap();
-        same_relations(&old, &new, &program);
-    }
-}
-
-#[test]
-fn evaluate_with_config_shim_matches_options() {
-    let (program, db) = fixture();
-    for threads in [1usize, 3] {
-        let old = evaluate_with_config(
-            &program,
-            &db,
-            &mut CanonicalOracle,
-            Strategy::SemiNaive,
-            &EvalConfig::with_threads(threads),
-        )
-        .unwrap();
-        let new = evaluate_with_options(
-            &program,
-            &db,
-            &mut CanonicalOracle,
-            &EvalOptions::new().threads(threads),
-        )
-        .unwrap();
-        same_relations(&old, &new, &program);
-    }
-}
-
-#[test]
-fn enumeration_shims_match_options() {
-    let (program, db) = fixture();
-    let budget = EnumBudget::default();
-    let new = enumerate_with_options(&program, &db, "pick", &EvalOptions::serial().budget(budget))
-        .unwrap();
-    let seq = enumerate_answers(&program, &db, "pick", &budget).unwrap();
-    let par = enumerate_answers_parallel(&program, &db, "pick", &budget).unwrap();
-    let cfg = enumerate_answers_with(&program, &db, "pick", &budget, &EvalConfig::with_threads(2))
-        .unwrap();
-    for (label, old) in [("seq", &seq), ("par", &par), ("cfg", &cfg)] {
+fn no_deprecated_items_remain_in_core() {
+    for path in core_src_files() {
+        let text = std::fs::read_to_string(&path).expect("readable source file");
         assert!(
-            new.same_answers(old, program.interner()),
-            "{label} shim differs"
+            !text.contains("#[deprecated"),
+            "{} still carries a #[deprecated] attribute",
+            path.display()
         );
-        assert_eq!(new.models_explored(), old.models_explored(), "{label}");
-        assert_eq!(new.complete(), old.complete(), "{label}");
+        for name in REMOVED {
+            for (lineno, line) in text.lines().enumerate() {
+                if line.trim_start().starts_with("//") {
+                    continue;
+                }
+                assert!(
+                    !(line.contains(name) && line.contains("pub ")),
+                    "{}:{}: removed shim `{name}` reappeared: {line}",
+                    path.display(),
+                    lineno + 1
+                );
+            }
+        }
     }
 }
 
 #[test]
-fn query_shims_match_session() {
-    let q = Query::parse(
-        "reach(X) :- start(X).
-         reach(Y) :- reach(X), e(X, Y).
-         pick(X) :- reach[](X, 0).",
-        "pick",
-    )
-    .unwrap();
+fn blessed_path_covers_the_old_shims() {
+    let q = Query::parse("pick(N) :- emp[2](N, D, 0).", "pick").unwrap();
     let mut db = q.new_database();
-    db.insert_syms("start", &["a"]).unwrap();
-    db.insert_syms("e", &["a", "b"]).unwrap();
+    db.insert_syms("emp", &["a", "x"]).unwrap();
+    db.insert_syms("emp", &["b", "x"]).unwrap();
 
-    let session = q.session(&db).run().unwrap();
-    let old_eval = q.eval(&db, &mut CanonicalOracle).unwrap();
-    assert_eq!(session.relation, old_eval);
-    let (rel, stats) = q.eval_with_stats(&db, &mut CanonicalOracle).unwrap();
-    assert_eq!((rel, stats), (session.relation.clone(), session.stats));
-    let (rel, stats) = q
-        .eval_configured(&db, &mut CanonicalOracle, &EvalConfig::serial())
+    // `Query::eval` → session().run().
+    let one = q.session(&db).run().unwrap();
+    assert_eq!(one.relation.len(), 1);
+
+    // `eval_with_stats` → the result carries stats.
+    assert!(one.stats.inserted > 0);
+
+    // `eval_configured` / `evaluate_with_config` → options()/threads().
+    let configured = q
+        .session(&db)
+        .options(EvalOptions::new().strategy(Strategy::SemiNaive))
+        .threads(2)
+        .run()
         .unwrap();
-    assert_eq!((rel, stats), (session.relation.clone(), session.stats));
+    assert_eq!(configured.relation, one.relation);
+    assert_eq!(configured.stats, one.stats);
 
-    let budget = EnumBudget::default();
-    let new_all = q.session(&db).all_answers().unwrap();
-    for old in [
-        q.all_answers(&db, &budget).unwrap(),
-        q.all_answers_parallel(&db, &budget).unwrap(),
-        q.all_answers_configured(&db, &budget, &EvalConfig::with_threads(2))
-            .unwrap(),
-    ] {
-        assert!(new_all.same_answers(&old, q.interner()));
-    }
-}
+    // `eval` with an explicit oracle → run_with().
+    let mut oracle = SeededOracle::new(7);
+    let seeded = q.session(&db).run_with(&mut oracle).unwrap();
+    assert_eq!(seeded.relation.len(), 1);
 
-#[test]
-fn eval_config_converts_to_options() {
-    let opts: EvalOptions = EvalConfig::with_threads(7).into();
-    assert_eq!(opts, EvalOptions::new().threads(7));
-    assert_eq!(
-        EvalConfig::serial().to_options().effective_threads(),
-        1,
-        "serial config resolves to one thread"
-    );
+    // `all_answers` / `all_answers_parallel` / `all_answers_configured`
+    // → budget()/threads() on the same session builder.
+    let all = q
+        .session(&db)
+        .budget(EnumBudget::default())
+        .all_answers()
+        .unwrap();
+    assert_eq!(all.len(), 2);
+    let all_parallel = q
+        .session(&db)
+        .budget(EnumBudget::default())
+        .threads(4)
+        .all_answers()
+        .unwrap();
+    assert!(all.same_answers(&all_parallel, q.interner()));
 }

@@ -1,0 +1,569 @@
+//! The IDLOG service: a thread-pooled TCP line-protocol server holding
+//! per-tenant databases resident across requests.
+//!
+//! Each connection speaks the [`idlog_core::service`] protocol: one JSON
+//! request per line in, one JSON response per line out. The server keeps,
+//! per tenant, a [`Database`], a shared [`Interner`], and a prepared-query
+//! cache; plain `run` requests are served from an incrementally maintained
+//! [`Materialized`] model (DRed-style delete-and-rederive on `retract`,
+//! semi-naive delta rounds on `insert`), while seeded, enumerating, or
+//! resource-limited requests evaluate fresh over a snapshot — off the
+//! tenant lock, so slow queries don't block the tenant's writers.
+//!
+//! Answers are rendered from relation *content* only
+//! ([`idlog_core::service::render_answers`]), so a served response is
+//! byte-identical to what a direct single-threaded [`idlog_core::Session`]
+//! evaluation
+//! of the same program over the same facts would print, whichever path —
+//! materialized, incremental, recomputed, or fresh — produced it.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use idlog_core::service::{
+    render_answers, FactValue, Request, Response, RunRequest, ServeMode, SERVICE_SCHEMA,
+};
+use idlog_core::{
+    EnumBudget, ErrorCode, EvalOptions, FactDelta, Interner, MaintainOutcome, Materialized, Query,
+    SeededOracle, SymbolId, Tuple,
+};
+use idlog_storage::Database;
+
+/// Default worker-thread count for [`Server::run`].
+pub const DEFAULT_WORKERS: usize = 16;
+
+/// A compiled query cached for a tenant, optionally with a maintained
+/// materialized model.
+struct Prepared {
+    query: Query,
+    /// Certification fingerprint recorded at compile time (determinism +
+    /// termination certificates). Together with the program text it is the
+    /// cache entry's identity, and it decides the serving strategy: only a
+    /// termination-certified entry is admitted to resident materialization
+    /// (an uncertified query could hold the tenant lock indefinitely, since
+    /// cached serving carries no per-request deadline).
+    fingerprint: String,
+    view: Option<Materialized>,
+    /// Change-log version the view reflects.
+    synced: u64,
+}
+
+/// One tenant: a database, its interner, the prepared-query cache, and a
+/// change log driving incremental view maintenance.
+struct Tenant {
+    interner: Arc<Interner>,
+    db: Database,
+    prepared: HashMap<(String, String), Prepared>,
+    /// Touched `(predicate, tuple)` pairs since `log_base`, in change
+    /// order. Views sync by replaying their unseen suffix; the current
+    /// database decides each pair's net direction, so interleaved
+    /// insert/retract sequences collapse correctly.
+    log: Vec<(SymbolId, Tuple)>,
+    /// Version number of `log[0]`.
+    log_base: u64,
+    /// Version after the latest change.
+    version: u64,
+}
+
+impl Tenant {
+    fn new() -> Tenant {
+        let interner = Arc::new(Interner::new());
+        Tenant {
+            db: Database::with_interner(interner.clone()),
+            interner,
+            prepared: HashMap::new(),
+            log: Vec::new(),
+            log_base: 0,
+            version: 0,
+        }
+    }
+
+    fn record_change(&mut self, pred: SymbolId, tuple: Tuple) {
+        self.log.push((pred, tuple));
+        self.version += 1;
+    }
+
+    /// Drop log entries every live view has already replayed.
+    fn compact_log(&mut self) {
+        let min_synced = self
+            .prepared
+            .values()
+            .filter(|p| p.view.is_some())
+            .map(|p| p.synced)
+            .min()
+            .unwrap_or(self.version);
+        let drop = (min_synced - self.log_base) as usize;
+        if drop > 0 {
+            self.log.drain(..drop);
+            self.log_base = min_synced;
+        }
+    }
+
+    /// The net [`FactDelta`] between log version `from` and the current
+    /// database: each touched pair becomes an insert if the database holds
+    /// it now, a retract otherwise. The storage-layer change flags inside
+    /// [`Materialized::apply`] make replay idempotent, so pairs the view
+    /// already agrees on are no-ops.
+    fn delta_since(&self, from: u64) -> FactDelta {
+        let mut delta = FactDelta::default();
+        let mut seen: std::collections::HashSet<(SymbolId, Tuple)> =
+            std::collections::HashSet::new();
+        let start = (from - self.log_base) as usize;
+        for (pred, tuple) in &self.log[start..] {
+            if !seen.insert((*pred, tuple.clone())) {
+                continue;
+            }
+            let name = self.interner.resolve(*pred);
+            let present = self.db.relation(&name).is_some_and(|r| r.contains(tuple));
+            if present {
+                delta.inserts.push((*pred, tuple.clone()));
+            } else {
+                delta.retracts.push((*pred, tuple.clone()));
+            }
+        }
+        delta
+    }
+
+    /// Serve a materializable `run` from the cached view, building or
+    /// syncing it first.
+    fn serve_materialized(&mut self, key: &(String, String), r: &RunRequest) -> Response {
+        let version = self.version;
+        let delta = {
+            let entry = self.prepared.get(key).expect("entry inserted by caller");
+            match &entry.view {
+                Some(_) if entry.synced < version => Some(self.delta_since(entry.synced)),
+                _ => None,
+            }
+        };
+        let entry = self
+            .prepared
+            .get_mut(key)
+            .expect("entry inserted by caller");
+        let mode = match &mut entry.view {
+            None => {
+                let mut opts = EvalOptions::new();
+                if let Some(t) = r.threads {
+                    opts = opts.threads(t);
+                }
+                if let Some(b) = r.backend {
+                    opts = opts.backend(b);
+                }
+                match Materialized::build(entry.query.related_program(), &self.db, &opts) {
+                    Ok(view) => {
+                        entry.view = Some(view);
+                        entry.synced = version;
+                        ServeMode::Recomputed
+                    }
+                    Err(e) => return Response::error(e.code(), e.to_string()),
+                }
+            }
+            Some(view) => match delta {
+                None => ServeMode::Materialized,
+                Some(delta) => match view.apply(&self.db, &delta) {
+                    Ok(outcome) => {
+                        entry.synced = version;
+                        match outcome {
+                            MaintainOutcome::Unchanged => ServeMode::Materialized,
+                            MaintainOutcome::Incremental => ServeMode::Incremental,
+                            MaintainOutcome::Recomputed => ServeMode::Recomputed,
+                        }
+                    }
+                    Err(e) => return Response::error(e.code(), e.to_string()),
+                },
+            },
+        };
+        let answers = entry
+            .view
+            .as_ref()
+            .expect("view built above")
+            .relation(&r.output)
+            .map(|rel| render_answers(rel, &self.interner))
+            .unwrap_or_default();
+        self.compact_log();
+        // Cached serving runs to fixpoint with no request limits, so the
+        // answer is always the complete relation.
+        Response {
+            answers: Some(answers),
+            complete: Some(true),
+            mode: Some(mode),
+            ..Response::ok()
+        }
+    }
+}
+
+/// The tenant registry plus the shutdown flag — the state every worker
+/// thread shares.
+struct Registry {
+    tenants: Mutex<HashMap<String, Arc<Mutex<Tenant>>>>,
+    shutdown: AtomicBool,
+}
+
+impl Registry {
+    fn new() -> Registry {
+        Registry {
+            tenants: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn tenant(&self, name: &str) -> Arc<Mutex<Tenant>> {
+        let mut tenants = self.tenants.lock().expect("tenant registry poisoned");
+        tenants
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Mutex::new(Tenant::new())))
+            .clone()
+    }
+
+    fn handle(&self, req: Request) -> Response {
+        match req {
+            Request::Ping => Response {
+                schema: Some(SERVICE_SCHEMA.to_string()),
+                ..Response::ok()
+            },
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                Response::ok()
+            }
+            Request::Stats { tenant } => {
+                let tenant = self.tenant(&tenant);
+                let t = tenant.lock().expect("tenant poisoned");
+                Response {
+                    facts: Some(t.db.fact_count() as u64),
+                    queries: Some(t.prepared.len() as u64),
+                    ..Response::ok()
+                }
+            }
+            Request::Insert {
+                tenant,
+                pred,
+                tuple,
+            } => self.change(&tenant, &pred, &tuple, true),
+            Request::Retract {
+                tenant,
+                pred,
+                tuple,
+            } => self.change(&tenant, &pred, &tuple, false),
+            Request::Run(r) => self.run(r),
+        }
+    }
+
+    fn change(&self, tenant: &str, pred: &str, tuple: &[FactValue], insert: bool) -> Response {
+        let tenant = self.tenant(tenant);
+        let mut t = tenant.lock().expect("tenant poisoned");
+        let values: Tuple = tuple.iter().map(|v| v.to_value(&t.interner)).collect();
+        let changed = if insert {
+            if t.db.relation(pred).is_some_and(|r| r.contains(&values)) {
+                false
+            } else if let Err(e) = t.db.insert(pred, values.clone()) {
+                return Response::error(ErrorCode::Input, e.to_string());
+            } else {
+                true
+            }
+        } else {
+            match t.db.retract(pred, &values) {
+                Ok(changed) => changed,
+                Err(e) => return Response::error(ErrorCode::Input, e.to_string()),
+            }
+        };
+        if changed {
+            let sym = t.interner.intern(pred);
+            t.record_change(sym, values);
+        }
+        Response {
+            changed: Some(changed),
+            facts: Some(t.db.fact_count() as u64),
+            ..Response::ok()
+        }
+    }
+
+    fn run(&self, r: RunRequest) -> Response {
+        let tenant = self.tenant(&r.tenant);
+        let mut t = tenant.lock().expect("tenant poisoned");
+        let key = (r.program.clone(), r.output.clone());
+        let (cache_hit, query) = match t.prepared.get(&key) {
+            Some(p) => (true, p.query.clone()),
+            None => {
+                let interner = t.interner.clone();
+                match Query::parse_with_interner(&r.program, &r.output, interner) {
+                    Ok(q) => {
+                        t.prepared.insert(
+                            key.clone(),
+                            Prepared {
+                                fingerprint: fingerprint(&q),
+                                query: q.clone(),
+                                view: None,
+                                synced: 0,
+                            },
+                        );
+                        (false, q)
+                    }
+                    Err(e) => return Response::error(e.code(), e.to_string()),
+                }
+            }
+        };
+        let materializable = t
+            .prepared
+            .get(&key)
+            .is_some_and(|p| fingerprint_terminates(&p.fingerprint));
+        if r.wants_materialized() && materializable {
+            let mut resp = t.serve_materialized(&key, &r);
+            resp.cache_hit = Some(cache_hit);
+            return resp;
+        }
+        // Fresh evaluation: snapshot the database and release the tenant so
+        // a slow or deadline-bound request can't block writers or other
+        // readers of this tenant.
+        let db = t.db.clone();
+        drop(t);
+        let mut resp = Self::run_fresh(&query, &db, &r);
+        resp.cache_hit = Some(cache_hit);
+        resp
+    }
+
+    fn run_fresh(query: &Query, db: &Database, r: &RunRequest) -> Response {
+        let mut session = query.session(db).limits(r.limits());
+        if let Some(threads) = r.threads {
+            session = session.threads(threads);
+        }
+        if let Some(backend) = r.backend {
+            session = session.backend(backend);
+        }
+        if r.all {
+            if let Some(max_models) = r.max_models {
+                session = session.budget(EnumBudget {
+                    max_models,
+                    ..EnumBudget::default()
+                });
+            }
+            return match session.all_answers() {
+                Ok(set) => Response {
+                    models: Some(set.to_sorted_strings(query.interner())),
+                    complete: Some(set.complete()),
+                    mode: Some(ServeMode::Fresh),
+                    ..Response::ok()
+                },
+                Err(e) => Response::error(e.code(), e.to_string()),
+            };
+        }
+        let result = match r.seed {
+            Some(seed) => session.try_run_with(&mut SeededOracle::new(seed)),
+            None => session.try_run(),
+        };
+        match result {
+            Ok(out) => Response {
+                answers: Some(render_answers(&out.relation, query.interner())),
+                complete: Some(true),
+                mode: Some(ServeMode::Fresh),
+                ..Response::ok()
+            },
+            Err(e) => {
+                // A tripped limit still reports what was derived up to the
+                // last completed round barrier — partial answers, flagged
+                // by the non-zero exit and `complete: false`.
+                let partial = e.partial_output().map(|out| {
+                    out.relation(&r.output)
+                        .map(|rel| render_answers(rel, query.interner()))
+                        .unwrap_or_default()
+                });
+                let code = e.code();
+                Response {
+                    answers: partial,
+                    complete: Some(false),
+                    mode: Some(ServeMode::Fresh),
+                    ..Response::error(code, e.to_string())
+                }
+            }
+        }
+    }
+}
+
+/// The compile-time certificates a cache entry is admitted under.
+fn fingerprint(query: &Query) -> String {
+    format!(
+        "det={};bounded={};degree={}",
+        query.certified_deterministic(),
+        query.termination_cert().bounded(),
+        query.termination_cert().degree(),
+    )
+}
+
+/// Whether a [`fingerprint`] certifies terminating evaluation — the
+/// admission bar for resident materialization.
+fn fingerprint_terminates(fp: &str) -> bool {
+    fp.contains("bounded=true")
+}
+
+/// A running IDLOG service bound to a TCP address.
+///
+/// ```no_run
+/// use idlog_server::Server;
+/// let server = Server::bind("127.0.0.1:0").unwrap();
+/// let addr = server.local_addr().unwrap();
+/// std::thread::spawn(move || server.run(idlog_server::DEFAULT_WORKERS));
+/// // ... connect Clients to `addr`, finish with Request::Shutdown ...
+/// ```
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<Registry>,
+}
+
+impl Server {
+    /// Bind the listening socket (`"127.0.0.1:0"` picks an ephemeral port).
+    pub fn bind(addr: &str) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            registry: Arc::new(Registry::new()),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until a `shutdown` request arrives. Connections are handed to
+    /// a pool of `workers` threads; each worker owns one connection at a
+    /// time and answers its requests in order.
+    pub fn run(self, workers: usize) -> io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut pool = Vec::new();
+        for _ in 0..workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let registry = Arc::clone(&self.registry);
+            pool.push(thread::spawn(move || loop {
+                let next = rx.lock().expect("worker queue poisoned").recv();
+                match next {
+                    Ok(stream) => serve_connection(stream, &registry, addr),
+                    Err(_) => break,
+                }
+            }));
+        }
+        for stream in self.listener.incoming() {
+            if self.registry.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Ok(stream) = stream {
+                // A send can only fail if every worker died; nothing to do
+                // but drop the connection.
+                let _ = tx.send(stream);
+            }
+        }
+        drop(tx);
+        for worker in pool {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Answer one connection's requests until EOF or shutdown.
+///
+/// Reads run under a short timeout so a worker parked on an idle keep-alive
+/// connection still observes a shutdown within a beat and lets
+/// [`Server::run`] join the pool.
+fn serve_connection(stream: TcpStream, registry: &Registry, addr: SocketAddr) {
+    // Request/response lines are tiny; without TCP_NODELAY, Nagle batching
+    // against the peer's delayed ACK adds tens of milliseconds per round
+    // trip even on loopback.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(100)));
+    let mut reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            // A timeout leaves any partial read appended to `line`; poll
+            // the shutdown flag and resume mid-line.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if registry.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+        let request = line.trim().to_string();
+        line.clear();
+        if request.is_empty() {
+            continue;
+        }
+        let response = match Request::parse(&request) {
+            Ok(request) => registry.handle(request),
+            Err(e) => Response::error(ErrorCode::Protocol, e),
+        };
+        if writeln!(writer, "{}", response.to_json()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if registry.shutdown.load(Ordering::SeqCst) {
+            // Wake the accept loop so it observes the flag and drains.
+            let _ = TcpStream::connect(addr);
+            break;
+        }
+    }
+}
+
+/// A blocking protocol client: sends one request line, reads one response
+/// line. Used by `idlog client` and the integration tests.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a served address.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Send `request` and wait for its response.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        writeln!(self.writer, "{}", request.to_json())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::parse(line.trim()).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Send a raw line (protocol-error testing) and read the response line.
+    pub fn request_raw(&mut self, line: &str) -> io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut out = String::new();
+        if self.reader.read_line(&mut out)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(out.trim().to_string())
+    }
+}

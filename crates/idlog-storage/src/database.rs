@@ -84,6 +84,33 @@ impl Database {
         self.insert(name, tuple)
     }
 
+    /// Retract a fact. Returns `Ok(true)` when the tuple was present and
+    /// removed, `Ok(false)` when the relation exists but lacked the tuple,
+    /// and an error when the predicate is undeclared or the tuple is
+    /// ill-typed for it. The (now possibly empty) relation stays declared:
+    /// programs referencing it keep validating.
+    pub fn retract(&mut self, name: &str, tuple: &Tuple) -> CommonResult<bool> {
+        let rel = self
+            .interner
+            .get(name)
+            .and_then(|id| self.relations.get_mut(&id))
+            .ok_or_else(|| CommonError::TypeMismatch {
+                detail: format!("cannot retract from undeclared relation {name}"),
+            })?;
+        rel.check_tuple(tuple)?;
+        Ok(rel.remove_batch(&[tuple])[0])
+    }
+
+    /// Convenience: retract a fact whose columns are all uninterpreted
+    /// constants, given by name.
+    pub fn retract_syms(&mut self, name: &str, cols: &[&str]) -> CommonResult<bool> {
+        let tuple: Tuple = cols
+            .iter()
+            .map(|c| Value::Sym(self.interner.intern(c)))
+            .collect();
+        self.retract(name, &tuple)
+    }
+
     /// Add a u-domain element that need not appear in any tuple.
     pub fn add_domain_element(&mut self, name: &str) -> SymbolId {
         let id = self.interner.intern(name);
@@ -219,6 +246,23 @@ mod tests {
         db.insert_syms("e", &["c", "a"]).unwrap();
         db.materialize_udom("udom").unwrap();
         assert_eq!(db.relation("udom").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn retract_removes_and_keeps_relation_declared() {
+        let mut db = Database::new();
+        db.insert_syms("p", &["a"]).unwrap();
+        db.insert_syms("p", &["b"]).unwrap();
+        assert_eq!(db.retract_syms("p", &["a"]), Ok(true));
+        assert_eq!(db.retract_syms("p", &["a"]), Ok(false));
+        assert_eq!(db.relation("p").unwrap().len(), 1);
+        // Retracting the last fact keeps the (empty) relation declared.
+        assert_eq!(db.retract_syms("p", &["b"]), Ok(true));
+        assert!(db.relation("p").unwrap().is_empty());
+        // Undeclared predicate and ill-typed tuple both error.
+        assert!(db.retract_syms("q", &["a"]).is_err());
+        let bad: Tuple = vec![Value::Int(1)].into();
+        assert!(db.retract("p", &bad).is_err());
     }
 
     #[test]

@@ -190,6 +190,20 @@ impl Relation {
         dispatch_mut!(self, b => b.delta_batch_insert(batch))
     }
 
+    /// Remove a batch of tuples; `flags[i]` is true when `batch[i]` was
+    /// present and removed (first occurrence wins for intra-batch
+    /// duplicates). Scan order of the survivors stays a deterministic
+    /// function of the batch sequence on both backends; indexes are
+    /// rebuilt. Used by incremental maintenance — the engine proper never
+    /// removes.
+    pub fn remove_batch(&mut self, batch: &[&Tuple]) -> Vec<bool> {
+        debug_assert!(
+            batch.iter().all(|t| self.check_tuple(t).is_ok()),
+            "ill-typed tuple in remove batch"
+        );
+        dispatch_mut!(self, b => b.remove_batch(batch))
+    }
+
     /// Make subsequent [`Relation::probe`] calls on `positions` indexed.
     /// The engine calls this at round barriers so rounds themselves are
     /// pure reads; indexes are maintained incrementally by inserts from

@@ -112,6 +112,13 @@ pub trait Storage {
     /// Only new tuples are cloned.
     fn delta_batch_insert(&mut self, batch: &[&Tuple]) -> Vec<bool>;
 
+    /// Remove a batch of tuples; `flags[i]` is true when `batch[i]` was
+    /// present and removed (first occurrence wins for intra-batch
+    /// duplicates). Determinism contract: the post-removal scan order is a
+    /// pure function of the sequence of batches applied, exactly as for
+    /// inserts — incremental maintenance relies on it.
+    fn remove_batch(&mut self, batch: &[&Tuple]) -> Vec<bool>;
+
     /// Iterate every tuple in the backend's canonical (deterministic)
     /// order: insertion order for hash, run-then-sorted order for columnar.
     fn scan(&self) -> ScanIter<'_>;
@@ -344,6 +351,30 @@ impl Storage for HashBackend {
             .collect()
     }
 
+    fn remove_batch(&mut self, batch: &[&Tuple]) -> Vec<bool> {
+        let mut victims: FxHashSet<&Tuple> = FxHashSet::default();
+        let flags: Vec<bool> = batch
+            .iter()
+            .map(|&t| self.find(t).is_some() && victims.insert(t))
+            .collect();
+        if victims.is_empty() {
+            return flags;
+        }
+        // Removal is rare relative to inserts (maintenance only), so the
+        // simple deterministic plan is to keep the survivors in their
+        // existing order and rebuild the membership table and indexes.
+        let survivors: Vec<Tuple> = std::mem::take(&mut self.store)
+            .into_iter()
+            .filter(|t| !victims.contains(t))
+            .collect();
+        let index_keys: Vec<Vec<usize>> = self.indexes.keys().cloned().collect();
+        *self = HashBackend::from_tuples(survivors);
+        for positions in index_keys {
+            self.ensure_index(&positions);
+        }
+        flags
+    }
+
     fn scan(&self) -> ScanIter<'_> {
         ScanIter(ScanInner::Slice(self.store.iter()))
     }
@@ -541,6 +572,35 @@ impl Storage for ColumnarBackend {
         flags
     }
 
+    fn remove_batch(&mut self, batch: &[&Tuple]) -> Vec<bool> {
+        let mut victims: FxHashSet<&Tuple> = FxHashSet::default();
+        let flags: Vec<bool> = batch
+            .iter()
+            .map(|&t| self.contains(t) && victims.insert(t))
+            .collect();
+        if victims.is_empty() {
+            return flags;
+        }
+        let mut removed = 0usize;
+        for run in &mut self.runs {
+            let before = run.tuples.len();
+            run.tuples.retain(|t| !victims.contains(t));
+            if run.tuples.len() != before {
+                removed += before - run.tuples.len();
+                // A run's permutations index into its tuple vector; rebuild
+                // them against the surviving (still sorted) tuples.
+                let keys: Vec<Vec<usize>> = run.perms.keys().cloned().collect();
+                run.perms.clear();
+                for positions in &keys {
+                    run.build_perm(positions);
+                }
+            }
+        }
+        self.runs.retain(|run| !run.tuples.is_empty());
+        self.len -= removed;
+        flags
+    }
+
     fn scan(&self) -> ScanIter<'_> {
         ScanIter(ScanInner::Runs {
             rest: self.runs.iter(),
@@ -650,14 +710,58 @@ mod tests {
         assert_eq!(s.scan().count(), 4);
     }
 
+    /// Exercise removal through the trait, generically.
+    fn exercise_removal<S: Storage + Default>() {
+        let mut s = S::default();
+        let batch: Vec<Tuple> = (0..12).map(|i| t(&[i % 4, i])).collect();
+        let refs: Vec<&Tuple> = batch.iter().collect();
+        s.delta_batch_insert(&refs);
+        s.ensure_index(&[0]);
+
+        // Remove: one present tuple, one absent, one intra-batch duplicate.
+        let present = t(&[1, 1]);
+        let absent = t(&[9, 9]);
+        let flags = s.remove_batch(&[&present, &absent, &present]);
+        assert_eq!(flags, vec![true, false, false]);
+        assert_eq!(s.len(), 11);
+        assert!(!s.contains(&present));
+
+        // Indexes survive removal: the probe sees exactly the survivors.
+        let probe = s.probe(&[0], &t(&[1]));
+        assert_eq!(probe.len(), 2);
+        assert!(probe.iter().all(|x| *x != present));
+        // Scan agrees with len and membership.
+        assert_eq!(s.scan().count(), 11);
+        assert!(s.scan().all(|x| s.contains(x)));
+
+        // Removed tuples can be re-inserted.
+        assert!(s.insert(present.clone()));
+        assert_eq!(s.probe(&[0], &t(&[1])).len(), 3);
+    }
+
     #[test]
     fn hash_backend_satisfies_the_trait_contract() {
         exercise::<HashBackend>();
+        exercise_removal::<HashBackend>();
     }
 
     #[test]
     fn columnar_backend_satisfies_the_trait_contract() {
         exercise::<ColumnarBackend>();
+        exercise_removal::<ColumnarBackend>();
+    }
+
+    #[test]
+    fn columnar_removal_drops_emptied_runs() {
+        let mut s = ColumnarBackend::new();
+        let (a, b) = (t(&[1]), t(&[2]));
+        s.delta_batch_insert(&[&a]);
+        s.delta_batch_insert(&[&b]);
+        assert_eq!(s.runs.len(), 2);
+        s.remove_batch(&[&a]);
+        assert_eq!(s.runs.len(), 1);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&b));
     }
 
     #[test]

@@ -3,14 +3,19 @@
 //! own counters (fixpoint rounds, inserted tuples, wall time).
 //!
 //! The binary (`cargo run -p idlog-suite --release`) writes the sweep as
-//! `BENCH_7.json` at the repository root — schema `idlog-bench/7` — which
+//! `BENCH_8.json` at the repository root — schema `idlog-bench/8` — which
 //! CI regenerates and uploads as an artifact on every push, and gates the
-//! hash-backend runs against the committed `BENCH_6.json` baseline
+//! hash-backend runs against the committed `BENCH_7.json` baseline
 //! ([`baseline::regressions`]: rounds/tuples exact, wall time within a
 //! generous tolerance). The suite leans on [`idlog_core::termination`]:
 //! programs whose certificate has a growth witness (the shipped
 //! `diverge.idl`) are run under a round ceiling and recorded as `tripped`
 //! instead of hanging the sweep.
+//!
+//! Schema 8 adds a `served` section: the [`served`] module measures the
+//! `idlog-server` incremental-maintenance path against full recompute over
+//! the same wire protocol, and the binary gates `incremental_ms <
+//! recompute_ms` so the service's reason to exist stays measurable.
 
 #![warn(missing_docs)]
 
@@ -25,6 +30,7 @@ use idlog_core::{
 use idlog_storage::Database;
 
 pub mod baseline;
+pub mod served;
 
 /// Round ceiling for programs whose termination certificate carries a
 /// growth witness: enough to measure per-round cost, small enough that the
@@ -99,6 +105,8 @@ pub struct CaseReport {
 pub struct SuiteReport {
     /// Per-program reports, in corpus order.
     pub cases: Vec<CaseReport>,
+    /// The served-mode latency record, when the service bench ran.
+    pub served: Option<served::ServedBench>,
 }
 
 /// The shipped facts sidecar for a program stem, mirroring the pairings
@@ -238,27 +246,18 @@ pub fn run_suite(dir: &Path) -> Result<SuiteReport, String> {
     for case in &cases {
         reports.push(run_case(dir, case)?);
     }
-    Ok(SuiteReport { cases: reports })
+    Ok(SuiteReport {
+        cases: reports,
+        served: None,
+    })
 }
 
 fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+    format!("\"{}\"", idlog_common::json::escape(s))
 }
 
 impl SuiteReport {
-    /// Render the sweep as schema-tagged JSON (`idlog-bench/7`).
+    /// Render the sweep as schema-tagged JSON (`idlog-bench/8`).
     pub fn to_json(&self) -> String {
         let mut cases = Vec::new();
         for r in &self.cases {
@@ -298,8 +297,24 @@ impl SuiteReport {
             }
             cases.push(format!("  {{{}}}", fields.join(", ")));
         }
+        let served = match &self.served {
+            None => "null".to_string(),
+            Some(s) => {
+                let modes: Vec<String> = s.modes.iter().map(|m| json_str(m)).collect();
+                format!(
+                    "{{\"nodes\": {}, \"inserts\": {}, \"incremental_ms\": {:.3}, \
+                     \"recompute_ms\": {:.3}, \"speedup\": {:.3}, \"modes\": [{}]}}",
+                    s.nodes,
+                    s.inserts,
+                    s.incremental_ms,
+                    s.recompute_ms,
+                    s.speedup(),
+                    modes.join(", ")
+                )
+            }
+        };
         format!(
-            "{{\n\"schema\": \"idlog-bench/7\",\n\"cases\": [\n{}\n]\n}}\n",
+            "{{\n\"schema\": \"idlog-bench/8\",\n\"served\": {served},\n\"cases\": [\n{}\n]\n}}\n",
             cases.join(",\n")
         )
     }
@@ -397,10 +412,22 @@ mod tests {
                 round_bound: None,
                 runs: Vec::new(),
             }],
+            served: Some(served::ServedBench {
+                nodes: 10,
+                inserts: 2,
+                incremental_ms: 1.0,
+                recompute_ms: 4.0,
+                modes: vec!["incremental".into(), "incremental".into()],
+            }),
         };
         let json = report.to_json();
-        assert!(json.contains("\"idlog-bench/7\""), "{json}");
+        assert!(json.contains("\"idlog-bench/8\""), "{json}");
         assert!(json.contains("a\\\"b.idl"), "{json}");
+        assert!(json.contains("\"speedup\": 4.000"), "{json}");
+        assert!(
+            json.contains("\"modes\": [\"incremental\", \"incremental\"]"),
+            "{json}"
+        );
     }
 
     #[test]
@@ -425,8 +452,10 @@ mod tests {
                     tripped: false,
                 }],
             }],
+            served: None,
         };
         let json = report.to_json();
+        assert!(json.contains("\"served\": null"), "{json}");
         assert!(json.contains("\"backend\": \"columnar\""), "{json}");
         assert!(json.contains("\"strategy\": \"semi-naive\""), "{json}");
     }

@@ -1,16 +1,23 @@
-//! `idlog-suite`: run the corpus sweep, write `BENCH_7.json` at the
-//! repository root (CI regenerates and uploads it as an artifact), and gate
-//! the hash-backend runs against the committed `BENCH_6.json` baseline —
-//! counters exact, wall time within a generous tolerance. A regression
-//! exits nonzero so CI fails.
+//! `idlog-suite`: run the corpus sweep plus the served-mode latency bench,
+//! write `BENCH_8.json` at the repository root (CI regenerates and uploads
+//! it as an artifact), and gate the hash-backend runs against the committed
+//! `BENCH_7.json` baseline — counters exact, wall time within a generous
+//! tolerance. The served section is gated directly: incremental maintenance
+//! must beat full recompute or the binary exits nonzero so CI fails.
 
 use std::path::Path;
+
+/// Chain length / insert count for the served bench: large enough that a
+/// full recompute per query visibly dwarfs delta maintenance, small enough
+/// to keep CI fast.
+const SERVED_NODES: usize = 200;
+const SERVED_INSERTS: usize = 20;
 
 fn main() {
     let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
     let root = manifest.join("../..");
     let programs = root.join("programs");
-    let report = match idlog_suite::run_suite(&programs) {
+    let mut report = match idlog_suite::run_suite(&programs) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("idlog-suite: {e}");
@@ -38,16 +45,42 @@ fn main() {
             }
         }
     }
-    let out = root.join("BENCH_7.json");
+
+    // Served-mode bench: incremental maintenance vs full recompute over
+    // the same wire protocol.
+    let served = match idlog_suite::served::run_served(SERVED_NODES, SERVED_INSERTS) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("idlog-suite: served bench failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "served ({} nodes, {} inserts) incremental {:.3}ms recompute {:.3}ms speedup {:.2}x",
+        served.nodes,
+        served.inserts,
+        served.incremental_ms,
+        served.recompute_ms,
+        served.speedup()
+    );
+    let served_ok = served.incremental_ms < served.recompute_ms;
+    report.served = Some(served);
+
+    let out = root.join("BENCH_8.json");
     if let Err(e) = std::fs::write(&out, report.to_json()) {
         eprintln!("idlog-suite: cannot write {}: {e}", out.display());
         std::process::exit(1);
     }
     println!("wrote {}", out.display());
 
-    // Regression gate: the committed BENCH_6.json is the previous PR's
+    if !served_ok {
+        eprintln!("regression: served incremental path is not cheaper than full recompute");
+        std::process::exit(1);
+    }
+
+    // Regression gate: the committed BENCH_7.json is the previous PR's
     // performance record for the hash backend.
-    let baseline_path = root.join("BENCH_6.json");
+    let baseline_path = root.join("BENCH_7.json");
     match std::fs::read_to_string(&baseline_path) {
         Err(e) => {
             eprintln!(
