@@ -4,19 +4,23 @@
 //! implementation used by the bench suite (reading committed `BENCH_*.json`
 //! baselines), the service protocol (`idlog-core::service`), and the server.
 //! It covers the JSON the workspace itself writes — objects, arrays,
-//! strings, `f64` numbers, booleans, null — not a general-purpose
-//! implementation (no duplicate-key policy, numbers always carried as
-//! `f64`).
+//! strings, numbers, booleans, null — not a general-purpose
+//! implementation (no duplicate-key policy). Integer literals are carried
+//! exactly as [`Json::Int`] so protocol fields like a `u64` seed survive
+//! the round trip bit-for-bit; everything else numeric is `f64`.
 
 /// A minimal JSON value (see module docs for scope).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Json {
     /// `null`.
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any number (always carried as `f64`; the counters we read fit).
+    /// A non-integer (or out-of-range) number, carried as `f64`.
     Num(f64),
+    /// An integer literal, carried exactly (`i128` covers the full `u64`
+    /// and `i64` wire ranges).
+    Int(i128),
     /// A string.
     Str(String),
     /// An array.
@@ -54,10 +58,12 @@ impl Json {
         }
     }
 
-    /// The numeric payload, if this is a number.
+    /// The numeric payload, if this is a number (integers convert, with
+    /// rounding above 2^53).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
+            Json::Int(n) => Some(*n as f64),
             _ => None,
         }
     }
@@ -66,9 +72,21 @@ impl Json {
     /// that losslessly is one.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+            Json::Int(n) if (0..=u64::MAX as i128).contains(n) => Some(*n as u64),
+            // Floats above 2^64 would saturate rather than convert.
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < u64::MAX as f64 => {
                 Some(*n as u64)
             }
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a signed integer, if this is a number that
+    /// losslessly is one.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => i64::try_from(*n).ok(),
+            Json::Num(n) if n.fract() == 0.0 && n.abs() < 9.0e15 => Some(*n as i64),
             _ => None,
         }
     }
@@ -110,6 +128,7 @@ impl Json {
                     out.push_str(&format!("{n}"));
                 }
             }
+            Json::Int(n) => out.push_str(&format!("{n}")),
             Json::Str(s) => {
                 out.push('"');
                 out.push_str(&escape(s));
@@ -149,6 +168,32 @@ impl Json {
     /// Convenience constructor for a number value.
     pub fn num(n: impl Into<f64>) -> Json {
         Json::Num(n.into())
+    }
+
+    /// Convenience constructor for an exact integer value.
+    pub fn int(n: impl Into<i128>) -> Json {
+        Json::Int(n.into())
+    }
+}
+
+/// Equality treats `Int` and `Num` holding the same mathematical value as
+/// equal, so a programmatically built `Json::num(42.0)` still matches the
+/// `Json::Int(42)` its rendering parses back to.
+impl PartialEq for Json {
+    fn eq(&self, other: &Json) -> bool {
+        match (self, other) {
+            (Json::Null, Json::Null) => true,
+            (Json::Bool(a), Json::Bool(b)) => a == b,
+            (Json::Num(a), Json::Num(b)) => a == b,
+            (Json::Int(a), Json::Int(b)) => a == b,
+            (Json::Int(i), Json::Num(f)) | (Json::Num(f), Json::Int(i)) => {
+                *f == *i as f64 && f.fract() == 0.0 && *i == *f as i128
+            }
+            (Json::Str(a), Json::Str(b)) => a == b,
+            (Json::Array(a), Json::Array(b)) => a == b,
+            (Json::Object(a), Json::Object(b)) => a == b,
+            _ => false,
+        }
     }
 }
 
@@ -215,11 +260,26 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     {
         *pos += 1;
     }
-    std::str::from_utf8(&bytes[start..*pos])
+    let s = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| format!("bad number at byte {start}"))?;
+    // Integer literals are kept exact; anything with a fraction, exponent,
+    // or beyond i128 falls back to f64.
+    if let Ok(n) = s.parse::<i128>() {
+        return Ok(Json::Int(n));
+    }
+    s.parse()
         .ok()
-        .and_then(|s| s.parse().ok())
         .map(Json::Num)
         .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+/// The four hex digits of a `\uXXXX` escape starting at `at`.
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+    std::str::from_utf8(hex)
+        .ok()
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+        .ok_or_else(|| "bad \\u escape".to_string())
 }
 
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
@@ -242,15 +302,30 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b't') => out.push('\t'),
                     Some(b'r') => out.push('\r'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let code = std::str::from_utf8(hex)
-                            .ok()
-                            .and_then(|h| u32::from_str_radix(h, 16).ok())
-                            .ok_or("bad \\u escape")?;
-                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        let code = parse_hex4(bytes, *pos + 1)?;
                         *pos += 4;
+                        if (0xD800..=0xDBFF).contains(&code) {
+                            // UTF-16 high surrogate: standard encoders (e.g.
+                            // Python's json.dumps with ensure_ascii) emit
+                            // supplementary-plane characters as a \u pair;
+                            // combine it with the following low surrogate.
+                            if bytes.get(*pos + 1) != Some(&b'\\')
+                                || bytes.get(*pos + 2) != Some(&b'u')
+                            {
+                                return Err("unpaired \\u surrogate".into());
+                            }
+                            let low = parse_hex4(bytes, *pos + 3)?;
+                            if !(0xDC00..=0xDFFF).contains(&low) {
+                                return Err("unpaired \\u surrogate".into());
+                            }
+                            *pos += 6;
+                            let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            out.push(char::from_u32(combined).ok_or("bad \\u code point")?);
+                        } else if (0xDC00..=0xDFFF).contains(&code) {
+                            return Err("unpaired \\u surrogate".into());
+                        } else {
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        }
                     }
                     _ => return Err(format!("bad escape at byte {}", *pos)),
                 }
@@ -370,5 +445,47 @@ mod tests {
     #[test]
     fn escape_covers_control_characters() {
         assert_eq!(escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn integer_literals_are_exact_beyond_f64_precision() {
+        // u64::MAX is not representable as f64; it must survive anyway.
+        let line = format!("{}", u64::MAX);
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v, Json::Int(u64::MAX as i128));
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        assert_eq!(v.render(), line);
+        // 2^53 + 1 is the first integer f64 silently rounds.
+        let v = Json::parse("9007199254740993").unwrap();
+        assert_eq!(v.as_u64(), Some(9007199254740993));
+        assert_eq!(v.render(), "9007199254740993");
+        assert_eq!(Json::parse("-42").unwrap().as_i64(), Some(-42));
+        // Fractions and exponents still land on f64.
+        assert_eq!(Json::parse("1e3").unwrap(), Json::num(1000.0));
+        assert_eq!(Json::parse("1.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn int_and_num_compare_by_value() {
+        assert_eq!(Json::Int(42), Json::num(42.0));
+        assert_ne!(Json::Int(42), Json::num(42.5));
+        // Rounding to the same f64 is not equality.
+        assert_ne!(Json::Int(u64::MAX as i128), Json::num(u64::MAX as f64));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_supplementary_characters() {
+        // As emitted by json.dumps("\U0001F600") with ensure_ascii.
+        let v = Json::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        let v = Json::parse(r#""a\ud83d\ude00bA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\u{1F600}bA"));
+        // Raw (unescaped) multi-byte UTF-8 still passes through.
+        assert_eq!(Json::parse("\"😀\"").unwrap().as_str(), Some("😀"));
+        // Lone or reversed surrogates are protocol errors, not panics.
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+        assert!(Json::parse(r#""\ud83dx""#).is_err());
+        assert!(Json::parse(r#""\ud83dA""#).is_err());
+        assert!(Json::parse(r#""\ude00""#).is_err());
     }
 }

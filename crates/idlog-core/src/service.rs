@@ -45,7 +45,7 @@ impl FactValue {
     fn to_json(&self) -> Json {
         match self {
             FactValue::Sym(s) => Json::str(s.clone()),
-            FactValue::Int(n) => Json::Num(*n as f64),
+            FactValue::Int(n) => Json::int(*n),
         }
     }
 
@@ -53,11 +53,11 @@ impl FactValue {
         if let Some(s) = j.as_str() {
             return Ok(FactValue::Sym(s.to_string()));
         }
+        if let Some(n) = j.as_i64() {
+            return Ok(FactValue::Int(n));
+        }
         if let Some(n) = j.as_f64() {
-            if n.fract() == 0.0 && n.abs() < 9.0e15 {
-                return Ok(FactValue::Int(n as i64));
-            }
-            return Err(format!("fact value {n} is not an integer"));
+            return Err(format!("fact value {n} is not an i64"));
         }
         Err("fact values must be strings or integers".to_string())
     }
@@ -274,11 +274,14 @@ impl Request {
                 ];
                 for (k, v) in nums {
                     if let Some(n) = v {
-                        put(k, Json::Num(n as f64));
+                        // Exact integers: a u64 seed must not round through
+                        // f64 (the server would silently evaluate under a
+                        // different seed than the client asked for).
+                        put(k, Json::int(n));
                     }
                 }
                 if let Some(t) = r.threads {
-                    put("threads", Json::Num(t as f64));
+                    put("threads", Json::int(t as u64));
                 }
                 if let Some(b) = r.backend {
                     put("backend", Json::str(b.name()));
@@ -421,7 +424,7 @@ impl Response {
     /// Render as one compact JSON line (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut fields: Vec<(String, Json)> =
-            vec![("exit".to_string(), Json::Num(self.exit as f64))];
+            vec![("exit".to_string(), Json::int(self.exit))];
         let mut put = |k: &str, v: Json| fields.push((k.to_string(), v));
         if let Some(code) = self.code {
             put("code", Json::str(code.as_str()));
@@ -460,10 +463,10 @@ impl Response {
             put("changed", Json::Bool(c));
         }
         if let Some(f) = self.facts {
-            put("facts", Json::Num(f as f64));
+            put("facts", Json::int(f));
         }
         if let Some(q) = self.queries {
-            put("queries", Json::Num(q as f64));
+            put("queries", Json::int(q));
         }
         if let Some(s) = &self.schema {
             put("schema", Json::str(s.clone()));
@@ -590,6 +593,25 @@ mod tests {
             RunRequest::new("acme", "p(X) :- q(X).", "p").wants_materialized(),
             "plain request is materializable"
         );
+    }
+
+    #[test]
+    fn u64_fields_round_trip_exactly_beyond_f64_precision() {
+        // A seed that f64 cannot represent must reach the server bit-for-bit
+        // — seeded evaluation promises byte-identity with a local run.
+        let mut r = RunRequest::new("acme", "p(X) :- q(X).", "p");
+        r.seed = Some(u64::MAX);
+        r.max_tuples = Some((1 << 53) + 1);
+        let line = Request::Run(r.clone()).to_json();
+        assert!(line.contains(&format!("\"seed\":{}", u64::MAX)), "{line}");
+        match Request::parse(&line).unwrap() {
+            Request::Run(parsed) => {
+                assert_eq!(parsed.seed, Some(u64::MAX));
+                assert_eq!(parsed.max_tuples, Some((1 << 53) + 1));
+                assert_eq!(parsed, r);
+            }
+            other => panic!("unexpected request {other:?}"),
+        }
     }
 
     #[test]

@@ -39,6 +39,17 @@ use idlog_storage::Database;
 /// Default worker-thread count for [`Server::run`].
 pub const DEFAULT_WORKERS: usize = 16;
 
+/// Change-log ceiling per tenant. A cached view that falls further behind
+/// than this is evicted (it rebuilds from the database on next use) so the
+/// log can compact — otherwise one never-requeried view would pin every
+/// `(pred, tuple)` change a long-running tenant ever makes.
+const MAX_LOG: usize = 1 << 12;
+
+/// Prepared-query cache ceiling per tenant; beyond it the least-recently
+/// used entry is evicted. Bounds server memory against clients that submit
+/// unbounded distinct program texts.
+const MAX_PREPARED: usize = 64;
+
 /// A compiled query cached for a tenant, optionally with a maintained
 /// materialized model.
 struct Prepared {
@@ -53,6 +64,9 @@ struct Prepared {
     view: Option<Materialized>,
     /// Change-log version the view reflects.
     synced: u64,
+    /// Tenant clock value of the last request that used this entry; the
+    /// eviction order of the prepared cache.
+    last_used: u64,
 }
 
 /// One tenant: a database, its interner, the prepared-query cache, and a
@@ -70,6 +84,8 @@ struct Tenant {
     log_base: u64,
     /// Version after the latest change.
     version: u64,
+    /// Monotonic request counter driving prepared-cache LRU eviction.
+    clock: u64,
 }
 
 impl Tenant {
@@ -82,6 +98,7 @@ impl Tenant {
             log: Vec::new(),
             log_base: 0,
             version: 0,
+            clock: 0,
         }
     }
 
@@ -90,19 +107,34 @@ impl Tenant {
         self.version += 1;
     }
 
-    /// Drop log entries every live view has already replayed.
+    /// Drop log entries every live view has already replayed. With no live
+    /// view the whole log goes; a view lagging more than [`MAX_LOG`]
+    /// changes behind is evicted rather than allowed to pin the log.
     fn compact_log(&mut self) {
-        let min_synced = self
-            .prepared
-            .values()
-            .filter(|p| p.view.is_some())
-            .map(|p| p.synced)
-            .min()
-            .unwrap_or(self.version);
-        let drop = (min_synced - self.log_base) as usize;
-        if drop > 0 {
-            self.log.drain(..drop);
-            self.log_base = min_synced;
+        loop {
+            let min_synced = self
+                .prepared
+                .values()
+                .filter(|p| p.view.is_some())
+                .map(|p| p.synced)
+                .min()
+                .unwrap_or(self.version);
+            let drop = (min_synced - self.log_base) as usize;
+            if drop > 0 {
+                self.log.drain(..drop);
+                self.log_base = min_synced;
+            }
+            if self.log.len() <= MAX_LOG {
+                return;
+            }
+            // The log only stays over the ceiling while some stale view
+            // pins it; dropping the stalest views lets the next pass
+            // compact further (they rebuild from the database on next use).
+            for p in self.prepared.values_mut() {
+                if p.view.is_some() && p.synced == min_synced {
+                    p.view = None;
+                }
+            }
         }
     }
 
@@ -175,7 +207,17 @@ impl Tenant {
                             MaintainOutcome::Recomputed => ServeMode::Recomputed,
                         }
                     }
-                    Err(e) => return Response::error(e.code(), e.to_string()),
+                    Err(e) => {
+                        // apply() may have mutated the view's input copies
+                        // before failing (e.g. builtin overflow mid-
+                        // propagation); keeping it would make the next
+                        // delta replay a no-op against stale IDB state and
+                        // serve silently wrong answers. Drop the view — the
+                        // next materializable request rebuilds it from the
+                        // database, the source of truth.
+                        entry.view = None;
+                        return Response::error(e.code(), e.to_string());
+                    }
                 },
             },
         };
@@ -275,6 +317,10 @@ impl Registry {
         if changed {
             let sym = t.interner.intern(pred);
             t.record_change(sym, values);
+            // Compact here too: a tenant that only ever writes (or only
+            // runs fresh-mode queries) must not accumulate its entire
+            // change history.
+            t.compact_log();
         }
         Response {
             changed: Some(changed),
@@ -287,12 +333,30 @@ impl Registry {
         let tenant = self.tenant(&r.tenant);
         let mut t = tenant.lock().expect("tenant poisoned");
         let key = (r.program.clone(), r.output.clone());
-        let (cache_hit, query) = match t.prepared.get(&key) {
-            Some(p) => (true, p.query.clone()),
+        t.clock += 1;
+        let now = t.clock;
+        let (cache_hit, query) = match t.prepared.get_mut(&key) {
+            Some(p) => {
+                p.last_used = now;
+                (true, p.query.clone())
+            }
             None => {
                 let interner = t.interner.clone();
                 match Query::parse_with_interner(&r.program, &r.output, interner) {
                     Ok(q) => {
+                        if t.prepared.len() >= MAX_PREPARED {
+                            // Evict the least-recently-used entry; if it
+                            // held the stalest view, the log can compact.
+                            if let Some(evict) = t
+                                .prepared
+                                .iter()
+                                .min_by_key(|(_, p)| p.last_used)
+                                .map(|(k, _)| k.clone())
+                            {
+                                t.prepared.remove(&evict);
+                            }
+                            t.compact_log();
+                        }
                         t.prepared.insert(
                             key.clone(),
                             Prepared {
@@ -300,6 +364,7 @@ impl Registry {
                                 query: q.clone(),
                                 view: None,
                                 synced: 0,
+                                last_used: now,
                             },
                         );
                         (false, q)
@@ -565,5 +630,136 @@ impl Client {
             ));
         }
         Ok(out.trim().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Nonrecursive (hence termination-certified and materializable), but
+    /// `plus` overflows once `a` holds a large enough value.
+    const SUM: &str = "sum(M) :- a(X), b(Y), plus(X, Y, M).";
+
+    fn int_change(reg: &Registry, pred: &str, n: i64, insert: bool) -> Response {
+        let req = |tenant, pred, tuple| {
+            if insert {
+                Request::Insert {
+                    tenant,
+                    pred,
+                    tuple,
+                }
+            } else {
+                Request::Retract {
+                    tenant,
+                    pred,
+                    tuple,
+                }
+            }
+        };
+        let resp = reg.handle(req("t".into(), pred.into(), vec![FactValue::Int(n)]));
+        assert_eq!(resp.exit, 0, "{:?}", resp.error);
+        resp
+    }
+
+    fn run(reg: &Registry, program: &str, output: &str) -> Response {
+        reg.handle(Request::Run(RunRequest::new("t", program, output)))
+    }
+
+    #[test]
+    fn failed_apply_invalidates_the_view_instead_of_serving_stale_answers() {
+        let reg = Registry::new();
+        int_change(&reg, "a", 1, true);
+        int_change(&reg, "b", 2, true);
+        let first = run(&reg, SUM, "sum");
+        assert_eq!(first.exit, 0, "{:?}", first.error);
+        assert_eq!(first.answers.as_deref(), Some(&["3".to_string()][..]));
+        assert_eq!(first.mode, Some(ServeMode::Recomputed));
+
+        // i64::MAX + 2 overflows `plus` during incremental propagation;
+        // apply() fails after already mutating the view's input copies.
+        int_change(&reg, "a", i64::MAX, true);
+        let failed = run(&reg, SUM, "sum");
+        assert_ne!(failed.exit, 0, "overflow must surface as an error");
+
+        // The poisoned view must not linger: while the bad fact is present
+        // every request keeps erroring (a stale view would instead replay
+        // the delta as a no-op and serve the old answers as complete).
+        let failed_again = run(&reg, SUM, "sum");
+        assert_ne!(failed_again.exit, 0, "second request must also error");
+        assert!(failed_again.answers.is_none());
+
+        // Retracting the poison fact heals the tenant: the next request
+        // rebuilds from the database and serves complete answers again.
+        int_change(&reg, "a", i64::MAX, false);
+        let healed = run(&reg, SUM, "sum");
+        assert_eq!(healed.exit, 0, "{:?}", healed.error);
+        assert_eq!(healed.answers.as_deref(), Some(&["3".to_string()][..]));
+        assert_eq!(healed.complete, Some(true));
+        assert_eq!(healed.mode, Some(ServeMode::Recomputed));
+    }
+
+    #[test]
+    fn change_only_traffic_does_not_accumulate_a_log() {
+        let reg = Registry::new();
+        for i in 0..100 {
+            int_change(&reg, "p", i, true);
+        }
+        let tenant = reg.tenant("t");
+        let t = tenant.lock().unwrap();
+        assert_eq!(t.log.len(), 0, "no live views: every change compacts");
+        assert_eq!(t.log_base, t.version);
+    }
+
+    #[test]
+    fn a_view_lagging_past_max_log_is_evicted_rather_than_pinning_the_log() {
+        let reg = Registry::new();
+        int_change(&reg, "a", 1, true);
+        int_change(&reg, "b", 2, true);
+        assert_eq!(run(&reg, SUM, "sum").exit, 0);
+
+        // Write-only traffic while the view is never re-queried: the log
+        // may buffer up to MAX_LOG changes, then the stale view goes.
+        for i in 0..(MAX_LOG as i64 + 10) {
+            int_change(&reg, "p", i, true);
+        }
+        {
+            let tenant = reg.tenant("t");
+            let t = tenant.lock().unwrap();
+            assert!(t.log.len() <= MAX_LOG, "log over ceiling: {}", t.log.len());
+            assert!(
+                t.prepared.values().all(|p| p.view.is_none()),
+                "stale view must have been evicted"
+            );
+        }
+
+        // The query is still served correctly — by rebuilding.
+        let again = run(&reg, SUM, "sum");
+        assert_eq!(again.exit, 0, "{:?}", again.error);
+        assert_eq!(again.answers.as_deref(), Some(&["3".to_string()][..]));
+        assert_eq!(again.mode, Some(ServeMode::Recomputed));
+        assert_eq!(again.cache_hit, Some(true), "eviction dropped the view, not the entry");
+    }
+
+    #[test]
+    fn the_prepared_cache_is_lru_bounded() {
+        let reg = Registry::new();
+        int_change(&reg, "e", 1, true);
+        for i in 0..(MAX_PREPARED + 8) {
+            let program = format!("q{i}(X) :- e(X).");
+            let resp = run(&reg, &program, &format!("q{i}"));
+            assert_eq!(resp.exit, 0, "{:?}", resp.error);
+        }
+        let tenant = reg.tenant("t");
+        let t = tenant.lock().unwrap();
+        assert_eq!(t.prepared.len(), MAX_PREPARED);
+        // The oldest entries were evicted, the newest kept.
+        assert!(!t
+            .prepared
+            .contains_key(&("q0(X) :- e(X).".to_string(), "q0".to_string())));
+        let last = MAX_PREPARED + 7;
+        assert!(t
+            .prepared
+            .contains_key(&(format!("q{last}(X) :- e(X)."), format!("q{last}"))));
     }
 }
