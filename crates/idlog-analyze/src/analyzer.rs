@@ -20,7 +20,7 @@ use idlog_parser::{
 
 use crate::dataflow::Dataflow;
 use crate::diagnostic::Diagnostic;
-use crate::{determinism, lints, sorts, termination};
+use crate::{determinism, lints, relevance, sorts, termination};
 
 /// Which language the program appears to be written in.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -137,6 +137,7 @@ pub fn analyze(src: &str, interner: &Arc<Interner>, options: &Options) -> Analys
             determinism::tid_value_columns(&program, &spans, &flow, interner, &mut diags);
             lints::tid_bound_hints(&program, &spans, interner, &mut diags);
             termination::termination_lints(&program, &spans, interner, &mut diags);
+            relevance::relevance_lints(&program, &spans, interner, &mut diags);
             if options.redundancy {
                 lints::redundant_clauses(&program, &spans, interner, &mut diags);
             }

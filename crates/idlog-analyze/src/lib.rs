@@ -27,8 +27,10 @@
 //! retired clause-level `E008`), `W001`–`W005` syntactic warnings,
 //! `W010`/`W011` determinism warnings backed by the ID-taint dataflow in
 //! [`idlog_core::taint`], `W020`/`W021` termination warnings backed by the
-//! argument-flow analysis in [`idlog_core::termination`], and
-//! `H001`/`H010` optimization and bounded-depth hints.
+//! argument-flow analysis in [`idlog_core::termination`],
+//! `W030`/`W031` goal-directed-relevance refusals backed by the
+//! binding-pattern adornment analysis in [`idlog_core::relevance`], and
+//! `H001`/`H010`/`H020` optimization, bounded-depth, and point-query hints.
 
 #![warn(missing_docs)]
 
@@ -37,6 +39,7 @@ mod dataflow;
 mod determinism;
 pub mod diagnostic;
 pub mod lints;
+mod relevance;
 pub mod render;
 mod sorts;
 mod termination;
@@ -361,6 +364,82 @@ mod tests {
         let b = run("s(N) :- emp(N, D), choice((D), (N)).");
         assert_eq!(b.dialect, Dialect::Choice);
         assert!(!codes(&b).contains(&"H010"), "{:?}", codes(&b));
+    }
+
+    #[test]
+    fn point_query_earns_h020_certificate() {
+        let a = run("ancestor(X, Y) :- parent(X, Y).
+                     ancestor(X, Z) :- ancestor(X, Y), parent(Y, Z).
+                     query(Y) :- ancestor(ann, Y).");
+        let h020 = a.diagnostics.iter().find(|d| d.code == "H020").unwrap();
+        assert!(h020.message.contains("ancestor^bf"), "{h020:?}");
+        assert!(h020.message.contains("`query`"), "{h020:?}");
+        assert!(
+            h020.notes
+                .iter()
+                .any(|n| n.message.contains("--strategy magic")),
+            "{h020:?}"
+        );
+        assert!(!codes(&a).contains(&"W030"), "{:?}", codes(&a));
+    }
+
+    #[test]
+    fn floundering_point_query_draws_w030_with_walk() {
+        // Safe (the planner reorders `node(Y)` before the negation), but
+        // floundering under the textual left-to-right SIPS.
+        let a = run("reach(X, Y) :- edge(X, Y).
+                     reach(X, Z) :- reach(X, Y), edge(Y, Z).
+                     unreached(X, Y) :- node(X), not reach(X, Y), node(Y).
+                     q(Y) :- unreached(a, Y).");
+        let w030 = a.diagnostics.iter().find(|d| d.code == "W030").unwrap();
+        assert!(w030.message.contains("`q`"), "{w030:?}");
+        assert!(w030.span.is_known());
+        // Witness walk: the SIPS hop into unreached^bf plus the flounder.
+        assert!(
+            w030.notes
+                .iter()
+                .any(|n| n.message.contains("`unreached`") && n.message.contains("bf")),
+            "{w030:?}"
+        );
+        assert!(
+            w030.notes.iter().any(|n| n.message.contains("unbound")),
+            "{w030:?}"
+        );
+        assert!(
+            w030.notes
+                .iter()
+                .any(|n| n.message.contains("--allow W030")),
+            "{w030:?}"
+        );
+        assert!(!codes(&a).contains(&"H020"), "{:?}", codes(&a));
+    }
+
+    #[test]
+    fn choice_blocked_point_query_draws_w031() {
+        let a = run("picked(X, Y) :- pref[2](X, Y, 0).
+                     pref(X, Y) :- likes(X, Y).
+                     q(Y) :- picked(ann, Y).");
+        let w031 = a.diagnostics.iter().find(|d| d.code == "W031").unwrap();
+        assert!(w031.message.contains("choice site"), "{w031:?}");
+        assert!(
+            w031.notes
+                .iter()
+                .any(|n| n.message.contains("choice point")),
+            "{w031:?}"
+        );
+        assert!(!codes(&a).contains(&"H020"), "{:?}", codes(&a));
+    }
+
+    #[test]
+    fn all_free_queries_stay_silent_on_relevance() {
+        // No bound position anywhere: magic gains nothing, so neither a
+        // cert nor a refusal is reported.
+        let a = run("tc(X, Y) :- edge(X, Y).
+                     out(X, Y) :- tc(X, Y).");
+        let cs = codes(&a);
+        for code in ["W030", "W031", "H020"] {
+            assert!(!cs.contains(&code), "{cs:?}");
+        }
     }
 
     #[test]

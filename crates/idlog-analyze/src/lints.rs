@@ -316,7 +316,35 @@ pub fn redundant_clauses(
     }
     schema.sort();
     let schema_refs: Vec<(&str, usize)> = schema.iter().map(|(n, a)| (n.as_str(), *a)).collect();
-    const DOMAIN: [&str; 4] = ["d1", "d2", "d3", "d4"];
+    // The domain must include the program's own symbolic constants: a point
+    // query like `q(Y) :- anc(ann, Y)` is empty on every database whose
+    // domain misses `ann`, which would make every upstream clause look
+    // removable. Capped so the full database stays small.
+    let mut domain: Vec<String> = program
+        .clauses
+        .iter()
+        .flat_map(|c| {
+            c.head
+                .iter()
+                .flat_map(|h| h.atom.terms.iter())
+                .chain(c.body.iter().flat_map(|l| match l {
+                    idlog_parser::Literal::Pos(a) | idlog_parser::Literal::Neg(a) => {
+                        a.terms.iter()
+                    }
+                    idlog_parser::Literal::Builtin { args, .. } => args.iter(),
+                    _ => [].iter(),
+                }))
+        })
+        .filter_map(|t| match t {
+            idlog_parser::Term::Sym(s) => Some(interner.resolve(*s)),
+            _ => None,
+        })
+        .collect();
+    domain.sort();
+    domain.dedup();
+    domain.truncate(3);
+    domain.extend(["d1", "d2", "d3", "d4"].map(str::to_string));
+    let domain: Vec<&str> = domain.iter().map(String::as_str).collect();
     let mut empty_db = Database::with_interner(Arc::clone(interner));
     let mut full_db = Database::with_interner(Arc::clone(interner));
     for (name, arity) in &schema {
@@ -324,7 +352,7 @@ pub fn redundant_clauses(
         if empty_db.declare(name, rtype.clone()).is_err() || full_db.declare(name, rtype).is_err() {
             return;
         }
-        for combo in combos(&DOMAIN, *arity) {
+        for combo in combos(&domain, *arity) {
             if full_db.insert_syms(name, &combo).is_err() {
                 return;
             }
@@ -334,7 +362,7 @@ pub fn redundant_clauses(
     dbs.extend(idlog_optimizer::random_databases(
         interner,
         &schema_refs,
-        &DOMAIN,
+        &domain,
         8,
         0xD1CE,
     ));

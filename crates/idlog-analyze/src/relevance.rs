@@ -1,0 +1,161 @@
+//! Goal-directed relevance lints (W030, W031, H020).
+//!
+//! Backed by [`idlog_core::relevance::analyze_relevance`]. Each *sink*
+//! predicate (an IDB head no body reads — the program's query outputs) is
+//! analyzed as a query root. When the left-to-right SIPS reaches at least
+//! one derived predicate with a bound argument position, the program has a
+//! *point-query shape* and the verdict is worth reporting:
+//!
+//! * **H020** — certified: magic-sets evaluation (`--strategy magic`) is
+//!   semantics-preserving, with the adorned predicates and the statically
+//!   pruned fraction of the dependency graph listed;
+//! * **W030** — a goal flounders (negation or a builtin reached with
+//!   required positions unbound), with the witness walk from the root;
+//! * **W031** — the reachable region contains a choice site (ID-literal,
+//!   `choice`, `!`): magic guards must not duplicate or split a choice
+//!   point, mirroring the ID-taint witnesses of `W010`.
+//!
+//! Programs without point-query shape stay silent — all-free queries gain
+//! nothing from magic sets, so neither a cert nor a refusal is news.
+
+use idlog_common::{FxHashSet, Interner, SymbolId};
+use idlog_core::relevance::{
+    analyze_relevance, pattern_string, RefusalReason, RelevanceAnalysis, RelevanceStep,
+};
+use idlog_parser::{Program, SpanMap};
+
+use crate::diagnostic::Diagnostic;
+
+/// Run the relevance analysis per sink predicate and emit W030/W031/H020.
+pub(crate) fn relevance_lints(
+    program: &Program,
+    spans: &SpanMap,
+    interner: &Interner,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let bodies = program.body_predicates();
+    let mut seen_roots: FxHashSet<SymbolId> = FxHashSet::default();
+    let mut reported: FxHashSet<(&'static str, usize, usize)> = FxHashSet::default();
+    for (ci, clause) in program.clauses.iter().enumerate() {
+        let root = clause.head[0].atom.pred.base();
+        if bodies.contains(&root) || !seen_roots.insert(root) {
+            continue;
+        }
+        let analysis = analyze_relevance(program, root);
+        // Only point-query shapes are worth a verdict: the walk must have
+        // entered some derived predicate with a bound position.
+        if analysis.adorned().is_empty() {
+            continue;
+        }
+        match analysis.refusal() {
+            None => certified_hint(root, ci, &analysis, spans, interner, diags),
+            Some(_) => refusal_warning(root, &analysis, spans, interner, diags, &mut reported),
+        }
+    }
+}
+
+/// H020: the point query is certified for goal-directed evaluation.
+fn certified_hint(
+    root: SymbolId,
+    root_clause: usize,
+    analysis: &RelevanceAnalysis,
+    spans: &SpanMap,
+    interner: &Interner,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let adorned: Vec<String> = analysis
+        .adorned()
+        .iter()
+        .map(|a| a.display(interner))
+        .collect();
+    let (guarded, total) = analysis.pruned_fraction();
+    diags.push(
+        Diagnostic::hint(
+            "H020",
+            spans.head_name_span(root_clause),
+            format!(
+                "`{}` is a certified point query: goal-directed evaluation \
+                 reaches {}",
+                interner.resolve(root),
+                adorned.join(", ")
+            ),
+        )
+        .with_note(format!(
+            "magic sets guard {guarded} of {total} derived predicate(s) with \
+             query-constant seeds; run with --strategy magic to derive only \
+             relevant facts"
+        )),
+    );
+}
+
+/// W030/W031: the refusal, rendered as a rustc-style witness walk — one
+/// note per SIPS hop, anchored at the literal that passes the bindings.
+fn refusal_warning(
+    root: SymbolId,
+    analysis: &RelevanceAnalysis,
+    spans: &SpanMap,
+    interner: &Interner,
+    diags: &mut Vec<Diagnostic>,
+    reported: &mut FxHashSet<(&'static str, usize, usize)>,
+) {
+    let refusal = analysis.refusal().expect("caller checked");
+    let (code, headline) = match refusal.reason {
+        RefusalReason::Floundering => ("W030", "floundering walk under the left-to-right SIPS"),
+        RefusalReason::ChoiceSite => (
+            "W031",
+            "reaches a choice site, so magic-sets must not prune it",
+        ),
+    };
+    let (site_clause, site_literal) = refusal.site();
+    if !reported.insert((code, site_clause, site_literal)) {
+        return;
+    }
+    let mut d = Diagnostic::warning(
+        code,
+        spans.literal_span(site_clause, site_literal),
+        format!(
+            "point query `{}` cannot be made goal-directed: {headline}",
+            interner.resolve(root)
+        ),
+    );
+    for step in &refusal.walk {
+        d = match step {
+            RelevanceStep::Goal {
+                clause,
+                literal,
+                to,
+                pattern,
+            } => d.with_note_at(
+                spans.literal_span(*clause, *literal),
+                format!(
+                    "bindings flow into `{}` with pattern {} here",
+                    interner.resolve(*to),
+                    pattern_string(pattern)
+                ),
+            ),
+            RelevanceStep::Flounder {
+                clause,
+                literal,
+                message,
+            } => d.with_note_at(spans.literal_span(*clause, *literal), message.clone()),
+            RelevanceStep::Choice { clause, literal } => d.with_note_at(
+                spans.literal_span(*clause, *literal),
+                "non-deterministic choice happens here; a magic guard would \
+                 prune the relation it draws from, duplicating or splitting \
+                 the choice point (the same sites the W010 taint walk tracks)",
+            ),
+        };
+    }
+    d = d.with_note(match refusal.reason {
+        RefusalReason::Floundering => {
+            "bind the offending positions earlier in the body (the SIPS is \
+             textual left-to-right), or suppress with --allow W030 and use \
+             the default strategy"
+        }
+        RefusalReason::ChoiceSite => {
+            "goal-directed evaluation stays off for this query; suppress \
+             with --allow W031 if the full evaluation is intentional"
+        }
+    });
+    diags.push(d);
+}

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use idlog_core::BackendKind;
+use idlog_core::{BackendKind, Strategy};
 
 /// Usage text for `--help` and argument errors.
 pub const USAGE: &str = "\
@@ -46,6 +46,11 @@ RUN OPTIONS:
   --max-tuples <n>    cap on newly derived tuples (deterministic)
   --backend <name>    storage backend: hash (default) or columnar; results
                       and statistics are identical across backends
+  --strategy <name>   evaluation strategy: seminaive (default), naive, or
+                      magic (goal-directed: rewrite with magic sets seeded
+                      from query constants and derive only relevant facts;
+                      refused with a witness walk when the relevance
+                      analysis cannot certify the rewrite — see W030/W031)
 
 EXIT CODES:
   0   success (including --all walks truncated by --max-models)
@@ -117,6 +122,8 @@ pub struct RunOpts {
     pub max_tuples: Option<u64>,
     /// Storage backend (None = the engine default, hash).
     pub backend: Option<BackendKind>,
+    /// Evaluation strategy (None = the engine default, seminaive).
+    pub strategy: Option<Strategy>,
 }
 
 impl RunOpts {
@@ -138,6 +145,7 @@ impl RunOpts {
             max_rounds: None,
             max_tuples: None,
             backend: None,
+            strategy: None,
         }
     }
 }
@@ -356,6 +364,7 @@ impl Args {
                             run.max_tuples = Some(parse_num(&mut it, "--max-tuples")?)
                         }
                         "--backend" => run.backend = Some(parse_backend(&mut it)?),
+                        "--strategy" => run.strategy = Some(parse_strategy(&mut it)?),
                         "--all" => run.all = true,
                         "--stats" => run.stats = true,
                         "--profile" => run.profile = true,
@@ -448,6 +457,16 @@ pub fn parse_backend_name(name: &str) -> Result<BackendKind, String> {
 
 fn parse_backend<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<BackendKind, String> {
     parse_backend_name(&value(it, "--backend")?)
+}
+
+/// Parse and validate a `--strategy` value (shared by `run` and the REPL).
+pub fn parse_strategy_name(name: &str) -> Result<Strategy, String> {
+    Strategy::parse(name)
+        .ok_or_else(|| format!("unknown strategy {name:?} (expected seminaive, naive, or magic)"))
+}
+
+fn parse_strategy<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<Strategy, String> {
+    parse_strategy_name(&value(it, "--strategy")?)
 }
 
 #[cfg(test)]
@@ -615,6 +634,33 @@ mod tests {
             panic!("expected run");
         };
         assert_eq!(run.backend, None, "default is the engine's hash backend");
+    }
+
+    #[test]
+    fn parses_strategy_flag() {
+        let args = parse(&["run", "p.idl", "--output", "q", "--strategy", "magic"]).unwrap();
+        let Command::Run(run) = args.command else {
+            panic!("expected run");
+        };
+        assert_eq!(run.strategy, Some(Strategy::Magic));
+        for (name, want) in [
+            ("seminaive", Strategy::SemiNaive),
+            ("naive", Strategy::Naive),
+        ] {
+            let args = parse(&["run", "p.idl", "--output", "q", "--strategy", name]).unwrap();
+            let Command::Run(run) = args.command else {
+                panic!("expected run");
+            };
+            assert_eq!(run.strategy, Some(want));
+        }
+        assert!(parse(&["run", "p.idl", "--output", "q", "--strategy", "earley"]).is_err());
+        assert!(parse(&["run", "p.idl", "--output", "q", "--strategy"]).is_err());
+        let args = parse(&["run", "p.idl", "--output", "q"]).unwrap();
+        let Command::Run(run) = args.command else {
+            panic!("expected run");
+        };
+        assert_eq!(run.strategy, None, "default is the engine's seminaive");
+        assert!(USAGE.contains("--strategy"), "usage lost --strategy");
     }
 
     #[test]

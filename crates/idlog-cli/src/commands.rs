@@ -342,6 +342,55 @@ pub fn explain(
     } else {
         println!("-- termination: not certified (outside the analyzed fragment)");
     }
+    // Relevance footer: which query roots the goal-directed strategy
+    // (`idlog run --strategy magic`) would accept, and why the rest refuse.
+    let bodies = program.ast().body_predicates();
+    let mut seen = std::collections::HashSet::new();
+    let mut lines: Vec<String> = Vec::new();
+    for clause in &program.ast().clauses {
+        for head in &clause.head {
+            let root = head.atom.pred.base();
+            if bodies.contains(&root) || !seen.insert(root) {
+                continue;
+            }
+            let name = interner.resolve(root);
+            let analysis = idlog_core::analyze_relevance(program.ast(), root);
+            if let Some(r) = analysis.refusal() {
+                let why = match r.reason {
+                    idlog_core::RefusalReason::Floundering => {
+                        "refused: flounders under the left-to-right SIPS (W030)"
+                    }
+                    idlog_core::RefusalReason::ChoiceSite => {
+                        "refused: blocked by a choice site (W031)"
+                    }
+                };
+                lines.push(format!("{name}: {why}"));
+            } else if analysis.is_point_query() {
+                let adorned: Vec<String> = analysis
+                    .adorned()
+                    .iter()
+                    .map(|a| a.display(&interner))
+                    .collect();
+                let (guarded, total) = analysis.pruned_fraction();
+                lines.push(format!(
+                    "{name}: certified point query (H020); reaches {}; magic guards \
+                     {guarded}/{total} derived predicate(s)",
+                    adorned.join(", ")
+                ));
+            } else {
+                lines.push(format!(
+                    "{name}: no bound argument positions; goal-directed evaluation \
+                     would not prune"
+                ));
+            }
+        }
+    }
+    if !lines.is_empty() {
+        println!("-- relevance (strategy=magic):");
+        for line in lines {
+            println!("--   {line}");
+        }
+    }
     Ok(())
 }
 
@@ -359,6 +408,7 @@ pub fn run_query(opts: &RunOpts) -> Result<(), CliError> {
     let want_profile = opts.profile || opts.profile_json.is_some() || opts.stats;
     let options = options_for(opts.threads)
         .backend(opts.backend.unwrap_or_default())
+        .strategy(opts.strategy.unwrap_or_default())
         .budget(default_budget(opts.max_models))
         .profile(want_profile)
         .limits(limits_for(opts));

@@ -17,10 +17,10 @@ use std::io::{BufRead, Write};
 use std::sync::Arc;
 use std::time::Duration;
 
-use idlog_core::{BackendKind, EnumBudget, Interner, Query, ValidatedProgram};
+use idlog_core::{BackendKind, EnumBudget, Interner, Query, Strategy, ValidatedProgram};
 use idlog_storage::Database;
 
-use crate::args::{parse_backend_name, parse_duration};
+use crate::args::{parse_backend_name, parse_duration, parse_strategy_name};
 use crate::{options_for, oracle_for, signal};
 
 /// REPL state: accumulated rule sources and the fact database.
@@ -28,7 +28,7 @@ use crate::{options_for, oracle_for, signal};
 /// Robustness contract: a failed evaluation (limit trip, Ctrl-C, arithmetic
 /// overflow, even a contained engine panic) reports an `error:` line and
 /// leaves every piece of this state — rules, facts, `:seed`, `:threads`,
-/// `:profile`, `:timeout`, `:backend` — exactly as it was.
+/// `:profile`, `:timeout`, `:backend`, `:strategy` — exactly as it was.
 struct Session {
     interner: Arc<Interner>,
     rules: Vec<String>,
@@ -38,6 +38,7 @@ struct Session {
     profile: bool,
     timeout: Option<Duration>,
     backend: BackendKind,
+    strategy: Strategy,
 }
 
 /// Run the REPL until `:quit` or end of input.
@@ -52,6 +53,7 @@ pub fn run(input: &mut dyn BufRead, out: &mut dyn Write) -> Result<(), String> {
         profile: false,
         timeout: None,
         backend: BackendKind::default(),
+        strategy: Strategy::default(),
     };
     let io = |e: std::io::Error| format!("i/o error: {e}");
 
@@ -96,12 +98,15 @@ const HELP: &str = "\
   :profile on|off    print the per-rule evaluation profile after ?- queries
   :backend <name>    storage backend: hash (default) or columnar; answers
                      and statistics never depend on it
+  :strategy <name>   evaluation strategy: seminaive (default), naive, or
+                     magic (goal-directed; refused with a witness when the
+                     relevance analysis cannot certify the query)
   :timeout <dur>     wall-clock budget per query, e.g. 500ms, 2s
                      (\":timeout off\" to lift it); Ctrl-C also stops a
                      running query — session state survives either way
   :list              show the current program and fact counts
-  :analyze           determinism and termination certificates for the
-                     accumulated rules (and the round ceiling, if bounded)
+  :analyze           determinism, termination, and goal-directed relevance
+                     certificates for the accumulated rules
   :help              this text
   :quit              leave";
 
@@ -194,6 +199,14 @@ impl Session {
                 }
                 Ok(Reply::Text(format!("backend: {}", self.backend)))
             }
+            "strategy" => {
+                let rest = rest.trim();
+                if !rest.is_empty() {
+                    self.strategy =
+                        parse_strategy_name(rest).map_err(|e| format!(":strategy: {e}"))?;
+                }
+                Ok(Reply::Text(format!("strategy: {}", self.strategy)))
+            }
             "analyze" => self.analyze(),
             "all" | "a" => self.query(rest.trim().trim_end_matches('.').trim(), true),
             other => Err(format!("unknown command :{other} (try :help)")),
@@ -247,6 +260,47 @@ impl Session {
         } else {
             text.push_str("termination: not certified (outside the analyzed fragment)");
         }
+        text.push('\n');
+        // Relevance: would `:strategy magic` accept a query at each root?
+        let bodies = program.ast().body_predicates();
+        let mut seen = std::collections::HashSet::new();
+        for clause in &program.ast().clauses {
+            for head in &clause.head {
+                let root = head.atom.pred.base();
+                if bodies.contains(&root) || !seen.insert(root) {
+                    continue;
+                }
+                let name = self.interner.resolve(root);
+                let analysis = idlog_core::analyze_relevance(program.ast(), root);
+                let line = if let Some(r) = analysis.refusal() {
+                    match r.reason {
+                        idlog_core::RefusalReason::Floundering => format!(
+                            "relevance: {name} refuses magic (flounders under the \
+                             left-to-right SIPS, W030)"
+                        ),
+                        idlog_core::RefusalReason::ChoiceSite => format!(
+                            "relevance: {name} refuses magic (blocked by a choice \
+                             site, W031)"
+                        ),
+                    }
+                } else if analysis.is_point_query() {
+                    let adorned: Vec<String> = analysis
+                        .adorned()
+                        .iter()
+                        .map(|a| a.display(&self.interner))
+                        .collect();
+                    format!(
+                        "relevance: {name} is a certified point query (H020); \
+                         reaches {}",
+                        adorned.join(", ")
+                    )
+                } else {
+                    format!("relevance: {name} has no bound positions; magic would not prune")
+                };
+                text.push_str(&line);
+                text.push('\n');
+            }
+        }
         Ok(Reply::Text(text.trim_end().to_string()))
     }
 
@@ -273,7 +327,9 @@ impl Session {
         let program = ValidatedProgram::parse(&self.rules.join("\n"), Arc::clone(&self.interner))
             .map_err(|e| e.to_string())?;
         let query = Query::new(program, pred).map_err(|e| e.to_string())?;
-        let mut options = options_for(self.threads).backend(self.backend);
+        let mut options = options_for(self.threads)
+            .backend(self.backend)
+            .strategy(self.strategy);
         if let Some(t) = self.timeout {
             options = options.deadline(t);
         }
@@ -379,6 +435,64 @@ mod tests {
 
         let empty = drive(":analyze\n:quit\n");
         assert!(empty.contains("no rules to analyze yet"), "{empty}");
+    }
+
+    #[test]
+    fn strategy_switching_and_magic_query() {
+        let out = drive(
+            "parent(a, b).\nparent(b, c).\nparent(x, y).\n\
+             anc(X, Y) :- parent(X, Y).\n\
+             anc(X, Z) :- anc(X, Y), parent(Y, Z).\n\
+             q(Y) :- anc(a, Y).\n\
+             :strategy magic\n\
+             ?- q.\n\
+             :strategy\n\
+             :strategy seminaive\n\
+             :strategy earley\n\
+             :quit\n",
+        );
+        assert!(out.contains("strategy: magic"), "{out}");
+        assert!(out.contains("q(b)") && out.contains("q(c)"), "{out}");
+        assert!(!out.contains("q(y)"), "irrelevant fact derived: {out}");
+        assert!(out.contains("strategy: seminaive"), "{out}");
+        assert!(out.contains("error: :strategy:"), "{out}");
+        // The bare `:strategy` after switching reports the current value.
+        assert_eq!(out.matches("strategy: magic").count(), 2, "{out}");
+    }
+
+    #[test]
+    fn magic_refusal_is_an_error_line_and_state_survives() {
+        let out = drive(
+            "likes(ann, tea).\nlikes(bob, mud).\n\
+             pick(X, Y) :- likes[1](X, Y, 0).\n\
+             q(Y) :- pick(ann, Y).\n\
+             :strategy magic\n\
+             ?- q.\n\
+             :strategy seminaive\n\
+             ?- q.\n\
+             :quit\n",
+        );
+        assert!(out.contains("error:"), "{out}");
+        assert!(out.contains("choice site"), "{out}");
+        assert!(out.contains("witness"), "{out}");
+        assert!(out.contains("q(tea)"), "retry after refusal failed: {out}");
+    }
+
+    #[test]
+    fn analyze_reports_relevance() {
+        let out = drive(
+            "parent(a, b).\n\
+             anc(X, Y) :- parent(X, Y).\n\
+             anc(X, Z) :- anc(X, Y), parent(Y, Z).\n\
+             q(Y) :- anc(a, Y).\n\
+             :analyze\n\
+             :quit\n",
+        );
+        assert!(
+            out.contains("relevance: q is a certified point query (H020)"),
+            "{out}"
+        );
+        assert!(out.contains("reaches anc^bf"), "{out}");
     }
 
     #[test]

@@ -128,6 +128,51 @@ fn run_query_limit_trip_maps_to_limit_exit_class() {
 }
 
 #[test]
+fn run_query_strategy_magic_succeeds_and_refuses() {
+    let s = Scratch::new("magic");
+    let program = s.file(
+        "p.idl",
+        "anc(X, Y) :- parent(X, Y).
+         anc(X, Z) :- anc(X, Y), parent(Y, Z).
+         q(Y) :- anc(ann, Y).",
+    );
+    let facts = s.file(
+        "f.idl",
+        "parent(ann, bob). parent(bob, cal). parent(eve, fay).",
+    );
+
+    // Certified point query: magic evaluates and agrees with direct.
+    let mut opts = RunOpts::new(&program, "q");
+    opts.facts = Some(facts.clone());
+    opts.strategy = Some(idlog_core::Strategy::Magic);
+    commands::run_query(&opts).unwrap();
+
+    // A choice site in the related region refuses with a witness (exit 1).
+    let blocked = s.file(
+        "b.idl",
+        "pick(X, Y) :- likes[1](X, Y, 0).
+         q(Y) :- pick(ann, Y).",
+    );
+    let likes = s.file("l.idl", "likes(ann, tea).");
+    let mut opts = RunOpts::new(&blocked, "q");
+    opts.facts = Some(likes);
+    opts.strategy = Some(idlog_core::Strategy::Magic);
+    let err = commands::run_query(&opts).unwrap_err();
+    assert_eq!(err.exit_code(), 1, "{err:?}");
+    assert!(err.message().contains("choice site"), "{err:?}");
+    assert!(err.message().contains("witness"), "{err:?}");
+
+    // A governor trip under magic still maps to the limit exit class (3).
+    let mut tripped = RunOpts::new(&program, "q");
+    tripped.facts = Some(facts);
+    tripped.strategy = Some(idlog_core::Strategy::Magic);
+    tripped.max_rounds = Some(1);
+    let err = commands::run_query(&tripped).unwrap_err();
+    assert_eq!(err.exit_code(), 3, "{err:?}");
+    assert!(err.message().contains("max-rounds"), "{err:?}");
+}
+
+#[test]
 fn run_query_writes_profile_json() {
     let s = Scratch::new("profile-json");
     let program = s.file("p.idl", "two(N) :- emp[2](N, D, T), T < 2.");

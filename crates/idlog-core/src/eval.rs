@@ -85,6 +85,39 @@ pub enum Strategy {
     /// Re-run every rule in full each round — the ablation baseline the
     /// `seminaive_ablation` bench compares against.
     Naive,
+    /// Goal-directed evaluation: [`crate::query::Query`] rewrites the
+    /// program with magic sets ([`crate::relevance`]) before evaluation,
+    /// which then proceeds semi-naively over the transformed program. At
+    /// this layer the fixpoint loop is identical to [`Strategy::SemiNaive`].
+    Magic,
+}
+
+impl Strategy {
+    /// Parse a strategy name as accepted by `idlog run --strategy`, the
+    /// REPL `:strategy` command, and the service protocol.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "seminaive" => Some(Strategy::SemiNaive),
+            "naive" => Some(Strategy::Naive),
+            "magic" => Some(Strategy::Magic),
+            _ => None,
+        }
+    }
+
+    /// The canonical name (`"seminaive"` / `"naive"` / `"magic"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::SemiNaive => "seminaive",
+            Strategy::Naive => "naive",
+            Strategy::Magic => "magic",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// Compute the perfect model of `program` on `db` under `oracle`'s tid
@@ -170,7 +203,7 @@ pub fn evaluate_governed(
                 sp.as_mut(),
             )?;
             match options.strategy {
-                Strategy::SemiNaive => {
+                Strategy::SemiNaive | Strategy::Magic => {
                     let same_stratum: FxHashSet<SymbolId> =
                         stratum_plans.iter().map(|p| p.head_pred).collect();
                     eval_stratum(

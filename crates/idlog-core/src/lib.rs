@@ -42,6 +42,7 @@ pub mod pred;
 pub mod profile;
 pub mod program;
 pub mod query;
+pub mod relevance;
 pub mod safety;
 pub mod service;
 pub mod sorts;
@@ -65,6 +66,10 @@ pub use pred::PredKey;
 pub use profile::{Profile, RuleTotals, PROFILE_JSON_SCHEMA};
 pub use program::ValidatedProgram;
 pub use query::{EvalResult, Query, Session};
+pub use relevance::{
+    analyze_relevance, magic_program, magic_tuples_pruned, pattern_string, AdornedPred,
+    RefusalReason, RelevanceAnalysis, RelevanceRefusal, RelevanceStep, MAGIC_PREFIX,
+};
 pub use service::{
     render_answers, render_tuple, FactValue, Request, Response, RunRequest, ServeMode,
     SERVICE_SCHEMA,

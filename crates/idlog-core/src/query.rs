@@ -61,6 +61,17 @@ pub struct Query {
     /// automatic `max_rounds` ceiling on every evaluation, so even a buggy
     /// certificate trips deterministically instead of hanging.
     termination: crate::termination::TerminationCert,
+    /// The goal-directed relevance analysis ([`crate::relevance`]) over
+    /// `related`, rooted at the output predicate. Computed once at
+    /// construction, mirroring the taint and termination certs.
+    relevance: crate::relevance::RelevanceAnalysis,
+    /// The validated magic-sets rewrite of `related`, present iff the
+    /// relevance analysis certified it. [`Strategy::Magic`] sessions
+    /// evaluate this program instead of `related`.
+    magic: Option<ValidatedProgram>,
+    /// The termination certificate of the magic program (its round
+    /// structure differs from `related`'s, so it gets its own bound).
+    magic_termination: Option<crate::termination::TerminationCert>,
 }
 
 /// The outcome of one [`Session::run`]: the output relation, the
@@ -218,6 +229,12 @@ impl<'q, 'd> Session<'q, 'd> {
                 Err(e) => Err(e.into_core()),
             };
         }
+        // The enumeration walk ignores the fixpoint strategy, so an
+        // uncertified magic request must refuse here too (with the same
+        // witness) instead of silently evaluating the full program.
+        if self.options.strategy == Strategy::Magic && query.magic.is_none() {
+            return Err(query.magic_refusal_error());
+        }
         enumerate_governed(
             &query.related,
             self.db,
@@ -260,12 +277,33 @@ impl Query {
         let related = program.restrict_to(output_id)?;
         let deterministic = crate::taint::analyze_taint(related.ast()).deterministic(output_id);
         let termination = crate::termination::analyze_termination(related.ast());
+        let (relevance, magic) = if related.arity(output_id).is_some() {
+            let relevance = crate::relevance::analyze_relevance(related.ast(), output_id);
+            let magic = crate::relevance::magic_program(
+                related.ast(),
+                output_id,
+                program.interner(),
+                &relevance,
+            )
+            .and_then(|ast| ValidatedProgram::new(ast, Arc::clone(program.interner())).ok());
+            (relevance, magic)
+        } else {
+            // Output is an input predicate: the identity query, nothing to
+            // adorn or rewrite.
+            (crate::relevance::RelevanceAnalysis::default(), None)
+        };
+        let magic_termination = magic
+            .as_ref()
+            .map(|m| crate::termination::analyze_termination(m.ast()));
         Ok(Query {
             program,
             related,
             output: output.to_string(),
             deterministic,
             termination,
+            relevance,
+            magic,
+            magic_termination,
         })
     }
 
@@ -287,6 +325,25 @@ impl Query {
     /// ceiling (tightening, never loosening, caller-set limits).
     pub fn termination_cert(&self) -> &crate::termination::TerminationCert {
         &self.termination
+    }
+
+    /// The goal-directed relevance analysis over `P/q`, rooted at the
+    /// output predicate (see [`crate::relevance`]). Certification means a
+    /// [`Strategy::Magic`] session is semantics-preserving; a refusal
+    /// carries the witness walk every magic session will report.
+    pub fn relevance(&self) -> &crate::relevance::RelevanceAnalysis {
+        &self.relevance
+    }
+
+    /// True when [`Strategy::Magic`] sessions will run the magic-sets
+    /// rewrite instead of refusing.
+    pub fn magic_certified(&self) -> bool {
+        self.magic.is_some()
+    }
+
+    /// The validated magic-sets rewrite of `P/q`, when certified.
+    pub fn magic_plan(&self) -> Option<&ValidatedProgram> {
+        self.magic.as_ref()
     }
 
     /// The output predicate name.
@@ -351,6 +408,9 @@ impl Query {
                 profile: options.profile.then(Profile::empty),
             });
         }
+        if options.strategy == Strategy::Magic {
+            return self.eval_magic(db, oracle, options, cancel);
+        }
         // Install the certified depth bound as a static round ceiling: a
         // correct cert never trips it (the bound over-approximates), and a
         // buggy one trips deterministically instead of hanging.
@@ -368,6 +428,74 @@ impl Query {
             stats: out.stats(),
             profile: out.take_profile(),
         })
+    }
+
+    /// The [`Strategy::Magic`] evaluation path: run the certified rewrite,
+    /// or refuse with the relevance witness. The root predicate keeps its
+    /// original name in the rewrite, so output projection — including from
+    /// the partial state a limit trip carries — works unchanged.
+    fn eval_magic(
+        &self,
+        db: &Database,
+        oracle: &mut dyn TidOracle,
+        options: &EvalOptions,
+        cancel: Option<&CancelToken>,
+    ) -> Result<EvalResult, EvalError> {
+        let Some(magic) = &self.magic else {
+            return Err(EvalError::Core(self.magic_refusal_error()));
+        };
+        let mut options = *options;
+        if let Some(bound) = self
+            .magic_termination
+            .as_ref()
+            .and_then(|t| t.round_bound(db))
+        {
+            options.limits = options.limits.tighten_rounds(bound);
+        }
+        let mut out = evaluate_governed(magic, db, oracle, &options, cancel)?;
+        let mut stats = out.stats();
+        stats.tuples_pruned = crate::relevance::magic_tuples_pruned(magic, db, &out);
+        let rel = out
+            .relation(&self.output)
+            .cloned()
+            .expect("the rewrite keeps the output predicate's name");
+        let mut profile = out.take_profile();
+        if let Some(p) = profile.as_mut() {
+            p.totals.tuples_pruned = stats.tuples_pruned;
+        }
+        Ok(EvalResult {
+            relation: rel,
+            stats,
+            profile,
+        })
+    }
+
+    /// The [`CoreError`] explaining why `strategy=magic` is refused for
+    /// this query. Every refusal carries the relevance witness walk; the
+    /// only witnessless case is a rewrite that failed revalidation (which
+    /// the analysis should prevent — kept as a defensive fallback).
+    pub(crate) fn magic_refusal_error(&self) -> CoreError {
+        let message = match self.relevance.refusal() {
+            Some(r) => {
+                let reason = match r.reason {
+                    crate::relevance::RefusalReason::Floundering => {
+                        "the query flounders under the left-to-right SIPS"
+                    }
+                    crate::relevance::RefusalReason::ChoiceSite => {
+                        "the related region contains a choice site"
+                    }
+                };
+                format!(
+                    "strategy=magic refused: {reason}; witness: {}",
+                    r.render(self.program.interner())
+                )
+            }
+            None => "strategy=magic is unavailable for this query".to_string(),
+        };
+        CoreError::Validation {
+            clause: None,
+            message,
+        }
     }
 
     /// The single-answer set when the output is an input predicate (no
@@ -636,6 +764,91 @@ mod tests {
         let all = q.session(&db).cancel_token(token).all_answers().unwrap();
         assert!(all.is_empty());
         assert_eq!(all.stopped(), Some(crate::govern::StopReason::Cancelled));
+    }
+
+    const ANCESTOR: &str = "
+        ancestor(X, Y) :- parent(X, Y).
+        ancestor(X, Z) :- ancestor(X, Y), parent(Y, Z).
+        query(Y) :- ancestor(ann, Y).
+    ";
+
+    fn family_db(q: &Query) -> Database {
+        let mut db = q.new_database();
+        for (x, y) in [
+            ("ann", "bob"),
+            ("bob", "cal"),
+            ("cal", "dee"),
+            ("eve", "fay"),
+            ("fay", "gus"),
+            ("gus", "hal"),
+        ] {
+            db.insert_syms("parent", &[x, y]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn magic_strategy_agrees_and_prunes() {
+        let q = Query::parse(ANCESTOR, "query").unwrap();
+        assert!(q.magic_certified());
+        assert!(q.relevance().is_point_query());
+        let db = family_db(&q);
+        let direct = q.session(&db).run().unwrap();
+        let magic = q.session(&db).strategy(Strategy::Magic).run().unwrap();
+        assert!(direct.relation.set_eq(&magic.relation));
+        assert_eq!(magic.relation.len(), 3);
+        // Profit: the eve-branch is never derived, and the pruned counter
+        // sees its parent tuples.
+        assert!(magic.stats.inserted < direct.stats.inserted);
+        assert!(magic.stats.tuples_pruned > 0);
+        assert_eq!(direct.stats.tuples_pruned, 0);
+        // The counter is part of the deterministic stats contract.
+        let again = q
+            .session(&db)
+            .strategy(Strategy::Magic)
+            .threads(2)
+            .run()
+            .unwrap();
+        assert_eq!(again.stats, magic.stats);
+    }
+
+    #[test]
+    fn magic_strategy_refused_with_witness() {
+        let q = Query::parse("picked(X) :- pool[](X, 0). q(X) :- picked(X).", "q").unwrap();
+        assert!(!q.magic_certified());
+        let db = q.new_database();
+        let err = q.session(&db).strategy(Strategy::Magic).run().unwrap_err();
+        match err {
+            CoreError::Validation { message, .. } => {
+                assert!(message.contains("choice site"), "{message}");
+                assert!(message.contains("witness"), "{message}");
+            }
+            other => panic!("expected Validation refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn magic_limit_trip_carries_partial_output() {
+        let q = Query::parse(ANCESTOR, "query").unwrap();
+        let db = family_db(&q);
+        let err = q
+            .session(&db)
+            .strategy(Strategy::Magic)
+            .limits(Limits {
+                max_rounds: Some(1),
+                ..Limits::none()
+            })
+            .try_run()
+            .unwrap_err();
+        match &err {
+            EvalError::Limit { limit, partial } => {
+                assert_eq!(*limit, crate::govern::LimitKind::Rounds);
+                // The rewrite keeps the root name, so partial projection
+                // works exactly like the direct strategy's.
+                assert!(partial.relation("query").is_some());
+            }
+            other => panic!("expected Limit, got {other:?}"),
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@ use idlog_common::{Interner, Json, Tuple, Value};
 use idlog_storage::{BackendKind, Relation};
 
 use crate::error::ErrorCode;
+use crate::eval::Strategy;
 use crate::govern::Limits;
 
 /// Protocol schema identifier, reported by `ping`.
@@ -83,6 +84,10 @@ pub struct RunRequest {
     pub threads: Option<usize>,
     /// Storage backend override for materialized relations.
     pub backend: Option<BackendKind>,
+    /// Evaluation strategy override. `magic` asks for goal-directed
+    /// evaluation and is refused (with the relevance witness) when the
+    /// query is not a certified point query.
+    pub strategy: Option<Strategy>,
     /// Wall-clock budget in milliseconds.
     pub timeout_ms: Option<u64>,
     /// Semi-naive round ceiling.
@@ -106,6 +111,7 @@ impl RunRequest {
             seed: None,
             threads: None,
             backend: None,
+            strategy: None,
             timeout_ms: None,
             max_rounds: None,
             max_tuples: None,
@@ -126,9 +132,16 @@ impl RunRequest {
 
     /// True when the request can be served from (and maintained in) a
     /// canonical materialized model: one canonical answer, no per-request
-    /// resource ceilings that a cached read could misreport.
+    /// resource ceilings that a cached read could misreport, and no
+    /// evaluation-strategy override (a `magic` or `naive` request asks for
+    /// a specific evaluation, so it runs fresh — where a `magic` refusal
+    /// surfaces with its witness instead of being papered over by a cached
+    /// full model).
     pub fn wants_materialized(&self) -> bool {
-        !self.all && self.seed.is_none() && self.limits() == Limits::default()
+        !self.all
+            && self.seed.is_none()
+            && self.limits() == Limits::default()
+            && self.strategy.unwrap_or_default() == Strategy::SemiNaive
     }
 }
 
@@ -211,6 +224,13 @@ impl Request {
                             .ok_or_else(|| format!("unknown backend {name:?}"))?,
                     ),
                 };
+                let strategy = match j.get("strategy").and_then(Json::as_str) {
+                    None => None,
+                    Some(name) => Some(
+                        Strategy::parse(name)
+                            .ok_or_else(|| format!("unknown strategy {name:?}"))?,
+                    ),
+                };
                 Ok(Request::Run(RunRequest {
                     tenant: tenant(&j)?,
                     program: field("program")?,
@@ -219,6 +239,7 @@ impl Request {
                     seed: j.get("seed").and_then(Json::as_u64),
                     threads: j.get("threads").and_then(Json::as_u64).map(|n| n as usize),
                     backend,
+                    strategy,
                     timeout_ms: j.get("timeout_ms").and_then(Json::as_u64),
                     max_rounds: j.get("max_rounds").and_then(Json::as_u64),
                     max_tuples: j.get("max_tuples").and_then(Json::as_u64),
@@ -285,6 +306,9 @@ impl Request {
                 }
                 if let Some(b) = r.backend {
                     put("backend", Json::str(b.name()));
+                }
+                if let Some(s) = r.strategy {
+                    put("strategy", Json::str(s.name()));
                 }
             }
             Request::Insert {
@@ -423,8 +447,7 @@ impl Response {
 
     /// Render as one compact JSON line (no trailing newline).
     pub fn to_json(&self) -> String {
-        let mut fields: Vec<(String, Json)> =
-            vec![("exit".to_string(), Json::int(self.exit))];
+        let mut fields: Vec<(String, Json)> = vec![("exit".to_string(), Json::int(self.exit))];
         let mut put = |k: &str, v: Json| fields.push((k.to_string(), v));
         if let Some(code) = self.code {
             put("code", Json::str(code.as_str()));
@@ -577,7 +600,9 @@ mod tests {
         r.max_tuples = Some(1000);
         r.max_bytes = Some(1 << 20);
         r.max_models = Some(64);
+        r.strategy = Some(Strategy::Magic);
         let line = Request::Run(r.clone()).to_json();
+        assert!(line.contains("\"strategy\":\"magic\""), "{line}");
         assert_eq!(Request::parse(&line).unwrap(), Request::Run(r.clone()));
         // The ceiling fields map onto Limits.
         let limits = r.limits();
@@ -653,6 +678,27 @@ mod tests {
             r#"{"op":"run","tenant":"t","program":"p(a).","output":"p","backend":"flash"}"#
         )
         .is_err());
+        assert!(Request::parse(
+            r#"{"op":"run","tenant":"t","program":"p(a).","output":"p","strategy":"earley"}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn strategy_overrides_opt_out_of_materialized_serving() {
+        let plain = RunRequest::new("t", "p(X) :- q(X).", "p");
+        assert!(plain.wants_materialized());
+        let mut seminaive = plain.clone();
+        seminaive.strategy = Some(Strategy::SemiNaive);
+        assert!(
+            seminaive.wants_materialized(),
+            "an explicit seminaive request is the default evaluation"
+        );
+        for s in [Strategy::Magic, Strategy::Naive] {
+            let mut r = plain.clone();
+            r.strategy = Some(s);
+            assert!(!r.wants_materialized(), "{s} must evaluate fresh");
+        }
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub struct EvalStats {
     pub iterations: u64,
     /// ID-relations materialized.
     pub id_relations: u64,
+    /// Stored EDB tuples the magic guards excluded from joins (zero except
+    /// under `strategy=magic`; computed post-hoc from the final relations,
+    /// so it is identical across thread counts and backends).
+    pub tuples_pruned: u64,
 }
 
 impl EvalStats {
@@ -50,6 +54,7 @@ impl AddAssign for EvalStats {
         self.builtin_evals += o.builtin_evals;
         self.iterations += o.iterations;
         self.id_relations += o.id_relations;
+        self.tuples_pruned += o.tuples_pruned;
     }
 }
 
@@ -65,7 +70,13 @@ impl fmt::Display for EvalStats {
             self.builtin_evals,
             self.iterations,
             self.id_relations
-        )
+        )?;
+        // Keep legacy renderings byte-stable: the magic-only counter only
+        // appears when the strategy actually pruned something.
+        if self.tuples_pruned > 0 {
+            write!(f, " pruned={}", self.tuples_pruned)?;
+        }
+        Ok(())
     }
 }
 

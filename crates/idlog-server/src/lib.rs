@@ -400,6 +400,14 @@ impl Registry {
         if let Some(backend) = r.backend {
             session = session.backend(backend);
         }
+        if let Some(strategy) = r.strategy {
+            // A `magic` request on an uncertified query fails here with the
+            // relevance witness; the cached `Query` already carries the
+            // compiled magic plan for certified ones, so repeat magic
+            // requests reuse it (the relevance fingerprint is part of the
+            // prepared entry's identity).
+            session = session.strategy(strategy);
+        }
         if r.all {
             if let Some(max_models) = r.max_models {
                 session = session.budget(EnumBudget {
@@ -449,13 +457,17 @@ impl Registry {
     }
 }
 
-/// The compile-time certificates a cache entry is admitted under.
+/// The compile-time certificates a cache entry is admitted under:
+/// determinism, termination, and the goal-directed relevance verdict
+/// (whether the entry holds a certified magic plan, and how much of the
+/// related region it guards).
 fn fingerprint(query: &Query) -> String {
     format!(
-        "det={};bounded={};degree={}",
+        "det={};bounded={};degree={};{}",
         query.certified_deterministic(),
         query.termination_cert().bounded(),
         query.termination_cert().degree(),
+        query.relevance().fingerprint(),
     )
 }
 
@@ -699,6 +711,107 @@ mod tests {
         assert_eq!(healed.mode, Some(ServeMode::Recomputed));
     }
 
+    /// A recursive point query: certified for the magic-sets strategy.
+    const ANC: &str = "anc(X, Y) :- parent(X, Y).\n\
+                       anc(X, Z) :- anc(X, Y), parent(Y, Z).\n\
+                       q(Y) :- anc(ann, Y).";
+
+    fn sym_insert(reg: &Registry, pred: &str, tuple: &[&str]) {
+        let resp = reg.handle(Request::Insert {
+            tenant: "t".into(),
+            pred: pred.into(),
+            tuple: tuple
+                .iter()
+                .map(|s| FactValue::Sym(s.to_string()))
+                .collect(),
+        });
+        assert_eq!(resp.exit, 0, "{:?}", resp.error);
+    }
+
+    #[test]
+    fn magic_strategy_serves_fresh_and_agrees_with_the_cached_model() {
+        let reg = Registry::new();
+        for edge in [["ann", "bob"], ["bob", "cal"], ["eve", "fay"]] {
+            sym_insert(&reg, "parent", &edge);
+        }
+        // Plain request: materialized serving of the full model.
+        let plain = run(&reg, ANC, "q");
+        assert_eq!(plain.exit, 0, "{:?}", plain.error);
+        assert_eq!(plain.mode, Some(ServeMode::Recomputed));
+        let full = plain.answers.clone().unwrap();
+        assert_eq!(full, vec!["bob".to_string(), "cal".to_string()]);
+
+        // The same program under strategy=magic: fresh goal-directed
+        // evaluation, byte-identical answers, served from the cached entry.
+        let mut r = RunRequest::new("t", ANC, "q");
+        r.strategy = Some(idlog_core::Strategy::Magic);
+        let magic = reg.handle(Request::Run(r));
+        assert_eq!(magic.exit, 0, "{:?}", magic.error);
+        assert_eq!(magic.mode, Some(ServeMode::Fresh));
+        assert_eq!(magic.cache_hit, Some(true), "compiled plan is reused");
+        assert_eq!(magic.answers.unwrap(), full);
+
+        // The prepared entry's fingerprint records the relevance verdict.
+        let tenant = reg.tenant("t");
+        let t = tenant.lock().unwrap();
+        let entry = t.prepared.get(&(ANC.to_string(), "q".to_string())).unwrap();
+        assert!(
+            entry.fingerprint.contains("relevance=cert;point=true"),
+            "{}",
+            entry.fingerprint
+        );
+    }
+
+    #[test]
+    fn magic_refusal_reports_the_witness_over_the_wire() {
+        let reg = Registry::new();
+        sym_insert(&reg, "likes", &["ann", "tea"]);
+        let program = "pick(X, Y) :- likes[1](X, Y, 0).\nq(Y) :- pick(ann, Y).";
+        let mut r = RunRequest::new("t", program, "q");
+        r.strategy = Some(idlog_core::Strategy::Magic);
+        let resp = reg.handle(Request::Run(r));
+        assert_eq!(resp.exit, 1, "{:?}", resp.error);
+        let err = resp.error.unwrap();
+        assert!(err.contains("choice site"), "{err}");
+        assert!(err.contains("witness"), "{err}");
+
+        // The refusal does not poison the entry: a plain request on the
+        // same program still serves the full (non-pruned) answer.
+        let plain = run(&reg, program, "q");
+        assert_eq!(plain.exit, 0, "{:?}", plain.error);
+        assert_eq!(plain.cache_hit, Some(true));
+        assert_eq!(plain.answers.unwrap(), vec!["tea".to_string()]);
+    }
+
+    #[test]
+    fn magic_limit_trip_returns_partial_without_poisoning_the_cache() {
+        let reg = Registry::new();
+        for edge in [["ann", "bob"], ["bob", "cal"], ["cal", "dee"]] {
+            sym_insert(&reg, "parent", &edge);
+        }
+        // A one-round ceiling under strategy=magic: exit 3 (limit class)
+        // with the partial answer derived up to the round barrier.
+        let mut r = RunRequest::new("t", ANC, "q");
+        r.strategy = Some(idlog_core::Strategy::Magic);
+        r.max_rounds = Some(1);
+        let tripped = reg.handle(Request::Run(r));
+        assert_eq!(tripped.exit, 3, "{:?}", tripped.error);
+        assert_eq!(tripped.complete, Some(false));
+        let partial = tripped.answers.expect("partial answers travel");
+        assert!(partial.len() < 3, "one round cannot finish: {partial:?}");
+
+        // The trip happened off the tenant lock on a fresh evaluation; the
+        // prepared entry and its view are untouched, so the next plain
+        // request serves the complete relation.
+        let healed = run(&reg, ANC, "q");
+        assert_eq!(healed.exit, 0, "{:?}", healed.error);
+        assert_eq!(healed.complete, Some(true));
+        assert_eq!(
+            healed.answers.unwrap(),
+            vec!["bob".to_string(), "cal".to_string(), "dee".to_string()]
+        );
+    }
+
     #[test]
     fn change_only_traffic_does_not_accumulate_a_log() {
         let reg = Registry::new();
@@ -738,7 +851,11 @@ mod tests {
         assert_eq!(again.exit, 0, "{:?}", again.error);
         assert_eq!(again.answers.as_deref(), Some(&["3".to_string()][..]));
         assert_eq!(again.mode, Some(ServeMode::Recomputed));
-        assert_eq!(again.cache_hit, Some(true), "eviction dropped the view, not the entry");
+        assert_eq!(
+            again.cache_hit,
+            Some(true),
+            "eviction dropped the view, not the entry"
+        );
     }
 
     #[test]

@@ -3,19 +3,25 @@
 //! own counters (fixpoint rounds, inserted tuples, wall time).
 //!
 //! The binary (`cargo run -p idlog-suite --release`) writes the sweep as
-//! `BENCH_8.json` at the repository root — schema `idlog-bench/8` — which
+//! `BENCH_9.json` at the repository root — schema `idlog-bench/9` — which
 //! CI regenerates and uploads as an artifact on every push, and gates the
-//! hash-backend runs against the committed `BENCH_7.json` baseline
+//! hash-backend runs against the committed `BENCH_8.json` baseline
 //! ([`baseline::regressions`]: rounds/tuples exact, wall time within a
 //! generous tolerance). The suite leans on [`idlog_core::termination`]:
 //! programs whose certificate has a growth witness (the shipped
 //! `diverge.idl`) are run under a round ceiling and recorded as `tripped`
 //! instead of hanging the sweep.
 //!
-//! Schema 8 adds a `served` section: the [`served`] module measures the
+//! Schema 8 added a `served` section: the [`served`] module measures the
 //! `idlog-server` incremental-maintenance path against full recompute over
 //! the same wire protocol, and the binary gates `incremental_ms <
 //! recompute_ms` so the service's reason to exist stays measurable.
+//!
+//! Schema 9 adds a `magic` section: the [`magic`] module evaluates a
+//! certified point query directly and under `strategy=magic` across every
+//! {backend × threads} combination, asserts byte-identical answers, and
+//! the binary gates [`magic::MagicBench::strictly_prunes`] — the rewrite
+//! must insert and probe strictly fewer tuples on both backends.
 
 #![warn(missing_docs)]
 
@@ -30,6 +36,7 @@ use idlog_core::{
 use idlog_storage::Database;
 
 pub mod baseline;
+pub mod magic;
 pub mod served;
 
 /// Round ceiling for programs whose termination certificate carries a
@@ -51,6 +58,7 @@ pub fn strategy_name(strategy: Strategy) -> &'static str {
     match strategy {
         Strategy::SemiNaive => "semi-naive",
         Strategy::Naive => "naive",
+        Strategy::Magic => "magic",
     }
 }
 
@@ -107,6 +115,8 @@ pub struct SuiteReport {
     pub cases: Vec<CaseReport>,
     /// The served-mode latency record, when the service bench ran.
     pub served: Option<served::ServedBench>,
+    /// The goal-directed point-query record, when the magic bench ran.
+    pub magic: Option<magic::MagicBench>,
 }
 
 /// The shipped facts sidecar for a program stem, mirroring the pairings
@@ -114,6 +124,7 @@ pub struct SuiteReport {
 fn facts_for(stem: &str) -> Option<&'static str> {
     match stem {
         "all_depts" | "dept_sizes" | "sampling" => Some("company.facts"),
+        "ancestor" => Some("ancestor.facts"),
         "coloring" => Some("cycle.facts"),
         "parity" => Some("people.facts"),
         _ => None,
@@ -249,6 +260,7 @@ pub fn run_suite(dir: &Path) -> Result<SuiteReport, String> {
     Ok(SuiteReport {
         cases: reports,
         served: None,
+        magic: None,
     })
 }
 
@@ -257,7 +269,7 @@ fn json_str(s: &str) -> String {
 }
 
 impl SuiteReport {
-    /// Render the sweep as schema-tagged JSON (`idlog-bench/8`).
+    /// Render the sweep as schema-tagged JSON (`idlog-bench/9`).
     pub fn to_json(&self) -> String {
         let mut cases = Vec::new();
         for r in &self.cases {
@@ -313,8 +325,42 @@ impl SuiteReport {
                 )
             }
         };
+        let magic = match &self.magic {
+            None => "null".to_string(),
+            Some(m) => {
+                let runs: Vec<String> = m
+                    .runs
+                    .iter()
+                    .map(|r| {
+                        format!(
+                            "{{\"backend\": {}, \"threads\": {}, \
+                             \"direct_inserted\": {}, \"direct_probes\": {}, \
+                             \"magic_inserted\": {}, \"magic_probes\": {}, \
+                             \"pruned\": {}}}",
+                            json_str(r.backend.name()),
+                            r.threads,
+                            r.direct_inserted,
+                            r.direct_probes,
+                            r.magic_inserted,
+                            r.magic_probes,
+                            r.pruned
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"chains\": {}, \"chain_len\": {}, \"answers\": {}, \
+                     \"strictly_prunes\": {}, \"runs\": [{}]}}",
+                    m.chains,
+                    m.chain_len,
+                    m.answers,
+                    m.strictly_prunes(),
+                    runs.join(", ")
+                )
+            }
+        };
         format!(
-            "{{\n\"schema\": \"idlog-bench/8\",\n\"served\": {served},\n\"cases\": [\n{}\n]\n}}\n",
+            "{{\n\"schema\": \"idlog-bench/9\",\n\"served\": {served},\n\"magic\": {magic},\n\
+             \"cases\": [\n{}\n]\n}}\n",
             cases.join(",\n")
         )
     }
@@ -419,13 +465,32 @@ mod tests {
                 recompute_ms: 4.0,
                 modes: vec!["incremental".into(), "incremental".into()],
             }),
+            magic: Some(magic::MagicBench {
+                chains: 3,
+                chain_len: 20,
+                answers: 19,
+                runs: vec![magic::MagicRun {
+                    backend: BackendKind::Hash,
+                    threads: 1,
+                    direct_inserted: 100,
+                    direct_probes: 200,
+                    magic_inserted: 40,
+                    magic_probes: 80,
+                    pruned: 38,
+                }],
+            }),
         };
         let json = report.to_json();
-        assert!(json.contains("\"idlog-bench/8\""), "{json}");
+        assert!(json.contains("\"idlog-bench/9\""), "{json}");
         assert!(json.contains("a\\\"b.idl"), "{json}");
         assert!(json.contains("\"speedup\": 4.000"), "{json}");
         assert!(
             json.contains("\"modes\": [\"incremental\", \"incremental\"]"),
+            "{json}"
+        );
+        assert!(json.contains("\"strictly_prunes\": true"), "{json}");
+        assert!(
+            json.contains("\"magic_inserted\": 40, \"magic_probes\": 80, \"pruned\": 38"),
             "{json}"
         );
     }
@@ -453,9 +518,11 @@ mod tests {
                 }],
             }],
             served: None,
+            magic: None,
         };
         let json = report.to_json();
         assert!(json.contains("\"served\": null"), "{json}");
+        assert!(json.contains("\"magic\": null"), "{json}");
         assert!(json.contains("\"backend\": \"columnar\""), "{json}");
         assert!(json.contains("\"strategy\": \"semi-naive\""), "{json}");
     }

@@ -1,9 +1,12 @@
-//! `idlog-suite`: run the corpus sweep plus the served-mode latency bench,
-//! write `BENCH_8.json` at the repository root (CI regenerates and uploads
-//! it as an artifact), and gate the hash-backend runs against the committed
-//! `BENCH_7.json` baseline — counters exact, wall time within a generous
-//! tolerance. The served section is gated directly: incremental maintenance
-//! must beat full recompute or the binary exits nonzero so CI fails.
+//! `idlog-suite`: run the corpus sweep plus the served-mode latency bench
+//! and the goal-directed point-query bench, write `BENCH_9.json` at the
+//! repository root (CI regenerates and uploads it as an artifact), and gate
+//! the hash-backend runs against the committed `BENCH_8.json` baseline —
+//! counters exact, wall time within a generous tolerance. The served
+//! section is gated directly: incremental maintenance must beat full
+//! recompute. So is the magic section: `strategy=magic` must insert and
+//! probe strictly fewer tuples than direct evaluation on both backends, or
+//! the binary exits nonzero so CI fails.
 
 use std::path::Path;
 
@@ -12,6 +15,11 @@ use std::path::Path;
 /// to keep CI fast.
 const SERVED_NODES: usize = 200;
 const SERVED_INSERTS: usize = 20;
+
+/// Forest shape for the magic bench: several chains of which only one is
+/// reachable from the query constant, so the pruning is unmistakable.
+const MAGIC_CHAINS: usize = 8;
+const MAGIC_CHAIN_LEN: usize = 40;
 
 fn main() {
     let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
@@ -66,7 +74,31 @@ fn main() {
     let served_ok = served.incremental_ms < served.recompute_ms;
     report.served = Some(served);
 
-    let out = root.join("BENCH_8.json");
+    // Goal-directed bench: the same certified point query direct vs
+    // `strategy=magic`, byte-identical answers enforced inside run_magic.
+    let magic = match idlog_suite::magic::run_magic(MAGIC_CHAINS, MAGIC_CHAIN_LEN) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("idlog-suite: magic bench failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let r0 = &magic.runs[0];
+    println!(
+        "magic ({} chains x {} nodes, {} answers) inserted {} -> {} probes {} -> {} pruned {}",
+        magic.chains,
+        magic.chain_len,
+        magic.answers,
+        r0.direct_inserted,
+        r0.magic_inserted,
+        r0.direct_probes,
+        r0.magic_probes,
+        r0.pruned
+    );
+    let magic_ok = magic.strictly_prunes();
+    report.magic = Some(magic);
+
+    let out = root.join("BENCH_9.json");
     if let Err(e) = std::fs::write(&out, report.to_json()) {
         eprintln!("idlog-suite: cannot write {}: {e}", out.display());
         std::process::exit(1);
@@ -77,10 +109,17 @@ fn main() {
         eprintln!("regression: served incremental path is not cheaper than full recompute");
         std::process::exit(1);
     }
+    if !magic_ok {
+        eprintln!(
+            "regression: strategy=magic does not strictly prune \
+             (inserted/probes must drop and tuples_pruned must be positive on every backend)"
+        );
+        std::process::exit(1);
+    }
 
-    // Regression gate: the committed BENCH_7.json is the previous PR's
+    // Regression gate: the committed BENCH_8.json is the previous PR's
     // performance record for the hash backend.
-    let baseline_path = root.join("BENCH_7.json");
+    let baseline_path = root.join("BENCH_8.json");
     match std::fs::read_to_string(&baseline_path) {
         Err(e) => {
             eprintln!(
