@@ -328,9 +328,7 @@ pub fn redundant_clauses(
                 .iter()
                 .flat_map(|h| h.atom.terms.iter())
                 .chain(c.body.iter().flat_map(|l| match l {
-                    idlog_parser::Literal::Pos(a) | idlog_parser::Literal::Neg(a) => {
-                        a.terms.iter()
-                    }
+                    idlog_parser::Literal::Pos(a) | idlog_parser::Literal::Neg(a) => a.terms.iter(),
                     idlog_parser::Literal::Builtin { args, .. } => args.iter(),
                     _ => [].iter(),
                 }))

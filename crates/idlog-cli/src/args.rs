@@ -72,12 +72,36 @@ SERVE OPTIONS:
   --listen <addr>     bind address (default 127.0.0.1:7421; port 0 picks an
                       ephemeral port, printed on stderr)
   --workers <n>       connection worker threads (default 16)
+  --data-dir <dir>    durable tenant state: every acknowledged write goes
+                      to a per-tenant write-ahead log before the ack, and
+                      restarting over the same directory recovers exactly
+                      the acknowledged facts (default: in-memory only)
+  --sync <policy>     WAL fsync policy with --data-dir: always (fsync every
+                      record before the ack), batch (default; every 32
+                      records), or never (OS-scheduled flushes only)
+  --checkpoint-every <n>
+                      WAL records between checkpoint snapshots; a snapshot
+                      truncates the log and bounds recovery time
+                      (default 1024)
+  --queue-depth <n>   connections allowed to wait for a worker; arrivals
+                      beyond it get an \"overloaded\" error with a
+                      retry_after_ms hint instead of unbounded queueing
+                      (default 64)
 
-  The service speaks the idlog-service/1 line protocol: one JSON request
-  per line in, one JSON response per line out (see LANGUAGE.md §Service).
-  `idlog client` sends a single raw request line and prints the response;
-  its process exit code mirrors the response's \"exit\" field, which uses
-  the same 0/1/2/3/130 convention as `idlog run`.
+  The service speaks the idlog-service/2 line protocol (idlog-service/1
+  clients negotiate down via ping): one JSON request per line in, one JSON
+  response per line out (see LANGUAGE.md §Service). `idlog client` sends a
+  single raw request line and prints the response; its process exit code
+  mirrors the response's \"exit\" field, which uses the same 0/1/2/3/130
+  convention as `idlog run`.
+
+CLIENT OPTIONS:
+  --retries <n>       retry budget for connection refusals and
+                      \"overloaded\" responses (default 0: fail fast)
+  --backoff-ms <n>    base of the exponential retry backoff; the actual
+                      sleep doubles per attempt with deterministic jitter,
+                      and an explicit retry_after_ms hint from the server
+                      takes precedence (default 50)
 
 LINT OPTIONS:
   --deny-warnings     treat warnings as fatal (for CI)
@@ -239,6 +263,14 @@ pub enum Command {
         listen: String,
         /// Connection worker threads.
         workers: usize,
+        /// Durable tenant state root (None = in-memory only).
+        data_dir: Option<String>,
+        /// WAL fsync policy (`always`, `batch`, `never`).
+        sync: idlog_server::SyncPolicy,
+        /// WAL records between checkpoint snapshots.
+        checkpoint_every: u64,
+        /// Admission-queue bound before connections are shed.
+        queue_depth: usize,
     },
     /// Send one raw protocol request line to a running service.
     Client {
@@ -246,6 +278,10 @@ pub enum Command {
         addr: String,
         /// The request line (JSON).
         request: String,
+        /// Retry budget for refusals and `overloaded` responses.
+        retries: u32,
+        /// Base backoff in milliseconds (doubles per attempt).
+        backoff_ms: u64,
     },
 }
 
@@ -381,6 +417,10 @@ impl Args {
             "serve" => {
                 let mut listen = "127.0.0.1:7421".to_string();
                 let mut workers = 16usize;
+                let mut data_dir = None;
+                let mut sync = idlog_server::SyncPolicy::default();
+                let mut checkpoint_every = idlog_server::DEFAULT_CHECKPOINT_EVERY;
+                let mut queue_depth = idlog_server::DEFAULT_QUEUE_DEPTH;
                 let mut it = rest.iter();
                 while let Some(flag) = it.next() {
                     match flag.as_str() {
@@ -391,18 +431,64 @@ impl Args {
                                 return Err("--workers expects a positive number".into());
                             }
                         }
+                        "--data-dir" => data_dir = Some(value(&mut it, "--data-dir")?),
+                        "--sync" => {
+                            let s = value(&mut it, "--sync")?;
+                            sync = idlog_server::SyncPolicy::parse(&s).ok_or(format!(
+                                "--sync expects always, batch, or never (got {s:?})"
+                            ))?;
+                        }
+                        "--checkpoint-every" => {
+                            checkpoint_every = parse_num(&mut it, "--checkpoint-every")?;
+                            if checkpoint_every == 0 {
+                                return Err("--checkpoint-every expects a positive number".into());
+                            }
+                        }
+                        "--queue-depth" => {
+                            queue_depth = parse_num(&mut it, "--queue-depth")?;
+                            if queue_depth == 0 {
+                                return Err("--queue-depth expects a positive number".into());
+                            }
+                        }
                         other => return Err(format!("unknown option {other}")),
                     }
                 }
-                Command::Serve { listen, workers }
+                Command::Serve {
+                    listen,
+                    workers,
+                    data_dir,
+                    sync,
+                    checkpoint_every,
+                    queue_depth,
+                }
             }
-            "client" => match rest {
-                [addr, request] => Command::Client {
-                    addr: addr.clone(),
-                    request: request.clone(),
-                },
-                _ => return Err("client takes an address and one request line".into()),
-            },
+            "client" => {
+                let mut positional = Vec::new();
+                let mut retries = 0u32;
+                let mut backoff_ms = 50u64;
+                let mut it = rest.iter();
+                while let Some(word) = it.next() {
+                    match word.as_str() {
+                        "--retries" => retries = parse_num(&mut it, "--retries")?,
+                        "--backoff-ms" => {
+                            backoff_ms = parse_num(&mut it, "--backoff-ms")?;
+                            if backoff_ms == 0 {
+                                return Err("--backoff-ms expects a positive number".into());
+                            }
+                        }
+                        _ => positional.push(word.clone()),
+                    }
+                }
+                match positional.as_slice() {
+                    [addr, request] => Command::Client {
+                        addr: addr.clone(),
+                        request: request.clone(),
+                        retries,
+                        backoff_ms,
+                    },
+                    _ => return Err("client takes an address and one request line".into()),
+                }
+            }
             other => return Err(format!("unknown command {other}")),
         };
         Ok(Args { command })
@@ -730,13 +816,28 @@ mod tests {
     #[test]
     fn parses_serve_and_client() {
         let args = parse(&["serve"]).unwrap();
-        let Command::Serve { listen, workers } = args.command else {
+        let Command::Serve {
+            listen,
+            workers,
+            data_dir,
+            sync,
+            checkpoint_every,
+            queue_depth,
+        } = args.command
+        else {
             panic!("expected serve");
         };
         assert_eq!(listen, "127.0.0.1:7421");
         assert_eq!(workers, 16);
+        assert_eq!(data_dir, None);
+        assert_eq!(sync, idlog_server::SyncPolicy::Batch);
+        assert_eq!(checkpoint_every, idlog_server::DEFAULT_CHECKPOINT_EVERY);
+        assert_eq!(queue_depth, idlog_server::DEFAULT_QUEUE_DEPTH);
         let args = parse(&["serve", "--listen", "0.0.0.0:9000", "--workers", "4"]).unwrap();
-        let Command::Serve { listen, workers } = args.command else {
+        let Command::Serve {
+            listen, workers, ..
+        } = args.command
+        else {
             panic!("expected serve");
         };
         assert_eq!(listen, "0.0.0.0:9000");
@@ -745,13 +846,79 @@ mod tests {
         assert!(parse(&["serve", "--nope"]).is_err());
 
         let args = parse(&["client", "127.0.0.1:7421", r#"{"op":"ping"}"#]).unwrap();
-        let Command::Client { addr, request } = args.command else {
+        let Command::Client {
+            addr,
+            request,
+            retries,
+            backoff_ms,
+        } = args.command
+        else {
             panic!("expected client");
         };
         assert_eq!(addr, "127.0.0.1:7421");
         assert_eq!(request, r#"{"op":"ping"}"#);
+        assert_eq!(retries, 0, "retry is opt-in");
+        assert_eq!(backoff_ms, 50);
         assert!(parse(&["client"]).is_err());
         assert!(parse(&["client", "addr"]).is_err());
+    }
+
+    #[test]
+    fn parses_durability_and_admission_flags() {
+        let args = parse(&[
+            "serve",
+            "--data-dir",
+            "/var/lib/idlog",
+            "--sync",
+            "always",
+            "--checkpoint-every",
+            "256",
+            "--queue-depth",
+            "8",
+        ])
+        .unwrap();
+        let Command::Serve {
+            data_dir,
+            sync,
+            checkpoint_every,
+            queue_depth,
+            ..
+        } = args.command
+        else {
+            panic!("expected serve");
+        };
+        assert_eq!(data_dir.as_deref(), Some("/var/lib/idlog"));
+        assert_eq!(sync, idlog_server::SyncPolicy::Always);
+        assert_eq!(checkpoint_every, 256);
+        assert_eq!(queue_depth, 8);
+        for policy in ["always", "batch", "never"] {
+            assert!(parse(&["serve", "--sync", policy]).is_ok(), "{policy}");
+        }
+        assert!(parse(&["serve", "--sync", "sometimes"]).is_err());
+        assert!(parse(&["serve", "--checkpoint-every", "0"]).is_err());
+        assert!(parse(&["serve", "--queue-depth", "0"]).is_err());
+
+        let args = parse(&[
+            "client",
+            "--retries",
+            "5",
+            "--backoff-ms",
+            "20",
+            "127.0.0.1:7421",
+            r#"{"op":"ping"}"#,
+        ])
+        .unwrap();
+        let Command::Client {
+            retries,
+            backoff_ms,
+            ..
+        } = args.command
+        else {
+            panic!("expected client");
+        };
+        assert_eq!(retries, 5);
+        assert_eq!(backoff_ms, 20);
+        assert!(parse(&["client", "--backoff-ms", "0", "a", "b"]).is_err());
     }
 
     #[test]
@@ -761,7 +928,13 @@ mod tests {
             "client",
             "--listen",
             "--workers",
-            "idlog-service/1",
+            "--data-dir",
+            "--sync",
+            "--checkpoint-every",
+            "--queue-depth",
+            "--retries",
+            "--backoff-ms",
+            "idlog-service/2",
         ] {
             assert!(USAGE.contains(needle), "usage lost {needle}");
         }

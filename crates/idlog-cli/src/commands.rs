@@ -507,8 +507,22 @@ pub fn run_query(opts: &RunOpts) -> Result<(), CliError> {
 
 /// `idlog serve`: run the multi-tenant query service until a `shutdown`
 /// request arrives.
-pub fn serve(listen: &str, workers: usize) -> Result<(), CliError> {
-    let server = idlog_server::Server::bind(listen).map_err(|e| {
+pub fn serve(
+    listen: &str,
+    workers: usize,
+    data_dir: Option<&str>,
+    sync: idlog_server::SyncPolicy,
+    checkpoint_every: u64,
+    queue_depth: usize,
+) -> Result<(), CliError> {
+    let config = idlog_server::ServerConfig {
+        data_dir: data_dir.map(std::path::PathBuf::from),
+        sync,
+        checkpoint_every,
+        queue_depth,
+    };
+    let durable = config.data_dir.is_some();
+    let server = idlog_server::Server::bind_with(listen, config).map_err(|e| {
         CliError::new(
             idlog_core::ErrorCode::Io,
             format!("cannot bind {listen}: {e}"),
@@ -518,20 +532,73 @@ pub fn serve(listen: &str, workers: usize) -> Result<(), CliError> {
         .local_addr()
         .map_err(|e| CliError::new(idlog_core::ErrorCode::Io, e.to_string()))?;
     eprintln!(
-        "idlog service ({}) listening on {addr}",
-        idlog_core::service::SERVICE_SCHEMA
+        "idlog service ({}) listening on {addr} ({})",
+        idlog_core::service::SERVICE_SCHEMA,
+        if durable {
+            format!("durable, fsync {}", sync.name())
+        } else {
+            "in-memory".to_string()
+        }
     );
     server
         .run(workers)
         .map_err(|e| CliError::new(idlog_core::ErrorCode::Io, e.to_string()))
 }
 
+/// The sleep before retry attempt `attempt` (0-based): exponential in the
+/// base with deterministic jitter, unless the server sent an explicit
+/// `retry_after_ms` hint, which takes precedence.
+///
+/// The jitter is a pure function of the attempt number (a small LCG), so
+/// retry schedules are reproducible run to run — this is a determinism-
+/// first engine even in its failure handling — while still decorrelating
+/// the exponential steps enough to avoid lockstep thundering herds.
+fn retry_delay_ms(attempt: u32, backoff_ms: u64, hint: Option<u64>) -> u64 {
+    if let Some(hint) = hint {
+        return hint;
+    }
+    let base = backoff_ms.saturating_mul(1u64 << attempt.min(16));
+    let jitter_seed = (attempt as u64)
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    base.saturating_add(jitter_seed % (base / 2 + 1))
+}
+
 /// `idlog client`: send one raw request line and print the response line.
 ///
 /// The process exit code mirrors the response's `exit` field, so shell
 /// scripts can treat a served failure exactly like a local `idlog run`
-/// failure (same 0/1/2/3/130 convention).
-pub fn client(addr: &str, request: &str) -> Result<(), CliError> {
+/// failure (same 0/1/2/3/130 convention). With `--retries`, connection
+/// refusals and `overloaded` responses are retried with exponential
+/// backoff (honouring the server's `retry_after_ms` hint); every other
+/// outcome is final on the first attempt.
+pub fn client(addr: &str, request: &str, retries: u32, backoff_ms: u64) -> Result<(), CliError> {
+    let mut attempt = 0u32;
+    loop {
+        let outcome = client_once(addr, request);
+        let transient = match &outcome {
+            // A refused/unreachable connection: the server may be
+            // restarting; worth a retry.
+            Err(e) if e.code == idlog_core::ErrorCode::Io && e.message.contains("connect") => None,
+            // Shed at admission: retry after the server's hint.
+            Err(e) if e.code == idlog_core::ErrorCode::Overloaded => Some(e.retry_after_ms),
+            _ => return outcome,
+        };
+        if attempt >= retries {
+            return outcome;
+        }
+        let delay = retry_delay_ms(attempt, backoff_ms, transient.flatten());
+        eprintln!(
+            "idlog client: attempt {} failed; retrying in {delay}ms",
+            attempt + 1
+        );
+        std::thread::sleep(std::time::Duration::from_millis(delay));
+        attempt += 1;
+    }
+}
+
+/// One request/response exchange against the service.
+fn client_once(addr: &str, request: &str) -> Result<(), CliError> {
     let mut client = idlog_server::Client::connect(addr).map_err(|e| {
         CliError::new(
             idlog_core::ErrorCode::Io,
@@ -550,7 +617,8 @@ pub fn client(addr: &str, request: &str) -> Result<(), CliError> {
             response
                 .error
                 .unwrap_or_else(|| "request failed".to_string()),
-        )),
+        )
+        .with_retry_after(response.retry_after_ms)),
         None => Ok(()),
     }
 }
@@ -576,4 +644,39 @@ fn require_profile(result: &idlog_core::EvalResult) -> Result<&idlog_core::Profi
     result.profile.as_ref().ok_or_else(|| {
         CliError::failure("internal error: profiling was enabled but produced no profile")
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::retry_delay_ms;
+
+    /// The retry schedule doubles from the base, the jitter stays within
+    /// half the base step, and the whole schedule is deterministic.
+    #[test]
+    fn retry_backoff_grows_exponentially_with_bounded_jitter() {
+        for attempt in 0..6u32 {
+            let base = 50u64 << attempt;
+            let d = retry_delay_ms(attempt, 50, None);
+            assert!(
+                (base..=base + base / 2).contains(&d),
+                "attempt {attempt}: delay {d} outside [{base}, {}]",
+                base + base / 2
+            );
+            // Deterministic: same inputs, same delay.
+            assert_eq!(d, retry_delay_ms(attempt, 50, None));
+        }
+        // Consecutive attempts never shrink the wait.
+        let delays: Vec<u64> = (0..6).map(|a| retry_delay_ms(a, 50, None)).collect();
+        assert!(delays.windows(2).all(|w| w[0] <= w[1]), "{delays:?}");
+    }
+
+    /// A server `retry_after_ms` hint overrides the local schedule, and the
+    /// exponent saturates instead of overflowing on absurd attempt counts.
+    #[test]
+    fn retry_hint_wins_and_the_exponent_saturates() {
+        assert_eq!(retry_delay_ms(3, 50, Some(7)), 7);
+        assert_eq!(retry_delay_ms(0, 50, Some(0)), 0);
+        let huge = retry_delay_ms(u32::MAX, u64::MAX, None);
+        assert_eq!(huge, u64::MAX); // saturated, not wrapped
+    }
 }

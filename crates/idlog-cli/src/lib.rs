@@ -32,6 +32,7 @@ pub use args::{Args, Command, RunOpts, USAGE};
 pub struct CliError {
     code: ErrorCode,
     message: String,
+    retry_after_ms: Option<u64>,
 }
 
 impl CliError {
@@ -40,7 +41,19 @@ impl CliError {
         CliError {
             code,
             message: message.into(),
+            retry_after_ms: None,
         }
+    }
+
+    /// Attach the server's retry hint (carried on `overloaded` responses).
+    pub fn with_retry_after(mut self, ms: Option<u64>) -> Self {
+        self.retry_after_ms = ms;
+        self
+    }
+
+    /// The server's retry hint, if one was sent.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        self.retry_after_ms
     }
 
     /// An unclassified ordinary failure (exit 1).
@@ -131,8 +144,27 @@ pub fn run(args: Args) -> Result<(), CliError> {
             repl::run(&mut std::io::stdin().lock(), &mut std::io::stdout()).map_err(CliError::from)
         }
         Command::Run(opts) => commands::run_query(&opts),
-        Command::Serve { listen, workers } => commands::serve(&listen, workers),
-        Command::Client { addr, request } => commands::client(&addr, &request),
+        Command::Serve {
+            listen,
+            workers,
+            data_dir,
+            sync,
+            checkpoint_every,
+            queue_depth,
+        } => commands::serve(
+            &listen,
+            workers,
+            data_dir.as_deref(),
+            sync,
+            checkpoint_every,
+            queue_depth,
+        ),
+        Command::Client {
+            addr,
+            request,
+            retries,
+            backoff_ms,
+        } => commands::client(&addr, &request, retries, backoff_ms),
     }
 }
 

@@ -253,35 +253,68 @@ fn client_command_against_a_live_service() {
     let handle = std::thread::spawn(move || server.run(2).unwrap());
 
     // A ping succeeds and prints the response line.
-    commands::client(&addr, r#"{"op":"ping"}"#).unwrap();
+    commands::client(&addr, r#"{"op":"ping"}"#, 0, 50).unwrap();
 
     // Inserts and a run round-trip through the raw client surface.
     commands::client(
         &addr,
         r#"{"op":"insert","tenant":"t","pred":"e","tuple":["a","b"]}"#,
+        0,
+        50,
     )
     .unwrap();
     commands::client(
         &addr,
         r#"{"op":"run","tenant":"t","program":"p(X, Y) :- e(X, Y).","output":"p"}"#,
+        0,
+        50,
     )
     .unwrap();
 
     // A served failure maps onto the CLI's stable exit-code convention.
-    let err = commands::client(&addr, "not json").unwrap_err();
+    let err = commands::client(&addr, "not json", 0, 50).unwrap_err();
     assert_eq!(err.code(), idlog_core::ErrorCode::Protocol);
     assert_eq!(err.exit_code(), 1);
     let err = commands::client(
         &addr,
         r#"{"op":"run","tenant":"t","program":"p(X :-","output":"p"}"#,
+        0,
+        50,
     )
     .unwrap_err();
     assert_eq!(err.code(), idlog_core::ErrorCode::Parse);
 
-    commands::client(&addr, r#"{"op":"shutdown"}"#).unwrap();
+    commands::client(&addr, r#"{"op":"shutdown"}"#, 0, 50).unwrap();
     handle.join().unwrap();
 
     // Connecting to a dead service is an I/O failure.
-    let err = commands::client(&addr, r#"{"op":"ping"}"#).unwrap_err();
+    let err = commands::client(&addr, r#"{"op":"ping"}"#, 0, 50).unwrap_err();
     assert_eq!(err.code(), idlog_core::ErrorCode::Io);
+}
+
+/// `--retries` turns a refused connection into a wait-and-retry: the
+/// service comes up shortly after the first attempt, and the client's
+/// bounded retry loop lands the request without surfacing the refusal.
+#[test]
+fn client_retries_until_the_service_appears() {
+    // Reserve a port, then free it so the first connect is refused.
+    let placeholder = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = placeholder.local_addr().unwrap().to_string();
+    drop(placeholder);
+
+    let server_addr = addr.clone();
+    let handle = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        let server = idlog_server::Server::bind(&server_addr).unwrap();
+        server.run(1).unwrap();
+    });
+
+    // Without retries the refusal is immediate and final.
+    let err = commands::client(&addr, r#"{"op":"ping"}"#, 0, 10).unwrap_err();
+    assert_eq!(err.code(), idlog_core::ErrorCode::Io);
+
+    // With retries the client outlasts the startup gap.
+    commands::client(&addr, r#"{"op":"ping"}"#, 8, 40).unwrap();
+    commands::client(&addr, r#"{"op":"shutdown"}"#, 0, 10).unwrap();
+    handle.join().unwrap();
 }

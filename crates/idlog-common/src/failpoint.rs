@@ -28,6 +28,9 @@
 //! |              | adversarial scheduling)                                  |
 //! | `err`        | return an error from the site                            |
 //! | `err:<msg>`  | return an error carrying `<msg>`                         |
+//! | `torn:<n>`   | at torn-aware sites (the WAL appender), write the record |
+//! |              | minus its last `<n>` bytes and then fail — simulating a  |
+//! |              | crash mid-write; elsewhere it behaves like `err`         |
 //!
 //! The registry is global; tests that configure failpoints must serialize
 //! (the engine's suite holds a `static Mutex` around each scenario).
@@ -35,12 +38,17 @@
 /// Names every failpoint site compiled into the workspace, for discovery
 /// and for validating specs in tests. Sites live where a third-party or
 /// lower-layer component could realistically fault: rule execution, the
-/// tuple store, the ID-oracle, and enumeration branch workers.
+/// tuple store, the ID-oracle, enumeration branch workers, and the
+/// durability layer's file operations (append, fsync, truncate, snapshot).
 pub const SITES: &[&str] = &[
     "eval.worker",
     "storage.insert",
     "oracle.assign",
     "enum.branch",
+    "wal.append",
+    "wal.fsync",
+    "wal.truncate",
+    "snapshot.write",
 ];
 
 /// Environment variable holding the failpoint spec (`site=action;...`),
@@ -63,6 +71,10 @@ mod imp {
         Delay(u64),
         /// Return an error from the site.
         Error(String),
+        /// Drop the last `n` bytes of the write at a torn-aware site and
+        /// fail (simulates a crash mid-write). Non-torn-aware sites treat
+        /// it as an error.
+        Torn(u64),
     }
 
     fn parse_action(s: &str) -> Result<Action, String> {
@@ -83,6 +95,12 @@ mod imp {
                 .parse::<u64>()
                 .map(Action::Delay)
                 .map_err(|e| format!("bad delay {ms:?}: {e}"));
+        }
+        if let Some(n) = s.strip_prefix("torn:") {
+            return n
+                .parse::<u64>()
+                .map(Action::Torn)
+                .map_err(|e| format!("bad torn suffix {n:?}: {e}"));
         }
         Err(format!("unknown failpoint action {s:?}"))
     }
@@ -147,6 +165,21 @@ mod imp {
                 Ok(())
             }
             Some(Action::Error(msg)) => Err(format!("failpoint {site}: {msg}")),
+            // A torn action at a site that doesn't call `torn_bytes` still
+            // fails cleanly rather than silently testing nothing.
+            Some(Action::Torn(_)) => Err(format!("failpoint {site}: torn write injected")),
+        }
+    }
+
+    /// The configured torn-write suffix for `site`, if any. Torn-aware
+    /// sites (the WAL appender) consult this *before* [`hit`]: when it
+    /// returns `Some(n)`, the site writes its record minus the last `n`
+    /// bytes and then reports a crash, leaving the partial record on disk
+    /// for recovery to detect and truncate.
+    pub fn torn_bytes(site: &str) -> Option<u64> {
+        match lock().get(site) {
+            Some(Action::Torn(n)) => Some(*n),
+            _ => None,
         }
     }
 
@@ -175,6 +208,21 @@ mod imp {
                 Ok(Action::Error("injected failure".into()))
             );
             assert_eq!(parse_action("err:boom"), Ok(Action::Error("boom".into())));
+            assert_eq!(parse_action("torn:5"), Ok(Action::Torn(5)));
+            assert!(parse_action("torn:x").is_err());
+        }
+
+        #[test]
+        fn torn_bytes_only_reports_torn_actions() {
+            let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+            configure("wal.append=torn:7; wal.fsync=err").unwrap();
+            assert_eq!(torn_bytes("wal.append"), Some(7));
+            assert_eq!(torn_bytes("wal.fsync"), None);
+            assert_eq!(torn_bytes("snapshot.write"), None);
+            // A torn action at a non-torn-aware site degrades to an error.
+            assert!(hit("wal.append").is_err());
+            clear();
+            assert_eq!(torn_bytes("wal.append"), None);
         }
 
         #[test]
@@ -209,7 +257,7 @@ mod imp {
 }
 
 #[cfg(feature = "failpoints")]
-pub use imp::{clear, configure, hit, Action};
+pub use imp::{clear, configure, hit, torn_bytes, Action};
 
 /// No-op stand-in: with the `failpoints` feature disabled every site
 /// vanishes at compile time.
@@ -228,3 +276,10 @@ pub fn configure(_spec: &str) -> Result<(), String> {
 /// No-op stand-in for builds without the `failpoints` feature.
 #[cfg(not(feature = "failpoints"))]
 pub fn clear() {}
+
+/// No-op stand-in: without the `failpoints` feature no site is ever torn.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn torn_bytes(_site: &str) -> Option<u64> {
+    None
+}

@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod crc32;
 pub mod error;
 pub mod failpoint;
 pub mod fxhash;

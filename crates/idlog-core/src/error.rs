@@ -54,6 +54,9 @@ pub enum ErrorCode {
     Io,
     /// A malformed service request or response.
     Protocol,
+    /// The server shed the request at admission because its bounded queue
+    /// was full. Retryable: the response carries a `retry_after_ms` hint.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -80,6 +83,7 @@ impl ErrorCode {
             ErrorCode::Usage => "usage",
             ErrorCode::Io => "io",
             ErrorCode::Protocol => "protocol",
+            ErrorCode::Overloaded => "overloaded",
         }
     }
 
@@ -107,6 +111,7 @@ impl ErrorCode {
             ErrorCode::Usage,
             ErrorCode::Io,
             ErrorCode::Protocol,
+            ErrorCode::Overloaded,
         ];
         ALL.iter().copied().find(|c| c.as_str() == s)
     }
@@ -118,7 +123,10 @@ impl ErrorCode {
     pub fn exit_code(self) -> u8 {
         match self {
             ErrorCode::Usage => 2,
-            ErrorCode::Limit(_) | ErrorCode::Budget => 3,
+            // Overload shedding is a resource trip from the client's point
+            // of view: the server refused the work, retrying may succeed —
+            // the same script handling as a governor limit.
+            ErrorCode::Limit(_) | ErrorCode::Budget | ErrorCode::Overloaded => 3,
             ErrorCode::Cancelled => 130,
             _ => 1,
         }
@@ -329,6 +337,7 @@ mod tests {
             (ErrorCode::Usage, "usage", 2),
             (ErrorCode::Io, "io", 1),
             (ErrorCode::Protocol, "protocol", 1),
+            (ErrorCode::Overloaded, "overloaded", 3),
         ];
         for (code, s, exit) in cases {
             assert_eq!(code.as_str(), s);

@@ -21,8 +21,37 @@ use crate::error::ErrorCode;
 use crate::eval::Strategy;
 use crate::govern::Limits;
 
-/// Protocol schema identifier, reported by `ping`.
-pub const SERVICE_SCHEMA: &str = "idlog-service/1";
+/// Current protocol schema identifier, reported by `ping`.
+///
+/// Schema 2 (this PR's durability release) adds the `overloaded` error
+/// code with its `retry_after_ms` hint, the optional `schema` field on
+/// `ping` for version negotiation, and the `version` field on `stats`
+/// responses. Every schema-1 request remains a valid schema-2 request.
+pub const SERVICE_SCHEMA: &str = "idlog-service/2";
+
+/// Every schema this server speaks, newest last. A `ping` carrying one of
+/// these is answered with the same identifier; anything else is a protocol
+/// error naming the supported set.
+pub const SUPPORTED_SCHEMAS: &[&str] = &["idlog-service/1", "idlog-service/2"];
+
+/// Negotiate a protocol schema: `None` (a bare `ping`) selects the newest,
+/// a supported identifier selects itself, anything else is refused with a
+/// message listing [`SUPPORTED_SCHEMAS`].
+pub fn negotiate_schema(requested: Option<&str>) -> Result<&'static str, String> {
+    match requested {
+        None => Ok(SERVICE_SCHEMA),
+        Some(r) => SUPPORTED_SCHEMAS
+            .iter()
+            .find(|s| **s == r)
+            .copied()
+            .ok_or_else(|| {
+                format!(
+                    "unsupported schema {r:?}; this server speaks: {}",
+                    SUPPORTED_SCHEMAS.join(", ")
+                )
+            }),
+    }
+}
 
 /// One fact argument on the wire: JSON strings are symbols, JSON integers
 /// are sort-`i` values.
@@ -168,8 +197,12 @@ pub enum Request {
         /// Fact arguments.
         tuple: Vec<FactValue>,
     },
-    /// Liveness probe; the response carries [`SERVICE_SCHEMA`].
-    Ping,
+    /// Liveness probe; the response carries the negotiated schema.
+    Ping {
+        /// Requested protocol schema (`None` = newest). See
+        /// [`negotiate_schema`].
+        schema: Option<String>,
+    },
     /// Per-tenant counters (facts, cached queries).
     Stats {
         /// Target tenant.
@@ -263,7 +296,9 @@ impl Request {
                     tuple,
                 })
             }
-            "ping" => Ok(Request::Ping),
+            "ping" => Ok(Request::Ping {
+                schema: j.get("schema").and_then(Json::as_str).map(str::to_string),
+            }),
             "stats" => Ok(Request::Stats {
                 tenant: tenant(&j)?,
             }),
@@ -334,7 +369,12 @@ impl Request {
                     Json::Array(tuple.iter().map(FactValue::to_json).collect()),
                 );
             }
-            Request::Ping => put("op", Json::str("ping")),
+            Request::Ping { schema } => {
+                put("op", Json::str("ping"));
+                if let Some(s) = schema {
+                    put("schema", Json::str(s.clone()));
+                }
+            }
             Request::Stats { tenant } => {
                 put("op", Json::str("stats"));
                 put("tenant", Json::str(tenant.clone()));
@@ -411,8 +451,14 @@ pub struct Response {
     pub facts: Option<u64>,
     /// Cached prepared queries for the tenant (`stats`).
     pub queries: Option<u64>,
+    /// Durable change-log version of the tenant (`stats`, when the server
+    /// runs with a data directory).
+    pub version: Option<u64>,
     /// Schema identifier (`ping`).
     pub schema: Option<String>,
+    /// Backoff hint in milliseconds, set with the `overloaded` error: the
+    /// client should wait at least this long before retrying.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl Response {
@@ -430,7 +476,9 @@ impl Response {
             changed: None,
             facts: None,
             queries: None,
+            version: None,
             schema: None,
+            retry_after_ms: None,
         }
     }
 
@@ -491,8 +539,14 @@ impl Response {
         if let Some(q) = self.queries {
             put("queries", Json::int(q));
         }
+        if let Some(v) = self.version {
+            put("version", Json::int(v));
+        }
         if let Some(s) = &self.schema {
             put("schema", Json::str(s.clone()));
+        }
+        if let Some(ms) = self.retry_after_ms {
+            put("retry_after_ms", Json::int(ms));
         }
         Json::Object(fields).render()
     }
@@ -556,7 +610,9 @@ impl Response {
             changed: j.get("changed").and_then(Json::as_bool),
             facts: j.get("facts").and_then(Json::as_u64),
             queries: j.get("queries").and_then(Json::as_u64),
+            version: j.get("version").and_then(Json::as_u64),
             schema: j.get("schema").and_then(Json::as_str).map(str::to_string),
+            retry_after_ms: j.get("retry_after_ms").and_then(Json::as_u64),
         })
     }
 }
@@ -655,12 +711,39 @@ mod tests {
         };
         assert_eq!(Request::parse(&ret.to_json()).unwrap(), ret);
         for control in [
-            Request::Ping,
+            Request::Ping { schema: None },
+            Request::Ping {
+                schema: Some(SERVICE_SCHEMA.to_string()),
+            },
             Request::Stats { tenant: "t".into() },
             Request::Shutdown,
         ] {
             assert_eq!(Request::parse(&control.to_json()).unwrap(), control);
         }
+    }
+
+    #[test]
+    fn schema_negotiation_accepts_supported_and_refuses_unknown() {
+        assert_eq!(negotiate_schema(None), Ok(SERVICE_SCHEMA));
+        for s in SUPPORTED_SCHEMAS {
+            assert_eq!(negotiate_schema(Some(s)), Ok(*s));
+        }
+        let err = negotiate_schema(Some("idlog-service/99")).unwrap_err();
+        assert!(err.contains("idlog-service/2"), "{err}");
+        assert!(SUPPORTED_SCHEMAS.contains(&SERVICE_SCHEMA));
+    }
+
+    #[test]
+    fn overloaded_responses_carry_the_retry_hint_and_limit_class_exit() {
+        let mut shed = Response::error(ErrorCode::Overloaded, "admission queue full");
+        shed.retry_after_ms = Some(150);
+        assert_eq!(shed.exit, 3, "overload maps to the limit-trip exit");
+        let line = shed.to_json();
+        assert!(line.contains("\"retry_after_ms\":150"), "{line}");
+        let parsed = Response::parse(&line).unwrap();
+        assert_eq!(parsed.code, Some(ErrorCode::Overloaded));
+        assert_eq!(parsed.retry_after_ms, Some(150));
+        assert_eq!(parsed, shed);
     }
 
     #[test]

@@ -10,6 +10,19 @@
 //! resource-limited requests evaluate fresh over a snapshot — off the
 //! tenant lock, so slow queries don't block the tenant's writers.
 //!
+//! Started with a data directory ([`ServerConfig::data_dir`]), every
+//! tenant is **crash-safe**: each acknowledged insert/retract is appended
+//! to a per-tenant write-ahead log (and fsynced per the
+//! [`SyncPolicy`]) *before* the acknowledgement, periodic [checkpoint
+//! snapshots](durability::TenantStore::checkpoint) bound recovery work,
+//! and reopening the same directory replays the log — truncating any torn
+//! tail a crash left behind — to exactly the acknowledged prefix.
+//!
+//! The accept loop applies **admission control**: connections beyond the
+//! worker pool queue up to [`ServerConfig::queue_depth`]; past that they
+//! are shed immediately with an `overloaded` error carrying a
+//! `retry_after_ms` hint, rather than letting latency grow without bound.
+//!
 //! Answers are rendered from relation *content* only
 //! ([`idlog_core::service::render_answers`]), so a served response is
 //! byte-identical to what a direct single-threaded [`idlog_core::Session`]
@@ -19,25 +32,42 @@
 
 #![warn(missing_docs)]
 
+pub mod durability;
+
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
 
 use idlog_core::service::{
-    render_answers, FactValue, Request, Response, RunRequest, ServeMode, SERVICE_SCHEMA,
+    negotiate_schema, render_answers, FactValue, Request, Response, RunRequest, ServeMode,
 };
 use idlog_core::{
     EnumBudget, ErrorCode, EvalOptions, FactDelta, Interner, MaintainOutcome, Materialized, Query,
-    SeededOracle, SymbolId, Tuple,
+    SeededOracle, SymbolId, Tuple, Value,
 };
-use idlog_storage::Database;
+use idlog_storage::{Database, Relation};
+
+pub use durability::{SyncPolicy, TenantStore, WalRecord};
 
 /// Default worker-thread count for [`Server::run`].
 pub const DEFAULT_WORKERS: usize = 16;
+
+/// Default bound on connections waiting for a worker; beyond it new
+/// connections are shed with an `overloaded` error.
+pub const DEFAULT_QUEUE_DEPTH: usize = 64;
+
+/// Default WAL-records-per-checkpoint interval.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 1024;
+
+/// The `retry_after_ms` hint sent with a shed connection's `overloaded`
+/// error: long enough for a queued request to drain, short enough that a
+/// retrying client converges quickly.
+pub const RETRY_AFTER_MS: u64 = 100;
 
 /// Change-log ceiling per tenant. A cached view that falls further behind
 /// than this is evicted (it rebuilds from the database on next use) so the
@@ -49,6 +79,32 @@ const MAX_LOG: usize = 1 << 12;
 /// used entry is evicted. Bounds server memory against clients that submit
 /// unbounded distinct program texts.
 const MAX_PREPARED: usize = 64;
+
+/// Server construction options beyond the bind address.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Root directory for durable tenant state. `None` serves in-memory
+    /// only (tenant state dies with the process).
+    pub data_dir: Option<PathBuf>,
+    /// When the WAL is fsynced, for servers with a `data_dir`.
+    pub sync: SyncPolicy,
+    /// Connections allowed to wait for a worker before new arrivals are
+    /// shed with `overloaded`.
+    pub queue_depth: usize,
+    /// WAL records between checkpoint snapshots.
+    pub checkpoint_every: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            data_dir: None,
+            sync: SyncPolicy::default(),
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+        }
+    }
+}
 
 /// A compiled query cached for a tenant, optionally with a maintained
 /// materialized model.
@@ -69,8 +125,9 @@ struct Prepared {
     last_used: u64,
 }
 
-/// One tenant: a database, its interner, the prepared-query cache, and a
-/// change log driving incremental view maintenance.
+/// One tenant: a database, its interner, the prepared-query cache, a
+/// change log driving incremental view maintenance, and (on durable
+/// servers) the WAL/checkpoint store.
 struct Tenant {
     interner: Arc<Interner>,
     db: Database,
@@ -86,12 +143,24 @@ struct Tenant {
     version: u64,
     /// Monotonic request counter driving prepared-cache LRU eviction.
     clock: u64,
+    /// The WAL/checkpoint store, on durable servers.
+    store: Option<TenantStore>,
+    /// Where (and how) this tenant persists — kept so a poison repair can
+    /// re-run recovery from scratch.
+    durable: Option<(PathBuf, SyncPolicy)>,
+    /// When set, the tenant's disk state may not match memory (a
+    /// durability double-fault): every change/run is refused with this
+    /// reason until a restart re-runs recovery.
+    quarantined: Option<String>,
 }
 
 impl Tenant {
-    fn new() -> Tenant {
+    /// Build a tenant, recovering durable state when a directory is given.
+    /// A failure to open or replay quarantines the tenant (clean wire
+    /// errors) instead of panicking a worker.
+    fn open(durable: Option<(PathBuf, SyncPolicy)>) -> Tenant {
         let interner = Arc::new(Interner::new());
-        Tenant {
+        let mut tenant = Tenant {
             db: Database::with_interner(interner.clone()),
             interner,
             prepared: HashMap::new(),
@@ -99,7 +168,99 @@ impl Tenant {
             log_base: 0,
             version: 0,
             clock: 0,
+            store: None,
+            durable: durable.clone(),
+            quarantined: None,
+        };
+        if let Some((dir, policy)) = durable {
+            match TenantStore::open(&dir, policy) {
+                Ok((store, recovery)) => match tenant.replay(&recovery.ops) {
+                    Ok(()) => tenant.store = Some(store),
+                    Err(e) => tenant.quarantined = Some(format!("recovery replay failed: {e}")),
+                },
+                Err(e) => tenant.quarantined = Some(format!("durable store open failed: {e}")),
+            }
         }
+        tenant
+    }
+
+    /// Apply recovered records, in original order, to the empty database.
+    fn replay(&mut self, ops: &[WalRecord]) -> Result<(), String> {
+        for op in ops {
+            match op {
+                WalRecord::Insert { pred, tuple } => {
+                    let values: Tuple = tuple.iter().map(|v| v.to_value(&self.interner)).collect();
+                    if self.db.relation(pred).is_some_and(|r| r.contains(&values)) {
+                        continue;
+                    }
+                    self.db.insert(pred, values).map_err(|e| e.to_string())?;
+                }
+                WalRecord::Retract { pred, tuple } => {
+                    let values: Tuple = tuple.iter().map(|v| v.to_value(&self.interner)).collect();
+                    self.db.retract(pred, &values).map_err(|e| e.to_string())?;
+                }
+                // No durable-program surface yet; the kind exists so the
+                // WAL encoding doesn't change when one lands.
+                WalRecord::SetProgram { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Put a tenant whose mutex was poisoned back into a coherent state.
+    ///
+    /// On a durable server the WAL is the source of truth: every acked
+    /// change is on disk (WAL-before-ack) and the interrupted one is not,
+    /// so re-running recovery rebuilds exactly the acknowledged state.
+    /// In-memory tenants keep their database (storage mutations are
+    /// complete-or-absent) and drop the derived state — views and the
+    /// change log — which the interrupted request may have left stale.
+    fn repair(&mut self) {
+        match self.durable.clone() {
+            Some(durable) => *self = Tenant::open(Some(durable)),
+            None => {
+                self.prepared.clear();
+                self.log.clear();
+                self.log_base = self.version;
+            }
+        }
+    }
+
+    /// The version reported on the wire: the WAL sequence on durable
+    /// servers, the in-memory change counter otherwise.
+    fn durable_version(&self) -> u64 {
+        self.store
+            .as_ref()
+            .map(|s| s.version())
+            .unwrap_or(self.version)
+    }
+
+    fn fact_value(&self, v: &Value) -> FactValue {
+        match v {
+            Value::Sym(id) => FactValue::Sym(self.interner.resolve(*id)),
+            Value::Int(n) => FactValue::Int(*n),
+        }
+    }
+
+    /// Every EDB fact, predicate-sorted and canonically ordered — the
+    /// checkpoint payload.
+    fn snapshot_facts(&self) -> Vec<(String, Vec<FactValue>)> {
+        let mut preds: Vec<(String, &Relation)> = self
+            .db
+            .iter()
+            .map(|(id, rel)| (self.interner.resolve(id), rel))
+            .collect();
+        preds.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = Vec::new();
+        for (name, rel) in preds {
+            for tuple in rel.sorted_canonical(&self.interner) {
+                out.push((
+                    name.clone(),
+                    tuple.values().iter().map(|v| self.fact_value(v)).collect(),
+                ));
+            }
+        }
+        out
     }
 
     fn record_change(&mut self, pred: SymbolId, tuple: Tuple) {
@@ -240,34 +401,75 @@ impl Tenant {
     }
 }
 
+/// Lock a tenant, repairing it first if a previous holder panicked: the
+/// poison flag is cleared and [`Tenant::repair`] restores coherence
+/// (durable tenants re-run recovery; in-memory tenants drop derived
+/// state). No request ever sees a half-updated tenant.
+fn lock_tenant(arc: &Arc<Mutex<Tenant>>) -> MutexGuard<'_, Tenant> {
+    match arc.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            arc.clear_poison();
+            let mut t = poisoned.into_inner();
+            t.repair();
+            t
+        }
+    }
+}
+
 /// The tenant registry plus the shutdown flag — the state every worker
 /// thread shares.
 struct Registry {
     tenants: Mutex<HashMap<String, Arc<Mutex<Tenant>>>>,
     shutdown: AtomicBool,
+    config: ServerConfig,
 }
 
 impl Registry {
+    #[cfg(test)]
     fn new() -> Registry {
+        Registry::with_config(ServerConfig::default())
+    }
+
+    fn with_config(config: ServerConfig) -> Registry {
         Registry {
             tenants: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
+            config,
         }
     }
 
     fn tenant(&self, name: &str) -> Arc<Mutex<Tenant>> {
-        let mut tenants = self.tenants.lock().expect("tenant registry poisoned");
-        tenants
-            .entry(name.to_string())
-            .or_insert_with(|| Arc::new(Mutex::new(Tenant::new())))
-            .clone()
+        // The registry map is insert-only and each operation is atomic, so
+        // a panic elsewhere under this lock cannot leave it incoherent.
+        let mut tenants = match self.tenants.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.tenants.clear_poison();
+                poisoned.into_inner()
+            }
+        };
+        if let Some(t) = tenants.get(name) {
+            return Arc::clone(t);
+        }
+        let durable = self
+            .config
+            .data_dir
+            .as_ref()
+            .map(|d| (durability::tenant_dir(d, name), self.config.sync));
+        let tenant = Arc::new(Mutex::new(Tenant::open(durable)));
+        tenants.insert(name.to_string(), Arc::clone(&tenant));
+        tenant
     }
 
     fn handle(&self, req: Request) -> Response {
         match req {
-            Request::Ping => Response {
-                schema: Some(SERVICE_SCHEMA.to_string()),
-                ..Response::ok()
+            Request::Ping { schema } => match negotiate_schema(schema.as_deref()) {
+                Ok(agreed) => Response {
+                    schema: Some(agreed.to_string()),
+                    ..Response::ok()
+                },
+                Err(e) => Response::error(ErrorCode::Protocol, e),
             },
             Request::Shutdown => {
                 self.shutdown.store(true, Ordering::SeqCst);
@@ -275,10 +477,11 @@ impl Registry {
             }
             Request::Stats { tenant } => {
                 let tenant = self.tenant(&tenant);
-                let t = tenant.lock().expect("tenant poisoned");
+                let t = lock_tenant(&tenant);
                 Response {
                     facts: Some(t.db.fact_count() as u64),
                     queries: Some(t.prepared.len() as u64),
+                    version: Some(t.durable_version()),
                     ..Response::ok()
                 }
             }
@@ -296,9 +499,19 @@ impl Registry {
         }
     }
 
+    fn quarantined(reason: &str) -> Response {
+        Response::error(
+            ErrorCode::Internal,
+            format!("tenant quarantined: {reason}; restart the server to run recovery"),
+        )
+    }
+
     fn change(&self, tenant: &str, pred: &str, tuple: &[FactValue], insert: bool) -> Response {
         let tenant = self.tenant(tenant);
-        let mut t = tenant.lock().expect("tenant poisoned");
+        let mut t = lock_tenant(&tenant);
+        if let Some(reason) = t.quarantined.clone() {
+            return Self::quarantined(&reason);
+        }
         let values: Tuple = tuple.iter().map(|v| v.to_value(&t.interner)).collect();
         let changed = if insert {
             if t.db.relation(pred).is_some_and(|r| r.contains(&values)) {
@@ -315,23 +528,80 @@ impl Registry {
             }
         };
         if changed {
+            // WAL-before-ack: the change only becomes visible (and the
+            // response only acknowledges it) once the record is durable.
+            if t.store.is_some() {
+                let record = if insert {
+                    WalRecord::Insert {
+                        pred: pred.to_string(),
+                        tuple: tuple.to_vec(),
+                    }
+                } else {
+                    WalRecord::Retract {
+                        pred: pred.to_string(),
+                        tuple: tuple.to_vec(),
+                    }
+                };
+                if let Err(e) = t.store.as_mut().expect("checked above").append(&record) {
+                    if e.quarantine {
+                        // Disk state is unknown (e.g. a torn write or a
+                        // failed truncate-back): refuse further traffic
+                        // until a restart re-runs recovery.
+                        t.quarantined = Some(e.message.clone());
+                        return Self::quarantined(&e.message);
+                    }
+                    // The append was cleanly undone on disk; undo it in
+                    // memory too and report an unacknowledged write.
+                    if insert {
+                        let _ = t.db.retract(pred, &values);
+                    } else {
+                        let _ = t.db.insert(pred, values.clone());
+                    }
+                    return Response::error(
+                        ErrorCode::Io,
+                        format!("write not durable: {}", e.message),
+                    );
+                }
+            }
             let sym = t.interner.intern(pred);
             t.record_change(sym, values);
             // Compact here too: a tenant that only ever writes (or only
             // runs fresh-mode queries) must not accumulate its entire
             // change history.
             t.compact_log();
+            self.maybe_checkpoint(&mut t);
         }
         Response {
             changed: Some(changed),
             facts: Some(t.db.fact_count() as u64),
+            version: Some(t.durable_version()),
             ..Response::ok()
         }
     }
 
+    /// Checkpoint when enough WAL records accumulated. Failure is benign —
+    /// the WAL stays intact and recovery replays it — so the request that
+    /// happened to trigger the checkpoint still succeeds.
+    fn maybe_checkpoint(&self, t: &mut Tenant) {
+        let due = t
+            .store
+            .as_ref()
+            .is_some_and(|s| s.since_checkpoint() >= self.config.checkpoint_every.max(1));
+        if !due {
+            return;
+        }
+        let facts = t.snapshot_facts();
+        let store = t.store.as_mut().expect("due implies store");
+        let version = store.version();
+        let _ = store.checkpoint(version, &facts);
+    }
+
     fn run(&self, r: RunRequest) -> Response {
         let tenant = self.tenant(&r.tenant);
-        let mut t = tenant.lock().expect("tenant poisoned");
+        let mut t = lock_tenant(&tenant);
+        if let Some(reason) = t.quarantined.clone() {
+            return Self::quarantined(&reason);
+        }
         let key = (r.program.clone(), r.output.clone());
         t.clock += 1;
         let now = t.clock;
@@ -492,11 +762,19 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind the listening socket (`"127.0.0.1:0"` picks an ephemeral port).
+    /// Bind the listening socket (`"127.0.0.1:0"` picks an ephemeral port)
+    /// with default (in-memory, unpersisted) configuration.
     pub fn bind(addr: &str) -> io::Result<Server> {
+        Server::bind_with(addr, ServerConfig::default())
+    }
+
+    /// Bind with explicit configuration. With
+    /// [`ServerConfig::data_dir`] set, tenants recover their durable state
+    /// lazily on first access.
+    pub fn bind_with(addr: &str, config: ServerConfig) -> io::Result<Server> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
-            registry: Arc::new(Registry::new()),
+            registry: Arc::new(Registry::with_config(config)),
         })
     }
 
@@ -506,18 +784,24 @@ impl Server {
     }
 
     /// Serve until a `shutdown` request arrives. Connections are handed to
-    /// a pool of `workers` threads; each worker owns one connection at a
-    /// time and answers its requests in order.
+    /// a pool of `workers` threads through a queue bounded at
+    /// [`ServerConfig::queue_depth`]; when every worker is busy and the
+    /// queue is full, new connections are shed immediately with an
+    /// `overloaded` error and a `retry_after_ms` hint instead of queuing
+    /// without bound.
     pub fn run(self, workers: usize) -> io::Result<()> {
         let addr = self.listener.local_addr()?;
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(self.registry.config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let mut pool = Vec::new();
         for _ in 0..workers.max(1) {
             let rx = Arc::clone(&rx);
             let registry = Arc::clone(&self.registry);
             pool.push(thread::spawn(move || loop {
-                let next = rx.lock().expect("worker queue poisoned").recv();
+                // A worker that died while holding this lock cannot have
+                // left partial state in it (recv is atomic); recover the
+                // receiver and keep serving.
+                let next = rx.lock().unwrap_or_else(|p| p.into_inner()).recv();
                 match next {
                     Ok(stream) => serve_connection(stream, &registry, addr),
                     Err(_) => break,
@@ -529,9 +813,15 @@ impl Server {
                 break;
             }
             if let Ok(stream) = stream {
-                // A send can only fail if every worker died; nothing to do
-                // but drop the connection.
-                let _ = tx.send(stream);
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    // Admission control: every worker busy and the queue
+                    // full. Shed at accept — before any parsing or tenant
+                    // work — so overload cost stays constant.
+                    Err(mpsc::TrySendError::Full(stream)) => shed(stream),
+                    // Every worker died; nothing can serve.
+                    Err(mpsc::TrySendError::Disconnected(_)) => break,
+                }
             }
         }
         drop(tx);
@@ -540,6 +830,37 @@ impl Server {
         }
         Ok(())
     }
+}
+
+/// Refuse a connection at admission: one `overloaded` response line with a
+/// retry hint, then close.
+///
+/// Runs on its own short-lived thread so the accept loop stays responsive,
+/// and drains whatever request bytes the client already sent before
+/// closing — dropping a socket with unread data raises an RST that can
+/// discard the response line the client is about to read.
+fn shed(stream: TcpStream) {
+    thread::spawn(move || {
+        use std::io::Read;
+        let _ = stream.set_nodelay(true);
+        let resp = Response {
+            retry_after_ms: Some(RETRY_AFTER_MS),
+            ..Response::error(
+                ErrorCode::Overloaded,
+                "admission queue full; retry after the hinted backoff",
+            )
+        };
+        let mut writer = BufWriter::new(&stream);
+        if writeln!(writer, "{}", resp.to_json()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        drop(writer);
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+        let mut sink = [0u8; 256];
+        let mut stream = stream;
+        while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+    });
 }
 
 /// Answer one connection's requests until EOF or shutdown.
@@ -584,7 +905,21 @@ fn serve_connection(stream: TcpStream, registry: &Registry, addr: SocketAddr) {
             continue;
         }
         let response = match Request::parse(&request) {
-            Ok(request) => registry.handle(request),
+            // A panicking handler (engine invariant failure, injected
+            // fault) must cost its own request, not the worker thread:
+            // contain it, answer with a clean internal error, and let
+            // `lock_tenant` repair the poisoned tenant on next access.
+            Ok(request) => {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    registry.handle(request)
+                })) {
+                    Ok(resp) => resp,
+                    Err(_) => Response::error(
+                        ErrorCode::Internal,
+                        "request handler panicked; tenant state repairs on next access",
+                    ),
+                }
+            }
             Err(e) => Response::error(ErrorCode::Protocol, e),
         };
         if writeln!(writer, "{}", response.to_json()).is_err() || writer.flush().is_err() {
@@ -878,5 +1213,121 @@ mod tests {
         assert!(t
             .prepared
             .contains_key(&(format!("q{last}(X) :- e(X)."), format!("q{last}"))));
+    }
+
+    fn durable_registry(dir: &std::path::Path) -> Registry {
+        Registry::with_config(ServerConfig {
+            data_dir: Some(dir.to_path_buf()),
+            sync: SyncPolicy::Always,
+            ..ServerConfig::default()
+        })
+    }
+
+    fn temp_data_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "idlog-server-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn acked_changes_survive_a_registry_restart() {
+        let dir = temp_data_dir("restart");
+        let before = {
+            let reg = durable_registry(&dir);
+            for edge in [["ann", "bob"], ["bob", "cal"]] {
+                sym_insert(&reg, "parent", &edge);
+            }
+            sym_insert(&reg, "parent", &["cal", "dee"]);
+            // Retract one fact so recovery replays a retract too.
+            let resp = reg.handle(Request::Retract {
+                tenant: "t".into(),
+                pred: "parent".into(),
+                tuple: vec![FactValue::Sym("cal".into()), FactValue::Sym("dee".into())],
+            });
+            assert_eq!(resp.exit, 0, "{:?}", resp.error);
+            assert_eq!(resp.version, Some(4), "WAL sequence acked on the wire");
+            run(&reg, ANC, "q").answers.unwrap()
+        };
+        // A fresh registry over the same directory recovers the exact
+        // acknowledged state and serves identical answers.
+        let reg = durable_registry(&dir);
+        let stats = reg.handle(Request::Stats { tenant: "t".into() });
+        assert_eq!(stats.facts, Some(2), "{stats:?}");
+        assert_eq!(stats.version, Some(4), "recovered WAL version");
+        assert_eq!(run(&reg, ANC, "q").answers.unwrap(), before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoints_bound_the_wal_and_keep_answers_identical() {
+        let dir = temp_data_dir("checkpoint");
+        {
+            let reg = Registry::with_config(ServerConfig {
+                data_dir: Some(dir.to_path_buf()),
+                sync: SyncPolicy::Always,
+                checkpoint_every: 8,
+                ..ServerConfig::default()
+            });
+            for i in 0..20 {
+                int_change(&reg, "p", i, true);
+            }
+        }
+        // 20 appends with a checkpoint every 8: the WAL on disk holds at
+        // most 8 records, the rest live in the snapshot.
+        let wal = durability::tenant_dir(&dir, "t").join("wal.log");
+        let (records, torn) = durability::scan_wal(&wal).unwrap();
+        assert!(torn.is_none(), "{torn:?}");
+        assert!(records.len() <= 8, "WAL not truncated: {}", records.len());
+        let reg = durable_registry(&dir);
+        let resp = run(&reg, "q(X) :- p(X).", "q");
+        assert_eq!(resp.exit, 0, "{:?}", resp.error);
+        assert_eq!(resp.answers.unwrap().len(), 20);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_quarantined_tenant_refuses_traffic_with_a_clean_error() {
+        let reg = Registry::new();
+        {
+            let tenant = reg.tenant("t");
+            let mut t = tenant.lock().unwrap();
+            t.quarantined = Some("test fault".into());
+        }
+        let resp = int_change_raw(&reg, "p", 1);
+        assert_eq!(resp.exit, ErrorCode::Internal.exit_code());
+        let err = resp.error.unwrap();
+        assert!(err.contains("quarantined"), "{err}");
+        assert!(err.contains("restart"), "{err}");
+        let run_resp = run(&reg, "q(X) :- p(X).", "q");
+        assert!(run_resp.error.unwrap().contains("quarantined"));
+    }
+
+    fn int_change_raw(reg: &Registry, pred: &str, n: i64) -> Response {
+        reg.handle(Request::Insert {
+            tenant: "t".into(),
+            pred: pred.into(),
+            tuple: vec![FactValue::Int(n)],
+        })
+    }
+
+    #[test]
+    fn ping_negotiates_the_schema() {
+        let reg = Registry::new();
+        let ok = reg.handle(Request::Ping { schema: None });
+        assert_eq!(ok.schema.as_deref(), Some("idlog-service/2"));
+        let v1 = reg.handle(Request::Ping {
+            schema: Some("idlog-service/1".into()),
+        });
+        assert_eq!(v1.exit, 0);
+        assert_eq!(v1.schema.as_deref(), Some("idlog-service/1"));
+        let bad = reg.handle(Request::Ping {
+            schema: Some("idlog-service/99".into()),
+        });
+        assert_ne!(bad.exit, 0);
+        assert!(bad.error.unwrap().contains("idlog-service/2"));
     }
 }

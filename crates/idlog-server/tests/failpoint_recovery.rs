@@ -1,0 +1,349 @@
+//! Kill-and-recover: injected faults at every durability site must leave
+//! the recovered database byte-identical to a prefix of the acknowledged
+//! writes, with served answers matching a fresh single-threaded Session.
+//!
+//! Requires `--features failpoints`. The failpoint registry is
+//! process-global, so every test serializes on one mutex.
+#![cfg(feature = "failpoints")]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use idlog_common::failpoint;
+use idlog_core::service::{render_answers, FactValue, Request, Response, RunRequest};
+use idlog_core::{ErrorCode, Query};
+use idlog_server::durability::{scan_wal, tenant_dir};
+use idlog_server::{Client, Server, ServerConfig, SyncPolicy};
+use idlog_storage::Database;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    let guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    failpoint::clear();
+    guard
+}
+
+const TC: &str = "t(X, Y) :- e(X, Y).\nt(X, Z) :- t(X, Y), e(Y, Z).";
+
+fn temp_data_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("idlog-failpoint-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(dir: &Path, checkpoint_every: u64) -> ServerConfig {
+    ServerConfig {
+        data_dir: Some(dir.to_path_buf()),
+        sync: SyncPolicy::Always,
+        checkpoint_every,
+        ..ServerConfig::default()
+    }
+}
+
+struct Served {
+    addr: std::net::SocketAddr,
+    handle: std::thread::JoinHandle<()>,
+}
+
+fn start(config: ServerConfig, workers: usize) -> Served {
+    let server = Server::bind_with("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run(workers).expect("serve"));
+    Served { addr, handle }
+}
+
+impl Served {
+    fn client(&self) -> Client {
+        Client::connect(&self.addr.to_string()).expect("connect")
+    }
+
+    fn stop(self) {
+        let resp = self.client().request(&Request::Shutdown).expect("shutdown");
+        assert_eq!(resp.exit, 0);
+        self.handle.join().expect("server thread");
+    }
+}
+
+fn insert_edge(c: &mut Client, a: &str, b: &str) -> Response {
+    c.request(&Request::Insert {
+        tenant: "t".into(),
+        pred: "e".into(),
+        tuple: vec![FactValue::Sym(a.into()), FactValue::Sym(b.into())],
+    })
+    .expect("request")
+}
+
+fn served_tc(c: &mut Client) -> Vec<String> {
+    let resp = c
+        .request(&Request::Run(RunRequest::new("t", TC, "t")))
+        .expect("run");
+    assert_eq!(resp.exit, 0, "{:?}", resp.error);
+    resp.answers.expect("answers")
+}
+
+/// The reference: a fresh single-threaded direct Session over `edges`.
+fn direct_tc(edges: &[(&str, &str)]) -> Vec<String> {
+    let query = Query::parse(TC, "t").expect("parse");
+    let mut db = Database::with_interner(query.interner().clone());
+    for (a, b) in edges {
+        db.insert_syms("e", &[a, b]).expect("insert");
+    }
+    let out = query.session(&db).threads(1).run().expect("run");
+    render_answers(&out.relation, query.interner())
+}
+
+/// `wal.append=err`: the write is refused cleanly (nothing acked, nothing
+/// durable, memory rolled back) and service continues once the fault
+/// clears.
+#[test]
+fn append_failure_is_unacked_and_rolled_back() {
+    let _g = serial();
+    let dir = temp_data_dir("append-err");
+    let srv = start(config(&dir, 1024), 2);
+    let mut c = srv.client();
+    assert_eq!(insert_edge(&mut c, "a", "b").exit, 0);
+
+    failpoint::configure("wal.append=err").unwrap();
+    let failed = insert_edge(&mut c, "b", "c");
+    assert_eq!(failed.code, Some(ErrorCode::Io), "{failed:?}");
+    assert!(failed.error.unwrap().contains("not durable"));
+    failpoint::clear();
+
+    // Memory rolled back: the failed edge is absent from served answers…
+    assert_eq!(served_tc(&mut c), direct_tc(&[("a", "b")]));
+    // …and from disk.
+    let (records, torn) = scan_wal(&tenant_dir(&dir, "t").join("wal.log")).unwrap();
+    assert_eq!(records.len(), 1);
+    assert!(torn.is_none());
+
+    // The tenant is not quarantined; the retried write succeeds.
+    assert_eq!(insert_edge(&mut c, "b", "c").exit, 0);
+    srv.stop();
+
+    let srv = start(config(&dir, 1024), 2);
+    let mut c = srv.client();
+    assert_eq!(
+        served_tc(&mut c),
+        direct_tc(&[("a", "b"), ("b", "c")]),
+        "recovery equals the acknowledged prefix"
+    );
+    srv.stop();
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `wal.fsync=err` under `--sync always`: same contract as a failed
+/// append — unacked, undone, retryable.
+#[test]
+fn fsync_failure_is_unacked_and_rolled_back() {
+    let _g = serial();
+    let dir = temp_data_dir("fsync-err");
+    let srv = start(config(&dir, 1024), 2);
+    let mut c = srv.client();
+    assert_eq!(insert_edge(&mut c, "a", "b").exit, 0);
+
+    failpoint::configure("wal.fsync=err").unwrap();
+    let failed = insert_edge(&mut c, "b", "c");
+    assert_eq!(failed.code, Some(ErrorCode::Io), "{failed:?}");
+    failpoint::clear();
+
+    // The record that could not be fsynced was truncated back off the log:
+    // disk and memory agree on exactly one acknowledged write.
+    let (records, _) = scan_wal(&tenant_dir(&dir, "t").join("wal.log")).unwrap();
+    assert_eq!(records.len(), 1);
+    assert_eq!(served_tc(&mut c), direct_tc(&[("a", "b")]));
+    srv.stop();
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `wal.append=torn:5` — an injected crash mid-write. The tenant is
+/// quarantined (disk state unknown), every subsequent request gets a clean
+/// wire error, and a restart truncates the torn tail: the recovered
+/// database is exactly the acknowledged prefix.
+#[test]
+fn torn_write_quarantines_until_restart_then_recovers_the_acked_prefix() {
+    let _g = serial();
+    let dir = temp_data_dir("torn");
+    let srv = start(config(&dir, 1024), 2);
+    let mut c = srv.client();
+    assert_eq!(insert_edge(&mut c, "a", "b").exit, 0);
+    assert_eq!(insert_edge(&mut c, "b", "c").exit, 0);
+
+    failpoint::configure("wal.append=torn:5").unwrap();
+    let crashed = insert_edge(&mut c, "c", "d");
+    failpoint::clear();
+    assert_ne!(crashed.exit, 0);
+    assert!(
+        crashed
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("quarantined"),
+        "{crashed:?}"
+    );
+
+    // Quarantine holds for reads and writes until restart.
+    let refused = insert_edge(&mut c, "x", "y");
+    assert!(refused.error.unwrap().contains("quarantined"));
+    let run = c
+        .request(&Request::Run(RunRequest::new("t", TC, "t")))
+        .expect("run");
+    assert!(run.error.unwrap().contains("quarantined"));
+
+    // The torn frame really is on disk.
+    let wal = tenant_dir(&dir, "t").join("wal.log");
+    let (_, torn) = scan_wal(&wal).unwrap();
+    assert!(torn.is_some(), "expected a torn tail on disk");
+    srv.stop();
+
+    // Restart: recovery truncates the tear; the database equals the
+    // acknowledged prefix and matches a fresh direct Session.
+    let srv = start(config(&dir, 1024), 2);
+    let mut c = srv.client();
+    assert_eq!(served_tc(&mut c), direct_tc(&[("a", "b"), ("b", "c")]));
+    let (records, torn) = scan_wal(&wal).unwrap();
+    assert_eq!(records.len(), 2);
+    assert!(torn.is_none(), "recovery repaired the file: {torn:?}");
+    assert_eq!(insert_edge(&mut c, "c", "d").exit, 0, "writes resume");
+    srv.stop();
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `wal.append=err` + `wal.truncate=err` — the double fault: the append
+/// failed *and* the truncate-back failed, so disk no longer matches
+/// memory. The only safe answer is quarantine.
+#[test]
+fn a_failed_truncate_back_quarantines() {
+    let _g = serial();
+    let dir = temp_data_dir("double-fault");
+    let srv = start(config(&dir, 1024), 2);
+    let mut c = srv.client();
+    assert_eq!(insert_edge(&mut c, "a", "b").exit, 0);
+
+    failpoint::configure("wal.append=err;wal.truncate=err").unwrap();
+    let crashed = insert_edge(&mut c, "b", "c");
+    failpoint::clear();
+    assert!(
+        crashed
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("quarantined"),
+        "{crashed:?}"
+    );
+    srv.stop();
+
+    let srv = start(config(&dir, 1024), 2);
+    let mut c = srv.client();
+    assert_eq!(served_tc(&mut c), direct_tc(&[("a", "b")]));
+    srv.stop();
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `snapshot.write=err`: a failed checkpoint is benign — every write still
+/// acks, the WAL keeps growing, and the next healthy checkpoint truncates
+/// it.
+#[test]
+fn snapshot_failure_never_loses_an_acked_write() {
+    let _g = serial();
+    let dir = temp_data_dir("snap-err");
+    let srv = start(config(&dir, 2), 2);
+    let mut c = srv.client();
+
+    failpoint::configure("snapshot.write=err").unwrap();
+    for i in 0..4 {
+        let resp = insert_edge(&mut c, &format!("n{i}"), &format!("n{}", i + 1));
+        assert_eq!(resp.exit, 0, "checkpoint faults must not fail writes");
+    }
+    // No checkpoint landed; all four records are in the WAL.
+    let wal = tenant_dir(&dir, "t").join("wal.log");
+    let (records, _) = scan_wal(&wal).unwrap();
+    assert_eq!(records.len(), 4);
+    assert!(!tenant_dir(&dir, "t").join("checkpoint.snap").exists());
+    failpoint::clear();
+
+    // The next due write checkpoints successfully and truncates the log.
+    let resp = insert_edge(&mut c, "n4", "n5");
+    assert_eq!(resp.exit, 0);
+    let (records, _) = scan_wal(&wal).unwrap();
+    assert!(
+        records.is_empty(),
+        "WAL truncated after recovery-side checkpoint"
+    );
+    assert!(tenant_dir(&dir, "t").join("checkpoint.snap").exists());
+    srv.stop();
+
+    let srv = start(config(&dir, 1024), 2);
+    let mut c = srv.client();
+    assert_eq!(
+        served_tc(&mut c),
+        direct_tc(&[
+            ("n0", "n1"),
+            ("n1", "n2"),
+            ("n2", "n3"),
+            ("n3", "n4"),
+            ("n4", "n5")
+        ])
+    );
+    srv.stop();
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Regression for the tenant-mutex poisoning fix: a panic inside the
+/// request handler (injected at `storage.insert`, which fires during the
+/// materialized evaluation that runs *under the tenant lock*) no longer
+/// wedges the tenant. The panicking request answers with a clean internal
+/// error, and the next access repairs the poisoned lock — on a durable
+/// server, by re-running recovery, which restores exactly the acknowledged
+/// writes.
+#[test]
+fn a_handler_panic_answers_cleanly_and_the_tenant_self_repairs() {
+    let _g = serial();
+    let dir = temp_data_dir("poison");
+    let srv = start(config(&dir, 1024), 2);
+    let mut c = srv.client();
+    assert_eq!(insert_edge(&mut c, "a", "b").exit, 0);
+
+    failpoint::configure("storage.insert=panic").unwrap();
+    let crashed = c
+        .request(&Request::Run(RunRequest::new("t", TC, "t")))
+        .expect("run");
+    failpoint::clear();
+    assert_eq!(crashed.code, Some(ErrorCode::Internal), "{crashed:?}");
+    assert!(crashed.error.unwrap().contains("panicked"));
+
+    // Same connection, next request: lock_tenant repaired the poison by
+    // reloading from the WAL. The acked write survives.
+    assert_eq!(served_tc(&mut c), direct_tc(&[("a", "b")]));
+    assert_eq!(insert_edge(&mut c, "b", "c").exit, 0, "writes resume");
+    assert_eq!(served_tc(&mut c), direct_tc(&[("a", "b"), ("b", "c")]));
+    srv.stop();
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The same poisoning repair on an in-memory (no data-dir) server: derived
+/// state is dropped, the database survives, service continues.
+#[test]
+fn poison_repair_works_without_a_data_dir() {
+    let _g = serial();
+    let srv = start(ServerConfig::default(), 2);
+    let mut c = srv.client();
+    assert_eq!(insert_edge(&mut c, "a", "b").exit, 0);
+    assert_eq!(served_tc(&mut c), direct_tc(&[("a", "b")]));
+
+    failpoint::configure("storage.insert=panic").unwrap();
+    // The view from the earlier run is synced; an insert makes the next
+    // run re-apply a delta under the tenant lock, where the panic fires.
+    assert_eq!(insert_edge(&mut c, "b", "c").exit, 0);
+    let crashed = c
+        .request(&Request::Run(RunRequest::new("t", TC, "t")))
+        .expect("run");
+    failpoint::clear();
+    assert_eq!(crashed.code, Some(ErrorCode::Internal), "{crashed:?}");
+
+    // Repair dropped the derived state but kept the database: both acked
+    // edges serve.
+    assert_eq!(served_tc(&mut c), direct_tc(&[("a", "b"), ("b", "c")]));
+    srv.stop();
+}

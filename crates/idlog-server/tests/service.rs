@@ -334,9 +334,9 @@ fn error_codes_cover_protocol_compile_and_input_failures() {
         .expect("insert");
     assert_eq!(bad_fact.code, Some(ErrorCode::Input));
 
-    let ping = c.request(&Request::Ping).expect("ping");
+    let ping = c.request(&Request::Ping { schema: None }).expect("ping");
     assert_eq!(ping.exit, 0);
-    assert_eq!(ping.schema.as_deref(), Some("idlog-service/1"));
+    assert_eq!(ping.schema.as_deref(), Some("idlog-service/2"));
     shutdown(addr, handle);
 }
 

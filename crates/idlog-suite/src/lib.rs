@@ -17,11 +17,17 @@
 //! the same wire protocol, and the binary gates `incremental_ms <
 //! recompute_ms` so the service's reason to exist stays measurable.
 //!
-//! Schema 9 adds a `magic` section: the [`magic`] module evaluates a
+//! Schema 9 added a `magic` section: the [`magic`] module evaluates a
 //! certified point query directly and under `strategy=magic` across every
 //! {backend × threads} combination, asserts byte-identical answers, and
 //! the binary gates [`magic::MagicBench::strictly_prunes`] — the rewrite
 //! must insert and probe strictly fewer tuples on both backends.
+//!
+//! Schema 10 adds a `durability` section: the [`durability`] module
+//! measures what a restart of a durable tenant costs — WAL replay from
+//! genesis vs recovery from a checkpoint vs cold recompute — plus an
+//! fsync-policy throughput sweep, and the binary gates
+//! [`durability::DurabilityBench::checkpoint_beats_genesis`].
 
 #![warn(missing_docs)]
 
@@ -36,6 +42,7 @@ use idlog_core::{
 use idlog_storage::Database;
 
 pub mod baseline;
+pub mod durability;
 pub mod magic;
 pub mod served;
 
@@ -117,6 +124,8 @@ pub struct SuiteReport {
     pub served: Option<served::ServedBench>,
     /// The goal-directed point-query record, when the magic bench ran.
     pub magic: Option<magic::MagicBench>,
+    /// The restart-cost record, when the durability bench ran.
+    pub durability: Option<durability::DurabilityBench>,
 }
 
 /// The shipped facts sidecar for a program stem, mirroring the pairings
@@ -261,6 +270,7 @@ pub fn run_suite(dir: &Path) -> Result<SuiteReport, String> {
         cases: reports,
         served: None,
         magic: None,
+        durability: None,
     })
 }
 
@@ -358,9 +368,44 @@ impl SuiteReport {
                 )
             }
         };
+        let durability = match &self.durability {
+            None => "null".to_string(),
+            Some(d) => {
+                let fsync: Vec<String> = d
+                    .fsync
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{{\"policy\": {}, \"writes\": {}, \"wall_ms\": {:.3}, \
+                             \"writes_per_sec\": {:.1}}}",
+                            json_str(&f.policy),
+                            f.writes,
+                            f.wall_ms,
+                            f.writes_per_sec()
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"nodes\": {}, \"churn\": {}, \
+                     \"genesis_wal_records\": {}, \"genesis_replay_ms\": {:.3}, \
+                     \"checkpoint_wal_records\": {}, \"checkpoint_recovery_ms\": {:.3}, \
+                     \"cold_recompute_ms\": {:.3}, \"checkpoint_beats_genesis\": {}, \
+                     \"fsync\": [{}]}}",
+                    d.nodes,
+                    d.churn,
+                    d.genesis_wal_records,
+                    d.genesis_replay_ms,
+                    d.checkpoint_wal_records,
+                    d.checkpoint_recovery_ms,
+                    d.cold_recompute_ms,
+                    d.checkpoint_beats_genesis(),
+                    fsync.join(", ")
+                )
+            }
+        };
         format!(
-            "{{\n\"schema\": \"idlog-bench/9\",\n\"served\": {served},\n\"magic\": {magic},\n\
-             \"cases\": [\n{}\n]\n}}\n",
+            "{{\n\"schema\": \"idlog-bench/10\",\n\"served\": {served},\n\"magic\": {magic},\n\
+             \"durability\": {durability},\n\"cases\": [\n{}\n]\n}}\n",
             cases.join(",\n")
         )
     }
@@ -479,9 +524,23 @@ mod tests {
                     pruned: 38,
                 }],
             }),
+            durability: Some(durability::DurabilityBench {
+                nodes: 200,
+                churn: 400,
+                genesis_wal_records: 1000,
+                genesis_replay_ms: 8.0,
+                checkpoint_wal_records: 0,
+                checkpoint_recovery_ms: 2.0,
+                cold_recompute_ms: 40.0,
+                fsync: vec![durability::FsyncRun {
+                    policy: "always".into(),
+                    writes: 1000,
+                    wall_ms: 500.0,
+                }],
+            }),
         };
         let json = report.to_json();
-        assert!(json.contains("\"idlog-bench/9\""), "{json}");
+        assert!(json.contains("\"idlog-bench/10\""), "{json}");
         assert!(json.contains("a\\\"b.idl"), "{json}");
         assert!(json.contains("\"speedup\": 4.000"), "{json}");
         assert!(
@@ -493,6 +552,15 @@ mod tests {
             json.contains("\"magic_inserted\": 40, \"magic_probes\": 80, \"pruned\": 38"),
             "{json}"
         );
+        assert!(
+            json.contains("\"checkpoint_beats_genesis\": true"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"policy\": \"always\", \"writes\": 1000, \"wall_ms\": 500.000"),
+            "{json}"
+        );
+        assert!(json.contains("\"writes_per_sec\": 2000.0"), "{json}");
     }
 
     #[test]
@@ -519,10 +587,12 @@ mod tests {
             }],
             served: None,
             magic: None,
+            durability: None,
         };
         let json = report.to_json();
         assert!(json.contains("\"served\": null"), "{json}");
         assert!(json.contains("\"magic\": null"), "{json}");
+        assert!(json.contains("\"durability\": null"), "{json}");
         assert!(json.contains("\"backend\": \"columnar\""), "{json}");
         assert!(json.contains("\"strategy\": \"semi-naive\""), "{json}");
     }

@@ -1,12 +1,15 @@
-//! `idlog-suite`: run the corpus sweep plus the served-mode latency bench
-//! and the goal-directed point-query bench, write `BENCH_9.json` at the
-//! repository root (CI regenerates and uploads it as an artifact), and gate
-//! the hash-backend runs against the committed `BENCH_8.json` baseline —
-//! counters exact, wall time within a generous tolerance. The served
-//! section is gated directly: incremental maintenance must beat full
-//! recompute. So is the magic section: `strategy=magic` must insert and
-//! probe strictly fewer tuples than direct evaluation on both backends, or
-//! the binary exits nonzero so CI fails.
+//! `idlog-suite`: run the corpus sweep plus the served-mode latency bench,
+//! the goal-directed point-query bench, and the durability restart-cost
+//! bench, write `BENCH_10.json` at the repository root (CI regenerates and
+//! uploads it as an artifact), and gate the hash-backend runs against the
+//! committed `BENCH_9.json` baseline — counters exact, wall time within a
+//! generous tolerance. The served section is gated directly: incremental
+//! maintenance must beat full recompute. So is the magic section
+//! (`strategy=magic` must insert and probe strictly fewer tuples than
+//! direct evaluation on both backends) and the durability section
+//! (recovering a tenant from its checkpoint must be strictly cheaper than
+//! replaying the WAL from genesis), or the binary exits nonzero so CI
+//! fails.
 
 use std::path::Path;
 
@@ -20,6 +23,13 @@ const SERVED_INSERTS: usize = 20;
 /// reachable from the query constant, so the pruning is unmistakable.
 const MAGIC_CHAINS: usize = 8;
 const MAGIC_CHAIN_LEN: usize = 40;
+
+/// Shape of the durability bench tenant: a 200-node transitive-closure
+/// chain plus enough paired insert/retract churn that the genesis WAL
+/// dwarfs the surviving EDB, so checkpointing has something to prove.
+const DURABILITY_NODES: usize = 200;
+const DURABILITY_CHURN: usize = 2000;
+const DURABILITY_FSYNC_WRITES: usize = 512;
 
 fn main() {
     let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
@@ -98,7 +108,43 @@ fn main() {
     let magic_ok = magic.strictly_prunes();
     report.magic = Some(magic);
 
-    let out = root.join("BENCH_9.json");
+    // Durability bench: genesis WAL replay vs checkpoint recovery vs cold
+    // recompute, plus the fsync-policy throughput sweep.
+    let durability = match idlog_suite::durability::run_durability(
+        DURABILITY_NODES,
+        DURABILITY_CHURN,
+        DURABILITY_FSYNC_WRITES,
+    ) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("idlog-suite: durability bench failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "durability ({} nodes, {} churn) genesis replay {:.3}ms ({} records) \
+         checkpoint recovery {:.3}ms ({} records) cold recompute {:.3}ms",
+        durability.nodes,
+        durability.churn,
+        durability.genesis_replay_ms,
+        durability.genesis_wal_records,
+        durability.checkpoint_recovery_ms,
+        durability.checkpoint_wal_records,
+        durability.cold_recompute_ms,
+    );
+    for f in &durability.fsync {
+        println!(
+            "  fsync {:<6} {} writes in {:.3}ms ({:.0}/s)",
+            f.policy,
+            f.writes,
+            f.wall_ms,
+            f.writes_per_sec()
+        );
+    }
+    let durability_ok = durability.checkpoint_beats_genesis();
+    report.durability = Some(durability);
+
+    let out = root.join("BENCH_10.json");
     if let Err(e) = std::fs::write(&out, report.to_json()) {
         eprintln!("idlog-suite: cannot write {}: {e}", out.display());
         std::process::exit(1);
@@ -116,10 +162,17 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if !durability_ok {
+        eprintln!(
+            "regression: recovering from the checkpoint is not cheaper than \
+             replaying the WAL from genesis"
+        );
+        std::process::exit(1);
+    }
 
-    // Regression gate: the committed BENCH_8.json is the previous PR's
+    // Regression gate: the committed BENCH_9.json is the previous PR's
     // performance record for the hash backend.
-    let baseline_path = root.join("BENCH_8.json");
+    let baseline_path = root.join("BENCH_9.json");
     match std::fs::read_to_string(&baseline_path) {
         Err(e) => {
             eprintln!(
